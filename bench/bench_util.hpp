@@ -1,0 +1,25 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared output conventions for the table/figure regenerator binaries:
+/// every bench prints a banner naming the paper artifact it reproduces,
+/// renders ASCII tables, and (optionally) drops a CSV next to stdout.
+
+#include <cstdio>
+#include <string>
+
+namespace exa::bench {
+
+inline void banner(const std::string& artifact, const std::string& summary) {
+  std::printf("================================================================\n");
+  std::printf("exaready | %s\n", artifact.c_str());
+  std::printf("%s\n", summary.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void paper_vs_measured(const std::string& quantity, double paper,
+                              double measured, const std::string& unit = "") {
+  std::printf("  %-46s paper: %10.3g %-8s measured: %10.3g %s\n",
+              quantity.c_str(), paper, unit.c_str(), measured, unit.c_str());
+}
+
+}  // namespace exa::bench

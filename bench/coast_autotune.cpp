@@ -1,0 +1,66 @@
+/// §3.9: COAST's automated software tuning — "the best set of tiling
+/// factors is discovered in the process of compiling and timing a large
+/// number of combinations" — carrying the min-plus kernel from 5.6 TF on a
+/// V100 to 30.6 TF on an MI250X, and the Gordon Bell scale results
+/// (136 PF on Summit 2020, 1.004 EF on Frontier 2022).
+
+#include <cstdio>
+
+#include "apps/coast/apsp.hpp"
+#include "bench_util.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace exa;
+  using namespace exa::apps::coast;
+  bench::banner("COAST autotuning & Gordon Bell scale (Section 3.9)",
+                "blocked Floyd-Warshall, tiled min-plus kernel");
+
+  for (const auto& [label, gpu] :
+       {std::pair<const char*, arch::GpuArch>{"NVIDIA V100 (Summit)",
+                                              arch::v100()},
+        std::pair<const char*, arch::GpuArch>{"AMD MI250X GCD (Frontier)",
+                                              arch::mi250x_gcd()}}) {
+    const TuneResult r = autotune(gpu, 16384);
+    support::Table table(std::string("Tuning sweep on ") + label +
+                         " (N=16384 APSP)");
+    table.set_header({"Config", "Time", "Sustained"});
+    for (const auto& [cfg, seconds] : r.trials) {
+      const double flops = 2.0 * 16384.0 * 16384.0 * 16384.0 / seconds;
+      std::string mark = cfg.name() == r.best.name() ? "  <-- best" : "";
+      table.add_row({cfg.name() + mark, support::format_time(seconds, 2),
+                     support::format_si(flops, 2) + "flop/s"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  const TuneResult v100 = autotune(arch::v100(), 16384);
+  const TuneResult gcd = autotune(arch::mi250x_gcd(), 16384);
+  bench::paper_vs_measured("single V100 sustained", 5.6e12,
+                           v100.achieved_flops, "flop/s");
+  bench::paper_vs_measured("single MI250X (2 GCD) sustained", 30.6e12,
+                           2.0 * gcd.achieved_flops, "flop/s");
+  bench::paper_vs_measured("per-GPU kernel speed-up", 30.6 / 5.6,
+                           2.0 * gcd.achieved_flops / v100.achieved_flops,
+                           "x");
+
+  std::printf("\nGordon Bell full-machine projections:\n");
+  const ScaleResult summit = gordon_bell_run(arch::machines::summit(), 8 << 20);
+  const ScaleResult frontier =
+      gordon_bell_run(arch::machines::frontier(), 32 << 20);
+  std::printf("  Summit   (%5d devices in the 2-D grid): %s sustained\n",
+              summit.devices,
+              support::format_si(summit.sustained_flops, 3).c_str());
+  std::printf("  Frontier (%5d devices in the 2-D grid): %s sustained\n\n",
+              frontier.devices,
+              support::format_si(frontier.sustained_flops, 3).c_str());
+  bench::paper_vs_measured("Summit Gordon Bell submission", 136e15,
+                           summit.sustained_flops, "flop/s");
+  bench::paper_vs_measured("Frontier Gordon Bell submission", 1.004e18,
+                           frontier.sustained_flops, "flop/s");
+  bench::paper_vs_measured("scale-out speed-up (paper: >7x)", 7.4,
+                           frontier.sustained_flops / summit.sustained_flops,
+                           "x");
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// §4: the three early-access hardware generations — architecture fidelity
+/// to Frontier vs lead time — plus the §6 issue-discovery ordering
+/// (functionality -> missing features -> performance).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "coe/readiness.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace exa;
+  using namespace exa::coe;
+  bench::banner("Early-access platforms (Section 4) & issue pipeline (Section 6)",
+                "Poplar/Tulip -> Spock/Birch -> Crusher -> Frontier");
+
+  std::printf("%s\n", early_access_table().render().c_str());
+
+  // A representative issue log distilled from the paper's narrative.
+  IssueLog log;
+  log.add({IssueCategory::kFunctionality, "Poplar", 0, true,
+           "HIP+OpenMP in one compilation unit unsupported (HACC)"});
+  log.add({IssueCategory::kFunctionality, "Spock", 2, true,
+           "intermittent segfaults in divergent ReaxFF kernels (LAMMPS)"});
+  log.add({IssueCategory::kFunctionality, "Poplar", 1, true,
+           "outdated CUDA syntax rejected by hipify (SHOC port)"});
+  log.add({IssueCategory::kMissingFeature, "Spock", 3, true,
+           "missing rocSOLVER ZGETRF coverage (LSMS)"});
+  log.add({IssueCategory::kMissingFeature, "Spock", 4, true,
+           "no divide-and-conquer eigensolver in MAGMA/ROCm (GAMESS)"});
+  log.add({IssueCategory::kMissingFeature, "Birch", 5, true,
+           "DETACH clause support for OpenMP offload (GESTS)"});
+  log.add({IssueCategory::kPerformance, "Crusher", 7, true,
+           "double-precision constant spills between scalar/vector regs"});
+  log.add({IssueCategory::kPerformance, "Crusher", 8, true,
+           "pow()/exp() device-library throughput (LAMMPS)"});
+  log.add({IssueCategory::kPerformance, "Crusher", 9, false,
+           "UVM page-migration overheads (Pele)"});
+
+  support::Table issues("Issue log by category");
+  issues.set_header({"Category", "Count", "Mean discovery quarter"});
+  for (const IssueCategory c :
+       {IssueCategory::kFunctionality, IssueCategory::kMissingFeature,
+        IssueCategory::kPerformance}) {
+    issues.add_row({to_string(c), std::to_string(log.count(c)),
+                    support::Table::cell(log.mean_quarter(c), 1)});
+  }
+  issues.add_note("Section 6: issues surface as functionality, then missing "
+                  "features, then performance — 'typically in this order'");
+  std::printf("%s\n", issues.render().c_str());
+  std::printf("discovery order matches the paper's observation: %s\n",
+              log.follows_discovery_order() ? "yes" : "no");
+  std::printf("issue resolution rate: %.0f%%\n\n",
+              100.0 * log.resolution_rate());
+
+  bench::paper_vs_measured("Crusher arch fidelity (identical node)", 1.0,
+                           assess_generation(arch::machines::crusher(),
+                                             arch::machines::frontier())
+                               .arch_fidelity);
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Regenerates Figure 1: performance of HIP on the SHOC benchmarks
+/// relative to CUDA versions running on OLCF Summit (V100). The paper
+/// reports every point within [0.90, 1.05] with averages of 99.8% (with
+/// data transfer) and 99.9% (kernel only).
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/shoc/shoc.hpp"
+#include "bench_util.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace exa;
+  bench::banner("Figure 1",
+                "HIP vs CUDA relative performance, SHOC suite on Summit V100 "
+                "(hipify'd build vs native CUDA build)");
+
+  hip::Runtime::instance().configure(arch::v100(), 1);
+
+  // SHOC convention: run several trials, report the median ratio.
+  constexpr int kTrials = 5;
+  std::vector<std::vector<double>> with_transfer(
+      apps::shoc::all_benchmarks().size());
+  std::vector<std::vector<double>> kernel_only(
+      apps::shoc::all_benchmarks().size());
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto points = apps::shoc::compare_hip_vs_cuda(
+        apps::shoc::SizeClass::kMedium, 0xF16'0001u + trial);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      with_transfer[i].push_back(points[i].ratio_with_transfer);
+      kernel_only[i].push_back(points[i].ratio_kernel_only);
+    }
+  }
+
+  support::Table table(
+      "Figure 1 series: normalized HIP/CUDA performance (median of 5 trials)");
+  table.set_header({"Benchmark", "HIP/CUDA (w/ transfer)", "HIP/CUDA (kernel)"});
+  support::CsvWriter csv({"benchmark", "ratio_with_transfer", "ratio_kernel"});
+  std::vector<double> all_wt;
+  std::vector<double> all_k;
+  for (std::size_t i = 0; i < apps::shoc::all_benchmarks().size(); ++i) {
+    const double wt = support::median(with_transfer[i]);
+    const double k = support::median(kernel_only[i]);
+    all_wt.push_back(wt);
+    all_k.push_back(k);
+    const std::string name =
+        apps::shoc::to_string(apps::shoc::all_benchmarks()[i]);
+    table.add_row({name, support::Table::cell(wt, 4),
+                   support::Table::cell(k, 4)});
+    csv.add_row({name, support::Table::cell(wt, 6),
+                 support::Table::cell(k, 6)});
+  }
+  table.add_note("Y-axis range of the paper's figure: 0.90 - 1.05");
+  std::printf("%s\n", table.render().c_str());
+
+  bench::paper_vs_measured("average normalized HIP perf (w/ transfer)", 0.998,
+                           support::geomean(all_wt));
+  bench::paper_vs_measured("average normalized HIP perf (kernel only)", 0.999,
+                           support::geomean(all_k));
+  bench::paper_vs_measured("min ratio across suite (figure lower bound)", 0.90,
+                           support::min_of(all_wt));
+  bench::paper_vs_measured("max ratio across suite (figure upper bound)", 1.05,
+                           support::max_of(all_wt));
+  std::printf("\nCSV:\n%s", csv.render().c_str());
+  return 0;
+}

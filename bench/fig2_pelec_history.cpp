@@ -1,0 +1,49 @@
+/// Regenerates Figure 2: "History of PeleC time per cell per timestep for a
+/// single node between September 2018 and March 2023" across Cori, Theta,
+/// Eagle, Summit, and Frontier, plus the time reduction at 4096 nodes for
+/// the 2020/2021/2023 code states. The paper reports a 75x cumulative
+/// speed-up over the project.
+
+#include <cstdio>
+
+#include "apps/pele/driver.hpp"
+#include "bench_util.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace exa;
+  using apps::pele::figure2_series;
+  bench::banner("Figure 2",
+                "PeleC time per cell per timestep, Sep 2018 - Mar 2023, "
+                "single node and 4096 nodes");
+
+  const auto series = figure2_series();
+  support::Table table("Figure 2 series");
+  table.set_header({"Date", "Machine", "Nodes", "Code state",
+                    "Time/cell/step", "Cumulative speed-up"});
+  support::CsvWriter csv({"date", "machine", "nodes", "time_per_cell_s"});
+  const double start = series.front().time_per_cell_s;
+  for (const auto& p : series) {
+    table.add_row({p.date, p.machine, std::to_string(p.nodes),
+                   to_string(p.state),
+                   support::format_time(p.time_per_cell_s, 2),
+                   support::Table::cell(start / p.time_per_cell_s, 1) + "x"});
+    csv.add_row({p.date, p.machine, std::to_string(p.nodes),
+                 support::Table::cell(p.time_per_cell_s * 1e9, 3)});
+  }
+  table.add_note("single-node series first, then the 4096-node points");
+  std::printf("%s\n", table.render().c_str());
+
+  const double total = start / series[5].time_per_cell_s;
+  bench::paper_vs_measured("cumulative single-node speed-up 2018->2023", 75.0,
+                           total, "x");
+  const double weak_eff =
+      apps::pele::weak_scaling_efficiency(arch::machines::frontier(), 4096);
+  bench::paper_vs_measured("weak scaling efficiency, 1->4096 Frontier nodes",
+                           0.80, weak_eff);
+
+  std::printf("\nCSV:\n%s", csv.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// §3.1: GAMESS Many-Body-Expansion runs on Frontier — "128 to 512 nodes
+/// for a system comprised of 935 water molecules", "75k atoms of an ionic
+/// liquid model system used 1024 and 2048 nodes", with "nearly ideal
+/// linear scaling up to 2K nodes".
+
+#include <cstdio>
+
+#include "apps/gamess/fmo.hpp"
+#include "apps/gamess/rimp2.hpp"
+#include "bench_util.hpp"
+#include "mathlib/device_blas.hpp"
+#include "net/scaling.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace exa;
+  using namespace exa::apps::gamess;
+  bench::banner("GAMESS fragmentation scaling (Section 3.1)",
+                "FMO/MBE fragment work, dynamically balanced across nodes");
+
+  ml::TuningRegistry::instance().clear();
+  const arch::Machine frontier = arch::machines::frontier();
+  // Per-fragment device time at the tuned library configuration.
+  const double fragment_s = simulate_fragment_time(
+      *frontier.node.gpu, 40, 160, 700, /*tuned_library=*/true);
+  std::printf("fragment RI-MP2 time on one GCD: %s\n\n",
+              support::format_time(fragment_s, 2).c_str());
+
+  support::Rng rng(2021);
+  struct Case {
+    const char* name;
+    std::size_t fragments;
+    std::vector<int> nodes;
+  };
+  const Case cases[] = {
+      {"935 water molecules", 935, {128, 256, 512}},
+      {"75k-atom ionic liquid (25k fragments)", 25000, {512, 1024, 2048}},
+  };
+
+  for (const Case& c : cases) {
+    const auto sites = make_cluster(c.fragments, rng);
+    const FmoWorkload work = make_workload(sites, 5.0);
+    std::printf("%s: %zu monomers, %zu dimers\n", c.name, work.monomers,
+                work.dimers);
+    net::ScalingStudy study(c.name, net::ScalingKind::kStrong);
+    study.run(c.nodes, [&](int nodes) {
+      return fmo_iteration_time(frontier, nodes, work, fragment_s);
+    });
+    std::printf("%s\n", study.to_table().render().c_str());
+  }
+
+  // The headline claim: parallel efficiency at 2048 nodes for the big case.
+  const auto sites = make_cluster(25000, rng);
+  const FmoWorkload work = make_workload(sites, 5.0);
+  const double t512 = fmo_iteration_time(frontier, 512, work, fragment_s);
+  const double t2048 = fmo_iteration_time(frontier, 2048, work, fragment_s);
+  bench::paper_vs_measured("parallel efficiency 512 -> 2048 nodes", 0.95,
+                           (t512 / t2048) / 4.0);
+  ml::TuningRegistry::instance().clear();
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// §3.10 ablations: (a) divergent vs preprocessed interaction-list torsion
+/// evaluation, (b) split vs fused dual-RHS CG charge equilibration, and
+/// (c) the compiler register-spill fix — together the ">50% speedup of
+/// ReaxFF in LAMMPS since Feb. 2022".
+
+#include <cstdio>
+
+#include "apps/lammps/qeq.hpp"
+#include "apps/lammps/reaxff.hpp"
+#include "bench_util.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace exa;
+  using namespace exa::apps::lammps;
+  bench::banner("LAMMPS ReaxFF optimization study (Section 3.10)",
+                "HNS-like molecular crystal; divergence preprocessing, fused "
+                "QEq CG, compiler spill fix");
+
+  // Functional system: measure real interaction statistics.
+  support::Rng rng(42);
+  const System sys = make_molecular_crystal(4, 6, rng);
+  const NeighborList neigh = build_neighbor_list(sys, 3.0);
+  const BondList bonds = build_bond_list(sys, 1.7);
+  const TorsionParams params{1.0, 3.0};
+  TorsionStats stats = measure_stats(sys, neigh, bonds, params);
+  const ForceResult functional = torsion_divergent(sys, neigh, bonds, params);
+  std::printf("functional system: %zu atoms, %llu tuples evaluated of %llu "
+              "considered (%.1f%% survive the cutoffs)\n\n",
+              sys.size(),
+              static_cast<unsigned long long>(functional.tuples_evaluated),
+              static_cast<unsigned long long>(functional.tuples_considered),
+              100.0 * static_cast<double>(functional.tuples_evaluated) /
+                  static_cast<double>(functional.tuples_considered));
+
+  // Scale the measured ratios to a production-size crystal.
+  const double scale = 2.0e6 / static_cast<double>(stats.atoms);
+  stats.surviving_tuples =
+      static_cast<std::uint64_t>(stats.surviving_tuples * scale);
+  stats.atoms = 2'000'000;
+
+  support::Table torsion("Torsion evaluation per step (2M atoms)");
+  torsion.set_header({"Device", "Compiler fix", "Divergent", "Preprocess+dense",
+                      "Speed-up"});
+  for (const bool fix : {false, true}) {
+    for (const auto* gpu_name : {"V100 (Summit)", "MI250X GCD (Frontier)"}) {
+      const arch::GpuArch gpu = std::string(gpu_name).front() == 'V'
+                                    ? arch::v100()
+                                    : arch::mi250x_gcd();
+      const TorsionTimings t = simulate_torsion(gpu, stats, fix);
+      torsion.add_row({gpu_name, fix ? "yes" : "no",
+                       support::format_time(t.divergent_s, 2),
+                       support::format_time(t.preprocessed_s, 2),
+                       support::Table::cell(t.speedup(), 2) + "x"});
+    }
+  }
+  std::printf("%s\n", torsion.render().c_str());
+
+  // QEq: split vs fused dual-RHS CG (functional counts, then timing).
+  const QeqMatrix h = build_qeq_matrix(sys, neigh, 3.0);
+  const QeqResult split = equilibrate(sys, h, /*fused=*/false);
+  const QeqResult fused = equilibrate(sys, h, /*fused=*/true);
+
+  support::Table qeq("Charge equilibration solver comparison");
+  qeq.set_header({"Strategy", "Loop trips", "Matrix reads", "Allreduces",
+                  "Simulated time (4096 nodes)"});
+  const arch::Machine frontier = arch::machines::frontier();
+  const double t_split =
+      simulate_qeq_time(frontier, 200000, 5200000, split.stats, 1, 4096);
+  const double t_fused =
+      simulate_qeq_time(frontier, 200000, 5200000, fused.stats, 2, 4096);
+  qeq.add_row({"two sequential CG solves", std::to_string(split.stats.iterations),
+               std::to_string(split.stats.matrix_reads),
+               std::to_string(split.stats.allreduces),
+               support::format_time(t_split, 2)});
+  qeq.add_row({"fused dual-RHS CG", std::to_string(fused.stats.iterations),
+               std::to_string(fused.stats.matrix_reads),
+               std::to_string(fused.stats.allreduces),
+               support::format_time(t_fused, 2)});
+  std::printf("%s\n", qeq.render().c_str());
+
+  const TorsionTimings before = simulate_torsion(arch::mi250x_gcd(), stats, false);
+  const TorsionTimings after = simulate_torsion(arch::mi250x_gcd(), stats, true);
+  bench::paper_vs_measured("torsion preprocessing speed-up (part of >1.5x)",
+                           1.5, after.speedup(), "x");
+  bench::paper_vs_measured("QEq comm phases saved by fusing", 2.0,
+                           static_cast<double>(split.stats.allreduces) /
+                               fused.stats.allreduces,
+                           "x");
+  bench::paper_vs_measured("QEq fused-vs-split time", 1.5, t_split / t_fused,
+                           "x");
+  bench::paper_vs_measured(
+      "spill-fix gain on the divergent kernel", 1.2,
+      before.divergent_s / after.divergent_s, "x");
+  const double combined =
+      (before.divergent_s + t_split) / (after.preprocessed_s + t_fused);
+  bench::paper_vs_measured("combined ReaxFF step speed-up (paper: >1.5x)",
+                           1.5, combined, "x");
+  return 0;
+}

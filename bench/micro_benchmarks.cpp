@@ -1,0 +1,169 @@
+/// Google-benchmark microbenchmarks of the substrate itself: the real host
+/// numerics (GEMM, FFT, LU, CG), the hipify translator, the pool
+/// allocator, and the analytic models' evaluation cost. These measure the
+/// *simulator's* wall-clock performance, not virtual device time.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/coast/apsp.hpp"
+#include "hip/hipify.hpp"
+#include "mathlib/dense.hpp"
+#include "mathlib/device_blas.hpp"
+#include "mathlib/eigen.hpp"
+#include "mathlib/fft.hpp"
+#include "mathlib/lu.hpp"
+#include "omp/offload.hpp"
+#include "pfw/parallel.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/pool_allocator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace exa;
+
+void BM_Dgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  for (auto _ : state) {
+    ml::dgemm(a, b, c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft3d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(2);
+  std::vector<ml::zcomplex> data(n * n * n);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    ml::fft3d(data, n, n, n, false);
+    ml::fft3d(data, n, n, n, true);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(32);
+
+void BM_Zgetrf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(3);
+  std::vector<ml::zcomplex> a(n * n);
+  for (auto& x : a) x = {rng.normal(), rng.normal()};
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += 8.0;
+  std::vector<int> piv(n);
+  for (auto _ : state) {
+    std::vector<ml::zcomplex> work = a;
+    benchmark::DoNotOptimize(ml::zgetrf(work, n, piv));
+  }
+}
+BENCHMARK(BM_Zgetrf)->Arg(64)->Arg(128);
+
+void BM_Hipify(benchmark::State& state) {
+  std::string source;
+  for (int i = 0; i < 200; ++i) {
+    source += "cudaMalloc((void**)&p" + std::to_string(i) + ", n);\n";
+    source += "kernel" + std::to_string(i) + "<<<g, b>>>(p" +
+              std::to_string(i) + ");\n";
+    source += "cudaMemcpy(h, p" + std::to_string(i) +
+              ", n, cudaMemcpyDeviceToHost);\n";
+  }
+  for (auto _ : state) {
+    const auto report = hip::hipify::translate(source);
+    benchmark::DoNotOptimize(report.replacements);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_Hipify);
+
+void BM_PoolAllocatorChurn(benchmark::State& state) {
+  sim::PoolAllocator pool(1ull << 28, 256);
+  support::Rng rng(4);
+  std::vector<std::uint64_t> live;
+  for (auto _ : state) {
+    if (live.size() < 64 || rng.bernoulli(0.5)) {
+      const auto off = pool.allocate(1 + rng.uniform_u64(65536));
+      if (off.has_value()) live.push_back(*off);
+    } else {
+      const std::size_t pick = rng.uniform_u64(live.size());
+      pool.deallocate(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  for (const auto off : live) pool.deallocate(off);
+}
+BENCHMARK(BM_PoolAllocatorChurn);
+
+void BM_KernelTimingModel(benchmark::State& state) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const sim::KernelProfile p =
+      ml::gemm_profile(gpu, arch::DType::kF64, true, 2048, 2048, 2048);
+  const sim::LaunchConfig launch{1u << 14, 256};
+  for (auto _ : state) {
+    const auto t = sim::kernel_timing(gpu, p, launch);
+    benchmark::DoNotOptimize(t.total_s);
+  }
+}
+BENCHMARK(BM_KernelTimingModel);
+
+void BM_BlockedFloydWarshall(benchmark::State& state) {
+  support::Rng rng(5);
+  const auto base = apps::coast::make_knowledge_graph(256, 6.0, rng);
+  for (auto _ : state) {
+    apps::coast::DistMatrix m = base;
+    apps::coast::floyd_warshall_blocked(m, 32);
+    benchmark::DoNotOptimize(m.d.data());
+  }
+}
+BENCHMARK(BM_BlockedFloydWarshall);
+
+void BM_JacobiEigensolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(6);
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  std::vector<double> evals(n);
+  for (auto _ : state) {
+    ml::syev_values(a, n, evals);
+    benchmark::DoNotOptimize(evals.data());
+  }
+}
+BENCHMARK(BM_JacobiEigensolver)->Arg(32)->Arg(64);
+
+void BM_PfwDispatchOverhead(benchmark::State& state) {
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  for (auto _ : state) {
+    pfw::parallel_for("noop", 1, [](std::size_t) {});
+  }
+}
+BENCHMARK(BM_PfwDispatchOverhead);
+
+void BM_OmpTargetRegionSetup(benchmark::State& state) {
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  omp::DeviceDataEnvironment::instance().reset();
+  std::vector<double> a(1 << 16, 1.0);
+  for (auto _ : state) {
+    omp::TargetData region({omp::map_tofrom(std::span<double>(a))});
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_OmpTargetRegionSetup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+/// Regenerates Table 1: Application Porting Motifs — which of the paper's
+/// ten applications exercised each porting motif.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "coe/registry.hpp"
+
+int main() {
+  using namespace exa;
+  bench::banner("Table 1", "Application porting motifs");
+  const coe::Registry registry = coe::Registry::paper_applications();
+  std::printf("%s\n", registry.table1_motifs().render().c_str());
+
+  std::printf("Porting approaches on record:\n");
+  for (const auto& app : registry.applications()) {
+    std::printf("  %-8s:", app.name().c_str());
+    for (const auto a : app.approaches()) {
+      std::printf(" [%s]", coe::to_string(a).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

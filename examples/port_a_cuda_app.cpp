@@ -1,0 +1,82 @@
+/// Example: porting a CUDA application with hipify — the §2.1 workflow.
+///
+/// A small CUDA source file is translated to HIP, the report is reviewed
+/// (including the "outdated CUDA syntax" cases the paper flags as the
+/// manual-review exceptions), and the same workload is then executed
+/// through the runtime under both API flavors to confirm parity.
+///
+/// Build & run:  ./build/examples/port_a_cuda_app
+
+#include <cstdio>
+
+#include "apps/shoc/shoc.hpp"
+#include "hip/hipify.hpp"
+#include "support/stats.hpp"
+
+using namespace exa;
+
+namespace {
+
+constexpr const char* kCudaSource = R"(#include <cuda_runtime.h>
+#include "cuda_runtime.h"
+
+// Legacy molecular-dynamics force driver (CUDA, circa 2015).
+extern __global__ void lj_forces(const float4* pos, float4* force, int n);
+
+int run_step(const float4* host_pos, float4* host_force, int n,
+             cudaStream_t stream) {
+  float4 *dpos, *dforce;
+  cudaMalloc((void**)&dpos, n * sizeof(float4));
+  cudaMalloc((void**)&dforce, n * sizeof(float4));
+  cudaMemcpyAsync(dpos, host_pos, n * sizeof(float4),
+                  cudaMemcpyHostToDevice, stream);
+  lj_forces<<<(n + 127) / 128, 128, 0, stream>>>(dpos, dforce, n);
+  cudaError_t err = cudaGetLastError();
+  if (err != cudaSuccess) return -1;
+  cudaMemcpyAsync(host_force, dforce, n * sizeof(float4),
+                  cudaMemcpyDeviceToHost, stream);
+  cudaThreadSynchronize();  // pre-CUDA-4.0 style: flagged by the tool
+  cudaFree(dpos);
+  cudaFree(dforce);
+  return 0;
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("Step 1: hipify the CUDA source\n");
+  std::printf("------------------------------\n");
+  const auto report = hip::hipify::translate(kCudaSource);
+  std::printf("%s\n", report.output.c_str());
+  std::printf("replacements: %d (launches converted: %d)\n",
+              report.replacements, report.launches_converted);
+  for (const auto& [name, count] : report.by_identifier) {
+    std::printf("  %-28s x%d\n", name.c_str(), count);
+  }
+  if (!report.warnings.empty()) {
+    std::printf("\nmanual review needed (the paper: 'the primary exception "
+                "being code that used outdated CUDA syntax'):\n");
+    for (const auto& w : report.warnings) std::printf("  ! %s\n", w.c_str());
+  }
+  for (const auto& u : report.unrecognized) {
+    std::printf("  ? unrecognized: %s\n", u.c_str());
+  }
+
+  std::printf("\nStep 2: validate parity on the V100 model (the Figure 1 "
+              "experiment)\n");
+  std::printf("----------------------------------------------------------\n");
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  const auto points =
+      apps::shoc::compare_hip_vs_cuda(apps::shoc::SizeClass::kSmall, 42);
+  std::vector<double> ratios;
+  for (const auto& p : points) {
+    std::printf("  %-18s HIP/CUDA = %.4f\n",
+                apps::shoc::to_string(p.id).c_str(), p.ratio_with_transfer);
+    ratios.push_back(p.ratio_with_transfer);
+  }
+  std::printf("\n  geometric mean: %.4f -> the port costs essentially "
+              "nothing.\n",
+              support::geomean(ratios));
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Example: the COE readiness dashboard (§5-§6).
+///
+/// Registers the paper's application portfolio, records baseline and
+/// target measurements the way the COE Management Council reviews did,
+/// and renders the readiness state: Table 1, the early-access platform
+/// assessment, and per-application target tracking.
+///
+/// Build & run:  ./build/examples/readiness_dashboard
+
+#include <cstdio>
+
+#include "apps/coast/apsp.hpp"
+#include "apps/gamess/rimp2.hpp"
+#include "apps/lsms/kkr.hpp"
+#include "apps/nuccor/ccd.hpp"
+#include "coe/readiness.hpp"
+#include "coe/registry.hpp"
+
+using namespace exa;
+
+int main() {
+  std::printf("Frontier Center of Excellence readiness dashboard\n\n");
+
+  coe::Registry registry = coe::Registry::paper_applications();
+
+  // Record FOM measurements from the mini-app models (per-GPU basis;
+  // one MI250X module = two GCD devices).
+  {
+    const double v100 =
+        apps::gamess::simulate_fragment_time(arch::v100(), 40, 160, 700, true);
+    const double mi250x = apps::gamess::simulate_fragment_time(
+                              arch::mi250x_gcd(), 40, 160, 700, true) / 2.0;
+    registry.find("GAMESS")
+        ->add_measurement({"Summit", 2020, 1.0 / v100, "V100 baseline"})
+        .add_measurement({"Frontier", 2023, 1.0 / mi250x, "tuned MI250X"})
+        .set_phase(coe::ReadinessPhase::kReady);
+  }
+  {
+    const auto v100 = apps::lsms::simulate_atom_solve(
+        arch::v100(), 113, 32, apps::lsms::SolverPath::kBlockInversion, true);
+    const auto gcd = apps::lsms::simulate_atom_solve(
+        arch::mi250x_gcd(), 113, 32, apps::lsms::SolverPath::kLibraryLu, true);
+    registry.find("LSMS")
+        ->add_measurement({"Summit", 2020, 1.0 / v100.total(), ""})
+        .add_measurement({"Frontier", 2023, 2.0 / gcd.total(), ""})
+        .set_phase(coe::ReadinessPhase::kReady);
+  }
+  {
+    const double v100 =
+        apps::nuccor::simulate_ccd_iteration_time(arch::v100(), 60, 20);
+    const double gcd =
+        apps::nuccor::simulate_ccd_iteration_time(arch::mi250x_gcd(), 60, 20);
+    registry.find("NuCCOR")
+        ->add_measurement({"Summit", 2020, 1.0 / v100, ""})
+        .add_measurement({"Frontier", 2023, 2.0 / gcd, ""})
+        .set_phase(coe::ReadinessPhase::kReady);
+  }
+  registry.find("E3SM")->set_phase(coe::ReadinessPhase::kPerformance);
+
+  std::printf("%s\n", registry.table1_motifs().render().c_str());
+  std::printf("%s\n",
+              registry.table2_speedups("Summit", "Frontier").render().c_str());
+  std::printf("%s\n", coe::early_access_table().render().c_str());
+
+  std::printf("Per-application status:\n");
+  for (const auto& app : registry.applications()) {
+    const auto s = app.speedup("Summit", "Frontier");
+    std::printf("  %-8s phase: %-16s target %.1fx  %s\n", app.name().c_str(),
+                coe::to_string(app.phase()).c_str(), app.target_speedup(),
+                s.has_value()
+                    ? (std::string("measured ") +
+                       support::Table::cell(*s, 1) + "x" +
+                       (app.met_target("Summit", "Frontier") ? "  [target met]"
+                                                             : ""))
+                          .c_str()
+                    : "awaiting challenge-problem runs");
+  }
+  return 0;
+}

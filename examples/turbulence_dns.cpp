@@ -1,0 +1,108 @@
+/// Example: a small pseudo-spectral turbulence solve, GESTS style (§3.3).
+///
+/// Runs a real distributed 3-D FFT (slab decomposition, explicit alltoall
+/// transposes) on a Taylor-Green-like initial field, applies spectral
+/// viscous decay for a few steps, verifies energy behaves, and then asks
+/// the machine models what the same solve costs at exascale sizes.
+///
+/// Build & run:  ./build/examples/turbulence_dns
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "apps/gests/psdns.hpp"
+#include "support/units.hpp"
+
+using namespace exa;
+using apps::gests::Decomposition;
+using ml::zcomplex;
+
+namespace {
+
+std::vector<zcomplex> taylor_green(std::size_t n) {
+  std::vector<zcomplex> u(n * n * n);
+  const double k = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        u[(x * n + y) * n + z] = {std::sin(k * x) * std::cos(k * y) *
+                                      std::cos(k * z),
+                                  0.0};
+      }
+    }
+  }
+  return u;
+}
+
+double energy(const std::vector<zcomplex>& u) {
+  double e = 0.0;
+  for (const auto& v : u) e += std::norm(v);
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GESTS-style pseudo-spectral decay, N=32, 8 slab ranks\n");
+  std::printf("-----------------------------------------------------\n");
+  const std::size_t n = 32;
+  apps::gests::SlabField field(taylor_green(n), n, 8);
+
+  const double e0 = energy(field.gather());
+  std::printf("initial kinetic energy: %.6f\n", e0);
+
+  // Spectral viscous decay: u_k <- u_k * exp(-nu k^2 dt), done in k-space
+  // between a forward and inverse distributed transform each step.
+  const double nu = 5e-3;
+  const double dt = 0.05;
+  for (int step = 1; step <= 5; ++step) {
+    field.fft3d(false);
+    auto hat = field.gather();
+    const double two_pi = 2.0 * std::numbers::pi;
+    auto kof = [&](std::size_t i) {
+      long k = static_cast<long>(i);
+      if (k >= static_cast<long>(n / 2)) k -= static_cast<long>(n);
+      return two_pi * static_cast<double>(k);
+    };
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t z = 0; z < n; ++z) {
+          const double k2 =
+              kof(x) * kof(x) + kof(y) * kof(y) + kof(z) * kof(z);
+          hat[(x * n + y) * n + z] *= std::exp(-nu * k2 * dt);
+        }
+      }
+    }
+    // Transform the damped spectrum back (single-brick inverse here; the
+    // production path would keep the distributed layout end to end) and
+    // redistribute for the next step's distributed forward transform.
+    ml::fft3d(hat, n, n, n, true);
+    field = apps::gests::SlabField(hat, n, 8);
+    std::printf("step %d: energy = %.6f (monotone decay expected)\n", step,
+                energy(field.gather()) / static_cast<double>(n * n * n));
+  }
+  const double e_final = energy(field.gather());
+  std::printf("energy ratio final/initial: %.4f (< 1)\n\n", e_final / e0);
+
+  std::printf("Now the exascale question: the same solver at paper scale\n");
+  std::printf("----------------------------------------------------------\n");
+  for (const auto& [name, machine, grid, nodes] :
+       {std::tuple<const char*, arch::Machine, std::size_t, int>{
+            "Summit, N=16384 (2019 INCITE-class)", arch::machines::summit(),
+            16384, 2730},
+        std::tuple<const char*, arch::Machine, std::size_t, int>{
+            "Frontier, N=32768 (CAAR target)", arch::machines::frontier(),
+            32768, 4096}}) {
+    apps::gests::PsdnsConfig cfg;
+    cfg.n = grid;
+    cfg.decomp = Decomposition::kSlabs;
+    const auto t = apps::gests::step_time(machine, nodes, cfg);
+    std::printf("  %-38s t/step = %8s   FOM = %s grid-points/s\n", name,
+                support::format_time(t.total(), 2).c_str(),
+                support::format_si(t.fom, 3).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "apps/e3sm/crm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace exa::apps::e3sm {
+
+std::vector<sim::KernelProfile> physics_pipeline(std::size_t columns) {
+  EXA_REQUIRE(columns >= 1);
+  const double c = static_cast<double>(columns);
+  std::vector<sim::KernelProfile> p;
+
+  auto add = [&](const char* name, double flops_per_col, double bytes_per_col,
+                 int regs) {
+    sim::KernelProfile k;
+    k.name = name;
+    k.add_flops(arch::DType::kF64, flops_per_col * c);
+    k.bytes_read = bytes_per_col * c * 0.7;
+    k.bytes_written = bytes_per_col * c * 0.3;
+    k.registers_per_thread = regs;
+    k.compute_efficiency = 0.5;
+    k.memory_efficiency = 0.75;
+    p.push_back(k);
+  };
+
+  // Two big dynamics kernels (WENO-flavored: high arithmetic intensity,
+  // heavy registers — the fission candidates).
+  add("crm_dycore_x", 9.0e4, 800.0, 320);
+  add("crm_dycore_z", 9.0e4, 800.0, 320);
+  // A dozen small physics fixups (the fusion candidates).
+  add("sgs_diffuse", 1.5e3, 160.0, 48);
+  add("micro_autoconv", 1.2e3, 120.0, 56);
+  add("micro_accrete", 1.0e3, 120.0, 52);
+  add("micro_evap", 9.0e2, 110.0, 44);
+  add("sat_adjust", 8.0e2, 96.0, 40);
+  add("rad_flux_up", 1.4e3, 140.0, 60);
+  add("rad_flux_dn", 1.4e3, 140.0, 60);
+  add("sfc_fluxes", 6.0e2, 80.0, 36);
+  add("apply_tend_t", 3.0e2, 64.0, 24);
+  add("apply_tend_q", 3.0e2, 64.0, 24);
+  add("clip_negative", 2.0e2, 48.0, 20);
+  add("diagnostics", 5.0e2, 96.0, 32);
+  return p;
+}
+
+std::vector<sim::LaunchConfig> pipeline_launches(std::size_t columns) {
+  // Work items are (column, level) pairs: the CRM's vertical dimension is
+  // parallel too, so even strong-scaled column counts launch wide grids.
+  constexpr std::size_t kLevels = 64;
+  const std::size_t n = physics_pipeline(columns).size();
+  sim::LaunchConfig cfg;
+  cfg.block_threads = 128;
+  cfg.blocks = std::max<std::uint64_t>(1, columns * kLevels / 128);
+  return std::vector<sim::LaunchConfig>(n, cfg);
+}
+
+sim::KernelProfile fuse(std::span<const sim::KernelProfile> kernels) {
+  EXA_REQUIRE(!kernels.empty());
+  sim::KernelProfile out = kernels.front();
+  out.name = "fused";
+  int max_regs = 0;
+  int sum_regs = 0;
+  out.work.clear();
+  out.bytes_read = 0.0;
+  out.bytes_written = 0.0;
+  out.lds_per_block_bytes = 0;
+  for (const auto& k : kernels) {
+    for (const auto& w : k.work) out.work.push_back(w);
+    out.bytes_read += k.bytes_read;
+    out.bytes_written += k.bytes_written;
+    out.lds_per_block_bytes += k.lds_per_block_bytes;
+    max_regs = std::max(max_regs, k.registers_per_thread);
+    sum_regs += k.registers_per_thread;
+    out.name += "+" + k.name;
+  }
+  // Live ranges of the fused stages partially overlap: the hottest stage
+  // dominates, the rest contribute a fraction of their pressure.
+  out.registers_per_thread =
+      max_regs + static_cast<int>(0.25 * (sum_regs - max_regs));
+  // Fusion also removes intermediate global-memory round-trips between
+  // stages: values stay in registers.
+  out.bytes_read *= 0.7;
+  out.bytes_written *= 0.7;
+  return out;
+}
+
+std::vector<sim::KernelProfile> fission(const sim::KernelProfile& kernel,
+                                        int parts) {
+  EXA_REQUIRE(parts >= 1);
+  std::vector<sim::KernelProfile> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  for (int i = 0; i < parts; ++i) {
+    sim::KernelProfile piece = kernel;
+    piece.name = kernel.name + "_part" + std::to_string(i);
+    for (auto& w : piece.work) w.flops /= parts;
+    piece.bytes_read /= parts;
+    piece.bytes_written /= parts;
+    // Shorter live ranges need fewer registers, but stage boundaries must
+    // re-load state, so pressure does not divide linearly.
+    piece.registers_per_thread = std::max(
+        48, static_cast<int>(kernel.registers_per_thread / std::sqrt(2.0 * parts) +
+                             16));
+    // The split stages spill intermediates to global memory.
+    piece.bytes_read *= 1.15;
+    piece.bytes_written *= 1.15;
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::vector<sim::KernelProfile> optimize_pipeline(
+    const arch::GpuArch& gpu, std::vector<sim::KernelProfile> pipeline) {
+  std::vector<sim::KernelProfile> out;
+  std::vector<sim::KernelProfile> run;
+
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    if (run.size() == 1) out.push_back(run.front());
+    else out.push_back(fuse(run));
+    run.clear();
+  };
+
+  for (auto& k : pipeline) {
+    // Spilling kernel: fission until it fits.
+    if (k.registers_per_thread > gpu.max_registers_per_thread) {
+      flush_run();
+      int parts = 2;
+      std::vector<sim::KernelProfile> pieces = fission(k, parts);
+      while (pieces.front().registers_per_thread >
+                 gpu.max_registers_per_thread &&
+             parts < 16) {
+        parts *= 2;
+        pieces = fission(k, parts);
+      }
+      for (auto& piece : pieces) out.push_back(std::move(piece));
+      continue;
+    }
+    // Small kernel: try appending to the current fusion run.
+    std::vector<sim::KernelProfile> candidate = run;
+    candidate.push_back(k);
+    const int fused_regs =
+        candidate.size() == 1 ? k.registers_per_thread
+                              : fuse(candidate).registers_per_thread;
+    if (fused_regs <= gpu.max_registers_per_thread) {
+      run.push_back(k);
+    } else {
+      flush_run();
+      run.push_back(k);
+    }
+  }
+  flush_run();
+  return out;
+}
+
+double run_pipeline(const arch::GpuArch& gpu,
+                    std::span<const sim::KernelProfile> kernels,
+                    std::span<const sim::LaunchConfig> launches,
+                    LaunchMode mode, sim::AllocMode alloc_mode,
+                    int temp_allocs_per_step) {
+  EXA_REQUIRE(!kernels.empty());
+  sim::DeviceSim dev(gpu);
+  if (alloc_mode == sim::AllocMode::kPooled) {
+    dev.set_alloc_mode(sim::AllocMode::kPooled, 1ull << 30);
+  }
+  const double t0 = dev.host_now();
+
+  // Per-step temporaries (the pool-allocator story).
+  std::vector<void*> temps;
+  temps.reserve(static_cast<std::size_t>(temp_allocs_per_step));
+  for (int i = 0; i < temp_allocs_per_step; ++i) {
+    temps.push_back(dev.malloc_device(1 << 20));
+  }
+
+  const sim::LaunchConfig fallback =
+      launches.empty() ? sim::LaunchConfig{} : launches.front();
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const sim::LaunchConfig cfg = i < launches.size() ? launches[i] : fallback;
+    dev.launch(0, kernels[i], cfg);
+    if (mode == LaunchMode::kSyncEachKernel) dev.synchronize(0);
+  }
+  dev.synchronize_all();
+
+  for (void* t : temps) dev.free_device(t);
+  return dev.host_now() - t0;
+}
+
+double saturation_vapor(double temperature_k) {
+  // Tetens-style saturation mixing ratio (arbitrary pressure scaling,
+  // monotone in T — all the tests need).
+  const double t_c = temperature_k - 273.15;
+  return 0.622 * 0.611 * std::exp(17.27 * t_c / (t_c + 237.3)) / 100.0;
+}
+
+void saturation_adjust(ColumnState& state, double latent_factor) {
+  const std::size_t n = state.temperature.size();
+  EXA_REQUIRE(state.vapor.size() == n && state.cloud.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double qsat = saturation_vapor(state.temperature[i]);
+    if (state.vapor[i] > qsat) {
+      const double condensed = state.vapor[i] - qsat;
+      state.vapor[i] = qsat;
+      state.cloud[i] += condensed;
+      state.temperature[i] += latent_factor * condensed * 100.0;
+    }
+  }
+}
+
+}  // namespace exa::apps::e3sm

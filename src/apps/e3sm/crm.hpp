@@ -1,0 +1,80 @@
+#pragma once
+/// \file crm.hpp
+/// E3SM-MMF (§3.5): the cloud-resolving-model latency playbook.
+///
+/// The MMF's strong-scaled physics pipeline launches many tiny kernels, so
+/// it is "highly sensitive to latency, and particularly allocations,
+/// deallocations, and kernel launches". This module implements the three
+/// optimization strategies as explicit transforms over kernel profiles:
+///  * **fusion** of small kernels (fewer launch overheads, summed register
+///    pressure),
+///  * **fission** of register-heavy kernels until spills disappear (more
+///    launches, cheaper kernels),
+///  * **asynchronous same-stream launching** so kernel execution overlaps
+///    later launch overheads,
+/// plus the YAKL-style pool allocator comparison for per-step temporaries.
+/// A small real column-physics kernel (saturation adjustment) keeps the
+/// pipeline functionally testable.
+
+#include <span>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/device_sim.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::apps::e3sm {
+
+/// The MMF physics pipeline: a sequence of kernels with realistic
+/// heterogeneity (a few big dynamics kernels, many small fixups).
+/// `columns` scales the launch widths (strong scaling shrinks it).
+[[nodiscard]] std::vector<sim::KernelProfile> physics_pipeline(
+    std::size_t columns);
+[[nodiscard]] std::vector<sim::LaunchConfig> pipeline_launches(
+    std::size_t columns);
+
+/// Fuses a run of kernels into one: flops/bytes add, register pressure is
+/// the maximum plus a live-range overlap tax, LDS adds, launch count drops
+/// to one. Fusing past the register file provokes spills — the tension
+/// §3.5 describes.
+[[nodiscard]] sim::KernelProfile fuse(
+    std::span<const sim::KernelProfile> kernels);
+
+/// Splits a kernel into `parts` pieces: work divides, register pressure
+/// falls (shorter live ranges) but never below a floor, launches multiply.
+[[nodiscard]] std::vector<sim::KernelProfile> fission(
+    const sim::KernelProfile& kernel, int parts);
+
+/// Greedy fusion plan: fuse adjacent kernels while the fused register
+/// count stays spill-free on `gpu`; fission any kernel that spills.
+[[nodiscard]] std::vector<sim::KernelProfile> optimize_pipeline(
+    const arch::GpuArch& gpu, std::vector<sim::KernelProfile> pipeline);
+
+/// How the host drives the pipeline.
+enum class LaunchMode {
+  kSyncEachKernel,  ///< hipDeviceSynchronize after every launch
+  kAsyncSameStream, ///< queue everything, synchronize once (§3.5)
+};
+
+/// Executes the pipeline on a fresh DeviceSim and returns the virtual
+/// elapsed time, including `temp_allocs` per-step temporary allocations
+/// under the selected allocation mode.
+[[nodiscard]] double run_pipeline(const arch::GpuArch& gpu,
+                                  std::span<const sim::KernelProfile> kernels,
+                                  std::span<const sim::LaunchConfig> launches,
+                                  LaunchMode mode, sim::AllocMode alloc_mode,
+                                  int temp_allocs_per_step = 0);
+
+/// Real column physics for tests: saturation adjustment — condense vapor
+/// above saturation into cloud water, conserving total water and warming
+/// by the latent heat. Arrays are per-column.
+struct ColumnState {
+  std::vector<double> temperature;  ///< K
+  std::vector<double> vapor;        ///< kg/kg
+  std::vector<double> cloud;        ///< kg/kg
+};
+void saturation_adjust(ColumnState& state, double latent_factor = 2.5);
+/// Saturation mixing ratio used by saturation_adjust (Tetens-flavored).
+[[nodiscard]] double saturation_vapor(double temperature_k);
+
+}  // namespace exa::apps::e3sm

@@ -1,0 +1,364 @@
+#include "apps/exasky/hacc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathlib/device_blas.hpp"
+#include "mathlib/fft.hpp"
+#include "net/comm_model.hpp"
+#include "sim/exec_model.hpp"
+#include "support/assert.hpp"
+
+namespace exa::apps::exasky {
+
+namespace {
+
+constexpr double kSoftening = 1e-3;
+
+/// Minimum-image displacement in the periodic unit box.
+double min_image(double d) {
+  if (d > 0.5) return d - 1.0;
+  if (d < -0.5) return d + 1.0;
+  return d;
+}
+
+void accumulate_pair(const Particle& a, const Particle& b, double cutoff,
+                     std::array<double, 3>& fa, std::array<double, 3>& fb) {
+  const double dx = min_image(a.x - b.x);
+  const double dy = min_image(a.y - b.y);
+  const double dz = min_image(a.z - b.z);
+  const double r2 = dx * dx + dy * dy + dz * dz;
+  if (r2 >= cutoff * cutoff || r2 == 0.0) return;
+  const double inv =
+      a.mass * b.mass / std::pow(r2 + kSoftening * kSoftening, 1.5);
+  // Attractive gravity: force on a points toward b.
+  fa[0] -= inv * dx;
+  fa[1] -= inv * dy;
+  fa[2] -= inv * dz;
+  fb[0] += inv * dx;
+  fb[1] += inv * dy;
+  fb[2] += inv * dz;
+}
+
+}  // namespace
+
+std::vector<Particle> make_uniform_box(std::size_t count, support::Rng& rng) {
+  std::vector<Particle> parts(count);
+  for (Particle& p : parts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+    p.z = rng.uniform();
+    p.mass = 1.0;
+  }
+  return parts;
+}
+
+void short_range_direct(const std::vector<Particle>& parts, double cutoff,
+                        std::vector<std::array<double, 3>>& force) {
+  force.assign(parts.size(), {0.0, 0.0, 0.0});
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      accumulate_pair(parts[i], parts[j], cutoff, force[i], force[j]);
+    }
+  }
+}
+
+void short_range_cells(const std::vector<Particle>& parts, double cutoff,
+                       std::vector<std::array<double, 3>>& force) {
+  EXA_REQUIRE(cutoff > 0.0 && cutoff < 0.34);
+  force.assign(parts.size(), {0.0, 0.0, 0.0});
+  const int nc = std::max(3, static_cast<int>(1.0 / cutoff));
+  auto cell_of = [&](double v) {
+    int c = static_cast<int>(v * nc);
+    return std::clamp(c, 0, nc - 1);
+  };
+  std::vector<std::vector<std::size_t>> cells(
+      static_cast<std::size_t>(nc) * nc * nc);
+  auto idx = [&](int x, int y, int z) {
+    auto wrap = [&](int v) { return ((v % nc) + nc) % nc; };
+    return (static_cast<std::size_t>(wrap(x)) * nc + wrap(y)) * nc + wrap(z);
+  };
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    cells[idx(cell_of(parts[i].x), cell_of(parts[i].y), cell_of(parts[i].z))]
+        .push_back(i);
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const int cx = cell_of(parts[i].x);
+    const int cy = cell_of(parts[i].y);
+    const int cz = cell_of(parts[i].z);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (const std::size_t j : cells[idx(cx + dx, cy + dy, cz + dz)]) {
+            if (j <= i) continue;
+            accumulate_pair(parts[i], parts[j], cutoff, force[i], force[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Position advance with periodic wrap.
+void drift(std::vector<Particle>& parts, double dt) {
+  for (Particle& p : parts) {
+    auto wrap = [](double v) {
+      v -= std::floor(v);
+      return v;
+    };
+    p.x = wrap(p.x + dt * p.vx);
+    p.y = wrap(p.y + dt * p.vy);
+    p.z = wrap(p.z + dt * p.vz);
+  }
+}
+
+void kick(std::vector<Particle>& parts,
+          const std::vector<std::array<double, 3>>& force, double dt) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].vx += dt * force[i][0] / parts[i].mass;
+    parts[i].vy += dt * force[i][1] / parts[i].mass;
+    parts[i].vz += dt * force[i][2] / parts[i].mass;
+  }
+}
+
+}  // namespace
+
+void leapfrog_step(std::vector<Particle>& parts, double cutoff, double dt) {
+  std::vector<std::array<double, 3>> force;
+  short_range_cells(parts, cutoff, force);
+  kick(parts, force, 0.5 * dt);
+  drift(parts, dt);
+  short_range_cells(parts, cutoff, force);
+  kick(parts, force, 0.5 * dt);
+}
+
+double total_energy(const std::vector<Particle>& parts, double cutoff) {
+  double kinetic = 0.0;
+  for (const Particle& p : parts) {
+    kinetic += 0.5 * p.mass * (p.vx * p.vx + p.vy * p.vy + p.vz * p.vz);
+  }
+  double potential = 0.0;
+  const double rc2 = cutoff * cutoff;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      const double dx = min_image(parts[i].x - parts[j].x);
+      const double dy = min_image(parts[i].y - parts[j].y);
+      const double dz = min_image(parts[i].z - parts[j].z);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      potential -= parts[i].mass * parts[j].mass /
+                   std::sqrt(r2 + kSoftening * kSoftening);
+    }
+  }
+  return kinetic + potential;
+}
+
+std::vector<double> cic_deposit(const std::vector<Particle>& parts,
+                                std::size_t grid_n) {
+  EXA_REQUIRE(grid_n >= 2);
+  std::vector<double> rho(grid_n * grid_n * grid_n, 0.0);
+  const double g = static_cast<double>(grid_n);
+  auto at = [&](std::size_t x, std::size_t y, std::size_t z) -> double& {
+    return rho[(x % grid_n * grid_n + y % grid_n) * grid_n + z % grid_n];
+  };
+  for (const Particle& p : parts) {
+    const double gx = p.x * g;
+    const double gy = p.y * g;
+    const double gz = p.z * g;
+    const auto x0 = static_cast<std::size_t>(gx) % grid_n;
+    const auto y0 = static_cast<std::size_t>(gy) % grid_n;
+    const auto z0 = static_cast<std::size_t>(gz) % grid_n;
+    const double fx = gx - std::floor(gx);
+    const double fy = gy - std::floor(gy);
+    const double fz = gz - std::floor(gz);
+    for (int ix = 0; ix <= 1; ++ix) {
+      for (int iy = 0; iy <= 1; ++iy) {
+        for (int iz = 0; iz <= 1; ++iz) {
+          const double w = (ix ? fx : 1.0 - fx) * (iy ? fy : 1.0 - fy) *
+                           (iz ? fz : 1.0 - fz);
+          at(x0 + static_cast<std::size_t>(ix), y0 + static_cast<std::size_t>(iy),
+             z0 + static_cast<std::size_t>(iz)) += w * p.mass;
+        }
+      }
+    }
+  }
+  return rho;
+}
+
+void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
+                   std::vector<std::array<double, 3>>& force) {
+  EXA_REQUIRE(ml::is_pow2(grid_n));
+  const std::size_t N = grid_n;
+  const std::vector<double> rho = cic_deposit(parts, N);
+
+  // Poisson solve in k-space: phi_k = -rho_k / k^2 (G = 1 units).
+  std::vector<ml::zcomplex> field(N * N * N);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = ml::zcomplex{rho[i], 0.0};
+  }
+  ml::fft3d(field, N, N, N, false);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  auto kof = [&](std::size_t i) {
+    const auto half = static_cast<long>(N / 2);
+    long k = static_cast<long>(i);
+    if (k >= half) k -= static_cast<long>(N);
+    return two_pi * static_cast<double>(k);
+  };
+  for (std::size_t x = 0; x < N; ++x) {
+    for (std::size_t y = 0; y < N; ++y) {
+      for (std::size_t z = 0; z < N; ++z) {
+        const double k2 = kof(x) * kof(x) + kof(y) * kof(y) + kof(z) * kof(z);
+        auto& v = field[(x * N + y) * N + z];
+        v = k2 > 0.0 ? v * (-1.0 / k2) : ml::zcomplex{};
+      }
+    }
+  }
+  ml::fft3d(field, N, N, N, true);
+
+  // Central-difference gradient of phi -> acceleration grid.
+  std::vector<std::array<double, 3>> grad(N * N * N);
+  const double h = 1.0 / static_cast<double>(N);
+  auto phi = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return field[((x % N) * N + (y % N)) * N + (z % N)].real();
+  };
+  for (std::size_t x = 0; x < N; ++x) {
+    for (std::size_t y = 0; y < N; ++y) {
+      for (std::size_t z = 0; z < N; ++z) {
+        grad[(x * N + y) * N + z] = {
+            -(phi(x + 1, y, z) - phi(x + N - 1, y, z)) / (2.0 * h),
+            -(phi(x, y + 1, z) - phi(x, y + N - 1, z)) / (2.0 * h),
+            -(phi(x, y, z + 1) - phi(x, y, z + N - 1)) / (2.0 * h)};
+      }
+    }
+  }
+
+  // CIC interpolation back to the particles (same kernel as deposit, so
+  // the self-force cancels and momentum is conserved).
+  force.assign(parts.size(), {0.0, 0.0, 0.0});
+  const double g = static_cast<double>(N);
+  for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+    const Particle& p = parts[pi];
+    const double gx = p.x * g;
+    const double gy = p.y * g;
+    const double gz = p.z * g;
+    const auto x0 = static_cast<std::size_t>(gx) % N;
+    const auto y0 = static_cast<std::size_t>(gy) % N;
+    const auto z0 = static_cast<std::size_t>(gz) % N;
+    const double fx = gx - std::floor(gx);
+    const double fy = gy - std::floor(gy);
+    const double fz = gz - std::floor(gz);
+    for (int ix = 0; ix <= 1; ++ix) {
+      for (int iy = 0; iy <= 1; ++iy) {
+        for (int iz = 0; iz <= 1; ++iz) {
+          const double w = (ix ? fx : 1.0 - fx) * (iy ? fy : 1.0 - fy) *
+                           (iz ? fz : 1.0 - fz);
+          const auto& a = grad[(((x0 + ix) % N) * N + ((y0 + iy) % N)) * N +
+                               ((z0 + iz) % N)];
+          force[pi][0] += w * p.mass * a[0];
+          force[pi][1] += w * p.mass * a[1];
+          force[pi][2] += w * p.mass * a[2];
+        }
+      }
+    }
+  }
+}
+
+// --- performance model ------------------------------------------------------
+
+namespace {
+
+struct KernelSpec {
+  const char* name;
+  double flops_per_particle;
+  double bytes_per_particle;
+  double run_length;  ///< 0 = convergent; 32 = warp-chunked tree walk
+  int registers;
+};
+
+const KernelSpec kGravityKernels[6] = {
+    // The chunked short-range tree-walk kernel: interaction lists padded
+    // to 32-lane chunks — the wavefront-64 sensitivity of §3.4.
+    {"short_range_chunked", 4200.0, 96.0, 32.0, 128},
+    {"short_range_p2p", 2600.0, 64.0, 0.0, 96},
+    {"pm_deposit", 220.0, 120.0, 0.0, 48},
+    {"pm_fft", 350.0, 96.0, 0.0, 64},
+    {"pm_gradient", 90.0, 72.0, 0.0, 40},
+    {"pm_interpolate", 180.0, 120.0, 0.0, 48},
+};
+
+double kernel_seconds(const arch::GpuArch& gpu, const KernelSpec& spec,
+                      double particles) {
+  sim::KernelProfile p;
+  p.name = spec.name;
+  p.add_flops(arch::DType::kF32, spec.flops_per_particle * particles);
+  p.bytes_read = spec.bytes_per_particle * particles * 0.75;
+  p.bytes_written = spec.bytes_per_particle * particles * 0.25;
+  p.registers_per_thread = spec.registers;
+  p.coherent_run_length = spec.run_length;
+  p.compute_efficiency = 0.55;
+  p.memory_efficiency = 0.7;
+  sim::LaunchConfig launch;
+  launch.block_threads = 256;
+  launch.blocks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(particles / 256.0));
+  return sim::kernel_timing(gpu, p, launch).total_s;
+}
+
+}  // namespace
+
+namespace {
+
+const KernelSpec kHydroKernels[3] = {
+    {"sph_density", 1800.0, 128.0, 0.0, 96},
+    {"sph_force", 2600.0, 144.0, 0.0, 120},
+    {"eos_update", 160.0, 64.0, 0.0, 40},
+};
+
+}  // namespace
+
+StepModel step_model(const arch::Machine& machine, int nodes,
+                     double particles_per_rank, SimKind kind) {
+  EXA_REQUIRE(machine.node.has_gpu());
+  EXA_REQUIRE(nodes >= 1 && nodes <= machine.node_count);
+  const arch::GpuArch& gpu = *machine.node.gpu;
+  StepModel m;
+  for (const KernelSpec& spec : kGravityKernels) {
+    m.kernels.push_back(
+        {spec.name, kernel_seconds(gpu, spec, particles_per_rank)});
+    m.total_s += m.kernels.back().seconds;
+  }
+  if (kind == SimKind::kHydro) {
+    for (const KernelSpec& spec : kHydroKernels) {
+      m.kernels.push_back(
+          {spec.name, kernel_seconds(gpu, spec, particles_per_rank)});
+      m.total_s += m.kernels.back().seconds;
+    }
+  }
+  // Communication: the PM FFT transpose plus particle overload exchange.
+  const int ranks = nodes * machine.node.gpus_per_node;
+  net::CommModel comm(machine, machine.node.gpus_per_node);
+  const double grid_bytes = particles_per_rank * 16.0;  // ~1 cell/particle
+  m.comm_s = comm.alltoall(grid_bytes / std::max(1, ranks),
+                           std::min(ranks, 1024)) +
+             comm.halo_exchange(particles_per_rank * 0.05 * 48.0, 6);
+  m.total_s += m.comm_s;
+  m.fom = particles_per_rank * static_cast<double>(ranks) / m.total_s;
+  return m;
+}
+
+std::vector<std::pair<std::string, double>> per_kernel_speedups() {
+  const arch::GpuArch v100 = arch::v100();
+  const arch::GpuArch mi250x = arch::mi250x_gcd();
+  constexpr double kParticles = 1.0e7;
+  std::vector<std::pair<std::string, double>> out;
+  for (const KernelSpec& spec : kGravityKernels) {
+    const double tv = kernel_seconds(v100, spec, kParticles);
+    const double tm = kernel_seconds(mi250x, spec, kParticles);
+    out.emplace_back(spec.name, tv / tm);
+  }
+  return out;
+}
+
+}  // namespace exa::apps::exasky

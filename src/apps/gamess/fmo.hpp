@@ -1,0 +1,53 @@
+#pragma once
+/// \file fmo.hpp
+/// Fragment Molecular Orbital driver (§3.1): the many-body expansion that
+/// makes GAMESS linear scaling — monomer energies plus dimer corrections
+/// for fragment pairs within a distance cutoff. Fragments are independent
+/// work units, which is what gives the "nearly ideal linear scaling up to
+/// 2K nodes".
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "support/rng.hpp"
+
+namespace exa::apps::gamess {
+
+/// One fragment's centroid (e.g. a water molecule in the 935-molecule
+/// cluster benchmark).
+struct FragmentSite {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// Random close-packed cluster of `count` fragment centroids.
+[[nodiscard]] std::vector<FragmentSite> make_cluster(std::size_t count,
+                                                     support::Rng& rng);
+
+/// Dimer list: fragment pairs within `cutoff` of each other.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> dimer_list(
+    const std::vector<FragmentSite>& sites, double cutoff);
+
+/// The many-body-expansion workload: monomers + dimers within cutoff.
+struct FmoWorkload {
+  std::size_t monomers = 0;
+  std::size_t dimers = 0;
+  /// Work units per fragment calculation, normalized to the monomer cost.
+  [[nodiscard]] double total_units(double dimer_cost_ratio = 2.5) const {
+    return static_cast<double>(monomers) +
+           dimer_cost_ratio * static_cast<double>(dimers);
+  }
+};
+
+[[nodiscard]] FmoWorkload make_workload(const std::vector<FragmentSite>& sites,
+                                        double cutoff);
+
+/// Strong-scaling model of an FMO run: independent fragment tasks,
+/// dynamically load balanced (GDDI), with a small per-batch coordination
+/// cost. Returns seconds per SCF iteration on `nodes` nodes.
+[[nodiscard]] double fmo_iteration_time(const arch::Machine& machine,
+                                        int nodes, const FmoWorkload& work,
+                                        double fragment_seconds);
+
+}  // namespace exa::apps::gamess

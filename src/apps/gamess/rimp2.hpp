@@ -1,0 +1,56 @@
+#pragma once
+/// \file rimp2.hpp
+/// GAMESS (§3.1): RI-MP2 correlation energy over molecular fragments.
+///
+/// The resolution-of-identity MP2 energy is computed two ways:
+///  * the production path — per occupied pair (i, j), one DGEMM
+///    V_ij = B_i B_j^T over the auxiliary index (the LibCChem/EXESS
+///    kernel that hit near-peak device performance);
+///  * a direct 4-index reference with identical math.
+/// Both must agree to machine precision; MP2 energies are negative.
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "support/rng.hpp"
+
+namespace exa::apps::gamess {
+
+/// RI 3-index intermediates B[(i a) x P] plus orbital energies for one
+/// fragment.
+struct Fragment {
+  std::size_t nocc = 0;
+  std::size_t nvirt = 0;
+  std::size_t naux = 0;
+  std::vector<double> b;         ///< (nocc*nvirt) x naux, row-major
+  std::vector<double> eps_occ;   ///< ascending, negative
+  std::vector<double> eps_virt;  ///< ascending, positive
+
+  [[nodiscard]] const double* b_row(std::size_t i, std::size_t a) const {
+    return &b[(i * nvirt + a) * naux];
+  }
+};
+
+/// Synthesizes a well-conditioned fragment (HOMO-LUMO gap bounded away
+/// from zero so denominators are safe).
+[[nodiscard]] Fragment make_fragment(std::size_t nocc, std::size_t nvirt,
+                                     std::size_t naux, support::Rng& rng);
+
+/// RI-MP2 energy via per-pair GEMMs (production algorithm).
+[[nodiscard]] double rimp2_energy(const Fragment& f);
+
+/// Direct 4-index reference (O(nocc^2 nvirt^2 naux), small sizes only).
+[[nodiscard]] double mp2_energy_direct(const Fragment& f);
+
+/// Simulated device time of one fragment RI-MP2 on `gpu`: nocc^2 pair
+/// GEMMs of (nvirt x naux) x (naux x nvirt) plus the energy reduction.
+/// Registers the GEMM shape with the vendor TuningRegistry when
+/// `tuned_library` (the §4 early-problem-size collaboration).
+[[nodiscard]] double simulate_fragment_time(const arch::GpuArch& gpu,
+                                            std::size_t nocc,
+                                            std::size_t nvirt,
+                                            std::size_t naux,
+                                            bool tuned_library);
+
+}  // namespace exa::apps::gamess

@@ -1,0 +1,351 @@
+#include "apps/lammps/reaxff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace exa::apps::lammps {
+
+namespace {
+
+bool within(const System& sys, std::size_t a, std::size_t b, double cutoff) {
+  return (sys.pos[a] - sys.pos[b]).norm2() < cutoff * cutoff;
+}
+
+}  // namespace
+
+double torsion_term(const Vec3& r1, const Vec3& r2, const Vec3& r3,
+                    const Vec3& r4, double k, Vec3& f1, Vec3& f2, Vec3& f3,
+                    Vec3& f4) {
+  const Vec3 b1 = r2 - r1;
+  const Vec3 b2 = r3 - r2;
+  const Vec3 b3 = r4 - r3;
+  const Vec3 n1 = b1.cross(b2);
+  const Vec3 n2 = b2.cross(b3);
+  const double n1sq = n1.norm2();
+  const double n2sq = n2.norm2();
+  const double b2len = b2.norm();
+  if (n1sq < 1e-12 || n2sq < 1e-12 || b2len < 1e-12) {
+    f1 = f2 = f3 = f4 = Vec3{};
+    return 0.0;
+  }
+  const double cosphi =
+      std::clamp(n1.dot(n2) / std::sqrt(n1sq * n2sq), -1.0, 1.0);
+  const double sinphi = n1.cross(n2).dot(b2) / (b2len * std::sqrt(n1sq * n2sq));
+  const double phi = std::atan2(sinphi, cosphi);
+
+  const double energy = k * (1.0 + std::cos(phi));
+  const double dEdphi = -k * std::sin(phi);
+
+  // Standard analytic dihedral gradient (Blondel & Karplus form):
+  // dphi/dr1 = -|b2|/|n1|^2 n1, dphi/dr4 = |b2|/|n2|^2 n2; F = -dE/dphi
+  // times those.
+  f1 = n1 * (dEdphi * b2len / n1sq);
+  f4 = n2 * (-dEdphi * b2len / n2sq);
+  const double tq1 = b1.dot(b2) / (b2len * b2len);
+  const double tq2 = b3.dot(b2) / (b2len * b2len);
+  f2 = (f1 * -1.0) + (f1 * tq1) - (f4 * tq2);
+  f3 = (f4 * -1.0) - (f1 * tq1) + (f4 * tq2);
+  return energy;
+}
+
+ForceResult torsion_divergent(const System& sys, const NeighborList& neigh,
+                              const BondList& bonds,
+                              const TorsionParams& params) {
+  ForceResult r;
+  r.force.assign(sys.size(), Vec3{});
+  // The Algorithm-1 pattern: i marches across atoms; j from the distance
+  // neighbor list of i; k from the bond list of j; l from the bond list of
+  // k; cutoff checks prune at every level.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t pj = neigh.offsets[i]; pj < neigh.offsets[i + 1]; ++pj) {
+      const std::size_t j = neigh.partners[pj];
+      ++r.tuples_considered;
+      if (!within(sys, i, j, params.pair_cutoff)) continue;
+      for (std::size_t pk = bonds.offsets[j]; pk < bonds.offsets[j + 1]; ++pk) {
+        const std::size_t k = bonds.partners[pk];
+        ++r.tuples_considered;
+        if (k == i) continue;
+        if (!within(sys, j, k, params.pair_cutoff)) continue;
+        for (std::size_t pl = bonds.offsets[k]; pl < bonds.offsets[k + 1];
+             ++pl) {
+          const std::size_t l = bonds.partners[pl];
+          ++r.tuples_considered;
+          if (l == j || l == i) continue;
+          if (!within(sys, k, l, params.pair_cutoff)) continue;
+          Vec3 f1, f2, f3, f4;
+          r.energy += torsion_term(sys.pos[i], sys.pos[j], sys.pos[k],
+                                   sys.pos[l], params.k, f1, f2, f3, f4);
+          r.force[i] += f1;
+          r.force[j] += f2;
+          r.force[k] += f3;
+          r.force[l] += f4;
+          ++r.tuples_evaluated;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<TorsionTuple> torsion_preprocess(const System& sys,
+                                             const NeighborList& neigh,
+                                             const BondList& bonds,
+                                             const TorsionParams& params) {
+  std::vector<TorsionTuple> tuples;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t pj = neigh.offsets[i]; pj < neigh.offsets[i + 1]; ++pj) {
+      const std::size_t j = neigh.partners[pj];
+      if (!within(sys, i, j, params.pair_cutoff)) continue;
+      for (std::size_t pk = bonds.offsets[j]; pk < bonds.offsets[j + 1]; ++pk) {
+        const std::size_t k = bonds.partners[pk];
+        if (k == i || !within(sys, j, k, params.pair_cutoff)) continue;
+        for (std::size_t pl = bonds.offsets[k]; pl < bonds.offsets[k + 1];
+             ++pl) {
+          const std::size_t l = bonds.partners[pl];
+          if (l == j || l == i || !within(sys, k, l, params.pair_cutoff)) {
+            continue;
+          }
+          tuples.push_back(TorsionTuple{
+              static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+              static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(l)});
+        }
+      }
+    }
+  }
+  return tuples;
+}
+
+ForceResult torsion_dense(const System& sys,
+                          const std::vector<TorsionTuple>& tuples,
+                          const TorsionParams& params) {
+  ForceResult r;
+  r.force.assign(sys.size(), Vec3{});
+  r.tuples_considered = tuples.size();
+  for (const TorsionTuple& t : tuples) {
+    Vec3 f1, f2, f3, f4;
+    r.energy += torsion_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k],
+                             sys.pos[t.l], params.k, f1, f2, f3, f4);
+    r.force[t.i] += f1;
+    r.force[t.j] += f2;
+    r.force[t.k] += f3;
+    r.force[t.l] += f4;
+    ++r.tuples_evaluated;
+  }
+  return r;
+}
+
+double angle_term(const Vec3& ri, const Vec3& rj, const Vec3& rk, double k,
+                  double cos_theta0, Vec3& fi, Vec3& fj, Vec3& fk) {
+  const Vec3 rij = ri - rj;
+  const Vec3 rkj = rk - rj;
+  const double lij = rij.norm();
+  const double lkj = rkj.norm();
+  if (lij < 1e-12 || lkj < 1e-12) {
+    fi = fj = fk = Vec3{};
+    return 0.0;
+  }
+  const double c = rij.dot(rkj) / (lij * lkj);
+  const double d = c - cos_theta0;
+  const double energy = k * d * d;
+  const double dEdc = 2.0 * k * d;
+
+  // d cos(theta) / d ri = rkj/(|rij||rkj|) - c * rij/|rij|^2 (and i<->k).
+  const Vec3 dc_dri = rkj * (1.0 / (lij * lkj)) - rij * (c / (lij * lij));
+  const Vec3 dc_drk = rij * (1.0 / (lij * lkj)) - rkj * (c / (lkj * lkj));
+  fi = dc_dri * (-dEdc);
+  fk = dc_drk * (-dEdc);
+  fj = (fi + fk) * -1.0;
+  return energy;
+}
+
+ForceResult angle_divergent(const System& sys, const BondList& bonds,
+                            const AngleParams& params) {
+  ForceResult r;
+  r.force.assign(sys.size(), Vec3{});
+  // Central atom j; pairs of its bond partners (i < k to avoid doubles).
+  for (std::size_t j = 0; j < sys.size(); ++j) {
+    for (std::size_t pi = bonds.offsets[j]; pi < bonds.offsets[j + 1]; ++pi) {
+      const std::size_t i = bonds.partners[pi];
+      for (std::size_t pk = pi + 1; pk < bonds.offsets[j + 1]; ++pk) {
+        const std::size_t k = bonds.partners[pk];
+        ++r.tuples_considered;
+        if (!within(sys, i, j, params.pair_cutoff) ||
+            !within(sys, j, k, params.pair_cutoff)) {
+          continue;
+        }
+        Vec3 fi, fj, fk;
+        r.energy += angle_term(sys.pos[i], sys.pos[j], sys.pos[k], params.k,
+                               params.cos_theta0, fi, fj, fk);
+        r.force[i] += fi;
+        r.force[j] += fj;
+        r.force[k] += fk;
+        ++r.tuples_evaluated;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<AngleTuple> angle_preprocess(const System& sys,
+                                         const BondList& bonds,
+                                         const AngleParams& params) {
+  std::vector<AngleTuple> tuples;
+  for (std::size_t j = 0; j < sys.size(); ++j) {
+    for (std::size_t pi = bonds.offsets[j]; pi < bonds.offsets[j + 1]; ++pi) {
+      const std::size_t i = bonds.partners[pi];
+      for (std::size_t pk = pi + 1; pk < bonds.offsets[j + 1]; ++pk) {
+        const std::size_t k = bonds.partners[pk];
+        if (!within(sys, i, j, params.pair_cutoff) ||
+            !within(sys, j, k, params.pair_cutoff)) {
+          continue;
+        }
+        tuples.push_back(AngleTuple{static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j),
+                                    static_cast<std::uint32_t>(k)});
+      }
+    }
+  }
+  return tuples;
+}
+
+ForceResult angle_dense(const System& sys,
+                        const std::vector<AngleTuple>& tuples,
+                        const AngleParams& params) {
+  ForceResult r;
+  r.force.assign(sys.size(), Vec3{});
+  r.tuples_considered = tuples.size();
+  for (const AngleTuple& t : tuples) {
+    Vec3 fi, fj, fk;
+    r.energy += angle_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k], params.k,
+                           params.cos_theta0, fi, fj, fk);
+    r.force[t.i] += fi;
+    r.force[t.j] += fj;
+    r.force[t.k] += fk;
+    ++r.tuples_evaluated;
+  }
+  return r;
+}
+
+TorsionStats measure_stats(const System& sys, const NeighborList& neigh,
+                           const BondList& bonds,
+                           const TorsionParams& params) {
+  TorsionStats s;
+  s.atoms = sys.size();
+  s.avg_neighbors =
+      static_cast<double>(neigh.pairs()) / static_cast<double>(sys.size());
+  s.avg_bonds = static_cast<double>(bonds.offsets.back()) /
+                static_cast<double>(sys.size());
+  s.surviving_tuples = torsion_preprocess(sys, neigh, bonds, params).size();
+  return s;
+}
+
+namespace {
+/// Real flops of one full torsion term (trig + three cross products).
+constexpr double kTorsionFlops = 150.0;
+/// Flops of one cutoff check (distance + compare).
+constexpr double kCutoffFlops = 10.0;
+}  // namespace
+
+sim::KernelProfile divergent_profile(const arch::GpuArch& gpu,
+                                     const TorsionStats& stats) {
+  (void)gpu;
+  const double atoms = static_cast<double>(stats.atoms);
+  const double considered =
+      atoms * stats.avg_neighbors * stats.avg_bonds * stats.avg_bonds;
+  const double survived = static_cast<double>(stats.surviving_tuples);
+
+  sim::KernelProfile p;
+  p.name = "torsion_divergent";
+  p.add_flops(arch::DType::kF64,
+              considered * kCutoffFlops + survived * kTorsionFlops);
+  p.bytes_read = considered * 24.0 + survived * 96.0;  // gathered positions
+  p.bytes_written = survived * 4.0 * 24.0;             // scattered forces
+  // "only a handful of threads in the entire wavefront were active": the
+  // survivors are scattered through the loop nest, so convergent runs are
+  // ~the survival fraction times the wavefront.
+  const double survival = std::max(1e-3, survived / std::max(1.0, considered));
+  p.coherent_run_length = std::max(1.5, survival * 64.0);
+  // The full force expression lives inside the loop nest: the paper's
+  // spilling kernels (register demand beyond even CDNA2's 512-VGPR file).
+  p.registers_per_thread = 540;
+  p.compute_efficiency = 0.6;
+  // Sparse active lanes waste most of every cache line they touch.
+  p.memory_efficiency = 0.3;
+  return p;
+}
+
+sim::KernelProfile preprocess_profile(const arch::GpuArch& gpu,
+                                      const TorsionStats& stats) {
+  (void)gpu;
+  const double atoms = static_cast<double>(stats.atoms);
+  const double considered =
+      atoms * stats.avg_neighbors * stats.avg_bonds * stats.avg_bonds;
+  sim::KernelProfile p;
+  p.name = "torsion_preprocess";
+  p.add_flops(arch::DType::kF64, considered * kCutoffFlops);
+  p.bytes_read = considered * 24.0;
+  p.bytes_written = static_cast<double>(stats.surviving_tuples) * 16.0;
+  // Cutoff checks are short, so divergence hurts far less; and the kernel
+  // is small: no spills.
+  p.coherent_run_length = 16.0;
+  p.registers_per_thread = 40;
+  p.compute_efficiency = 0.7;
+  p.memory_efficiency = 0.6;
+  return p;
+}
+
+sim::KernelProfile dense_profile(const arch::GpuArch& gpu,
+                                 const TorsionStats& stats) {
+  (void)gpu;
+  const double survived = static_cast<double>(stats.surviving_tuples);
+  sim::KernelProfile p;
+  p.name = "torsion_dense";
+  p.add_flops(arch::DType::kF64, survived * kTorsionFlops);
+  p.bytes_read = survived * (16.0 + 96.0);  // tuple + positions
+  p.bytes_written = survived * 4.0 * 24.0;
+  p.coherent_run_length = 0.0;  // every lane computes a real tuple
+  p.registers_per_thread = 540; // same force expression
+  p.compute_efficiency = 0.75;
+  p.memory_efficiency = 0.65;  // dense, mostly coalesced tuple stream
+  return p;
+}
+
+TorsionTimings simulate_torsion(const arch::GpuArch& gpu,
+                                const TorsionStats& stats,
+                                bool compiler_spill_fix) {
+  sim::ExecTuning tuning;
+  // §3.10.3: inefficient spilling of double-precision constants between
+  // scalar and vector registers tripled effective spill traffic until the
+  // compiler fix landed.
+  tuning.spill_traffic_multiplier = compiler_spill_fix ? 1.0 : 3.0;
+
+  const auto launch_for = [](double items) {
+    sim::LaunchConfig cfg;
+    cfg.block_threads = 256;
+    cfg.blocks =
+        static_cast<std::uint64_t>(std::max(1.0, std::ceil(items / 256.0)));
+    return cfg;
+  };
+
+  TorsionTimings t;
+  const double atoms = static_cast<double>(stats.atoms);
+  t.divergent_s =
+      sim::kernel_timing(gpu, divergent_profile(gpu, stats), launch_for(atoms),
+                         tuning)
+          .total_s;
+  const double pre =
+      sim::kernel_timing(gpu, preprocess_profile(gpu, stats),
+                         launch_for(atoms), tuning)
+          .total_s;
+  const double dense =
+      sim::kernel_timing(gpu, dense_profile(gpu, stats),
+                         launch_for(static_cast<double>(stats.surviving_tuples)),
+                         tuning)
+          .total_s;
+  t.preprocessed_s = pre + dense;
+  return t;
+}
+
+}  // namespace exa::apps::lammps

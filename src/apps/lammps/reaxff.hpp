@@ -1,0 +1,136 @@
+#pragma once
+/// \file reaxff.hpp
+/// ReaxFF-style torsional force evaluation, in the two forms §3.10.2
+/// contrasts:
+///
+///  * the *divergent* original pattern (Algorithm 1 in the paper): every
+///    thread walks nested neighbor/bond loops, cutoff checks prune most
+///    tuples, "on average only a handful of threads in the entire
+///    wavefront were active";
+///  * the *preprocessed* optimization: a cheap preprocessor kernel emits
+///    the list of surviving (i, j, k, l) tuples, and a dense kernel then
+///    evaluates exactly those — "almost all of the control flow ... can be
+///    eliminated".
+///
+/// Both paths produce identical forces (asserted by tests). The torsional
+/// potential is E = k (1 + cos phi) with the standard analytic gradient,
+/// so total force and momentum conservation are physically testable.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/lammps/system.hpp"
+#include "arch/gpu_arch.hpp"
+#include "sim/exec_model.hpp"
+
+namespace exa::apps::lammps {
+
+struct TorsionParams {
+  double k = 1.0;           ///< barrier height
+  double pair_cutoff = 3.0; ///< distance cutoff on (j,k) and outer atoms
+};
+
+/// One surviving interaction tuple.
+struct TorsionTuple {
+  std::uint32_t i, j, k, l;
+};
+
+struct ForceResult {
+  std::vector<Vec3> force;
+  double energy = 0.0;
+  std::uint64_t tuples_evaluated = 0;
+  std::uint64_t tuples_considered = 0;  ///< cutoff checks performed
+};
+
+/// Divergent evaluation: nested loops with cutoff checks per Algorithm 1.
+[[nodiscard]] ForceResult torsion_divergent(const System& sys,
+                                            const NeighborList& neigh,
+                                            const BondList& bonds,
+                                            const TorsionParams& params);
+
+/// Preprocessor kernel: computes the surviving tuple list only.
+[[nodiscard]] std::vector<TorsionTuple> torsion_preprocess(
+    const System& sys, const NeighborList& neigh, const BondList& bonds,
+    const TorsionParams& params);
+
+/// Dense evaluation over a precomputed tuple list.
+[[nodiscard]] ForceResult torsion_dense(const System& sys,
+                                        const std::vector<TorsionTuple>& tuples,
+                                        const TorsionParams& params);
+
+/// Energy and forces of a single dihedral (exposed for gradient tests).
+double torsion_term(const Vec3& r1, const Vec3& r2, const Vec3& r3,
+                    const Vec3& r4, double k, Vec3& f1, Vec3& f2, Vec3& f3,
+                    Vec3& f4);
+
+// --- angular (3-body) term --------------------------------------------------
+// The same §3.10.2 pattern "appeared in the evaluation of Angular and
+// Torsional force-field terms": the angular kernels get the identical
+// divergent/dense treatment.
+
+struct AngleParams {
+  double k = 1.0;           ///< harmonic strength in cos(theta)
+  double cos_theta0 = -0.5; ///< equilibrium: ~120 degrees
+  double pair_cutoff = 3.0;
+};
+
+struct AngleTuple {
+  std::uint32_t i, j, k;  ///< j is the central atom
+};
+
+/// Energy/forces of one i-j-k angle: E = k (cos theta - cos theta0)^2,
+/// analytic gradient. Returns the energy; accumulates into f1..f3.
+double angle_term(const Vec3& ri, const Vec3& rj, const Vec3& rk, double k,
+                  double cos_theta0, Vec3& fi, Vec3& fj, Vec3& fk);
+
+/// Divergent evaluation (nested bond-list loops with cutoff pruning).
+[[nodiscard]] ForceResult angle_divergent(const System& sys,
+                                          const BondList& bonds,
+                                          const AngleParams& params);
+/// Preprocessor + dense evaluation.
+[[nodiscard]] std::vector<AngleTuple> angle_preprocess(
+    const System& sys, const BondList& bonds, const AngleParams& params);
+[[nodiscard]] ForceResult angle_dense(const System& sys,
+                                      const std::vector<AngleTuple>& tuples,
+                                      const AngleParams& params);
+
+// --- device cost profiles ---------------------------------------------------
+
+/// Statistics the profiles need: measured from a functional run.
+struct TorsionStats {
+  std::size_t atoms = 0;
+  double avg_neighbors = 0.0;
+  double avg_bonds = 0.0;
+  std::uint64_t surviving_tuples = 0;
+};
+
+[[nodiscard]] TorsionStats measure_stats(const System& sys,
+                                         const NeighborList& neigh,
+                                         const BondList& bonds,
+                                         const TorsionParams& params);
+
+/// Profile of the divergent kernel: huge considered-tuple count with a
+/// tiny coherent run length and heavy register pressure (the paper's
+/// spilling kernels, ~280 VGPRs before the compiler fix).
+[[nodiscard]] sim::KernelProfile divergent_profile(const arch::GpuArch& gpu,
+                                                   const TorsionStats& stats);
+/// Profile of the cheap preprocessor kernel (cutoff checks only).
+[[nodiscard]] sim::KernelProfile preprocess_profile(const arch::GpuArch& gpu,
+                                                    const TorsionStats& stats);
+/// Profile of the dense evaluation over the surviving tuples.
+[[nodiscard]] sim::KernelProfile dense_profile(const arch::GpuArch& gpu,
+                                               const TorsionStats& stats);
+
+/// End-to-end simulated time of one torsion evaluation on `gpu` with and
+/// without the preprocessing optimization, including the §3.10.3 compiler
+/// spill fix as a toggle.
+struct TorsionTimings {
+  double divergent_s = 0.0;
+  double preprocessed_s = 0.0;  ///< preprocess + dense
+  [[nodiscard]] double speedup() const { return divergent_s / preprocessed_s; }
+};
+[[nodiscard]] TorsionTimings simulate_torsion(const arch::GpuArch& gpu,
+                                              const TorsionStats& stats,
+                                              bool compiler_spill_fix);
+
+}  // namespace exa::apps::lammps

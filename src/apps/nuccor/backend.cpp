@@ -1,0 +1,142 @@
+#include "apps/nuccor/backend.hpp"
+
+#include "arch/gpu_arch.hpp"
+#include "mathlib/dense.hpp"
+#include "mathlib/device_blas.hpp"
+#include "sim/exec_model.hpp"
+#include "support/assert.hpp"
+
+namespace exa::apps::nuccor {
+
+namespace {
+
+/// Host plugin: the "minimal build where all GPU calls were made with
+/// wrappers" — always available, used for validation.
+class CpuBackend final : public TensorBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return kCpuBackend; }
+
+  void contract(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, std::size_t m, std::size_t n,
+                std::size_t k, double alpha, double beta) override {
+    ml::gemm<double>(a, b, c, m, n, k, alpha, beta);
+  }
+
+  void scale_by_denominator(std::span<double> t,
+                            std::span<const double> denom) override {
+    EXA_REQUIRE(t.size() == denom.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXA_REQUIRE(denom[i] != 0.0);
+      t[i] /= denom[i];
+    }
+  }
+
+  [[nodiscard]] double dot(std::span<const double> a,
+                           std::span<const double> b) override {
+    EXA_REQUIRE(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  }
+};
+
+/// Simulated device plugin: same math as the CPU plugin (so results are
+/// bit-comparable) plus virtual device time charged per operation through
+/// the architecture model. The CUDA and HIP plugins differ only in the
+/// device they model — which is the point of the pattern.
+class DeviceBackend final : public TensorBackend {
+ public:
+  DeviceBackend(std::string plugin_name, arch::GpuArch gpu)
+      : name_(std::move(plugin_name)), gpu_(std::move(gpu)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void contract(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, std::size_t m, std::size_t n,
+                std::size_t k, double alpha, double beta) override {
+    ml::gemm<double>(a, b, c, m, n, k, alpha, beta);
+    const sim::KernelProfile p =
+        ml::gemm_profile(gpu_, arch::DType::kF64, /*matrix_cores=*/true, m, n, k);
+    sim::LaunchConfig launch;
+    launch.block_threads = 256;
+    launch.blocks = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(m) * n / 1024);
+    device_seconds_ += sim::kernel_timing(gpu_, p, launch).total_s;
+  }
+
+  void scale_by_denominator(std::span<double> t,
+                            std::span<const double> denom) override {
+    EXA_REQUIRE(t.size() == denom.size());
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] /= denom[i];
+    sim::KernelProfile p;
+    p.name = "denominator";
+    p.add_flops(arch::DType::kF64, static_cast<double>(t.size()));
+    p.bytes_read = 16.0 * static_cast<double>(t.size());
+    p.bytes_written = 8.0 * static_cast<double>(t.size());
+    sim::LaunchConfig launch;
+    launch.block_threads = 256;
+    launch.blocks =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(t.size()) / 1024);
+    device_seconds_ += sim::kernel_timing(gpu_, p, launch).total_s;
+  }
+
+  [[nodiscard]] double dot(std::span<const double> a,
+                           std::span<const double> b) override {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    const sim::KernelProfile p = ml::reduce_profile(gpu_, a.size(), 8);
+    sim::LaunchConfig launch;
+    launch.block_threads = 256;
+    launch.blocks =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(a.size()) / 1024);
+    device_seconds_ += sim::kernel_timing(gpu_, p, launch).total_s;
+    return s;
+  }
+
+  [[nodiscard]] double device_seconds() const override {
+    return device_seconds_;
+  }
+
+ private:
+  std::string name_;
+  arch::GpuArch gpu_;
+  double device_seconds_ = 0.0;
+};
+
+}  // namespace
+
+BackendFactory::BackendFactory() {
+  register_plugin(kCpuBackend, [] { return std::make_unique<CpuBackend>(); });
+  register_plugin(kCudaBackend, [] {
+    return std::make_unique<DeviceBackend>(kCudaBackend, arch::v100());
+  });
+  register_plugin(kHipBackend, [] {
+    return std::make_unique<DeviceBackend>(kHipBackend, arch::mi250x_gcd());
+  });
+}
+
+BackendFactory& BackendFactory::instance() {
+  static BackendFactory factory;
+  return factory;
+}
+
+bool BackendFactory::register_plugin(const std::string& name,
+                                     Creator creator) {
+  return creators_.emplace(name, std::move(creator)).second;
+}
+
+std::unique_ptr<TensorBackend> BackendFactory::create(
+    const std::string& name) const {
+  const auto it = creators_.find(name);
+  EXA_REQUIRE_MSG(it != creators_.end(), "unknown backend plugin: " + name);
+  return it->second();
+}
+
+std::vector<std::string> BackendFactory::available() const {
+  std::vector<std::string> names;
+  names.reserve(creators_.size());
+  for (const auto& [name, creator] : creators_) names.push_back(name);
+  return names;
+}
+
+}  // namespace exa::apps::nuccor

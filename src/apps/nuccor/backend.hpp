@@ -1,0 +1,69 @@
+#pragma once
+/// \file backend.hpp
+/// NuCCOR's portability pattern (§3.7): "Portability is always handled
+/// first by abstraction. We added support for new hardware, libraries,
+/// and tools in plugins that implement a preexisting interface without
+/// affecting the domain science code."
+///
+/// The domain code (ccd.hpp) is written against TensorBackend; concrete
+/// plugins (host CPU, simulated CUDA device, simulated HIP device) are
+/// registered with a factory by name. Adding an architecture is exactly
+/// "creating the appropriate plugin and adding it to the factory".
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exa::apps::nuccor {
+
+/// The abstract interface the science code depends on.
+class TensorBackend {
+ public:
+  virtual ~TensorBackend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// C = alpha * A(m x k) * B(k x n) + beta * C, row-major.
+  virtual void contract(std::span<const double> a, std::span<const double> b,
+                        std::span<double> c, std::size_t m, std::size_t n,
+                        std::size_t k, double alpha, double beta) = 0;
+
+  /// Element-wise divide by an energy denominator (amplitude update).
+  virtual void scale_by_denominator(std::span<double> t,
+                                    std::span<const double> denom) = 0;
+
+  /// Frobenius inner product <a, b> (for energies and convergence).
+  [[nodiscard]] virtual double dot(std::span<const double> a,
+                                   std::span<const double> b) = 0;
+
+  /// Virtual device seconds this backend has charged (0 for host).
+  [[nodiscard]] virtual double device_seconds() const { return 0.0; }
+};
+
+/// Factory registry keyed by plugin name.
+class BackendFactory {
+ public:
+  using Creator = std::function<std::unique_ptr<TensorBackend>()>;
+
+  static BackendFactory& instance();
+
+  /// Registers a plugin; returns false if the name is taken.
+  bool register_plugin(const std::string& name, Creator creator);
+  [[nodiscard]] std::unique_ptr<TensorBackend> create(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> available() const;
+
+ private:
+  BackendFactory();
+  std::map<std::string, Creator> creators_;
+};
+
+/// Built-in plugin names.
+inline constexpr const char* kCpuBackend = "cpu";
+inline constexpr const char* kCudaBackend = "cuda";  ///< Summit plugin
+inline constexpr const char* kHipBackend = "hip";    ///< Frontier plugin
+
+}  // namespace exa::apps::nuccor

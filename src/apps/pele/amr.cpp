@@ -1,0 +1,217 @@
+#include "apps/pele/amr.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace exa::apps::pele {
+
+BoxGrid::BoxGrid(std::size_t boxes_per_edge, std::size_t cells_per_box,
+                 std::size_t ghost)
+    : bx_(boxes_per_edge), n_(cells_per_box), g_(ghost) {
+  EXA_REQUIRE(bx_ >= 1 && n_ >= 2 && g_ >= 1 && g_ <= n_);
+  boxes_.resize(bx_ * bx_ * bx_);
+  for (std::size_t i = 0; i < bx_; ++i) {
+    for (std::size_t j = 0; j < bx_; ++j) {
+      for (std::size_t k = 0; k < bx_; ++k) {
+        Box& b = box(i, j, k);
+        b.n = n_;
+        b.ghost = g_;
+        b.ix = i;
+        b.iy = j;
+        b.iz = k;
+        b.data.assign(b.stride() * b.stride() * b.stride(), 0.0);
+      }
+    }
+  }
+}
+
+Box& BoxGrid::box(std::size_t i, std::size_t j, std::size_t k) {
+  EXA_REQUIRE(i < bx_ && j < bx_ && k < bx_);
+  return boxes_[(i * bx_ + j) * bx_ + k];
+}
+
+const Box& BoxGrid::box(std::size_t i, std::size_t j, std::size_t k) const {
+  EXA_REQUIRE(i < bx_ && j < bx_ && k < bx_);
+  return boxes_[(i * bx_ + j) * bx_ + k];
+}
+
+void BoxGrid::fill(
+    const std::function<double(std::size_t, std::size_t, std::size_t)>& f) {
+  for (Box& b : boxes_) {
+    for (std::size_t x = 0; x < n_; ++x) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t z = 0; z < n_; ++z) {
+          b.at(x + g_, y + g_, z + g_) =
+              f(b.ix * n_ + x, b.iy * n_ + y, b.iz * n_ + z);
+        }
+      }
+    }
+  }
+}
+
+void BoxGrid::exchange_ghosts() {
+  const std::size_t s = n_ + 2 * g_;
+  // For each box, fill ghosts from neighbors (or replicate at the domain
+  // boundary). Loop over the full ghost-inclusive index space; interior
+  // indices are skipped.
+  for (Box& b : boxes_) {
+    for (std::size_t x = 0; x < s; ++x) {
+      for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t z = 0; z < s; ++z) {
+          const bool interior = x >= g_ && x < n_ + g_ && y >= g_ &&
+                                y < n_ + g_ && z >= g_ && z < n_ + g_;
+          if (interior) continue;
+          // Global cell coordinates this ghost cell refers to (signed).
+          auto global_of = [&](std::size_t local, std::size_t bcoord) {
+            return static_cast<long>(bcoord * n_) + static_cast<long>(local) -
+                   static_cast<long>(g_);
+          };
+          long gx = global_of(x, b.ix);
+          long gy = global_of(y, b.iy);
+          long gz = global_of(z, b.iz);
+          const long max = static_cast<long>(bx_ * n_) - 1;
+          gx = std::clamp(gx, 0L, max);
+          gy = std::clamp(gy, 0L, max);
+          gz = std::clamp(gz, 0L, max);
+          const Box& src = box(static_cast<std::size_t>(gx) / n_,
+                               static_cast<std::size_t>(gy) / n_,
+                               static_cast<std::size_t>(gz) / n_);
+          b.at(x, y, z) =
+              src.at(static_cast<std::size_t>(gx) % n_ + g_,
+                     static_cast<std::size_t>(gy) % n_ + g_,
+                     static_cast<std::size_t>(gz) % n_ + g_);
+        }
+      }
+    }
+  }
+}
+
+void BoxGrid::stencil_step(double alpha) {
+  for (Box& b : boxes_) {
+    Box next = b;
+    for (std::size_t x = g_; x < n_ + g_; ++x) {
+      for (std::size_t y = g_; y < n_ + g_; ++y) {
+        for (std::size_t z = g_; z < n_ + g_; ++z) {
+          const double lap = b.at(x - 1, y, z) + b.at(x + 1, y, z) +
+                             b.at(x, y - 1, z) + b.at(x, y + 1, z) +
+                             b.at(x, y, z - 1) + b.at(x, y, z + 1) -
+                             6.0 * b.at(x, y, z);
+          next.at(x, y, z) = b.at(x, y, z) + alpha * lap;
+        }
+      }
+    }
+    b = std::move(next);
+  }
+}
+
+std::vector<double> BoxGrid::flatten() const {
+  const std::size_t N = domain_cells();
+  std::vector<double> out(N * N * N);
+  for (const Box& b : boxes_) {
+    for (std::size_t x = 0; x < n_; ++x) {
+      for (std::size_t y = 0; y < n_; ++y) {
+        for (std::size_t z = 0; z < n_; ++z) {
+          out[((b.ix * n_ + x) * N + (b.iy * n_ + y)) * N + (b.iz * n_ + z)] =
+              b.at(x + g_, y + g_, z + g_);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double BoxGrid::ghost_bytes_per_exchange() const {
+  // Six faces per box, each n^2 * g cells of 8 bytes.
+  const double face = static_cast<double>(n_) * static_cast<double>(n_) *
+                      static_cast<double>(g_) * 8.0;
+  return 6.0 * face * static_cast<double>(box_count());
+}
+
+void reference_stencil_step(std::vector<double>& field, std::size_t n,
+                            double alpha) {
+  EXA_REQUIRE(field.size() >= n * n * n);
+  std::vector<double> next(field.size());
+  auto at = [&](long x, long y, long z) {
+    const long m = static_cast<long>(n) - 1;
+    x = std::clamp(x, 0L, m);
+    y = std::clamp(y, 0L, m);
+    z = std::clamp(z, 0L, m);
+    return field[(static_cast<std::size_t>(x) * n +
+                  static_cast<std::size_t>(y)) *
+                     n +
+                 static_cast<std::size_t>(z)];
+  };
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        const auto lx = static_cast<long>(x);
+        const auto ly = static_cast<long>(y);
+        const auto lz = static_cast<long>(z);
+        const double lap = at(lx - 1, ly, lz) + at(lx + 1, ly, lz) +
+                           at(lx, ly - 1, lz) + at(lx, ly + 1, lz) +
+                           at(lx, ly, lz - 1) + at(lx, ly, lz + 1) -
+                           6.0 * at(lx, ly, lz);
+        next[(x * n + y) * n + z] = at(lx, ly, lz) + alpha * lap;
+      }
+    }
+  }
+  field = std::move(next);
+}
+
+EbFlags make_sphere_eb(std::size_t n, double radius_fraction) {
+  EXA_REQUIRE(n >= 2);
+  EXA_REQUIRE(radius_fraction > 0.0 && radius_fraction < 1.0);
+  EbFlags eb;
+  eb.covered.assign(n * n * n, 0);
+  const double c = 0.5 * static_cast<double>(n - 1);
+  const double r = radius_fraction * 0.5 * static_cast<double>(n);
+  const double r2 = r * r;
+  auto idx = [n](std::size_t x, std::size_t y, std::size_t z) {
+    return (x * n + y) * n + z;
+  };
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        const double dx = static_cast<double>(x) - c;
+        const double dy = static_cast<double>(y) - c;
+        const double dz = static_cast<double>(z) - c;
+        eb.covered[idx(x, y, z)] = (dx * dx + dy * dy + dz * dz <= r2) ? 1 : 0;
+      }
+    }
+  }
+  // Cut cells: uncovered cells with at least one covered face neighbor.
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        if (eb.covered[idx(x, y, z)]) continue;
+        bool cut = false;
+        auto check = [&](long xx, long yy, long zz) {
+          if (xx < 0 || yy < 0 || zz < 0 || xx >= static_cast<long>(n) ||
+              yy >= static_cast<long>(n) || zz >= static_cast<long>(n)) {
+            return;
+          }
+          if (eb.covered[idx(static_cast<std::size_t>(xx),
+                             static_cast<std::size_t>(yy),
+                             static_cast<std::size_t>(zz))]) {
+            cut = true;
+          }
+        };
+        const auto lx = static_cast<long>(x);
+        const auto ly = static_cast<long>(y);
+        const auto lz = static_cast<long>(z);
+        check(lx - 1, ly, lz);
+        check(lx + 1, ly, lz);
+        check(lx, ly - 1, lz);
+        check(lx, ly + 1, lz);
+        check(lx, ly, lz - 1);
+        check(lx, ly, lz + 1);
+        if (cut) ++eb.cut_cells;
+      }
+    }
+  }
+  return eb;
+}
+
+}  // namespace exa::apps::pele

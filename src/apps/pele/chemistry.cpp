@@ -1,0 +1,198 @@
+#include "apps/pele/chemistry.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "mathlib/lu.hpp"
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::apps::pele {
+
+std::string species_name(std::size_t s) {
+  switch (s) {
+    case kH2: return "H2";
+    case kO2: return "O2";
+    case kH2O: return "H2O";
+    case kH: return "H";
+    case kO: return "O";
+    case kOH: return "OH";
+    default: return "?";
+  }
+}
+
+const std::vector<Reaction>& mechanism() {
+  static const std::vector<Reaction> mech = [] {
+    std::vector<Reaction> m;
+    auto add = [&m](double k, std::initializer_list<std::pair<Species, int>> r,
+                    std::initializer_list<std::pair<Species, int>> p) {
+      Reaction rx;
+      rx.rate_constant = k;
+      for (const auto& [s, nu] : r) rx.reactants[s] = nu;
+      for (const auto& [s, nu] : p) rx.products[s] = nu;
+      m.push_back(rx);
+    };
+    // Initiation (slow): H2 + O2 -> 2 OH
+    add(1.0e-2, {{kH2, 1}, {kO2, 1}}, {{kOH, 2}});
+    // Propagation (fast): OH + H2 -> H2O + H
+    add(1.0e3, {{kOH, 1}, {kH2, 1}}, {{kH2O, 1}, {kH, 1}});
+    // Branching: H + O2 -> OH + O
+    add(5.0e2, {{kH, 1}, {kO2, 1}}, {{kOH, 1}, {kO, 1}});
+    // Branching: O + H2 -> OH + H
+    add(5.0e2, {{kO, 1}, {kH2, 1}}, {{kOH, 1}, {kH, 1}});
+    // Recombination (very fast; the stiff mode): H + OH -> H2O
+    add(1.0e4, {{kH, 1}, {kOH, 1}}, {{kH2O, 1}});
+    return m;
+  }();
+  return mech;
+}
+
+void production_rates(const Conc& c, Conc& wdot) {
+  wdot.fill(0.0);
+  for (const Reaction& r : mechanism()) {
+    double rate = r.rate_constant;
+    for (std::size_t s = 0; s < kNumSpecies; ++s) {
+      for (int nu = 0; nu < r.reactants[s]; ++nu) rate *= c[s];
+    }
+    for (std::size_t s = 0; s < kNumSpecies; ++s) {
+      wdot[s] += rate * (r.products[s] - r.reactants[s]);
+    }
+  }
+}
+
+void jacobian_fd(const Conc& c, std::span<double> jac) {
+  EXA_REQUIRE(jac.size() >= kNumSpecies * kNumSpecies);
+  Conc base;
+  production_rates(c, base);
+  for (std::size_t j = 0; j < kNumSpecies; ++j) {
+    const double h = std::max(1e-8, 1e-7 * std::fabs(c[j]));
+    Conc pert = c;
+    pert[j] += h;
+    Conc wp;
+    production_rates(pert, wp);
+    for (std::size_t i = 0; i < kNumSpecies; ++i) {
+      jac[i * kNumSpecies + j] = (wp[i] - base[i]) / h;
+    }
+  }
+}
+
+Elements element_totals(const Conc& c) {
+  Elements e;
+  e.h = 2.0 * c[kH2] + 2.0 * c[kH2O] + c[kH] + c[kOH];
+  e.o = 2.0 * c[kO2] + c[kH2O] + c[kO] + c[kOH];
+  return e;
+}
+
+Conc ignition_mixture() {
+  Conc c{};
+  c[kH2] = 2.0;
+  c[kO2] = 1.0;
+  c[kH] = 1.0e-4;  // radical seed
+  return c;
+}
+
+namespace {
+
+void rk4_step(Conc& c, double h, IntegrateStats& stats) {
+  Conc k1, k2, k3, k4, tmp;
+  production_rates(c, k1);
+  for (std::size_t s = 0; s < kNumSpecies; ++s) tmp[s] = c[s] + 0.5 * h * k1[s];
+  production_rates(tmp, k2);
+  for (std::size_t s = 0; s < kNumSpecies; ++s) tmp[s] = c[s] + 0.5 * h * k2[s];
+  production_rates(tmp, k3);
+  for (std::size_t s = 0; s < kNumSpecies; ++s) tmp[s] = c[s] + h * k3[s];
+  production_rates(tmp, k4);
+  for (std::size_t s = 0; s < kNumSpecies; ++s) {
+    c[s] += h / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]);
+  }
+  stats.rhs_evals += 4;
+}
+
+}  // namespace
+
+IntegrateStats integrate_rk4_pointwise(std::span<Conc> cells, double dt,
+                                       int substeps) {
+  EXA_REQUIRE(substeps >= 1);
+  IntegrateStats stats;
+  const double h = dt / substeps;
+  // Each cell walks its own substep loop — the pointwise pattern.
+  for (Conc& c : cells) {
+    for (int s = 0; s < substeps; ++s) rk4_step(c, h, stats);
+  }
+  return stats;
+}
+
+IntegrateStats integrate_be_batched(std::span<Conc> cells, double dt,
+                                    double newton_tol, int max_newton) {
+  IntegrateStats stats;
+  constexpr std::size_t NS = kNumSpecies;
+
+  // Batched Newton: all cells advance one Newton iteration together and
+  // the per-cell dense solves go through the MAGMA-style batched LU (this
+  // is how CVODE drives the device in PeleLM(eX), §3.8).
+  std::vector<Conc> x(cells.begin(), cells.end());  // Newton iterate
+  std::vector<std::uint8_t> converged(cells.size(), 0);
+
+  std::vector<std::size_t> active;   // cells in this iteration's batch
+  std::vector<double> jacs;          // batch of (I - dt J) matrices
+  std::vector<double> rhs;           // batch of -G vectors
+  std::vector<int> pivots;
+
+  for (int it = 0; it < max_newton; ++it) {
+    // Assemble the batch: residuals and Jacobians of unconverged cells.
+    active.clear();
+    jacs.clear();
+    rhs.clear();
+    for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+      if (converged[cell]) continue;
+
+      // G(x) = x - c0 - dt f(x); solve (I - dt J_f) dx = -G.
+      Conc f;
+      production_rates(x[cell], f);
+      ++stats.rhs_evals;
+      std::array<double, NS> g;
+      double gnorm = 0.0;
+      for (std::size_t s = 0; s < NS; ++s) {
+        g[s] = x[cell][s] - cells[cell][s] - dt * f[s];
+        gnorm = std::max(gnorm, std::fabs(g[s]));
+      }
+      if (gnorm < newton_tol) {
+        converged[cell] = 1;
+        continue;
+      }
+
+      std::array<double, NS * NS> jac;
+      jacobian_fd(x[cell], jac);
+      ++stats.jacobian_evals;
+      active.push_back(cell);
+      for (std::size_t i = 0; i < NS; ++i) {
+        for (std::size_t j = 0; j < NS; ++j) {
+          jacs.push_back((i == j ? 1.0 : 0.0) - dt * jac[i * NS + j]);
+        }
+      }
+      for (std::size_t s = 0; s < NS; ++s) rhs.push_back(-g[s]);
+    }
+    if (active.empty()) break;
+
+    // One batched factorization + solve for the whole Newton iteration.
+    pivots.assign(NS * active.size(), 0);
+    const int info = ml::dgetrf_batched(jacs, NS, active.size(), pivots);
+    EXA_REQUIRE_MSG(info == 0, "singular Newton matrix in BE integrator");
+    ml::dgetrs_batched(jacs, NS, active.size(), pivots, rhs, 1);
+    stats.linear_solves += active.size();
+    stats.newton_iters += active.size();
+
+    for (std::size_t b = 0; b < active.size(); ++b) {
+      for (std::size_t s = 0; s < NS; ++s) {
+        x[active[b]][s] += rhs[b * NS + s];
+      }
+    }
+  }
+
+  for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+    cells[cell] = x[cell];
+  }
+  return stats;
+}
+
+}  // namespace exa::apps::pele

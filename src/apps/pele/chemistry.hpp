@@ -1,0 +1,76 @@
+#pragma once
+/// \file chemistry.hpp
+/// Pele's chemistry substrate (§3.8): a skeletal H2-O2 kinetics mechanism
+/// with two integration strategies —
+///  * *pointwise explicit* (the historical approach: each cell integrated
+///    independently with a small explicit method), and
+///  * *batched implicit* (the CVODE-style optimization: all cells of a box
+///    assembled into one large system, advanced with backward-Euler Newton
+///    iterations and batched dense linear solves).
+///
+/// The kinetics are real (mass action, element-conserving), so tests can
+/// assert conservation, integrator agreement, and approach to equilibrium.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exa::apps::pele {
+
+/// Species of the skeletal mechanism.
+enum Species : std::size_t { kH2 = 0, kO2, kH2O, kH, kO, kOH, kNumSpecies };
+
+[[nodiscard]] std::string species_name(std::size_t s);
+
+using Conc = std::array<double, kNumSpecies>;  ///< molar concentrations
+
+/// One irreversible elementary reaction with integer stoichiometry.
+struct Reaction {
+  double rate_constant = 0.0;                  ///< isothermal k
+  std::array<int, kNumSpecies> reactants{};    ///< stoichiometric coefficients
+  std::array<int, kNumSpecies> products{};
+};
+
+/// The skeletal H2-O2 mechanism (5 reactions, element conserving, stiff:
+/// rate constants span ~6 orders of magnitude).
+[[nodiscard]] const std::vector<Reaction>& mechanism();
+
+/// Molar production rates wdot(c) by mass action.
+void production_rates(const Conc& c, Conc& wdot);
+
+/// Dense finite-difference Jacobian d wdot / d c (row-major NS x NS).
+void jacobian_fd(const Conc& c, std::span<double> jac);
+
+/// Element totals (H, O atom counts) — conserved by the mechanism.
+struct Elements {
+  double h = 0.0;
+  double o = 0.0;
+};
+[[nodiscard]] Elements element_totals(const Conc& c);
+
+/// A fresh stoichiometric-ish mixture (H2:O2 = 2:1 plus radicals seed).
+[[nodiscard]] Conc ignition_mixture();
+
+// --- integrators -------------------------------------------------------------
+
+struct IntegrateStats {
+  std::uint64_t rhs_evals = 0;
+  std::uint64_t jacobian_evals = 0;
+  std::uint64_t linear_solves = 0;
+  std::uint64_t newton_iters = 0;
+};
+
+/// Pointwise explicit RK4 with fixed substeps per cell.
+IntegrateStats integrate_rk4_pointwise(std::span<Conc> cells, double dt,
+                                       int substeps);
+
+/// Batched backward Euler: every cell advanced with Newton iterations; the
+/// per-cell dense linear solves are batched (one LU per cell per Newton
+/// iteration, executed as a batch as MAGMA does for PeleLM(eX)).
+IntegrateStats integrate_be_batched(std::span<Conc> cells, double dt,
+                                    double newton_tol = 1e-12,
+                                    int max_newton = 25);
+
+}  // namespace exa::apps::pele

@@ -1,0 +1,171 @@
+#include "apps/shoc/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace exa::apps::shoc::kernels {
+
+double reduction(std::span<const float> data) {
+  // Pairwise (tree) summation, matching the deterministic order a GPU
+  // block-tree reduction produces more closely than serial accumulation.
+  if (data.empty()) return 0.0;
+  std::vector<double> level(data.begin(), data.end());
+  while (level.size() > 1) {
+    const std::size_t half = (level.size() + 1) / 2;
+    for (std::size_t i = 0; i < level.size() / 2; ++i) {
+      level[i] = level[2 * i] + level[2 * i + 1];
+    }
+    if (level.size() % 2 == 1) level[half - 1] = level.back();
+    level.resize(half);
+  }
+  return level[0];
+}
+
+void exclusive_scan(std::span<const float> in, std::span<float> out) {
+  EXA_REQUIRE(out.size() >= in.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<float>(acc);
+    acc += static_cast<double>(in[i]);
+  }
+}
+
+void triad(std::span<const float> a, std::span<const float> b, float s,
+           std::span<float> c) {
+  EXA_REQUIRE(a.size() == b.size() && c.size() >= a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + s * b[i];
+}
+
+void stencil2d(std::span<const float> in, std::span<float> out, std::size_t h,
+               std::size_t w, float center, float cardinal, float diagonal) {
+  EXA_REQUIRE(in.size() >= h * w && out.size() >= h * w);
+  EXA_REQUIRE(h >= 1 && w >= 1);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      if (i == 0 || j == 0 || i == h - 1 || j == w - 1) {
+        out[i * w + j] = in[i * w + j];
+        continue;
+      }
+      const auto at = [&](std::size_t r, std::size_t cc) {
+        return in[r * w + cc];
+      };
+      out[i * w + j] =
+          center * at(i, j) +
+          cardinal * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1)) +
+          diagonal * (at(i - 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j - 1) +
+                      at(i + 1, j + 1));
+    }
+  }
+}
+
+void lj_forces(std::span<const Vec3> pos, std::span<Vec3> force, double cutoff,
+               double epsilon, double sigma) {
+  EXA_REQUIRE(force.size() >= pos.size());
+  const double rc2 = cutoff * cutoff;
+  for (auto& f : force) f = Vec3{};
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      const double dx = pos[i].x - pos[j].x;
+      const double dy = pos[i].y - pos[j].y;
+      const double dz = pos[i].z - pos[j].z;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      const double sr2 = sigma * sigma / r2;
+      const double sr6 = sr2 * sr2 * sr2;
+      // F = 24 eps (2 sr12 - sr6) / r^2 * dr
+      const double mag = 24.0 * epsilon * (2.0 * sr6 * sr6 - sr6) / r2;
+      force[i].x += mag * dx;
+      force[i].y += mag * dy;
+      force[i].z += mag * dz;
+      force[j].x -= mag * dx;
+      force[j].y -= mag * dy;
+      force[j].z -= mag * dz;
+    }
+  }
+}
+
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y) {
+  EXA_REQUIRE(a.row_ptr.size() == a.rows + 1);
+  EXA_REQUIRE(y.size() >= a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      EXA_ASSERT(a.col[p] < x.size());
+      acc += a.val[p] * x[a.col[p]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<std::size_t> bfs(const Graph& g, std::size_t source) {
+  EXA_REQUIRE(source < g.vertices);
+  EXA_REQUIRE(g.row_ptr.size() == g.vertices + 1);
+  constexpr std::size_t kUnreached = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> level(g.vertices, kUnreached);
+  std::vector<std::size_t> frontier = {source};
+  level[source] = 0;
+  std::size_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<std::size_t> next;
+    for (const std::size_t v : frontier) {
+      for (std::size_t p = g.row_ptr[v]; p < g.row_ptr[v + 1]; ++p) {
+        const std::size_t u = g.adj[p];
+        if (level[u] == kUnreached) {
+          level[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+Graph make_ring_with_chords(std::size_t vertices, std::size_t chord_stride) {
+  EXA_REQUIRE(vertices >= 3);
+  EXA_REQUIRE(chord_stride >= 2);
+  std::vector<std::vector<std::size_t>> adj(vertices);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    adj[v].push_back((v + 1) % vertices);
+    adj[(v + 1) % vertices].push_back(v);
+    const std::size_t chord = (v + chord_stride) % vertices;
+    adj[v].push_back(chord);
+    adj[chord].push_back(v);
+  }
+  Graph g;
+  g.vertices = vertices;
+  g.row_ptr.assign(vertices + 1, 0);
+  for (std::size_t v = 0; v < vertices; ++v) {
+    std::sort(adj[v].begin(), adj[v].end());
+    adj[v].erase(std::unique(adj[v].begin(), adj[v].end()), adj[v].end());
+    g.row_ptr[v + 1] = g.row_ptr[v] + adj[v].size();
+  }
+  for (std::size_t v = 0; v < vertices; ++v) {
+    g.adj.insert(g.adj.end(), adj[v].begin(), adj[v].end());
+  }
+  return g;
+}
+
+Csr make_banded(std::size_t rows, std::size_t band) {
+  Csr m;
+  m.rows = rows;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t lo = r >= band ? r - band : 0;
+    const std::size_t hi = std::min(rows - 1, r + band);
+    for (std::size_t c = lo; c <= hi; ++c) {
+      m.col.push_back(c);
+      m.val.push_back(c == r ? 2.0 * static_cast<double>(band)
+                             : -1.0 / (1.0 + std::abs(static_cast<double>(c) -
+                                                      static_cast<double>(r))));
+    }
+    m.row_ptr.push_back(m.col.size());
+  }
+  return m;
+}
+
+}  // namespace exa::apps::shoc::kernels

@@ -1,0 +1,63 @@
+#pragma once
+/// \file kernels.hpp
+/// Functional host realizations of the SHOC computational patterns. These
+/// are the "real math" halves of the suite — unit-tested directly, and
+/// executed through the simulated runtime by shoc.cpp.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace exa::apps::shoc::kernels {
+
+/// Sum reduction.
+[[nodiscard]] double reduction(std::span<const float> data);
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)).
+void exclusive_scan(std::span<const float> in, std::span<float> out);
+
+/// STREAM triad: c = a + s * b.
+void triad(std::span<const float> a, std::span<const float> b, float s,
+           std::span<float> c);
+
+/// 9-point weighted stencil over an h x w grid (interior points only;
+/// boundary copied through).
+void stencil2d(std::span<const float> in, std::span<float> out,
+               std::size_t h, std::size_t w, float center, float cardinal,
+               float diagonal);
+
+/// Lennard-Jones forces with a cutoff over all pairs (O(n^2), small n).
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+void lj_forces(std::span<const Vec3> pos, std::span<Vec3> force,
+               double cutoff, double epsilon, double sigma);
+
+/// CSR sparse matrix-vector product y = A x.
+struct Csr {
+  std::size_t rows = 0;
+  std::vector<std::size_t> row_ptr;  // rows + 1
+  std::vector<std::size_t> col;
+  std::vector<double> val;
+};
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y);
+
+/// Builds a banded test matrix with `band` off-diagonals per side.
+[[nodiscard]] Csr make_banded(std::size_t rows, std::size_t band);
+
+/// Unweighted adjacency for BFS (CSR of neighbor indices).
+struct Graph {
+  std::size_t vertices = 0;
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::size_t> adj;
+};
+
+/// Level-synchronous breadth-first search from `source`; unreachable
+/// vertices get level SIZE_MAX. Returns the level array.
+[[nodiscard]] std::vector<std::size_t> bfs(const Graph& g, std::size_t source);
+
+/// A two-level tree plus a ring: known BFS structure for tests.
+[[nodiscard]] Graph make_ring_with_chords(std::size_t vertices,
+                                          std::size_t chord_stride);
+
+}  // namespace exa::apps::shoc::kernels

@@ -1,0 +1,75 @@
+#pragma once
+/// \file shoc.hpp
+/// A SHOC-like GPU benchmark suite (Scalable HeterOgeneous Computing),
+/// the workload of the paper's Figure 1: OLCF ran hipify over the CUDA
+/// SHOC programs and compared HIP vs. CUDA performance on Summit V100s.
+///
+/// Each benchmark is "a particular computation or data access pattern ...
+/// involving a small number of GPU kernels" (§2.1). Benchmarks run through
+/// either API flavor (the CUDA build or the hipified build); several have
+/// functional host realizations so correctness is testable.
+
+#include <string>
+#include <vector>
+
+#include "hip/hip_runtime.hpp"
+#include "support/rng.hpp"
+
+namespace exa::apps::shoc {
+
+enum class BenchmarkId {
+  kBusSpeedDownload,  // H2D bandwidth
+  kBusSpeedReadback,  // D2H bandwidth
+  kMaxFlops,
+  kDeviceMemory,
+  kFFT,
+  kGEMM,
+  kMD,        // Lennard-Jones force kernel
+  kReduction,
+  kScan,
+  kSort,
+  kSpmv,
+  kStencil2D,
+  kTriad,
+  kBFS,   // level-synchronous graph traversal (irregular, divergent)
+  kS3D,   // chemical-kinetics rate kernel (compute-dense, register-heavy)
+};
+
+[[nodiscard]] std::string to_string(BenchmarkId id);
+[[nodiscard]] const std::vector<BenchmarkId>& all_benchmarks();
+
+/// Problem-size class (SHOC's -s flag); sizes scale the working set.
+enum class SizeClass { kSmall = 1, kMedium = 2, kLarge = 3 };
+
+struct RunResult {
+  BenchmarkId id;
+  /// Virtual seconds for the kernel portion only.
+  double kernel_s = 0.0;
+  /// Virtual seconds including PCIe/NVLink transfers.
+  double total_s = 0.0;
+  /// Headline rate in the benchmark's natural unit (flop/s or B/s).
+  double rate = 0.0;
+};
+
+/// Runs one benchmark on the current HIP runtime configuration. The
+/// caller selects the API flavor via Runtime::set_flavor beforehand.
+/// `noise` models run-to-run measurement variation (SHOC reports medians
+/// of several trials; Figure 1's scatter is this noise): each timing is
+/// perturbed by a ~0.5% sigma lognormal factor.
+[[nodiscard]] RunResult run_benchmark(BenchmarkId id, SizeClass size,
+                                      support::Rng& noise);
+
+/// One Figure-1 data point: normalized HIP/CUDA performance for a
+/// benchmark (ratio > 1 means HIP faster).
+struct HipVsCudaPoint {
+  BenchmarkId id;
+  double ratio_with_transfer = 0.0;
+  double ratio_kernel_only = 0.0;
+};
+
+/// Runs the full suite under both flavors on the configured device and
+/// returns the normalized comparison (the Figure 1 series).
+[[nodiscard]] std::vector<HipVsCudaPoint> compare_hip_vs_cuda(
+    SizeClass size, std::uint64_t seed);
+
+}  // namespace exa::apps::shoc

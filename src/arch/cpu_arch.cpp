@@ -1,0 +1,89 @@
+#include "arch/cpu_arch.hpp"
+
+#include "support/units.hpp"
+
+namespace exa::arch {
+
+using support::GIGA;
+using support::TERA;
+
+CpuArch knl_cori() {
+  // Intel Xeon Phi 7250: 68 cores @ 1.4 GHz, 2x AVX-512 FMA units.
+  CpuArch c;
+  c.name = "Intel Xeon Phi 7250 (KNL, Cori)";
+  c.cores = 68;
+  c.clock_ghz = 1.4;
+  c.peak_fp64_flops = 3.05 * TERA;
+  c.mem_bandwidth_bytes_per_s = 460.0 * GIGA;  // MCDRAM flat mode
+  c.sustained_fraction = 0.08;  // KNL was hard to feed outside MCDRAM
+  return c;
+}
+
+CpuArch knl_theta() {
+  CpuArch c;
+  c.name = "Intel Xeon Phi 7230 (KNL, Theta)";
+  c.cores = 64;
+  c.clock_ghz = 1.3;
+  c.peak_fp64_flops = 2.66 * TERA;
+  c.mem_bandwidth_bytes_per_s = 450.0 * GIGA;
+  c.sustained_fraction = 0.08;
+  return c;
+}
+
+CpuArch skylake_eagle() {
+  // 2x Xeon Gold 6154: 18 cores @ 3.0 GHz, AVX-512 (single FMA sustained).
+  CpuArch c;
+  c.name = "2x Intel Xeon Gold 6154 (Skylake, Eagle)";
+  c.cores = 36;
+  c.clock_ghz = 3.0;
+  c.peak_fp64_flops = 3.46 * TERA;
+  c.mem_bandwidth_bytes_per_s = 220.0 * GIGA;
+  c.sustained_fraction = 0.09;  // big cores are easier to feed than KNL
+  return c;
+}
+
+CpuArch power9_summit() {
+  CpuArch c;
+  c.name = "2x IBM POWER9 (Summit host)";
+  c.cores = 42;  // 2x21 usable cores
+  c.clock_ghz = 3.07;
+  c.peak_fp64_flops = 1.03 * TERA;
+  c.mem_bandwidth_bytes_per_s = 270.0 * GIGA;
+  c.sustained_fraction = 0.10;
+  return c;
+}
+
+CpuArch epyc_naples() {
+  CpuArch c;
+  c.name = "AMD EPYC 7601 (Naples)";
+  c.cores = 32;
+  c.clock_ghz = 2.2;
+  c.peak_fp64_flops = 1.13 * TERA;
+  c.mem_bandwidth_bytes_per_s = 170.0 * GIGA;
+  c.sustained_fraction = 0.10;
+  return c;
+}
+
+CpuArch epyc_rome() {
+  CpuArch c;
+  c.name = "AMD EPYC 7662 (Rome)";
+  c.cores = 64;
+  c.clock_ghz = 2.0;
+  c.peak_fp64_flops = 2.05 * TERA;
+  c.mem_bandwidth_bytes_per_s = 190.0 * GIGA;
+  c.sustained_fraction = 0.10;
+  return c;
+}
+
+CpuArch epyc_trento() {
+  CpuArch c;
+  c.name = "AMD EPYC 7A53 (optimized 3rd-gen, Frontier host)";
+  c.cores = 64;
+  c.clock_ghz = 2.0;
+  c.peak_fp64_flops = 2.05 * TERA;
+  c.mem_bandwidth_bytes_per_s = 205.0 * GIGA;
+  c.sustained_fraction = 0.10;
+  return c;
+}
+
+}  // namespace exa::arch

@@ -1,0 +1,34 @@
+#pragma once
+/// \file cpu_arch.hpp
+/// CPU socket/node descriptions for the CPU-only machines in PeleC's
+/// Figure 2 history (Cori, Theta, Eagle) and the host sides of the GPU
+/// machines.
+
+#include <string>
+
+namespace exa::arch {
+
+/// One CPU *node* (all sockets aggregated): the granularity Figure 2 uses.
+struct CpuArch {
+  std::string name;
+  int cores = 0;
+  double clock_ghz = 0.0;
+  /// Peak FP64 flop/s for the whole node (cores x clock x SIMD width x FMA).
+  double peak_fp64_flops = 0.0;
+  /// Achievable main-memory bandwidth for the node (stream triad-ish).
+  double mem_bandwidth_bytes_per_s = 0.0;
+  /// Single-language/code-quality factor: the paper observed C++-only PeleC
+  /// was 2x faster on CPUs than the hybrid C++/Fortran build. Modeled as a
+  /// multiplier the app chooses; the arch just records baseline efficiency.
+  double sustained_fraction = 0.08;  ///< typical AMR/combustion sustained/peak
+};
+
+[[nodiscard]] CpuArch knl_cori();      ///< Xeon Phi 7250, 68 cores (NERSC Cori)
+[[nodiscard]] CpuArch knl_theta();     ///< Xeon Phi 7230, 64 cores (ANL Theta)
+[[nodiscard]] CpuArch skylake_eagle(); ///< 2x Xeon Gold 6154 (NREL Eagle)
+[[nodiscard]] CpuArch power9_summit(); ///< 2x POWER9 (OLCF Summit host)
+[[nodiscard]] CpuArch epyc_naples();   ///< EPYC 7601 (Poplar/Tulip host)
+[[nodiscard]] CpuArch epyc_rome();     ///< EPYC 7662 (Spock/Birch host)
+[[nodiscard]] CpuArch epyc_trento();   ///< optimized 3rd-gen EPYC (Frontier host)
+
+}  // namespace exa::arch

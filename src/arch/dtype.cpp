@@ -1,0 +1,19 @@
+#include "arch/dtype.hpp"
+
+namespace exa::arch {
+
+std::string to_string(DType t) {
+  switch (t) {
+    case DType::kF64: return "FP64";
+    case DType::kF32: return "FP32";
+    case DType::kF16: return "FP16";
+    case DType::kBF16: return "BF16";
+    case DType::kI32: return "INT32";
+    case DType::kI8: return "INT8";
+    case DType::kC64: return "C64";
+    case DType::kC32: return "C32";
+  }
+  return "?";
+}
+
+}  // namespace exa::arch

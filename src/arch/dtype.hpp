@@ -1,0 +1,54 @@
+#pragma once
+/// \file dtype.hpp
+/// Arithmetic data types the performance model distinguishes. CoMet's
+/// mixed-precision story (§3.6) and the tensor/matrix-core peak tables
+/// hinge on these.
+
+#include <cstddef>
+#include <string>
+
+namespace exa::arch {
+
+enum class DType {
+  kF64,
+  kF32,
+  kF16,
+  kBF16,
+  kI32,
+  kI8,
+  kC64,   // complex<double> — LSMS ZGEMM/ZGETRF
+  kC32,   // complex<float>
+};
+
+/// Bytes per element.
+[[nodiscard]] constexpr std::size_t size_of(DType t) {
+  switch (t) {
+    case DType::kF64: return 8;
+    case DType::kF32: return 4;
+    case DType::kF16: return 2;
+    case DType::kBF16: return 2;
+    case DType::kI32: return 4;
+    case DType::kI8: return 1;
+    case DType::kC64: return 16;
+    case DType::kC32: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] std::string to_string(DType t);
+
+/// The real-arithmetic type that backs a complex type (used when charging
+/// flops: one complex MAC = 4 real multiplies + 4 real adds).
+[[nodiscard]] constexpr DType real_of(DType t) {
+  switch (t) {
+    case DType::kC64: return DType::kF64;
+    case DType::kC32: return DType::kF32;
+    default: return t;
+  }
+}
+
+[[nodiscard]] constexpr bool is_complex(DType t) {
+  return t == DType::kC64 || t == DType::kC32;
+}
+
+}  // namespace exa::arch

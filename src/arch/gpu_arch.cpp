@@ -1,0 +1,170 @@
+#include "arch/gpu_arch.hpp"
+
+#include "support/assert.hpp"
+#include "support/units.hpp"
+
+namespace exa::arch {
+
+using support::GiB;
+using support::GIGA;
+using support::KiB;
+using support::MiB;
+using support::TERA;
+using support::USEC;
+
+std::string to_string(GpuVendor v) {
+  switch (v) {
+    case GpuVendor::kNvidia: return "NVIDIA";
+    case GpuVendor::kAmd: return "AMD";
+  }
+  return "?";
+}
+
+double GpuArch::peak_flops(DType t, bool use_matrix_cores) const {
+  const DType key = real_of(t);
+  if (use_matrix_cores) {
+    if (const auto it = peak_matrix_flops.find(key);
+        it != peak_matrix_flops.end()) {
+      return it->second;
+    }
+  }
+  const auto it = peak_vector_flops.find(key);
+  EXA_REQUIRE_MSG(it != peak_vector_flops.end(),
+                  "architecture has no peak entry for dtype " + to_string(key));
+  return it->second;
+}
+
+double GpuArch::balance_fp64() const {
+  EXA_REQUIRE(hbm_bandwidth_bytes_per_s > 0.0);
+  return peak_flops(DType::kF64) / hbm_bandwidth_bytes_per_s;
+}
+
+GpuArch v100() {
+  GpuArch g;
+  g.name = "NVIDIA V100 (SXM2 16GB)";
+  g.vendor = GpuVendor::kNvidia;
+  g.compute_units = 80;
+  g.wavefront_size = 32;
+  g.max_threads_per_cu = 2048;
+  g.max_blocks_per_cu = 32;
+  g.registers_per_cu = 65536;
+  g.max_registers_per_thread = 255;
+  g.lds_per_cu_bytes = 96 * KiB;
+  g.peak_vector_flops = {{DType::kF64, 7.8 * TERA},
+                         {DType::kF32, 15.7 * TERA},
+                         {DType::kF16, 31.4 * TERA},
+                         {DType::kBF16, 15.7 * TERA},  // no native BF16 on Volta
+                         {DType::kI32, 15.7 * TERA},
+                         {DType::kI8, 62.8 * TERA}};
+  g.peak_matrix_flops = {{DType::kF16, 125.0 * TERA}};
+  g.hbm_bandwidth_bytes_per_s = 900.0 * GIGA;
+  g.hbm_capacity_bytes = 16 * GiB;
+  g.l2_bytes = 6 * MiB;
+  g.kernel_launch_latency_s = 4.0 * USEC;
+  g.alloc_latency_s = 80.0 * USEC;
+  g.free_latency_s = 40.0 * USEC;
+  g.uvm_page_fault_latency_s = 30.0 * USEC;
+  g.host_link = {"NVLink 2.0 (3 bricks)", 50.0 * GIGA, 2.0 * USEC};
+  return g;
+}
+
+GpuArch mi60() {
+  GpuArch g;
+  g.name = "AMD MI60 (Vega 20)";
+  g.vendor = GpuVendor::kAmd;
+  g.compute_units = 64;
+  g.wavefront_size = 64;
+  g.max_threads_per_cu = 2560;
+  g.max_blocks_per_cu = 40;
+  g.registers_per_cu = 4 * 256 * 64;  // 4 SIMDs x 256 VGPRs x 64 lanes
+  g.max_registers_per_thread = 256;
+  g.lds_per_cu_bytes = 64 * KiB;
+  g.peak_vector_flops = {{DType::kF64, 7.4 * TERA},
+                         {DType::kF32, 14.7 * TERA},
+                         {DType::kF16, 29.5 * TERA},
+                         {DType::kBF16, 14.7 * TERA},
+                         {DType::kI32, 14.7 * TERA},
+                         {DType::kI8, 58.9 * TERA}};
+  g.peak_matrix_flops = {};  // Vega 20 has no matrix cores
+  g.hbm_bandwidth_bytes_per_s = 1000.0 * GIGA;
+  g.hbm_capacity_bytes = 32 * GiB;
+  g.l2_bytes = 4 * MiB;
+  g.kernel_launch_latency_s = 9.0 * USEC;  // early ROCm
+  g.alloc_latency_s = 150.0 * USEC;
+  g.free_latency_s = 60.0 * USEC;
+  g.uvm_page_fault_latency_s = 45.0 * USEC;
+  g.host_link = {"PCIe 4.0 x16", 26.0 * GIGA, 3.0 * USEC};
+  return g;
+}
+
+GpuArch mi100() {
+  GpuArch g;
+  g.name = "AMD MI100 (CDNA 1)";
+  g.vendor = GpuVendor::kAmd;
+  g.compute_units = 120;
+  g.wavefront_size = 64;
+  g.max_threads_per_cu = 2560;
+  g.max_blocks_per_cu = 40;
+  g.registers_per_cu = 4 * 256 * 64;
+  g.max_registers_per_thread = 256;
+  g.lds_per_cu_bytes = 64 * KiB;
+  g.peak_vector_flops = {{DType::kF64, 11.5 * TERA},
+                         {DType::kF32, 23.1 * TERA},
+                         {DType::kF16, 46.1 * TERA},
+                         {DType::kBF16, 46.1 * TERA},
+                         {DType::kI32, 23.1 * TERA},
+                         {DType::kI8, 92.3 * TERA}};
+  g.peak_matrix_flops = {{DType::kF32, 46.1 * TERA},
+                         {DType::kF16, 184.6 * TERA},
+                         {DType::kBF16, 92.3 * TERA},
+                         {DType::kI8, 184.6 * TERA}};
+  g.hbm_bandwidth_bytes_per_s = 1230.0 * GIGA;
+  g.hbm_capacity_bytes = 32 * GiB;
+  g.l2_bytes = 8 * MiB;
+  g.kernel_launch_latency_s = 7.0 * USEC;
+  g.alloc_latency_s = 120.0 * USEC;
+  g.free_latency_s = 50.0 * USEC;
+  g.uvm_page_fault_latency_s = 40.0 * USEC;
+  g.host_link = {"PCIe 4.0 x16", 26.0 * GIGA, 3.0 * USEC};
+  return g;
+}
+
+GpuArch mi250x_gcd() {
+  GpuArch g;
+  g.name = "AMD MI250X (one GCD)";
+  g.vendor = GpuVendor::kAmd;
+  g.compute_units = 110;
+  g.wavefront_size = 64;
+  g.max_threads_per_cu = 2048;
+  g.max_blocks_per_cu = 32;
+  g.registers_per_cu = 4 * 512 * 64;  // CDNA2 doubles the VGPR file
+  g.max_registers_per_thread = 512;
+  g.lds_per_cu_bytes = 64 * KiB;
+  // FP64/FP32 vector peak includes packed (dual-issue) FP32/FP64 ops.
+  g.peak_vector_flops = {{DType::kF64, 23.9 * TERA},
+                         {DType::kF32, 23.9 * TERA},
+                         {DType::kF16, 95.7 * TERA},
+                         {DType::kBF16, 95.7 * TERA},
+                         {DType::kI32, 23.9 * TERA},
+                         {DType::kI8, 191.4 * TERA}};
+  // CDNA2's packed (v_pk_*) ALU ops issue two adds/mins per cycle per
+  // lane, sustaining the full counted op rate for non-FMA mixes — the
+  // COAST §3.9 advantage over Volta, where non-FMA ops halve throughput.
+  g.non_fma_fraction = 1.0;
+  g.peak_matrix_flops = {{DType::kF64, 47.9 * TERA},
+                         {DType::kF32, 47.9 * TERA},
+                         {DType::kF16, 191.5 * TERA},
+                         {DType::kBF16, 191.5 * TERA},
+                         {DType::kI8, 191.5 * TERA}};
+  g.hbm_bandwidth_bytes_per_s = 1600.0 * GIGA;
+  g.hbm_capacity_bytes = 64 * GiB;
+  g.l2_bytes = 8 * MiB;
+  g.kernel_launch_latency_s = 6.0 * USEC;
+  g.alloc_latency_s = 100.0 * USEC;
+  g.free_latency_s = 40.0 * USEC;
+  g.uvm_page_fault_latency_s = 35.0 * USEC;
+  g.host_link = {"Infinity Fabric (xGMI)", 36.0 * GIGA, 2.0 * USEC};
+  return g;
+}
+
+}  // namespace exa::arch

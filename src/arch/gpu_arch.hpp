@@ -1,0 +1,84 @@
+#pragma once
+/// \file gpu_arch.hpp
+/// Analytic GPU architecture descriptions. These are the calibrated inputs
+/// to the device performance model (sim/); values come from public vendor
+/// spec sheets for the parts the paper names: NVIDIA V100 (Summit), AMD
+/// MI60 (Poplar/Tulip), MI100 (Spock/Birch), and MI250X (Crusher/Frontier).
+///
+/// A note on the MI250X: it is a two-die module. Software (and the paper)
+/// treats each Graphics Compute Die (GCD) as one GPU, so `mi250x_gcd()` is
+/// the per-device model and a Frontier node carries eight of them.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/dtype.hpp"
+
+namespace exa::arch {
+
+enum class GpuVendor { kNvidia, kAmd };
+
+[[nodiscard]] std::string to_string(GpuVendor v);
+
+/// Bandwidth/latency of the host<->device link (PCIe, NVLink, or xGMI).
+struct HostLink {
+  std::string name;
+  double bandwidth_bytes_per_s = 0.0;  ///< one direction, achievable
+  double latency_s = 0.0;              ///< per-transfer fixed cost
+};
+
+/// One GPU device as the programming model sees it.
+struct GpuArch {
+  std::string name;
+  GpuVendor vendor = GpuVendor::kAmd;
+
+  // Execution resources.
+  int compute_units = 0;        ///< SMs (NVIDIA) or CUs (AMD)
+  int wavefront_size = 64;      ///< 32 on NVIDIA, 64 on AMD
+  int max_threads_per_cu = 2048;
+  int max_blocks_per_cu = 32;
+  int registers_per_cu = 65536;       ///< 32-bit architected registers
+  int max_registers_per_thread = 255; ///< above this the compiler must spill
+  std::uint64_t lds_per_cu_bytes = 64 * 1024;  ///< shared memory / LDS
+
+  // Peak arithmetic throughput in flop/s (or op/s for integer types).
+  // `vector` is the SIMT pipeline; `matrix` is tensor/matrix cores.
+  std::map<DType, double> peak_vector_flops;
+  std::map<DType, double> peak_matrix_flops;
+
+  /// Throughput fraction for non-FMA arithmetic (e.g. the add+min chains of
+  /// min-plus/tropical kernels): peak tables assume FMA; kernels that cannot
+  /// fuse run at this fraction. CDNA2's packed (dual-issue) ALU ops recover
+  /// part of the loss — the COAST §3.9 tuning story.
+  double non_fma_fraction = 0.5;
+
+  // Memory system.
+  double hbm_bandwidth_bytes_per_s = 0.0;
+  std::uint64_t hbm_capacity_bytes = 0;
+  std::uint64_t l2_bytes = 0;
+
+  // Runtime latencies (per-API-call fixed costs, seconds).
+  double kernel_launch_latency_s = 0.0;
+  double alloc_latency_s = 0.0;  ///< hipMalloc/cudaMalloc
+  double free_latency_s = 0.0;
+  double uvm_page_fault_latency_s = 0.0;  ///< per migrated page group
+
+  HostLink host_link;
+
+  /// Peak flops for `t`, preferring matrix units when `use_matrix_cores`
+  /// and the architecture has them for that type; falls back to vector.
+  [[nodiscard]] double peak_flops(DType t, bool use_matrix_cores = false) const;
+
+  /// Machine balance in flop/byte at FP64 vector peak; kernels below this
+  /// arithmetic intensity are memory-bound on this part.
+  [[nodiscard]] double balance_fp64() const;
+};
+
+/// Factory functions for the parts used across the paper's systems.
+[[nodiscard]] GpuArch v100();        ///< Summit (NVIDIA Volta, 2017)
+[[nodiscard]] GpuArch mi60();        ///< Poplar/Tulip EAS gen 1 (Vega 20)
+[[nodiscard]] GpuArch mi100();       ///< Spock/Birch EAS gen 2 (CDNA 1)
+[[nodiscard]] GpuArch mi250x_gcd();  ///< Crusher/Frontier (CDNA 2, per GCD)
+
+}  // namespace exa::arch

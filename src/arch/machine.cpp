@@ -1,0 +1,210 @@
+#include "arch/machine.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+#include "support/units.hpp"
+
+namespace exa::arch {
+
+using support::GIGA;
+using support::USEC;
+
+double NodeArch::peak_fp64_flops() const {
+  if (has_gpu()) {
+    return gpu->peak_flops(DType::kF64) * gpus_per_node;
+  }
+  return cpu.peak_fp64_flops;
+}
+
+double NodeArch::memory_bandwidth() const {
+  if (has_gpu()) {
+    return gpu->hbm_bandwidth_bytes_per_s * gpus_per_node;
+  }
+  return cpu.mem_bandwidth_bytes_per_s;
+}
+
+namespace machines {
+
+namespace {
+
+Interconnect ib_edr_dual() {
+  // Summit: dual-rail EDR InfiniBand, 2x 12.5 GB/s.
+  Interconnect net;
+  net.name = "InfiniBand EDR (dual rail)";
+  net.nic_bandwidth_bytes_per_s = 12.5 * GIGA;
+  net.nics_per_node = 2;
+  net.latency_s = 1.3 * USEC;
+  net.per_message_overhead_s = 0.8 * USEC;
+  net.bisection_factor = 0.5;  // fat tree, tapered
+  return net;
+}
+
+Interconnect slingshot10() {
+  // Spock/Birch: Slingshot with 100 GbE interface.
+  Interconnect net;
+  net.name = "HPE Slingshot (100 GbE NIC)";
+  net.nic_bandwidth_bytes_per_s = 12.5 * GIGA;
+  net.nics_per_node = 1;
+  net.latency_s = 1.8 * USEC;
+  net.per_message_overhead_s = 0.6 * USEC;
+  net.bisection_factor = 0.8;  // dragonfly
+  return net;
+}
+
+Interconnect slingshot11() {
+  // Frontier/Crusher: 4x 200 GbE Slingshot-11 NICs per node.
+  Interconnect net;
+  net.name = "HPE Slingshot-11 (4x 200 GbE)";
+  net.nic_bandwidth_bytes_per_s = 25.0 * GIGA;
+  net.nics_per_node = 4;
+  net.latency_s = 1.7 * USEC;
+  net.per_message_overhead_s = 0.5 * USEC;
+  net.bisection_factor = 0.8;
+  return net;
+}
+
+Interconnect aries_like(const char* name) {
+  Interconnect net;
+  net.name = name;
+  net.nic_bandwidth_bytes_per_s = 10.0 * GIGA;
+  net.nics_per_node = 1;
+  net.latency_s = 1.5 * USEC;
+  net.per_message_overhead_s = 0.8 * USEC;
+  net.bisection_factor = 0.6;
+  return net;
+}
+
+}  // namespace
+
+Machine summit() {
+  Machine m;
+  m.name = "Summit";
+  m.year = 2018;
+  m.node_count = 4608;
+  m.node.cpu = power9_summit();
+  m.node.gpu = v100();
+  m.node.gpus_per_node = 6;
+  m.network = ib_edr_dual();
+  return m;
+}
+
+Machine frontier() {
+  Machine m;
+  m.name = "Frontier";
+  m.year = 2022;
+  m.node_count = 9408;
+  m.node.cpu = epyc_trento();
+  m.node.gpu = mi250x_gcd();
+  m.node.gpus_per_node = 8;  // 4 MI250X modules = 8 GCDs = 8 devices
+  m.network = slingshot11();
+  return m;
+}
+
+Machine crusher() {
+  Machine m = frontier();
+  m.name = "Crusher";
+  m.year = 2022;
+  m.node_count = 192;
+  m.nda_restricted = true;
+  return m;
+}
+
+Machine spock() {
+  Machine m;
+  m.name = "Spock";
+  m.year = 2020;
+  m.node_count = 6;  // as described in the paper (Section 4)
+  m.node.cpu = epyc_rome();
+  m.node.gpu = mi100();
+  m.node.gpus_per_node = 4;
+  m.network = slingshot10();
+  m.nda_restricted = true;
+  return m;
+}
+
+Machine birch() {
+  Machine m = spock();
+  m.name = "Birch";
+  m.node_count = 12;
+  return m;
+}
+
+Machine poplar() {
+  Machine m;
+  m.name = "Poplar";
+  m.year = 2019;
+  m.node_count = 8;
+  m.node.cpu = epyc_naples();
+  m.node.gpu = mi60();
+  m.node.gpus_per_node = 4;
+  m.network = aries_like("Cray Aries (EAS gen 1)");
+  m.nda_restricted = true;
+  return m;
+}
+
+Machine tulip() {
+  Machine m = poplar();
+  m.name = "Tulip";
+  return m;
+}
+
+Machine cori() {
+  Machine m;
+  m.name = "Cori";
+  m.year = 2016;
+  m.node_count = 9688;
+  m.node.cpu = knl_cori();
+  m.node.gpus_per_node = 0;
+  m.network = aries_like("Cray Aries");
+  return m;
+}
+
+Machine theta() {
+  Machine m;
+  m.name = "Theta";
+  m.year = 2017;
+  m.node_count = 4392;
+  m.node.cpu = knl_theta();
+  m.node.gpus_per_node = 0;
+  m.network = aries_like("Cray Aries");
+  return m;
+}
+
+Machine eagle() {
+  Machine m;
+  m.name = "Eagle";
+  m.year = 2018;
+  m.node_count = 2114;
+  m.node.cpu = skylake_eagle();
+  m.node.gpus_per_node = 0;
+  m.network = ib_edr_dual();
+  m.network.name = "InfiniBand EDR";
+  m.network.nics_per_node = 1;
+  return m;
+}
+
+std::vector<Machine> all() {
+  std::vector<Machine> ms = {cori(),  theta(), eagle(), summit(), poplar(),
+                             tulip(), spock(), birch(), crusher(), frontier()};
+  std::stable_sort(ms.begin(), ms.end(), [](const Machine& a, const Machine& b) {
+    return a.year < b.year;
+  });
+  return ms;
+}
+
+std::vector<Machine> early_access_generations() {
+  return {poplar(), spock(), crusher()};
+}
+
+Machine by_name(const std::string& name) {
+  const std::string needle = support::to_lower(name);
+  for (const Machine& m : all()) {
+    if (support::to_lower(m.name) == needle) return m;
+  }
+  throw support::Error("unknown machine: " + name);
+}
+
+}  // namespace machines
+}  // namespace exa::arch

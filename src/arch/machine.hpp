@@ -1,0 +1,84 @@
+#pragma once
+/// \file machine.hpp
+/// Whole-system descriptions: node composition, interconnect, scale, and
+/// deployment year. `MachineCatalog` provides every system the paper
+/// names, including the three early-access generations (§4).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+#include "arch/gpu_arch.hpp"
+
+namespace exa::arch {
+
+/// Inter-node network model parameters (LogGP-style inputs for exa::net).
+struct Interconnect {
+  std::string name;
+  double nic_bandwidth_bytes_per_s = 0.0;  ///< injection bw per NIC
+  int nics_per_node = 1;
+  double latency_s = 0.0;           ///< small-message one-way latency
+  double per_message_overhead_s = 0.0;  ///< software o (LogGP)
+  /// Effective bisection factor: achievable fraction of injection bandwidth
+  /// for global traffic patterns (all-to-all); 1.0 = full bisection.
+  double bisection_factor = 0.7;
+
+  [[nodiscard]] double node_injection_bandwidth() const {
+    return nic_bandwidth_bytes_per_s * nics_per_node;
+  }
+};
+
+/// One compute node: a host CPU plus zero or more GPU devices.
+struct NodeArch {
+  CpuArch cpu;
+  std::optional<GpuArch> gpu;  ///< device model (empty for CPU-only nodes)
+  int gpus_per_node = 0;       ///< programming-model devices (GCDs count as 1 each)
+
+  [[nodiscard]] bool has_gpu() const { return gpu.has_value() && gpus_per_node > 0; }
+
+  /// Node peak FP64 flop/s (GPU devices if present, else CPU).
+  [[nodiscard]] double peak_fp64_flops() const;
+  /// Node aggregate HBM (or main-memory) bandwidth.
+  [[nodiscard]] double memory_bandwidth() const;
+};
+
+/// A named system at a point in time.
+struct Machine {
+  std::string name;
+  int year = 0;            ///< deployment / first-access year
+  int node_count = 0;
+  NodeArch node;
+  Interconnect network;
+  bool nda_restricted = false;  ///< early-access systems were under NDA (§4)
+
+  [[nodiscard]] double system_peak_fp64_flops() const {
+    return node.peak_fp64_flops() * node_count;
+  }
+  [[nodiscard]] int total_devices() const {
+    return node.gpus_per_node * node_count;
+  }
+};
+
+/// Factory for every machine the paper references.
+namespace machines {
+[[nodiscard]] Machine summit();    ///< OLCF-5: 4608 nodes, 2xP9 + 6xV100
+[[nodiscard]] Machine frontier();  ///< OLCF-6: 9408 nodes, Trento + 4xMI250X (8 GCDs)
+[[nodiscard]] Machine crusher();   ///< EAS gen 3: 192 Frontier-identical nodes
+[[nodiscard]] Machine spock();     ///< EAS gen 2: 6 nodes, 4x MI100
+[[nodiscard]] Machine birch();     ///< EAS gen 2: 12 nodes, 4x MI100
+[[nodiscard]] Machine poplar();    ///< EAS gen 1: MI60 + Naples
+[[nodiscard]] Machine tulip();     ///< EAS gen 1: MI60 + Naples
+[[nodiscard]] Machine cori();      ///< NERSC Cori KNL partition
+[[nodiscard]] Machine theta();     ///< ANL Theta KNL
+[[nodiscard]] Machine eagle();     ///< NREL Eagle Skylake
+
+/// All machines, ordered by year (the early-access progression).
+[[nodiscard]] std::vector<Machine> all();
+/// The three early-access generations in order (Poplar, Spock, Crusher).
+[[nodiscard]] std::vector<Machine> early_access_generations();
+/// Looks a machine up by (case-insensitive) name; throws if unknown.
+[[nodiscard]] Machine by_name(const std::string& name);
+}  // namespace machines
+
+}  // namespace exa::arch

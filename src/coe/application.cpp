@@ -1,0 +1,101 @@
+#include "coe/application.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace exa::coe {
+
+std::string to_string(Program p) {
+  switch (p) {
+    case Program::kCaar: return "CAAR";
+    case Program::kEcpAd: return "ECP-AD";
+    case Program::kEcpSt: return "ECP-ST";
+    case Program::kOther: return "Other";
+  }
+  return "?";
+}
+
+std::string to_string(ReadinessPhase p) {
+  switch (p) {
+    case ReadinessPhase::kNotStarted: return "not started";
+    case ReadinessPhase::kFunctionality: return "functionality";
+    case ReadinessPhase::kMissingFeatures: return "missing features";
+    case ReadinessPhase::kPerformance: return "performance";
+    case ReadinessPhase::kReady: return "ready";
+  }
+  return "?";
+}
+
+Application::Application(std::string name, std::string domain, Program program)
+    : name_(std::move(name)), domain_(std::move(domain)), program_(program) {
+  EXA_REQUIRE(!name_.empty());
+}
+
+Application& Application::set_fom(FigureOfMerit fom) {
+  fom_ = std::move(fom);
+  return *this;
+}
+
+Application& Application::set_target_speedup(double target) {
+  EXA_REQUIRE(target > 0.0);
+  target_speedup_ = target;
+  return *this;
+}
+
+Application& Application::add_motif(Motif m) {
+  if (!has_motif(m)) motifs_.push_back(m);
+  return *this;
+}
+
+Application& Application::add_approach(PortingApproach a) {
+  if (std::find(approaches_.begin(), approaches_.end(), a) ==
+      approaches_.end()) {
+    approaches_.push_back(a);
+  }
+  return *this;
+}
+
+Application& Application::set_phase(ReadinessPhase phase) {
+  phase_ = phase;
+  return *this;
+}
+
+Application& Application::add_measurement(Measurement m) {
+  EXA_REQUIRE(!m.machine.empty());
+  EXA_REQUIRE(m.value > 0.0);
+  measurements_.push_back(std::move(m));
+  return *this;
+}
+
+bool Application::has_motif(Motif m) const {
+  return std::find(motifs_.begin(), motifs_.end(), m) != motifs_.end();
+}
+
+std::optional<Measurement> Application::latest_on(
+    const std::string& machine) const {
+  std::optional<Measurement> latest;
+  for (const auto& m : measurements_) {
+    if (m.machine != machine) continue;
+    if (!latest.has_value() || m.year >= latest->year) latest = m;
+  }
+  return latest;
+}
+
+std::optional<double> Application::speedup(
+    const std::string& baseline_machine,
+    const std::string& target_machine) const {
+  const auto base = latest_on(baseline_machine);
+  const auto target = latest_on(target_machine);
+  if (!base.has_value() || !target.has_value()) return std::nullopt;
+  const bool higher = !fom_.has_value() || fom_->higher_is_better;
+  return higher ? target->value / base->value : base->value / target->value;
+}
+
+bool Application::met_target(const std::string& baseline_machine,
+                             const std::string& target_machine) const {
+  const auto s = speedup(baseline_machine, target_machine);
+  return s.has_value() && target_speedup_ > 0.0 && *s >= target_speedup_;
+}
+
+}  // namespace exa::coe

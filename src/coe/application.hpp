@@ -1,0 +1,100 @@
+#pragma once
+/// \file application.hpp
+/// Application readiness records: the quantitative tracking approach §6
+/// credits — "a well-posed challenge problem and figure of merit (FOM) on
+/// Summit and an acceleration plan for Frontier", mid-project reports, and
+/// continuous assessment against stated speed-up targets.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coe/motif.hpp"
+
+namespace exa::coe {
+
+/// A project-specific figure of merit (e.g. GESTS' N^3 / t_wall).
+struct FigureOfMerit {
+  std::string definition;  ///< human-readable formula
+  std::string unit;
+  bool higher_is_better = true;
+};
+
+/// One FOM measurement on a named machine at a point in the project.
+struct Measurement {
+  std::string machine;
+  int year = 0;
+  double value = 0.0;
+  std::string note;
+};
+
+/// Funding/readiness program an application belongs to (§3).
+enum class Program { kCaar, kEcpAd, kEcpSt, kOther };
+
+[[nodiscard]] std::string to_string(Program p);
+
+/// Readiness phase: §6's observed order — functionality problems first,
+/// then missing features, then performance problems.
+enum class ReadinessPhase {
+  kNotStarted,
+  kFunctionality,   ///< getting correct answers at all
+  kMissingFeatures, ///< APIs/library coverage gaps
+  kPerformance,     ///< tuning toward the FOM target
+  kReady,           ///< challenge problem met at scale
+};
+
+[[nodiscard]] std::string to_string(ReadinessPhase p);
+
+/// One application's readiness record.
+class Application {
+ public:
+  Application(std::string name, std::string domain, Program program);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+  [[nodiscard]] Program program() const { return program_; }
+
+  Application& set_fom(FigureOfMerit fom);
+  Application& set_target_speedup(double target);
+  Application& add_motif(Motif m);
+  Application& add_approach(PortingApproach a);
+  Application& set_phase(ReadinessPhase phase);
+  Application& add_measurement(Measurement m);
+
+  [[nodiscard]] const std::optional<FigureOfMerit>& fom() const { return fom_; }
+  [[nodiscard]] double target_speedup() const { return target_speedup_; }
+  [[nodiscard]] const std::vector<Motif>& motifs() const { return motifs_; }
+  [[nodiscard]] bool has_motif(Motif m) const;
+  [[nodiscard]] const std::vector<PortingApproach>& approaches() const {
+    return approaches_;
+  }
+  [[nodiscard]] ReadinessPhase phase() const { return phase_; }
+  [[nodiscard]] const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+
+  /// Latest measurement on `machine`, if any.
+  [[nodiscard]] std::optional<Measurement> latest_on(
+      const std::string& machine) const;
+  /// Measured speed-up between two machines (latest entries); nullopt when
+  /// either is missing. Respects higher/lower-is-better.
+  [[nodiscard]] std::optional<double> speedup(
+      const std::string& baseline_machine,
+      const std::string& target_machine) const;
+  /// True when the measured speed-up meets the stated target.
+  [[nodiscard]] bool met_target(const std::string& baseline_machine,
+                                const std::string& target_machine) const;
+
+ private:
+  std::string name_;
+  std::string domain_;
+  Program program_;
+  std::optional<FigureOfMerit> fom_;
+  double target_speedup_ = 0.0;
+  std::vector<Motif> motifs_;
+  std::vector<PortingApproach> approaches_;
+  ReadinessPhase phase_ = ReadinessPhase::kNotStarted;
+  std::vector<Measurement> measurements_;
+};
+
+}  // namespace exa::coe

@@ -1,0 +1,113 @@
+#include "coe/lessons.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace exa::coe {
+
+std::string to_string(Dissemination d) {
+  switch (d) {
+    case Dissemination::kSupportTicket: return "support ticket";
+    case Dissemination::kHackathon: return "hackathon";
+    case Dissemination::kWebinar: return "webinar";
+    case Dissemination::kUserGuide: return "user guide";
+  }
+  return "?";
+}
+
+bool LessonBook::record(Lesson lesson) {
+  EXA_REQUIRE(!lesson.topic.empty());
+  for (auto& existing : lessons_) {
+    if (existing.topic == lesson.topic) {
+      ++existing.duplicate_triages;
+      return false;
+    }
+  }
+  lessons_.push_back(std::move(lesson));
+  return true;
+}
+
+Dissemination LessonBook::promote(const std::string& topic) {
+  for (auto& lesson : lessons_) {
+    if (lesson.topic != topic) continue;
+    if (lesson.reach != Dissemination::kUserGuide) {
+      lesson.reach =
+          static_cast<Dissemination>(static_cast<int>(lesson.reach) + 1);
+    }
+    return lesson.reach;
+  }
+  throw support::Error("unknown lesson topic: " + topic);
+}
+
+const Lesson* LessonBook::find(const std::string& topic) const {
+  for (const auto& lesson : lessons_) {
+    if (lesson.topic == topic) return &lesson;
+  }
+  return nullptr;
+}
+
+std::size_t LessonBook::count_at(Dissemination d) const {
+  return static_cast<std::size_t>(
+      std::count_if(lessons_.begin(), lessons_.end(),
+                    [d](const Lesson& l) { return l.reach == d; }));
+}
+
+int LessonBook::duplicate_triages() const {
+  int total = 0;
+  for (const auto& l : lessons_) total += l.duplicate_triages;
+  return total;
+}
+
+support::Table LessonBook::user_guide() const {
+  support::Table t("User guide: lessons learned (fully disseminated)");
+  t.set_header({"Topic", "Guidance", "First hit by"});
+  t.set_alignment({support::Align::kLeft, support::Align::kLeft,
+                   support::Align::kLeft});
+  for (const auto& l : lessons_) {
+    if (l.reach != Dissemination::kUserGuide) continue;
+    t.add_row({l.topic, l.summary, l.source_app});
+  }
+  return t;
+}
+
+LessonBook LessonBook::paper_lessons() {
+  LessonBook book;
+  auto add = [&book](const char* topic, const char* summary, const char* app,
+                     Dissemination reach) {
+    Lesson l;
+    l.topic = topic;
+    l.summary = summary;
+    l.source_app = app;
+    l.reach = reach;
+    book.record(std::move(l));
+  };
+  add("persistent TARGET DATA regions",
+      "map key arrays once; synchronize with TARGET UPDATE", "GESTS",
+      Dissemination::kUserGuide);
+  add("GPU-aware MPI via USE_DEVICE_PTR",
+      "pass device pointers straight to MPI inside data regions", "GESTS",
+      Dissemination::kUserGuide);
+  add("HIP API coverage expectations",
+      "not every latest-CUDA feature exists in HIP; check before porting",
+      "SHOC", Dissemination::kUserGuide);
+  add("wavefront width 64",
+      "32-lane-tuned interaction lists underfill AMD wavefronts", "ExaSky",
+      Dissemination::kWebinar);
+  add("kernel launch latency",
+      "queue kernels asynchronously on one stream; fuse small kernels",
+      "E3SM", Dissemination::kUserGuide);
+  add("register spills",
+      "watch vgpr_spill_count in assembly dumps; fission huge kernels",
+      "LAMMPS", Dissemination::kWebinar);
+  add("CPU/GPU binding and NUMA affinity",
+      "bind ranks to the GCD nearest their NUMA domain", "Pele",
+      Dissemination::kUserGuide);
+  add("HIP + OpenMP in one compilation unit",
+      "split HIP and OpenMP offload code into separate TUs on early "
+      "compilers",
+      "ExaSky", Dissemination::kHackathon);
+  return book;
+}
+
+}  // namespace exa::coe

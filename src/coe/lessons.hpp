@@ -1,0 +1,62 @@
+#pragma once
+/// \file lessons.hpp
+/// The §5 dissemination pipeline as code: hackathons surface lessons,
+/// lessons flow to webinars, and distilled lessons land in the user guide
+/// ("the lessons learned from the hackathons were then disseminated ...
+/// through special webinar sessions. Then the information was further
+/// distilled into new sections in the user guide").
+
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace exa::coe {
+
+/// Where a lesson has been shared so far, in escalation order.
+enum class Dissemination {
+  kSupportTicket = 0,  ///< one team knows
+  kHackathon = 1,      ///< the teams in the room know
+  kWebinar = 2,        ///< all early users know
+  kUserGuide = 3,      ///< every current and future user knows
+};
+
+[[nodiscard]] std::string to_string(Dissemination d);
+
+struct Lesson {
+  std::string topic;        ///< e.g. "GPU bindings", "atomics", "HIP API coverage"
+  std::string summary;
+  std::string source_app;   ///< application that hit it first
+  Dissemination reach = Dissemination::kSupportTicket;
+  /// Teams that independently re-discovered the issue before it reached
+  /// them — the §6 cost the Confluence pages existed to avoid.
+  int duplicate_triages = 0;
+};
+
+/// The knowledge base the COE maintained (ticket system + Confluence +
+/// user guide, collapsed into one store).
+class LessonBook {
+ public:
+  /// Records a new lesson (or a re-discovery of an existing topic: bumps
+  /// duplicate_triages when the topic is already known and returns false).
+  bool record(Lesson lesson);
+  /// Promotes a topic one dissemination level (hackathon -> webinar ->
+  /// user guide); returns the new level.
+  Dissemination promote(const std::string& topic);
+
+  [[nodiscard]] const std::vector<Lesson>& lessons() const { return lessons_; }
+  [[nodiscard]] const Lesson* find(const std::string& topic) const;
+  [[nodiscard]] std::size_t count_at(Dissemination d) const;
+  /// Total duplicated triage effort across topics.
+  [[nodiscard]] int duplicate_triages() const;
+
+  /// Renders the user-guide section: every lesson promoted all the way.
+  [[nodiscard]] support::Table user_guide() const;
+  /// The paper's §5 seeded knowledge base (quick-start-guide era lessons).
+  [[nodiscard]] static LessonBook paper_lessons();
+
+ private:
+  std::vector<Lesson> lessons_;
+};
+
+}  // namespace exa::coe

@@ -1,0 +1,37 @@
+#include "coe/motif.hpp"
+
+namespace exa::coe {
+
+std::string to_string(Motif m) {
+  switch (m) {
+    case Motif::kCudaHipPorting: return "CUDA/HIP Porting";
+    case Motif::kLibraryTuning: return "Library Tuning";
+    case Motif::kPerformancePortability: return "Performance Portability";
+    case Motif::kKernelFusionFission: return "Kernel Fusion/Fission";
+    case Motif::kAlgorithmicOptimizations: return "Algorithmic Optimizations";
+  }
+  return "?";
+}
+
+const std::vector<Motif>& all_motifs() {
+  static const std::vector<Motif> motifs = {
+      Motif::kCudaHipPorting, Motif::kLibraryTuning,
+      Motif::kPerformancePortability, Motif::kKernelFusionFission,
+      Motif::kAlgorithmicOptimizations};
+  return motifs;
+}
+
+std::string to_string(PortingApproach a) {
+  switch (a) {
+    case PortingApproach::kHip: return "HIP";
+    case PortingApproach::kCudaMacroCompat: return "CUDA + macro compat header";
+    case PortingApproach::kOpenMpOffload: return "OpenMP target offload";
+    case PortingApproach::kKokkos: return "Kokkos";
+    case PortingApproach::kYakl: return "YAKL";
+    case PortingApproach::kAmrexAbstraction: return "AMReX abstraction";
+    case PortingApproach::kPluginAbstraction: return "plugin/factory abstraction";
+  }
+  return "?";
+}
+
+}  // namespace exa::coe

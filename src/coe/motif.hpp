@@ -1,0 +1,35 @@
+#pragma once
+/// \file motif.hpp
+/// The porting motifs of Table 1 and the porting-strategy taxonomy of §2/§3.
+
+#include <string>
+#include <vector>
+
+namespace exa::coe {
+
+/// Row labels of Table 1.
+enum class Motif {
+  kCudaHipPorting,
+  kLibraryTuning,
+  kPerformancePortability,
+  kKernelFusionFission,
+  kAlgorithmicOptimizations,
+};
+
+[[nodiscard]] std::string to_string(Motif m);
+[[nodiscard]] const std::vector<Motif>& all_motifs();
+
+/// How a code targets the GPU (§2, §3).
+enum class PortingApproach {
+  kHip,            ///< direct HIP (possibly hipify'd from CUDA)
+  kCudaMacroCompat,///< CUDA source + macro header (Cholla strategy)
+  kOpenMpOffload,  ///< OpenMP target offload
+  kKokkos,         ///< C++ abstraction framework
+  kYakl,
+  kAmrexAbstraction,
+  kPluginAbstraction,  ///< NuCCOR-style factory/plugin layer
+};
+
+[[nodiscard]] std::string to_string(PortingApproach a);
+
+}  // namespace exa::coe

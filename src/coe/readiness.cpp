@@ -1,0 +1,111 @@
+#include "coe/readiness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace exa::coe {
+
+namespace {
+
+double ratio_score(double a, double b) {
+  EXA_REQUIRE(a > 0.0 && b > 0.0);
+  return std::min(a, b) / std::max(a, b);
+}
+
+}  // namespace
+
+GenerationAssessment assess_generation(const arch::Machine& early,
+                                       const arch::Machine& target) {
+  EXA_REQUIRE_MSG(early.node.has_gpu() && target.node.has_gpu(),
+                  "generation assessment requires GPU systems");
+  const arch::GpuArch& e = *early.node.gpu;
+  const arch::GpuArch& t = *target.node.gpu;
+
+  GenerationAssessment a;
+  a.machine = early.name;
+  a.year = early.year;
+  a.lead_time_years = std::max(0, target.year - early.year);
+
+  double score = 0.0;
+  score += (e.vendor == t.vendor) ? 0.30 : 0.0;
+  score += (e.wavefront_size == t.wavefront_size) ? 0.15 : 0.0;
+  score += 0.20 * ratio_score(e.peak_flops(arch::DType::kF64),
+                              t.peak_flops(arch::DType::kF64));
+  score += 0.15 * ratio_score(e.hbm_bandwidth_bytes_per_s,
+                              t.hbm_bandwidth_bytes_per_s);
+  score += 0.10 * ratio_score(static_cast<double>(e.compute_units),
+                              static_cast<double>(t.compute_units));
+  score += 0.10 * ratio_score(e.kernel_launch_latency_s,
+                              t.kernel_launch_latency_s);
+  a.arch_fidelity = score;
+
+  a.scale_fraction = static_cast<double>(early.node_count) /
+                     static_cast<double>(target.node_count);
+  return a;
+}
+
+support::Table early_access_table() {
+  const arch::Machine target = arch::machines::frontier();
+  support::Table t("Early-access platform generations vs. Frontier (Section 4)");
+  t.set_header({"System", "Year", "GPU", "Arch fidelity", "Scale fraction",
+                "Lead time"});
+  for (const auto& m : arch::machines::early_access_generations()) {
+    const GenerationAssessment a = assess_generation(m, target);
+    t.add_row({m.name, std::to_string(m.year), m.node.gpu->name,
+               support::Table::cell(a.arch_fidelity, 2),
+               support::Table::cell(a.scale_fraction * 100.0, 2) + "%",
+               std::to_string(a.lead_time_years) + " yr"});
+  }
+  t.add_note("fidelity: vendor, wavefront width, peak/bandwidth/latency ratios");
+  return t;
+}
+
+std::string to_string(IssueCategory c) {
+  switch (c) {
+    case IssueCategory::kFunctionality: return "functionality";
+    case IssueCategory::kMissingFeature: return "missing feature";
+    case IssueCategory::kPerformance: return "performance";
+  }
+  return "?";
+}
+
+void IssueLog::add(Issue issue) {
+  EXA_REQUIRE(issue.quarter_found >= 0);
+  issues_.push_back(std::move(issue));
+}
+
+std::size_t IssueLog::count(IssueCategory c) const {
+  return static_cast<std::size_t>(
+      std::count_if(issues_.begin(), issues_.end(),
+                    [c](const Issue& i) { return i.category == c; }));
+}
+
+double IssueLog::mean_quarter(IssueCategory c) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& i : issues_) {
+    if (i.category != c) continue;
+    sum += i.quarter_found;
+    ++n;
+  }
+  EXA_REQUIRE_MSG(n > 0, "no issues in category");
+  return sum / static_cast<double>(n);
+}
+
+bool IssueLog::follows_discovery_order() const {
+  const double f = mean_quarter(IssueCategory::kFunctionality);
+  const double m = mean_quarter(IssueCategory::kMissingFeature);
+  const double p = mean_quarter(IssueCategory::kPerformance);
+  return f <= m && m <= p;
+}
+
+double IssueLog::resolution_rate() const {
+  if (issues_.empty()) return 1.0;
+  const auto resolved = std::count_if(issues_.begin(), issues_.end(),
+                                      [](const Issue& i) { return i.resolved; });
+  return static_cast<double>(resolved) / static_cast<double>(issues_.size());
+}
+
+}  // namespace exa::coe

@@ -1,0 +1,66 @@
+#pragma once
+/// \file readiness.hpp
+/// Early-access platform assessment (§4) and the issue-discovery pipeline
+/// (§6: early access surfaced "A) functionality problems, B) missing
+/// features, and C) performance problems, typically in this order").
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "support/table.hpp"
+
+namespace exa::coe {
+
+/// How faithfully tuning on an early-access system transfers to the target.
+struct GenerationAssessment {
+  std::string machine;
+  int year = 0;
+  /// GPU architecture similarity to the target device, in [0, 1]:
+  /// vendor/ISA family, wavefront width, peak & bandwidth ratios, launch
+  /// latency. 1.0 = identical part (Crusher vs Frontier).
+  double arch_fidelity = 0.0;
+  /// Fraction of target scale available for scaling studies.
+  double scale_fraction = 0.0;
+  /// Years of lead time before the target system's deployment.
+  int lead_time_years = 0;
+};
+
+[[nodiscard]] GenerationAssessment assess_generation(
+    const arch::Machine& early, const arch::Machine& target);
+
+/// Table over the three EAS generations against Frontier.
+[[nodiscard]] support::Table early_access_table();
+
+/// Issue categories in the order early access surfaces them (§6).
+enum class IssueCategory { kFunctionality = 0, kMissingFeature = 1, kPerformance = 2 };
+
+[[nodiscard]] std::string to_string(IssueCategory c);
+
+struct Issue {
+  IssueCategory category = IssueCategory::kFunctionality;
+  std::string machine;
+  int quarter_found = 0;  ///< project quarter (0-based)
+  bool resolved = false;
+  std::string summary;
+};
+
+/// A log of issues found across the readiness project, with the §6
+/// ordering statistic.
+class IssueLog {
+ public:
+  void add(Issue issue);
+  [[nodiscard]] const std::vector<Issue>& issues() const { return issues_; }
+  [[nodiscard]] std::size_t count(IssueCategory c) const;
+  /// Mean discovery quarter per category; §6 predicts
+  /// functionality <= missing-feature <= performance.
+  [[nodiscard]] double mean_quarter(IssueCategory c) const;
+  /// True when the category means respect the §6 ordering.
+  [[nodiscard]] bool follows_discovery_order() const;
+  [[nodiscard]] double resolution_rate() const;
+
+ private:
+  std::vector<Issue> issues_;
+};
+
+}  // namespace exa::coe

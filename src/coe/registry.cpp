@@ -1,0 +1,140 @@
+#include "coe/registry.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace exa::coe {
+
+Application& Registry::add(Application app) {
+  EXA_REQUIRE_MSG(find(app.name()) == nullptr,
+                  "duplicate application: " + app.name());
+  apps_.push_back(std::move(app));
+  return apps_.back();
+}
+
+Application* Registry::find(const std::string& name) {
+  for (auto& a : apps_) {
+    if (a.name() == name) return &a;
+  }
+  return nullptr;
+}
+
+const Application* Registry::find(const std::string& name) const {
+  for (const auto& a : apps_) {
+    if (a.name() == name) return &a;
+  }
+  return nullptr;
+}
+
+Registry Registry::paper_applications() {
+  Registry r;
+  using M = Motif;
+  using A = PortingApproach;
+
+  r.add(Application("GAMESS", "quantum chemistry", Program::kEcpAd)
+            .set_fom({"fragment RI-MP2 throughput", "fragments/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kCudaHipPorting)
+            .add_motif(M::kLibraryTuning)
+            .add_approach(A::kHip));
+  r.add(Application("LSMS", "first-principles materials", Program::kCaar)
+            .set_fom({"atom-scattering solves per second", "solves/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kLibraryTuning)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kHip));
+  r.add(Application("GESTS", "turbulence DNS", Program::kCaar)
+            .set_fom({"N^3 / t_wall", "grid-points/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kLibraryTuning)
+            .add_motif(M::kPerformancePortability)
+            .add_approach(A::kOpenMpOffload));
+  r.add(Application("ExaSky", "cosmology", Program::kEcpAd)
+            .set_fom({"particle-steps per second", "particles/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kPerformancePortability)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kHip)
+            .add_approach(A::kOpenMpOffload));
+  r.add(Application("E3SM", "earth system model", Program::kEcpAd)
+            .set_fom({"simulated years per day", "SYPD"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kPerformancePortability)
+            .add_motif(M::kKernelFusionFission)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kKokkos)
+            .add_approach(A::kYakl));
+  r.add(Application("CoMet", "comparative genomics", Program::kCaar)
+            .set_fom({"comparisons per second", "ops/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kCudaHipPorting)
+            .add_motif(M::kLibraryTuning)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kCudaMacroCompat));
+  r.add(Application("NuCCOR", "nuclear structure", Program::kCaar)
+            .set_fom({"coupled-cluster iterations per hour", "iters/h"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kCudaHipPorting)
+            .add_motif(M::kPerformancePortability)
+            .add_approach(A::kPluginAbstraction));
+  r.add(Application("Pele", "reactive-flow combustion", Program::kEcpAd)
+            .set_fom({"cell-updates per second", "cells/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kPerformancePortability)
+            .add_motif(M::kKernelFusionFission)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kAmrexAbstraction));
+  r.add(Application("COAST", "graph analytics / literature mining",
+                    Program::kOther)
+            .set_fom({"path relaxations per second", "flop/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kCudaHipPorting)
+            .add_approach(A::kHip));
+  r.add(Application("LAMMPS", "molecular dynamics", Program::kEcpAd)
+            .set_fom({"atom-steps per second", "atom-steps/s"})
+            .set_target_speedup(4.0)
+            .add_motif(M::kLibraryTuning)
+            .add_motif(M::kKernelFusionFission)
+            .add_motif(M::kAlgorithmicOptimizations)
+            .add_approach(A::kKokkos));
+  return r;
+}
+
+support::Table Registry::table1_motifs() const {
+  support::Table t("Table 1: Application Porting Motifs");
+  t.set_header({"Porting Motif", "Applications"});
+  t.set_alignment({support::Align::kLeft, support::Align::kLeft});
+  for (const Motif m : all_motifs()) {
+    std::ostringstream apps;
+    bool first = true;
+    for (const auto& a : apps_) {
+      if (!a.has_motif(m)) continue;
+      if (!first) apps << ", ";
+      apps << a.name();
+      first = false;
+    }
+    t.add_row({to_string(m), apps.str()});
+  }
+  return t;
+}
+
+support::Table Registry::table2_speedups(
+    const std::string& baseline_machine,
+    const std::string& target_machine) const {
+  support::Table t("Table 2: Observed application speed-ups from " +
+                   baseline_machine + " to " + target_machine);
+  t.set_header({"Application", "Measured Speed-up (" + target_machine + "/" +
+                                   baseline_machine + ")",
+                "Target", "Met?"});
+  for (const auto& a : apps_) {
+    const auto s = a.speedup(baseline_machine, target_machine);
+    if (!s.has_value()) continue;
+    t.add_row({a.name(), support::Table::cell(*s, 1),
+               support::Table::cell(a.target_speedup(), 1),
+               a.met_target(baseline_machine, target_machine) ? "yes" : "no"});
+  }
+  return t;
+}
+
+}  // namespace exa::coe

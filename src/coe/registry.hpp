@@ -1,0 +1,40 @@
+#pragma once
+/// \file registry.hpp
+/// Registry of applications under readiness tracking, pre-populated with
+/// the paper's ten applications and their Table 1 motif assignments, plus
+/// the report emitters that regenerate Table 1 and Table 2.
+
+#include <string>
+#include <vector>
+
+#include "coe/application.hpp"
+#include "support/table.hpp"
+
+namespace exa::coe {
+
+class Registry {
+ public:
+  Application& add(Application app);
+  [[nodiscard]] const std::vector<Application>& applications() const {
+    return apps_;
+  }
+  [[nodiscard]] Application* find(const std::string& name);
+  [[nodiscard]] const Application* find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return apps_.size(); }
+
+  /// The paper's ten applications with domains, programs, porting
+  /// approaches, and Table 1 motif assignments.
+  [[nodiscard]] static Registry paper_applications();
+
+  /// Table 1: Application Porting Motifs (motif -> application list).
+  [[nodiscard]] support::Table table1_motifs() const;
+  /// Table 2: speed-ups between two machines from recorded measurements.
+  [[nodiscard]] support::Table table2_speedups(
+      const std::string& baseline_machine,
+      const std::string& target_machine) const;
+
+ private:
+  std::vector<Application> apps_;
+};
+
+}  // namespace exa::coe

@@ -1,0 +1,97 @@
+#pragma once
+/// \file cuda_compat.hpp
+/// The "single header file with macros" porting strategy (§2.1, the Cholla
+/// approach): application code is written against CUDA names and this
+/// header maps every call onto the underlying implementation, selected by
+/// the build environment. Here both flavors land on the same simulated
+/// runtime; the flavor only changes the modeled per-call veneer overhead
+/// (set via exa::hip::Runtime::set_flavor, normally by the build system
+/// defining EXA_TARGET_CUDA/EXA_TARGET_HIP).
+///
+/// We use inline functions and type aliases rather than object-like macros
+/// so the mapping obeys C++ scoping — same technique, better hygiene.
+
+#include "hip/hip_runtime.hpp"
+
+namespace exa::cuda {
+
+using cudaError_t = hip::hipError_t;
+inline constexpr cudaError_t cudaSuccess = hip::hipSuccess;
+inline constexpr cudaError_t cudaErrorInvalidValue = hip::hipErrorInvalidValue;
+inline constexpr cudaError_t cudaErrorMemoryAllocation = hip::hipErrorOutOfMemory;
+inline constexpr cudaError_t cudaErrorInvalidDevice = hip::hipErrorInvalidDevice;
+inline constexpr cudaError_t cudaErrorNotReady = hip::hipErrorNotReady;
+
+using cudaMemcpyKind = hip::hipMemcpyKind;
+inline constexpr cudaMemcpyKind cudaMemcpyHostToHost = hip::hipMemcpyHostToHost;
+inline constexpr cudaMemcpyKind cudaMemcpyHostToDevice = hip::hipMemcpyHostToDevice;
+inline constexpr cudaMemcpyKind cudaMemcpyDeviceToHost = hip::hipMemcpyDeviceToHost;
+inline constexpr cudaMemcpyKind cudaMemcpyDeviceToDevice = hip::hipMemcpyDeviceToDevice;
+
+using cudaStream_t = hip::hipStream_t;
+using cudaEvent_t = hip::hipEvent_t;
+
+inline const char* cudaGetErrorString(cudaError_t e) {
+  return hip::hipGetErrorString(e);
+}
+inline cudaError_t cudaGetDeviceCount(int* n) { return hip::hipGetDeviceCount(n); }
+inline cudaError_t cudaSetDevice(int d) { return hip::hipSetDevice(d); }
+inline cudaError_t cudaGetDevice(int* d) { return hip::hipGetDevice(d); }
+inline cudaError_t cudaDeviceSynchronize() { return hip::hipDeviceSynchronize(); }
+
+inline cudaError_t cudaMalloc(void** p, std::size_t n) {
+  return hip::hipMalloc(p, n);
+}
+inline cudaError_t cudaMallocManaged(void** p, std::size_t n) {
+  return hip::hipMallocManaged(p, n);
+}
+inline cudaError_t cudaFree(void* p) { return hip::hipFree(p); }
+inline cudaError_t cudaMemcpy(void* dst, const void* src, std::size_t n,
+                              cudaMemcpyKind k) {
+  return hip::hipMemcpy(dst, src, n, k);
+}
+inline cudaError_t cudaMemcpyAsync(void* dst, const void* src, std::size_t n,
+                                   cudaMemcpyKind k, cudaStream_t s) {
+  return hip::hipMemcpyAsync(dst, src, n, k, s);
+}
+inline cudaError_t cudaMemset(void* dst, int v, std::size_t n) {
+  return hip::hipMemset(dst, v, n);
+}
+
+inline cudaError_t cudaStreamCreate(cudaStream_t* s) {
+  return hip::hipStreamCreate(s);
+}
+inline cudaError_t cudaStreamDestroy(cudaStream_t s) {
+  return hip::hipStreamDestroy(s);
+}
+inline cudaError_t cudaStreamSynchronize(cudaStream_t s) {
+  return hip::hipStreamSynchronize(s);
+}
+inline cudaError_t cudaStreamQuery(cudaStream_t s) {
+  return hip::hipStreamQuery(s);
+}
+
+inline cudaError_t cudaEventCreate(cudaEvent_t* e) {
+  return hip::hipEventCreate(e);
+}
+inline cudaError_t cudaEventDestroy(cudaEvent_t e) {
+  return hip::hipEventDestroy(e);
+}
+inline cudaError_t cudaEventRecord(cudaEvent_t e, cudaStream_t s) {
+  return hip::hipEventRecord(e, s);
+}
+inline cudaError_t cudaEventSynchronize(cudaEvent_t e) {
+  return hip::hipEventSynchronize(e);
+}
+inline cudaError_t cudaEventElapsedTime(float* ms, cudaEvent_t a, cudaEvent_t b) {
+  return hip::hipEventElapsedTime(ms, a, b);
+}
+
+/// CUDA-flavored launch entry point (maps to the same simulated launch).
+inline cudaError_t cudaLaunchKernelEXA(const hip::Kernel& k,
+                                       sim::LaunchConfig cfg,
+                                       cudaStream_t s = nullptr) {
+  return hip::hipLaunchKernelEXA(k, cfg, s);
+}
+
+}  // namespace exa::cuda

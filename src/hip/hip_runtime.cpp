@@ -1,0 +1,366 @@
+#include "hip/hip_runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::hip {
+
+// Internal handle definitions.
+struct ihipStream_t {
+  int device = 0;
+  sim::StreamId id = 0;
+  bool destroyed = false;
+};
+struct ihipEvent_t {
+  int device = 0;
+  sim::EventId id = -1;  // -1: created but never recorded
+  bool destroyed = false;
+};
+
+namespace {
+
+thread_local sim::KernelTiming g_last_timing;
+
+sim::TransferKind to_transfer(hipMemcpyKind kind) {
+  switch (kind) {
+    case hipMemcpyHostToDevice: return sim::TransferKind::kHostToDevice;
+    case hipMemcpyDeviceToHost: return sim::TransferKind::kDeviceToHost;
+    case hipMemcpyDeviceToDevice: return sim::TransferKind::kDeviceToDevice;
+    default: return sim::TransferKind::kHostToDevice;
+  }
+}
+
+}  // namespace
+
+const char* hipGetErrorString(hipError_t err) {
+  switch (err) {
+    case hipSuccess: return "hipSuccess";
+    case hipErrorInvalidValue: return "hipErrorInvalidValue";
+    case hipErrorOutOfMemory: return "hipErrorOutOfMemory";
+    case hipErrorInvalidDevice: return "hipErrorInvalidDevice";
+    case hipErrorInvalidDevicePointer: return "hipErrorInvalidDevicePointer";
+    case hipErrorInvalidResourceHandle: return "hipErrorInvalidResourceHandle";
+    case hipErrorNotReady: return "hipErrorNotReady";
+  }
+  return "hipErrorUnknown";
+}
+
+// --- Runtime ----------------------------------------------------------------
+
+Runtime::Runtime() {
+  configure(arch::mi250x_gcd(), 1, ApiFlavor::kHip);
+}
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+void Runtime::configure(const arch::GpuArch& gpu, int count, ApiFlavor flavor) {
+  EXA_REQUIRE(count >= 1);
+  devices_.clear();
+  ptrs_.clear();
+  streams_.clear();
+  events_.clear();
+  devices_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    devices_.push_back(std::make_unique<sim::DeviceSim>(gpu));
+  }
+  current_ = 0;
+  flavor_ = flavor;
+}
+
+void Runtime::set_flavor(ApiFlavor flavor) { flavor_ = flavor; }
+
+double Runtime::flavor_overhead() const {
+  // HIP targeting NVIDIA is a header-only veneer over CUDA: the wrapper
+  // adds only nanoseconds per call. This is why Figure 1 shows parity.
+  return flavor_ == ApiFlavor::kHip ? 3.0e-8 : 0.0;
+}
+
+hipError_t Runtime::set_current(int device) {
+  if (device < 0 || device >= device_count()) return hipErrorInvalidDevice;
+  current_ = device;
+  return hipSuccess;
+}
+
+sim::DeviceSim& Runtime::device(int index) {
+  EXA_REQUIRE(index >= 0 && index < device_count());
+  return *devices_[static_cast<std::size_t>(index)];
+}
+
+void Runtime::register_ptr(void* p, int device) {
+  ptrs_[p] = PtrInfo{device};
+}
+
+int Runtime::owner_of(const void* p) const {
+  const auto it = ptrs_.find(p);
+  return it == ptrs_.end() ? -1 : it->second.device;
+}
+
+void Runtime::unregister_ptr(void* p) { ptrs_.erase(p); }
+
+hipStream_t Runtime::make_stream(int device, sim::StreamId id) {
+  streams_.push_back(std::make_unique<ihipStream_t>());
+  streams_.back()->device = device;
+  streams_.back()->id = id;
+  return streams_.back().get();
+}
+
+hipEvent_t Runtime::make_event(int device) {
+  events_.push_back(std::make_unique<ihipEvent_t>());
+  events_.back()->device = device;
+  return events_.back().get();
+}
+
+// --- helpers -----------------------------------------------------------------
+
+namespace {
+
+Runtime& rt() { return Runtime::instance(); }
+
+sim::DeviceSim& dev() { return rt().current_device(); }
+
+/// Charges the per-call veneer overhead of the selected API flavor.
+void charge_api_call() { dev().host_advance(rt().flavor_overhead()); }
+
+/// Resolves a stream handle to (device, stream id); nullptr is the default
+/// stream of the current device.
+struct ResolvedStream {
+  sim::DeviceSim* device;
+  sim::StreamId id;
+};
+
+hipError_t resolve(hipStream_t stream, ResolvedStream* out) {
+  if (stream == nullptr) {
+    *out = {&dev(), 0};
+    return hipSuccess;
+  }
+  if (stream->destroyed) return hipErrorInvalidResourceHandle;
+  *out = {&rt().device(stream->device), stream->id};
+  return hipSuccess;
+}
+
+}  // namespace
+
+// --- device management -----------------------------------------------------
+
+hipError_t hipGetDeviceCount(int* count) {
+  if (count == nullptr) return hipErrorInvalidValue;
+  *count = rt().device_count();
+  return hipSuccess;
+}
+
+hipError_t hipSetDevice(int device) { return rt().set_current(device); }
+
+hipError_t hipGetDevice(int* device) {
+  if (device == nullptr) return hipErrorInvalidValue;
+  *device = rt().current();
+  return hipSuccess;
+}
+
+hipError_t hipDeviceSynchronize() {
+  charge_api_call();
+  dev().synchronize_all();
+  return hipSuccess;
+}
+
+// --- memory ------------------------------------------------------------------
+
+hipError_t hipMalloc(void** ptr, std::size_t size) {
+  if (ptr == nullptr || size == 0) return hipErrorInvalidValue;
+  charge_api_call();
+  try {
+    *ptr = dev().malloc_device(size);
+  } catch (const support::Error&) {
+    *ptr = nullptr;
+    return hipErrorOutOfMemory;
+  }
+  rt().register_ptr(*ptr, rt().current());
+  return hipSuccess;
+}
+
+hipError_t hipMallocManaged(void** ptr, std::size_t size) {
+  // Managed memory allocates like device memory here; the difference is
+  // that consumers charge page-fault migrations via hipUvmFault.
+  return hipMalloc(ptr, size);
+}
+
+hipError_t hipFree(void* ptr) {
+  if (ptr == nullptr) return hipSuccess;  // matches HIP semantics
+  const int owner = rt().owner_of(ptr);
+  if (owner < 0) return hipErrorInvalidDevicePointer;
+  charge_api_call();
+  rt().device(owner).free_device(ptr);
+  rt().unregister_ptr(ptr);
+  return hipSuccess;
+}
+
+hipError_t hipMemcpy(void* dst, const void* src, std::size_t size,
+                     hipMemcpyKind kind) {
+  if (dst == nullptr || src == nullptr) return hipErrorInvalidValue;
+  charge_api_call();
+  if (size > 0) std::memcpy(dst, src, size);
+  if (kind != hipMemcpyHostToHost) {
+    dev().transfer_sync(to_transfer(kind), static_cast<double>(size));
+  }
+  return hipSuccess;
+}
+
+hipError_t hipMemcpyAsync(void* dst, const void* src, std::size_t size,
+                          hipMemcpyKind kind, hipStream_t stream) {
+  if (dst == nullptr || src == nullptr) return hipErrorInvalidValue;
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  charge_api_call();
+  if (size > 0) std::memcpy(dst, src, size);
+  if (kind != hipMemcpyHostToHost) {
+    rs.device->transfer_async(rs.id, to_transfer(kind),
+                              static_cast<double>(size));
+  }
+  return hipSuccess;
+}
+
+hipError_t hipMemset(void* dst, int value, std::size_t size) {
+  if (dst == nullptr) return hipErrorInvalidValue;
+  charge_api_call();
+  std::memset(dst, value, size);
+  // Memset runs as a small device kernel writing `size` bytes.
+  sim::KernelProfile p;
+  p.name = "hipMemset";
+  p.bytes_written = static_cast<double>(size);
+  dev().launch(0, p, sim::LaunchConfig{std::max<std::uint64_t>(1, size / 256 / 64), 64});
+  return hipSuccess;
+}
+
+hipError_t hipUvmFault(const void* ptr, std::size_t size, hipMemcpyKind kind,
+                       hipStream_t stream) {
+  if (ptr == nullptr) return hipErrorInvalidValue;
+  if (rt().owner_of(ptr) < 0) return hipErrorInvalidDevicePointer;
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  rs.device->uvm_migrate(rs.id, to_transfer(kind), static_cast<double>(size));
+  return hipSuccess;
+}
+
+// --- streams ------------------------------------------------------------------
+
+hipError_t hipStreamCreate(hipStream_t* stream) {
+  if (stream == nullptr) return hipErrorInvalidValue;
+  charge_api_call();
+  const sim::StreamId id = dev().create_stream();
+  *stream = rt().make_stream(rt().current(), id);
+  return hipSuccess;
+}
+
+hipError_t hipStreamDestroy(hipStream_t stream) {
+  if (stream == nullptr || stream->destroyed)
+    return hipErrorInvalidResourceHandle;
+  charge_api_call();
+  rt().device(stream->device).destroy_stream(stream->id);
+  stream->destroyed = true;
+  return hipSuccess;
+}
+
+hipError_t hipStreamSynchronize(hipStream_t stream) {
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  charge_api_call();
+  rs.device->synchronize(rs.id);
+  return hipSuccess;
+}
+
+hipError_t hipStreamQuery(hipStream_t stream) {
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  return rs.device->stream_query(rs.id) ? hipSuccess : hipErrorNotReady;
+}
+
+// --- events ---------------------------------------------------------------------
+
+hipError_t hipEventCreate(hipEvent_t* event) {
+  if (event == nullptr) return hipErrorInvalidValue;
+  charge_api_call();
+  *event = rt().make_event(rt().current());
+  return hipSuccess;
+}
+
+hipError_t hipEventDestroy(hipEvent_t event) {
+  if (event == nullptr || event->destroyed)
+    return hipErrorInvalidResourceHandle;
+  event->destroyed = true;
+  return hipSuccess;
+}
+
+hipError_t hipEventRecord(hipEvent_t event, hipStream_t stream) {
+  if (event == nullptr || event->destroyed)
+    return hipErrorInvalidResourceHandle;
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  charge_api_call();
+  event->device = stream == nullptr ? rt().current() : stream->device;
+  event->id = rs.device->record_event(rs.id);
+  return hipSuccess;
+}
+
+hipError_t hipEventSynchronize(hipEvent_t event) {
+  if (event == nullptr || event->destroyed || event->id < 0)
+    return hipErrorInvalidResourceHandle;
+  charge_api_call();
+  rt().device(event->device).host_wait_event(event->id);
+  return hipSuccess;
+}
+
+hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop) {
+  if (ms == nullptr) return hipErrorInvalidValue;
+  if (start == nullptr || stop == nullptr || start->id < 0 || stop->id < 0 ||
+      start->destroyed || stop->destroyed) {
+    return hipErrorInvalidResourceHandle;
+  }
+  if (start->device != stop->device) return hipErrorInvalidValue;
+  const double sec = rt().device(start->device).elapsed(start->id, stop->id);
+  *ms = static_cast<float>(sec * 1e3);
+  return hipSuccess;
+}
+
+// --- kernel launch ------------------------------------------------------------
+
+hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
+                              hipStream_t stream) {
+  if (cfg.blocks == 0 || cfg.block_threads == 0) return hipErrorInvalidValue;
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  charge_api_call();
+
+  // Virtual time.
+  g_last_timing = rs.device->launch(rs.id, kernel.profile, cfg);
+
+  // Functional execution (host threads).
+  if (kernel.bulk_body) kernel.bulk_body();
+  if (kernel.body) {
+    const std::uint64_t total = cfg.total_threads();
+    support::ThreadPool::global().parallel_for_chunks(
+        0, total, [&kernel, &cfg](std::size_t lo, std::size_t hi) {
+          KernelContext ctx;
+          ctx.block_dim = cfg.block_threads;
+          for (std::size_t i = lo; i < hi; ++i) {
+            ctx.global_id = i;
+            ctx.block_id = i / cfg.block_threads;
+            ctx.thread_id = static_cast<std::uint32_t>(i % cfg.block_threads);
+            kernel.body(ctx);
+          }
+        });
+  }
+  return hipSuccess;
+}
+
+const sim::KernelTiming& hipLastLaunchTiming() { return g_last_timing; }
+
+double hipHostTimeSec() { return dev().host_now(); }
+
+void hipHostBusy(double seconds) { dev().host_advance(seconds); }
+
+}  // namespace exa::hip

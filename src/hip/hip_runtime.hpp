@@ -1,0 +1,200 @@
+#pragma once
+/// \file hip_runtime.hpp
+/// A HIP-compatible runtime API over the device simulator.
+///
+/// This is the portability layer the paper's §2.1 evaluates: the API
+/// surface mirrors HIP (which itself mirrors CUDA), so application code
+/// ports between the two the same way real codes did — via the hipify
+/// translator (hipify.hpp), the macro-compat header (cuda_compat.hpp), or
+/// a thin abstraction layer (the COAST/NuCCOR strategy).
+///
+/// Kernels execute *functionally* on host threads (so numerics are real
+/// and testable) while virtual device time is charged from the kernel's
+/// KernelProfile by the DeviceSim performance model.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/device_sim.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::hip {
+
+// --- error codes (subset of HIP's) ---------------------------------------
+
+enum hipError_t {
+  hipSuccess = 0,
+  hipErrorInvalidValue,
+  hipErrorOutOfMemory,
+  hipErrorInvalidDevice,
+  hipErrorInvalidDevicePointer,
+  hipErrorInvalidResourceHandle,
+  hipErrorNotReady,
+};
+
+[[nodiscard]] const char* hipGetErrorString(hipError_t err);
+
+enum hipMemcpyKind {
+  hipMemcpyHostToHost = 0,
+  hipMemcpyHostToDevice = 1,
+  hipMemcpyDeviceToHost = 2,
+  hipMemcpyDeviceToDevice = 3,
+  hipMemcpyDefault = 4,
+};
+
+// --- opaque handles --------------------------------------------------------
+
+struct ihipStream_t;
+struct ihipEvent_t;
+using hipStream_t = ihipStream_t*;  ///< nullptr designates the default stream
+using hipEvent_t = ihipEvent_t*;
+
+// --- kernel abstraction ----------------------------------------------------
+
+/// Coordinates handed to a functional kernel body, flattened to 1-D.
+struct KernelContext {
+  std::uint64_t global_id = 0;
+  std::uint64_t block_id = 0;
+  std::uint32_t thread_id = 0;
+  std::uint32_t block_dim = 0;
+};
+
+/// A launchable kernel: a cost profile plus (optionally) functional work.
+/// `body` runs once per work-item across the launch grid; `bulk_body` runs
+/// once per launch (for kernels whose host realization is more natural as
+/// a bulk loop). Either or both may be empty (timing-only kernels).
+struct Kernel {
+  sim::KernelProfile profile;
+  std::function<void(const KernelContext&)> body;
+  std::function<void()> bulk_body;
+};
+
+// --- which API flavor the "build" targets ---------------------------------
+
+/// The compile-time configuration the Cholla-style macro header selects.
+/// On NVIDIA hardware HIP is a header-only veneer over CUDA, so the only
+/// observable difference is a tiny per-call wrapper overhead — which is
+/// exactly the Figure-1 experiment.
+enum class ApiFlavor { kCuda, kHip };
+
+// --- runtime management ------------------------------------------------
+
+/// The process-wide simulated runtime: a set of devices of one
+/// architecture plus the host virtual clock. Tests and benches call
+/// `configure` to pick the architecture (default: one Frontier MI250X GCD).
+class Runtime {
+ public:
+  static Runtime& instance();
+
+  /// Re-initializes with `count` devices of architecture `gpu`. Destroys
+  /// all prior streams/events/allocations.
+  void configure(const arch::GpuArch& gpu, int count = 1,
+                 ApiFlavor flavor = ApiFlavor::kHip);
+  void set_flavor(ApiFlavor flavor);
+  [[nodiscard]] ApiFlavor flavor() const { return flavor_; }
+
+  [[nodiscard]] int device_count() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] int current() const { return current_; }
+  hipError_t set_current(int device);
+  [[nodiscard]] sim::DeviceSim& device(int index);
+  [[nodiscard]] sim::DeviceSim& current_device() { return device(current_); }
+
+  /// Per-API-call host overhead added by the HIP-over-CUDA veneer.
+  [[nodiscard]] double flavor_overhead() const;
+
+  // pointer -> owning device bookkeeping for hipFree/hipMemcpy
+  void register_ptr(void* p, int device);
+  /// Returns owning device index, or -1 when `p` is not a device pointer.
+  [[nodiscard]] int owner_of(const void* p) const;
+  void unregister_ptr(void* p);
+
+  // stream/event registries
+  hipStream_t make_stream(int device, sim::StreamId id);
+  hipEvent_t make_event(int device);
+
+ private:
+  Runtime();
+  std::vector<std::unique_ptr<sim::DeviceSim>> devices_;
+  int current_ = 0;
+  ApiFlavor flavor_ = ApiFlavor::kHip;
+
+  struct PtrInfo {
+    int device;
+  };
+  std::unordered_map<const void*, PtrInfo> ptrs_;
+
+  friend hipError_t hipStreamDestroy(hipStream_t);
+  friend hipError_t hipEventDestroy(hipEvent_t);
+  std::vector<std::unique_ptr<ihipStream_t>> streams_;
+  std::vector<std::unique_ptr<ihipEvent_t>> events_;
+};
+
+// --- device management -----------------------------------------------------
+
+hipError_t hipGetDeviceCount(int* count);
+hipError_t hipSetDevice(int device);
+hipError_t hipGetDevice(int* device);
+hipError_t hipDeviceSynchronize();
+
+// --- memory ----------------------------------------------------------------
+
+hipError_t hipMalloc(void** ptr, std::size_t size);
+/// UVM allocation: accessible from host and device; device-side first
+/// touch pays page-migration costs (§3.8's Pele UVM story).
+hipError_t hipMallocManaged(void** ptr, std::size_t size);
+hipError_t hipFree(void* ptr);
+hipError_t hipMemcpy(void* dst, const void* src, std::size_t size,
+                     hipMemcpyKind kind);
+hipError_t hipMemcpyAsync(void* dst, const void* src, std::size_t size,
+                          hipMemcpyKind kind, hipStream_t stream);
+hipError_t hipMemset(void* dst, int value, std::size_t size);
+
+// --- streams ---------------------------------------------------------------
+
+hipError_t hipStreamCreate(hipStream_t* stream);
+hipError_t hipStreamDestroy(hipStream_t stream);
+hipError_t hipStreamSynchronize(hipStream_t stream);
+/// hipSuccess when idle, hipErrorNotReady when work is pending.
+hipError_t hipStreamQuery(hipStream_t stream);
+
+// --- events ----------------------------------------------------------------
+
+hipError_t hipEventCreate(hipEvent_t* event);
+hipError_t hipEventDestroy(hipEvent_t event);
+hipError_t hipEventRecord(hipEvent_t event, hipStream_t stream);
+hipError_t hipEventSynchronize(hipEvent_t event);
+/// Milliseconds between two recorded events (virtual time).
+hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop);
+
+// --- kernel launch -----------------------------------------------------------
+
+/// Launches `kernel` with the given shape. Named after hipLaunchKernelGGL;
+/// the trailing EXA marks the simulated signature (a cost-profiled functor
+/// instead of a __global__ symbol).
+hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
+                              hipStream_t stream = nullptr);
+
+/// Returns the timing of the most recent launch on the current device
+/// (diagnostic hook used by tests and benches).
+[[nodiscard]] const sim::KernelTiming& hipLastLaunchTiming();
+
+// --- small helpers -----------------------------------------------------------
+
+/// Virtual host-clock seconds for the current device (for FOM measurement).
+[[nodiscard]] double hipHostTimeSec();
+/// Charges host-side compute time to the virtual clock.
+void hipHostBusy(double seconds);
+
+/// Models a UVM page-fault migration of `size` bytes of managed memory in
+/// the given direction, blocking `stream` (Pele's pre-optimization data
+/// path, §3.8). `ptr` must come from hipMallocManaged.
+hipError_t hipUvmFault(const void* ptr, std::size_t size, hipMemcpyKind kind,
+                       hipStream_t stream = nullptr);
+
+}  // namespace exa::hip

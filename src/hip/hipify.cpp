@@ -1,0 +1,371 @@
+#include "hip/hipify.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::hip::hipify {
+
+namespace {
+
+using support::is_identifier_char;
+
+std::vector<Mapping> build_table() {
+  std::vector<Mapping> t;
+  auto add = [&t](const char* cuda, const char* hip, bool deprecated = false) {
+    t.push_back(Mapping{cuda, hip, deprecated});
+  };
+
+  // Headers.
+  add("cuda_runtime.h", "hip/hip_runtime.h");
+  add("cuda_runtime_api.h", "hip/hip_runtime_api.h");
+  add("cuda.h", "hip/hip_runtime.h");
+  add("cuda_fp16.h", "hip/hip_fp16.h");
+
+  // Device & context management.
+  add("cudaGetDeviceCount", "hipGetDeviceCount");
+  add("cudaSetDevice", "hipSetDevice");
+  add("cudaGetDevice", "hipGetDevice");
+  add("cudaDeviceSynchronize", "hipDeviceSynchronize");
+  add("cudaDeviceReset", "hipDeviceReset");
+  add("cudaGetDeviceProperties", "hipGetDeviceProperties");
+  add("cudaDeviceProp", "hipDeviceProp_t");
+  add("cudaDriverGetVersion", "hipDriverGetVersion");
+  add("cudaRuntimeGetVersion", "hipRuntimeGetVersion");
+
+  // Memory.
+  add("cudaMalloc", "hipMalloc");
+  add("cudaMallocManaged", "hipMallocManaged");
+  add("cudaMallocHost", "hipHostMalloc");
+  add("cudaHostAlloc", "hipHostMalloc");
+  add("cudaFree", "hipFree");
+  add("cudaFreeHost", "hipHostFree");
+  add("cudaMemcpy", "hipMemcpy");
+  add("cudaMemcpyAsync", "hipMemcpyAsync");
+  add("cudaMemset", "hipMemset");
+  add("cudaMemsetAsync", "hipMemsetAsync");
+  add("cudaMemGetInfo", "hipMemGetInfo");
+  add("cudaMemPrefetchAsync", "hipMemPrefetchAsync");
+  add("cudaMemcpyKind", "hipMemcpyKind");
+  add("cudaMemcpyHostToHost", "hipMemcpyHostToHost");
+  add("cudaMemcpyHostToDevice", "hipMemcpyHostToDevice");
+  add("cudaMemcpyDeviceToHost", "hipMemcpyDeviceToHost");
+  add("cudaMemcpyDeviceToDevice", "hipMemcpyDeviceToDevice");
+  add("cudaMemcpyDefault", "hipMemcpyDefault");
+
+  // Streams & events.
+  add("cudaStream_t", "hipStream_t");
+  add("cudaStreamCreate", "hipStreamCreate");
+  add("cudaStreamDestroy", "hipStreamDestroy");
+  add("cudaStreamSynchronize", "hipStreamSynchronize");
+  add("cudaStreamQuery", "hipStreamQuery");
+  add("cudaStreamWaitEvent", "hipStreamWaitEvent");
+  add("cudaEvent_t", "hipEvent_t");
+  add("cudaEventCreate", "hipEventCreate");
+  add("cudaEventDestroy", "hipEventDestroy");
+  add("cudaEventRecord", "hipEventRecord");
+  add("cudaEventSynchronize", "hipEventSynchronize");
+  add("cudaEventElapsedTime", "hipEventElapsedTime");
+
+  // Errors.
+  add("cudaError_t", "hipError_t");
+  add("cudaError", "hipError_t");
+  add("cudaSuccess", "hipSuccess");
+  add("cudaErrorMemoryAllocation", "hipErrorOutOfMemory");
+  add("cudaErrorInvalidValue", "hipErrorInvalidValue");
+  add("cudaErrorNotReady", "hipErrorNotReady");
+  add("cudaGetErrorString", "hipGetErrorString");
+  add("cudaGetLastError", "hipGetLastError");
+  add("cudaPeekAtLastError", "hipPeekAtLastError");
+
+  // Launch bookkeeping.
+  add("cudaLaunchKernel", "hipLaunchKernel");
+  add("cudaFuncSetCacheConfig", "hipFuncSetCacheConfig");
+  add("cudaFuncAttributes", "hipFuncAttributes");
+  add("cudaOccupancyMaxActiveBlocksPerMultiprocessor",
+      "hipOccupancyMaxActiveBlocksPerMultiprocessor");
+
+  // Outdated CUDA (pre-4.0 "thread" naming): still translated, but flagged
+  // as the manual-review cases §2.1 calls out.
+  add("cudaThreadSynchronize", "hipDeviceSynchronize", /*deprecated=*/true);
+  add("cudaThreadExit", "hipDeviceReset", /*deprecated=*/true);
+  add("cudaThreadSetLimit", "hipDeviceSetLimit", /*deprecated=*/true);
+  add("cudaMemcpyToSymbol", "hipMemcpyToSymbol", /*deprecated=*/true);
+  add("cudaMemcpyFromSymbol", "hipMemcpyFromSymbol", /*deprecated=*/true);
+  add("cudaBindTexture", "hipBindTexture", /*deprecated=*/true);
+  add("cudaUnbindTexture", "hipUnbindTexture", /*deprecated=*/true);
+
+  // Libraries: cuBLAS -> hipBLAS (interfaces "close to or identical", §3.6).
+  add("cublasHandle_t", "hipblasHandle_t");
+  add("cublasCreate", "hipblasCreate");
+  add("cublasDestroy", "hipblasDestroy");
+  add("cublasSgemm", "hipblasSgemm");
+  add("cublasDgemm", "hipblasDgemm");
+  add("cublasZgemm", "hipblasZgemm");
+  add("cublasGemmEx", "hipblasGemmEx");
+  add("cublasStatus_t", "hipblasStatus_t");
+  add("cublasSetStream", "hipblasSetStream");
+  // cuFFT -> hipFFT.
+  add("cufftHandle", "hipfftHandle");
+  add("cufftPlan1d", "hipfftPlan1d");
+  add("cufftPlan3d", "hipfftPlan3d");
+  add("cufftExecZ2Z", "hipfftExecZ2Z");
+  add("cufftExecC2C", "hipfftExecC2C");
+  add("cufftDestroy", "hipfftDestroy");
+  add("cufftDoubleComplex", "hipfftDoubleComplex");
+  // cuRAND -> hipRAND.
+  add("curandGenerator_t", "hiprandGenerator_t");
+  add("curandCreateGenerator", "hiprandCreateGenerator");
+  add("curandGenerateUniform", "hiprandGenerateUniform");
+  // cuSOLVER -> rocSOLVER-style names (the LSMS §3.2 path).
+  add("cusolverDnHandle_t", "rocblas_handle");
+  add("cusolverDnZgetrf", "rocsolver_zgetrf");
+  add("cusolverDnZgetrs", "rocsolver_zgetrs");
+
+  return t;
+}
+
+/// Returns true when source[pos] starts a full identifier occurrence of
+/// `word` (boundary-checked on both sides).
+bool matches_identifier(std::string_view source, std::size_t pos,
+                        std::string_view word) {
+  if (pos + word.size() > source.size()) return false;
+  if (source.substr(pos, word.size()) != word) return false;
+  if (pos > 0 && is_identifier_char(source[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < source.size() && is_identifier_char(source[end]) &&
+      source[end] != '.') {
+    return false;
+  }
+  return true;
+}
+
+/// Splits a top-level comma-separated argument list (respects nesting of
+/// (), [], {}, and <>... sufficient for launch parameter lists).
+std::vector<std::string> split_top_level(std::string_view text) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      parts.emplace_back(support::trim(text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  parts.emplace_back(support::trim(text.substr(start)));
+  return parts;
+}
+
+/// Scanner state for skipping comments and string/char literals.
+struct Scanner {
+  std::string_view src;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= src.size(); }
+
+  /// If `pos` is at the start of a comment or literal, appends it verbatim
+  /// to `out`, advances past it, and returns true.
+  bool consume_passive(std::string& out) {
+    literal = {};
+    if (done()) return false;
+    const char c = src[pos];
+    if (c == '/' && pos + 1 < src.size()) {
+      if (src[pos + 1] == '/') {
+        const std::size_t end = src.find('\n', pos);
+        const std::size_t stop = end == std::string_view::npos ? src.size() : end;
+        out.append(src.substr(pos, stop - pos));
+        pos = stop;
+        return true;
+      }
+      if (src[pos + 1] == '*') {
+        const std::size_t end = src.find("*/", pos + 2);
+        const std::size_t stop =
+            end == std::string_view::npos ? src.size() : end + 2;
+        out.append(src.substr(pos, stop - pos));
+        pos = stop;
+        return true;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t i = pos + 1;
+      while (i < src.size()) {
+        if (src[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (src[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      literal = src.substr(pos, std::min(i, src.size()) - pos);
+      pos = std::min(i, src.size());
+      out.append(literal);
+      return true;
+    }
+    return false;
+  }
+
+  /// The most recently consumed literal (including quotes); empty when the
+  /// last consume_passive call handled a comment.
+  std::string_view literal;
+};
+
+/// Attempts to convert a `name<<<...>>>(args);` launch starting at the
+/// position of the kernel-name identifier. Returns true (and appends the
+/// hipLaunchKernelGGL form) on success.
+bool try_convert_launch(std::string_view src, std::size_t& pos,
+                        std::string& out) {
+  // Identifier.
+  std::size_t i = pos;
+  if (!is_identifier_char(src[i]) || std::isdigit(static_cast<unsigned char>(src[i]))) {
+    return false;
+  }
+  while (i < src.size() && is_identifier_char(src[i])) ++i;
+  const std::string_view name = src.substr(pos, i - pos);
+  // Optional template args on the kernel name: skip `<...>` only if it is
+  // immediately followed (after the close) by `<<<`; too rare to support —
+  // keep it simple and require `<<<` directly.
+  std::size_t j = i;
+  while (j < src.size() && std::isspace(static_cast<unsigned char>(src[j]))) ++j;
+  if (j + 3 > src.size() || src.substr(j, 3) != "<<<") return false;
+
+  const std::size_t cfg_begin = j + 3;
+  const std::size_t cfg_end = src.find(">>>", cfg_begin);
+  if (cfg_end == std::string_view::npos) return false;
+  std::vector<std::string> cfg =
+      split_top_level(src.substr(cfg_begin, cfg_end - cfg_begin));
+  if (cfg.size() < 2 || cfg.size() > 4) return false;
+  while (cfg.size() < 3) cfg.emplace_back("0");        // shared mem
+  while (cfg.size() < 4) cfg.emplace_back("0");        // stream
+
+  std::size_t k = cfg_end + 3;
+  while (k < src.size() && std::isspace(static_cast<unsigned char>(src[k]))) ++k;
+  if (k >= src.size() || src[k] != '(') return false;
+  // Find the matching close paren.
+  int depth = 0;
+  std::size_t args_begin = k + 1;
+  std::size_t args_end = std::string_view::npos;
+  for (std::size_t p = k; p < src.size(); ++p) {
+    if (src[p] == '(') ++depth;
+    if (src[p] == ')') {
+      --depth;
+      if (depth == 0) {
+        args_end = p;
+        break;
+      }
+    }
+  }
+  if (args_end == std::string_view::npos) return false;
+
+  const std::string_view args = src.substr(args_begin, args_end - args_begin);
+  out.append("hipLaunchKernelGGL(").append(name);
+  out.append(", ").append(cfg[0]);
+  out.append(", ").append(cfg[1]);
+  out.append(", ").append(cfg[2]);
+  out.append(", ").append(cfg[3]);
+  if (!support::trim(args).empty()) out.append(", ").append(args);
+  out.append(")");
+  pos = args_end + 1;
+  return true;
+}
+
+}  // namespace
+
+const std::vector<Mapping>& api_table() {
+  static const std::vector<Mapping> table = build_table();
+  return table;
+}
+
+TranslationReport translate(std::string_view cuda_source) {
+  TranslationReport report;
+  const auto& table = api_table();
+  std::string& out = report.output;
+  out.reserve(cuda_source.size() + cuda_source.size() / 8);
+
+  Scanner scan{cuda_source, 0, {}};
+  while (!scan.done()) {
+    const std::size_t before = out.size();
+    if (scan.consume_passive(out)) {
+      // `#include "cuda_runtime.h"` style headers live inside string
+      // literals; translate those too.
+      if (!scan.literal.empty()) {
+        for (const auto& m : table) {
+          if (!support::ends_with(m.cuda, ".h")) continue;
+          const std::string quoted = "\"" + m.cuda + "\"";
+          if (out.size() - before == quoted.size() &&
+              out.compare(before, quoted.size(), quoted) == 0) {
+            out.replace(before, quoted.size(), "\"" + m.hip + "\"");
+            ++report.replacements;
+            ++report.by_identifier[m.cuda];
+            break;
+          }
+        }
+        scan.literal = {};
+      }
+      continue;
+    }
+    const char c = cuda_source[scan.pos];
+
+    if (is_identifier_char(c) &&
+        (scan.pos == 0 || !is_identifier_char(cuda_source[scan.pos - 1]))) {
+      // Launch conversion first: the kernel name is an identifier too.
+      if (try_convert_launch(cuda_source, scan.pos, out)) {
+        ++report.launches_converted;
+        ++report.replacements;
+        continue;
+      }
+      // Table lookup (longest match wins; table entries are unique names,
+      // but e.g. cudaMemcpy vs cudaMemcpyAsync share a prefix).
+      const Mapping* best = nullptr;
+      for (const auto& m : table) {
+        if (matches_identifier(cuda_source, scan.pos, m.cuda)) {
+          if (best == nullptr || m.cuda.size() > best->cuda.size()) best = &m;
+        }
+      }
+      if (best != nullptr) {
+        out.append(best->hip);
+        ++report.replacements;
+        ++report.by_identifier[best->cuda];
+        if (best->deprecated) {
+          report.warnings.push_back("outdated CUDA syntax: " + best->cuda +
+                                    " (translated to " + best->hip +
+                                    "; review manually)");
+        }
+        scan.pos += best->cuda.size();
+        continue;
+      }
+      // Unrecognized CUDA-looking identifier?
+      std::size_t end = scan.pos;
+      while (end < cuda_source.size() && is_identifier_char(cuda_source[end])) {
+        ++end;
+      }
+      const std::string word(cuda_source.substr(scan.pos, end - scan.pos));
+      if ((support::starts_with(word, "cuda") ||
+           support::starts_with(word, "cublas") ||
+           support::starts_with(word, "cufft") ||
+           support::starts_with(word, "curand") ||
+           support::starts_with(word, "cusolver")) &&
+          std::find(report.unrecognized.begin(), report.unrecognized.end(),
+                    word) == report.unrecognized.end()) {
+        report.unrecognized.push_back(word);
+      }
+      out.append(word);
+      scan.pos = end;
+      continue;
+    }
+
+    out.push_back(c);
+    ++scan.pos;
+  }
+  return report;
+}
+
+}  // namespace exa::hip::hipify

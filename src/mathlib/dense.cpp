@@ -1,0 +1,138 @@
+#include "mathlib/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::ml {
+
+namespace {
+constexpr std::size_t kBlock = 64;  // cache-blocking tile edge
+}
+
+template <typename T>
+void gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
+          std::size_t m, std::size_t n, std::size_t k, T alpha, T beta) {
+  EXA_REQUIRE(a.size() >= m * k);
+  EXA_REQUIRE(b.size() >= k * n);
+  EXA_REQUIRE(c.size() >= m * n);
+
+  // Scale C by beta first.
+  if (beta == T{}) {
+    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), T{});
+  } else if (!(beta == T{1})) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == T{} || m == 0 || n == 0 || k == 0) return;
+
+  // Parallelize over row blocks; each row block is owned by one task so
+  // no two tasks write the same C element.
+  const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
+  support::ThreadPool::global().parallel_for(
+      0, row_blocks, [&](std::size_t rb) {
+        const std::size_t i0 = rb * kBlock;
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t kk = 0; kk < k; kk += kBlock) {
+          const std::size_t k1 = std::min(k, kk + kBlock);
+          for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t p = kk; p < k1; ++p) {
+              const T av = alpha * a[i * k + p];
+              if (av == T{}) continue;
+              const T* brow = &b[p * n];
+              T* crow = &c[i * n];
+              for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      });
+}
+
+template void gemm<float>(std::span<const float>, std::span<const float>,
+                          std::span<float>, std::size_t, std::size_t,
+                          std::size_t, float, float);
+template void gemm<double>(std::span<const double>, std::span<const double>,
+                           std::span<double>, std::size_t, std::size_t,
+                           std::size_t, double, double);
+template void gemm<zcomplex>(std::span<const zcomplex>,
+                             std::span<const zcomplex>, std::span<zcomplex>,
+                             std::size_t, std::size_t, std::size_t, zcomplex,
+                             zcomplex);
+
+void dgemm(std::span<const double> a, std::span<const double> b,
+           std::span<double> c, std::size_t m, std::size_t n, std::size_t k,
+           double alpha, double beta) {
+  gemm<double>(a, b, c, m, n, k, alpha, beta);
+}
+
+void sgemm(std::span<const float> a, std::span<const float> b,
+           std::span<float> c, std::size_t m, std::size_t n, std::size_t k,
+           float alpha, float beta) {
+  gemm<float>(a, b, c, m, n, k, alpha, beta);
+}
+
+void zgemm(std::span<const zcomplex> a, std::span<const zcomplex> b,
+           std::span<zcomplex> c, std::size_t m, std::size_t n, std::size_t k,
+           zcomplex alpha, zcomplex beta) {
+  gemm<zcomplex>(a, b, c, m, n, k, alpha, beta);
+}
+
+float round_to_f16(float x) {
+  // Clamp to the binary16 range, then round the significand to 10 bits
+  // (round-to-nearest-even) by the classic float-bit trick.
+  if (!std::isfinite(x)) return x;
+  constexpr float kMax = 65504.0f;
+  x = std::clamp(x, -kMax, kMax);
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  // Keep 10 significand bits: add half of the dropped ULP, tie to even.
+  const std::uint32_t mask = (1u << 13) - 1u;
+  const std::uint32_t half = 1u << 12;
+  const std::uint32_t rem = bits & mask;
+  bits &= ~mask;
+  if (rem > half || (rem == half && (bits & (1u << 13)))) bits += (1u << 13);
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  // Flush subnormals (magnitude below 2^-14) to zero, as GPU units do.
+  if (std::fabs(out) < 6.103515625e-5f && out != 0.0f) out = 0.0f;
+  return out;
+}
+
+void hgemm_f32acc(std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, std::size_t m, std::size_t n,
+                  std::size_t k) {
+  EXA_REQUIRE(a.size() >= m * k);
+  EXA_REQUIRE(b.size() >= k * n);
+  EXA_REQUIRE(c.size() >= m * n);
+  // Quantize inputs once (this is what feeding FP16 tensor cores does).
+  std::vector<float> aq(m * k);
+  std::vector<float> bq(k * n);
+  for (std::size_t i = 0; i < m * k; ++i) aq[i] = round_to_f16(a[i]);
+  for (std::size_t i = 0; i < k * n; ++i) bq[i] = round_to_f16(b[i]);
+  gemm<float>(aq, bq, c, m, n, k, 1.0f, 0.0f);
+}
+
+template <typename T>
+double rel_error(std::span<const T> x, std::span<const T> y) {
+  EXA_REQUIRE(x.size() == y.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto d = x[i] - y[i];
+    num += std::norm(std::complex<double>(d));
+    den += std::norm(std::complex<double>(y[i]));
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+template double rel_error<float>(std::span<const float>, std::span<const float>);
+template double rel_error<double>(std::span<const double>,
+                                  std::span<const double>);
+template double rel_error<zcomplex>(std::span<const zcomplex>,
+                                    std::span<const zcomplex>);
+
+}  // namespace exa::ml

@@ -1,0 +1,60 @@
+#pragma once
+/// \file dense.hpp
+/// Real host implementations of the dense linear algebra the applications
+/// lean on (GAMESS RI-MP2 contractions, LSMS ZGEMM, CoMet's GEMM-shaped
+/// metrics, NuCCOR tensor contractions). Row-major throughout. These are
+/// the *functional* halves of the simulated vendor libraries; timing comes
+/// from device_blas.hpp profiles.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace exa::ml {
+
+using zcomplex = std::complex<double>;
+
+/// C = alpha * A(m x k) * B(k x n) + beta * C(m x n), row-major, blocked
+/// and threaded. Works for float, double, std::complex<double>.
+template <typename T>
+void gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
+          std::size_t m, std::size_t n, std::size_t k, T alpha, T beta);
+
+/// Convenience overloads matching BLAS naming.
+void dgemm(std::span<const double> a, std::span<const double> b,
+           std::span<double> c, std::size_t m, std::size_t n, std::size_t k,
+           double alpha = 1.0, double beta = 0.0);
+void sgemm(std::span<const float> a, std::span<const float> b,
+           std::span<float> c, std::size_t m, std::size_t n, std::size_t k,
+           float alpha = 1.0f, float beta = 0.0f);
+void zgemm(std::span<const zcomplex> a, std::span<const zcomplex> b,
+           std::span<zcomplex> c, std::size_t m, std::size_t n, std::size_t k,
+           zcomplex alpha = {1.0, 0.0}, zcomplex beta = {0.0, 0.0});
+
+/// Mixed-precision GEMM (the CoMet §3.6 path): inputs quantized to FP16
+/// (round-to-nearest-even on the significand), products accumulated in
+/// FP32. `a`/`b` are given in float; quantization happens internally.
+void hgemm_f32acc(std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, std::size_t m, std::size_t n,
+                  std::size_t k);
+
+/// Rounds a float through IEEE binary16 (used by hgemm_f32acc and tests).
+[[nodiscard]] float round_to_f16(float x);
+
+/// Frobenius-norm relative error ||x - y|| / ||y||, for test assertions.
+template <typename T>
+[[nodiscard]] double rel_error(std::span<const T> x, std::span<const T> y);
+
+/// Flop count conventions (2mnk for real, 8mnk for complex).
+[[nodiscard]] constexpr double gemm_flops_real(std::size_t m, std::size_t n,
+                                               std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+[[nodiscard]] constexpr double gemm_flops_complex(std::size_t m, std::size_t n,
+                                                  std::size_t k) {
+  return 8.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace exa::ml

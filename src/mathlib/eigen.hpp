@@ -1,0 +1,45 @@
+#pragma once
+/// \file eigen.hpp
+/// Real symmetric eigensolver — the diagonalization dependency GAMESS
+/// §3.1 leans on ("ROCm 5.4 was used in conjunction with MAGMA to include
+/// a more efficient divide and conquer implementation of symmetric eigen
+/// solver"). The host implementation is the cyclic Jacobi method (robust,
+/// simple, quadratically convergent); the device cost profiles distinguish
+/// the classic QR-iteration path from the divide-and-conquer path that
+/// replaced it.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::ml {
+
+/// Eigendecomposition of a symmetric n x n matrix (row-major): fills
+/// `eigenvalues` (ascending) and `eigenvectors` (row-major; row i of the
+/// ORIGINAL basis dotted with column j gives... vectors are stored as
+/// columns: eigenvectors[r * n + j] is component r of eigenvector j).
+/// Requires symmetry within `symmetry_tol`.
+void syev(std::span<const double> a, std::size_t n,
+          std::span<double> eigenvalues, std::span<double> eigenvectors,
+          double tol = 1e-12, int max_sweeps = 64,
+          double symmetry_tol = 1e-9);
+
+/// Eigenvalues only (same algorithm, vectors not accumulated).
+void syev_values(std::span<const double> a, std::size_t n,
+                 std::span<double> eigenvalues, double tol = 1e-12,
+                 int max_sweeps = 64);
+
+/// Eigensolver algorithm choices in the vendor libraries.
+enum class EigenAlgo {
+  kQrIteration,       ///< the pre-ROCm-5.4 path
+  kDivideAndConquer,  ///< the MAGMA path GAMESS adopted (§3.1)
+};
+
+/// Device cost profile of a dense symmetric eigensolve.
+[[nodiscard]] sim::KernelProfile syevd_profile(const arch::GpuArch& gpu,
+                                               std::size_t n, EigenAlgo algo);
+
+}  // namespace exa::ml

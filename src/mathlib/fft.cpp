@@ -1,0 +1,97 @@
+#include "mathlib/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::ml {
+
+void fft(std::span<zcomplex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  EXA_REQUIRE_MSG(is_pow2(n), "FFT length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const zcomplex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      zcomplex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const zcomplex u = data[i + j];
+        const zcomplex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+void fft_batch(std::span<zcomplex> data, std::size_t n, std::size_t count,
+               bool inverse) {
+  EXA_REQUIRE(data.size() >= n * count);
+  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t line) {
+    fft(data.subspan(line * n, n), inverse);
+  });
+}
+
+void fft3d(std::span<zcomplex> data, std::size_t nx, std::size_t ny,
+           std::size_t nz, bool inverse) {
+  EXA_REQUIRE(data.size() >= nx * ny * nz);
+  EXA_REQUIRE(is_pow2(nx) && is_pow2(ny) && is_pow2(nz));
+
+  // Along z (contiguous lines).
+  fft_batch(data, nz, nx * ny, inverse);
+
+  // Along y (stride nz within each x-plane).
+  support::ThreadPool::global().parallel_for(0, nx * nz, [&](std::size_t idx) {
+    const std::size_t x = idx / nz;
+    const std::size_t z = idx % nz;
+    std::vector<zcomplex> line(ny);
+    for (std::size_t y = 0; y < ny; ++y) {
+      line[y] = data[(x * ny + y) * nz + z];
+    }
+    fft(line, inverse);
+    for (std::size_t y = 0; y < ny; ++y) {
+      data[(x * ny + y) * nz + z] = line[y];
+    }
+  });
+
+  // Along x (stride ny*nz).
+  support::ThreadPool::global().parallel_for(0, ny * nz, [&](std::size_t idx) {
+    const std::size_t y = idx / nz;
+    const std::size_t z = idx % nz;
+    std::vector<zcomplex> line(nx);
+    for (std::size_t x = 0; x < nx; ++x) {
+      line[x] = data[(x * ny + y) * nz + z];
+    }
+    fft(line, inverse);
+    for (std::size_t x = 0; x < nx; ++x) {
+      data[(x * ny + y) * nz + z] = line[x];
+    }
+  });
+}
+
+double fft_flops(std::size_t n) {
+  if (n <= 1) return 0.0;
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * std::log2(dn);
+}
+
+}  // namespace exa::ml

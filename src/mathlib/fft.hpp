@@ -1,0 +1,33 @@
+#pragma once
+/// \file fft.hpp
+/// Radix-2 complex FFTs — the core of GESTS' pseudo-spectral DNS (§3.3)
+/// and the FFT component of the SHOC suite. Real, tested numerics; device
+/// timing comes from the tuned library profiles (device_blas.hpp).
+
+#include <cstddef>
+#include <span>
+
+#include "mathlib/dense.hpp"
+
+namespace exa::ml {
+
+/// In-place iterative radix-2 FFT; `data.size()` must be a power of two.
+/// The inverse transform is scaled by 1/N (so ifft(fft(x)) == x).
+void fft(std::span<zcomplex> data, bool inverse = false);
+
+/// Batched 1-D transforms: `count` contiguous lines of length `n`.
+void fft_batch(std::span<zcomplex> data, std::size_t n, std::size_t count,
+               bool inverse = false);
+
+/// Full 3-D transform of an nx x ny x nz row-major brick (z fastest).
+void fft3d(std::span<zcomplex> data, std::size_t nx, std::size_t ny,
+           std::size_t nz, bool inverse = false);
+
+/// Standard flop-count convention for a complex length-n transform.
+[[nodiscard]] double fft_flops(std::size_t n);
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace exa::ml

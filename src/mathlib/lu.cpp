@@ -1,0 +1,281 @@
+#include "mathlib/lu.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::ml {
+
+int zgetrf(std::span<zcomplex> a, std::size_t n, std::span<int> pivots) {
+  EXA_REQUIRE(a.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  int info = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in column at or below the diagonal.
+    std::size_t piv = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    pivots[col] = static_cast<int>(piv);
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[piv * n + j]);
+      }
+    }
+    const zcomplex d = a[col * n + col];
+    if (d == zcomplex{}) {
+      if (info == 0) info = static_cast<int>(col) + 1;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const zcomplex l = a[r * n + col] / d;
+      a[r * n + col] = l;
+      if (l == zcomplex{}) continue;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[r * n + j] -= l * a[col * n + j];
+      }
+    }
+  }
+  return info;
+}
+
+void zgetrs(std::span<const zcomplex> lu, std::size_t n,
+            std::span<const int> pivots, std::span<zcomplex> b,
+            std::size_t nrhs) {
+  EXA_REQUIRE(lu.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  EXA_REQUIRE(b.size() >= n * nrhs);
+
+  // Apply the row interchanges in order.
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto p = static_cast<std::size_t>(pivots[r]);
+    EXA_REQUIRE(p < n);
+    if (p != r) {
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        std::swap(b[r * nrhs + j], b[p * nrhs + j]);
+      }
+    }
+  }
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      const zcomplex l = lu[r * n + c];
+      if (l == zcomplex{}) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        b[r * nrhs + j] -= l * b[c * nrhs + j];
+      }
+    }
+  }
+  // Back substitution with U: subtract the already-solved trailing
+  // unknowns, then divide by the diagonal.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const zcomplex d = lu[ri * n + ri];
+    EXA_REQUIRE_MSG(d != zcomplex{}, "singular U in zgetrs");
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      const zcomplex u = lu[ri * n + c];
+      if (u == zcomplex{}) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        b[ri * nrhs + j] -= u * b[c * nrhs + j];
+      }
+    }
+    for (std::size_t j = 0; j < nrhs; ++j) b[ri * nrhs + j] /= d;
+  }
+}
+
+int dgetrf(std::span<double> a, std::size_t n, std::span<int> pivots) {
+  EXA_REQUIRE(a.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  int info = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    pivots[col] = static_cast<int>(piv);
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[piv * n + j]);
+      }
+    }
+    const double d = a[col * n + col];
+    if (d == 0.0) {
+      if (info == 0) info = static_cast<int>(col) + 1;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double l = a[r * n + col] / d;
+      a[r * n + col] = l;
+      if (l == 0.0) continue;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[r * n + j] -= l * a[col * n + j];
+      }
+    }
+  }
+  return info;
+}
+
+void dgetrs(std::span<const double> lu, std::size_t n,
+            std::span<const int> pivots, std::span<double> b,
+            std::size_t nrhs) {
+  EXA_REQUIRE(lu.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  EXA_REQUIRE(b.size() >= n * nrhs);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto p = static_cast<std::size_t>(pivots[r]);
+    EXA_REQUIRE(p < n);
+    if (p != r) {
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        std::swap(b[r * nrhs + j], b[p * nrhs + j]);
+      }
+    }
+  }
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t c = 0; c < r; ++c) {
+      const double l = lu[r * n + c];
+      if (l == 0.0) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        b[r * nrhs + j] -= l * b[c * nrhs + j];
+      }
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    const double d = lu[ri * n + ri];
+    EXA_REQUIRE_MSG(d != 0.0, "singular U in dgetrs");
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      const double u = lu[ri * n + c];
+      if (u == 0.0) continue;
+      for (std::size_t j = 0; j < nrhs; ++j) {
+        b[ri * nrhs + j] -= u * b[c * nrhs + j];
+      }
+    }
+    for (std::size_t j = 0; j < nrhs; ++j) b[ri * nrhs + j] /= d;
+  }
+}
+
+std::vector<zcomplex> zinverse(std::span<const zcomplex> a, std::size_t n) {
+  EXA_REQUIRE(a.size() >= n * n);
+  std::vector<zcomplex> lu(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(n * n));
+  std::vector<int> piv(n);
+  const int info = zgetrf(lu, n, piv);
+  EXA_REQUIRE_MSG(info == 0, "singular matrix in zinverse");
+  std::vector<zcomplex> inv(n * n, zcomplex{});
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = zcomplex{1.0, 0.0};
+  zgetrs(lu, n, piv, inv, n);
+  return inv;
+}
+
+void zblock_lu_inverse_topleft(std::span<zcomplex> a, std::size_t n,
+                               std::size_t block, std::span<zcomplex> inv_tl) {
+  EXA_REQUIRE(block > 0 && n % block == 0);
+  EXA_REQUIRE(a.size() >= n * n);
+  EXA_REQUIRE(inv_tl.size() >= block * block);
+  const std::size_t nb = n / block;
+
+  // Eliminate trailing diagonal blocks from the last to the second: after
+  // each step the leading (k0 x k0) submatrix holds the Schur complement,
+  // whose top-left tile's inverse equals that of the original matrix.
+  std::vector<zcomplex> dblk(block * block);
+  std::vector<zcomplex> w;     // Dinv * A[k, 0..k0]
+  std::vector<zcomplex> colk;  // A[0..k0, k]
+  for (std::size_t kb = nb; kb-- > 1;) {
+    const std::size_t k0 = kb * block;
+    // Extract and invert the trailing diagonal block.
+    for (std::size_t i = 0; i < block; ++i) {
+      for (std::size_t j = 0; j < block; ++j) {
+        dblk[i * block + j] = a[(k0 + i) * n + (k0 + j)];
+      }
+    }
+    const std::vector<zcomplex> dinv = zinverse(dblk, block);
+
+    // W = Dinv * A[k0.., 0..k0]   (block x k0)
+    w.assign(block * k0, zcomplex{});
+    for (std::size_t i = 0; i < block; ++i) {
+      for (std::size_t p = 0; p < block; ++p) {
+        const zcomplex v = dinv[i * block + p];
+        if (v == zcomplex{}) continue;
+        for (std::size_t j = 0; j < k0; ++j) {
+          w[i * k0 + j] += v * a[(k0 + p) * n + j];
+        }
+      }
+    }
+    // colk = A[0..k0, k0..k0+block]   (k0 x block)
+    colk.resize(k0 * block);
+    for (std::size_t i = 0; i < k0; ++i) {
+      for (std::size_t j = 0; j < block; ++j) {
+        colk[i * block + j] = a[i * n + (k0 + j)];
+      }
+    }
+    // A[0..k0, 0..k0] -= colk * W
+    for (std::size_t i = 0; i < k0; ++i) {
+      for (std::size_t p = 0; p < block; ++p) {
+        const zcomplex v = colk[i * block + p];
+        if (v == zcomplex{}) continue;
+        for (std::size_t j = 0; j < k0; ++j) {
+          a[i * n + j] -= v * w[p * k0 + j];
+        }
+      }
+    }
+  }
+
+  // Invert the remaining leading block.
+  for (std::size_t i = 0; i < block; ++i) {
+    for (std::size_t j = 0; j < block; ++j) {
+      dblk[i * block + j] = a[i * n + j];
+    }
+  }
+  const std::vector<zcomplex> inv = zinverse(dblk, block);
+  std::copy(inv.begin(), inv.end(), inv_tl.begin());
+}
+
+int dgetrf_batched(std::span<double> a, std::size_t n, std::size_t count,
+                   std::span<int> pivots) {
+  EXA_REQUIRE(a.size() >= n * n * count);
+  EXA_REQUIRE(pivots.size() >= n * count);
+  std::atomic<int> info{0};
+  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t b) {
+    const int local = dgetrf(a.subspan(b * n * n, n * n), n,
+                             pivots.subspan(b * n, n));
+    if (local != 0) {
+      int expected = 0;
+      info.compare_exchange_strong(expected, local);
+    }
+  });
+  return info.load();
+}
+
+void dgetrs_batched(std::span<const double> lu, std::size_t n,
+                    std::size_t count, std::span<const int> pivots,
+                    std::span<double> b, std::size_t nrhs) {
+  EXA_REQUIRE(lu.size() >= n * n * count);
+  EXA_REQUIRE(b.size() >= n * nrhs * count);
+  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t i) {
+    dgetrs(lu.subspan(i * n * n, n * n), n, pivots.subspan(i * n, n),
+           b.subspan(i * n * nrhs, n * nrhs), nrhs);
+  });
+}
+
+double zgetrf_flops(std::size_t n) {
+  // Real-flop count of complex LU: ~ (8/3) n^3 multiplies+adds.
+  const double dn = static_cast<double>(n);
+  return 8.0 / 3.0 * dn * dn * dn;
+}
+
+double zgetrs_flops(std::size_t n, std::size_t nrhs) {
+  const double dn = static_cast<double>(n);
+  return 8.0 * dn * dn * static_cast<double>(nrhs);
+}
+
+}  // namespace exa::ml

@@ -1,0 +1,96 @@
+#include "net/comm_model.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace exa::net {
+
+CommModel::CommModel(const arch::Machine& machine, int ranks_per_node,
+                     bool gpu_aware)
+    : machine_(machine), ranks_per_node_(ranks_per_node), gpu_aware_(gpu_aware) {
+  EXA_REQUIRE(ranks_per_node >= 1);
+  EXA_REQUIRE(machine.network.node_injection_bandwidth() > 0.0);
+}
+
+double CommModel::rank_bandwidth() const {
+  return machine_.network.node_injection_bandwidth() /
+         static_cast<double>(ranks_per_node_);
+}
+
+double CommModel::rank_bandwidth_global() const {
+  return rank_bandwidth() * machine_.network.bisection_factor;
+}
+
+double CommModel::staging_cost(double bytes) const {
+  if (gpu_aware_ || !machine_.node.has_gpu()) return 0.0;
+  const arch::HostLink& link = machine_.node.gpu->host_link;
+  return link.latency_s + bytes / link.bandwidth_bytes_per_s;
+}
+
+double CommModel::p2p(double bytes) const {
+  EXA_REQUIRE(bytes >= 0.0);
+  const auto& net = machine_.network;
+  return net.latency_s + net.per_message_overhead_s + bytes / rank_bandwidth() +
+         2.0 * staging_cost(bytes);  // D2H at the sender, H2D at the receiver
+}
+
+double CommModel::halo_exchange(double bytes_per_face, int faces) const {
+  EXA_REQUIRE(faces >= 0);
+  if (faces == 0) return 0.0;
+  // Pairwise exchanges serialize per face on the NIC but sends/receives of
+  // one face are full duplex; staging is paid once per face per direction.
+  return static_cast<double>(faces) * p2p(bytes_per_face);
+}
+
+double CommModel::log2_ceil(int n) {
+  EXA_REQUIRE(n >= 1);
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+
+double CommModel::allreduce(double bytes, int ranks) const {
+  EXA_REQUIRE(bytes >= 0.0);
+  EXA_REQUIRE(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const auto& net = machine_.network;
+  const double steps = 2.0 * log2_ceil(ranks);
+  const double latency = steps * (net.latency_s + net.per_message_overhead_s);
+  const double volume =
+      2.0 * bytes * (static_cast<double>(ranks - 1) / ranks);
+  return latency + volume / rank_bandwidth_global() + 2.0 * staging_cost(bytes);
+}
+
+double CommModel::alltoall(double bytes_per_pair, int ranks) const {
+  EXA_REQUIRE(bytes_per_pair >= 0.0);
+  EXA_REQUIRE(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const auto& net = machine_.network;
+  const double peers = static_cast<double>(ranks - 1);
+  const double latency =
+      peers * net.per_message_overhead_s + net.latency_s;
+  const double volume = peers * bytes_per_pair;
+  return latency + volume / rank_bandwidth_global() +
+         2.0 * staging_cost(volume);
+}
+
+double CommModel::bcast(double bytes, int ranks) const {
+  EXA_REQUIRE(bytes >= 0.0);
+  EXA_REQUIRE(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const auto& net = machine_.network;
+  const double steps = log2_ceil(ranks);
+  // Large messages pipeline: volume term pays ~1x, latency term pays the
+  // tree depth.
+  return steps * (net.latency_s + net.per_message_overhead_s) +
+         bytes / rank_bandwidth_global() + 2.0 * staging_cost(bytes);
+}
+
+double CommModel::barrier(int ranks) const {
+  EXA_REQUIRE(ranks >= 1);
+  if (ranks == 1) return 0.0;
+  const auto& net = machine_.network;
+  return 2.0 * log2_ceil(ranks) *
+         (net.latency_s + net.per_message_overhead_s);
+}
+
+}  // namespace exa::net

@@ -1,0 +1,68 @@
+#pragma once
+/// \file comm_model.hpp
+/// Analytic inter-node communication model (LogGP-flavored) parameterized
+/// by a machine's interconnect. This is the substrate for every scaling
+/// result in the paper: GESTS' slab/pencil transposes (§3.3), Pele's ghost
+/// exchanges (§3.8), LAMMPS' QEq CG reductions (§3.10.2), CoMet/ExaSky
+/// weak scaling (§3.4, §3.6).
+///
+/// Model: a message of m bytes between two ranks costs
+///     L + o + m / B_eff
+/// where L is the wire latency, o the per-message software overhead, and
+/// B_eff the per-rank share of node injection bandwidth (divided by the
+/// number of ranks per node communicating concurrently), degraded by the
+/// topology's bisection factor for global patterns. GPU-aware MPI sends
+/// device buffers straight to the NIC; without it, each end stages the
+/// message across the host link first (§2.2's USE_DEVICE_PTR story).
+
+#include "arch/machine.hpp"
+
+namespace exa::net {
+
+class CommModel {
+ public:
+  /// `ranks_per_node` communicating concurrently (usually one per device).
+  CommModel(const arch::Machine& machine, int ranks_per_node,
+            bool gpu_aware = true);
+
+  [[nodiscard]] const arch::Machine& machine() const { return machine_; }
+  [[nodiscard]] int ranks_per_node() const { return ranks_per_node_; }
+  [[nodiscard]] int total_ranks() const {
+    return machine_.node_count * ranks_per_node_;
+  }
+  [[nodiscard]] bool gpu_aware() const { return gpu_aware_; }
+  void set_gpu_aware(bool aware) { gpu_aware_ = aware; }
+
+  /// Per-rank share of node injection bandwidth (bytes/s).
+  [[nodiscard]] double rank_bandwidth() const;
+  /// rank_bandwidth degraded by the bisection factor (global patterns).
+  [[nodiscard]] double rank_bandwidth_global() const;
+
+  /// Point-to-point message of `bytes` between ranks on different nodes.
+  [[nodiscard]] double p2p(double bytes) const;
+  /// Nearest-neighbor halo exchange: each rank exchanges `bytes_per_face`
+  /// with `faces` neighbors (sends and receives overlap pairwise).
+  [[nodiscard]] double halo_exchange(double bytes_per_face, int faces) const;
+  /// Allreduce of `bytes` over `ranks` (Rabenseifner: reduce-scatter +
+  /// allgather).
+  [[nodiscard]] double allreduce(double bytes, int ranks) const;
+  /// Personalized all-to-all within a group of `ranks`: every pair
+  /// exchanges `bytes_per_pair`.
+  [[nodiscard]] double alltoall(double bytes_per_pair, int ranks) const;
+  /// Broadcast of `bytes` to `ranks` (binomial tree, pipelined for large
+  /// messages).
+  [[nodiscard]] double bcast(double bytes, int ranks) const;
+  [[nodiscard]] double barrier(int ranks) const;
+
+ private:
+  /// Cost of staging a device buffer through the host on one end when the
+  /// MPI is not GPU-aware (applies to both sender and receiver).
+  [[nodiscard]] double staging_cost(double bytes) const;
+  [[nodiscard]] static double log2_ceil(int n);
+
+  arch::Machine machine_;
+  int ranks_per_node_;
+  bool gpu_aware_;
+};
+
+}  // namespace exa::net

@@ -1,0 +1,50 @@
+#include "net/scaling.hpp"
+
+#include "support/assert.hpp"
+#include "support/units.hpp"
+
+namespace exa::net {
+
+void ScalingStudy::run(const std::vector<int>& node_counts,
+                       const std::function<double(int)>& step_time) {
+  EXA_REQUIRE(!node_counts.empty());
+  points_.clear();
+  points_.reserve(node_counts.size());
+  for (const int nodes : node_counts) {
+    EXA_REQUIRE(nodes >= 1);
+    ScalingPoint p;
+    p.nodes = nodes;
+    p.seconds = step_time(nodes);
+    EXA_REQUIRE_MSG(p.seconds > 0.0, "step time must be positive");
+    points_.push_back(p);
+  }
+  const double t0 = points_.front().seconds;
+  const double n0 = points_.front().nodes;
+  for (ScalingPoint& p : points_) {
+    p.ratio = t0 / p.seconds;
+    p.efficiency = kind_ == ScalingKind::kWeak
+                       ? p.ratio
+                       : p.ratio / (static_cast<double>(p.nodes) / n0);
+  }
+}
+
+double ScalingStudy::final_efficiency() const {
+  EXA_REQUIRE(!points_.empty());
+  return points_.back().efficiency;
+}
+
+support::Table ScalingStudy::to_table() const {
+  support::Table t(name_ + (kind_ == ScalingKind::kWeak ? " (weak scaling)"
+                                                        : " (strong scaling)"));
+  t.set_header({"Nodes", "Time/step",
+                kind_ == ScalingKind::kWeak ? "Efficiency" : "Speed-up",
+                "Parallel eff."});
+  for (const auto& p : points_) {
+    t.add_row({std::to_string(p.nodes), support::format_time(p.seconds),
+               support::Table::cell(p.ratio, 3),
+               support::Table::cell(p.efficiency * 100.0, 1) + "%"});
+  }
+  return t;
+}
+
+}  // namespace exa::net

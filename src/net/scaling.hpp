@@ -1,0 +1,50 @@
+#pragma once
+/// \file scaling.hpp
+/// Weak/strong scaling study harness: collects (nodes, time) points from a
+/// user-supplied step function and derives efficiencies/speed-ups — the
+/// format the paper quotes ("weak scaling efficiency ... over 80%", §3.8).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace exa::net {
+
+enum class ScalingKind { kWeak, kStrong };
+
+struct ScalingPoint {
+  int nodes = 0;
+  double seconds = 0.0;
+  /// Weak: t(1)/t(n). Strong: also t(1)/t(n), interpreted as speed-up.
+  double ratio = 0.0;
+  /// Strong-scaling parallel efficiency: speed-up / (n / n0); for weak
+  /// scaling this equals `ratio`.
+  double efficiency = 0.0;
+};
+
+class ScalingStudy {
+ public:
+  ScalingStudy(std::string name, ScalingKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  /// Runs `step_time(nodes)` for each node count and records the series.
+  void run(const std::vector<int>& node_counts,
+           const std::function<double(int)>& step_time);
+
+  [[nodiscard]] const std::vector<ScalingPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] ScalingKind kind() const { return kind_; }
+  /// Efficiency at the largest node count.
+  [[nodiscard]] double final_efficiency() const;
+  [[nodiscard]] support::Table to_table() const;
+
+ private:
+  std::string name_;
+  ScalingKind kind_;
+  std::vector<ScalingPoint> points_;
+};
+
+}  // namespace exa::net

@@ -1,0 +1,146 @@
+#include "omp/offload.hpp"
+
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::omp {
+
+DeviceDataEnvironment& DeviceDataEnvironment::instance() {
+  static DeviceDataEnvironment env;
+  return env;
+}
+
+namespace {
+
+hip::Runtime& rt() { return hip::Runtime::instance(); }
+
+}  // namespace
+
+void DeviceDataEnvironment::enter(void* host, std::size_t bytes,
+                                  MapType type) {
+  EXA_REQUIRE(host != nullptr);
+  EXA_REQUIRE(bytes > 0);
+  const auto it = table_.find(host);
+  if (it != table_.end()) {
+    // Present-table semantics: nested maps just bump the refcount; no
+    // data motion for an already-present object.
+    EXA_REQUIRE_MSG(it->second.bytes == bytes,
+                    "remapping a host object with a different size");
+    ++it->second.refcount;
+    return;
+  }
+  Mapping m;
+  m.bytes = bytes;
+  m.refcount = 1;
+  m.device = rt().current_device().malloc_device(bytes);
+  rt().register_ptr(m.device, rt().current());
+  if (type == MapType::kTo || type == MapType::kToFrom) {
+    std::memcpy(m.device, host, bytes);
+    rt().current_device().transfer_sync(sim::TransferKind::kHostToDevice,
+                                        static_cast<double>(bytes));
+  }
+  table_.emplace(host, m);
+}
+
+void DeviceDataEnvironment::exit(void* host, MapType type) {
+  const auto it = table_.find(host);
+  EXA_REQUIRE_MSG(it != table_.end(), "exit of an unmapped host object");
+  Mapping& m = it->second;
+  if (--m.refcount > 0) return;
+  if (type == MapType::kFrom || type == MapType::kToFrom) {
+    std::memcpy(host, m.device, m.bytes);
+    rt().current_device().transfer_sync(sim::TransferKind::kDeviceToHost,
+                                        static_cast<double>(m.bytes));
+  }
+  rt().unregister_ptr(m.device);
+  rt().current_device().free_device(m.device);
+  table_.erase(it);
+}
+
+void DeviceDataEnvironment::update_to(void* host, bool nowait) {
+  const auto it = table_.find(host);
+  EXA_REQUIRE_MSG(it != table_.end(), "TARGET UPDATE of an unmapped object");
+  std::memcpy(it->second.device, host, it->second.bytes);
+  if (nowait) {
+    rt().current_device().transfer_async(
+        0, sim::TransferKind::kHostToDevice,
+        static_cast<double>(it->second.bytes));
+  } else {
+    rt().current_device().transfer_sync(
+        sim::TransferKind::kHostToDevice,
+        static_cast<double>(it->second.bytes));
+  }
+}
+
+void DeviceDataEnvironment::update_from(void* host, bool nowait) {
+  const auto it = table_.find(host);
+  EXA_REQUIRE_MSG(it != table_.end(), "TARGET UPDATE of an unmapped object");
+  std::memcpy(host, it->second.device, it->second.bytes);
+  if (nowait) {
+    rt().current_device().transfer_async(
+        0, sim::TransferKind::kDeviceToHost,
+        static_cast<double>(it->second.bytes));
+  } else {
+    rt().current_device().transfer_sync(
+        sim::TransferKind::kDeviceToHost,
+        static_cast<double>(it->second.bytes));
+  }
+}
+
+void* DeviceDataEnvironment::use_device_ptr(void* host) const {
+  const auto it = table_.find(host);
+  EXA_REQUIRE_MSG(it != table_.end(), "USE_DEVICE_PTR of an unmapped object");
+  return it->second.device;
+}
+
+bool DeviceDataEnvironment::is_present(const void* host) const {
+  return table_.count(const_cast<void*>(host)) > 0;
+}
+
+void DeviceDataEnvironment::reset() { table_.clear(); }
+
+std::span<std::byte> DeviceDataEnvironment::device_span(void* host) const {
+  const auto it = table_.find(host);
+  EXA_REQUIRE_MSG(it != table_.end(),
+                  "offloaded loop touches an unmapped host object");
+  return {static_cast<std::byte*>(it->second.device), it->second.bytes};
+}
+
+TargetData::TargetData(std::vector<Clause> clauses)
+    : clauses_(std::move(clauses)) {
+  for (const Clause& c : clauses_) {
+    DeviceDataEnvironment::instance().enter(c.host, c.bytes, c.type);
+  }
+}
+
+TargetData::~TargetData() {
+  // Release in reverse order, as nested regions unwind.
+  for (auto it = clauses_.rbegin(); it != clauses_.rend(); ++it) {
+    DeviceDataEnvironment::instance().exit(it->host, it->type);
+  }
+}
+
+void target_teams_distribute(const std::string& name, std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             const LoopCost& cost) {
+  if (n == 0) return;
+  hip::Kernel k;
+  k.profile.name = name;
+  const double dn = static_cast<double>(n);
+  k.profile.add_flops(arch::DType::kF64, cost.flops * dn);
+  k.profile.bytes_read = 0.7 * cost.bytes * dn;
+  k.profile.bytes_written = 0.3 * cost.bytes * dn;
+  k.profile.registers_per_thread = cost.registers;
+  k.bulk_body = [n, &body] {
+    support::ThreadPool::global().parallel_for(0, n, body);
+  };
+  sim::LaunchConfig cfg;
+  cfg.block_threads = 256;
+  cfg.blocks = std::max<std::uint64_t>(1, (n + 255) / 256);
+  const hip::hipError_t err = hip::hipLaunchKernelEXA(k, cfg);
+  EXA_REQUIRE(err == hip::hipSuccess);
+}
+
+}  // namespace exa::omp

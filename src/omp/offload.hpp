@@ -1,0 +1,138 @@
+#pragma once
+/// \file offload.hpp
+/// An OpenMP-target-offload-flavored API over the simulated device — the
+/// §2.2 playbook as code:
+///
+///  * structured TARGET DATA regions (RAII) holding *persistent* device
+///    arrays mapped once;
+///  * TARGET UPDATE TO/FROM for host/device synchronization inside a
+///    region, with NOWAIT for concurrent execution;
+///  * unstructured TARGET ENTER/EXIT DATA pairs;
+///  * USE_DEVICE_PTR to obtain the device pointer for GPU-aware MPI;
+///  * TARGET TEAMS DISTRIBUTE PARALLEL FOR loop offload.
+///
+/// Mapping semantics are real: the device copy is distinct storage, and
+/// host code observes stale data until an UPDATE FROM — exactly the bug
+/// class the §5 trainings covered.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hip/hip_runtime.hpp"
+
+namespace exa::omp {
+
+/// Data-motion direction of a map clause.
+enum class MapType { kTo, kFrom, kToFrom, kAlloc };
+
+/// The device data environment: tracks host->device mappings with
+/// reference counts (OpenMP present-table semantics).
+class DeviceDataEnvironment {
+ public:
+  static DeviceDataEnvironment& instance();
+
+  /// Maps [host, host+bytes) onto the device; increments the refcount if
+  /// already present. kTo/kToFrom copy host content to the device.
+  void enter(void* host, std::size_t bytes, MapType type);
+  /// Decrements the refcount; on release, kFrom/kToFrom copy device
+  /// content back and the device buffer is freed.
+  void exit(void* host, MapType type);
+  /// TARGET UPDATE TO/FROM for a present mapping.
+  void update_to(void* host, bool nowait = false);
+  void update_from(void* host, bool nowait = false);
+  /// USE_DEVICE_PTR: the device pointer of a present mapping.
+  [[nodiscard]] void* use_device_ptr(void* host) const;
+  [[nodiscard]] bool is_present(const void* host) const;
+  [[nodiscard]] std::size_t mapped_count() const { return table_.size(); }
+  /// Drops every mapping (no copy-back); used when the runtime is
+  /// reconfigured under the environment's feet.
+  void reset();
+
+  /// Device-side buffer access for the loop executor (data lives there
+  /// between kernels — the persistence the paper's §2.2 recommends).
+  [[nodiscard]] std::span<std::byte> device_span(void* host) const;
+
+ private:
+  struct Mapping {
+    void* device = nullptr;
+    std::size_t bytes = 0;
+    int refcount = 0;
+  };
+  std::map<void*, Mapping> table_;
+};
+
+/// RAII structured TARGET DATA region.
+class TargetData {
+ public:
+  struct Clause {
+    void* host;
+    std::size_t bytes;
+    MapType type;
+  };
+  explicit TargetData(std::vector<Clause> clauses);
+  ~TargetData();
+  TargetData(const TargetData&) = delete;
+  TargetData& operator=(const TargetData&) = delete;
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+/// Convenience clause builders.
+template <typename T>
+TargetData::Clause map_to(std::span<T> data) {
+  return {data.data(), data.size_bytes(), MapType::kTo};
+}
+template <typename T>
+TargetData::Clause map_from(std::span<T> data) {
+  return {data.data(), data.size_bytes(), MapType::kFrom};
+}
+template <typename T>
+TargetData::Clause map_tofrom(std::span<T> data) {
+  return {data.data(), data.size_bytes(), MapType::kToFrom};
+}
+template <typename T>
+TargetData::Clause map_alloc(std::span<T> data) {
+  return {data.data(), data.size_bytes(), MapType::kAlloc};
+}
+
+/// Per-iteration cost estimate for target_teams_distribute (same role as
+/// pfw::WorkCost).
+struct LoopCost {
+  double flops = 10.0;
+  double bytes = 24.0;
+  int registers = 48;
+};
+
+/// TARGET TEAMS DISTRIBUTE PARALLEL FOR: executes body(i) over the
+/// *device* copies of the mapped arrays. `spans` lists the mappings the
+/// loop touches; the body receives device-side element access through the
+/// DeviceView helper below.
+void target_teams_distribute(const std::string& name, std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             const LoopCost& cost = {});
+
+/// Typed device-side view of a mapped host array (what the compiler's
+/// implicit device pointers give an offloaded loop body).
+template <typename T>
+class DeviceView {
+ public:
+  explicit DeviceView(std::span<T> host_array)
+      : data_(reinterpret_cast<T*>(
+            DeviceDataEnvironment::instance().device_span(host_array.data())
+                .data())),
+        size_(host_array.size()) {}
+
+  [[nodiscard]] T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  T* data_;
+  std::size_t size_;
+};
+
+}  // namespace exa::omp

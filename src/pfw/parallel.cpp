@@ -1,0 +1,78 @@
+#include "pfw/parallel.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::pfw {
+
+namespace {
+
+sim::KernelProfile make_profile(const std::string& label, std::size_t n,
+                                const WorkCost& cost) {
+  sim::KernelProfile p;
+  p.name = label;
+  const double dn = static_cast<double>(n);
+  p.add_flops(arch::DType::kF64, cost.flops * dn);
+  p.bytes_read = cost.bytes_read * dn;
+  p.bytes_written = cost.bytes_written * dn;
+  p.registers_per_thread = cost.registers;
+  p.coherent_run_length = cost.coherent_run_length;
+  return p;
+}
+
+sim::LaunchConfig make_launch(std::size_t n) {
+  sim::LaunchConfig cfg;
+  cfg.block_threads = 256;
+  cfg.blocks = std::max<std::uint64_t>(1, (n + 255) / 256);
+  return cfg;
+}
+
+}  // namespace
+
+void parallel_for(const std::string& label, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  const WorkCost& cost) {
+  if (n == 0) return;
+  hip::Kernel k;
+  k.profile = make_profile(label, n, cost);
+  k.bulk_body = [n, &body] {
+    support::ThreadPool::global().parallel_for(0, n, body);
+  };
+  const hip::hipError_t err = hip::hipLaunchKernelEXA(k, make_launch(n));
+  EXA_REQUIRE(err == hip::hipSuccess);
+}
+
+double parallel_reduce(const std::string& label, std::size_t n,
+                       const std::function<double(std::size_t)>& body,
+                       const WorkCost& cost) {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::mutex mutex;
+  hip::Kernel k;
+  k.profile = make_profile(label, n, cost);
+  k.profile.bytes_written += 4096.0;  // per-block partials
+  k.bulk_body = [n, &body, &total, &mutex] {
+    support::ThreadPool::global().parallel_for_chunks(
+        0, n, [&body, &total, &mutex](std::size_t lo, std::size_t hi) {
+          double partial = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) partial += body(i);
+          const std::lock_guard<std::mutex> lock(mutex);
+          total += partial;
+        });
+  };
+  const hip::hipError_t err = hip::hipLaunchKernelEXA(k, make_launch(n));
+  EXA_REQUIRE(err == hip::hipSuccess);
+  return total;
+}
+
+void fence() { (void)hip::hipDeviceSynchronize(); }
+
+double device_busy_seconds() {
+  return hip::Runtime::instance().current_device().counters().kernel_busy_s;
+}
+
+}  // namespace exa::pfw

@@ -1,0 +1,67 @@
+#pragma once
+/// \file parallel.hpp
+/// Kokkos-style parallel dispatch over the simulated device runtime.
+///
+/// parallel_for / parallel_reduce execute the functor for real on host
+/// threads and charge one simulated kernel launch on the current HIP
+/// device, with a cost profile derived from a per-work-item estimate.
+/// This is how the portability-framework mini-apps (E3SM §3.5, LAMMPS
+/// Kokkos backend §3.10) drive the performance model without writing raw
+/// hip::Kernel plumbing.
+
+#include <functional>
+#include <string>
+
+#include "hip/hip_runtime.hpp"
+#include "pfw/view.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::pfw {
+
+/// Per-work-item cost estimate for the launch profile.
+struct WorkCost {
+  double flops = 10.0;
+  double bytes_read = 16.0;
+  double bytes_written = 8.0;
+  int registers = 48;
+  /// Convergent-run length (0 = fully convergent); see KernelProfile.
+  double coherent_run_length = 0.0;
+};
+
+/// Executes body(i) for i in [0, n) on host threads and charges one
+/// simulated kernel launch named `label`.
+void parallel_for(const std::string& label, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  const WorkCost& cost = {});
+
+/// Sum-reduction: returns sum over i of body(i); charges a launch with a
+/// reduction-shaped profile.
+[[nodiscard]] double parallel_reduce(const std::string& label, std::size_t n,
+                                     const std::function<double(std::size_t)>& body,
+                                     const WorkCost& cost = {});
+
+/// Device fence (hipDeviceSynchronize).
+void fence();
+
+/// Virtual seconds charged by pfw dispatches since runtime configuration
+/// (reads the current device's kernel-busy counter).
+[[nodiscard]] double device_busy_seconds();
+
+/// Allocates a device-resident view, charging the current device's
+/// allocation path (direct hipMalloc-style latency, or the pool when the
+/// device is in pooled mode — the YAKL allocator story).
+template <typename T>
+[[nodiscard]] View<T> create_device_view(const std::string& label,
+                                         std::size_t n0, std::size_t n1 = 1,
+                                         std::size_t n2 = 1,
+                                         std::size_t n3 = 1) {
+  auto& dev = hip::Runtime::instance().current_device();
+  // Charge the allocation through the device's memory manager and release
+  // it immediately: the view's own buffer is host-backed (shared_ptr),
+  // while capacity/latency accounting lives in the device model.
+  void* charge = dev.malloc_device(sizeof(T) * n0 * n1 * n2 * n3);
+  dev.free_device(charge);
+  return View<T>(label, n0, n1, n2, n3, MemSpace::kDevice);
+}
+
+}  // namespace exa::pfw

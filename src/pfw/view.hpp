@@ -1,0 +1,144 @@
+#pragma once
+/// \file view.hpp
+/// Multi-dimensional array views for the portability frameworks (pfw).
+///
+/// §3.5 describes E3SM-MMF using *two* C++ portability libraries — Kokkos
+/// for the cloud micro/macrophysics and YAKL for the dycore — glued by "an
+/// interoperation layer ... that allows an intermediate representation of
+/// multi-dimensional array objects". This module provides that trio:
+/// a Kokkos-flavored view, a YAKL-flavored array, and the intermediate
+/// representation both can convert through without copying.
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace exa::pfw {
+
+/// Memory space of a view. Host data lives on the heap; device data lives
+/// in a (host-backed) allocation charged against the simulated GPU.
+enum class MemSpace { kHost, kDevice };
+
+/// The neutral intermediate representation: shape + strides + a shared
+/// buffer. Both frameworks construct from and expose this — the §3.5
+/// interop layer.
+template <typename T>
+struct ArrayIR {
+  std::shared_ptr<T[]> data;
+  std::array<std::size_t, 4> extents{1, 1, 1, 1};
+  int rank = 0;
+  MemSpace space = MemSpace::kHost;
+  std::string label;
+
+  [[nodiscard]] std::size_t size() const {
+    return std::accumulate(extents.begin(), extents.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+};
+
+/// Kokkos-flavored view: rank fixed at construction, layout-right
+/// (row-major, C style), reference-counted.
+template <typename T>
+class View {
+ public:
+  View() = default;
+
+  explicit View(std::string label, std::size_t n0, std::size_t n1 = 1,
+                std::size_t n2 = 1, std::size_t n3 = 1,
+                MemSpace space = MemSpace::kHost)
+      : ir_{nullptr, {n0, n1, n2, n3},
+            n3 > 1 ? 4 : (n2 > 1 ? 3 : (n1 > 1 ? 2 : 1)), space,
+            std::move(label)} {
+    EXA_REQUIRE(n0 >= 1 && n1 >= 1 && n2 >= 1 && n3 >= 1);
+    ir_.data = std::shared_ptr<T[]>(new T[ir_.size()]());
+  }
+
+  /// Wraps an intermediate representation without copying (the interop
+  /// path: a YAKL array viewed as Kokkos).
+  explicit View(ArrayIR<T> ir) : ir_(std::move(ir)) {
+    EXA_REQUIRE_MSG(ir_.data != nullptr, "cannot view a null ArrayIR");
+  }
+
+  [[nodiscard]] const std::string& label() const { return ir_.label; }
+  [[nodiscard]] int rank() const { return ir_.rank; }
+  [[nodiscard]] std::size_t extent(int dim) const {
+    EXA_REQUIRE(dim >= 0 && dim < 4);
+    return ir_.extents[static_cast<std::size_t>(dim)];
+  }
+  [[nodiscard]] std::size_t size() const { return ir_.size(); }
+  [[nodiscard]] MemSpace space() const { return ir_.space; }
+  [[nodiscard]] T* data() const { return ir_.data.get(); }
+  [[nodiscard]] long use_count() const { return ir_.data.use_count(); }
+
+  // Layout-right indexing.
+  T& operator()(std::size_t i) const { return at(i, 0, 0, 0); }
+  T& operator()(std::size_t i, std::size_t j) const { return at(i, j, 0, 0); }
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return at(i, j, k, 0);
+  }
+  T& operator()(std::size_t i, std::size_t j, std::size_t k,
+                std::size_t l) const {
+    return at(i, j, k, l);
+  }
+
+  /// Exposes the intermediate representation (shares, never copies).
+  [[nodiscard]] ArrayIR<T> to_ir() const { return ir_; }
+
+ private:
+  T& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    EXA_ASSERT(i < ir_.extents[0] && j < ir_.extents[1] &&
+               k < ir_.extents[2] && l < ir_.extents[3]);
+    const auto& e = ir_.extents;
+    return ir_.data[((i * e[1] + j) * e[2] + k) * e[3] + l];
+  }
+
+  ArrayIR<T> ir_;
+};
+
+/// YAKL-flavored array: same storage model, Fortran-ish conveniences
+/// (create-from-ir, deep_copy), allocations optionally drawn from the
+/// framework's device pool (see runtime.hpp).
+template <typename T>
+class Array {
+ public:
+  Array() = default;
+
+  explicit Array(std::string label, std::size_t n0, std::size_t n1 = 1,
+                 std::size_t n2 = 1, std::size_t n3 = 1,
+                 MemSpace space = MemSpace::kHost)
+      : view_(std::move(label), n0, n1, n2, n3, space) {}
+
+  explicit Array(ArrayIR<T> ir) : view_(std::move(ir)) {}
+
+  [[nodiscard]] const std::string& label() const { return view_.label(); }
+  [[nodiscard]] int rank() const { return view_.rank(); }
+  [[nodiscard]] std::size_t extent(int dim) const { return view_.extent(dim); }
+  [[nodiscard]] std::size_t size() const { return view_.size(); }
+  [[nodiscard]] T* data() const { return view_.data(); }
+
+  template <typename... Idx>
+  T& operator()(Idx... idx) const {
+    return view_(static_cast<std::size_t>(idx)...);
+  }
+
+  [[nodiscard]] ArrayIR<T> to_ir() const { return view_.to_ir(); }
+
+ private:
+  View<T> view_;
+};
+
+/// Element-wise copy between any two same-shape views/arrays (host side;
+/// device transfer accounting is the runtime's job).
+template <typename Src, typename Dst>
+void deep_copy(const Src& src, const Dst& dst) {
+  EXA_REQUIRE_MSG(src.size() == dst.size(), "deep_copy shape mismatch");
+  auto sir = src.to_ir();
+  auto dir = dst.to_ir();
+  std::copy(sir.data.get(), sir.data.get() + sir.size(), dir.data.get());
+}
+
+}  // namespace exa::pfw

@@ -1,0 +1,239 @@
+#include "sim/device_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+#include "support/units.hpp"
+
+namespace exa::sim {
+
+DeviceSim::DeviceSim(arch::GpuArch gpu) : gpu_(std::move(gpu)) {
+  streams_.emplace(0, 0.0);  // default stream
+}
+
+DeviceSim::~DeviceSim() {
+  for (auto& [ptr, alloc] : allocations_) std::free(ptr);
+}
+
+void DeviceSim::host_advance(double seconds) {
+  EXA_REQUIRE(seconds >= 0.0);
+  host_clock_ += seconds;
+}
+
+SimTime& DeviceSim::stream_ref(StreamId stream) {
+  const auto it = streams_.find(stream);
+  EXA_REQUIRE_MSG(it != streams_.end(), "unknown stream id");
+  return it->second;
+}
+
+const SimTime& DeviceSim::stream_ref(StreamId stream) const {
+  const auto it = streams_.find(stream);
+  EXA_REQUIRE_MSG(it != streams_.end(), "unknown stream id");
+  return it->second;
+}
+
+StreamId DeviceSim::create_stream() {
+  const StreamId id = next_stream_++;
+  // Stream creation is an API call with observable latency on real
+  // runtimes; charge the submit overhead.
+  host_clock_ += submit_overhead_s_;
+  streams_.emplace(id, host_clock_);
+  return id;
+}
+
+void DeviceSim::destroy_stream(StreamId stream) {
+  EXA_REQUIRE_MSG(stream != 0, "the default stream cannot be destroyed");
+  synchronize(stream);
+  const auto erased = streams_.erase(stream);
+  EXA_REQUIRE_MSG(erased == 1, "destroy of unknown stream");
+}
+
+SimTime DeviceSim::stream_ready(StreamId stream) const {
+  return stream_ref(stream);
+}
+
+bool DeviceSim::stream_query(StreamId stream) const {
+  return stream_ref(stream) <= host_clock_;
+}
+
+void DeviceSim::synchronize(StreamId stream) {
+  host_clock_ = std::max(host_clock_, stream_ref(stream));
+}
+
+void DeviceSim::synchronize_all() {
+  for (const auto& [id, ready] : streams_) {
+    host_clock_ = std::max(host_clock_, ready);
+  }
+}
+
+void DeviceSim::stream_wait_until(StreamId stream, SimTime t) {
+  SimTime& ready = stream_ref(stream);
+  ready = std::max(ready, t);
+}
+
+EventId DeviceSim::record_event(StreamId stream) {
+  host_clock_ += submit_overhead_s_;
+  events_.push_back(stream_ref(stream));
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void DeviceSim::stream_wait_event(StreamId stream, EventId event) {
+  host_clock_ += submit_overhead_s_;
+  SimTime& ready = stream_ref(stream);
+  ready = std::max(ready, event_time(event));
+}
+
+void DeviceSim::host_wait_event(EventId event) {
+  host_clock_ = std::max(host_clock_, event_time(event));
+}
+
+SimTime DeviceSim::event_time(EventId event) const {
+  EXA_REQUIRE(event >= 0 &&
+              static_cast<std::size_t>(event) < events_.size());
+  return events_[static_cast<std::size_t>(event)];
+}
+
+double DeviceSim::elapsed(EventId start, EventId stop) const {
+  return event_time(stop) - event_time(start);
+}
+
+KernelTiming DeviceSim::launch(StreamId stream, const KernelProfile& profile,
+                               const LaunchConfig& launch_cfg) {
+  const KernelTiming timing = kernel_timing(gpu_, profile, launch_cfg, tuning_);
+  host_clock_ += submit_overhead_s_;
+  SimTime& ready = stream_ref(stream);
+  // The kernel cannot start before the launch command reaches the device;
+  // if the stream is already busy past that point the latency is hidden.
+  const SimTime start = std::max(host_clock_ + timing.launch_s, ready);
+  const double exec = timing.total_s - timing.launch_s;
+  ready = start + exec;
+  ++counters_.kernels_launched;
+  counters_.kernel_busy_s += exec;
+  return timing;
+}
+
+SimTime DeviceSim::transfer_async(StreamId stream, TransferKind kind,
+                                  double bytes) {
+  host_clock_ += submit_overhead_s_;
+  SimTime& ready = stream_ref(stream);
+  double duration = 0.0;
+  switch (kind) {
+    case TransferKind::kHostToDevice:
+    case TransferKind::kDeviceToHost:
+      duration = transfer_time(gpu_.host_link, bytes);
+      break;
+    case TransferKind::kDeviceToDevice:
+      // On-device copies run at HBM read+write bandwidth.
+      duration = gpu_.kernel_launch_latency_s +
+                 2.0 * bytes / gpu_.hbm_bandwidth_bytes_per_s;
+      break;
+  }
+  const SimTime start = std::max(host_clock_, ready);
+  ready = start + duration;
+  ++counters_.transfers;
+  if (kind == TransferKind::kHostToDevice) counters_.bytes_h2d += bytes;
+  if (kind == TransferKind::kDeviceToHost) counters_.bytes_d2h += bytes;
+  return ready;
+}
+
+void DeviceSim::transfer_sync(TransferKind kind, double bytes) {
+  const SimTime done = transfer_async(0, kind, bytes);
+  host_clock_ = std::max(host_clock_, done);
+}
+
+SimTime DeviceSim::uvm_migrate(StreamId stream, TransferKind kind,
+                               double bytes) {
+  // Faults are raised in page groups (driver batches ~2 MiB at a time) and
+  // each batch pays the fault-handling latency; migrated data moves at a
+  // reduced fraction of the link bandwidth.
+  constexpr double kPageGroup = 2.0 * 1024 * 1024;
+  constexpr double kUvmBandwidthFraction = 0.6;
+  const double groups = std::max(1.0, std::ceil(bytes / kPageGroup));
+  const double fault_cost = groups * gpu_.uvm_page_fault_latency_s;
+  const double move_cost =
+      bytes / (gpu_.host_link.bandwidth_bytes_per_s * kUvmBandwidthFraction);
+
+  host_clock_ += submit_overhead_s_;
+  SimTime& ready = stream_ref(stream);
+  const SimTime start = std::max(host_clock_, ready);
+  ready = start + fault_cost + move_cost;
+  ++counters_.transfers;
+  if (kind == TransferKind::kHostToDevice) counters_.bytes_h2d += bytes;
+  if (kind == TransferKind::kDeviceToHost) counters_.bytes_d2h += bytes;
+  return ready;
+}
+
+void DeviceSim::set_alloc_mode(AllocMode mode,
+                               std::uint64_t pool_capacity_bytes) {
+  alloc_mode_ = mode;
+  if (mode == AllocMode::kPooled) {
+    if (pool_capacity_bytes == 0) pool_capacity_bytes = gpu_.hbm_capacity_bytes;
+    EXA_REQUIRE_MSG(pool_capacity_bytes <= gpu_.hbm_capacity_bytes,
+                    "pool larger than device memory");
+    pool_ = std::make_unique<PoolAllocator>(pool_capacity_bytes);
+  } else {
+    EXA_REQUIRE_MSG(pool_ == nullptr || pool_->live_allocations() == 0,
+                    "cannot disable pool with live pooled allocations");
+    pool_.reset();
+  }
+}
+
+void* DeviceSim::malloc_device(std::uint64_t bytes) {
+  EXA_REQUIRE(bytes > 0);
+  ++counters_.allocs;
+  if (alloc_mode_ == AllocMode::kPooled) {
+    EXA_ASSERT(pool_ != nullptr);
+    const auto offset = pool_->allocate(bytes);
+    if (!offset.has_value()) {
+      throw support::Error("device pool out of memory: requested " +
+                           support::format_bytes(bytes));
+    }
+    host_clock_ += pool_alloc_latency_s_;
+    void* ptr = std::malloc(bytes);
+    EXA_REQUIRE(ptr != nullptr);
+    allocations_[ptr] = Allocation{bytes, true, *offset};
+    // The arena itself was charged against device memory when created;
+    // track logical usage for reporting.
+    bytes_allocated_ += bytes;
+    return ptr;
+  }
+
+  if (bytes_allocated_ + bytes > gpu_.hbm_capacity_bytes) {
+    throw support::Error("device out of memory: " +
+                         support::format_bytes(bytes_allocated_ + bytes) +
+                         " exceeds " +
+                         support::format_bytes(gpu_.hbm_capacity_bytes) +
+                         " on " + gpu_.name);
+  }
+  // hipMalloc/cudaMalloc are device-synchronizing, blocking calls — the
+  // very latency the E3SM pool allocator exists to avoid.
+  synchronize_all();
+  host_clock_ += gpu_.alloc_latency_s;
+  void* ptr = std::malloc(bytes);
+  EXA_REQUIRE(ptr != nullptr);
+  allocations_[ptr] = Allocation{bytes, false, 0};
+  bytes_allocated_ += bytes;
+  return ptr;
+}
+
+void DeviceSim::free_device(void* ptr) {
+  const auto it = allocations_.find(ptr);
+  EXA_REQUIRE_MSG(it != allocations_.end(), "free of unknown device pointer");
+  ++counters_.frees;
+  const Allocation alloc = it->second;
+  allocations_.erase(it);
+  bytes_allocated_ -= alloc.bytes;
+  if (alloc.pooled) {
+    EXA_ASSERT(pool_ != nullptr);
+    pool_->deallocate(alloc.pool_offset);
+    host_clock_ += pool_alloc_latency_s_;
+  } else {
+    synchronize_all();
+    host_clock_ += gpu_.free_latency_s;
+  }
+  std::free(ptr);
+}
+
+}  // namespace exa::sim

@@ -1,0 +1,147 @@
+#pragma once
+/// \file device_sim.hpp
+/// Virtual-time device engine: streams, events, memory, and the host clock.
+///
+/// One DeviceSim models one GPU (one HIP/CUDA device). Kernels and
+/// transfers are *scheduled* onto per-stream virtual timelines; the host
+/// has its own clock. Asynchronous submissions cost the host only a small
+/// submit overhead; synchronization joins the clocks. This is exactly the
+/// machinery needed to reproduce the latency strategies of §3.5 (async
+/// same-stream launches overlap launch overheads) and §3.8 (UVM removal,
+/// fused launches).
+///
+/// Device allocations are *functionally* backed by host memory (kernels
+/// execute for real on the host), while capacity and latency are accounted
+/// against the modeled architecture.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/pool_allocator.hpp"
+
+namespace exa::sim {
+
+using SimTime = double;   ///< virtual seconds
+using StreamId = int;     ///< 0 is the default stream
+using EventId = int;
+
+enum class TransferKind { kHostToDevice, kDeviceToHost, kDeviceToDevice };
+
+/// Memory management behavior for device allocations.
+enum class AllocMode {
+  kDirect,  ///< hipMalloc-style: blocking, full alloc latency
+  kPooled,  ///< YAKL-style pool: cheap, non-blocking
+};
+
+/// Aggregate counters for reports and tests.
+struct DeviceCounters {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  double bytes_h2d = 0.0;
+  double bytes_d2h = 0.0;
+  double kernel_busy_s = 0.0;  ///< summed kernel execution time
+};
+
+class DeviceSim {
+ public:
+  explicit DeviceSim(arch::GpuArch gpu);
+  ~DeviceSim();
+
+  DeviceSim(const DeviceSim&) = delete;
+  DeviceSim& operator=(const DeviceSim&) = delete;
+
+  [[nodiscard]] const arch::GpuArch& gpu() const { return gpu_; }
+  [[nodiscard]] ExecTuning& tuning() { return tuning_; }
+  [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
+
+  // --- virtual clocks --------------------------------------------------
+  [[nodiscard]] SimTime host_now() const { return host_clock_; }
+  /// Charges host-side work (CPU compute between API calls).
+  void host_advance(double seconds);
+  /// Host-side cost of submitting any async operation (default 1 us).
+  void set_submit_overhead(double seconds) { submit_overhead_s_ = seconds; }
+
+  // --- streams & events -------------------------------------------------
+  [[nodiscard]] StreamId create_stream();
+  void destroy_stream(StreamId stream);
+  /// Time at which all work queued on `stream` completes.
+  [[nodiscard]] SimTime stream_ready(StreamId stream) const;
+  /// True when the stream has no pending work at the current host time.
+  [[nodiscard]] bool stream_query(StreamId stream) const;
+  void synchronize(StreamId stream);
+  void synchronize_all();
+
+  /// Holds `stream` busy until virtual time `t` (used by cross-device
+  /// couplings like NodeSim peer transfers).
+  void stream_wait_until(StreamId stream, SimTime t);
+
+  [[nodiscard]] EventId record_event(StreamId stream);
+  void stream_wait_event(StreamId stream, EventId event);
+  void host_wait_event(EventId event);
+  [[nodiscard]] SimTime event_time(EventId event) const;
+  /// Virtual elapsed seconds between two recorded events.
+  [[nodiscard]] double elapsed(EventId start, EventId stop) const;
+
+  // --- kernels -----------------------------------------------------------
+  /// Schedules a kernel on `stream`, returns its timing breakdown. The
+  /// kernel starts at max(host_now + launch latency, stream ready); a busy
+  /// stream therefore hides the launch latency of subsequent kernels.
+  KernelTiming launch(StreamId stream, const KernelProfile& profile,
+                      const LaunchConfig& launch_cfg);
+
+  // --- transfers -----------------------------------------------------------
+  /// Asynchronous copy on `stream`; returns completion time.
+  SimTime transfer_async(StreamId stream, TransferKind kind, double bytes);
+  /// Synchronous copy: blocks the host until complete.
+  void transfer_sync(TransferKind kind, double bytes);
+  /// Models a UVM page-fault migration of `bytes` (first touch): per-page-
+  /// group fault latency plus reduced-bandwidth transfer, blocking the
+  /// consuming stream.
+  SimTime uvm_migrate(StreamId stream, TransferKind kind, double bytes);
+
+  // --- memory ----------------------------------------------------------
+  void set_alloc_mode(AllocMode mode, std::uint64_t pool_capacity_bytes = 0);
+  [[nodiscard]] AllocMode alloc_mode() const { return alloc_mode_; }
+  /// Allocates device memory (host-backed); charges the mode's latency.
+  /// Direct mode synchronizes the device first, as cudaMalloc/hipMalloc do.
+  [[nodiscard]] void* malloc_device(std::uint64_t bytes);
+  void free_device(void* ptr);
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  [[nodiscard]] const PoolAllocator* pool() const { return pool_.get(); }
+
+ private:
+  struct Allocation {
+    std::uint64_t bytes = 0;
+    bool pooled = false;
+    std::uint64_t pool_offset = 0;
+  };
+
+  SimTime& stream_ref(StreamId stream);
+  [[nodiscard]] const SimTime& stream_ref(StreamId stream) const;
+
+  arch::GpuArch gpu_;
+  ExecTuning tuning_;
+  DeviceCounters counters_;
+
+  SimTime host_clock_ = 0.0;
+  double submit_overhead_s_ = 1.0e-6;
+
+  std::unordered_map<StreamId, SimTime> streams_;
+  StreamId next_stream_ = 1;
+  std::vector<SimTime> events_;
+
+  AllocMode alloc_mode_ = AllocMode::kDirect;
+  std::unique_ptr<PoolAllocator> pool_;
+  double pool_alloc_latency_s_ = 2.0e-7;  ///< pointer bump + free-list walk
+  std::unordered_map<void*, Allocation> allocations_;
+  std::uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace exa::sim

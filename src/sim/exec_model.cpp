@@ -1,0 +1,73 @@
+#include "sim/exec_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace exa::sim {
+
+double active_lane_fraction(double coherent_run_length, int wavefront_size) {
+  EXA_REQUIRE(wavefront_size > 0);
+  if (coherent_run_length <= 0.0) return 1.0;  // fully convergent
+  return std::min(1.0, coherent_run_length / static_cast<double>(wavefront_size));
+}
+
+KernelTiming kernel_timing(const arch::GpuArch& gpu,
+                           const KernelProfile& profile,
+                           const LaunchConfig& launch,
+                           const ExecTuning& tuning) {
+  EXA_REQUIRE(profile.compute_efficiency > 0.0 &&
+              profile.compute_efficiency <= 1.0);
+  EXA_REQUIRE(profile.memory_efficiency > 0.0 &&
+              profile.memory_efficiency <= 1.0);
+
+  KernelTiming t;
+  t.launch_s = gpu.kernel_launch_latency_s;
+  t.occupancy = compute_occupancy(gpu, profile, launch);
+  t.active_lane_fraction =
+      active_lane_fraction(profile.coherent_run_length, gpu.wavefront_size);
+
+  const double occ_eff = occupancy_efficiency(t.occupancy.fraction);
+  // Compute throughput scales with the CUs the grid covers; a handful of
+  // CUs can still draw a disproportionate share of HBM bandwidth.
+  const double cu_frac = t.occupancy.cu_utilization;
+  const double bw_frac = std::min(1.0, 4.0 * cu_frac);
+
+  // Arithmetic: components serialize on the issue pipes. Divergence only
+  // throttles the SIMT vector pipes; matrix-core ops are issued per
+  // wavefront and modeled as unaffected by intra-wavefront divergence.
+  for (const auto& w : profile.work) {
+    if (w.flops <= 0.0) continue;
+    const double peak = gpu.peak_flops(w.dtype, w.matrix_cores);
+    const double divergence = w.matrix_cores ? 1.0 : t.active_lane_fraction;
+    const double fma_factor =
+        (w.fma || w.matrix_cores) ? 1.0 : gpu.non_fma_fraction;
+    const double rate = peak * profile.compute_efficiency * occ_eff *
+                        divergence * fma_factor * cu_frac;
+    EXA_ASSERT(rate > 0.0);
+    t.compute_s += w.flops / rate;
+  }
+
+  // Memory: profile traffic plus register-spill scratch traffic. Spills
+  // move 4-byte registers; each spilled register is written once and
+  // reloaded (spill_accesses - 1) times on average.
+  const double threads = static_cast<double>(launch.total_threads());
+  t.spill_bytes = static_cast<double>(t.occupancy.spilled_registers_per_thread) *
+                  4.0 * threads * tuning.spill_accesses *
+                  tuning.spill_traffic_multiplier;
+  const double bw = gpu.hbm_bandwidth_bytes_per_s *
+                    profile.memory_efficiency * occ_eff * bw_frac;
+  EXA_ASSERT(bw > 0.0);
+  t.memory_s = (profile.total_bytes() + t.spill_bytes) / bw;
+
+  t.total_s = t.launch_s + std::max(t.compute_s, t.memory_s);
+  return t;
+}
+
+double transfer_time(const arch::HostLink& link, double bytes) {
+  EXA_REQUIRE(bytes >= 0.0);
+  EXA_REQUIRE(link.bandwidth_bytes_per_s > 0.0);
+  return link.latency_s + bytes / link.bandwidth_bytes_per_s;
+}
+
+}  // namespace exa::sim

@@ -1,0 +1,54 @@
+#pragma once
+/// \file exec_model.hpp
+/// The analytic execution-time model: KernelProfile x LaunchConfig x
+/// GpuArch -> virtual seconds. Roofline at its core (max of compute time
+/// and memory time), extended with occupancy-driven latency-hiding
+/// efficiency, wavefront-divergence activity, and register-spill scratch
+/// traffic. See DESIGN.md §4.
+
+#include "arch/gpu_arch.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/occupancy.hpp"
+
+namespace exa::sim {
+
+/// Knobs that model toolchain quality rather than hardware. The LAMMPS
+/// §3.10.3 compiler fix (inefficient spilling of double-precision constants
+/// between scalar and vector registers) is a spill_traffic_multiplier of ~3
+/// before the fix and 1 after.
+struct ExecTuning {
+  double spill_traffic_multiplier = 1.0;
+  /// Average memory accesses each spilled register generates per thread.
+  double spill_accesses = 3.0;
+};
+
+/// Full breakdown of one simulated kernel execution.
+struct KernelTiming {
+  double launch_s = 0.0;   ///< fixed launch latency
+  double compute_s = 0.0;  ///< arithmetic pipe time (all components)
+  double memory_s = 0.0;   ///< HBM time incl. spill scratch traffic
+  double spill_bytes = 0.0;
+  double total_s = 0.0;    ///< launch + max(compute, memory)
+  Occupancy occupancy;
+  double active_lane_fraction = 1.0;
+  /// Sustained flop rate over the execution (excludes launch latency).
+  [[nodiscard]] double achieved_flops(double total_flops) const {
+    const double exec = total_s - launch_s;
+    return exec > 0.0 ? total_flops / exec : 0.0;
+  }
+};
+
+/// Computes the timing breakdown for one launch.
+[[nodiscard]] KernelTiming kernel_timing(const arch::GpuArch& gpu,
+                                         const KernelProfile& profile,
+                                         const LaunchConfig& launch,
+                                         const ExecTuning& tuning = {});
+
+/// Active-lane fraction for a convergent-run length on wavefront width W.
+[[nodiscard]] double active_lane_fraction(double coherent_run_length,
+                                          int wavefront_size);
+
+/// Host<->device transfer time for `bytes` over `link`.
+[[nodiscard]] double transfer_time(const arch::HostLink& link, double bytes);
+
+}  // namespace exa::sim

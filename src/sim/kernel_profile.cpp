@@ -1,0 +1,13 @@
+#include "sim/kernel_profile.hpp"
+
+#include <limits>
+
+namespace exa::sim {
+
+double KernelProfile::arithmetic_intensity() const {
+  const double bytes = total_bytes();
+  if (bytes <= 0.0) return std::numeric_limits<double>::infinity();
+  return total_flops() / bytes;
+}
+
+}  // namespace exa::sim

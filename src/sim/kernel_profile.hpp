@@ -1,0 +1,119 @@
+#pragma once
+/// \file kernel_profile.hpp
+/// Cost descriptors for simulated GPU kernels.
+///
+/// Every kernel the runtime launches carries a KernelProfile describing the
+/// work one launch performs: flops by data type, bytes moved through HBM,
+/// register/LDS pressure, and branch-divergence structure. The execution
+/// model (exec_model.hpp) turns a profile plus a launch configuration plus
+/// a GpuArch into virtual execution time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/dtype.hpp"
+
+namespace exa::sim {
+
+/// One arithmetic component of a kernel (kernels may mix types, e.g. the
+/// LSMS assembly kernels mix FP64 math with heavy INT32 index arithmetic,
+/// and CoMet mixes FP16 matrix products with FP32 accumulation).
+struct FlopWork {
+  arch::DType dtype = arch::DType::kF64;
+  double flops = 0.0;          ///< total operations for the launch
+  bool matrix_cores = false;   ///< eligible for tensor/matrix units
+  /// False for op mixes that cannot use fused multiply-add (min-plus
+  /// relaxations, compares); throughput drops to arch.non_fma_fraction.
+  bool fma = true;
+};
+
+/// Grid/block shape of a launch (flattened to 1-D; the model only needs
+/// totals and the block size).
+struct LaunchConfig {
+  std::uint64_t blocks = 1;
+  std::uint32_t block_threads = 256;
+
+  [[nodiscard]] std::uint64_t total_threads() const {
+    return blocks * block_threads;
+  }
+};
+
+/// Cost descriptor for one kernel launch.
+struct KernelProfile {
+  std::string name = "kernel";
+
+  std::vector<FlopWork> work;
+
+  /// HBM traffic for the launch (bytes actually reaching DRAM, i.e. after
+  /// cache filtering — profiles encode the *effective* traffic).
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  /// Resource pressure per thread/block.
+  int registers_per_thread = 32;
+  std::uint64_t lds_per_block_bytes = 0;
+
+  /// Branch-divergence structure: average run length (in work-items) of
+  /// convergent work along the thread index. Active-lane fraction on an
+  /// architecture with wavefront width W is min(1, run/W). 0 disables the
+  /// model (fully convergent). This is what makes the ReaxFF torsion kernel
+  /// slow (§3.10.2) and what the wavefront-64-vs-32 ExaSky gravity-kernel
+  /// observation (§3.4) falls out of.
+  double coherent_run_length = 0.0;
+
+  /// Fraction of peak the kernel's instruction mix can reach when compute
+  /// bound (library tuning quality; vendor-tuned GEMMs hit ~0.9, naive
+  /// kernels ~0.6).
+  double compute_efficiency = 0.8;
+  /// Fraction of peak HBM bandwidth reachable when memory bound.
+  double memory_efficiency = 0.8;
+
+  /// Convenience: total flops over all components.
+  [[nodiscard]] double total_flops() const {
+    double s = 0.0;
+    for (const auto& w : work) s += w.flops;
+    return s;
+  }
+  [[nodiscard]] double total_bytes() const { return bytes_read + bytes_written; }
+  /// Arithmetic intensity in flop/byte (infinity if no memory traffic).
+  [[nodiscard]] double arithmetic_intensity() const;
+
+  // -- fluent builders ------------------------------------------------------
+  KernelProfile& with_name(std::string n) {
+    name = std::move(n);
+    return *this;
+  }
+  KernelProfile& add_flops(arch::DType t, double f, bool matrix = false) {
+    work.push_back({t, f, matrix, true});
+    return *this;
+  }
+  KernelProfile& add_flops_nofma(arch::DType t, double f) {
+    work.push_back({t, f, false, false});
+    return *this;
+  }
+  KernelProfile& with_bytes(double read, double written) {
+    bytes_read = read;
+    bytes_written = written;
+    return *this;
+  }
+  KernelProfile& with_registers(int regs) {
+    registers_per_thread = regs;
+    return *this;
+  }
+  KernelProfile& with_lds(std::uint64_t bytes) {
+    lds_per_block_bytes = bytes;
+    return *this;
+  }
+  KernelProfile& with_divergence(double run_length) {
+    coherent_run_length = run_length;
+    return *this;
+  }
+  KernelProfile& with_efficiency(double compute, double memory) {
+    compute_efficiency = compute;
+    memory_efficiency = memory;
+    return *this;
+  }
+};
+
+}  // namespace exa::sim

@@ -1,0 +1,90 @@
+#include "sim/node_sim.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+#include "support/units.hpp"
+
+namespace exa::sim {
+
+NodeSim::NodeSim(const arch::Machine& machine) {
+  EXA_REQUIRE_MSG(machine.node.has_gpu(), "NodeSim requires a GPU node");
+  const int count = machine.node.gpus_per_node;
+  devices_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    devices_.push_back(std::make_unique<DeviceSim>(*machine.node.gpu));
+  }
+
+  const bool amd = machine.node.gpu->vendor == arch::GpuVendor::kAmd;
+  paired_gcds_ =
+      amd && support::contains(machine.node.gpu->name, "MI250X") &&
+      count % 2 == 0;
+  if (paired_gcds_) {
+    // In-package Infinity Fabric between the two GCDs of one MI250X: 4
+    // links, ~200 GB/s each direction aggregated.
+    in_module_ = {200.0 * support::GIGA, 1.0e-6};
+    // Inter-module xGMI on the Frontier node: 50 GB/s per link.
+    fabric_ = {50.0 * support::GIGA, 1.5e-6};
+  } else if (amd) {
+    fabric_ = {46.0 * support::GIGA, 1.5e-6};
+    in_module_ = fabric_;
+  } else {
+    // Summit: NVLink 2.0 between GPUs of one socket group, 50 GB/s.
+    fabric_ = {50.0 * support::GIGA, 1.3e-6};
+    in_module_ = fabric_;
+  }
+}
+
+DeviceSim& NodeSim::device(int index) {
+  EXA_REQUIRE(index >= 0 && index < device_count());
+  return *devices_[static_cast<std::size_t>(index)];
+}
+
+PeerLink NodeSim::link(int src, int dst) const {
+  EXA_REQUIRE(src >= 0 && src < device_count());
+  EXA_REQUIRE(dst >= 0 && dst < device_count());
+  EXA_REQUIRE_MSG(src != dst, "peer link requires two distinct devices");
+  if (paired_gcds_ && src / 2 == dst / 2) return in_module_;
+  return fabric_;
+}
+
+SimTime NodeSim::peer_transfer(int src, int dst, double bytes,
+                               StreamId src_stream, StreamId dst_stream) {
+  EXA_REQUIRE(bytes >= 0.0);
+  const PeerLink l = link(src, dst);
+  const double duration = l.latency_s + bytes / l.bandwidth_bytes_per_s;
+
+  DeviceSim& s = device(src);
+  DeviceSim& d = device(dst);
+  // The copy occupies both ends: it starts once both streams are free and
+  // completes `duration` later on each.
+  const SimTime start = std::max({s.stream_ready(src_stream),
+                                  d.stream_ready(dst_stream), s.host_now(),
+                                  d.host_now()});
+  const SimTime done = start + duration;
+  s.stream_wait_until(src_stream, done);
+  d.stream_wait_until(dst_stream, done);
+  return done;
+}
+
+void NodeSim::synchronize_node() {
+  SimTime latest = 0.0;
+  for (auto& dev : devices_) {
+    dev->synchronize_all();
+    latest = std::max(latest, dev->host_now());
+  }
+  for (auto& dev : devices_) {
+    dev->host_advance(std::max(0.0, latest - dev->host_now()));
+  }
+}
+
+SimTime NodeSim::node_now() const {
+  SimTime latest = 0.0;
+  for (const auto& dev : devices_) {
+    latest = std::max(latest, dev->host_now());
+  }
+  return latest;
+}
+
+}  // namespace exa::sim

@@ -1,0 +1,57 @@
+#pragma once
+/// \file node_sim.hpp
+/// A multi-device node: several DeviceSims joined by peer (xGMI /
+/// NVLink) links — the Frontier node's 8 GCDs on the Infinity Fabric,
+/// Summit's 6 V100s on NVLink. The §5 trainings covered exactly this
+/// topology ("the AMD Infinity Fabric Interconnect", "CPU and GPU
+/// bindings, and NUMA and affinity considerations").
+
+#include <memory>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "sim/device_sim.hpp"
+
+namespace exa::sim {
+
+/// Peer-link bandwidth classes within a node.
+struct PeerLink {
+  double bandwidth_bytes_per_s = 0.0;
+  double latency_s = 0.0;
+};
+
+class NodeSim {
+ public:
+  /// Builds the node of `machine`: one DeviceSim per programming-model
+  /// device, with the peer topology the hardware implies (same-module
+  /// GCD pairs get the fast in-package link; everything else the fabric).
+  explicit NodeSim(const arch::Machine& machine);
+
+  [[nodiscard]] int device_count() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] DeviceSim& device(int index);
+
+  /// Peer link between two devices (direction-symmetric).
+  [[nodiscard]] PeerLink link(int src, int dst) const;
+
+  /// Peer-to-peer copy: charged on both devices' streams; returns the
+  /// completion time (max of the two stream clocks afterwards).
+  SimTime peer_transfer(int src, int dst, double bytes,
+                        StreamId src_stream = 0, StreamId dst_stream = 0);
+
+  /// All-devices barrier: host waits for every stream of every device,
+  /// then aligns all host clocks to the max.
+  void synchronize_node();
+
+  /// The slowest host clock across devices (node-level "now").
+  [[nodiscard]] SimTime node_now() const;
+
+ private:
+  std::vector<std::unique_ptr<DeviceSim>> devices_;
+  bool paired_gcds_ = false;  ///< MI250X: devices 2i and 2i+1 share a module
+  PeerLink in_module_;
+  PeerLink fabric_;
+};
+
+}  // namespace exa::sim

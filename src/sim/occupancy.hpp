@@ -1,0 +1,46 @@
+#pragma once
+/// \file occupancy.hpp
+/// GPU occupancy calculator: the same resource calculus vendor occupancy
+/// tools implement. Occupancy limits latency hiding; the exec model maps
+/// it to a throughput efficiency. The paper's register-pressure stories
+/// (E3SM kernel fission §3.5, ReaxFF low occupancy §3.10.2, Pele 18k-register
+/// chemistry kernels §3.8) are all driven by this calculation.
+
+#include <string>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::sim {
+
+/// What bounded the achieved occupancy.
+enum class OccupancyLimit { kThreads, kBlocks, kRegisters, kLds };
+
+[[nodiscard]] std::string to_string(OccupancyLimit limit);
+
+struct Occupancy {
+  /// Resident threads per CU divided by the architecture maximum, in (0, 1].
+  double fraction = 1.0;
+  int resident_blocks_per_cu = 0;
+  OccupancyLimit limit = OccupancyLimit::kThreads;
+  /// Registers the compiler must spill per thread (requested minus the
+  /// architectural per-thread maximum); 0 when everything fits.
+  int spilled_registers_per_thread = 0;
+  /// Fraction of the device's CUs the grid can cover (launch-width / tail
+  /// effect): min(1, blocks / CUs). A small grid leaves CUs idle without
+  /// slowing the CUs it does use.
+  double cu_utilization = 1.0;
+};
+
+/// Computes occupancy for a kernel/launch pair on `gpu`.
+/// Preconditions: block_threads > 0 and <= architecture max.
+[[nodiscard]] Occupancy compute_occupancy(const arch::GpuArch& gpu,
+                                          const KernelProfile& profile,
+                                          const LaunchConfig& launch);
+
+/// Maps an occupancy fraction to a latency-hiding throughput efficiency in
+/// (0, 1]. Saturating exponential: low occupancy starves the pipelines,
+/// ~40% occupancy is usually enough to hide latency.
+[[nodiscard]] double occupancy_efficiency(double occupancy_fraction);
+
+}  // namespace exa::sim

@@ -1,0 +1,79 @@
+#include "sim/pool_allocator.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace exa::sim {
+
+PoolAllocator::PoolAllocator(std::uint64_t capacity_bytes,
+                             std::uint64_t alignment)
+    : capacity_(capacity_bytes), alignment_(alignment) {
+  EXA_REQUIRE(capacity_bytes > 0);
+  EXA_REQUIRE_MSG(alignment > 0 && (alignment & (alignment - 1)) == 0,
+                  "alignment must be a power of two");
+  capacity_ = capacity_bytes & ~(alignment_ - 1);
+  EXA_REQUIRE(capacity_ > 0);
+  free_.emplace(0, capacity_);
+}
+
+std::optional<std::uint64_t> PoolAllocator::allocate(std::uint64_t bytes) {
+  EXA_REQUIRE(bytes > 0);
+  const std::uint64_t need = align_up(bytes);
+  // First fit: lowest-offset block large enough.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < need) continue;
+    const std::uint64_t offset = it->first;
+    const std::uint64_t remaining = it->second - need;
+    free_.erase(it);
+    if (remaining > 0) free_.emplace(offset + need, remaining);
+    live_.emplace(offset, need);
+    in_use_ += need;
+    high_water_ = std::max(high_water_, in_use_);
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void PoolAllocator::deallocate(std::uint64_t offset) {
+  const auto it = live_.find(offset);
+  EXA_REQUIRE_MSG(it != live_.end(), "deallocate of unknown pool offset");
+  std::uint64_t begin = it->first;
+  std::uint64_t size = it->second;
+  in_use_ -= size;
+  live_.erase(it);
+
+  // Coalesce with the following free block.
+  if (const auto next = free_.find(begin + size); next != free_.end()) {
+    size += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (!free_.empty()) {
+    auto prev = free_.lower_bound(begin);
+    if (prev != free_.begin()) {
+      --prev;
+      if (prev->first + prev->second == begin) {
+        begin = prev->first;
+        size += prev->second;
+        free_.erase(prev);
+      }
+    }
+  }
+  free_.emplace(begin, size);
+}
+
+std::uint64_t PoolAllocator::largest_free_block() const {
+  std::uint64_t largest = 0;
+  for (const auto& [off, size] : free_) largest = std::max(largest, size);
+  return largest;
+}
+
+double PoolAllocator::fragmentation() const {
+  const std::uint64_t total_free = capacity_ - in_use_;
+  if (total_free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) /
+                   static_cast<double>(total_free);
+}
+
+}  // namespace exa::sim

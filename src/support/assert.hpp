@@ -1,0 +1,76 @@
+#pragma once
+/// \file assert.hpp
+/// Error type and contract-checking macros used across exaready.
+///
+/// Following the C++ Core Guidelines (I.5/I.6, E.12-E.14) we check
+/// preconditions at API boundaries and report failures with a typed
+/// exception carrying the failing expression and location.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace exa::support {
+
+/// Exception thrown on contract violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the message for a failed contract check.
+[[nodiscard]] inline std::string contract_message(std::string_view kind,
+                                                  std::string_view expr,
+                                                  std::string_view file,
+                                                  int line,
+                                                  std::string_view detail) {
+  std::string msg;
+  msg.reserve(128);
+  msg.append(kind).append(" failed: ").append(expr);
+  if (!detail.empty()) {
+    msg.append(" — ").append(detail);
+  }
+  msg.append(" [").append(file).append(":").append(std::to_string(line)).append("]");
+  return msg;
+}
+
+[[noreturn]] inline void contract_fail(std::string_view kind, std::string_view expr,
+                                       std::string_view file, int line,
+                                       std::string_view detail = {}) {
+  throw Error(contract_message(kind, expr, file, line, detail));
+}
+
+}  // namespace exa::support
+
+/// Precondition check: argument/state validation at API boundaries.
+#define EXA_REQUIRE(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::exa::support::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+    }                                                                         \
+  } while (false)
+
+/// Precondition check with an explanatory detail string.
+#define EXA_REQUIRE_MSG(expr, detail)                                         \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::exa::support::contract_fail("precondition", #expr, __FILE__, __LINE__, \
+                                    (detail));                               \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check (logic errors inside a module).
+#define EXA_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::exa::support::contract_fail("invariant", #expr, __FILE__, __LINE__);  \
+    }                                                                         \
+  } while (false)
+
+/// Postcondition check.
+#define EXA_ENSURE(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::exa::support::contract_fail("postcondition", #expr, __FILE__, __LINE__); \
+    }                                                                         \
+  } while (false)

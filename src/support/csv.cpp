@@ -1,0 +1,55 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EXA_REQUIRE(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  EXA_REQUIRE_MSG(row.size() == header_.size(),
+                  "CSV row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open CSV output file: " + path);
+  out << render();
+  if (!out) throw Error("failed writing CSV output file: " + path);
+}
+
+}  // namespace exa::support

@@ -1,0 +1,31 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV emission so every bench can dump machine-readable series
+/// next to its human-readable table (for downstream plotting).
+
+#include <string>
+#include <vector>
+
+namespace exa::support {
+
+/// Accumulates rows and renders RFC-4180-style CSV (quotes fields that
+/// contain commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::string render() const;
+  /// Writes render() to `path`; throws exa::support::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace exa::support

@@ -1,0 +1,89 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines = split(text, '\n');
+  if (!lines.empty() && lines.back().empty() && !text.empty() &&
+      text.back() == '\n') {
+    lines.pop_back();
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return std::string(text.substr(b, e - b));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  EXA_REQUIRE(!from.empty());
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      return out;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace exa::support

@@ -1,0 +1,29 @@
+#pragma once
+/// \file string_util.hpp
+/// Small string helpers shared by the hipify translator and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exa::support {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+/// Splits on newline, preserving empty lines; a trailing newline does not
+/// produce a final empty element.
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view text);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] std::string trim(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+[[nodiscard]] bool contains(std::string_view text, std::string_view needle);
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text,
+                                      std::string_view from,
+                                      std::string_view to);
+[[nodiscard]] std::string to_lower(std::string_view text);
+/// True if `c` may appear in a C identifier.
+[[nodiscard]] bool is_identifier_char(char c);
+
+}  // namespace exa::support

@@ -1,0 +1,108 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  EXA_REQUIRE_MSG(header_.empty() || row.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string Table::cell(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return std::string(buf.data());
+}
+
+std::string Table::cell(std::uint64_t value) { return std::to_string(value); }
+
+std::string Table::render() const {
+  // Column widths from header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    const Align a = c < alignment_.size()
+                        ? alignment_[c]
+                        : (c == 0 ? Align::kLeft : Align::kRight);
+    std::string out(widths[c], ' ');
+    if (a == Align::kLeft) {
+      std::copy(s.begin(), s.end(), out.begin());
+    } else {
+      std::copy(s.begin(), s.end(), out.begin() + static_cast<std::ptrdiff_t>(widths[c] - s.size()));
+    }
+    return out;
+  };
+
+  auto rule = [&](char fill) {
+    std::string out = "+";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out.append(widths[c] + 2, fill);
+      out.push_back('+');
+    }
+    out.push_back('\n');
+    return out;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule('-');
+  if (!header_.empty()) {
+    os << "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << " " << pad(c < header_.size() ? header_[c] : "", c) << " |";
+    }
+    os << "\n" << rule('=');
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      os << rule('-');
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << " " << pad(c < r.cells.size() ? r.cells[c] : "", c) << " |";
+    }
+    os << "\n";
+  }
+  os << rule('-');
+  for (const auto& n : notes_) os << "  note: " << n << "\n";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.render();
+}
+
+}  // namespace exa::support

@@ -1,0 +1,57 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table writer used by every bench binary to print paper-style
+/// tables/figure series in a uniform, diffable format.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exa::support {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with a title, header, and footer notes.
+///
+/// Usage:
+///   Table t("Table 2: Observed application speed-ups");
+///   t.set_header({"Application", "Speed-up"});
+///   t.add_row({"GAMESS", "5.0"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  void set_header(std::vector<std::string> header);
+  /// Per-column alignment; default is left for col 0 and right elsewhere.
+  void set_alignment(std::vector<Align> alignment);
+  void add_row(std::vector<std::string> row);
+  /// Horizontal separator between row groups.
+  void add_separator();
+  void add_note(std::string note);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience numeric cell formatting.
+  [[nodiscard]] static std::string cell(double value, int precision = 2);
+  [[nodiscard]] static std::string cell(std::uint64_t value);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace exa::support

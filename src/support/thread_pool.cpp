@@ -1,0 +1,140 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+
+/// Shared state between the submitting thread and the workers. Work is
+/// described as a half-open index range plus a chunk function; workers grab
+/// chunks with an atomic cursor. One "generation" per parallel_for call.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+
+  // Current job (guarded by mutex except the cursor).
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t active = 0;
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+  std::exception_ptr first_error;
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_work.wait(lock, [&] {
+          return shutdown || (body != nullptr && generation != seen_generation);
+        });
+        if (shutdown) return;
+        seen_generation = generation;
+        job = body;
+        ++active;
+      }
+      run_chunks(*job);
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        --active;
+        if (active == 0) cv_done.notify_all();
+      }
+    }
+  }
+
+  void run_chunks(const std::function<void(std::size_t, std::size_t)>& job) {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(chunk);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        job(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  EXA_REQUIRE(begin <= end);
+  if (begin == end) return;
+  const std::size_t n = end - begin;
+  // Small ranges: run inline, the dispatch overhead dominates.
+  if (n <= 1 || workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+  // Aim for ~4 chunks per worker for load balance.
+  const std::size_t target_chunks = workers_.size() * 4;
+  const std::size_t chunk = std::max<std::size_t>(1, n / target_chunks);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->body = &body;
+    impl_->begin = begin;
+    impl_->end = end;
+    impl_->chunk = chunk;
+    impl_->cursor.store(begin);
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+    impl_->cv_work.notify_all();
+    // The submitting thread helps so small pools still make progress even
+    // if workers are briefly busy waking up.
+    lock.unlock();
+    impl_->run_chunks(body);
+    lock.lock();
+    impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
+    impl_->body = nullptr;
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace exa::support

@@ -1,0 +1,50 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size thread pool with a blocking parallel_for.
+///
+/// The simulated-GPU runtime executes kernels *functionally* on the host:
+/// the grid of work-items is partitioned across this pool. Virtual device
+/// time is charged separately by the performance model (see sim/), so the
+/// pool only needs to be correct and reasonably fast, not clever.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace exa::support {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool; blocks until every index has been processed.
+  /// Exceptions thrown by `body` are captured and the first one rethrown.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) per worker slice. Lower
+  /// call overhead for fine-grained work-items.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exa::support

@@ -1,0 +1,74 @@
+#include "support/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace exa::support {
+
+namespace {
+
+std::string format_with(double value, const char* suffix, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f %s", precision, value, suffix);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_si(double value, int precision) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 7> kScales{{{EXA, "E"},
+                                                 {PETA, "P"},
+                                                 {TERA, "T"},
+                                                 {GIGA, "G"},
+                                                 {MEGA, "M"},
+                                                 {KILO, "k"},
+                                                 {1.0, ""}}};
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.factor || s.factor == 1.0) {
+      return format_with(value / s.factor, s.suffix, precision);
+    }
+  }
+  return format_with(value, "", precision);
+}
+
+std::string format_bytes(std::uint64_t bytes, int precision) {
+  struct Scale {
+    std::uint64_t factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 5> kScales{{{TiB, "TiB"},
+                                                 {GiB, "GiB"},
+                                                 {MiB, "MiB"},
+                                                 {KiB, "KiB"},
+                                                 {1, "B"}}};
+  for (const auto& s : kScales) {
+    if (bytes >= s.factor || s.factor == 1) {
+      return format_with(static_cast<double>(bytes) / static_cast<double>(s.factor),
+                         s.suffix, bytes >= KiB ? precision : 0);
+    }
+  }
+  return format_with(static_cast<double>(bytes), "B", 0);
+}
+
+std::string format_time(double seconds, int precision) {
+  const double mag = std::fabs(seconds);
+  if (mag >= 1.0) return format_with(seconds, "s", precision);
+  if (mag >= 1e-3) return format_with(seconds * 1e3, "ms", precision);
+  if (mag >= 1e-6) return format_with(seconds * 1e6, "us", precision);
+  return format_with(seconds * 1e9, "ns", precision);
+}
+
+std::string format_rate(double per_second, const std::string& unit, int precision) {
+  std::string s = format_si(per_second, precision);
+  // format_si leaves a trailing space when the suffix is empty; normalize.
+  if (!s.empty() && s.back() == ' ') s.pop_back();
+  return s + unit + "/s";
+}
+
+}  // namespace exa::support

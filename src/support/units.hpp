@@ -1,0 +1,47 @@
+#pragma once
+/// \file units.hpp
+/// Strongly-suggestive unit helpers and human-readable formatting for the
+/// quantities the performance model traffics in: bytes, bandwidths, flop
+/// rates, and (virtual) seconds.
+
+#include <cstdint>
+#include <string>
+
+namespace exa::support {
+
+// --- byte-size literals ----------------------------------------------------
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+// Decimal units, used for bandwidths/flops which are conventionally decimal.
+inline constexpr double KILO = 1e3;
+inline constexpr double MEGA = 1e6;
+inline constexpr double GIGA = 1e9;
+inline constexpr double TERA = 1e12;
+inline constexpr double PETA = 1e15;
+inline constexpr double EXA = 1e18;
+
+// --- time ------------------------------------------------------------------
+
+inline constexpr double USEC = 1e-6;
+inline constexpr double NSEC = 1e-9;
+inline constexpr double MSEC = 1e-3;
+
+/// Formats a count with an SI prefix, e.g. 6.71e18 -> "6.71 E" (unit appended
+/// by the caller: "6.71 Eflop/s").
+[[nodiscard]] std::string format_si(double value, int precision = 3);
+
+/// Formats a byte count with a binary prefix, e.g. 1536 -> "1.50 KiB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes, int precision = 2);
+
+/// Formats a duration in seconds with an adaptive unit, e.g. 2.5e-6 -> "2.50 us".
+[[nodiscard]] std::string format_time(double seconds, int precision = 3);
+
+/// Formats a rate (unit/s) with an SI prefix, e.g. 1.6e12, "B/s" -> "1.60 TB/s".
+[[nodiscard]] std::string format_rate(double per_second, const std::string& unit,
+                                      int precision = 2);
+
+}  // namespace exa::support

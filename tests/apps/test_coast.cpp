@@ -1,0 +1,227 @@
+#include "apps/coast/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exa::apps::coast {
+namespace {
+
+TEST(CoastGraph, KnowledgeGraphShape) {
+  support::Rng rng(11);
+  const DistMatrix m = make_knowledge_graph(64, 6.0, rng);
+  EXPECT_EQ(m.n, 64u);
+  for (std::size_t i = 0; i < m.n; ++i) {
+    EXPECT_EQ(m.at(i, i), 0.0f);
+    for (std::size_t j = 0; j < m.n; ++j) {
+      // Symmetric generator.
+      EXPECT_EQ(m.at(i, j), m.at(j, i));
+      if (i != j && m.at(i, j) != kInf) EXPECT_GT(m.at(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(CoastApsp, NaiveHandlesTinyKnownGraph) {
+  DistMatrix m;
+  m.n = 3;
+  m.d = {0.0f, 1.0f, 10.0f,
+         1.0f, 0.0f, 2.0f,
+         10.0f, 2.0f, 0.0f};
+  floyd_warshall_naive(m);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 3.0f);  // via vertex 1
+  EXPECT_FLOAT_EQ(m.at(2, 0), 3.0f);
+}
+
+TEST(CoastApsp, TriangleInequalityHoldsAfterSolve) {
+  support::Rng rng(5);
+  DistMatrix m = make_knowledge_graph(48, 4.0, rng);
+  floyd_warshall_naive(m);
+  for (std::size_t i = 0; i < m.n; ++i) {
+    for (std::size_t j = 0; j < m.n; ++j) {
+      for (std::size_t k = 0; k < m.n; ++k) {
+        EXPECT_LE(m.at(i, j), m.at(i, k) + m.at(k, j) + 1e-4f);
+      }
+    }
+  }
+}
+
+// The core correctness property: blocked == naive for various tiles.
+class BlockedFw : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockedFw, MatchesNaive) {
+  const std::size_t tile = GetParam();
+  support::Rng rng(77);
+  DistMatrix blocked = make_knowledge_graph(64, 5.0, rng);
+  DistMatrix naive = blocked;
+  floyd_warshall_blocked(blocked, tile);
+  floyd_warshall_naive(naive);
+  for (std::size_t i = 0; i < naive.n * naive.n; ++i) {
+    ASSERT_FLOAT_EQ(blocked.d[i], naive.d[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, BlockedFw, ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(CoastApsp, BlockedRejectsBadTile) {
+  support::Rng rng(1);
+  DistMatrix m = make_knowledge_graph(64, 4.0, rng);
+  EXPECT_THROW(floyd_warshall_blocked(m, 7), support::Error);
+}
+
+TEST(CoastApsp, DisconnectedStaysInfinite) {
+  DistMatrix m;
+  m.n = 4;
+  m.d.assign(16, kInf);
+  for (std::size_t i = 0; i < 4; ++i) m.at(i, i) = 0.0f;
+  m.at(0, 1) = m.at(1, 0) = 1.0f;  // component {0,1}; {2,3} isolated
+  m.at(2, 3) = m.at(3, 2) = 1.0f;
+  floyd_warshall_naive(m);
+  EXPECT_EQ(m.at(0, 2), kInf);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.0f);
+}
+
+TEST(CoastPaths, DistancesMatchPlainSolve) {
+  support::Rng rng(21);
+  DistMatrix with_paths = make_knowledge_graph(48, 4.0, rng);
+  DistMatrix plain = with_paths;
+  std::vector<std::size_t> next;
+  floyd_warshall_with_paths(with_paths, next);
+  floyd_warshall_naive(plain);
+  for (std::size_t i = 0; i < plain.n * plain.n; ++i) {
+    ASSERT_FLOAT_EQ(with_paths.d[i], plain.d[i]);
+  }
+}
+
+TEST(CoastPaths, ExtractedPathsAreValidAndOptimal) {
+  support::Rng rng(23);
+  const DistMatrix original = make_knowledge_graph(40, 4.0, rng);
+  DistMatrix solved = original;
+  std::vector<std::size_t> next;
+  floyd_warshall_with_paths(solved, next);
+
+  for (std::size_t i = 0; i < solved.n; i += 7) {
+    for (std::size_t j = 0; j < solved.n; j += 5) {
+      const auto path = extract_path(next, solved.n, i, j);
+      if (solved.at(i, j) == kInf) {
+        EXPECT_TRUE(path.empty());
+        continue;
+      }
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), i);
+      EXPECT_EQ(path.back(), j);
+      // Sum of edge weights along the path equals the shortest distance.
+      float length = 0.0f;
+      for (std::size_t s = 1; s < path.size(); ++s) {
+        const float edge = original.at(path[s - 1], path[s]);
+        ASSERT_NE(edge, kInf) << "path uses a non-edge";
+        length += edge;
+      }
+      EXPECT_NEAR(length, solved.at(i, j), 1e-3f);
+    }
+  }
+}
+
+TEST(CoastPaths, TrivialAndUnreachableCases) {
+  DistMatrix m;
+  m.n = 3;
+  m.d = {0.0f, 1.0f, kInf, 1.0f, 0.0f, kInf, kInf, kInf, 0.0f};
+  std::vector<std::size_t> next;
+  floyd_warshall_with_paths(m, next);
+  EXPECT_EQ(extract_path(next, 3, 1, 1), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(extract_path(next, 3, 0, 2).empty());
+  EXPECT_EQ(extract_path(next, 3, 0, 1), (std::vector<std::size_t>{0, 1}));
+}
+
+// Distributed solve correctness across rank-grid shapes.
+class DistributedApspTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedApspTest, MatchesNaive) {
+  const std::size_t grid = GetParam();
+  support::Rng rng(91);
+  DistMatrix m = make_knowledge_graph(64, 5.0, rng);
+  DistMatrix naive = m;
+  floyd_warshall_naive(naive);
+
+  DistributedApsp dist(m, grid);
+  dist.solve();
+  const DistMatrix got = dist.gather();
+  for (std::size_t i = 0; i < m.n * m.n; ++i) {
+    ASSERT_FLOAT_EQ(got.d[i], naive.d[i]) << "grid " << grid;
+  }
+  EXPECT_EQ(dist.panels_processed(), static_cast<int>(grid));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistributedApspTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(CoastDistributed, BroadcastVolumeMatchesFormula) {
+  support::Rng rng(93);
+  const DistMatrix m = make_knowledge_graph(64, 4.0, rng);
+  const std::size_t grid = 4;
+  DistributedApsp dist(m, grid);
+  dist.solve();
+  // Per panel: pivot tile to 2(g-1) ranks plus 2(g-1)^2 row/column tiles.
+  const double tile_bytes = 16.0 * 16.0 * 4.0;
+  const double expected =
+      static_cast<double>(grid) *
+      (2.0 * (grid - 1) + 2.0 * (grid - 1) * (grid - 1)) * tile_bytes;
+  EXPECT_DOUBLE_EQ(dist.bytes_broadcast(), expected);
+}
+
+TEST(CoastDistributed, SingleRankNeedsNoPivotNeighbors) {
+  support::Rng rng(95);
+  const DistMatrix m = make_knowledge_graph(16, 4.0, rng);
+  DistributedApsp dist(m, 1);
+  dist.solve();
+  EXPECT_DOUBLE_EQ(dist.bytes_broadcast(), 0.0);
+}
+
+TEST(CoastAutotune, SpaceIsNontrivial) {
+  EXPECT_GT(tuning_space().size(), 8u);
+}
+
+TEST(CoastAutotune, PicksRegisterBlockedConfig) {
+  const TuneResult r = autotune(arch::mi250x_gcd(), 16384);
+  EXPECT_GE(r.best.unroll, 2);  // register blocking always wins
+  EXPECT_GT(r.achieved_flops, 0.0);
+  EXPECT_EQ(r.trials.size(), tuning_space().size());
+  // Best really is the minimum of the trials.
+  for (const auto& [cfg, t] : r.trials) EXPECT_GE(t, r.best_seconds);
+}
+
+TEST(CoastAutotune, V100ToMi250xKernelSpeedup) {
+  // §3.9: 5.6 TF on one V100 -> 30.6 TF on one MI250X (two GCDs).
+  const TuneResult v100 = autotune(arch::v100(), 16384);
+  const TuneResult gcd = autotune(arch::mi250x_gcd(), 16384);
+  const double v100_tf = v100.achieved_flops / 1e12;
+  const double module_tf = 2.0 * gcd.achieved_flops / 1e12;
+  EXPECT_NEAR(v100_tf, 5.6, 2.0);
+  EXPECT_NEAR(module_tf, 30.6, 9.0);
+  const double speedup = module_tf / v100_tf;
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(CoastScale, GordonBellShape) {
+  // Summit 2020: ~136 PF; Frontier 2022: ~1 EF -> >7x.
+  const ScaleResult summit =
+      gordon_bell_run(arch::machines::summit(), 4 << 20);
+  const ScaleResult frontier =
+      gordon_bell_run(arch::machines::frontier(), 8 << 20);
+  EXPECT_GT(summit.sustained_flops, 3e16);
+  EXPECT_GT(frontier.sustained_flops, 3e17);
+  EXPECT_GT(frontier.sustained_flops / summit.sustained_flops, 4.0);
+}
+
+TEST(CoastScale, TooSmallProblemRejected) {
+  EXPECT_THROW((void)gordon_bell_run(arch::machines::frontier(), 1 << 12),
+               support::Error);
+}
+
+TEST(CoastProfile, MinPlusIsNonFma) {
+  const sim::KernelProfile p =
+      minplus_profile(arch::mi250x_gcd(), TileConfig{64, 4}, 4096);
+  ASSERT_EQ(p.work.size(), 1u);
+  EXPECT_FALSE(p.work[0].fma);
+}
+
+}  // namespace
+}  // namespace exa::apps::coast

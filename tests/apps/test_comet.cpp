@@ -1,0 +1,175 @@
+#include "apps/comet/ccc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exa::apps::comet {
+namespace {
+
+TEST(CometBits, SetGetRoundTrip) {
+  BitVectorSet set(4, 100);
+  set.set(2, 77, true);
+  EXPECT_TRUE(set.get(2, 77));
+  EXPECT_FALSE(set.get(2, 76));
+  set.set(2, 77, false);
+  EXPECT_FALSE(set.get(2, 77));
+}
+
+TEST(CometBits, TableCountsSumToSamples) {
+  support::Rng rng(5);
+  BitVectorSet set(8, 777);  // odd sample count exercises tail masking
+  set.randomize(rng);
+  for (std::size_t i = 0; i < set.vectors(); ++i) {
+    for (std::size_t j = i; j < set.vectors(); ++j) {
+      const Table2x2 t = contingency_popcount(set, i, j);
+      EXPECT_EQ(t.n00 + t.n01 + t.n10 + t.n11, set.samples());
+    }
+  }
+}
+
+TEST(CometBits, SelfTableDiagonal) {
+  support::Rng rng(6);
+  BitVectorSet set(3, 200);
+  set.randomize(rng, 0.3);
+  const Table2x2 t = contingency_popcount(set, 1, 1);
+  EXPECT_EQ(t.n01, 0u);  // a vector never disagrees with itself
+  EXPECT_EQ(t.n10, 0u);
+}
+
+TEST(CometBits, KnownTinyCase) {
+  BitVectorSet set(2, 4);
+  // v0 = 1100, v1 = 1010.
+  set.set(0, 0, true);
+  set.set(0, 1, true);
+  set.set(1, 0, true);
+  set.set(1, 2, true);
+  const Table2x2 t = contingency_popcount(set, 0, 1);
+  EXPECT_EQ(t.n11, 1u);  // sample 0
+  EXPECT_EQ(t.n10, 1u);  // sample 1
+  EXPECT_EQ(t.n01, 1u);  // sample 2
+  EXPECT_EQ(t.n00, 1u);  // sample 3
+}
+
+// The central CoMet property: the tensor-core GEMM formulation reproduces the
+// popcount tables exactly.
+class GemmEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmEquivalence, GemmMatchesPopcount) {
+  const std::size_t samples = GetParam();
+  support::Rng rng(9000 + samples);
+  BitVectorSet set(10, samples);
+  set.randomize(rng, 0.4);
+  const auto tables = contingency_gemm(set);
+  for (std::size_t i = 0; i < set.vectors(); ++i) {
+    for (std::size_t j = i; j < set.vectors(); ++j) {
+      const Table2x2 expect = contingency_popcount(set, i, j);
+      const Table2x2 got = tables[i * set.vectors() + j];
+      ASSERT_EQ(got, expect) << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, GemmEquivalence,
+                         ::testing::Values(16, 63, 64, 65, 500, 2048));
+
+TEST(CometMetric, IndependentVectorsScoreNearZero) {
+  support::Rng rng(31);
+  BitVectorSet set(2, 2000);
+  set.randomize(rng, 0.5);
+  const Table2x2 t = contingency_popcount(set, 0, 1);
+  EXPECT_NEAR(ccc_metric(t, set.samples()), 0.0, 0.05);
+}
+
+TEST(CometMetric, IdenticalVectorsScoreHigh) {
+  BitVectorSet set(2, 100);
+  for (std::size_t s = 0; s < 50; ++s) {
+    set.set(0, s, true);
+    set.set(1, s, true);
+  }
+  const Table2x2 t = contingency_popcount(set, 0, 1);
+  // f11 = 0.5, fi = fj = 0.5: excess over independence = 0.25.
+  EXPECT_NEAR(ccc_metric(t, 100), 0.25, 1e-9);
+}
+
+TEST(Comet3Way, TableSumsToSamples) {
+  support::Rng rng(41);
+  BitVectorSet set(6, 515);
+  set.randomize(rng, 0.45);
+  const Table2x2x2 t = contingency3_popcount(set, 0, 2, 4);
+  std::uint32_t total = 0;
+  for (const auto v : t.n) total += v;
+  EXPECT_EQ(total, set.samples());
+}
+
+TEST(Comet3Way, MarginalsMatch2Way) {
+  // Summing the 3-way table over the third vector's bit recovers the
+  // 2-way table of the first two.
+  support::Rng rng(43);
+  BitVectorSet set(5, 300);
+  set.randomize(rng, 0.5);
+  const Table2x2x2 t3 = contingency3_popcount(set, 1, 3, 4);
+  const Table2x2 t2 = contingency_popcount(set, 1, 3);
+  EXPECT_EQ(t3.n[0] + t3.n[1], t2.n00);
+  EXPECT_EQ(t3.n[2] + t3.n[3], t2.n01);
+  EXPECT_EQ(t3.n[4] + t3.n[5], t2.n10);
+  EXPECT_EQ(t3.n[6] + t3.n[7], t2.n11);
+}
+
+TEST(Comet3Way, GemmPairMatchesPopcount) {
+  support::Rng rng(47);
+  BitVectorSet set(12, 700);
+  set.randomize(rng, 0.4);
+  const auto tables = contingency3_gemm_pair(set, 2, 7);
+  for (std::size_t k = 0; k < set.vectors(); ++k) {
+    ASSERT_EQ(tables[k], contingency3_popcount(set, 2, 7, k)) << "k=" << k;
+  }
+}
+
+TEST(Comet3Way, IndependentTriplesScoreNearZero) {
+  support::Rng rng(53);
+  BitVectorSet set(3, 4000);
+  set.randomize(rng, 0.5);
+  const Table2x2x2 t = contingency3_popcount(set, 0, 1, 2);
+  EXPECT_NEAR(ccc3_metric(t, set.samples()), 0.0, 0.05);
+}
+
+TEST(Comet3Way, PerfectlyCorrelatedTripleScoresHigh) {
+  BitVectorSet set(3, 100);
+  for (std::size_t s = 0; s < 50; ++s) {
+    set.set(0, s, true);
+    set.set(1, s, true);
+    set.set(2, s, true);
+  }
+  const Table2x2x2 t = contingency3_popcount(set, 0, 1, 2);
+  // f111 = 0.5, marginals 0.5 each: 0.5 - 0.125 = 0.375.
+  EXPECT_NEAR(ccc3_metric(t, 100), 0.375, 1e-9);
+}
+
+TEST(CometScale, NearPerfectWeakScaling) {
+  // §3.6: "CoMet exhibits near-perfect weak scaling behavior up to full
+  // system scale."
+  const arch::Machine frontier = arch::machines::frontier();
+  const CometScaleResult r1 = scale_run(frontier, 1, 8192, 100000);
+  const CometScaleResult r9074 = scale_run(frontier, 9074, 8192, 100000);
+  EXPECT_GT(r9074.weak_scaling_efficiency, 0.95);
+  EXPECT_NEAR(r9074.seconds_per_step, r1.seconds_per_step,
+              0.05 * r1.seconds_per_step);
+}
+
+TEST(CometScale, ExaflopsAtFullScale) {
+  // "over 6.71 exaflops ... on 9,074 compute nodes" — our model should
+  // land in the same exaflops regime.
+  const CometScaleResult r =
+      scale_run(arch::machines::frontier(), 9074, 8192, 100000);
+  EXPECT_GT(r.sustained_flops, 3e18);
+  EXPECT_LT(r.sustained_flops, 14e18);
+}
+
+TEST(CometScale, MixedPrecisionBeatsFp64ByALot) {
+  const arch::Machine frontier = arch::machines::frontier();
+  const CometScaleResult fp16 = scale_run(frontier, 64, 8192, 100000);
+  // FP64 comparison: peak ratio alone is ~8x.
+  EXPECT_GT(fp16.sustained_flops / (64.0 * 8.0 * 23.9e12), 1.0);
+}
+
+}  // namespace
+}  // namespace exa::apps::comet

@@ -1,0 +1,239 @@
+#include "apps/e3sm/crm.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/e3sm/dycore.hpp"
+#include "hip/hip_runtime.hpp"
+
+namespace exa::apps::e3sm {
+namespace {
+
+TEST(E3smPipeline, HasBigAndSmallKernels) {
+  const auto pipeline = physics_pipeline(1 << 16);
+  EXPECT_GT(pipeline.size(), 10u);
+  int heavy = 0;
+  for (const auto& k : pipeline) {
+    if (k.registers_per_thread > 255) ++heavy;
+  }
+  EXPECT_GE(heavy, 2);  // the fission candidates
+}
+
+TEST(E3smFuse, AddsWorkAndSavesTraffic) {
+  const auto pipeline = physics_pipeline(1 << 16);
+  // Fuse two small kernels (indices 2, 3).
+  const std::vector<sim::KernelProfile> pair = {pipeline[2], pipeline[3]};
+  const sim::KernelProfile fused = fuse(pair);
+  EXPECT_DOUBLE_EQ(fused.total_flops(),
+                   pipeline[2].total_flops() + pipeline[3].total_flops());
+  // Intermediate round-trips removed: fused traffic < sum of parts.
+  EXPECT_LT(fused.total_bytes(),
+            pipeline[2].total_bytes() + pipeline[3].total_bytes());
+  // Register pressure between max and sum.
+  EXPECT_GE(fused.registers_per_thread,
+            std::max(pipeline[2].registers_per_thread,
+                     pipeline[3].registers_per_thread));
+  EXPECT_LE(fused.registers_per_thread,
+            pipeline[2].registers_per_thread + pipeline[3].registers_per_thread);
+}
+
+TEST(E3smFission, DividesWorkReducesRegisters) {
+  const auto pipeline = physics_pipeline(1 << 16);
+  const sim::KernelProfile& big = pipeline[0];  // dycore, 320 regs
+  const auto parts = fission(big, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  double flops = 0.0;
+  for (const auto& p : parts) {
+    flops += p.total_flops();
+    EXPECT_LT(p.registers_per_thread, big.registers_per_thread);
+    // Stage boundaries add traffic.
+  }
+  EXPECT_NEAR(flops, big.total_flops(), 1e-6);
+}
+
+TEST(E3smOptimize, RemovesSpillsOnV100) {
+  const arch::GpuArch v100 = arch::v100();
+  const auto optimized = optimize_pipeline(v100, physics_pipeline(1 << 16));
+  for (const auto& k : optimized) {
+    EXPECT_LE(k.registers_per_thread, v100.max_registers_per_thread) << k.name;
+  }
+  // Fusion happened: fewer kernels than the original minus the fissioned
+  // extras would suggest.
+  EXPECT_LT(optimized.size(), physics_pipeline(1 << 16).size() + 4);
+}
+
+TEST(E3smOptimize, FusesSmallKernels) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const auto original = physics_pipeline(1 << 16);
+  const auto optimized = optimize_pipeline(gpu, original);
+  // The dozen small kernels collapse into a handful of fused ones.
+  EXPECT_LT(optimized.size(), original.size());
+}
+
+TEST(E3smRun, AsyncLaunchBeatsSyncForSmallKernels) {
+  // §3.5: launching all kernels asynchronously in the same stream overlaps
+  // launch overheads with kernel runtimes — decisive when strong scaling
+  // shrinks the per-kernel work.
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const std::size_t small_columns = 1 << 10;  // strong-scaled workload
+  const auto pipeline = physics_pipeline(small_columns);
+  const auto launches = pipeline_launches(small_columns);
+  const double sync = run_pipeline(gpu, pipeline, launches,
+                                   LaunchMode::kSyncEachKernel,
+                                   sim::AllocMode::kDirect);
+  const double async = run_pipeline(gpu, pipeline, launches,
+                                    LaunchMode::kAsyncSameStream,
+                                    sim::AllocMode::kDirect);
+  EXPECT_LT(async, sync);
+  EXPECT_GT(sync / async, 1.2);
+}
+
+TEST(E3smRun, AsyncAdvantageShrinksWithBigWorkload) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const std::size_t big_columns = 1 << 20;
+  const auto pipeline = physics_pipeline(big_columns);
+  const auto launches = pipeline_launches(big_columns);
+  const double sync = run_pipeline(gpu, pipeline, launches,
+                                   LaunchMode::kSyncEachKernel,
+                                   sim::AllocMode::kDirect);
+  const double async = run_pipeline(gpu, pipeline, launches,
+                                    LaunchMode::kAsyncSameStream,
+                                    sim::AllocMode::kDirect);
+  // Still better, but by a smaller factor than the strong-scaled case.
+  EXPECT_LT(async, sync);
+  EXPECT_LT(sync / async, 1.2);
+}
+
+TEST(E3smRun, PoolAllocatorBeatsDirectForTemporaries) {
+  // §3.5: the YAKL pool makes "frequent allocation and deallocation
+  // patterns ... non-blocking and very cheap".
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const std::size_t columns = 1 << 14;
+  const auto pipeline = physics_pipeline(columns);
+  const auto launches = pipeline_launches(columns);
+  constexpr int kTemps = 24;
+  const double direct = run_pipeline(gpu, pipeline, launches,
+                                     LaunchMode::kAsyncSameStream,
+                                     sim::AllocMode::kDirect, kTemps);
+  const double pooled = run_pipeline(gpu, pipeline, launches,
+                                     LaunchMode::kAsyncSameStream,
+                                     sim::AllocMode::kPooled, kTemps);
+  EXPECT_LT(pooled, direct);
+  EXPECT_GT(direct - pooled, kTemps * gpu.alloc_latency_s * 0.5);
+}
+
+TEST(E3smDycore, MassConservedOverManySteps) {
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  Dycore dyn(32, 24, 0.2);
+  dyn.init_blob();
+  const double m0 = dyn.total_mass();
+  ASSERT_GT(m0, 0.0);
+  for (int step = 0; step < 50; ++step) dyn.step_split();
+  EXPECT_NEAR(dyn.total_mass(), m0, 1e-10 * m0);
+}
+
+TEST(E3smDycore, UpwindPreservesPositivity) {
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  Dycore dyn(32, 24, 0.2);
+  dyn.init_blob();
+  for (int step = 0; step < 30; ++step) dyn.step_fused();
+  EXPECT_GE(dyn.min_value(), -1e-12);
+}
+
+TEST(E3smDycore, FusedMatchesSplitBitwise) {
+  // The fusion transform is semantics-preserving: recomputed fluxes use
+  // identical expressions, so the states agree exactly.
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  Dycore split(24, 16, 0.2);
+  Dycore fused(24, 16, 0.2);
+  split.init_blob(0.4, 0.6, 0.25);
+  fused.init_blob(0.4, 0.6, 0.25);
+  for (int step = 0; step < 20; ++step) {
+    split.step_split();
+    fused.step_fused();
+  }
+  for (std::size_t i = 0; i < split.nx(); ++i) {
+    for (std::size_t k = 0; k < split.nz(); ++k) {
+      ASSERT_EQ(split.tracer()(i, k), fused.tracer()(i, k))
+          << "(" << i << "," << k << ")";
+    }
+  }
+  EXPECT_EQ(split.kernels_launched_last_step(), 3);
+  EXPECT_EQ(fused.kernels_launched_last_step(), 1);
+}
+
+TEST(E3smDycore, BlobActuallyMoves) {
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  Dycore dyn(32, 24, 0.2);
+  dyn.init_blob();
+  std::vector<double> before(dyn.nx() * dyn.nz());
+  for (std::size_t i = 0; i < dyn.nx(); ++i) {
+    for (std::size_t k = 0; k < dyn.nz(); ++k) {
+      before[i * dyn.nz() + k] = dyn.tracer()(i, k);
+    }
+  }
+  for (int step = 0; step < 20; ++step) dyn.step_split();
+  double change = 0.0;
+  for (std::size_t i = 0; i < dyn.nx(); ++i) {
+    for (std::size_t k = 0; k < dyn.nz(); ++k) {
+      change += std::fabs(dyn.tracer()(i, k) - before[i * dyn.nz() + k]);
+    }
+  }
+  EXPECT_GT(change, 0.1);
+}
+
+TEST(E3smDycore, CflGuard) {
+  EXPECT_THROW(Dycore(16, 16, 0.9), support::Error);
+  EXPECT_THROW(Dycore(2, 16, 0.1), support::Error);
+}
+
+TEST(E3smPhysics, SaturationAdjustConservesWater) {
+  ColumnState state;
+  state.temperature = {290.0, 300.0, 280.0};
+  state.vapor = {0.05, 0.001, 0.08};
+  state.cloud = {0.0, 0.0, 0.01};
+  std::vector<double> total_before(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    total_before[i] = state.vapor[i] + state.cloud[i];
+  }
+  saturation_adjust(state);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(state.vapor[i] + state.cloud[i], total_before[i], 1e-15);
+    // Vapor never exceeds saturation after adjustment.
+    EXPECT_LE(state.vapor[i], saturation_vapor(state.temperature[i]) + 1e-12);
+  }
+}
+
+TEST(E3smPhysics, CondensationWarms) {
+  ColumnState state;
+  state.temperature = {285.0};
+  state.vapor = {0.2};  // far supersaturated
+  state.cloud = {0.0};
+  saturation_adjust(state);
+  EXPECT_GT(state.temperature[0], 285.0);
+  EXPECT_GT(state.cloud[0], 0.0);
+}
+
+TEST(E3smPhysics, SubsaturatedUntouched) {
+  ColumnState state;
+  state.temperature = {300.0};
+  state.vapor = {1e-6};
+  state.cloud = {0.0};
+  saturation_adjust(state);
+  EXPECT_DOUBLE_EQ(state.temperature[0], 300.0);
+  EXPECT_DOUBLE_EQ(state.vapor[0], 1e-6);
+}
+
+TEST(E3smPhysics, SaturationMonotoneInTemperature) {
+  double prev = 0.0;
+  for (double t = 250.0; t <= 320.0; t += 5.0) {
+    const double s = saturation_vapor(t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace exa::apps::e3sm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "apps/gamess/fmo.hpp"
+#include "apps/gamess/rimp2.hpp"
+#include "mathlib/device_blas.hpp"
+#include "support/stats.hpp"
+
+namespace exa::apps::gamess {
+namespace {
+
+TEST(GamessRimp2, GemmPathMatchesDirect) {
+  support::Rng rng(2);
+  const Fragment f = make_fragment(4, 8, 24, rng);
+  const double via_gemm = rimp2_energy(f);
+  const double direct = mp2_energy_direct(f);
+  EXPECT_NEAR(via_gemm, direct, 1e-10 * std::abs(direct));
+}
+
+TEST(GamessRimp2, CorrelationEnergyIsNegative) {
+  support::Rng rng(3);
+  const Fragment f = make_fragment(6, 12, 32, rng);
+  EXPECT_LT(rimp2_energy(f), 0.0);
+}
+
+TEST(GamessRimp2, EnergyScalesWithSystem) {
+  support::Rng rng(4);
+  const Fragment small = make_fragment(2, 6, 16, rng);
+  const Fragment large = make_fragment(8, 6, 16, rng);
+  EXPECT_LT(rimp2_energy(large), rimp2_energy(small));  // more pairs
+}
+
+TEST(GamessRimp2, TunedLibraryFaster) {
+  ml::TuningRegistry::instance().clear();
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double untuned = simulate_fragment_time(gpu, 40, 160, 700, false);
+  const double tuned = simulate_fragment_time(gpu, 40, 160, 700, true);
+  EXPECT_LT(tuned, untuned);
+  ml::TuningRegistry::instance().clear();
+}
+
+TEST(GamessRimp2, Table2Speedup) {
+  // Table 2: GAMESS 5x (fragment RI-MP2, MI250X module vs V100).
+  ml::TuningRegistry::instance().clear();
+  const double v100 = simulate_fragment_time(arch::v100(), 40, 160, 700, true);
+  const double gcd =
+      simulate_fragment_time(arch::mi250x_gcd(), 40, 160, 700, true);
+  const double speedup = v100 / gcd * 2.0;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 8.0);
+  ml::TuningRegistry::instance().clear();
+}
+
+TEST(GamessFmo, DimerCountLinearInFragments) {
+  // Fixed cutoff at constant density -> dimers grow linearly with the
+  // fragment count: the linear-scaling premise of FMO.
+  support::Rng rng(5);
+  std::vector<double> counts;
+  std::vector<double> dimers;
+  for (const std::size_t n : {200, 400, 800}) {
+    const auto sites = make_cluster(n, rng);
+    const FmoWorkload w = make_workload(sites, 5.0);
+    counts.push_back(static_cast<double>(n));
+    dimers.push_back(static_cast<double>(w.dimers));
+  }
+  const support::LinearFit fit = support::loglog_fit(counts, dimers);
+  EXPECT_NEAR(fit.slope, 1.0, 0.25);  // ~linear, NOT quadratic
+}
+
+TEST(GamessFmo, CutoffControlsDimers) {
+  support::Rng rng(6);
+  const auto sites = make_cluster(300, rng);
+  const auto few = dimer_list(sites, 3.0);
+  const auto many = dimer_list(sites, 6.0);
+  EXPECT_LT(few.size(), many.size());
+  for (const auto& [i, j] : few) EXPECT_LT(i, j);
+}
+
+TEST(GamessFmo, NearIdealStrongScalingTo2kNodes) {
+  // §3.1: "nearly ideal linear scaling up to 2K nodes."
+  support::Rng rng(7);
+  const auto sites = make_cluster(935 * 8, rng);  // big MBE workload
+  const FmoWorkload w = make_workload(sites, 5.0);
+  const arch::Machine frontier = arch::machines::frontier();
+  const double t128 = fmo_iteration_time(frontier, 128, w, 0.5);
+  const double t2048 = fmo_iteration_time(frontier, 2048, w, 0.5);
+  const double speedup = t128 / t2048;
+  const double ideal = 2048.0 / 128.0;
+  EXPECT_GT(speedup, 0.75 * ideal);
+  EXPECT_LE(speedup, ideal * 1.01);
+}
+
+TEST(GamessFmo, WorkloadUnits) {
+  FmoWorkload w;
+  w.monomers = 10;
+  w.dimers = 4;
+  EXPECT_DOUBLE_EQ(w.total_units(2.5), 20.0);
+}
+
+}  // namespace
+}  // namespace exa::apps::gamess

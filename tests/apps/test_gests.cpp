@@ -1,0 +1,189 @@
+#include "apps/gests/psdns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace exa::apps::gests {
+namespace {
+
+std::vector<zcomplex> random_field(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<zcomplex> f(n * n * n);
+  for (auto& v : f) v = {rng.normal(), rng.normal()};
+  return f;
+}
+
+// Slab-decomposed distributed FFT == single-brick FFT, over rank counts.
+class SlabFft : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlabFft, MatchesMonolithic) {
+  const std::size_t n = 16;
+  const int ranks = GetParam();
+  const auto field = random_field(n, 100 + static_cast<std::uint64_t>(ranks));
+
+  SlabField dist(field, n, ranks);
+  dist.fft3d(false);
+  const auto got = dist.gather();
+
+  auto ref = field;
+  ml::fft3d(ref, n, n, n, false);
+  EXPECT_LT(ml::rel_error<zcomplex>(got, ref), 1e-12);
+  EXPECT_EQ(dist.transposes(), 1);  // one communication cycle (§3.3)
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SlabFft, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(SlabFftRoundTrip, ForwardInverseIdentity) {
+  const std::size_t n = 16;
+  const auto field = random_field(n, 7);
+  SlabField dist(field, n, 4);
+  dist.fft3d(false);
+  dist.fft3d(true);
+  EXPECT_LT(ml::rel_error<zcomplex>(dist.gather(), field), 1e-12);
+  EXPECT_EQ(dist.transposes(), 2);
+}
+
+TEST(SlabFft, RankLimitEnforced) {
+  const std::size_t n = 8;
+  // 16 ranks cannot split 8 planes.
+  EXPECT_THROW(SlabField(random_field(n, 1), n, 16), support::Error);
+}
+
+class PencilFft : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PencilFft, MatchesMonolithic) {
+  const std::size_t n = 16;
+  const auto [rows, cols] = GetParam();
+  const auto field = random_field(n, 200 + static_cast<std::uint64_t>(rows * 100 + cols));
+
+  PencilField dist(field, n, rows, cols);
+  dist.fft3d(false);
+  const auto got = dist.gather();
+
+  auto ref = field;
+  ml::fft3d(ref, n, n, n, false);
+  EXPECT_LT(ml::rel_error<zcomplex>(got, ref), 1e-12);
+  EXPECT_EQ(dist.transposes(), 2);  // one more cycle than slabs (§3.3)
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PencilFft,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 2),
+                                           std::make_pair(4, 2),
+                                           std::make_pair(2, 8),
+                                           std::make_pair(4, 4)));
+
+TEST(PencilFftRoundTrip, ForwardInverseIdentity) {
+  const std::size_t n = 16;
+  const auto field = random_field(n, 17);
+  PencilField dist(field, n, 2, 4);
+  dist.fft3d(false);
+  dist.fft3d(true);
+  EXPECT_LT(ml::rel_error<zcomplex>(dist.gather(), field), 1e-12);
+}
+
+TEST(PencilFft, SupportsMoreRanksThanSlabs) {
+  // N=16: slabs cap at 16 ranks; pencils admit 16x16.
+  const std::size_t n = 16;
+  const auto field = random_field(n, 3);
+  PencilField dist(field, n, 16, 16);  // 256 ranks
+  dist.fft3d(false);
+  auto ref = field;
+  ml::fft3d(ref, n, n, n, false);
+  EXPECT_LT(ml::rel_error<zcomplex>(dist.gather(), ref), 1e-12);
+}
+
+TEST(SlabFft, TransposeVolumeMatchesAnalyticFormula) {
+  // The functional implementation moves exactly what the comm model
+  // charges: N^3 * 16 B * (P-1)/P per transpose.
+  const std::size_t n = 16;
+  for (const int ranks : {2, 4, 8}) {
+    SlabField dist(random_field(n, 31), n, ranks);
+    dist.fft3d(false);
+    const double expected = static_cast<double>(n * n * n) * 16.0 *
+                            (ranks - 1) / static_cast<double>(ranks);
+    EXPECT_DOUBLE_EQ(dist.bytes_transposed(), expected) << ranks;
+  }
+}
+
+TEST(SlabFft, SingleRankMovesNothing) {
+  const std::size_t n = 8;
+  SlabField dist(random_field(n, 32), n, 1);
+  dist.fft3d(false);
+  EXPECT_DOUBLE_EQ(dist.bytes_transposed(), 0.0);
+}
+
+// --- timing model ----------------------------------------------------------
+
+TEST(GestsModel, RankLimits) {
+  const arch::Machine frontier = arch::machines::frontier();
+  // Slabs: N ranks max -> N/8 nodes on Frontier.
+  EXPECT_EQ(max_nodes(frontier, 32768, Decomposition::kSlabs), 4096);
+  EXPECT_EQ(max_nodes(frontier, 1024, Decomposition::kSlabs), 128);
+  // Pencils cap at the machine size for realistic N.
+  EXPECT_EQ(max_nodes(frontier, 32768, Decomposition::kPencils),
+            frontier.node_count);
+}
+
+TEST(GestsModel, SlabsBeatPencilsWhereBothFit) {
+  // "The Slabs version is more efficient because it requires one fewer
+  // MPI communication cycle" (§3.3).
+  const arch::Machine frontier = arch::machines::frontier();
+  PsdnsConfig slabs;
+  slabs.n = 8192;
+  slabs.decomp = Decomposition::kSlabs;
+  PsdnsConfig pencils = slabs;
+  pencils.decomp = Decomposition::kPencils;
+  const int nodes = 512;  // 4096 ranks <= N: both run
+  const StepTime ts = step_time(frontier, nodes, slabs);
+  const StepTime tp = step_time(frontier, nodes, pencils);
+  EXPECT_LT(ts.transpose_s, tp.transpose_s);
+  EXPECT_LT(ts.total(), tp.total());
+}
+
+TEST(GestsModel, SlabRankLimitThrows) {
+  const arch::Machine frontier = arch::machines::frontier();
+  PsdnsConfig cfg;
+  cfg.n = 1024;
+  cfg.decomp = Decomposition::kSlabs;
+  EXPECT_THROW((void)step_time(frontier, 256, cfg), support::Error);  // 2048 ranks > N
+}
+
+TEST(GestsModel, FomImprovesSummitToFrontier) {
+  // The CAAR result: >5x FOM going from 18432^3 on Summit to 32768^3 on
+  // 4096 Frontier nodes. (Power-of-two grid stands in for 18432.)
+  const arch::Machine summit = arch::machines::summit();
+  const arch::Machine frontier = arch::machines::frontier();
+
+  PsdnsConfig on_summit;
+  on_summit.n = 16384;
+  on_summit.decomp = Decomposition::kSlabs;
+  const int summit_nodes = std::min(4608, max_nodes(summit, on_summit.n,
+                                                    Decomposition::kSlabs));
+  const StepTime t_summit = step_time(summit, summit_nodes, on_summit);
+
+  PsdnsConfig on_frontier;
+  on_frontier.n = 32768;
+  on_frontier.decomp = Decomposition::kSlabs;
+  const StepTime t_frontier = step_time(frontier, 4096, on_frontier);
+
+  const double fom_ratio = t_frontier.fom / t_summit.fom;
+  EXPECT_GT(fom_ratio, 3.0);
+  EXPECT_LT(fom_ratio, 12.0);
+}
+
+TEST(GestsModel, TransposeDominatesAtScale) {
+  // Pseudo-spectral DNS at scale is transpose(communication)-heavy.
+  const arch::Machine frontier = arch::machines::frontier();
+  PsdnsConfig cfg;
+  cfg.n = 32768;
+  cfg.decomp = Decomposition::kSlabs;
+  const StepTime t = step_time(frontier, 4096, cfg);
+  EXPECT_GT(t.transpose_s, 0.2 * t.total());
+}
+
+}  // namespace
+}  // namespace exa::apps::gests

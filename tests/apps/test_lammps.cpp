@@ -1,0 +1,333 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/lammps/qeq.hpp"
+#include "apps/lammps/reaxff.hpp"
+#include "apps/lammps/system.hpp"
+
+namespace exa::apps::lammps {
+namespace {
+
+struct Fixture {
+  System sys;
+  NeighborList neigh;
+  BondList bonds;
+  TorsionParams params;
+
+  explicit Fixture(int cells = 3) {
+    support::Rng rng(42);
+    sys = make_molecular_crystal(cells, 6, rng);
+    neigh = build_neighbor_list(sys, 3.0);
+    bonds = build_bond_list(sys, 1.7);
+    params.k = 1.0;
+    params.pair_cutoff = 3.0;
+  }
+};
+
+TEST(LammpsSystem, CrystalShape) {
+  support::Rng rng(1);
+  const System sys = make_molecular_crystal(2, 5, rng);
+  EXPECT_EQ(sys.size(), 2u * 2 * 2 * 5);
+  EXPECT_EQ(sys.electronegativity.size(), sys.size());
+  EXPECT_GT(sys.box, 0.0);
+}
+
+TEST(LammpsSystem, NeighborListMatchesBruteForce) {
+  support::Rng rng(2);
+  const System sys = make_molecular_crystal(2, 6, rng);
+  const double cutoff = 2.5;
+  const NeighborList list = build_neighbor_list(sys, cutoff);
+  // Brute-force count of i<j pairs within cutoff.
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      if ((sys.pos[i] - sys.pos[j]).norm2() < cutoff * cutoff) ++expected;
+    }
+  }
+  EXPECT_EQ(list.pairs(), expected);
+  // Every listed pair really is within cutoff and i < j.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t p = list.offsets[i]; p < list.offsets[i + 1]; ++p) {
+      const std::size_t j = list.partners[p];
+      EXPECT_GT(j, i);
+      EXPECT_LT((sys.pos[i] - sys.pos[j]).norm2(), cutoff * cutoff);
+    }
+  }
+}
+
+TEST(LammpsSystem, BondListSymmetric) {
+  support::Rng rng(3);
+  const System sys = make_molecular_crystal(2, 6, rng);
+  const BondList bonds = build_bond_list(sys, 1.7);
+  // If j is bonded to i, i is bonded to j.
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t p = bonds.offsets[i]; p < bonds.offsets[i + 1]; ++p) {
+      const std::size_t j = bonds.partners[p];
+      bool found = false;
+      for (std::size_t q = bonds.offsets[j]; q < bonds.offsets[j + 1]; ++q) {
+        if (bonds.partners[q] == i) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+  // Chain molecules: interior atoms have 2 bonds.
+  EXPECT_GT(bonds.offsets.back(), sys.size());
+}
+
+TEST(LammpsTorsion, SingleDihedralForcesSumToZero) {
+  const Vec3 r1{0, 0, 0}, r2{1.5, 0, 0}, r3{2.0, 1.4, 0}, r4{3.1, 1.6, 1.0};
+  Vec3 f1, f2, f3, f4;
+  const double e = torsion_term(r1, r2, r3, r4, 1.3, f1, f2, f3, f4);
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, 2.6);  // k(1+cos) in [0, 2k]
+  const Vec3 total = f1 + f2 + f3 + f4;
+  EXPECT_NEAR(total.x, 0.0, 1e-12);
+  EXPECT_NEAR(total.y, 0.0, 1e-12);
+  EXPECT_NEAR(total.z, 0.0, 1e-12);
+}
+
+TEST(LammpsTorsion, GradientMatchesFiniteDifference) {
+  const Vec3 r1{0, 0, 0}, r2{1.5, 0, 0}, r3{2.0, 1.4, 0}, r4{3.1, 1.6, 1.0};
+  Vec3 f1, f2, f3, f4;
+  torsion_term(r1, r2, r3, r4, 1.0, f1, f2, f3, f4);
+  // dE/dx of atom 4, finite difference.
+  const double h = 1e-6;
+  Vec3 d1, d2, d3, d4;
+  const double ep =
+      torsion_term(r1, r2, r3, Vec3{r4.x + h, r4.y, r4.z}, 1.0, d1, d2, d3, d4);
+  const double em =
+      torsion_term(r1, r2, r3, Vec3{r4.x - h, r4.y, r4.z}, 1.0, d1, d2, d3, d4);
+  const double dEdx = (ep - em) / (2.0 * h);
+  EXPECT_NEAR(f4.x, -dEdx, 1e-5);  // force = -gradient
+}
+
+TEST(LammpsTorsion, DegenerateGeometryIsSafe) {
+  // Collinear atoms: zero cross products — must not NaN.
+  const Vec3 r1{0, 0, 0}, r2{1, 0, 0}, r3{2, 0, 0}, r4{3, 0, 0};
+  Vec3 f1, f2, f3, f4;
+  const double e = torsion_term(r1, r2, r3, r4, 1.0, f1, f2, f3, f4);
+  EXPECT_DOUBLE_EQ(e, 0.0);
+  EXPECT_DOUBLE_EQ(f1.x, 0.0);
+}
+
+TEST(LammpsTorsion, PreprocessedMatchesDivergent) {
+  const Fixture f;
+  const ForceResult divergent =
+      torsion_divergent(f.sys, f.neigh, f.bonds, f.params);
+  const auto tuples = torsion_preprocess(f.sys, f.neigh, f.bonds, f.params);
+  const ForceResult dense = torsion_dense(f.sys, tuples, f.params);
+
+  EXPECT_EQ(divergent.tuples_evaluated, dense.tuples_evaluated);
+  EXPECT_EQ(dense.tuples_evaluated, tuples.size());
+  EXPECT_NEAR(divergent.energy, dense.energy, 1e-10 * std::abs(dense.energy));
+  ASSERT_EQ(divergent.force.size(), dense.force.size());
+  for (std::size_t i = 0; i < dense.force.size(); ++i) {
+    EXPECT_NEAR(divergent.force[i].x, dense.force[i].x, 1e-10);
+    EXPECT_NEAR(divergent.force[i].y, dense.force[i].y, 1e-10);
+    EXPECT_NEAR(divergent.force[i].z, dense.force[i].z, 1e-10);
+  }
+}
+
+TEST(LammpsTorsion, MostTuplesPruned) {
+  // The divergence premise: surviving tuples are a small fraction of the
+  // cutoff checks performed.
+  const Fixture f;
+  const ForceResult r = torsion_divergent(f.sys, f.neigh, f.bonds, f.params);
+  EXPECT_GT(r.tuples_considered, 5 * r.tuples_evaluated);
+  EXPECT_GT(r.tuples_evaluated, 0u);
+}
+
+TEST(LammpsTorsion, TotalForceConserved) {
+  const Fixture f;
+  const ForceResult r = torsion_divergent(f.sys, f.neigh, f.bonds, f.params);
+  Vec3 total{};
+  for (const auto& fo : r.force) total += fo;
+  EXPECT_NEAR(total.x, 0.0, 1e-9);
+  EXPECT_NEAR(total.y, 0.0, 1e-9);
+  EXPECT_NEAR(total.z, 0.0, 1e-9);
+}
+
+/// Scales functional-run statistics up to a production HNS-crystal size
+/// (same per-atom ratios, device-filling atom count).
+TorsionStats production_scale(TorsionStats stats) {
+  constexpr std::size_t kAtoms = 2'000'000;
+  const double scale =
+      static_cast<double>(kAtoms) / static_cast<double>(stats.atoms);
+  stats.surviving_tuples =
+      static_cast<std::uint64_t>(stats.surviving_tuples * scale);
+  stats.atoms = kAtoms;
+  return stats;
+}
+
+TEST(LammpsTorsion, PreprocessingSpeedsUpSimulatedTime) {
+  const Fixture f;
+  const TorsionStats stats = production_scale(
+      measure_stats(f.sys, f.neigh, f.bonds, f.params));
+  const TorsionTimings t =
+      simulate_torsion(arch::mi250x_gcd(), stats, /*compiler_spill_fix=*/true);
+  EXPECT_GT(t.speedup(), 1.5);  // part of the §3.10 ">50% speedup"
+}
+
+TEST(LammpsTorsion, PreprocessingNotWorthItForTinySystems) {
+  // At launch-latency-dominated sizes the extra kernel costs more than the
+  // divergence it removes — the optimization is a large-scale one.
+  const Fixture f;
+  const TorsionStats stats = measure_stats(f.sys, f.neigh, f.bonds, f.params);
+  const TorsionTimings t =
+      simulate_torsion(arch::mi250x_gcd(), stats, true);
+  EXPECT_LT(t.speedup(), 1.5);
+}
+
+TEST(LammpsTorsion, CompilerSpillFixHelps) {
+  const Fixture f;
+  const TorsionStats stats = production_scale(
+      measure_stats(f.sys, f.neigh, f.bonds, f.params));
+  const arch::GpuArch v100 = arch::v100();  // 255-reg limit: spills at 280
+  const TorsionTimings buggy = simulate_torsion(v100, stats, false);
+  const TorsionTimings fixed = simulate_torsion(v100, stats, true);
+  EXPECT_LT(fixed.divergent_s, buggy.divergent_s);
+}
+
+// --- angular term -----------------------------------------------------------
+
+TEST(LammpsAngle, ForcesSumToZero) {
+  const Vec3 ri{1.2, 0.1, 0.0}, rj{0.0, 0.0, 0.0}, rk{-0.3, 1.1, 0.4};
+  Vec3 fi, fj, fk;
+  const double e = angle_term(ri, rj, rk, 1.5, -0.5, fi, fj, fk);
+  EXPECT_GE(e, 0.0);
+  const Vec3 total = fi + fj + fk;
+  EXPECT_NEAR(total.x, 0.0, 1e-12);
+  EXPECT_NEAR(total.y, 0.0, 1e-12);
+  EXPECT_NEAR(total.z, 0.0, 1e-12);
+}
+
+TEST(LammpsAngle, GradientMatchesFiniteDifference) {
+  const Vec3 ri{1.2, 0.1, 0.0}, rj{0.0, 0.0, 0.0}, rk{-0.3, 1.1, 0.4};
+  Vec3 fi, fj, fk;
+  angle_term(ri, rj, rk, 1.0, -0.5, fi, fj, fk);
+  const double h = 1e-6;
+  Vec3 d1, d2, d3;
+  const double ep = angle_term(Vec3{ri.x + h, ri.y, ri.z}, rj, rk, 1.0, -0.5,
+                               d1, d2, d3);
+  const double em = angle_term(Vec3{ri.x - h, ri.y, ri.z}, rj, rk, 1.0, -0.5,
+                               d1, d2, d3);
+  EXPECT_NEAR(fi.x, -(ep - em) / (2.0 * h), 1e-5);
+}
+
+TEST(LammpsAngle, EquilibriumAngleHasZeroEnergy) {
+  // 120-degree geometry with cos_theta0 = -0.5 exactly.
+  const Vec3 rj{0.0, 0.0, 0.0};
+  const Vec3 ri{1.0, 0.0, 0.0};
+  const Vec3 rk{-0.5, std::sqrt(3.0) / 2.0, 0.0};
+  Vec3 fi, fj, fk;
+  const double e = angle_term(ri, rj, rk, 2.0, -0.5, fi, fj, fk);
+  EXPECT_NEAR(e, 0.0, 1e-12);
+  EXPECT_NEAR(fi.x, 0.0, 1e-9);
+}
+
+TEST(LammpsAngle, PreprocessedMatchesDivergent) {
+  const Fixture f;
+  const AngleParams params{1.0, -0.5, 3.0};
+  const ForceResult divergent = angle_divergent(f.sys, f.bonds, params);
+  const auto tuples = angle_preprocess(f.sys, f.bonds, params);
+  const ForceResult dense = angle_dense(f.sys, tuples, params);
+  EXPECT_EQ(divergent.tuples_evaluated, dense.tuples_evaluated);
+  EXPECT_GT(dense.tuples_evaluated, 0u);
+  EXPECT_NEAR(divergent.energy, dense.energy, 1e-10);
+  for (std::size_t i = 0; i < dense.force.size(); ++i) {
+    ASSERT_NEAR(divergent.force[i].x, dense.force[i].x, 1e-10);
+    ASSERT_NEAR(divergent.force[i].y, dense.force[i].y, 1e-10);
+    ASSERT_NEAR(divergent.force[i].z, dense.force[i].z, 1e-10);
+  }
+}
+
+// --- QEq ------------------------------------------------------------------
+
+struct QeqFixture {
+  System sys;
+  QeqMatrix h;
+
+  QeqFixture() {
+    support::Rng rng(7);
+    sys = make_molecular_crystal(3, 5, rng);
+    const NeighborList neigh = build_neighbor_list(sys, 3.0);
+    h = build_qeq_matrix(sys, neigh, 3.0);
+  }
+};
+
+TEST(LammpsQeq, MatrixIsSymmetricAndDominant) {
+  const QeqFixture f;
+  EXPECT_EQ(f.h.n, f.sys.size());
+  // Diagonal dominance per row.
+  for (std::size_t r = 0; r < f.h.n; ++r) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::size_t p = f.h.row_ptr[r]; p < f.h.row_ptr[r + 1]; ++p) {
+      if (f.h.col[p] == r) diag = f.h.val[p];
+      else off += std::fabs(f.h.val[p]);
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(LammpsQeq, CgSolvesSystem) {
+  const QeqFixture f;
+  std::vector<double> b(f.h.n, 1.0);
+  std::vector<double> x(f.h.n, 0.0);
+  const CgStats stats = cg_solve(f.h, b, x, 1e-12, 1000);
+  EXPECT_TRUE(stats.converged);
+  // Residual check.
+  std::vector<double> ax(f.h.n);
+  spmv(f.h, x, ax);
+  double rmax = 0.0;
+  for (std::size_t i = 0; i < f.h.n; ++i) {
+    rmax = std::max(rmax, std::fabs(ax[i] - b[i]));
+  }
+  EXPECT_LT(rmax, 1e-8);
+}
+
+TEST(LammpsQeq, FusedMatchesSplitCharges) {
+  const QeqFixture f;
+  const QeqResult split = equilibrate(f.sys, f.h, /*fused=*/false);
+  const QeqResult fused = equilibrate(f.sys, f.h, /*fused=*/true);
+  ASSERT_TRUE(split.stats.converged);
+  ASSERT_TRUE(fused.stats.converged);
+  ASSERT_EQ(split.charges.size(), fused.charges.size());
+  for (std::size_t i = 0; i < split.charges.size(); ++i) {
+    EXPECT_NEAR(split.charges[i], fused.charges[i], 1e-7);
+  }
+}
+
+TEST(LammpsQeq, ChargesSumToZero) {
+  const QeqFixture f;
+  const QeqResult r = equilibrate(f.sys, f.h, true);
+  double total = 0.0;
+  for (const double q : r.charges) total += q;
+  EXPECT_NEAR(total, 0.0, 1e-9);
+}
+
+TEST(LammpsQeq, FusedHalvesMatrixReadsAndAllreduces) {
+  // The Aktulga optimization the Kokkos backend was missing (§3.10.2).
+  const QeqFixture f;
+  const QeqResult split = equilibrate(f.sys, f.h, false);
+  const QeqResult fused = equilibrate(f.sys, f.h, true);
+  EXPECT_LT(fused.stats.matrix_reads, 0.62 * split.stats.matrix_reads);
+  EXPECT_LT(fused.stats.allreduces, 0.62 * split.stats.allreduces);
+  EXPECT_LE(fused.stats.iterations, split.stats.iterations);
+}
+
+TEST(LammpsQeq, SimulatedTimeFavorsFused) {
+  const QeqFixture f;
+  const QeqResult split = equilibrate(f.sys, f.h, false);
+  const QeqResult fused = equilibrate(f.sys, f.h, true);
+  const arch::Machine frontier = arch::machines::frontier();
+  const double t_split =
+      simulate_qeq_time(frontier, 200000, 5200000, split.stats, 1, 4096);
+  const double t_fused =
+      simulate_qeq_time(frontier, 200000, 5200000, fused.stats, 2, 4096);
+  EXPECT_LT(t_fused, 0.75 * t_split);
+}
+
+}  // namespace
+}  // namespace exa::apps::lammps

@@ -1,0 +1,198 @@
+#include "apps/shoc/shoc.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/shoc/kernels.hpp"
+#include "support/stats.hpp"
+
+namespace exa::apps::shoc {
+namespace {
+
+TEST(ShocKernels, ReductionMatchesSerialSum) {
+  std::vector<float> data(1000);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i % 17) * 0.25f;
+    expected += data[i];
+  }
+  EXPECT_NEAR(kernels::reduction(data), expected, 1e-6);
+  EXPECT_DOUBLE_EQ(kernels::reduction({}), 0.0);
+}
+
+TEST(ShocKernels, ReductionOddLength) {
+  const std::vector<float> data = {1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(kernels::reduction(data), 6.0);
+}
+
+TEST(ShocKernels, ExclusiveScan) {
+  const std::vector<float> in = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> out(4);
+  kernels::exclusive_scan(in, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_FLOAT_EQ(out[3], 6.0f);
+}
+
+TEST(ShocKernels, Triad) {
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {10.0f, 20.0f};
+  std::vector<float> c(2);
+  kernels::triad(a, b, 0.5f, c);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+  EXPECT_FLOAT_EQ(c[1], 12.0f);
+}
+
+TEST(ShocKernels, StencilPreservesConstantField) {
+  // Weights summing to 1 leave a constant field unchanged.
+  const std::size_t h = 8, w = 8;
+  std::vector<float> in(h * w, 3.0f);
+  std::vector<float> out(h * w, 0.0f);
+  kernels::stencil2d(in, out, h, w, 0.5f, 0.1f, 0.025f);
+  for (const float v : out) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(ShocKernels, StencilBoundaryCopied) {
+  const std::size_t h = 4, w = 4;
+  std::vector<float> in(h * w);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  std::vector<float> out(h * w);
+  kernels::stencil2d(in, out, h, w, 1.0f, 0.0f, 0.0f);
+  EXPECT_FLOAT_EQ(out[0], in[0]);
+  EXPECT_FLOAT_EQ(out[h * w - 1], in[h * w - 1]);
+}
+
+TEST(ShocKernels, LjForcesNewtonThirdLaw) {
+  std::vector<kernels::Vec3> pos = {
+      {0.0, 0.0, 0.0}, {1.2, 0.0, 0.0}, {0.0, 1.1, 0.3}, {2.0, 2.0, 2.0}};
+  std::vector<kernels::Vec3> force(pos.size());
+  kernels::lj_forces(pos, force, 2.5, 1.0, 1.0);
+  double fx = 0.0, fy = 0.0, fz = 0.0;
+  for (const auto& f : force) {
+    fx += f.x;
+    fy += f.y;
+    fz += f.z;
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-12);
+  EXPECT_NEAR(fy, 0.0, 1e-12);
+  EXPECT_NEAR(fz, 0.0, 1e-12);
+}
+
+TEST(ShocKernels, LjEquilibriumDistanceForceSign) {
+  // At r < 2^(1/6) sigma the force is repulsive (pushes apart).
+  std::vector<kernels::Vec3> close = {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  std::vector<kernels::Vec3> f(2);
+  kernels::lj_forces(close, f, 3.0, 1.0, 1.0);
+  EXPECT_GT(f[1].x, 0.0);
+  // At r > 2^(1/6) it attracts.
+  std::vector<kernels::Vec3> far = {{0.0, 0.0, 0.0}, {1.5, 0.0, 0.0}};
+  kernels::lj_forces(far, f, 3.0, 1.0, 1.0);
+  EXPECT_LT(f[1].x, 0.0);
+}
+
+TEST(ShocKernels, SpmvBanded) {
+  const auto m = kernels::make_banded(10, 2);
+  std::vector<double> x(10, 1.0);
+  std::vector<double> y(10);
+  kernels::spmv(m, x, y);
+  // Row sums: diagonal dominance makes them positive.
+  for (const double v : y) EXPECT_GT(v, 0.0);
+}
+
+TEST(ShocKernels, BfsLevelsOnKnownGraph) {
+  // Ring of 8 with stride-2 chords: distances from 0 are easy to check.
+  const kernels::Graph g = kernels::make_ring_with_chords(8, 2);
+  const auto level = kernels::bfs(g, 0);
+  EXPECT_EQ(level[0], 0u);
+  EXPECT_EQ(level[1], 1u);
+  EXPECT_EQ(level[2], 1u);  // chord 0->2
+  EXPECT_EQ(level[7], 1u);  // ring back-edge
+  EXPECT_EQ(level[4], 2u);  // via 2
+  // Everything reachable.
+  for (const auto l : level) EXPECT_NE(l, static_cast<std::size_t>(-1));
+}
+
+TEST(ShocKernels, BfsMatchesTriangleInequality) {
+  const kernels::Graph g = kernels::make_ring_with_chords(64, 9);
+  const auto level = kernels::bfs(g, 5);
+  // Adjacent vertices differ by at most one level.
+  for (std::size_t v = 0; v < g.vertices; ++v) {
+    for (std::size_t p = g.row_ptr[v]; p < g.row_ptr[v + 1]; ++p) {
+      const std::size_t u = g.adj[p];
+      EXPECT_LE(level[v], level[u] + 1);
+      EXPECT_LE(level[u], level[v] + 1);
+    }
+  }
+}
+
+TEST(ShocSuite, AllBenchmarksRun) {
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  support::Rng noise(99);
+  for (const BenchmarkId id : all_benchmarks()) {
+    const RunResult r = run_benchmark(id, SizeClass::kSmall, noise);
+    EXPECT_GT(r.kernel_s, 0.0) << to_string(id);
+    EXPECT_GE(r.total_s, r.kernel_s * 0.99) << to_string(id);
+    EXPECT_GT(r.rate, 0.0) << to_string(id);
+  }
+}
+
+TEST(ShocSuite, BusSpeedMatchesLinkBandwidth) {
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  support::Rng noise(1);
+  const RunResult r =
+      run_benchmark(BenchmarkId::kBusSpeedDownload, SizeClass::kLarge, noise);
+  // NVLink 50 GB/s model: measured rate within 10%.
+  EXPECT_NEAR(r.rate, 50e9, 5e9);
+}
+
+TEST(ShocSuite, DeviceMemoryNearHbmBandwidth) {
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  support::Rng noise(2);
+  const RunResult r =
+      run_benchmark(BenchmarkId::kDeviceMemory, SizeClass::kLarge, noise);
+  EXPECT_GT(r.rate, 0.5 * 900e9);
+  EXPECT_LT(r.rate, 900e9);
+}
+
+TEST(ShocSuite, MaxFlopsBelowPeak) {
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  support::Rng noise(3);
+  const RunResult r =
+      run_benchmark(BenchmarkId::kMaxFlops, SizeClass::kLarge, noise);
+  EXPECT_GT(r.rate, 0.6 * 15.7e12);
+  EXPECT_LE(r.rate, 15.7e12 * 1.02);
+}
+
+TEST(ShocSuite, HipVsCudaParity) {
+  // The Figure 1 claim: normalized HIP performance within [0.9, 1.05],
+  // averaging ~99.8%.
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  const auto points = compare_hip_vs_cuda(SizeClass::kSmall, 12345);
+  ASSERT_EQ(points.size(), all_benchmarks().size());
+  std::vector<double> with_transfer;
+  std::vector<double> kernel_only;
+  for (const auto& p : points) {
+    EXPECT_GT(p.ratio_with_transfer, 0.9) << to_string(p.id);
+    EXPECT_LT(p.ratio_with_transfer, 1.05) << to_string(p.id);
+    with_transfer.push_back(p.ratio_with_transfer);
+    kernel_only.push_back(p.ratio_kernel_only);
+  }
+  EXPECT_NEAR(support::geomean(with_transfer), 0.998, 0.01);
+  EXPECT_NEAR(support::geomean(kernel_only), 0.999, 0.01);
+}
+
+TEST(ShocSuite, SizeClassesScaleWork) {
+  hip::Runtime::instance().configure(arch::v100(), 1);
+  support::Rng noise(4);
+  const RunResult small =
+      run_benchmark(BenchmarkId::kTriad, SizeClass::kSmall, noise);
+  const RunResult large =
+      run_benchmark(BenchmarkId::kTriad, SizeClass::kLarge, noise);
+  EXPECT_GT(large.kernel_s, 4.0 * small.kernel_s);
+}
+
+}  // namespace
+}  // namespace exa::apps::shoc

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "support/assert.hpp"
+#include "support/units.hpp"
+
+namespace exa::arch {
+namespace {
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(size_of(DType::kF64), 8u);
+  EXPECT_EQ(size_of(DType::kF16), 2u);
+  EXPECT_EQ(size_of(DType::kI8), 1u);
+  EXPECT_EQ(size_of(DType::kC64), 16u);
+}
+
+TEST(DType, ComplexMapsToReal) {
+  EXPECT_EQ(real_of(DType::kC64), DType::kF64);
+  EXPECT_EQ(real_of(DType::kC32), DType::kF32);
+  EXPECT_EQ(real_of(DType::kF16), DType::kF16);
+  EXPECT_TRUE(is_complex(DType::kC64));
+  EXPECT_FALSE(is_complex(DType::kF64));
+}
+
+TEST(GpuArch, WavefrontWidths) {
+  EXPECT_EQ(v100().wavefront_size, 32);
+  EXPECT_EQ(mi60().wavefront_size, 64);
+  EXPECT_EQ(mi100().wavefront_size, 64);
+  EXPECT_EQ(mi250x_gcd().wavefront_size, 64);
+}
+
+TEST(GpuArch, PeakTableLookups) {
+  const GpuArch g = mi250x_gcd();
+  EXPECT_NEAR(g.peak_flops(DType::kF64), 23.9e12, 1e9);
+  EXPECT_NEAR(g.peak_flops(DType::kF64, true), 47.9e12, 1e9);
+  // Complex types charge against the real peak.
+  EXPECT_DOUBLE_EQ(g.peak_flops(DType::kC64), g.peak_flops(DType::kF64));
+}
+
+TEST(GpuArch, MatrixFallsBackToVector) {
+  const GpuArch g = mi60();  // no matrix cores
+  EXPECT_DOUBLE_EQ(g.peak_flops(DType::kF16, true),
+                   g.peak_flops(DType::kF16, false));
+}
+
+TEST(GpuArch, V100HasFp16TensorCoresOnly) {
+  const GpuArch g = v100();
+  EXPECT_GT(g.peak_flops(DType::kF16, true), 100e12);
+  // FP64 tensor path falls back to the vector peak on Volta.
+  EXPECT_DOUBLE_EQ(g.peak_flops(DType::kF64, true), 7.8e12);
+}
+
+TEST(GpuArch, BalancePointSensible) {
+  // V100: 7.8 TF / 900 GB/s ~ 8.7 flop/byte.
+  EXPECT_NEAR(v100().balance_fp64(), 8.67, 0.1);
+  // MI250X GCD: 23.9 TF / 1.6 TB/s ~ 15 flop/byte — more compute-rich,
+  // which is why higher arithmetic intensity suits it (§3.5).
+  EXPECT_GT(mi250x_gcd().balance_fp64(), v100().balance_fp64());
+}
+
+TEST(GpuArch, GenerationalProgression) {
+  // Successive EAS GPU generations increase FP64 peak.
+  EXPECT_LT(mi60().peak_flops(DType::kF64), mi100().peak_flops(DType::kF64));
+  EXPECT_LT(mi100().peak_flops(DType::kF64),
+            mi250x_gcd().peak_flops(DType::kF64));
+}
+
+TEST(Machine, FrontierShape) {
+  const Machine f = machines::frontier();
+  EXPECT_EQ(f.node_count, 9408);
+  EXPECT_EQ(f.node.gpus_per_node, 8);  // 4 MI250X = 8 GCD devices
+  EXPECT_EQ(f.total_devices(), 9408 * 8);
+  // System FP64 peak ~ 1.8 EF vector.
+  EXPECT_GT(f.system_peak_fp64_flops(), 1.5e18);
+  EXPECT_LT(f.system_peak_fp64_flops(), 2.2e18);
+}
+
+TEST(Machine, SummitShape) {
+  const Machine s = machines::summit();
+  EXPECT_EQ(s.node_count, 4608);
+  EXPECT_EQ(s.node.gpus_per_node, 6);
+  // ~200 PF peak.
+  EXPECT_NEAR(s.system_peak_fp64_flops(), 215e15, 15e15);
+}
+
+TEST(Machine, CrusherMatchesFrontierNode) {
+  const Machine c = machines::crusher();
+  const Machine f = machines::frontier();
+  EXPECT_EQ(c.node.gpu->name, f.node.gpu->name);
+  EXPECT_EQ(c.node.gpus_per_node, f.node.gpus_per_node);
+  EXPECT_EQ(c.node_count, 192);
+  EXPECT_TRUE(c.nda_restricted);
+  EXPECT_FALSE(f.nda_restricted);
+}
+
+TEST(Machine, EarlyAccessGenerationsOrdered) {
+  const auto gens = machines::early_access_generations();
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_EQ(gens[0].name, "Poplar");
+  EXPECT_EQ(gens[1].name, "Spock");
+  EXPECT_EQ(gens[2].name, "Crusher");
+  EXPECT_LT(gens[0].year, gens[2].year);
+  for (const auto& g : gens) EXPECT_TRUE(g.nda_restricted);
+}
+
+TEST(Machine, SpockAndBirchSizesFromPaper) {
+  EXPECT_EQ(machines::spock().node_count, 6);
+  EXPECT_EQ(machines::birch().node_count, 12);
+  EXPECT_EQ(machines::spock().node.gpus_per_node, 4);
+}
+
+TEST(Machine, CpuOnlyMachinesHaveNoGpu) {
+  for (const char* name : {"Cori", "Theta", "Eagle"}) {
+    const Machine m = machines::by_name(name);
+    EXPECT_FALSE(m.node.has_gpu()) << name;
+    EXPECT_GT(m.node.peak_fp64_flops(), 0.0);
+  }
+}
+
+TEST(Machine, ByNameIsCaseInsensitive) {
+  EXPECT_EQ(machines::by_name("frontier").name, "Frontier");
+  EXPECT_EQ(machines::by_name("SUMMIT").name, "Summit");
+  EXPECT_THROW((void)machines::by_name("El Capitan"), support::Error);
+}
+
+TEST(Machine, AllSortedByYear) {
+  const auto ms = machines::all();
+  for (std::size_t i = 1; i < ms.size(); ++i) {
+    EXPECT_LE(ms[i - 1].year, ms[i].year);
+  }
+}
+
+TEST(Machine, NodeBandwidthPrefersGpu) {
+  const Machine f = machines::frontier();
+  EXPECT_DOUBLE_EQ(f.node.memory_bandwidth(), 8 * 1.6e12);
+  const Machine e = machines::eagle();
+  EXPECT_DOUBLE_EQ(e.node.memory_bandwidth(),
+                   e.node.cpu.mem_bandwidth_bytes_per_s);
+}
+
+TEST(Interconnect, InjectionBandwidth) {
+  const Machine f = machines::frontier();
+  EXPECT_DOUBLE_EQ(f.network.node_injection_bandwidth(), 100e9);
+  const Machine s = machines::summit();
+  EXPECT_DOUBLE_EQ(s.network.node_injection_bandwidth(), 25e9);
+}
+
+}  // namespace
+}  // namespace exa::arch

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "coe/application.hpp"
+#include "coe/readiness.hpp"
+#include "coe/registry.hpp"
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::coe {
+namespace {
+
+using support::contains;
+
+Application demo_app() {
+  return Application("Demo", "testing", Program::kCaar)
+      .set_fom({"widgets per second", "w/s"})
+      .set_target_speedup(4.0);
+}
+
+TEST(Application, SpeedupFromMeasurements) {
+  Application app = demo_app();
+  app.add_measurement({"Summit", 2020, 100.0, ""});
+  app.add_measurement({"Frontier", 2023, 500.0, ""});
+  const auto s = app.speedup("Summit", "Frontier");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(*s, 5.0);
+  EXPECT_TRUE(app.met_target("Summit", "Frontier"));
+}
+
+TEST(Application, LowerIsBetterFomInvertsRatio) {
+  Application app("T", "d", Program::kOther);
+  app.set_fom({"seconds per step", "s", /*higher_is_better=*/false});
+  app.set_target_speedup(2.0);
+  app.add_measurement({"Summit", 2020, 10.0, ""});
+  app.add_measurement({"Frontier", 2023, 2.0, ""});
+  const auto s = app.speedup("Summit", "Frontier");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(*s, 5.0);
+}
+
+TEST(Application, MissingMeasurementGivesNullopt) {
+  Application app = demo_app();
+  app.add_measurement({"Summit", 2020, 100.0, ""});
+  EXPECT_FALSE(app.speedup("Summit", "Frontier").has_value());
+  EXPECT_FALSE(app.met_target("Summit", "Frontier"));
+}
+
+TEST(Application, LatestMeasurementWinsByYear) {
+  Application app = demo_app();
+  app.add_measurement({"Frontier", 2022, 300.0, "early"});
+  app.add_measurement({"Frontier", 2023, 500.0, "tuned"});
+  const auto m = app.latest_on("Frontier");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->value, 500.0);
+}
+
+TEST(Application, MotifsDeduplicated) {
+  Application app = demo_app();
+  app.add_motif(Motif::kLibraryTuning).add_motif(Motif::kLibraryTuning);
+  EXPECT_EQ(app.motifs().size(), 1u);
+  EXPECT_TRUE(app.has_motif(Motif::kLibraryTuning));
+  EXPECT_FALSE(app.has_motif(Motif::kCudaHipPorting));
+}
+
+TEST(Application, InvalidMeasurementRejected) {
+  Application app = demo_app();
+  EXPECT_THROW(app.add_measurement({"", 2020, 1.0, ""}), support::Error);
+  EXPECT_THROW(app.add_measurement({"Summit", 2020, 0.0, ""}), support::Error);
+}
+
+TEST(Registry, PaperApplicationsComplete) {
+  const Registry r = Registry::paper_applications();
+  EXPECT_EQ(r.size(), 10u);
+  for (const char* name : {"GAMESS", "LSMS", "GESTS", "ExaSky", "E3SM",
+                           "CoMet", "NuCCOR", "Pele", "COAST", "LAMMPS"}) {
+    EXPECT_NE(r.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, Table1MatchesPaperAssignments) {
+  const Registry r = Registry::paper_applications();
+  // Spot-check Table 1 rows from the paper.
+  const Application* gamess = r.find("GAMESS");
+  ASSERT_NE(gamess, nullptr);
+  EXPECT_TRUE(gamess->has_motif(Motif::kCudaHipPorting));
+  EXPECT_TRUE(gamess->has_motif(Motif::kLibraryTuning));
+  const Application* e3sm = r.find("E3SM");
+  ASSERT_NE(e3sm, nullptr);
+  EXPECT_TRUE(e3sm->has_motif(Motif::kKernelFusionFission));
+  const Application* pele = r.find("Pele");
+  ASSERT_NE(pele, nullptr);
+  EXPECT_TRUE(pele->has_motif(Motif::kPerformancePortability));
+  EXPECT_TRUE(pele->has_motif(Motif::kAlgorithmicOptimizations));
+}
+
+TEST(Registry, Table1Rendering) {
+  const Registry r = Registry::paper_applications();
+  const std::string table = r.table1_motifs().render();
+  EXPECT_TRUE(contains(table, "CUDA/HIP Porting"));
+  EXPECT_TRUE(contains(table, "Kernel Fusion/Fission"));
+  EXPECT_TRUE(contains(table, "GAMESS"));
+  // Kernel fusion/fission row lists E3SM, Pele, LAMMPS.
+  for (const auto& line : support::split_lines(table)) {
+    if (contains(line, "Kernel Fusion/Fission")) {
+      EXPECT_TRUE(contains(line, "E3SM"));
+      EXPECT_TRUE(contains(line, "Pele"));
+      EXPECT_TRUE(contains(line, "LAMMPS"));
+    }
+  }
+}
+
+TEST(Registry, Table2FromMeasurements) {
+  Registry r = Registry::paper_applications();
+  r.find("GAMESS")->add_measurement({"Summit", 2020, 1.0, ""});
+  r.find("GAMESS")->add_measurement({"Frontier", 2023, 5.0, ""});
+  const auto t = r.table2_speedups("Summit", "Frontier");
+  EXPECT_EQ(t.row_count(), 1u);  // only apps with both measurements
+  EXPECT_TRUE(contains(t.render(), "GAMESS"));
+  EXPECT_TRUE(contains(t.render(), "5.0"));
+}
+
+TEST(Registry, DuplicateNamesRejected) {
+  Registry r;
+  r.add(demo_app());
+  EXPECT_THROW(r.add(demo_app()), support::Error);
+}
+
+TEST(Readiness, CrusherIsHighestFidelity) {
+  const arch::Machine frontier = arch::machines::frontier();
+  const auto poplar = assess_generation(arch::machines::poplar(), frontier);
+  const auto spock = assess_generation(arch::machines::spock(), frontier);
+  const auto crusher = assess_generation(arch::machines::crusher(), frontier);
+  EXPECT_LT(poplar.arch_fidelity, spock.arch_fidelity);
+  EXPECT_LT(spock.arch_fidelity, crusher.arch_fidelity);
+  EXPECT_NEAR(crusher.arch_fidelity, 1.0, 1e-9);  // identical node arch
+  // Earlier systems give more lead time — the §6 tradeoff.
+  EXPECT_GT(poplar.lead_time_years, crusher.lead_time_years);
+}
+
+TEST(Readiness, ScaleFractions) {
+  const arch::Machine frontier = arch::machines::frontier();
+  const auto crusher = assess_generation(arch::machines::crusher(), frontier);
+  EXPECT_NEAR(crusher.scale_fraction, 192.0 / 9408.0, 1e-9);
+}
+
+TEST(Readiness, EarlyAccessTableRenders) {
+  const std::string t = early_access_table().render();
+  EXPECT_TRUE(contains(t, "Poplar"));
+  EXPECT_TRUE(contains(t, "Spock"));
+  EXPECT_TRUE(contains(t, "Crusher"));
+}
+
+TEST(Readiness, IssueLogDiscoveryOrder) {
+  IssueLog log;
+  // §6: functionality first, then missing features, then performance.
+  log.add({IssueCategory::kFunctionality, "Poplar", 0, true, "segfault"});
+  log.add({IssueCategory::kFunctionality, "Poplar", 1, true, "wrong results"});
+  log.add({IssueCategory::kMissingFeature, "Spock", 3, true, "no hipblas op"});
+  log.add({IssueCategory::kPerformance, "Crusher", 8, false, "slow spills"});
+  EXPECT_TRUE(log.follows_discovery_order());
+  EXPECT_EQ(log.count(IssueCategory::kFunctionality), 2u);
+  EXPECT_DOUBLE_EQ(log.resolution_rate(), 0.75);
+}
+
+TEST(Readiness, IssueLogOutOfOrderDetected) {
+  IssueLog log;
+  log.add({IssueCategory::kPerformance, "Poplar", 0, false, ""});
+  log.add({IssueCategory::kFunctionality, "Crusher", 9, false, ""});
+  log.add({IssueCategory::kMissingFeature, "Spock", 5, false, ""});
+  EXPECT_FALSE(log.follows_discovery_order());
+}
+
+TEST(Readiness, PhaseNames) {
+  EXPECT_EQ(to_string(ReadinessPhase::kMissingFeatures), "missing features");
+  EXPECT_EQ(to_string(Program::kCaar), "CAAR");
+}
+
+}  // namespace
+}  // namespace exa::coe

@@ -1,0 +1,82 @@
+#include "coe/lessons.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::coe {
+namespace {
+
+Lesson make_lesson(const char* topic) {
+  Lesson l;
+  l.topic = topic;
+  l.summary = "guidance";
+  l.source_app = "Demo";
+  return l;
+}
+
+TEST(Lessons, RecordAndFind) {
+  LessonBook book;
+  EXPECT_TRUE(book.record(make_lesson("atomics")));
+  ASSERT_NE(book.find("atomics"), nullptr);
+  EXPECT_EQ(book.find("atomics")->reach, Dissemination::kSupportTicket);
+  EXPECT_EQ(book.find("missing"), nullptr);
+}
+
+TEST(Lessons, RediscoveryCountsDuplicateTriage) {
+  // The §6 cost: without dissemination, "multiple teams triaging the same
+  // issue".
+  LessonBook book;
+  book.record(make_lesson("atomics"));
+  EXPECT_FALSE(book.record(make_lesson("atomics")));
+  EXPECT_FALSE(book.record(make_lesson("atomics")));
+  EXPECT_EQ(book.find("atomics")->duplicate_triages, 2);
+  EXPECT_EQ(book.duplicate_triages(), 2);
+  EXPECT_EQ(book.lessons().size(), 1u);
+}
+
+TEST(Lessons, PromotionEscalatesToUserGuide) {
+  LessonBook book;
+  book.record(make_lesson("bindings"));
+  EXPECT_EQ(book.promote("bindings"), Dissemination::kHackathon);
+  EXPECT_EQ(book.promote("bindings"), Dissemination::kWebinar);
+  EXPECT_EQ(book.promote("bindings"), Dissemination::kUserGuide);
+  // Saturates at the user guide.
+  EXPECT_EQ(book.promote("bindings"), Dissemination::kUserGuide);
+}
+
+TEST(Lessons, PromoteUnknownTopicRejected) {
+  LessonBook book;
+  EXPECT_THROW((void)book.promote("nope"), support::Error);
+}
+
+TEST(Lessons, UserGuideListsOnlyFullyDisseminated) {
+  LessonBook book;
+  book.record(make_lesson("published"));
+  book.promote("published");
+  book.promote("published");
+  book.promote("published");
+  book.record(make_lesson("still-internal"));
+  const std::string guide = book.user_guide().render();
+  EXPECT_TRUE(support::contains(guide, "published"));
+  EXPECT_FALSE(support::contains(guide, "still-internal"));
+}
+
+TEST(Lessons, PaperLessonsSeeded) {
+  const LessonBook book = LessonBook::paper_lessons();
+  EXPECT_GE(book.lessons().size(), 8u);
+  EXPECT_GE(book.count_at(Dissemination::kUserGuide), 4u);
+  ASSERT_NE(book.find("wavefront width 64"), nullptr);
+  EXPECT_EQ(book.find("wavefront width 64")->source_app, "ExaSky");
+  const std::string guide = book.user_guide().render();
+  EXPECT_TRUE(support::contains(guide, "TARGET DATA"));
+}
+
+TEST(Lessons, DisseminationNames) {
+  EXPECT_EQ(to_string(Dissemination::kWebinar), "webinar");
+  EXPECT_EQ(to_string(Dissemination::kUserGuide), "user guide");
+}
+
+}  // namespace
+}  // namespace exa::coe

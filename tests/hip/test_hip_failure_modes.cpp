@@ -1,0 +1,140 @@
+/// Failure-injection tests: the unhappy paths of the runtime and the
+/// translator — malformed sources, exhausted memory, invalid handles.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hip/hip_runtime.hpp"
+#include "hip/hipify.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::hip {
+namespace {
+
+class FailureModes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  }
+};
+
+TEST_F(FailureModes, PooledAllocationExhaustionReportsOom) {
+  auto& dev = Runtime::instance().current_device();
+  dev.set_alloc_mode(sim::AllocMode::kPooled, 1 << 20);  // 1 MiB pool
+  void* a = nullptr;
+  ASSERT_EQ(hipMalloc(&a, 1 << 19), hipSuccess);
+  void* b = nullptr;
+  EXPECT_EQ(hipMalloc(&b, 1 << 20), hipErrorOutOfMemory);
+  EXPECT_EQ(b, nullptr);
+  // Freeing makes room again.
+  EXPECT_EQ(hipFree(a), hipSuccess);
+  EXPECT_EQ(hipMalloc(&b, 1 << 19), hipSuccess);
+  EXPECT_EQ(hipFree(b), hipSuccess);
+}
+
+TEST_F(FailureModes, FragmentedPoolCanFailLargeAlloc) {
+  auto& dev = Runtime::instance().current_device();
+  dev.set_alloc_mode(sim::AllocMode::kPooled, 1 << 20);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 4; ++i) {
+    void* p = nullptr;
+    ASSERT_EQ(hipMalloc(&p, 1 << 18), hipSuccess);
+    blocks.push_back(p);
+  }
+  // Free alternating blocks: half the pool is free but not contiguous.
+  EXPECT_EQ(hipFree(blocks[0]), hipSuccess);
+  EXPECT_EQ(hipFree(blocks[2]), hipSuccess);
+  void* big = nullptr;
+  EXPECT_EQ(hipMalloc(&big, (1 << 18) + (1 << 17)), hipErrorOutOfMemory);
+  EXPECT_EQ(hipFree(blocks[1]), hipSuccess);
+  EXPECT_EQ(hipFree(blocks[3]), hipSuccess);
+}
+
+TEST_F(FailureModes, MemcpyNullPointers) {
+  char buf[8] = {};
+  EXPECT_EQ(hipMemcpy(nullptr, buf, 8, hipMemcpyHostToDevice),
+            hipErrorInvalidValue);
+  EXPECT_EQ(hipMemcpy(buf, nullptr, 8, hipMemcpyDeviceToHost),
+            hipErrorInvalidValue);
+}
+
+TEST_F(FailureModes, ElapsedTimeOnUnrecordedEvent) {
+  hipEvent_t a = nullptr;
+  hipEvent_t b = nullptr;
+  ASSERT_EQ(hipEventCreate(&a), hipSuccess);
+  ASSERT_EQ(hipEventCreate(&b), hipSuccess);
+  float ms = 0.0f;
+  EXPECT_EQ(hipEventElapsedTime(&ms, a, b), hipErrorInvalidResourceHandle);
+  EXPECT_EQ(hipEventDestroy(a), hipSuccess);
+  EXPECT_EQ(hipEventDestroy(b), hipSuccess);
+}
+
+TEST_F(FailureModes, ElapsedTimeAcrossDevicesRejected) {
+  Runtime::instance().configure(arch::mi250x_gcd(), 2);
+  hipEvent_t a = nullptr;
+  ASSERT_EQ(hipSetDevice(0), hipSuccess);
+  ASSERT_EQ(hipEventCreate(&a), hipSuccess);
+  ASSERT_EQ(hipEventRecord(a, nullptr), hipSuccess);
+  hipEvent_t b = nullptr;
+  ASSERT_EQ(hipSetDevice(1), hipSuccess);
+  ASSERT_EQ(hipEventCreate(&b), hipSuccess);
+  ASSERT_EQ(hipEventRecord(b, nullptr), hipSuccess);
+  float ms = 0.0f;
+  EXPECT_EQ(hipEventElapsedTime(&ms, a, b), hipErrorInvalidValue);
+}
+
+TEST_F(FailureModes, FreeingTwiceRejected) {
+  void* p = nullptr;
+  ASSERT_EQ(hipMalloc(&p, 64), hipSuccess);
+  ASSERT_EQ(hipFree(p), hipSuccess);
+  EXPECT_EQ(hipFree(p), hipErrorInvalidDevicePointer);
+}
+
+}  // namespace
+
+namespace hf = hipify;
+
+TEST(HipifyFailureModes, UnterminatedBlockCommentConsumedSafely) {
+  const auto r = hf::translate("cudaMalloc(&p, 8); /* trailing comment");
+  EXPECT_TRUE(support::contains(r.output, "hipMalloc"));
+  EXPECT_TRUE(support::contains(r.output, "/* trailing comment"));
+}
+
+TEST(HipifyFailureModes, UnterminatedStringConsumedSafely) {
+  const auto r = hf::translate("printf(\"cudaMalloc is fine");
+  EXPECT_TRUE(support::contains(r.output, "\"cudaMalloc is fine"));
+  EXPECT_EQ(r.replacements, 0);
+}
+
+TEST(HipifyFailureModes, UnclosedChevronLeftAlone) {
+  const auto r = hf::translate("kernel<<<grid, block>>(a);");  // missing >
+  // No valid launch; the text survives untranslated rather than crashing.
+  EXPECT_EQ(r.launches_converted, 0);
+  EXPECT_TRUE(support::contains(r.output, "<<<"));
+}
+
+TEST(HipifyFailureModes, LaunchWithoutArgListLeftAlone) {
+  const auto r = hf::translate("auto x = k<<<g, b>>>;");
+  EXPECT_EQ(r.launches_converted, 0);
+}
+
+TEST(HipifyFailureModes, ChevronInsideCommentIgnored) {
+  const auto r = hf::translate("// k<<<g, b>>>(x);\ncudaFree(p);");
+  EXPECT_EQ(r.launches_converted, 0);
+  EXPECT_TRUE(support::contains(r.output, "// k<<<g, b>>>(x);"));
+  EXPECT_TRUE(support::contains(r.output, "hipFree(p);"));
+}
+
+TEST(HipifyFailureModes, EmptyInput) {
+  const auto r = hf::translate("");
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_TRUE(r.fully_automatic());
+}
+
+TEST(HipifyFailureModes, LaunchConfigWithTooManyArgsLeftAlone) {
+  const auto r = hf::translate("k<<<a, b, c, d, e>>>(x);");
+  EXPECT_EQ(r.launches_converted, 0);
+}
+
+}  // namespace exa::hip

@@ -1,0 +1,215 @@
+#include "hip/hip_runtime.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hip/cuda_compat.hpp"
+
+namespace exa::hip {
+namespace {
+
+class HipRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::instance().configure(arch::mi250x_gcd(), 2, ApiFlavor::kHip);
+  }
+};
+
+TEST_F(HipRuntimeTest, DeviceManagement) {
+  int count = 0;
+  ASSERT_EQ(hipGetDeviceCount(&count), hipSuccess);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(hipSetDevice(1), hipSuccess);
+  int current = -1;
+  ASSERT_EQ(hipGetDevice(&current), hipSuccess);
+  EXPECT_EQ(current, 1);
+  EXPECT_EQ(hipSetDevice(7), hipErrorInvalidDevice);
+  EXPECT_EQ(hipSetDevice(0), hipSuccess);
+  EXPECT_EQ(hipGetDeviceCount(nullptr), hipErrorInvalidValue);
+}
+
+TEST_F(HipRuntimeTest, MallocMemcpyRoundTrip) {
+  constexpr std::size_t kN = 1024;
+  std::vector<double> host_in(kN);
+  for (std::size_t i = 0; i < kN; ++i) host_in[i] = static_cast<double>(i);
+  std::vector<double> host_out(kN, 0.0);
+
+  void* dev_ptr = nullptr;
+  ASSERT_EQ(hipMalloc(&dev_ptr, kN * sizeof(double)), hipSuccess);
+  ASSERT_NE(dev_ptr, nullptr);
+  ASSERT_EQ(hipMemcpy(dev_ptr, host_in.data(), kN * sizeof(double),
+                      hipMemcpyHostToDevice),
+            hipSuccess);
+  ASSERT_EQ(hipMemcpy(host_out.data(), dev_ptr, kN * sizeof(double),
+                      hipMemcpyDeviceToHost),
+            hipSuccess);
+  EXPECT_EQ(host_in, host_out);
+  EXPECT_EQ(hipFree(dev_ptr), hipSuccess);
+}
+
+TEST_F(HipRuntimeTest, FreeSemantics) {
+  EXPECT_EQ(hipFree(nullptr), hipSuccess);  // HIP allows freeing null
+  int not_device = 0;
+  EXPECT_EQ(hipFree(&not_device), hipErrorInvalidDevicePointer);
+}
+
+TEST_F(HipRuntimeTest, MallocZeroRejected) {
+  void* p = nullptr;
+  EXPECT_EQ(hipMalloc(&p, 0), hipErrorInvalidValue);
+  EXPECT_EQ(hipMalloc(nullptr, 16), hipErrorInvalidValue);
+}
+
+TEST_F(HipRuntimeTest, OutOfMemoryReported) {
+  void* p = nullptr;
+  EXPECT_EQ(hipMalloc(&p, 1ull << 60), hipErrorOutOfMemory);
+  EXPECT_EQ(p, nullptr);
+}
+
+TEST_F(HipRuntimeTest, MemsetWrites) {
+  void* p = nullptr;
+  ASSERT_EQ(hipMalloc(&p, 256), hipSuccess);
+  ASSERT_EQ(hipMemset(p, 0xAB, 256), hipSuccess);
+  const auto* bytes = static_cast<unsigned char*>(p);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(bytes[i], 0xAB);
+  EXPECT_EQ(hipFree(p), hipSuccess);
+}
+
+TEST_F(HipRuntimeTest, KernelLaunchExecutesBody) {
+  constexpr std::size_t kN = 4096;
+  std::vector<float> a(kN, 2.0f);
+  std::vector<float> b(kN, 3.0f);
+  std::vector<float> c(kN, 0.0f);
+  Kernel k;
+  k.profile.name = "saxpy";
+  k.profile.add_flops(arch::DType::kF32, 2.0 * kN);
+  k.profile.bytes_read = 8.0 * kN;
+  k.profile.bytes_written = 4.0 * kN;
+  k.body = [&](const KernelContext& ctx) {
+    if (ctx.global_id < kN) {
+      c[ctx.global_id] = a[ctx.global_id] + 2.0f * b[ctx.global_id];
+    }
+  };
+  sim::LaunchConfig cfg{kN / 256, 256};
+  ASSERT_EQ(hipLaunchKernelEXA(k, cfg), hipSuccess);
+  ASSERT_EQ(hipDeviceSynchronize(), hipSuccess);
+  for (const float v : c) ASSERT_FLOAT_EQ(v, 8.0f);
+  EXPECT_GT(hipLastLaunchTiming().total_s, 0.0);
+}
+
+TEST_F(HipRuntimeTest, KernelContextCoordinates) {
+  std::vector<int> block_ids(512, -1);
+  Kernel k;
+  k.body = [&](const KernelContext& ctx) {
+    block_ids[ctx.global_id] = static_cast<int>(ctx.block_id);
+    EXPECT_EQ(ctx.block_dim, 128u);
+    EXPECT_EQ(ctx.global_id % 128, ctx.thread_id);
+  };
+  ASSERT_EQ(hipLaunchKernelEXA(k, sim::LaunchConfig{4, 128}), hipSuccess);
+  for (std::size_t i = 0; i < block_ids.size(); ++i) {
+    EXPECT_EQ(block_ids[i], static_cast<int>(i / 128));
+  }
+}
+
+TEST_F(HipRuntimeTest, InvalidLaunchRejected) {
+  Kernel k;
+  EXPECT_EQ(hipLaunchKernelEXA(k, sim::LaunchConfig{0, 256}),
+            hipErrorInvalidValue);
+}
+
+TEST_F(HipRuntimeTest, StreamsAndEventsMeasureTime) {
+  hipStream_t stream = nullptr;
+  ASSERT_EQ(hipStreamCreate(&stream), hipSuccess);
+  hipEvent_t start = nullptr;
+  hipEvent_t stop = nullptr;
+  ASSERT_EQ(hipEventCreate(&start), hipSuccess);
+  ASSERT_EQ(hipEventCreate(&stop), hipSuccess);
+
+  Kernel k;
+  k.profile.add_flops(arch::DType::kF64, 23.9e9);  // ~1 ms on a GCD
+  k.profile.compute_efficiency = 1.0;
+  ASSERT_EQ(hipEventRecord(start, stream), hipSuccess);
+  ASSERT_EQ(hipLaunchKernelEXA(k, sim::LaunchConfig{1u << 16, 256}, stream),
+            hipSuccess);
+  ASSERT_EQ(hipEventRecord(stop, stream), hipSuccess);
+  ASSERT_EQ(hipEventSynchronize(stop), hipSuccess);
+  float ms = 0.0f;
+  ASSERT_EQ(hipEventElapsedTime(&ms, start, stop), hipSuccess);
+  EXPECT_NEAR(ms, 1.0f, 0.3f);
+
+  EXPECT_EQ(hipEventDestroy(start), hipSuccess);
+  EXPECT_EQ(hipEventDestroy(stop), hipSuccess);
+  EXPECT_EQ(hipStreamDestroy(stream), hipSuccess);
+}
+
+TEST_F(HipRuntimeTest, StreamQueryReflectsPendingWork) {
+  hipStream_t stream = nullptr;
+  ASSERT_EQ(hipStreamCreate(&stream), hipSuccess);
+  Kernel k;
+  k.profile.add_flops(arch::DType::kF64, 23.9e9);
+  ASSERT_EQ(hipLaunchKernelEXA(k, sim::LaunchConfig{1u << 16, 256}, stream),
+            hipSuccess);
+  EXPECT_EQ(hipStreamQuery(stream), hipErrorNotReady);
+  ASSERT_EQ(hipStreamSynchronize(stream), hipSuccess);
+  EXPECT_EQ(hipStreamQuery(stream), hipSuccess);
+  EXPECT_EQ(hipStreamDestroy(stream), hipSuccess);
+}
+
+TEST_F(HipRuntimeTest, DestroyedHandlesRejected) {
+  hipStream_t stream = nullptr;
+  ASSERT_EQ(hipStreamCreate(&stream), hipSuccess);
+  ASSERT_EQ(hipStreamDestroy(stream), hipSuccess);
+  EXPECT_EQ(hipStreamDestroy(stream), hipErrorInvalidResourceHandle);
+  EXPECT_EQ(hipStreamSynchronize(stream), hipErrorInvalidResourceHandle);
+}
+
+TEST_F(HipRuntimeTest, UvmFaultRequiresManagedPointer) {
+  void* p = nullptr;
+  ASSERT_EQ(hipMallocManaged(&p, 1 << 20), hipSuccess);
+  EXPECT_EQ(hipUvmFault(p, 1 << 20, hipMemcpyHostToDevice), hipSuccess);
+  int local = 0;
+  EXPECT_EQ(hipUvmFault(&local, 4, hipMemcpyHostToDevice),
+            hipErrorInvalidDevicePointer);
+  EXPECT_EQ(hipFree(p), hipSuccess);
+}
+
+TEST_F(HipRuntimeTest, ErrorStrings) {
+  EXPECT_STREQ(hipGetErrorString(hipSuccess), "hipSuccess");
+  EXPECT_STREQ(hipGetErrorString(hipErrorOutOfMemory), "hipErrorOutOfMemory");
+}
+
+TEST_F(HipRuntimeTest, HostClockHelpers) {
+  const double t0 = hipHostTimeSec();
+  hipHostBusy(0.25);
+  EXPECT_NEAR(hipHostTimeSec() - t0, 0.25, 1e-9);
+}
+
+TEST_F(HipRuntimeTest, CudaCompatHeaderMapsToSameRuntime) {
+  using namespace exa::cuda;
+  void* p = nullptr;
+  ASSERT_EQ(cudaMalloc(&p, 4096), cudaSuccess);
+  std::vector<char> data(4096, 'x');
+  ASSERT_EQ(cudaMemcpy(p, data.data(), 4096, cudaMemcpyHostToDevice),
+            cudaSuccess);
+  // The same pointer is visible through the HIP API — one runtime.
+  EXPECT_EQ(hipFree(p), hipSuccess);
+
+  cudaStream_t s = nullptr;
+  ASSERT_EQ(cudaStreamCreate(&s), cudaSuccess);
+  EXPECT_EQ(cudaStreamSynchronize(s), cudaSuccess);
+  EXPECT_EQ(cudaStreamDestroy(s), cudaSuccess);
+  EXPECT_EQ(cudaGetDevice(nullptr), cudaErrorInvalidValue);
+}
+
+TEST_F(HipRuntimeTest, FlavorOverheadTiny) {
+  auto& rt = Runtime::instance();
+  rt.set_flavor(ApiFlavor::kCuda);
+  EXPECT_DOUBLE_EQ(rt.flavor_overhead(), 0.0);
+  rt.set_flavor(ApiFlavor::kHip);
+  EXPECT_GT(rt.flavor_overhead(), 0.0);
+  EXPECT_LT(rt.flavor_overhead(), 1e-7);  // header-only veneer
+}
+
+}  // namespace
+}  // namespace exa::hip

@@ -1,0 +1,189 @@
+#include "hip/hipify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/string_util.hpp"
+
+namespace exa::hip::hipify {
+namespace {
+
+using support::contains;
+
+TEST(Hipify, BasicApiCalls) {
+  const auto r = translate(
+      "cudaMalloc(&p, n);\n"
+      "cudaMemcpy(dst, src, n, cudaMemcpyHostToDevice);\n"
+      "cudaFree(p);\n");
+  EXPECT_TRUE(contains(r.output, "hipMalloc(&p, n);"));
+  EXPECT_TRUE(contains(r.output, "hipMemcpy(dst, src, n, hipMemcpyHostToDevice);"));
+  EXPECT_TRUE(contains(r.output, "hipFree(p);"));
+  EXPECT_EQ(r.replacements, 4);
+  EXPECT_TRUE(r.fully_automatic());
+}
+
+TEST(Hipify, TypesAndEnums) {
+  const auto r = translate(
+      "cudaError_t err = cudaSuccess;\n"
+      "cudaStream_t s;\n"
+      "cudaEvent_t e;\n");
+  EXPECT_TRUE(contains(r.output, "hipError_t err = hipSuccess;"));
+  EXPECT_TRUE(contains(r.output, "hipStream_t s;"));
+  EXPECT_TRUE(contains(r.output, "hipEvent_t e;"));
+}
+
+TEST(Hipify, LongestMatchWins) {
+  const auto r = translate("cudaMemcpyAsync(d, s, n, k, st);");
+  EXPECT_TRUE(contains(r.output, "hipMemcpyAsync"));
+  EXPECT_FALSE(contains(r.output, "hipMemcpyAsynchip"));
+}
+
+TEST(Hipify, IdentifierBoundariesRespected) {
+  // A user symbol merely containing an API name must not be rewritten.
+  const auto r = translate("int my_cudaMalloc_count = 0; mycudaMalloc();");
+  EXPECT_TRUE(contains(r.output, "my_cudaMalloc_count"));
+  EXPECT_TRUE(contains(r.output, "mycudaMalloc()"));
+  EXPECT_EQ(r.replacements, 0);
+}
+
+TEST(Hipify, AngleBracketInclude) {
+  const auto r = translate("#include <cuda_runtime.h>\n");
+  EXPECT_TRUE(contains(r.output, "#include <hip/hip_runtime.h>"));
+}
+
+TEST(Hipify, QuotedInclude) {
+  const auto r = translate("#include \"cuda_runtime.h\"\n");
+  EXPECT_TRUE(contains(r.output, "#include \"hip/hip_runtime.h\""));
+  EXPECT_EQ(r.replacements, 1);
+}
+
+TEST(Hipify, StringLiteralsNotTranslated) {
+  const auto r = translate("printf(\"cudaMalloc failed\\n\");");
+  EXPECT_TRUE(contains(r.output, "\"cudaMalloc failed\\n\""));
+  EXPECT_EQ(r.replacements, 0);
+}
+
+TEST(Hipify, CommentsNotTranslated) {
+  const auto r = translate(
+      "// cudaMalloc here\n"
+      "/* cudaFree there */\n"
+      "cudaDeviceSynchronize();\n");
+  EXPECT_TRUE(contains(r.output, "// cudaMalloc here"));
+  EXPECT_TRUE(contains(r.output, "/* cudaFree there */"));
+  EXPECT_TRUE(contains(r.output, "hipDeviceSynchronize();"));
+  EXPECT_EQ(r.replacements, 1);
+}
+
+TEST(Hipify, TripleChevronLaunchTwoArgs) {
+  const auto r = translate("mykernel<<<grid, block>>>(a, b, n);");
+  EXPECT_TRUE(contains(r.output,
+                       "hipLaunchKernelGGL(mykernel, grid, block, 0, 0, a, b, n)"));
+  EXPECT_EQ(r.launches_converted, 1);
+}
+
+TEST(Hipify, TripleChevronLaunchFourArgs) {
+  const auto r = translate("k<<<g, b, shmem, stream>>>(x);");
+  EXPECT_TRUE(contains(r.output, "hipLaunchKernelGGL(k, g, b, shmem, stream, x)"));
+}
+
+TEST(Hipify, TripleChevronNoKernelArgs) {
+  const auto r = translate("init<<<1, 64>>>();");
+  EXPECT_TRUE(contains(r.output, "hipLaunchKernelGGL(init, 1, 64, 0, 0)"));
+}
+
+TEST(Hipify, LaunchConfigWithNestedCommas) {
+  const auto r = translate("k<<<dim3(gx, gy), dim3(bx, by)>>>(p, q);");
+  EXPECT_TRUE(contains(
+      r.output, "hipLaunchKernelGGL(k, dim3(gx, gy), dim3(bx, by), 0, 0, p, q)"));
+}
+
+TEST(Hipify, OutdatedSyntaxFlagged) {
+  const auto r = translate("cudaThreadSynchronize();");
+  EXPECT_TRUE(contains(r.output, "hipDeviceSynchronize();"));
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_TRUE(contains(r.warnings[0], "outdated CUDA syntax"));
+  EXPECT_FALSE(r.fully_automatic());
+}
+
+TEST(Hipify, UnrecognizedCudaIdentifierReported) {
+  const auto r = translate("cudaGraphLaunch(graph, stream);");
+  ASSERT_EQ(r.unrecognized.size(), 1u);
+  EXPECT_EQ(r.unrecognized[0], "cudaGraphLaunch");
+  EXPECT_TRUE(contains(r.output, "cudaGraphLaunch"));  // left as-is
+  EXPECT_FALSE(r.fully_automatic());
+}
+
+TEST(Hipify, UnrecognizedReportedOnce) {
+  const auto r = translate("cudaFoo(); cudaFoo();");
+  EXPECT_EQ(r.unrecognized.size(), 1u);
+}
+
+TEST(Hipify, LibraryPrefixes) {
+  const auto r = translate(
+      "cublasHandle_t h; cublasCreate(&h);\n"
+      "cublasDgemm(h, a, b, c);\n"
+      "cufftHandle plan; cufftPlan3d(&plan, n, n, n, t);\n"
+      "curandGenerator_t g; curandCreateGenerator(&g, kind);\n");
+  EXPECT_TRUE(contains(r.output, "hipblasHandle_t h; hipblasCreate(&h);"));
+  EXPECT_TRUE(contains(r.output, "hipblasDgemm(h, a, b, c);"));
+  EXPECT_TRUE(contains(r.output, "hipfftPlan3d(&plan, n, n, n, t);"));
+  EXPECT_TRUE(contains(r.output, "hiprandCreateGenerator(&g, kind);"));
+}
+
+TEST(Hipify, CusolverToRocsolver) {
+  const auto r = translate("cusolverDnZgetrf(h, m, n, a, lda, w, ipiv, info);");
+  EXPECT_TRUE(contains(r.output, "rocsolver_zgetrf"));
+}
+
+TEST(Hipify, CountsPerIdentifier) {
+  const auto r = translate("cudaFree(a); cudaFree(b); cudaFree(c);");
+  EXPECT_EQ(r.by_identifier.at("cudaFree"), 3);
+}
+
+TEST(Hipify, RoundTripRealisticKernelFile) {
+  const char* source = R"(#include <cuda_runtime.h>
+// Vector add demo
+__global__ void vadd(const float* a, const float* b, float* c, int n);
+
+int main() {
+  float *da, *db, *dc;
+  cudaMalloc((void**)&da, N * sizeof(float));
+  cudaMalloc((void**)&db, N * sizeof(float));
+  cudaMalloc((void**)&dc, N * sizeof(float));
+  cudaMemcpy(da, ha, N * sizeof(float), cudaMemcpyHostToDevice);
+  cudaMemcpy(db, hb, N * sizeof(float), cudaMemcpyHostToDevice);
+  vadd<<<(N + 255) / 256, 256>>>(da, db, dc, N);
+  cudaError_t err = cudaGetLastError();
+  if (err != cudaSuccess) printf("err: %s\n", cudaGetErrorString(err));
+  cudaMemcpy(hc, dc, N * sizeof(float), cudaMemcpyDeviceToHost);
+  cudaFree(da); cudaFree(db); cudaFree(dc);
+  cudaDeviceSynchronize();
+  return 0;
+}
+)";
+  const auto r = translate(source);
+  EXPECT_TRUE(r.fully_automatic());
+  EXPECT_EQ(r.launches_converted, 1);
+  EXPECT_FALSE(contains(r.output, "cudaMalloc"));
+  EXPECT_FALSE(contains(r.output, "cudaMemcpy"));
+  EXPECT_FALSE(contains(r.output, "<<<"));
+  EXPECT_TRUE(contains(r.output,
+                       "hipLaunchKernelGGL(vadd, (N + 255) / 256, 256, 0, 0, "
+                       "da, db, dc, N)"));
+  // Translating already-HIP output is idempotent.
+  const auto r2 = translate(r.output);
+  EXPECT_EQ(r2.replacements, 0);
+  EXPECT_EQ(r2.output, r.output);
+}
+
+TEST(Hipify, ApiTableWellFormed) {
+  const auto& table = api_table();
+  EXPECT_GT(table.size(), 60u);
+  for (const auto& m : table) {
+    EXPECT_FALSE(m.cuda.empty());
+    EXPECT_FALSE(m.hip.empty());
+    EXPECT_NE(m.cuda, m.hip);
+  }
+}
+
+}  // namespace
+}  // namespace exa::hip::hipify

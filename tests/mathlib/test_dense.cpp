@@ -1,0 +1,130 @@
+#include "mathlib/dense.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace exa::ml {
+namespace {
+
+TEST(Dense, DgemmSmallKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {5, 6, 7, 8};
+  std::vector<double> c(4, 0.0);
+  dgemm(a, b, c, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  EXPECT_DOUBLE_EQ(c[2], 43.0);
+  EXPECT_DOUBLE_EQ(c[3], 50.0);
+}
+
+TEST(Dense, AlphaBetaSemantics) {
+  const std::vector<double> a = {1, 0, 0, 1};  // identity
+  const std::vector<double> b = {2, 0, 0, 2};
+  std::vector<double> c = {10, 0, 0, 10};
+  dgemm(a, b, c, 2, 2, 2, 3.0, 0.5);  // C = 3*A*B + 0.5*C
+  EXPECT_DOUBLE_EQ(c[0], 11.0);
+  EXPECT_DOUBLE_EQ(c[3], 11.0);
+}
+
+TEST(Dense, GemmAgainstNaiveRandom) {
+  support::Rng rng(101);
+  const std::size_t m = 37, n = 29, k = 53;  // awkward, non-tile sizes
+  std::vector<double> a(m * k), b(k * n), c(m * n, 0.0), ref(m * n, 0.0);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  dgemm(a, b, c, m, n, k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a[i * k + p] * b[p * n + j];
+      ref[i * n + j] = s;
+    }
+  }
+  EXPECT_LT(rel_error<double>(c, ref), 1e-13);
+}
+
+TEST(Dense, ZgemmComplex) {
+  support::Rng rng(7);
+  const std::size_t n = 16;
+  std::vector<zcomplex> a(n * n), b(n * n), c(n * n), ref(n * n);
+  for (auto& x : a) x = {rng.normal(), rng.normal()};
+  for (auto& x : b) x = {rng.normal(), rng.normal()};
+  zgemm(a, b, c, n, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      zcomplex s{};
+      for (std::size_t p = 0; p < n; ++p) s += a[i * n + p] * b[p * n + j];
+      ref[i * n + j] = s;
+    }
+  }
+  EXPECT_LT(rel_error<zcomplex>(c, ref), 1e-13);
+}
+
+TEST(Dense, GemmDegenerateDims) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  std::vector<double> c(1, 99.0);
+  dgemm(a, b, c, 1, 1, 3);  // dot product
+  EXPECT_DOUBLE_EQ(c[0], 32.0);
+}
+
+TEST(Dense, RoundToF16Properties) {
+  // Small integers are exact in binary16.
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 100.0f, 2047.0f}) {
+    EXPECT_EQ(round_to_f16(v), v);
+  }
+  // 2049 is not representable (11-bit significand): rounds to even.
+  EXPECT_EQ(round_to_f16(2049.0f), 2048.0f);
+  // Above binary16 max clamps.
+  EXPECT_EQ(round_to_f16(1e6f), 65504.0f);
+  EXPECT_EQ(round_to_f16(-1e6f), -65504.0f);
+  // Subnormals flush to zero.
+  EXPECT_EQ(round_to_f16(1e-6f), 0.0f);
+  // Rounding error bounded by 2^-11 relative.
+  const float x = 0.1f;
+  EXPECT_NEAR(round_to_f16(x), x, x / 1024.0f);
+}
+
+TEST(Dense, MixedPrecisionGemmExactForSmallIntegers) {
+  // 0/1 matrices with k <= 2048: FP16 inputs and FP32 accumulation are
+  // exact — the CoMet correctness precondition.
+  support::Rng rng(55);
+  const std::size_t m = 8, n = 8, k = 512;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& x : a) x = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  for (auto& x : b) x = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  std::vector<float> c(m * n), ref(m * n, 0.0f);
+  hgemm_f32acc(a, b, c, m, n, k);
+  sgemm(a, b, ref, m, n, k);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_EQ(c[i], ref[i]);
+}
+
+TEST(Dense, MixedPrecisionQuantizesInputs) {
+  // A value that differs after FP16 rounding must show the quantization.
+  std::vector<float> a = {2049.0f};
+  std::vector<float> b = {1.0f};
+  std::vector<float> c(1, 0.0f);
+  hgemm_f32acc(a, b, c, 1, 1, 1);
+  EXPECT_EQ(c[0], 2048.0f);
+}
+
+TEST(Dense, RelError) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rel_error<double>(x, y), 0.0);
+  const std::vector<double> z = {1.1, 2.0};
+  EXPECT_GT(rel_error<double>(z, y), 0.0);
+}
+
+TEST(Dense, FlopConventions) {
+  EXPECT_DOUBLE_EQ(gemm_flops_real(10, 20, 30), 12000.0);
+  EXPECT_DOUBLE_EQ(gemm_flops_complex(10, 20, 30), 48000.0);
+}
+
+}  // namespace
+}  // namespace exa::ml

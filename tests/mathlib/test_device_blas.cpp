@@ -1,0 +1,110 @@
+#include "mathlib/device_blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+
+namespace exa::ml {
+namespace {
+
+using arch::DType;
+
+class DeviceBlasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TuningRegistry::instance().clear();
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  }
+  void TearDown() override { TuningRegistry::instance().clear(); }
+};
+
+TEST_F(DeviceBlasTest, GemmEfficiencyGrowsWithSize) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double tiny = gemm_efficiency(gpu, DType::kF64, false, 8, 8, 8);
+  const double small = gemm_efficiency(gpu, DType::kF64, false, 100, 100, 100);
+  const double large = gemm_efficiency(gpu, DType::kF64, false, 4096, 4096, 4096);
+  EXPECT_LT(tiny, small);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, 0.8);
+}
+
+TEST_F(DeviceBlasTest, ShortestDimensionGoverns) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  // A skinny GEMM is punished even when the other dims are huge.
+  EXPECT_LT(gemm_efficiency(gpu, DType::kF64, false, 8192, 8192, 8),
+            gemm_efficiency(gpu, DType::kF64, false, 512, 512, 512));
+}
+
+TEST_F(DeviceBlasTest, MatrixCoreSustainedAboutHalfPeak) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double eff = gemm_efficiency(gpu, DType::kF64, true, 8192, 8192, 8192);
+  EXPECT_NEAR(eff, 0.5, 0.05);
+}
+
+TEST_F(DeviceBlasTest, TuningRegistryBoostsRegisteredShapes) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double before = gemm_efficiency(gpu, DType::kF64, false, 160, 160, 700);
+  TuningRegistry::instance().register_gemm("CoMet", 160, 160, 700, DType::kF64);
+  const double after = gemm_efficiency(gpu, DType::kF64, false, 160, 160, 700);
+  EXPECT_GT(after, before);
+  EXPECT_GE(after, 0.92);
+  // Other shapes unaffected.
+  EXPECT_DOUBLE_EQ(gemm_efficiency(gpu, DType::kF64, false, 161, 160, 700),
+                   before);
+}
+
+TEST_F(DeviceBlasTest, GemmProfileCounts) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const sim::KernelProfile p =
+      gemm_profile(gpu, DType::kF64, false, 100, 200, 300);
+  EXPECT_DOUBLE_EQ(p.total_flops(), 2.0 * 100 * 200 * 300);
+  EXPECT_GT(p.bytes_read, (100.0 * 300 + 300 * 200) * 8);
+  // Complex GEMM: 4x the real flops.
+  const sim::KernelProfile z =
+      gemm_profile(gpu, DType::kC64, false, 100, 200, 300);
+  EXPECT_DOUBLE_EQ(z.total_flops(), 8.0 * 100 * 200 * 300);
+}
+
+TEST_F(DeviceBlasTest, GetrfCheaperPerFlopThanItsOwnSmallSizes) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  EXPECT_LT(getrf_efficiency(gpu, 64), getrf_efficiency(gpu, 4096));
+}
+
+TEST_F(DeviceBlasTest, FftProfileMemoryBound) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const sim::KernelProfile p = fft_profile(gpu, 1 << 20, 4);
+  // 5 N log N flops, huge traffic: FFT should sit below the machine
+  // balance point (memory bound).
+  EXPECT_LT(p.arithmetic_intensity(), gpu.balance_fp64());
+}
+
+TEST_F(DeviceBlasTest, SpmvMultiVectorAmortizesMatrixTraffic) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const sim::KernelProfile one = spmv_profile(gpu, 100000, 2600000, 1);
+  const sim::KernelProfile two = spmv_profile(gpu, 100000, 2600000, 2);
+  EXPECT_DOUBLE_EQ(two.total_flops(), 2.0 * one.total_flops());
+  // Two fused vectors move much less than 2x the bytes.
+  EXPECT_LT(two.total_bytes(), 1.7 * one.total_bytes());
+}
+
+TEST_F(DeviceBlasTest, LaunchHelpersChargeDevice) {
+  auto& dev = hip::Runtime::instance().current_device();
+  const auto k0 = dev.counters().kernels_launched;
+  const sim::KernelTiming t = launch_gemm(DType::kF64, true, 1024, 1024, 1024);
+  EXPECT_GT(t.total_s, 0.0);
+  EXPECT_EQ(dev.counters().kernels_launched, k0 + 1);
+  launch_getrf(DType::kC64, 512);
+  launch_getrs(DType::kC64, 512, 16);
+  launch_fft(1 << 16, 8);
+  EXPECT_EQ(dev.counters().kernels_launched, k0 + 4);
+}
+
+TEST_F(DeviceBlasTest, SortProfileScalesWithElementSize) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const auto small = sort_profile(gpu, 1 << 20, 4);
+  const auto large = sort_profile(gpu, 1 << 20, 8);
+  EXPECT_GT(large.total_bytes(), small.total_bytes());
+}
+
+}  // namespace
+}  // namespace exa::ml

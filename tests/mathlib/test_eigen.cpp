@@ -1,0 +1,134 @@
+#include "mathlib/eigen.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+#include "sim/exec_model.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace exa::ml {
+namespace {
+
+std::vector<double> random_symmetric(std::size_t n, support::Rng& rng) {
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  return a;
+}
+
+TEST(Eigen, DiagonalMatrixTrivial) {
+  const std::vector<double> a = {3.0, 0.0, 0.0,
+                                 0.0, 1.0, 0.0,
+                                 0.0, 0.0, 2.0};
+  std::vector<double> evals(3), evecs(9);
+  syev(a, 3, evals, evecs);
+  EXPECT_NEAR(evals[0], 1.0, 1e-12);
+  EXPECT_NEAR(evals[1], 2.0, 1e-12);
+  EXPECT_NEAR(evals[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]]: eigenvalues 1 and 3.
+  const std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+  std::vector<double> evals(2), evecs(4);
+  syev(a, 2, evals, evecs);
+  EXPECT_NEAR(evals[0], 1.0, 1e-12);
+  EXPECT_NEAR(evals[1], 3.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(evecs[0 * 2 + 1]), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(evecs[0 * 2 + 1], evecs[1 * 2 + 1], 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  support::Rng rng(12);
+  const std::size_t n = 12;
+  const auto a = random_symmetric(n, rng);
+  std::vector<double> evals(n), v(n * n);
+  syev(a, n, evals, v);
+  // A = V diag(w) V^T.
+  std::vector<double> vd(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) vd[r * n + j] = v[r * n + j] * evals[j];
+  }
+  std::vector<double> vt(n * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) vt[r * n + j] = v[j * n + r];
+  }
+  std::vector<double> recon(n * n, 0.0);
+  dgemm(vd, vt, recon, n, n, n);
+  EXPECT_LT(rel_error<double>(recon, a), 1e-9);
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+  support::Rng rng(14);
+  const std::size_t n = 10;
+  const auto a = random_symmetric(n, rng);
+  std::vector<double> evals(n), v(n * n);
+  syev(a, n, evals, v);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < n; ++r) dot += v[r * n + i] * v[r * n + j];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, TraceAndOrderingInvariants) {
+  support::Rng rng(16);
+  const std::size_t n = 16;
+  const auto a = random_symmetric(n, rng);
+  std::vector<double> evals(n);
+  syev_values(a, n, evals);
+  // Ascending order.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(evals[i - 1], evals[i]);
+  // Trace preserved.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a[i * n + i];
+  double sum = 0.0;
+  for (const double w : evals) sum += w;
+  EXPECT_NEAR(sum, trace, 1e-9 * std::max(1.0, std::fabs(trace)));
+}
+
+TEST(Eigen, ValuesOnlyMatchesFull) {
+  support::Rng rng(18);
+  const std::size_t n = 9;
+  const auto a = random_symmetric(n, rng);
+  std::vector<double> w1(n), w2(n), v(n * n);
+  syev(a, n, w1, v);
+  syev_values(a, n, w2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(w1[i], w2[i], 1e-9);
+}
+
+TEST(Eigen, AsymmetricRejected) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> evals(2), evecs(4);
+  EXPECT_THROW(syev(a, 2, evals, evecs), support::Error);
+}
+
+TEST(Eigen, DivideAndConquerProfileFaster) {
+  // The §3.1 upgrade: the D&C eigensolver beats QR iteration on the GPU.
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const sim::LaunchConfig launch{1u << 14, 256};
+  const double qr =
+      sim::kernel_timing(gpu, syevd_profile(gpu, 4096, EigenAlgo::kQrIteration),
+                         launch)
+          .total_s;
+  const double dc = sim::kernel_timing(
+                        gpu, syevd_profile(gpu, 4096, EigenAlgo::kDivideAndConquer),
+                        launch)
+                        .total_s;
+  EXPECT_GT(qr / dc, 1.5);
+}
+
+}  // namespace
+}  // namespace exa::ml

@@ -1,0 +1,160 @@
+#include "mathlib/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+#include "support/rng.hpp"
+
+namespace exa::ml {
+namespace {
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<zcomplex> x(8, zcomplex{});
+  x[0] = {1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<zcomplex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * tone * i / n;
+    x[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(x[k]);
+    if (k == tone) EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    else EXPECT_NEAR(mag, 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  support::Rng rng(21);
+  std::vector<zcomplex> x(256);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const std::vector<zcomplex> orig = x;
+  fft(x, false);
+  fft(x, true);
+  EXPECT_LT(rel_error<zcomplex>(x, orig), 1e-12);
+}
+
+TEST(Fft, ParsevalHolds) {
+  support::Rng rng(33);
+  const std::size_t n = 128;
+  std::vector<zcomplex> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              time_energy * 1e-12);
+}
+
+TEST(Fft, LinearityProperty) {
+  support::Rng rng(4);
+  const std::size_t n = 64;
+  std::vector<zcomplex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.normal(), rng.normal()};
+    b[i] = {rng.normal(), rng.normal()};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    const zcomplex expect = a[i] + 2.0 * b[i];
+    EXPECT_NEAR(std::abs(sum[i] - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<zcomplex> x(12);
+  EXPECT_THROW(fft(x), support::Error);
+}
+
+TEST(Fft, TrivialLengths) {
+  std::vector<zcomplex> one = {{3.0, 1.0}};
+  fft(one);
+  EXPECT_DOUBLE_EQ(one[0].real(), 3.0);
+  std::vector<zcomplex> empty;
+  fft(empty);  // no-op, no crash
+}
+
+TEST(Fft, BatchMatchesIndividual) {
+  support::Rng rng(8);
+  const std::size_t n = 32, count = 5;
+  std::vector<zcomplex> batch(n * count);
+  for (auto& v : batch) v = {rng.normal(), rng.normal()};
+  std::vector<zcomplex> individual = batch;
+  fft_batch(batch, n, count);
+  for (std::size_t line = 0; line < count; ++line) {
+    fft(std::span<zcomplex>(individual.data() + line * n, n));
+  }
+  EXPECT_LT(rel_error<zcomplex>(batch, individual), 1e-13);
+}
+
+TEST(Fft, Fft3dRoundTrip) {
+  support::Rng rng(14);
+  const std::size_t n = 8;
+  std::vector<zcomplex> x(n * n * n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto orig = x;
+  fft3d(x, n, n, n, false);
+  fft3d(x, n, n, n, true);
+  EXPECT_LT(rel_error<zcomplex>(x, orig), 1e-12);
+}
+
+TEST(Fft, Fft3dPlaneWave) {
+  const std::size_t n = 8;
+  std::vector<zcomplex> x(n * n * n);
+  const std::size_t kx = 2, ky = 1, kz = 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double phase = 2.0 * std::numbers::pi *
+                             (static_cast<double>(kx * i + ky * j + kz * k)) /
+                             static_cast<double>(n);
+        x[(i * n + j) * n + k] = {std::cos(phase), std::sin(phase)};
+      }
+    }
+  }
+  fft3d(x, n, n, n, false);
+  const std::size_t peak = (kx * n + ky) * n + kz;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i == peak) {
+      EXPECT_NEAR(std::abs(x[i]), static_cast<double>(n * n * n), 1e-8);
+    } else {
+      EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Fft, FlopCountConvention) {
+  EXPECT_DOUBLE_EQ(fft_flops(1), 0.0);
+  EXPECT_DOUBLE_EQ(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+}  // namespace
+}  // namespace exa::ml

@@ -1,0 +1,194 @@
+#include "mathlib/lu.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+#include "support/rng.hpp"
+
+namespace exa::ml {
+namespace {
+
+std::vector<zcomplex> random_nonsingular(std::size_t n, support::Rng& rng) {
+  std::vector<zcomplex> a(n * n);
+  for (auto& x : a) x = {rng.normal(), rng.normal()};
+  // Diagonal boost guarantees nonsingularity.
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] += zcomplex{4.0 + static_cast<double>(n) * 0.2, 0.0};
+  }
+  return a;
+}
+
+TEST(Lu, ZgetrfZgetrsSolvesSystem) {
+  support::Rng rng(3);
+  const std::size_t n = 24;
+  const std::vector<zcomplex> a = random_nonsingular(n, rng);
+  std::vector<zcomplex> x_true(n);
+  for (auto& v : x_true) v = {rng.normal(), rng.normal()};
+  // b = A x
+  std::vector<zcomplex> b(n, zcomplex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+  std::vector<zcomplex> lu = a;
+  std::vector<int> piv(n);
+  ASSERT_EQ(zgetrf(lu, n, piv), 0);
+  std::vector<zcomplex> x = b;  // nrhs = 1
+  zgetrs(lu, n, piv, x, 1);
+  EXPECT_LT(rel_error<zcomplex>(x, x_true), 1e-10);
+}
+
+TEST(Lu, ZgetrfReportsSingular) {
+  std::vector<zcomplex> a = {{1, 0}, {2, 0}, {2, 0}, {4, 0}};  // rank 1
+  std::vector<int> piv(2);
+  EXPECT_NE(zgetrf(a, 2, piv), 0);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  std::vector<zcomplex> a = {{0, 0}, {1, 0}, {1, 0}, {0, 0}};  // antidiag
+  std::vector<int> piv(2);
+  ASSERT_EQ(zgetrf(a, 2, piv), 0);
+  std::vector<zcomplex> b = {{2, 0}, {3, 0}};
+  zgetrs(a, 2, piv, b, 1);
+  // Solution of [[0,1],[1,0]] x = [2,3] is [3,2].
+  EXPECT_NEAR(b[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(b[1].real(), 2.0, 1e-12);
+}
+
+TEST(Lu, MultipleRhs) {
+  support::Rng rng(5);
+  const std::size_t n = 12;
+  const std::size_t nrhs = 4;
+  const std::vector<zcomplex> a = random_nonsingular(n, rng);
+  std::vector<zcomplex> lu = a;
+  std::vector<int> piv(n);
+  ASSERT_EQ(zgetrf(lu, n, piv), 0);
+  // Identity RHS: solution is the inverse; verify A * A^-1 = I.
+  std::vector<zcomplex> rhs(n * nrhs, zcomplex{});
+  for (std::size_t i = 0; i < nrhs; ++i) rhs[i * nrhs + i] = {1.0, 0.0};
+  zgetrs(lu, n, piv, rhs, nrhs);
+  std::vector<zcomplex> prod(n * nrhs, zcomplex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      for (std::size_t p = 0; p < n; ++p) {
+        prod[i * nrhs + j] += a[i * n + p] * rhs[p * nrhs + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      const double expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(prod[i * nrhs + j].real(), expected, 1e-10);
+      EXPECT_NEAR(prod[i * nrhs + j].imag(), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Lu, ZinverseIsActualInverse) {
+  support::Rng rng(9);
+  const std::size_t n = 16;
+  const std::vector<zcomplex> a = random_nonsingular(n, rng);
+  const std::vector<zcomplex> inv = zinverse(a, n);
+  std::vector<zcomplex> prod(n * n, zcomplex{});
+  zgemm(a, inv, prod, n, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(prod[i * n + j].real(), expected, 1e-9);
+      EXPECT_NEAR(prod[i * n + j].imag(), 0.0, 1e-9);
+    }
+  }
+}
+
+// The LSMS equivalence: block inversion and LU produce the same top-left
+// inverse tile, across several matrix/block shapes.
+class BlockLuEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BlockLuEquivalence, MatchesFullInverseTopLeft) {
+  const auto [nblocks, block] = GetParam();
+  const std::size_t n = nblocks * block;
+  support::Rng rng(1000 + n);
+  const std::vector<zcomplex> a = random_nonsingular(n, rng);
+
+  std::vector<zcomplex> work = a;
+  std::vector<zcomplex> tile(block * block);
+  zblock_lu_inverse_topleft(work, n, block, tile);
+
+  const std::vector<zcomplex> inv = zinverse(a, n);
+  std::vector<zcomplex> ref(block * block);
+  for (std::size_t i = 0; i < block; ++i) {
+    for (std::size_t j = 0; j < block; ++j) ref[i * block + j] = inv[i * n + j];
+  }
+  EXPECT_LT(rel_error<zcomplex>(tile, ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockLuEquivalence,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(2, 4),
+                      std::make_pair<std::size_t, std::size_t>(3, 8),
+                      std::make_pair<std::size_t, std::size_t>(5, 6),
+                      std::make_pair<std::size_t, std::size_t>(1, 10),
+                      std::make_pair<std::size_t, std::size_t>(8, 4)));
+
+TEST(Lu, DgetrfSolvesRealSystem) {
+  support::Rng rng(77);
+  const std::size_t n = 10;
+  std::vector<double> a(n * n);
+  for (auto& x : a) x = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += 6.0;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.normal();
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+  std::vector<double> lu = a;
+  std::vector<int> piv(n);
+  ASSERT_EQ(dgetrf(lu, n, piv), 0);
+  dgetrs(lu, n, piv, b, 1);
+  EXPECT_LT(rel_error<double>(b, x_true), 1e-10);
+}
+
+TEST(Lu, BatchedSolvesAllSystems) {
+  support::Rng rng(88);
+  constexpr std::size_t n = 6;
+  constexpr std::size_t count = 32;
+  std::vector<double> a(n * n * count);
+  std::vector<double> x_true(n * count);
+  std::vector<double> b(n * count, 0.0);
+  for (std::size_t c = 0; c < count; ++c) {
+    for (std::size_t i = 0; i < n * n; ++i) a[c * n * n + i] = rng.normal();
+    for (std::size_t i = 0; i < n; ++i) {
+      a[c * n * n + i * n + i] += 5.0;
+      x_true[c * n + i] = rng.normal();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        b[c * n + i] += a[c * n * n + i * n + j] * x_true[c * n + j];
+      }
+    }
+  }
+  std::vector<double> lu = a;
+  std::vector<int> piv(n * count);
+  ASSERT_EQ(dgetrf_batched(lu, n, count, piv), 0);
+  dgetrs_batched(lu, n, count, piv, b, 1);
+  EXPECT_LT(rel_error<double>(b, x_true), 1e-10);
+}
+
+TEST(Lu, BatchedReportsSingularMember) {
+  constexpr std::size_t n = 2;
+  std::vector<double> a = {1.0, 0.0, 0.0, 1.0,   // identity: fine
+                           1.0, 2.0, 2.0, 4.0};  // rank 1: singular
+  std::vector<int> piv(n * 2);
+  EXPECT_NE(dgetrf_batched(a, n, 2, piv), 0);
+}
+
+TEST(Lu, FlopCounts) {
+  EXPECT_NEAR(zgetrf_flops(100), 8.0 / 3.0 * 1e6, 1.0);
+  EXPECT_DOUBLE_EQ(zgetrs_flops(100, 10), 8.0 * 100.0 * 100.0 * 10.0);
+}
+
+}  // namespace
+}  // namespace exa::ml

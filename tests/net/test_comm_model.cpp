@@ -1,0 +1,129 @@
+#include "net/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scaling.hpp"
+#include "support/assert.hpp"
+
+namespace exa::net {
+namespace {
+
+CommModel frontier_comm(bool gpu_aware = true) {
+  return CommModel(arch::machines::frontier(), 8, gpu_aware);
+}
+
+TEST(CommModel, RankBandwidthSharesNode) {
+  const CommModel c = frontier_comm();
+  EXPECT_DOUBLE_EQ(c.rank_bandwidth(), 100e9 / 8.0);
+  EXPECT_LT(c.rank_bandwidth_global(), c.rank_bandwidth());
+}
+
+TEST(CommModel, P2pLatencyPlusBandwidth) {
+  const CommModel c = frontier_comm();
+  const double small = c.p2p(8.0);
+  const double large = c.p2p(1e9);
+  EXPECT_GT(small, 1e-6);                       // latency floor
+  EXPECT_NEAR(large, 1e9 / c.rank_bandwidth(), large * 0.05);
+}
+
+TEST(CommModel, NonGpuAwareStagingCosts) {
+  const CommModel aware = frontier_comm(true);
+  const CommModel staged = frontier_comm(false);
+  const double bytes = 64.0 * 1024 * 1024;
+  // Staging through the host link on both ends adds real time — the
+  // USE_DEVICE_PTR / GPU-aware-MPI motivation of §2.2.
+  EXPECT_GT(staged.p2p(bytes), 1.5 * aware.p2p(bytes));
+}
+
+TEST(CommModel, CpuMachineHasNoStaging) {
+  const CommModel c(arch::machines::eagle(), 1, /*gpu_aware=*/false);
+  EXPECT_GT(c.p2p(1e6), 0.0);  // staging term silently zero
+}
+
+TEST(CommModel, AllreduceLogScaling) {
+  const CommModel c = frontier_comm();
+  const double t2 = c.allreduce(8.0, 2);
+  const double t1024 = c.allreduce(8.0, 1024);
+  // Small-message allreduce grows with log2(P): 10x steps for 2->1024.
+  EXPECT_NEAR(t1024 / t2, 10.0, 1.5);
+  EXPECT_DOUBLE_EQ(c.allreduce(8.0, 1), 0.0);
+}
+
+TEST(CommModel, AllreduceBandwidthTermSaturates) {
+  const CommModel c = frontier_comm();
+  const double big = 1e9;
+  const double t64 = c.allreduce(big, 64);
+  const double t4096 = c.allreduce(big, 4096);
+  // Volume term approaches 2*bytes/bw regardless of P.
+  EXPECT_NEAR(t4096 / t64, 1.0, 0.1);
+}
+
+TEST(CommModel, AlltoallGrowsWithGroup) {
+  const CommModel c = frontier_comm();
+  const double per_pair = 1e6;
+  EXPECT_LT(c.alltoall(per_pair, 8), c.alltoall(per_pair, 64));
+  EXPECT_DOUBLE_EQ(c.alltoall(per_pair, 1), 0.0);
+}
+
+TEST(CommModel, HaloExchangeScalesWithFaces) {
+  const CommModel c = frontier_comm();
+  EXPECT_DOUBLE_EQ(c.halo_exchange(1e6, 0), 0.0);
+  EXPECT_NEAR(c.halo_exchange(1e6, 6) / c.halo_exchange(1e6, 1), 6.0, 1e-9);
+}
+
+TEST(CommModel, BcastTreeDepth) {
+  const CommModel c = frontier_comm();
+  EXPECT_DOUBLE_EQ(c.bcast(1e6, 1), 0.0);
+  EXPECT_LT(c.bcast(8.0, 2), c.bcast(8.0, 4096));
+}
+
+TEST(CommModel, BarrierLatencyOnly) {
+  const CommModel c = frontier_comm();
+  EXPECT_DOUBLE_EQ(c.barrier(1), 0.0);
+  EXPECT_GT(c.barrier(2), 0.0);
+  EXPECT_LT(c.barrier(9408), 100e-6);
+}
+
+TEST(CommModel, SummitVsFrontierInjection) {
+  const CommModel summit(arch::machines::summit(), 6);
+  const CommModel frontier = frontier_comm();
+  // Frontier's Slingshot-11 node injection is 4x Summit's dual EDR.
+  EXPECT_GT(summit.p2p(1e9), frontier.p2p(1e9));
+}
+
+TEST(CommModel, InvalidArgsRejected) {
+  const CommModel c = frontier_comm();
+  EXPECT_THROW((void)c.p2p(-1.0), support::Error);
+  EXPECT_THROW((void)c.allreduce(8.0, 0), support::Error);
+  EXPECT_THROW(CommModel(arch::machines::frontier(), 0), support::Error);
+}
+
+TEST(ScalingStudy, WeakEfficiency) {
+  ScalingStudy s("demo", ScalingKind::kWeak);
+  s.run({1, 2, 4}, [](int nodes) { return 1.0 + 0.05 * nodes; });
+  ASSERT_EQ(s.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.points()[0].efficiency, 1.0);
+  EXPECT_LT(s.final_efficiency(), 1.0);
+  EXPECT_GT(s.final_efficiency(), 0.8);
+}
+
+TEST(ScalingStudy, StrongSpeedup) {
+  ScalingStudy s("demo", ScalingKind::kStrong);
+  s.run({1, 2, 4}, [](int nodes) { return 1.0 / nodes; });  // ideal
+  EXPECT_DOUBLE_EQ(s.points()[2].ratio, 4.0);
+  EXPECT_DOUBLE_EQ(s.points()[2].efficiency, 1.0);
+}
+
+TEST(ScalingStudy, TableRenderable) {
+  ScalingStudy s("demo", ScalingKind::kWeak);
+  s.run({1, 8}, [](int) { return 0.5; });
+  EXPECT_EQ(s.to_table().row_count(), 2u);
+}
+
+TEST(ScalingStudy, RejectsNonPositiveTimes) {
+  ScalingStudy s("demo", ScalingKind::kWeak);
+  EXPECT_THROW(s.run({1}, [](int) { return 0.0; }), support::Error);
+}
+
+}  // namespace
+}  // namespace exa::net

@@ -1,0 +1,160 @@
+#include "omp/offload.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::omp {
+namespace {
+
+class OffloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+    DeviceDataEnvironment::instance().reset();
+  }
+};
+
+TEST_F(OffloadTest, StructuredRegionMapsAndReleases) {
+  std::vector<double> a(100, 1.0);
+  auto& env = DeviceDataEnvironment::instance();
+  EXPECT_FALSE(env.is_present(a.data()));
+  {
+    TargetData region({map_tofrom(std::span<double>(a))});
+    EXPECT_TRUE(env.is_present(a.data()));
+    EXPECT_EQ(env.mapped_count(), 1u);
+  }
+  EXPECT_FALSE(env.is_present(a.data()));
+  EXPECT_EQ(env.mapped_count(), 0u);
+}
+
+TEST_F(OffloadTest, DeviceCopyIsDistinctUntilUpdateFrom) {
+  // The classic offload bug the trainings covered: host writes do not
+  // reach the device (and vice versa) without a TARGET UPDATE.
+  std::vector<double> a(16, 2.0);
+  TargetData region({map_to(std::span<double>(a))});
+
+  target_teams_distribute("double_it", a.size(), [&](std::size_t i) {
+    DeviceView<double> dev{std::span<double>(a)};
+    dev[i] *= 2.0;
+  });
+  (void)hip::hipDeviceSynchronize();
+
+  // Host copy is stale...
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  // ...until updated from the device.
+  DeviceDataEnvironment::instance().update_from(a.data());
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+}
+
+TEST_F(OffloadTest, UpdateToPushesHostWrites) {
+  std::vector<double> a(8, 1.0);
+  TargetData region({map_to(std::span<double>(a))});
+  a[3] = 99.0;  // host-side change after mapping
+  DeviceDataEnvironment::instance().update_to(a.data());
+  double captured = 0.0;
+  target_teams_distribute("read", 1, [&](std::size_t) {
+    DeviceView<double> dev{std::span<double>(a)};
+    captured = dev[3];
+  });
+  (void)hip::hipDeviceSynchronize();
+  EXPECT_DOUBLE_EQ(captured, 99.0);
+}
+
+TEST_F(OffloadTest, MapFromCopiesBackOnExit) {
+  std::vector<double> a(4, 0.0);
+  {
+    TargetData region({map_from(std::span<double>(a))});
+    target_teams_distribute("fill", a.size(), [&](std::size_t i) {
+      DeviceView<double> dev{std::span<double>(a)};
+      dev[i] = static_cast<double>(i) + 1.0;
+    });
+    (void)hip::hipDeviceSynchronize();
+    EXPECT_DOUBLE_EQ(a[0], 0.0);  // not yet
+  }
+  EXPECT_DOUBLE_EQ(a[0], 1.0);  // region exit copied back
+  EXPECT_DOUBLE_EQ(a[3], 4.0);
+}
+
+TEST_F(OffloadTest, AllocMapMovesNothing) {
+  std::vector<double> scratch(32, -5.0);
+  {
+    TargetData region({map_alloc(std::span<double>(scratch))});
+    EXPECT_TRUE(DeviceDataEnvironment::instance().is_present(scratch.data()));
+  }
+  for (const double v : scratch) EXPECT_DOUBLE_EQ(v, -5.0);
+}
+
+TEST_F(OffloadTest, NestedRegionsRefcount) {
+  std::vector<double> a(8, 3.0);
+  auto& env = DeviceDataEnvironment::instance();
+  {
+    TargetData outer({map_tofrom(std::span<double>(a))});
+    {
+      TargetData inner({map_tofrom(std::span<double>(a))});
+      EXPECT_EQ(env.mapped_count(), 1u);  // present table: one entry
+    }
+    EXPECT_TRUE(env.is_present(a.data()));  // outer still holds it
+  }
+  EXPECT_FALSE(env.is_present(a.data()));
+}
+
+TEST_F(OffloadTest, UseDevicePtrForGpuAwareMpi) {
+  std::vector<double> halo(64, 1.0);
+  TargetData region({map_to(std::span<double>(halo))});
+  void* dptr = DeviceDataEnvironment::instance().use_device_ptr(halo.data());
+  ASSERT_NE(dptr, nullptr);
+  EXPECT_NE(dptr, static_cast<void*>(halo.data()));
+  // The device pointer is a registered device allocation — exactly what
+  // GPU-aware MPI needs.
+  EXPECT_GE(hip::Runtime::instance().owner_of(dptr), 0);
+}
+
+TEST_F(OffloadTest, PersistentRegionAvoidsRepeatedTransfers) {
+  // The §2.2 recommendation measured: one region around many kernels
+  // moves data once; mapping per kernel moves it every time.
+  std::vector<double> field(1 << 16, 1.0);
+  const std::span<double> span(field);
+  auto& dev = hip::Runtime::instance().current_device();
+
+  const double t0 = dev.host_now();
+  {
+    TargetData region({map_tofrom(span)});
+    for (int step = 0; step < 10; ++step) {
+      target_teams_distribute("stepA", field.size(), [](std::size_t) {});
+    }
+  }
+  (void)hip::hipDeviceSynchronize();
+  const double persistent = dev.host_now() - t0;
+
+  const double t1 = dev.host_now();
+  for (int step = 0; step < 10; ++step) {
+    TargetData region({map_tofrom(span)});
+    target_teams_distribute("stepB", field.size(), [](std::size_t) {});
+  }
+  (void)hip::hipDeviceSynchronize();
+  const double per_kernel = dev.host_now() - t1;
+
+  EXPECT_LT(persistent, per_kernel / 2.0);
+}
+
+TEST_F(OffloadTest, ErrorsOnUnmappedAccess) {
+  std::vector<double> a(4, 0.0);
+  auto& env = DeviceDataEnvironment::instance();
+  EXPECT_THROW(env.update_to(a.data()), support::Error);
+  EXPECT_THROW((void)env.use_device_ptr(a.data()), support::Error);
+  EXPECT_THROW(env.exit(a.data(), MapType::kFrom), support::Error);
+}
+
+TEST_F(OffloadTest, RemapDifferentSizeRejected) {
+  std::vector<double> a(8, 0.0);
+  TargetData region({map_to(std::span<double>(a))});
+  EXPECT_THROW(DeviceDataEnvironment::instance().enter(a.data(), 4,
+                                                       MapType::kTo),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace exa::omp

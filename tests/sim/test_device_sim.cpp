@@ -1,0 +1,182 @@
+#include "sim/device_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::sim {
+namespace {
+
+KernelProfile ms_kernel(double ms = 1.0) {
+  // A compute-bound kernel calibrated to ~`ms` milliseconds on MI250X.
+  KernelProfile p;
+  p.name = "work";
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  p.add_flops(arch::DType::kF64, gpu.peak_flops(arch::DType::kF64) * ms * 1e-3);
+  p.compute_efficiency = 1.0;
+  return p;
+}
+
+LaunchConfig grid() { return LaunchConfig{1u << 16, 256}; }
+
+TEST(DeviceSim, HostClockAdvancesOnSubmit) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const SimTime t0 = dev.host_now();
+  dev.launch(0, ms_kernel(), grid());
+  // Async submit: host moved only by the submit overhead, not the kernel.
+  EXPECT_LT(dev.host_now() - t0, 1e-5);
+  EXPECT_FALSE(dev.stream_query(0));
+  dev.synchronize(0);
+  EXPECT_GE(dev.host_now() - t0, 0.9e-3);
+  EXPECT_TRUE(dev.stream_query(0));
+}
+
+TEST(DeviceSim, StreamsRunConcurrently) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.launch(s1, ms_kernel(1.0), grid());
+  dev.launch(s2, ms_kernel(1.0), grid());
+  dev.synchronize_all();
+  // Two 1 ms kernels on different streams overlap: well under 2 ms.
+  EXPECT_LT(dev.host_now(), 1.5e-3);
+}
+
+TEST(DeviceSim, SameStreamSerializes) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.launch(0, ms_kernel(1.0), grid());
+  dev.launch(0, ms_kernel(1.0), grid());
+  dev.synchronize(0);
+  EXPECT_GE(dev.host_now(), 1.9e-3);
+}
+
+TEST(DeviceSim, BusyStreamHidesLaunchLatency) {
+  // The §3.5 E3SM strategy: N short kernels queued asynchronously on one
+  // stream pay ~1 launch latency; synchronizing after each pays N.
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  constexpr int kKernels = 64;
+
+  DeviceSim async_dev(gpu);
+  for (int i = 0; i < kKernels; ++i) {
+    async_dev.launch(0, ms_kernel(0.001), grid());
+  }
+  async_dev.synchronize_all();
+
+  DeviceSim sync_dev(gpu);
+  for (int i = 0; i < kKernels; ++i) {
+    sync_dev.launch(0, ms_kernel(0.001), grid());
+    sync_dev.synchronize(0);
+  }
+  // Sync-each pays launch latency per kernel; async amortizes it.
+  EXPECT_GT(sync_dev.host_now(),
+            async_dev.host_now() + 0.8 * (kKernels - 1) * gpu.kernel_launch_latency_s);
+}
+
+TEST(DeviceSim, EventsMeasureElapsed) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const EventId start = dev.record_event(0);
+  dev.launch(0, ms_kernel(2.0), grid());
+  const EventId stop = dev.record_event(0);
+  EXPECT_NEAR(dev.elapsed(start, stop), 2.0e-3, 0.2e-3);
+}
+
+TEST(DeviceSim, StreamWaitEventOrdersAcrossStreams) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.launch(s1, ms_kernel(1.0), grid());
+  const EventId e = dev.record_event(s1);
+  dev.stream_wait_event(s2, e);
+  dev.launch(s2, ms_kernel(1.0), grid());
+  dev.synchronize(s2);
+  EXPECT_GE(dev.host_now(), 1.9e-3);  // serialized through the event
+}
+
+TEST(DeviceSim, TransfersChargeLinkTime) {
+  DeviceSim dev(arch::v100());
+  const SimTime t0 = dev.host_now();
+  dev.transfer_sync(TransferKind::kHostToDevice, 50e9 * 0.01);  // 10 ms at 50 GB/s
+  EXPECT_NEAR(dev.host_now() - t0, 0.01, 0.001);
+  EXPECT_EQ(dev.counters().transfers, 1u);
+  EXPECT_GT(dev.counters().bytes_h2d, 0.0);
+}
+
+TEST(DeviceSim, UvmSlowerThanExplicitTransfer) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const double bytes = 256.0 * 1024 * 1024;
+  const SimTime t0 = dev.host_now();
+  dev.transfer_async(0, TransferKind::kHostToDevice, bytes);
+  dev.synchronize(0);
+  const double explicit_s = dev.host_now() - t0;
+  const SimTime t1 = dev.host_now();
+  dev.uvm_migrate(0, TransferKind::kHostToDevice, bytes);
+  dev.synchronize(0);
+  const double uvm_s = dev.host_now() - t1;
+  EXPECT_GT(uvm_s, 1.3 * explicit_s);
+}
+
+TEST(DeviceSim, DirectAllocBlocksAndCharges) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.launch(0, ms_kernel(1.0), grid());
+  void* p = dev.malloc_device(1 << 20);
+  // hipMalloc synchronized the device first.
+  EXPECT_TRUE(dev.stream_query(0));
+  EXPECT_GE(dev.host_now(), 1.0e-3);
+  dev.free_device(p);
+}
+
+TEST(DeviceSim, PooledAllocIsCheapAndNonBlocking) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.set_alloc_mode(AllocMode::kPooled, 1ull << 30);
+  dev.launch(0, ms_kernel(1.0), grid());
+  const SimTime t0 = dev.host_now();
+  void* p = dev.malloc_device(1 << 20);
+  EXPECT_LT(dev.host_now() - t0, 1e-6);
+  EXPECT_FALSE(dev.stream_query(0));  // did NOT synchronize
+  dev.free_device(p);
+}
+
+TEST(DeviceSim, OutOfMemoryThrows) {
+  DeviceSim dev(arch::v100());  // 16 GiB
+  EXPECT_THROW((void)dev.malloc_device(20ull << 30), support::Error);
+}
+
+TEST(DeviceSim, AllocationAccounting) {
+  DeviceSim dev(arch::mi250x_gcd());
+  void* a = dev.malloc_device(1000);
+  void* b = dev.malloc_device(2000);
+  EXPECT_EQ(dev.bytes_allocated(), 3000u);
+  dev.free_device(a);
+  EXPECT_EQ(dev.bytes_allocated(), 2000u);
+  dev.free_device(b);
+  EXPECT_EQ(dev.bytes_allocated(), 0u);
+  EXPECT_EQ(dev.counters().allocs, 2u);
+  EXPECT_EQ(dev.counters().frees, 2u);
+}
+
+TEST(DeviceSim, FreeUnknownPointerRejected) {
+  DeviceSim dev(arch::mi250x_gcd());
+  int dummy = 0;
+  EXPECT_THROW(dev.free_device(&dummy), support::Error);
+}
+
+TEST(DeviceSim, DestroyStreamDrainsIt) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const StreamId s = dev.create_stream();
+  dev.launch(s, ms_kernel(1.0), grid());
+  dev.destroy_stream(s);
+  EXPECT_GE(dev.host_now(), 0.9e-3);
+  EXPECT_THROW(dev.synchronize(s), support::Error);
+  EXPECT_THROW(dev.destroy_stream(0), support::Error);
+}
+
+TEST(DeviceSim, CountersTrackKernels) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.launch(0, ms_kernel(1.0), grid());
+  dev.launch(0, ms_kernel(1.0), grid());
+  EXPECT_EQ(dev.counters().kernels_launched, 2u);
+  EXPECT_NEAR(dev.counters().kernel_busy_s, 2e-3, 0.4e-3);
+}
+
+}  // namespace
+}  // namespace exa::sim

@@ -1,0 +1,189 @@
+#include "sim/exec_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace exa::sim {
+namespace {
+
+LaunchConfig saturating_grid() { return LaunchConfig{1u << 16, 256}; }
+
+KernelProfile compute_bound(double flops = 1e12) {
+  KernelProfile p;
+  p.name = "compute";
+  p.add_flops(arch::DType::kF64, flops);
+  p.bytes_read = 1e6;
+  p.registers_per_thread = 64;
+  p.compute_efficiency = 1.0;
+  p.memory_efficiency = 1.0;
+  return p;
+}
+
+KernelProfile memory_bound(double bytes = 1e9) {
+  KernelProfile p;
+  p.name = "stream";
+  p.add_flops(arch::DType::kF64, 1e6);
+  p.bytes_read = bytes / 2;
+  p.bytes_written = bytes / 2;
+  p.registers_per_thread = 32;
+  p.compute_efficiency = 1.0;
+  p.memory_efficiency = 1.0;
+  return p;
+}
+
+TEST(ExecModel, ComputeBoundTimeMatchesRoofline) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const KernelTiming t =
+      kernel_timing(gpu, compute_bound(1e12), saturating_grid());
+  // occupancy ~1 -> efficiency ~0.996; expect within a few percent of
+  // flops/peak.
+  const double ideal = 1e12 / gpu.peak_flops(arch::DType::kF64);
+  EXPECT_NEAR(t.compute_s, ideal, ideal * 0.05);
+  EXPECT_GT(t.compute_s, t.memory_s);
+  EXPECT_DOUBLE_EQ(t.total_s, t.launch_s + t.compute_s);
+}
+
+TEST(ExecModel, MemoryBoundTimeMatchesBandwidth) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const KernelTiming t =
+      kernel_timing(gpu, memory_bound(1e9), saturating_grid());
+  const double ideal = 1e9 / gpu.hbm_bandwidth_bytes_per_s;
+  EXPECT_NEAR(t.memory_s, ideal, ideal * 0.05);
+  EXPECT_DOUBLE_EQ(t.total_s, t.launch_s + t.memory_s);
+}
+
+TEST(ExecModel, LaunchLatencyFloorsTinyKernels) {
+  const arch::GpuArch gpu = arch::v100();
+  KernelProfile p = compute_bound(1e3);  // trivially small
+  p.bytes_read = 1e3;
+  const KernelTiming t = kernel_timing(gpu, p, LaunchConfig{1, 64});
+  EXPECT_GT(t.total_s, gpu.kernel_launch_latency_s);
+  EXPECT_LT(t.total_s - t.launch_s, gpu.kernel_launch_latency_s);
+}
+
+TEST(ExecModel, ActiveLaneFraction) {
+  EXPECT_DOUBLE_EQ(active_lane_fraction(0.0, 64), 1.0);   // convergent
+  EXPECT_DOUBLE_EQ(active_lane_fraction(32.0, 64), 0.5);  // half wave
+  EXPECT_DOUBLE_EQ(active_lane_fraction(32.0, 32), 1.0);  // exactly a warp
+  EXPECT_DOUBLE_EQ(active_lane_fraction(2.0, 64), 2.0 / 64.0);
+  EXPECT_DOUBLE_EQ(active_lane_fraction(128.0, 64), 1.0);  // capped
+}
+
+TEST(ExecModel, WavefrontWidthSensitivity) {
+  // A kernel with 32-item convergent runs: free on NVIDIA (wavefront 32),
+  // half throughput on AMD (wavefront 64) — the ExaSky §3.4 observation.
+  KernelProfile p = compute_bound(1e12);
+  p.coherent_run_length = 32.0;
+  const KernelTiming on_v100 =
+      kernel_timing(arch::v100(), p, saturating_grid());
+  const KernelTiming on_mi250 =
+      kernel_timing(arch::mi250x_gcd(), p, saturating_grid());
+  EXPECT_DOUBLE_EQ(on_v100.active_lane_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(on_mi250.active_lane_fraction, 0.5);
+}
+
+TEST(ExecModel, DivergenceSlowsCompute) {
+  KernelProfile convergent = compute_bound();
+  KernelProfile divergent = compute_bound();
+  divergent.coherent_run_length = 4.0;
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double tc = kernel_timing(gpu, convergent, saturating_grid()).compute_s;
+  const double td = kernel_timing(gpu, divergent, saturating_grid()).compute_s;
+  EXPECT_NEAR(td / tc, 16.0, 0.01);  // 4/64 active lanes
+}
+
+TEST(ExecModel, MatrixCoreWorkIgnoresDivergence) {
+  KernelProfile p;
+  p.add_flops(arch::DType::kF16, 1e12, /*matrix=*/true);
+  p.bytes_read = 1e6;
+  p.coherent_run_length = 2.0;
+  p.compute_efficiency = 1.0;
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const KernelTiming t = kernel_timing(gpu, p, saturating_grid());
+  const double ideal = 1e12 / gpu.peak_flops(arch::DType::kF16, true);
+  EXPECT_NEAR(t.compute_s, ideal, ideal * 0.05);
+}
+
+TEST(ExecModel, NonFmaPenaltyAndPackedRecovery) {
+  KernelProfile p;
+  p.add_flops_nofma(arch::DType::kF32, 1e12);
+  p.bytes_read = 1e6;
+  p.compute_efficiency = 1.0;
+  KernelProfile fma = p;
+  fma.work[0].fma = true;
+  const arch::GpuArch v = arch::v100();
+  const arch::GpuArch m = arch::mi250x_gcd();
+  const double slow_v = kernel_timing(v, p, saturating_grid()).compute_s;
+  const double fast_v = kernel_timing(v, fma, saturating_grid()).compute_s;
+  EXPECT_NEAR(slow_v / fast_v, 1.0 / v.non_fma_fraction, 0.01);
+  // CDNA2's packed ALU ops lose less.
+  const double slow_m = kernel_timing(m, p, saturating_grid()).compute_s;
+  const double fast_m = kernel_timing(m, fma, saturating_grid()).compute_s;
+  EXPECT_LT(slow_m / fast_m, slow_v / fast_v);
+}
+
+TEST(ExecModel, SpillsAddMemoryTraffic) {
+  const arch::GpuArch gpu = arch::v100();
+  KernelProfile p = memory_bound(1e8);
+  p.registers_per_thread = 300;  // 45 spilled on Volta
+  const KernelTiming spilled = kernel_timing(gpu, p, saturating_grid());
+  p.registers_per_thread = 128;
+  const KernelTiming clean = kernel_timing(gpu, p, saturating_grid());
+  EXPECT_GT(spilled.spill_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(clean.spill_bytes, 0.0);
+  EXPECT_GT(spilled.memory_s, clean.memory_s);
+}
+
+TEST(ExecModel, SpillTrafficMultiplierModelsCompilerFix) {
+  const arch::GpuArch gpu = arch::v100();
+  KernelProfile p = memory_bound(1e8);
+  p.registers_per_thread = 300;
+  ExecTuning buggy;
+  buggy.spill_traffic_multiplier = 3.0;
+  ExecTuning fixed;
+  const double t_buggy =
+      kernel_timing(gpu, p, saturating_grid(), buggy).total_s;
+  const double t_fixed =
+      kernel_timing(gpu, p, saturating_grid(), fixed).total_s;
+  EXPECT_GT(t_buggy, t_fixed);
+}
+
+TEST(ExecModel, MixedIntFloatWorkSerializes) {
+  // The LSMS §3.2 observation: integer index arithmetic competes with FP.
+  KernelProfile fp_only = compute_bound(1e12);
+  KernelProfile mixed = compute_bound(1e12);
+  mixed.add_flops(arch::DType::kI32, 2e12);
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const double t_fp = kernel_timing(gpu, fp_only, saturating_grid()).compute_s;
+  const double t_mixed = kernel_timing(gpu, mixed, saturating_grid()).compute_s;
+  EXPECT_GT(t_mixed, 1.8 * t_fp);
+}
+
+TEST(ExecModel, TransferTime) {
+  const arch::HostLink link{"test", 50e9, 2e-6};
+  EXPECT_DOUBLE_EQ(transfer_time(link, 0.0), 2e-6);
+  EXPECT_NEAR(transfer_time(link, 50e9), 1.0 + 2e-6, 1e-9);
+}
+
+TEST(ExecModel, AchievedFlops) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const KernelProfile p = compute_bound(1e12);
+  const KernelTiming t = kernel_timing(gpu, p, saturating_grid());
+  const double achieved = t.achieved_flops(1e12);
+  EXPECT_GT(achieved, 0.9 * gpu.peak_flops(arch::DType::kF64));
+  EXPECT_LE(achieved, gpu.peak_flops(arch::DType::kF64));
+}
+
+TEST(ExecModel, ArithmeticIntensity) {
+  KernelProfile p = compute_bound(1e9);
+  p.bytes_read = 1e6;
+  p.bytes_written = 1e6;
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity(), 500.0);
+  KernelProfile nomem;
+  nomem.add_flops(arch::DType::kF64, 1.0);
+  EXPECT_TRUE(std::isinf(nomem.arithmetic_intensity()));
+}
+
+}  // namespace
+}  // namespace exa::sim

@@ -1,0 +1,148 @@
+/// Property sweeps over the execution model: invariants that must hold for
+/// every architecture and every profile shape, not just the calibrated
+/// points. These guard against regressions when tuning tables change.
+
+#include <gtest/gtest.h>
+
+#include "sim/exec_model.hpp"
+
+namespace exa::sim {
+namespace {
+
+std::vector<arch::GpuArch> all_gpus() {
+  return {arch::v100(), arch::mi60(), arch::mi100(), arch::mi250x_gcd()};
+}
+
+class PerArch : public ::testing::TestWithParam<int> {
+ protected:
+  arch::GpuArch gpu() const {
+    return all_gpus()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+KernelProfile base() {
+  KernelProfile p;
+  p.add_flops(arch::DType::kF64, 1e11);
+  p.bytes_read = 1e8;
+  p.bytes_written = 1e8;
+  p.registers_per_thread = 64;
+  return p;
+}
+
+LaunchConfig grid() { return LaunchConfig{1u << 15, 256}; }
+
+TEST_P(PerArch, TimeMonotoneInFlops) {
+  double prev = 0.0;
+  for (double flops = 1e9; flops <= 1e13; flops *= 10.0) {
+    KernelProfile p = base();
+    p.work[0].flops = flops;
+    const double t = kernel_timing(gpu(), p, grid()).total_s;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(PerArch, TimeMonotoneInBytes) {
+  double prev = 0.0;
+  for (double bytes = 1e6; bytes <= 1e11; bytes *= 10.0) {
+    KernelProfile p = base();
+    p.bytes_read = bytes;
+    const double t = kernel_timing(gpu(), p, grid()).total_s;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(PerArch, TimeNonDecreasingInRegisterPressure) {
+  double prev = 0.0;
+  for (int regs = 16; regs <= 640; regs *= 2) {
+    KernelProfile p = base();
+    p.registers_per_thread = regs;
+    const double t = kernel_timing(gpu(), p, grid()).total_s;
+    EXPECT_GE(t, prev * 0.999) << "regs " << regs;
+    prev = t;
+  }
+}
+
+TEST_P(PerArch, DivergenceNeverSpeedsUp) {
+  const KernelProfile convergent = base();
+  const double t0 = kernel_timing(gpu(), convergent, grid()).total_s;
+  for (double run = 64.0; run >= 1.0; run /= 2.0) {
+    KernelProfile p = base();
+    p.coherent_run_length = run;
+    EXPECT_GE(kernel_timing(gpu(), p, grid()).total_s, t0 * 0.999);
+  }
+}
+
+TEST_P(PerArch, TimeAtLeastLaunchLatency) {
+  KernelProfile tiny;
+  tiny.add_flops(arch::DType::kF64, 1.0);
+  tiny.bytes_read = 8.0;
+  const double t = kernel_timing(gpu(), tiny, LaunchConfig{1, 64}).total_s;
+  EXPECT_GE(t, gpu().kernel_launch_latency_s);
+}
+
+TEST_P(PerArch, NeverExceedsPeak) {
+  // Sustained rate can never beat the architecture peak, whatever the
+  // profile claims about its own efficiency.
+  KernelProfile p;
+  p.add_flops(arch::DType::kF64, 1e12);
+  p.compute_efficiency = 1.0;
+  p.memory_efficiency = 1.0;
+  const KernelTiming t = kernel_timing(gpu(), p, grid());
+  EXPECT_LE(t.achieved_flops(1e12),
+            gpu().peak_flops(arch::DType::kF64) * 1.0001);
+}
+
+TEST_P(PerArch, WiderGridNeverSlower) {
+  KernelProfile p = base();
+  double prev = 1e300;
+  for (std::uint64_t blocks = 1; blocks <= (1u << 16); blocks *= 16) {
+    const double t =
+        kernel_timing(gpu(), p, LaunchConfig{blocks, 256}).total_s;
+    EXPECT_LE(t, prev * 1.001) << "blocks " << blocks;
+    prev = t;
+  }
+}
+
+TEST_P(PerArch, SpillTrafficNonNegativeAndBounded) {
+  for (int regs : {32, 255, 256, 400, 512, 700}) {
+    KernelProfile p = base();
+    p.registers_per_thread = regs;
+    const KernelTiming t = kernel_timing(gpu(), p, grid());
+    EXPECT_GE(t.spill_bytes, 0.0);
+    if (regs <= gpu().max_registers_per_thread) {
+      EXPECT_DOUBLE_EQ(t.spill_bytes, 0.0);
+    } else {
+      EXPECT_GT(t.spill_bytes, 0.0);
+    }
+  }
+}
+
+TEST_P(PerArch, BreakdownIsConsistent) {
+  const KernelProfile p = base();
+  const KernelTiming t = kernel_timing(gpu(), p, grid());
+  EXPECT_DOUBLE_EQ(t.total_s,
+                   t.launch_s + std::max(t.compute_s, t.memory_s));
+  EXPECT_GT(t.compute_s, 0.0);
+  EXPECT_GT(t.memory_s, 0.0);
+  EXPECT_GT(t.occupancy.fraction, 0.0);
+  EXPECT_LE(t.occupancy.fraction, 1.0);
+  EXPECT_GT(t.active_lane_fraction, 0.0);
+  EXPECT_LE(t.active_lane_fraction, 1.0);
+}
+
+std::string gpu_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "V100";
+    case 1: return "MI60";
+    case 2: return "MI100";
+    default: return "MI250X";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, PerArch, ::testing::Values(0, 1, 2, 3),
+                         gpu_name);
+
+}  // namespace
+}  // namespace exa::sim

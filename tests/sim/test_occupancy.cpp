@@ -1,0 +1,105 @@
+#include "sim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::sim {
+namespace {
+
+KernelProfile base_profile(int regs = 32, std::uint64_t lds = 0) {
+  KernelProfile p;
+  p.registers_per_thread = regs;
+  p.lds_per_block_bytes = lds;
+  p.add_flops(arch::DType::kF64, 1e9);
+  return p;
+}
+
+LaunchConfig big_grid(std::uint32_t block = 256) {
+  return LaunchConfig{1u << 20, block};
+}
+
+TEST(Occupancy, FullWithLightKernels) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const Occupancy occ = compute_occupancy(gpu, base_profile(32), big_grid());
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+  EXPECT_EQ(occ.spilled_registers_per_thread, 0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const arch::GpuArch gpu = arch::v100();
+  // 250 regs x 256 threads = 64000 regs/block; 65536-reg file -> 1 block.
+  const Occupancy occ = compute_occupancy(gpu, base_profile(250), big_grid());
+  EXPECT_EQ(occ.limit, OccupancyLimit::kRegisters);
+  EXPECT_EQ(occ.resident_blocks_per_cu, 1);
+  EXPECT_NEAR(occ.fraction, 256.0 / 2048.0, 1e-12);
+}
+
+TEST(Occupancy, SpillsAboveArchLimit) {
+  const arch::GpuArch v = arch::v100();         // 255-reg limit
+  const arch::GpuArch m = arch::mi250x_gcd();   // 512-reg limit
+  const KernelProfile p = base_profile(320);
+  EXPECT_EQ(compute_occupancy(v, p, big_grid()).spilled_registers_per_thread,
+            65);
+  EXPECT_EQ(compute_occupancy(m, p, big_grid()).spilled_registers_per_thread,
+            0);  // CDNA2's doubled register file absorbs it
+}
+
+TEST(Occupancy, LdsLimited) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();  // 64 KiB LDS per CU
+  const Occupancy occ =
+      compute_occupancy(gpu, base_profile(32, 33 * 1024), big_grid());
+  EXPECT_EQ(occ.limit, OccupancyLimit::kLds);
+  EXPECT_EQ(occ.resident_blocks_per_cu, 1);
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();  // max 32 blocks/CU
+  const Occupancy occ = compute_occupancy(gpu, base_profile(16), big_grid(64));
+  // 2048/64 = 32 blocks by threads; equal to the block limit.
+  EXPECT_EQ(occ.resident_blocks_per_cu, 32);
+}
+
+TEST(Occupancy, SmallGridLeavesCusIdle) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  // One block of 256 threads on a 110-CU part: one CU busy, the rest idle;
+  // the busy CU holds a single block.
+  const Occupancy occ =
+      compute_occupancy(gpu, base_profile(32), LaunchConfig{1, 256});
+  EXPECT_NEAR(occ.cu_utilization, 1.0 / 110.0, 1e-12);
+  EXPECT_NEAR(occ.fraction, 256.0 / 2048.0, 1e-12);
+}
+
+TEST(Occupancy, WideGridUsesWholeDevice) {
+  const arch::GpuArch gpu = arch::mi250x_gcd();
+  const Occupancy occ = compute_occupancy(gpu, base_profile(32), big_grid());
+  EXPECT_DOUBLE_EQ(occ.cu_utilization, 1.0);
+}
+
+TEST(Occupancy, EfficiencySaturates) {
+  EXPECT_LT(occupancy_efficiency(0.05), 0.3);
+  EXPECT_GT(occupancy_efficiency(0.25), 0.7);
+  EXPECT_GT(occupancy_efficiency(1.0), 0.99);
+  // Monotone.
+  double prev = 0.0;
+  for (double occ = 0.05; occ <= 1.0; occ += 0.05) {
+    const double e = occupancy_efficiency(occ);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Occupancy, RejectsOversizedBlock) {
+  const arch::GpuArch gpu = arch::v100();
+  EXPECT_THROW(
+      (void)compute_occupancy(gpu, base_profile(), LaunchConfig{1, 4096}),
+      support::Error);
+}
+
+TEST(Occupancy, LimitNames) {
+  EXPECT_EQ(to_string(OccupancyLimit::kRegisters), "registers");
+  EXPECT_EQ(to_string(OccupancyLimit::kLds), "lds");
+}
+
+}  // namespace
+}  // namespace exa::sim

@@ -1,0 +1,146 @@
+#include "sim/pool_allocator.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace exa::sim {
+namespace {
+
+TEST(PoolAllocator, BasicAllocateFree) {
+  PoolAllocator pool(1 << 20);
+  const auto a = pool.allocate(1000);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a % 256, 0u);  // aligned
+  EXPECT_EQ(pool.bytes_in_use(), 1024u);  // rounded to alignment
+  pool.deallocate(*a);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 1u);  // coalesced back to one block
+}
+
+TEST(PoolAllocator, ExhaustionReturnsNullopt) {
+  PoolAllocator pool(4096, 256);
+  const auto a = pool.allocate(4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(pool.allocate(1).has_value());
+  pool.deallocate(*a);
+  EXPECT_TRUE(pool.allocate(1).has_value());
+}
+
+TEST(PoolAllocator, FirstFitPicksLowestOffset) {
+  PoolAllocator pool(1 << 16, 256);
+  const auto a = pool.allocate(256);
+  const auto b = pool.allocate(256);
+  const auto c = pool.allocate(256);
+  ASSERT_TRUE(a && b && c);
+  pool.deallocate(*a);
+  pool.deallocate(*c);
+  const auto d = pool.allocate(256);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, *a);  // reused the earliest hole
+}
+
+TEST(PoolAllocator, CoalescesBothNeighbors) {
+  PoolAllocator pool(1 << 16, 256);
+  const auto a = pool.allocate(256);
+  const auto b = pool.allocate(256);
+  const auto c = pool.allocate(256);
+  ASSERT_TRUE(a && b && c);
+  pool.deallocate(*a);
+  pool.deallocate(*c);  // c coalesces into the tail free block
+  EXPECT_EQ(pool.free_blocks(), 2u);  // hole at a, merged c+tail
+  pool.deallocate(*b);                // merges with both neighbors
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  EXPECT_EQ(pool.largest_free_block(), pool.capacity());
+}
+
+TEST(PoolAllocator, DoubleFreeRejected) {
+  PoolAllocator pool(1 << 16);
+  const auto a = pool.allocate(512);
+  ASSERT_TRUE(a.has_value());
+  pool.deallocate(*a);
+  EXPECT_THROW(pool.deallocate(*a), support::Error);
+}
+
+TEST(PoolAllocator, UnknownOffsetRejected) {
+  PoolAllocator pool(1 << 16);
+  EXPECT_THROW(pool.deallocate(12345), support::Error);
+}
+
+TEST(PoolAllocator, HighWaterTracksPeak) {
+  PoolAllocator pool(1 << 16, 256);
+  const auto a = pool.allocate(1024);
+  const auto b = pool.allocate(2048);
+  pool.deallocate(*a);
+  EXPECT_EQ(pool.high_water(), 3072u);
+  pool.deallocate(*b);
+  EXPECT_EQ(pool.high_water(), 3072u);
+}
+
+TEST(PoolAllocator, FragmentationMetric) {
+  PoolAllocator pool(1 << 16, 256);
+  std::vector<std::uint64_t> offs;
+  for (int i = 0; i < 8; ++i) {
+    const auto o = pool.allocate(256);
+    ASSERT_TRUE(o.has_value());
+    offs.push_back(*o);
+  }
+  // Free every other block: fragmented free space.
+  for (std::size_t i = 0; i < offs.size(); i += 2) pool.deallocate(offs[i]);
+  EXPECT_GT(pool.fragmentation(), 0.0);
+  for (std::size_t i = 1; i < offs.size(); i += 2) pool.deallocate(offs[i]);
+  EXPECT_DOUBLE_EQ(pool.fragmentation(), 0.0);
+}
+
+TEST(PoolAllocator, AlignmentMustBePowerOfTwo) {
+  EXPECT_THROW(PoolAllocator(1024, 100), support::Error);
+  EXPECT_THROW(PoolAllocator(0), support::Error);
+}
+
+// Property test: random allocate/free sequences never corrupt accounting
+// and always coalesce back to a single block when everything is freed.
+class PoolAllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolAllocatorProperty, RandomChurnStaysConsistent) {
+  support::Rng rng(GetParam());
+  PoolAllocator pool(1 << 20, 64);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;  // offset,size
+  std::uint64_t expected_in_use = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || rng.bernoulli(0.55);
+    if (do_alloc) {
+      const std::uint64_t want = 1 + rng.uniform_u64(8192);
+      const auto off = pool.allocate(want);
+      if (off.has_value()) {
+        const std::uint64_t rounded = (want + 63) & ~63ull;
+        // No overlap with any live allocation.
+        for (const auto& [o, s] : live) {
+          EXPECT_TRUE(*off + rounded <= o || o + s <= *off);
+        }
+        live.emplace_back(*off, rounded);
+        expected_in_use += rounded;
+      }
+    } else {
+      const std::size_t pick = rng.uniform_u64(live.size());
+      pool.deallocate(live[pick].first);
+      expected_in_use -= live[pick].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(pool.bytes_in_use(), expected_in_use);
+    ASSERT_EQ(pool.live_allocations(), live.size());
+  }
+  for (const auto& [o, s] : live) pool.deallocate(o);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  EXPECT_EQ(pool.largest_free_block(), pool.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolAllocatorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace exa::sim

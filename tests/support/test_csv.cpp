@@ -1,0 +1,41 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::support {
+namespace {
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.render(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), Error);
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(Csv, RowCount) {
+  CsvWriter w({"x"});
+  w.add_row({"1"});
+  w.add_row({"2"});
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace exa::support

@@ -1,0 +1,90 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, GeomeanOfRatios) {
+  const std::vector<double> xs = {2.0, 8.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 4.0);
+  // Geomean of a value and its reciprocal is 1 (why it is the right
+  // average for normalized performance ratios like Figure 1's).
+  const std::vector<double> ratios = {0.5, 2.0};
+  EXPECT_DOUBLE_EQ(geomean(ratios), 1.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW((void)geomean(xs), Error);
+}
+
+TEST(Stats, EmptyInputsRejected) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), Error);
+  EXPECT_THROW((void)percentile(empty, 50.0), Error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 7.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LogLogFitRecoversExponent) {
+  // y = 3 x^2.5
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 1.0; x <= 64.0; x *= 2.0) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 2.5));
+  }
+  const LinearFit fit = loglog_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(Stats, WeakScalingEfficiency) {
+  const std::vector<double> times = {1.0, 1.0, 1.25};
+  const auto eff = weak_scaling_efficiency(times);
+  EXPECT_DOUBLE_EQ(eff[0], 1.0);
+  EXPECT_DOUBLE_EQ(eff[1], 1.0);
+  EXPECT_DOUBLE_EQ(eff[2], 0.8);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+}  // namespace
+}  // namespace exa::support

@@ -1,0 +1,68 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::support {
+namespace {
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitLinesDropsTrailingNewline) {
+  const auto lines = split_lines("one\ntwo\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "two");
+  const auto keep = split_lines("one\n\ntwo");
+  ASSERT_EQ(keep.size(), 3u);
+  EXPECT_EQ(keep[1], "");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtil, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("cudaMalloc", "cuda"));
+  EXPECT_FALSE(starts_with("cu", "cuda"));
+  EXPECT_TRUE(ends_with("file.h", ".h"));
+  EXPECT_FALSE(ends_with(".h", "file.h"));
+  EXPECT_TRUE(contains("hipLaunchKernelGGL", "Launch"));
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("none here", "xyz", "q"), "none here");
+  // Replacement containing the needle must not recurse.
+  EXPECT_EQ(replace_all("ab", "a", "aa"), "aab");
+  EXPECT_THROW((void)replace_all("x", "", "y"), Error);
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("FrOnTiEr"), "frontier");
+}
+
+TEST(StringUtil, IdentifierChars) {
+  EXPECT_TRUE(is_identifier_char('a'));
+  EXPECT_TRUE(is_identifier_char('_'));
+  EXPECT_TRUE(is_identifier_char('9'));
+  EXPECT_FALSE(is_identifier_char('-'));
+  EXPECT_FALSE(is_identifier_char(' '));
+}
+
+}  // namespace
+}  // namespace exa::support

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/string_util.hpp"
+
+namespace exa::support {
+namespace {
+
+TEST(Table, RendersTitleHeaderRows) {
+  Table t("Table X: demo");
+  t.set_header({"Application", "Speed-up"});
+  t.add_row({"GAMESS", "5.0"});
+  t.add_row({"LSMS", "7.5"});
+  const std::string out = t.render();
+  EXPECT_TRUE(contains(out, "Table X: demo"));
+  EXPECT_TRUE(contains(out, "Application"));
+  EXPECT_TRUE(contains(out, "GAMESS"));
+  EXPECT_TRUE(contains(out, "7.5"));
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, AlignmentDefaultsLeftThenRight) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  const auto lines = split_lines(t.render());
+  // Data row: left-aligned name has trailing spaces, right-aligned value
+  // has leading spaces.
+  bool found = false;
+  for (const auto& line : lines) {
+    if (contains(line, "| x ")) {
+      EXPECT_TRUE(contains(line, "     1 |"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Table, SeparatorAndNotes) {
+  Table t;
+  t.set_header({"c"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  t.add_note("hello note");
+  const std::string out = t.render();
+  EXPECT_TRUE(contains(out, "note: hello note"));
+}
+
+TEST(Table, NumericCells) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  t.set_header({"c"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace exa::support

@@ -1,0 +1,51 @@
+#include "support/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exa::support {
+namespace {
+
+TEST(Units, FormatSiPicksPrefix) {
+  EXPECT_EQ(format_si(6.71e18, 2), "6.71 E");
+  EXPECT_EQ(format_si(1.004e18, 3), "1.004 E");
+  EXPECT_EQ(format_si(136.0e15, 0), "136 P");
+  EXPECT_EQ(format_si(5.6e12, 1), "5.6 T");
+  EXPECT_EQ(format_si(900.0e9, 0), "900 G");
+  EXPECT_EQ(format_si(1.5e6, 1), "1.5 M");
+  EXPECT_EQ(format_si(2.0e3, 0), "2 k");
+  EXPECT_EQ(format_si(42.0, 0), "42 ");
+}
+
+TEST(Units, FormatSiNegative) {
+  EXPECT_EQ(format_si(-5.6e12, 1), "-5.6 T");
+}
+
+TEST(Units, FormatBytesBinaryPrefixes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(64ull * MiB), "64.00 MiB");
+  EXPECT_EQ(format_bytes(16ull * GiB), "16.00 GiB");
+  EXPECT_EQ(format_bytes(2ull * TiB), "2.00 TiB");
+}
+
+TEST(Units, FormatTimeAdaptiveUnit) {
+  EXPECT_EQ(format_time(2.5, 1), "2.5 s");
+  EXPECT_EQ(format_time(2.5e-3, 1), "2.5 ms");
+  EXPECT_EQ(format_time(2.5e-6, 1), "2.5 us");
+  EXPECT_EQ(format_time(2.5e-9, 1), "2.5 ns");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(1.6e12, "B", 2), "1.60 TB/s");
+  EXPECT_EQ(format_rate(900e9, "B", 0), "900 GB/s");
+}
+
+TEST(Units, ConstantsConsistent) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(EXA / PETA, 1000.0);
+  EXPECT_DOUBLE_EQ(TERA / GIGA, 1000.0);
+}
+
+}  // namespace
+}  // namespace exa::support
