@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coast_autotune"
+  "../bench/coast_autotune.pdb"
+  "CMakeFiles/coast_autotune.dir/coast_autotune.cpp.o"
+  "CMakeFiles/coast_autotune.dir/coast_autotune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coast_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

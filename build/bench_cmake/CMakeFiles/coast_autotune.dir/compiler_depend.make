@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coast_autotune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/comet_exaflops"
+  "../bench/comet_exaflops.pdb"
+  "CMakeFiles/comet_exaflops.dir/comet_exaflops.cpp.o"
+  "CMakeFiles/comet_exaflops.dir/comet_exaflops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comet_exaflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

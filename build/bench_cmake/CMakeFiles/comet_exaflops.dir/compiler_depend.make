@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for comet_exaflops.
+# This may be replaced when dependencies are built.

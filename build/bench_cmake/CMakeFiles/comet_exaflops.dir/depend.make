@@ -1,0 +1,2 @@
+# Empty dependencies file for comet_exaflops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3sm_latency"
+  "../bench/e3sm_latency.pdb"
+  "CMakeFiles/e3sm_latency.dir/e3sm_latency.cpp.o"
+  "CMakeFiles/e3sm_latency.dir/e3sm_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3sm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

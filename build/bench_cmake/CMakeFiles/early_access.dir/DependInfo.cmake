@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/early_access.cpp" "bench_cmake/CMakeFiles/early_access.dir/early_access.cpp.o" "gcc" "bench_cmake/CMakeFiles/early_access.dir/early_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coe/CMakeFiles/exa_coe.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/early_access"
+  "../bench/early_access.pdb"
+  "CMakeFiles/early_access.dir/early_access.cpp.o"
+  "CMakeFiles/early_access.dir/early_access.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exasky_fom"
+  "../bench/exasky_fom.pdb"
+  "CMakeFiles/exasky_fom.dir/exasky_fom.cpp.o"
+  "CMakeFiles/exasky_fom.dir/exasky_fom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exasky_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_shoc_hip_vs_cuda"
+  "../bench/fig1_shoc_hip_vs_cuda.pdb"
+  "CMakeFiles/fig1_shoc_hip_vs_cuda.dir/fig1_shoc_hip_vs_cuda.cpp.o"
+  "CMakeFiles/fig1_shoc_hip_vs_cuda.dir/fig1_shoc_hip_vs_cuda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_shoc_hip_vs_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_shoc_hip_vs_cuda.
+# This may be replaced when dependencies are built.

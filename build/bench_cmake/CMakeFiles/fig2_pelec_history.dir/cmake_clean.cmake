@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_pelec_history"
+  "../bench/fig2_pelec_history.pdb"
+  "CMakeFiles/fig2_pelec_history.dir/fig2_pelec_history.cpp.o"
+  "CMakeFiles/fig2_pelec_history.dir/fig2_pelec_history.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pelec_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

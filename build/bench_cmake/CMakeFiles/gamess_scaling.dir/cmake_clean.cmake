@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gamess_scaling"
+  "../bench/gamess_scaling.pdb"
+  "CMakeFiles/gamess_scaling.dir/gamess_scaling.cpp.o"
+  "CMakeFiles/gamess_scaling.dir/gamess_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamess_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

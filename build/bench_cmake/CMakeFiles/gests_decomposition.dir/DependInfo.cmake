@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gests_decomposition.cpp" "bench_cmake/CMakeFiles/gests_decomposition.dir/gests_decomposition.cpp.o" "gcc" "bench_cmake/CMakeFiles/gests_decomposition.dir/gests_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/gests/CMakeFiles/exa_app_gests.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathlib/CMakeFiles/exa_mathlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/exa_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

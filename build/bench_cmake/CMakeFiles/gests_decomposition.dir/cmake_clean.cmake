@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gests_decomposition"
+  "../bench/gests_decomposition.pdb"
+  "CMakeFiles/gests_decomposition.dir/gests_decomposition.cpp.o"
+  "CMakeFiles/gests_decomposition.dir/gests_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gests_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

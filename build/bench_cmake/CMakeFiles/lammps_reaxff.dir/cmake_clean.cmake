@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lammps_reaxff"
+  "../bench/lammps_reaxff.pdb"
+  "CMakeFiles/lammps_reaxff.dir/lammps_reaxff.cpp.o"
+  "CMakeFiles/lammps_reaxff.dir/lammps_reaxff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lammps_reaxff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lsms_solvers"
+  "../bench/lsms_solvers.pdb"
+  "CMakeFiles/lsms_solvers.dir/lsms_solvers.cpp.o"
+  "CMakeFiles/lsms_solvers.dir/lsms_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/offload_data_regions"
+  "../bench/offload_data_regions.pdb"
+  "CMakeFiles/offload_data_regions.dir/offload_data_regions.cpp.o"
+  "CMakeFiles/offload_data_regions.dir/offload_data_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_data_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

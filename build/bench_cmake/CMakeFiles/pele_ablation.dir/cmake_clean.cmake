@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pele_ablation"
+  "../bench/pele_ablation.pdb"
+  "CMakeFiles/pele_ablation.dir/pele_ablation.cpp.o"
+  "CMakeFiles/pele_ablation.dir/pele_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pele_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

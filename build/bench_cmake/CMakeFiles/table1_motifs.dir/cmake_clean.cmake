@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_motifs"
+  "../bench/table1_motifs.pdb"
+  "CMakeFiles/table1_motifs.dir/table1_motifs.cpp.o"
+  "CMakeFiles/table1_motifs.dir/table1_motifs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

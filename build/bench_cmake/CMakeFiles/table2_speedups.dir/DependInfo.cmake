@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_speedups.cpp" "bench_cmake/CMakeFiles/table2_speedups.dir/table2_speedups.cpp.o" "gcc" "bench_cmake/CMakeFiles/table2_speedups.dir/table2_speedups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/gamess/CMakeFiles/exa_app_gamess.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/lsms/CMakeFiles/exa_app_lsms.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/gests/CMakeFiles/exa_app_gests.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/exasky/CMakeFiles/exa_app_exasky.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/comet/CMakeFiles/exa_app_comet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/nuccor/CMakeFiles/exa_app_nuccor.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/pele/CMakeFiles/exa_app_pele.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/coast/CMakeFiles/exa_app_coast.dir/DependInfo.cmake"
+  "/root/repo/build/src/coe/CMakeFiles/exa_coe.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathlib/CMakeFiles/exa_mathlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/exa_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combustion_chemistry.dir/combustion_chemistry.cpp.o"
+  "CMakeFiles/combustion_chemistry.dir/combustion_chemistry.cpp.o.d"
+  "combustion_chemistry"
+  "combustion_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combustion_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

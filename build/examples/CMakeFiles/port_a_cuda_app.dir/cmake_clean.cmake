@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_a_cuda_app.dir/port_a_cuda_app.cpp.o"
+  "CMakeFiles/port_a_cuda_app.dir/port_a_cuda_app.cpp.o.d"
+  "port_a_cuda_app"
+  "port_a_cuda_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_a_cuda_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readiness_dashboard.dir/readiness_dashboard.cpp.o"
+  "CMakeFiles/readiness_dashboard.dir/readiness_dashboard.cpp.o.d"
+  "readiness_dashboard"
+  "readiness_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readiness_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

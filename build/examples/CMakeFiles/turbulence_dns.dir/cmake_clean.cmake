@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_dns.dir/turbulence_dns.cpp.o"
+  "CMakeFiles/turbulence_dns.dir/turbulence_dns.cpp.o.d"
+  "turbulence_dns"
+  "turbulence_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_coast.dir/apsp.cpp.o"
+  "CMakeFiles/exa_app_coast.dir/apsp.cpp.o.d"
+  "libexa_app_coast.a"
+  "libexa_app_coast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_coast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

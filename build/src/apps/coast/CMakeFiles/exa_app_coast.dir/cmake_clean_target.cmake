@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexa_app_coast.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_comet.dir/ccc.cpp.o"
+  "CMakeFiles/exa_app_comet.dir/ccc.cpp.o.d"
+  "libexa_app_comet.a"
+  "libexa_app_comet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_comet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_e3sm.dir/crm.cpp.o"
+  "CMakeFiles/exa_app_e3sm.dir/crm.cpp.o.d"
+  "CMakeFiles/exa_app_e3sm.dir/dycore.cpp.o"
+  "CMakeFiles/exa_app_e3sm.dir/dycore.cpp.o.d"
+  "libexa_app_e3sm.a"
+  "libexa_app_e3sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_e3sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

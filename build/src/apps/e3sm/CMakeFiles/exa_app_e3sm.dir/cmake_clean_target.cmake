@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexa_app_e3sm.a"
+)

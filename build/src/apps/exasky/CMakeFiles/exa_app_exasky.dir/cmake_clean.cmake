@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_exasky.dir/hacc.cpp.o"
+  "CMakeFiles/exa_app_exasky.dir/hacc.cpp.o.d"
+  "libexa_app_exasky.a"
+  "libexa_app_exasky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_exasky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_gamess.dir/fmo.cpp.o"
+  "CMakeFiles/exa_app_gamess.dir/fmo.cpp.o.d"
+  "CMakeFiles/exa_app_gamess.dir/rimp2.cpp.o"
+  "CMakeFiles/exa_app_gamess.dir/rimp2.cpp.o.d"
+  "libexa_app_gamess.a"
+  "libexa_app_gamess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_gamess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

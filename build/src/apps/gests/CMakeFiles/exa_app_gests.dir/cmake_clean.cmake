@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_gests.dir/psdns.cpp.o"
+  "CMakeFiles/exa_app_gests.dir/psdns.cpp.o.d"
+  "libexa_app_gests.a"
+  "libexa_app_gests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_gests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_lammps.dir/qeq.cpp.o"
+  "CMakeFiles/exa_app_lammps.dir/qeq.cpp.o.d"
+  "CMakeFiles/exa_app_lammps.dir/reaxff.cpp.o"
+  "CMakeFiles/exa_app_lammps.dir/reaxff.cpp.o.d"
+  "CMakeFiles/exa_app_lammps.dir/system.cpp.o"
+  "CMakeFiles/exa_app_lammps.dir/system.cpp.o.d"
+  "libexa_app_lammps.a"
+  "libexa_app_lammps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_lammps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

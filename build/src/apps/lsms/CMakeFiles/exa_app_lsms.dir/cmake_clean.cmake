@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_lsms.dir/kkr.cpp.o"
+  "CMakeFiles/exa_app_lsms.dir/kkr.cpp.o.d"
+  "libexa_app_lsms.a"
+  "libexa_app_lsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_lsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_nuccor.dir/backend.cpp.o"
+  "CMakeFiles/exa_app_nuccor.dir/backend.cpp.o.d"
+  "CMakeFiles/exa_app_nuccor.dir/ccd.cpp.o"
+  "CMakeFiles/exa_app_nuccor.dir/ccd.cpp.o.d"
+  "libexa_app_nuccor.a"
+  "libexa_app_nuccor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_nuccor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_pele.dir/amr.cpp.o"
+  "CMakeFiles/exa_app_pele.dir/amr.cpp.o.d"
+  "CMakeFiles/exa_app_pele.dir/chemistry.cpp.o"
+  "CMakeFiles/exa_app_pele.dir/chemistry.cpp.o.d"
+  "CMakeFiles/exa_app_pele.dir/driver.cpp.o"
+  "CMakeFiles/exa_app_pele.dir/driver.cpp.o.d"
+  "libexa_app_pele.a"
+  "libexa_app_pele.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_pele.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exa_app_pele.
+# This may be replaced when dependencies are built.

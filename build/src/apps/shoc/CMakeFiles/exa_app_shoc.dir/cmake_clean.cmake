@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_app_shoc.dir/kernels.cpp.o"
+  "CMakeFiles/exa_app_shoc.dir/kernels.cpp.o.d"
+  "CMakeFiles/exa_app_shoc.dir/shoc.cpp.o"
+  "CMakeFiles/exa_app_shoc.dir/shoc.cpp.o.d"
+  "libexa_app_shoc.a"
+  "libexa_app_shoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_app_shoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exa_app_shoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cpu_arch.cpp" "src/arch/CMakeFiles/exa_arch.dir/cpu_arch.cpp.o" "gcc" "src/arch/CMakeFiles/exa_arch.dir/cpu_arch.cpp.o.d"
+  "/root/repo/src/arch/dtype.cpp" "src/arch/CMakeFiles/exa_arch.dir/dtype.cpp.o" "gcc" "src/arch/CMakeFiles/exa_arch.dir/dtype.cpp.o.d"
+  "/root/repo/src/arch/gpu_arch.cpp" "src/arch/CMakeFiles/exa_arch.dir/gpu_arch.cpp.o" "gcc" "src/arch/CMakeFiles/exa_arch.dir/gpu_arch.cpp.o.d"
+  "/root/repo/src/arch/machine.cpp" "src/arch/CMakeFiles/exa_arch.dir/machine.cpp.o" "gcc" "src/arch/CMakeFiles/exa_arch.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

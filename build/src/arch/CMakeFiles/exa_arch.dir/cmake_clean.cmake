@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_arch.dir/cpu_arch.cpp.o"
+  "CMakeFiles/exa_arch.dir/cpu_arch.cpp.o.d"
+  "CMakeFiles/exa_arch.dir/dtype.cpp.o"
+  "CMakeFiles/exa_arch.dir/dtype.cpp.o.d"
+  "CMakeFiles/exa_arch.dir/gpu_arch.cpp.o"
+  "CMakeFiles/exa_arch.dir/gpu_arch.cpp.o.d"
+  "CMakeFiles/exa_arch.dir/machine.cpp.o"
+  "CMakeFiles/exa_arch.dir/machine.cpp.o.d"
+  "libexa_arch.a"
+  "libexa_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

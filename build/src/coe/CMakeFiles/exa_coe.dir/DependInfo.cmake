@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coe/application.cpp" "src/coe/CMakeFiles/exa_coe.dir/application.cpp.o" "gcc" "src/coe/CMakeFiles/exa_coe.dir/application.cpp.o.d"
+  "/root/repo/src/coe/lessons.cpp" "src/coe/CMakeFiles/exa_coe.dir/lessons.cpp.o" "gcc" "src/coe/CMakeFiles/exa_coe.dir/lessons.cpp.o.d"
+  "/root/repo/src/coe/motif.cpp" "src/coe/CMakeFiles/exa_coe.dir/motif.cpp.o" "gcc" "src/coe/CMakeFiles/exa_coe.dir/motif.cpp.o.d"
+  "/root/repo/src/coe/readiness.cpp" "src/coe/CMakeFiles/exa_coe.dir/readiness.cpp.o" "gcc" "src/coe/CMakeFiles/exa_coe.dir/readiness.cpp.o.d"
+  "/root/repo/src/coe/registry.cpp" "src/coe/CMakeFiles/exa_coe.dir/registry.cpp.o" "gcc" "src/coe/CMakeFiles/exa_coe.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

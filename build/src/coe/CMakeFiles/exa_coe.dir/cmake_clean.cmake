@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_coe.dir/application.cpp.o"
+  "CMakeFiles/exa_coe.dir/application.cpp.o.d"
+  "CMakeFiles/exa_coe.dir/lessons.cpp.o"
+  "CMakeFiles/exa_coe.dir/lessons.cpp.o.d"
+  "CMakeFiles/exa_coe.dir/motif.cpp.o"
+  "CMakeFiles/exa_coe.dir/motif.cpp.o.d"
+  "CMakeFiles/exa_coe.dir/readiness.cpp.o"
+  "CMakeFiles/exa_coe.dir/readiness.cpp.o.d"
+  "CMakeFiles/exa_coe.dir/registry.cpp.o"
+  "CMakeFiles/exa_coe.dir/registry.cpp.o.d"
+  "libexa_coe.a"
+  "libexa_coe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_coe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_hip.dir/hip_runtime.cpp.o"
+  "CMakeFiles/exa_hip.dir/hip_runtime.cpp.o.d"
+  "CMakeFiles/exa_hip.dir/hipify.cpp.o"
+  "CMakeFiles/exa_hip.dir/hipify.cpp.o.d"
+  "libexa_hip.a"
+  "libexa_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathlib/dense.cpp" "src/mathlib/CMakeFiles/exa_mathlib.dir/dense.cpp.o" "gcc" "src/mathlib/CMakeFiles/exa_mathlib.dir/dense.cpp.o.d"
+  "/root/repo/src/mathlib/device_blas.cpp" "src/mathlib/CMakeFiles/exa_mathlib.dir/device_blas.cpp.o" "gcc" "src/mathlib/CMakeFiles/exa_mathlib.dir/device_blas.cpp.o.d"
+  "/root/repo/src/mathlib/eigen.cpp" "src/mathlib/CMakeFiles/exa_mathlib.dir/eigen.cpp.o" "gcc" "src/mathlib/CMakeFiles/exa_mathlib.dir/eigen.cpp.o.d"
+  "/root/repo/src/mathlib/fft.cpp" "src/mathlib/CMakeFiles/exa_mathlib.dir/fft.cpp.o" "gcc" "src/mathlib/CMakeFiles/exa_mathlib.dir/fft.cpp.o.d"
+  "/root/repo/src/mathlib/lu.cpp" "src/mathlib/CMakeFiles/exa_mathlib.dir/lu.cpp.o" "gcc" "src/mathlib/CMakeFiles/exa_mathlib.dir/lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hip/CMakeFiles/exa_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_mathlib.dir/dense.cpp.o"
+  "CMakeFiles/exa_mathlib.dir/dense.cpp.o.d"
+  "CMakeFiles/exa_mathlib.dir/device_blas.cpp.o"
+  "CMakeFiles/exa_mathlib.dir/device_blas.cpp.o.d"
+  "CMakeFiles/exa_mathlib.dir/eigen.cpp.o"
+  "CMakeFiles/exa_mathlib.dir/eigen.cpp.o.d"
+  "CMakeFiles/exa_mathlib.dir/fft.cpp.o"
+  "CMakeFiles/exa_mathlib.dir/fft.cpp.o.d"
+  "CMakeFiles/exa_mathlib.dir/lu.cpp.o"
+  "CMakeFiles/exa_mathlib.dir/lu.cpp.o.d"
+  "libexa_mathlib.a"
+  "libexa_mathlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_mathlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

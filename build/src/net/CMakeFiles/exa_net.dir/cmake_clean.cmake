@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_net.dir/comm_model.cpp.o"
+  "CMakeFiles/exa_net.dir/comm_model.cpp.o.d"
+  "CMakeFiles/exa_net.dir/scaling.cpp.o"
+  "CMakeFiles/exa_net.dir/scaling.cpp.o.d"
+  "libexa_net.a"
+  "libexa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_omp.dir/offload.cpp.o"
+  "CMakeFiles/exa_omp.dir/offload.cpp.o.d"
+  "libexa_omp.a"
+  "libexa_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_pfw.dir/parallel.cpp.o"
+  "CMakeFiles/exa_pfw.dir/parallel.cpp.o.d"
+  "libexa_pfw.a"
+  "libexa_pfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_pfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_sim.cpp" "src/sim/CMakeFiles/exa_sim.dir/device_sim.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/device_sim.cpp.o.d"
+  "/root/repo/src/sim/exec_model.cpp" "src/sim/CMakeFiles/exa_sim.dir/exec_model.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/exec_model.cpp.o.d"
+  "/root/repo/src/sim/kernel_profile.cpp" "src/sim/CMakeFiles/exa_sim.dir/kernel_profile.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/sim/node_sim.cpp" "src/sim/CMakeFiles/exa_sim.dir/node_sim.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/node_sim.cpp.o.d"
+  "/root/repo/src/sim/occupancy.cpp" "src/sim/CMakeFiles/exa_sim.dir/occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/sim/pool_allocator.cpp" "src/sim/CMakeFiles/exa_sim.dir/pool_allocator.cpp.o" "gcc" "src/sim/CMakeFiles/exa_sim.dir/pool_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_sim.dir/device_sim.cpp.o"
+  "CMakeFiles/exa_sim.dir/device_sim.cpp.o.d"
+  "CMakeFiles/exa_sim.dir/exec_model.cpp.o"
+  "CMakeFiles/exa_sim.dir/exec_model.cpp.o.d"
+  "CMakeFiles/exa_sim.dir/kernel_profile.cpp.o"
+  "CMakeFiles/exa_sim.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/exa_sim.dir/node_sim.cpp.o"
+  "CMakeFiles/exa_sim.dir/node_sim.cpp.o.d"
+  "CMakeFiles/exa_sim.dir/occupancy.cpp.o"
+  "CMakeFiles/exa_sim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/exa_sim.dir/pool_allocator.cpp.o"
+  "CMakeFiles/exa_sim.dir/pool_allocator.cpp.o.d"
+  "libexa_sim.a"
+  "libexa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

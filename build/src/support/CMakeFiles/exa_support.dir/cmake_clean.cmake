@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exa_support.dir/csv.cpp.o"
+  "CMakeFiles/exa_support.dir/csv.cpp.o.d"
+  "CMakeFiles/exa_support.dir/log.cpp.o"
+  "CMakeFiles/exa_support.dir/log.cpp.o.d"
+  "CMakeFiles/exa_support.dir/stats.cpp.o"
+  "CMakeFiles/exa_support.dir/stats.cpp.o.d"
+  "CMakeFiles/exa_support.dir/string_util.cpp.o"
+  "CMakeFiles/exa_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/exa_support.dir/table.cpp.o"
+  "CMakeFiles/exa_support.dir/table.cpp.o.d"
+  "CMakeFiles/exa_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/exa_support.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/exa_support.dir/units.cpp.o"
+  "CMakeFiles/exa_support.dir/units.cpp.o.d"
+  "libexa_support.a"
+  "libexa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_coast.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_coast.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_coast.cpp.o.d"
+  "/root/repo/tests/apps/test_comet.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_comet.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_comet.cpp.o.d"
+  "/root/repo/tests/apps/test_e3sm.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_e3sm.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_e3sm.cpp.o.d"
+  "/root/repo/tests/apps/test_exasky.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_exasky.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_exasky.cpp.o.d"
+  "/root/repo/tests/apps/test_gamess.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_gamess.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_gamess.cpp.o.d"
+  "/root/repo/tests/apps/test_gests.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_gests.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_gests.cpp.o.d"
+  "/root/repo/tests/apps/test_lammps.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_lammps.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_lammps.cpp.o.d"
+  "/root/repo/tests/apps/test_lsms.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_lsms.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_lsms.cpp.o.d"
+  "/root/repo/tests/apps/test_nuccor.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_nuccor.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_nuccor.cpp.o.d"
+  "/root/repo/tests/apps/test_pele.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_pele.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_pele.cpp.o.d"
+  "/root/repo/tests/apps/test_shoc.cpp" "tests/CMakeFiles/exaready_tests.dir/apps/test_shoc.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/apps/test_shoc.cpp.o.d"
+  "/root/repo/tests/arch/test_arch.cpp" "tests/CMakeFiles/exaready_tests.dir/arch/test_arch.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/arch/test_arch.cpp.o.d"
+  "/root/repo/tests/coe/test_coe.cpp" "tests/CMakeFiles/exaready_tests.dir/coe/test_coe.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/coe/test_coe.cpp.o.d"
+  "/root/repo/tests/coe/test_lessons.cpp" "tests/CMakeFiles/exaready_tests.dir/coe/test_lessons.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/coe/test_lessons.cpp.o.d"
+  "/root/repo/tests/hip/test_hip_failure_modes.cpp" "tests/CMakeFiles/exaready_tests.dir/hip/test_hip_failure_modes.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/hip/test_hip_failure_modes.cpp.o.d"
+  "/root/repo/tests/hip/test_hip_runtime.cpp" "tests/CMakeFiles/exaready_tests.dir/hip/test_hip_runtime.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/hip/test_hip_runtime.cpp.o.d"
+  "/root/repo/tests/hip/test_hipify.cpp" "tests/CMakeFiles/exaready_tests.dir/hip/test_hipify.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/hip/test_hipify.cpp.o.d"
+  "/root/repo/tests/integration/test_integration.cpp" "tests/CMakeFiles/exaready_tests.dir/integration/test_integration.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/integration/test_integration.cpp.o.d"
+  "/root/repo/tests/mathlib/test_dense.cpp" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_dense.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_dense.cpp.o.d"
+  "/root/repo/tests/mathlib/test_device_blas.cpp" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_device_blas.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_device_blas.cpp.o.d"
+  "/root/repo/tests/mathlib/test_eigen.cpp" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_eigen.cpp.o.d"
+  "/root/repo/tests/mathlib/test_fft.cpp" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_fft.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_fft.cpp.o.d"
+  "/root/repo/tests/mathlib/test_lu.cpp" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_lu.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/mathlib/test_lu.cpp.o.d"
+  "/root/repo/tests/net/test_comm_model.cpp" "tests/CMakeFiles/exaready_tests.dir/net/test_comm_model.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/net/test_comm_model.cpp.o.d"
+  "/root/repo/tests/omp/test_offload.cpp" "tests/CMakeFiles/exaready_tests.dir/omp/test_offload.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/omp/test_offload.cpp.o.d"
+  "/root/repo/tests/pfw/test_pfw.cpp" "tests/CMakeFiles/exaready_tests.dir/pfw/test_pfw.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/pfw/test_pfw.cpp.o.d"
+  "/root/repo/tests/sim/test_device_sim.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_device_sim.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_device_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_exec_model.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_exec_model.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_exec_model.cpp.o.d"
+  "/root/repo/tests/sim/test_exec_properties.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_exec_properties.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_exec_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_node_sim.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_node_sim.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_node_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_occupancy.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_occupancy.cpp.o.d"
+  "/root/repo/tests/sim/test_pool_allocator.cpp" "tests/CMakeFiles/exaready_tests.dir/sim/test_pool_allocator.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/sim/test_pool_allocator.cpp.o.d"
+  "/root/repo/tests/support/test_csv.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_csv.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_csv.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_stats.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_stats.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_stats.cpp.o.d"
+  "/root/repo/tests/support/test_string_util.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_string_util.cpp.o.d"
+  "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_table.cpp.o.d"
+  "/root/repo/tests/support/test_thread_pool.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/support/test_units.cpp" "tests/CMakeFiles/exaready_tests.dir/support/test_units.cpp.o" "gcc" "tests/CMakeFiles/exaready_tests.dir/support/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/exa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/exa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/exa_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mathlib/CMakeFiles/exa_mathlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/coe/CMakeFiles/exa_coe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfw/CMakeFiles/exa_pfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/exa_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/shoc/CMakeFiles/exa_app_shoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/coast/CMakeFiles/exa_app_coast.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/lammps/CMakeFiles/exa_app_lammps.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/gests/CMakeFiles/exa_app_gests.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/pele/CMakeFiles/exa_app_pele.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/lsms/CMakeFiles/exa_app_lsms.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/comet/CMakeFiles/exa_app_comet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/exasky/CMakeFiles/exa_app_exasky.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/e3sm/CMakeFiles/exa_app_e3sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/gamess/CMakeFiles/exa_app_gamess.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/nuccor/CMakeFiles/exa_app_nuccor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

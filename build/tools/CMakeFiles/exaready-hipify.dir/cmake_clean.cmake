@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaready-hipify.dir/hipify_tool.cpp.o"
+  "CMakeFiles/exaready-hipify.dir/hipify_tool.cpp.o.d"
+  "exaready-hipify"
+  "exaready-hipify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaready-hipify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

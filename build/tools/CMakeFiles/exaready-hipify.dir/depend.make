@@ -1,0 +1,2 @@
+# Empty dependencies file for exaready-hipify.
+# This may be replaced when dependencies are built.
