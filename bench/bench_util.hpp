@@ -3,9 +3,29 @@
 /// Shared output conventions for the table/figure regenerator binaries:
 /// every bench prints a banner naming the paper artifact it reproduces,
 /// renders ASCII tables, and (optionally) drops a CSV next to stdout.
+///
+/// Benches also share the observability flags (see README "Observability"):
+///
+///     --trace=<file>          capture a Chrome trace-event JSON timeline
+///     --profile-jsonl=<file>  append Extra-P-style JSONL profile samples
+///     --csv=<file>            machine-readable series next to the tables
+///
+/// Construct a `Session` from argc/argv at the top of main; it enables the
+/// trace::Tracer / trace::Profiler for the run and writes the requested
+/// files at scope exit. With no flags passed, nothing is enabled and
+/// stdout is byte-identical to an uninstrumented run.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "support/csv.hpp"
+#include "support/log.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/profile.hpp"
+#include "trace/tracer.hpp"
 
 namespace exa::bench {
 
@@ -21,5 +41,135 @@ inline void paper_vs_measured(const std::string& quantity, double paper,
   std::printf("  %-46s paper: %10.3g %-8s measured: %10.3g %s\n",
               quantity.c_str(), paper, unit.c_str(), measured, unit.c_str());
 }
+
+// --- CSV emission ---------------------------------------------------------
+
+/// A CSV file being accumulated; rows render via support::CsvWriter and
+/// the file is written when the sink is destroyed.
+class CsvSink {
+ public:
+  CsvSink(std::string path, std::vector<std::string> header)
+      : path_(std::move(path)), writer_(std::move(header)) {}
+
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  void row(std::vector<std::string> cells) { writer_.add_row(std::move(cells)); }
+
+  ~CsvSink() {
+    try {
+      writer_.write_file(path_);
+      std::fprintf(stderr, "csv: wrote %s (%zu rows)\n", path_.c_str(),
+                   writer_.row_count());
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "csv: %s\n", err.what());
+    }
+  }
+
+ private:
+  std::string path_;
+  support::CsvWriter writer_;
+};
+
+/// Opens a CSV sink, or returns null when `path` is empty (no --csv flag)
+/// so call sites stay unconditional.
+[[nodiscard]] inline std::unique_ptr<CsvSink> open_csv(
+    const std::string& path, std::vector<std::string> header) {
+  if (path.empty()) return nullptr;
+  return std::make_unique<CsvSink>(path, std::move(header));
+}
+
+/// Null-safe row append for sinks returned by open_csv.
+inline void csv_row(const std::unique_ptr<CsvSink>& sink,
+                    std::vector<std::string> cells) {
+  if (sink) sink->row(std::move(cells));
+}
+
+/// CSV cell for a double: %.12g keeps sub-microsecond times readable
+/// where std::to_string's fixed six decimals would round them to zero.
+[[nodiscard]] inline std::string csv_num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+// --- observability session ------------------------------------------------
+
+/// Parses the shared bench flags and owns the capture lifecycle: enables
+/// the global Tracer/Profiler on construction, exports the Chrome trace
+/// and appends the JSONL profile on destruction. Unknown arguments are
+/// ignored (benches keep their own flags, google-benchmark keeps its own).
+class Session {
+ public:
+  Session(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      take(arg, "--trace=", trace_path_) ||
+          take(arg, "--profile-jsonl=", profile_path_) ||
+          take(arg, "--csv=", csv_path_);
+    }
+    if (!trace_path_.empty()) {
+      trace::Tracer::instance().enable();
+      support::log_debug("session: tracing to ", trace_path_);
+    }
+    if (!profile_path_.empty()) {
+      trace::Profiler::instance().enable();
+      support::log_debug("session: profiling to ", profile_path_);
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    if (!trace_path_.empty()) {
+      auto& tracer = trace::Tracer::instance();
+      try {
+        trace::write_chrome_trace(trace_path_, tracer.snapshot());
+        std::fprintf(stderr, "trace: wrote %s (%llu events, %llu dropped)\n",
+                     trace_path_.c_str(),
+                     static_cast<unsigned long long>(tracer.recorded()),
+                     static_cast<unsigned long long>(tracer.dropped()));
+        if (tracer.dropped() > 0) {
+          support::log_warn("tracer ring buffer dropped ", tracer.dropped(),
+                            " events; enable() with a larger capacity");
+        }
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "trace: %s\n", err.what());
+      }
+      tracer.disable();
+    }
+    if (!profile_path_.empty()) {
+      auto& profiler = trace::Profiler::instance();
+      try {
+        const auto samples = profiler.samples();
+        trace::append_jsonl(profile_path_, samples);
+        std::fprintf(stderr, "profile: appended %zu samples to %s\n",
+                     samples.size(), profile_path_.c_str());
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "profile: %s\n", err.what());
+      }
+      profiler.disable();
+    }
+  }
+
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  [[nodiscard]] bool profiling() const { return !profile_path_.empty(); }
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+  [[nodiscard]] const std::string& profile_path() const { return profile_path_; }
+  [[nodiscard]] const std::string& csv_path() const { return csv_path_; }
+
+ private:
+  static bool take(const std::string& arg, const std::string& prefix,
+                   std::string& out) {
+    if (arg.rfind(prefix, 0) != 0) return false;
+    out = arg.substr(prefix.size());
+    return true;
+  }
+
+  std::string trace_path_;
+  std::string profile_path_;
+  std::string csv_path_;
+};
 
 }  // namespace exa::bench

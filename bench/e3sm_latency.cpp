@@ -9,9 +9,10 @@
 #include "support/table.hpp"
 #include "support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
   using namespace exa::apps::e3sm;
+  bench::Session session(argc, argv);
   bench::banner("E3SM-MMF latency strategies (Section 3.5)",
                 "fusion/fission, async same-stream launches, pool allocator "
                 "across strong-scaling workload sizes");
@@ -48,6 +49,14 @@ int main() {
                    support::format_time(fused, 2),
                    support::format_time(pooled, 2),
                    support::Table::cell(naive / pooled, 2) + "x"});
+    // Strong scaling: columns shrink as ranks grow, so profile against
+    // the column count as the scale parameter.
+    auto& profiler = trace::Profiler::instance();
+    const double p = static_cast<double>(columns);
+    profiler.record("e3sm/sync_direct", p, naive);
+    profiler.record("e3sm/async_direct", p, async);
+    profiler.record("e3sm/async_fused", p, fused);
+    profiler.record("e3sm/async_fused_pool", p, pooled);
   }
   table.add_note("strong scaling shrinks per-kernel work: latency strategies "
                  "matter most at small column counts");

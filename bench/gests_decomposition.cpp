@@ -11,16 +11,20 @@
 #include "support/table.hpp"
 #include "support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
   using apps::gests::Decomposition;
   using apps::gests::PsdnsConfig;
   using apps::gests::step_time;
+  bench::Session session(argc, argv);
   bench::banner("GESTS decomposition study (Section 3.3)",
                 "Slabs (1 transpose, P<=N) vs Pencils (2 transposes, P<=N^2)");
 
   const arch::Machine frontier = arch::machines::frontier();
 
+  auto csv = bench::open_csv(session.csv_path(),
+                             {"nodes", "ranks", "slabs_t_step", "pencils_t_step",
+                              "slabs_fom", "pencils_fom"});
   support::Table table("Per-step time by decomposition, N=8192, Frontier");
   table.set_header({"Nodes", "Ranks", "Slabs t/step", "Pencils t/step",
                     "Slabs FOM", "Pencils FOM"});
@@ -34,16 +38,30 @@ int main() {
 
     std::string slabs_t = "rank limit";
     std::string slabs_fom = "-";
+    std::string slabs_t_raw;  // CSV wants raw numbers, not table strings
+    std::string slabs_fom_raw;
+    auto& profiler = trace::Profiler::instance();
     if (nodes <= apps::gests::max_nodes(frontier, slabs.n,
                                         Decomposition::kSlabs)) {
       const auto t = step_time(frontier, nodes, slabs);
       slabs_t = support::format_time(t.total(), 2);
       slabs_fom = support::format_si(t.fom, 2);
+      slabs_t_raw = bench::csv_num(t.total());
+      slabs_fom_raw = bench::csv_num(t.fom);
+      profiler.record("gests/slabs/transpose", nodes, t.transpose_s);
+      profiler.record("gests/slabs/step", nodes, t.total());
     }
     const auto tp = step_time(frontier, nodes, pencils);
+    profiler.record("gests/pencils/transpose", nodes, tp.transpose_s);
+    profiler.record("gests/pencils/fft", nodes, tp.fft_s);
+    profiler.record("gests/pencils/step", nodes, tp.total());
     table.add_row({std::to_string(nodes), std::to_string(ranks), slabs_t,
                    support::format_time(tp.total(), 2), slabs_fom,
                    support::format_si(tp.fom, 2)});
+    bench::csv_row(csv,
+                   {std::to_string(nodes), std::to_string(ranks), slabs_t_raw,
+                    bench::csv_num(tp.total()), slabs_fom_raw,
+                    bench::csv_num(tp.fom)});
   }
   table.add_note("Slabs cap: N ranks; beyond it only Pencils continues");
   std::printf("%s\n", table.render().c_str());

@@ -11,8 +11,9 @@
 #include "support/table.hpp"
 #include "support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
+  bench::Session session(argc, argv);
   bench::banner("OpenMP offload data strategies (Section 2.2)",
                 "persistent TARGET DATA regions vs per-kernel mapping; "
                 "GPU-aware MPI vs host staging");

@@ -12,9 +12,10 @@
 #include "support/table.hpp"
 #include "support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
   using namespace exa::apps::pele;
+  bench::Session session(argc, argv);
   bench::banner("Pele optimization ablations (Section 3.8)",
                 "chemistry integration, UVM removal, async ghost exchange, "
                 "fused launches; weak scaling to 4096 nodes");
@@ -69,12 +70,29 @@ int main() {
   row("UVM migration", before.uvm_s, after.uvm_s);
   std::printf("%s\n", parts.render().c_str());
 
-  // Weak scaling, sync vs async ghost exchange.
+  // Weak scaling, sync vs async ghost exchange. Each node count also
+  // drops per-region JSONL profile samples (--profile-jsonl) for the
+  // tools/scaling_fit Extra-P-style workflow.
+  auto csv = bench::open_csv(
+      session.csv_path(),
+      {"nodes", "chem_s", "hydro_s", "launch_s", "uvm_s", "ghost_s",
+       "total_s"});
   net::ScalingStudy weak("PeleC on Frontier (tuned code)",
                          net::ScalingKind::kWeak);
   weak.run({1, 8, 64, 512, 4096}, [&](int nodes) {
-    return time_per_cell_step(frontier, CodeState::kGpuTuned2023, nodes)
-        .total();
+    const CellTime ct =
+        time_per_cell_step(frontier, CodeState::kGpuTuned2023, nodes);
+    auto& profiler = trace::Profiler::instance();
+    profiler.record("pele/chemistry", nodes, ct.chem_s);
+    profiler.record("pele/hydro", nodes, ct.hydro_s);
+    profiler.record("pele/ghost_exchange", nodes, ct.ghost_s);
+    profiler.record("pele/step", nodes, ct.total());
+    bench::csv_row(csv, {std::to_string(nodes), bench::csv_num(ct.chem_s),
+                         bench::csv_num(ct.hydro_s),
+                         bench::csv_num(ct.launch_s), bench::csv_num(ct.uvm_s),
+                         bench::csv_num(ct.ghost_s),
+                         bench::csv_num(ct.total())});
+    return ct.total();
   });
   std::printf("%s\n", weak.to_table().render().c_str());
 

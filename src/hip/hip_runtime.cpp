@@ -68,6 +68,7 @@ void Runtime::configure(const arch::GpuArch& gpu, int count, ApiFlavor flavor) {
   devices_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     devices_.push_back(std::make_unique<sim::DeviceSim>(gpu));
+    devices_.back()->set_trace_name("gpu" + std::to_string(i));
   }
   current_ = 0;
   flavor_ = flavor;

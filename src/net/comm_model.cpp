@@ -3,8 +3,27 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/units.hpp"
+#include "trace/tracer.hpp"
 
 namespace exa::net {
+
+namespace {
+
+/// CommModel is a clockless cost function, so collective spans are laid
+/// out on the tracer's running "net" cursor: the track reads as the
+/// sequence of modeled collectives with their relative costs.
+void trace_collective(const char* op, double bytes, int ranks, double cost) {
+  auto& tracer = trace::Tracer::instance();
+  if (!tracer.enabled()) return;
+  tracer.complete_at_cursor(
+      std::string(op) + " " +
+          support::format_bytes(static_cast<std::uint64_t>(bytes)) + " x" +
+          std::to_string(ranks),
+      "net", cost, "net");
+}
+
+}  // namespace
 
 CommModel::CommModel(const arch::Machine& machine, int ranks_per_node,
                      bool gpu_aware)
@@ -31,8 +50,11 @@ double CommModel::staging_cost(double bytes) const {
 double CommModel::p2p(double bytes) const {
   EXA_REQUIRE(bytes >= 0.0);
   const auto& net = machine_.network;
-  return net.latency_s + net.per_message_overhead_s + bytes / rank_bandwidth() +
-         2.0 * staging_cost(bytes);  // D2H at the sender, H2D at the receiver
+  const double cost = net.latency_s + net.per_message_overhead_s +
+                      bytes / rank_bandwidth() +
+                      2.0 * staging_cost(bytes);  // D2H sender, H2D receiver
+  trace_collective("p2p", bytes, 2, cost);
+  return cost;
 }
 
 double CommModel::halo_exchange(double bytes_per_face, int faces) const {
@@ -40,7 +62,13 @@ double CommModel::halo_exchange(double bytes_per_face, int faces) const {
   if (faces == 0) return 0.0;
   // Pairwise exchanges serialize per face on the NIC but sends/receives of
   // one face are full duplex; staging is paid once per face per direction.
-  return static_cast<double>(faces) * p2p(bytes_per_face);
+  const auto& net = machine_.network;
+  const double per_face = net.latency_s + net.per_message_overhead_s +
+                          bytes_per_face / rank_bandwidth() +
+                          2.0 * staging_cost(bytes_per_face);
+  const double cost = static_cast<double>(faces) * per_face;
+  trace_collective("halo_exchange", bytes_per_face * faces, faces, cost);
+  return cost;
 }
 
 double CommModel::log2_ceil(int n) {
@@ -57,7 +85,10 @@ double CommModel::allreduce(double bytes, int ranks) const {
   const double latency = steps * (net.latency_s + net.per_message_overhead_s);
   const double volume =
       2.0 * bytes * (static_cast<double>(ranks - 1) / ranks);
-  return latency + volume / rank_bandwidth_global() + 2.0 * staging_cost(bytes);
+  const double cost =
+      latency + volume / rank_bandwidth_global() + 2.0 * staging_cost(bytes);
+  trace_collective("allreduce", bytes, ranks, cost);
+  return cost;
 }
 
 double CommModel::alltoall(double bytes_per_pair, int ranks) const {
@@ -69,8 +100,10 @@ double CommModel::alltoall(double bytes_per_pair, int ranks) const {
   const double latency =
       peers * net.per_message_overhead_s + net.latency_s;
   const double volume = peers * bytes_per_pair;
-  return latency + volume / rank_bandwidth_global() +
-         2.0 * staging_cost(volume);
+  const double cost = latency + volume / rank_bandwidth_global() +
+                      2.0 * staging_cost(volume);
+  trace_collective("alltoall", volume, ranks, cost);
+  return cost;
 }
 
 double CommModel::bcast(double bytes, int ranks) const {
@@ -81,16 +114,21 @@ double CommModel::bcast(double bytes, int ranks) const {
   const double steps = log2_ceil(ranks);
   // Large messages pipeline: volume term pays ~1x, latency term pays the
   // tree depth.
-  return steps * (net.latency_s + net.per_message_overhead_s) +
-         bytes / rank_bandwidth_global() + 2.0 * staging_cost(bytes);
+  const double cost = steps * (net.latency_s + net.per_message_overhead_s) +
+                      bytes / rank_bandwidth_global() +
+                      2.0 * staging_cost(bytes);
+  trace_collective("bcast", bytes, ranks, cost);
+  return cost;
 }
 
 double CommModel::barrier(int ranks) const {
   EXA_REQUIRE(ranks >= 1);
   if (ranks == 1) return 0.0;
   const auto& net = machine_.network;
-  return 2.0 * log2_ceil(ranks) *
-         (net.latency_s + net.per_message_overhead_s);
+  const double cost =
+      2.0 * log2_ceil(ranks) * (net.latency_s + net.per_message_overhead_s);
+  trace_collective("barrier", 0.0, ranks, cost);
+  return cost;
 }
 
 }  // namespace exa::net

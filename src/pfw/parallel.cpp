@@ -6,10 +6,32 @@
 
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/tracer.hpp"
 
 namespace exa::pfw {
 
 namespace {
+
+/// Marks the host-side dispatch window of a pfw launch on the "pfw"
+/// track (the kernel itself is traced by DeviceSim on its stream track).
+class DispatchSpan {
+ public:
+  explicit DispatchSpan(const std::string& label) {
+    if (!trace::Tracer::instance().enabled()) return;
+    label_ = &label;
+    sim_begin_ = hip::Runtime::instance().current_device().host_now();
+  }
+  ~DispatchSpan() {
+    if (label_ == nullptr) return;
+    auto& dev = hip::Runtime::instance().current_device();
+    trace::Tracer::instance().complete(*label_, "pfw", sim_begin_,
+                                       dev.host_now() - sim_begin_, "pfw");
+  }
+
+ private:
+  const std::string* label_ = nullptr;
+  double sim_begin_ = 0.0;
+};
 
 sim::KernelProfile make_profile(const std::string& label, std::size_t n,
                                 const WorkCost& cost) {
@@ -37,6 +59,7 @@ void parallel_for(const std::string& label, std::size_t n,
                   const std::function<void(std::size_t)>& body,
                   const WorkCost& cost) {
   if (n == 0) return;
+  const DispatchSpan span(label);
   hip::Kernel k;
   k.profile = make_profile(label, n, cost);
   k.bulk_body = [n, &body] {
@@ -50,6 +73,7 @@ double parallel_reduce(const std::string& label, std::size_t n,
                        const std::function<double(std::size_t)>& body,
                        const WorkCost& cost) {
   if (n == 0) return 0.0;
+  const DispatchSpan span(label);
   double total = 0.0;
   std::mutex mutex;
   hip::Kernel k;

@@ -1,15 +1,25 @@
 #include "sim/device_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
 #include "support/assert.hpp"
 #include "support/units.hpp"
+#include "trace/tracer.hpp"
 
 namespace exa::sim {
 
-DeviceSim::DeviceSim(arch::GpuArch gpu) : gpu_(std::move(gpu)) {
+namespace {
+/// Distinct default trace names so concurrent DeviceSim instances (each
+/// starting its virtual clocks at 0) land on separate timeline groups.
+std::atomic<int> g_device_instances{0};
+}  // namespace
+
+DeviceSim::DeviceSim(arch::GpuArch gpu)
+    : trace_name_("dev" + std::to_string(g_device_instances++)),
+      gpu_(std::move(gpu)) {
   streams_.emplace(0, 0.0);  // default stream
 }
 
@@ -111,7 +121,25 @@ KernelTiming DeviceSim::launch(StreamId stream, const KernelProfile& profile,
   ready = start + exec;
   ++counters_.kernels_launched;
   counters_.kernel_busy_s += exec;
+  if (auto& tracer = trace::Tracer::instance(); tracer.enabled()) {
+    tracer.complete(profile.name.empty() ? "<kernel>" : profile.name,
+                    stream_track(stream), start, exec, "kernel");
+  }
   return timing;
+}
+
+std::string DeviceSim::stream_track(StreamId stream) const {
+  return trace_name_ + "/s" + std::to_string(stream);
+}
+
+void DeviceSim::trace_transfer(const char* what, StreamId stream,
+                               SimTime start, double duration, double bytes) {
+  auto& tracer = trace::Tracer::instance();
+  if (!tracer.enabled()) return;
+  tracer.complete(std::string(what) + " " +
+                      support::format_bytes(
+                          static_cast<std::uint64_t>(std::max(0.0, bytes))),
+                  stream_track(stream), start, duration, "transfer");
 }
 
 SimTime DeviceSim::transfer_async(StreamId stream, TransferKind kind,
@@ -135,6 +163,10 @@ SimTime DeviceSim::transfer_async(StreamId stream, TransferKind kind,
   ++counters_.transfers;
   if (kind == TransferKind::kHostToDevice) counters_.bytes_h2d += bytes;
   if (kind == TransferKind::kDeviceToHost) counters_.bytes_d2h += bytes;
+  trace_transfer(kind == TransferKind::kHostToDevice   ? "H2D"
+                 : kind == TransferKind::kDeviceToHost ? "D2H"
+                                                       : "D2D",
+                 stream, start, duration, bytes);
   return ready;
 }
 
@@ -162,6 +194,7 @@ SimTime DeviceSim::uvm_migrate(StreamId stream, TransferKind kind,
   ++counters_.transfers;
   if (kind == TransferKind::kHostToDevice) counters_.bytes_h2d += bytes;
   if (kind == TransferKind::kDeviceToHost) counters_.bytes_d2h += bytes;
+  trace_transfer("UVM", stream, start, fault_cost + move_cost, bytes);
   return ready;
 }
 
@@ -197,6 +230,7 @@ void* DeviceSim::malloc_device(std::uint64_t bytes) {
     // The arena itself was charged against device memory when created;
     // track logical usage for reporting.
     bytes_allocated_ += bytes;
+    trace_alloc("pool alloc", bytes);
     return ptr;
   }
 
@@ -215,7 +249,18 @@ void* DeviceSim::malloc_device(std::uint64_t bytes) {
   EXA_REQUIRE(ptr != nullptr);
   allocations_[ptr] = Allocation{bytes, false, 0};
   bytes_allocated_ += bytes;
+  trace_alloc("hipMalloc", bytes);
   return ptr;
+}
+
+void DeviceSim::trace_alloc(const char* what, std::uint64_t bytes) {
+  auto& tracer = trace::Tracer::instance();
+  if (!tracer.enabled()) return;
+  const std::string track = trace_name_ + "/mem";
+  tracer.instant(std::string(what) + " " + support::format_bytes(bytes), track,
+                 host_clock_, "memory");
+  tracer.counter("bytes_allocated", track,
+                 static_cast<double>(bytes_allocated_), host_clock_);
 }
 
 void DeviceSim::free_device(void* ptr) {
@@ -234,6 +279,7 @@ void DeviceSim::free_device(void* ptr) {
     host_clock_ += gpu_.free_latency_s;
   }
   std::free(ptr);
+  trace_alloc(alloc.pooled ? "pool free" : "hipFree", alloc.bytes);
 }
 
 }  // namespace exa::sim

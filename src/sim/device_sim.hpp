@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,11 @@ class DeviceSim {
   [[nodiscard]] const arch::GpuArch& gpu() const { return gpu_; }
   [[nodiscard]] ExecTuning& tuning() { return tuning_; }
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
+
+  /// Name this device's trace tracks are grouped under (defaults to a
+  /// unique "dev<N>"; hip::Runtime renames its devices "gpu<i>").
+  void set_trace_name(std::string name) { trace_name_ = std::move(name); }
+  [[nodiscard]] const std::string& trace_name() const { return trace_name_; }
 
   // --- virtual clocks --------------------------------------------------
   [[nodiscard]] SimTime host_now() const { return host_clock_; }
@@ -125,7 +131,15 @@ class DeviceSim {
 
   SimTime& stream_ref(StreamId stream);
   [[nodiscard]] const SimTime& stream_ref(StreamId stream) const;
+  /// Tracer track for work scheduled on `stream` ("<name>/s<id>").
+  [[nodiscard]] std::string stream_track(StreamId stream) const;
+  /// Emits a transfer span when tracing is enabled.
+  void trace_transfer(const char* what, StreamId stream, SimTime start,
+                      double duration, double bytes);
+  /// Emits an allocation instant + bytes_allocated counter when tracing.
+  void trace_alloc(const char* what, std::uint64_t bytes);
 
+  std::string trace_name_;
   arch::GpuArch gpu_;
   ExecTuning tuning_;
   DeviceCounters counters_;

@@ -1,13 +1,22 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace exa::support {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("EXA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  return log_level_from_name(env, LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -21,6 +30,22 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 }  // namespace
+
+LogLevel log_level_from_name(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return fallback;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 

@@ -5,14 +5,23 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace exa::support {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The initial
+/// threshold honors the EXA_LOG_LEVEL environment variable (a level name
+/// — debug/info/warn/error/off — or a digit 0-4), defaulting to warn, so
+/// traced runs can raise diagnostics without recompiling.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses a level name or digit ("debug", "INFO", "3", ...); returns
+/// `fallback` on unrecognized input. Exposed for the EXA_LOG_LEVEL path.
+[[nodiscard]] LogLevel log_level_from_name(std::string_view name,
+                                           LogLevel fallback);
 
 /// Emits a single formatted line to stderr if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);

@@ -1,0 +1,109 @@
+#include "trace/chrome_export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "support/assert.hpp"
+#include "trace/json.hpp"
+
+namespace exa::trace {
+
+namespace {
+
+struct TrackIds {
+  int pid = 0;
+  int tid = 0;
+};
+
+const char* phase_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "B";
+    case EventKind::kSpanEnd: return "E";
+    case EventKind::kComplete: return "X";
+    case EventKind::kInstant: return "i";
+    case EventKind::kCounter: return "C";
+  }
+  return "i";
+}
+
+/// Virtual stamps are seconds; Chrome wants microseconds.
+double timestamp_us(const Event& event) {
+  return std::isnan(event.sim_s) ? event.wall_us : event.sim_s * 1e6;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+  // Assign pids per track prefix (before '/') and tids per full track, in
+  // first-seen order, so exported ids are deterministic.
+  std::map<std::string, int> pids;
+  std::map<std::string, TrackIds> tracks;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string body;
+
+  auto ids_for = [&](const std::string& track) -> TrackIds {
+    const auto it = tracks.find(track);
+    if (it != tracks.end()) return it->second;
+    const std::size_t slash = track.find('/');
+    const std::string process =
+        slash == std::string::npos ? track : track.substr(0, slash);
+    const std::string thread =
+        slash == std::string::npos ? track : track.substr(slash + 1);
+    auto [pit, fresh_pid] =
+        pids.emplace(process, static_cast<int>(pids.size()) + 1);
+    const TrackIds ids{pit->second, static_cast<int>(tracks.size()) + 1};
+    tracks.emplace(track, ids);
+    if (fresh_pid) {
+      body += ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+              std::to_string(ids.pid) +
+              ",\"args\":{\"name\":\"" + json_escape(process) + "\"}}";
+    }
+    body += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+            std::to_string(ids.pid) + ",\"tid\":" + std::to_string(ids.tid) +
+            ",\"args\":{\"name\":\"" + json_escape(thread) + "\"}}";
+    return ids;
+  };
+
+  for (const Event& event : events) {
+    const TrackIds ids = ids_for(event.track);
+    body += ",{\"name\":\"" + json_escape(event.label) + "\"";
+    if (!event.category.empty()) {
+      body += ",\"cat\":\"" + json_escape(event.category) + "\"";
+    }
+    body += ",\"ph\":\"";
+    body += phase_of(event.kind);
+    body += "\",\"ts\":" + json_number(timestamp_us(event)) +
+            ",\"pid\":" + std::to_string(ids.pid) +
+            ",\"tid\":" + std::to_string(ids.tid);
+    switch (event.kind) {
+      case EventKind::kComplete:
+        body += ",\"dur\":" + json_number(event.value * 1e6);
+        break;
+      case EventKind::kInstant:
+        body += ",\"s\":\"t\"";
+        break;
+      case EventKind::kCounter:
+        body += ",\"args\":{\"value\":" + json_number(event.value) + "}";
+        break;
+      default:
+        break;
+    }
+    body += "}";
+  }
+
+  if (!body.empty()) body.erase(0, 1);  // leading comma
+  out += body;
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw support::Error("cannot open trace file: " + path);
+  file << chrome_trace_json(events);
+  if (!file.good()) throw support::Error("failed writing trace file: " + path);
+}
+
+}  // namespace exa::trace

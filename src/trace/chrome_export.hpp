@@ -1,0 +1,29 @@
+#pragma once
+/// \file chrome_export.hpp
+/// Chrome trace-event exporter: turns a Tracer snapshot into a JSON file
+/// loadable in chrome://tracing or Perfetto.
+///
+/// Track mapping: a track name "gpu0/s1" becomes process "gpu0", thread
+/// "s1" (one Chrome track per simulated stream/rank, as the paper's
+/// timeline figures are organized); a track with no '/' becomes a
+/// single-thread process of the same name. Timestamps prefer the virtual
+/// SimTime stamp (microseconds of simulated time) and fall back to wall
+/// time for events that carry none.
+
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace exa::trace {
+
+/// Renders the events as a Chrome trace-event JSON document (object form,
+/// {"traceEvents": [...], ...} with process/thread-name metadata).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<Event>& events);
+
+/// Writes chrome_trace_json() to `path`; throws support::Error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events);
+
+}  // namespace exa::trace

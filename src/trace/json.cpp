@@ -1,0 +1,259 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace exa::trace {
+
+bool JsonValue::as_bool() const {
+  EXA_REQUIRE_MSG(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(v_);
+}
+
+double JsonValue::as_number() const {
+  EXA_REQUIRE_MSG(is_number(), "JSON value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& JsonValue::as_string() const {
+  EXA_REQUIRE_MSG(is_string(), "JSON value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  EXA_REQUIRE_MSG(is_array(), "JSON value is not an array");
+  return std::get<Array>(v_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  EXA_REQUIRE_MSG(is_object(), "JSON value is not an object");
+  return std::get<Object>(v_);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(v_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string JsonValue::dump() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_number()) return json_number(std::get<double>(v_));
+  if (is_string()) return "\"" + json_escape(std::get<std::string>(v_)) + "\"";
+  if (is_array()) {
+    std::string out = "[";
+    const Array& arr = std::get<Array>(v_);
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ",";
+      out += arr[i].dump();
+    }
+    return out + "]";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : std::get<Object>(v_)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":" + value.dump();
+  }
+  return out + "}";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw support::Error("JSON parse error at offset " +
+                         std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    if (consume_literal("null")) return JsonValue(nullptr);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          // Pass low \u escapes through as a single byte; anything wider
+          // is kept verbatim (the exporters never emit them).
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            out += "\\u" + hex;
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number '" + token + "'");
+    return JsonValue(value);
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace exa::trace

@@ -1,0 +1,73 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value + parser/serializer for the trace exporters.
+///
+/// The container has no JSON dependency, and the trace subsystem needs
+/// both directions: the exporters *emit* Chrome trace-event JSON and
+/// Extra-P-style JsonLines, and the scaling-model side *reads* JSONL
+/// profiles back. This is a deliberately small implementation covering
+/// the JSON subset those formats use (objects, arrays, strings, finite
+/// numbers, booleans, null — no \u escapes beyond pass-through).
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace exa::trace {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(int i) : v_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw support::Error (via EXA-style checks) on
+  /// kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Serializes back to compact JSON.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses one JSON document; throws support::Error with an offset on
+/// malformed input. Trailing whitespace is allowed, trailing content is
+/// not.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes
+/// added).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Formats a finite double the way the exporters do (shortest-ish %.12g;
+/// non-finite values become 0 — JSON has no NaN/Inf).
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace exa::trace

@@ -1,0 +1,151 @@
+#include "trace/profile.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "trace/json.hpp"
+
+namespace exa::trace {
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Profiler::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+void Profiler::record(const std::string& callpath, double p, double value,
+                      const std::string& metric) {
+  if (!enabled()) return;
+  record(ProfileSample{{{"p", p}}, callpath, metric, value});
+}
+
+void Profiler::record(ProfileSample sample) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<ProfileSample> Profiler::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::string to_jsonl(const ProfileSample& sample) {
+  std::string out = "{\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : sample.params) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + json_number(value);
+  }
+  out += "},\"callpath\":\"" + json_escape(sample.callpath) +
+         "\",\"metric\":\"" + json_escape(sample.metric) +
+         "\",\"value\":" + json_number(sample.value) + "}";
+  return out;
+}
+
+void append_jsonl(const std::string& path,
+                  const std::vector<ProfileSample>& samples) {
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  if (!file) throw support::Error("cannot open profile file: " + path);
+  for (const ProfileSample& sample : samples) {
+    file << to_jsonl(sample) << '\n';
+  }
+  if (!file.good()) {
+    throw support::Error("failed writing profile file: " + path);
+  }
+}
+
+std::vector<ProfileSample> load_jsonl(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw support::Error("cannot open profile file: " + path);
+  std::vector<ProfileSample> samples;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue value;
+    try {
+      value = json_parse(line);
+    } catch (const support::Error& err) {
+      throw support::Error(path + ":" + std::to_string(line_no) + ": " +
+                           err.what());
+    }
+    ProfileSample sample;
+    if (const JsonValue* params = value.find("params");
+        params != nullptr && params->is_object()) {
+      for (const auto& [name, param] : params->as_object()) {
+        if (param.is_number()) sample.params[name] = param.as_number();
+      }
+    }
+    if (const JsonValue* callpath = value.find("callpath");
+        callpath != nullptr && callpath->is_string()) {
+      sample.callpath = callpath->as_string();
+    }
+    if (const JsonValue* metric = value.find("metric");
+        metric != nullptr && metric->is_string()) {
+      sample.metric = metric->as_string();
+    }
+    if (const JsonValue* v = value.find("value");
+        v != nullptr && v->is_number()) {
+      sample.value = v->as_number();
+    }
+    if (sample.callpath.empty()) {
+      throw support::Error(path + ":" + std::to_string(line_no) +
+                           ": profile sample has no callpath");
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::vector<ProfileSample> profile_from_trace(const std::vector<Event>& events,
+                                              double p) {
+  // Sum virtual span durations per label. Begin/end pairs are matched per
+  // track in LIFO order (spans nest within a track).
+  std::map<std::string, double> totals;
+  std::map<std::string, std::vector<const Event*>> open;  // per track
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case EventKind::kComplete:
+        totals[event.label] += event.value;
+        break;
+      case EventKind::kSpanBegin:
+        open[event.track].push_back(&event);
+        break;
+      case EventKind::kSpanEnd: {
+        auto& stack = open[event.track];
+        if (stack.empty()) break;
+        const Event* begin = stack.back();
+        stack.pop_back();
+        if (!std::isnan(begin->sim_s) && !std::isnan(event.sim_s)) {
+          totals[begin->label] += event.sim_s - begin->sim_s;
+        } else {
+          totals[begin->label] += (event.wall_us - begin->wall_us) * 1e-6;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::vector<ProfileSample> samples;
+  samples.reserve(totals.size());
+  for (const auto& [label, total] : totals) {
+    samples.push_back(ProfileSample{{{"p", p}}, label, "time", total});
+  }
+  return samples;
+}
+
+}  // namespace exa::trace

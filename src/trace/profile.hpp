@@ -1,0 +1,80 @@
+#pragma once
+/// \file profile.hpp
+/// Extra-P-style JsonLines profiles.
+///
+/// The SC'23 always-on-monitoring workflow (see SNIPPETS.md) merges
+/// per-run profiles into a single append-friendly JsonLines file and
+/// feeds that to Extra-P for empirical scaling models. We mirror the
+/// format: one sample per line,
+///
+///     {"params":{"p":64},"callpath":"pele/ghost_exchange",
+///      "metric":"time","value":0.00123}
+///
+/// where `params` carries the run configuration (node count `p` by
+/// convention), `callpath` names the instrumented region, and repeated
+/// (params, callpath) lines are repetitions. New runs append; the fitter
+/// (scaling_model.hpp) and `tools/scaling_fit` consume the merged file.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace exa::trace {
+
+struct ProfileSample {
+  std::map<std::string, double> params;  ///< run configuration, e.g. {"p": 64}
+  std::string callpath;                  ///< instrumented region name
+  std::string metric = "time";
+  double value = 0.0;
+};
+
+/// Process-global profile sink. Like the Tracer, recording is a no-op
+/// while disabled so instrumented code can call it unconditionally.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  /// Records `value` for `callpath` at scale parameter `p` (the common
+  /// single-parameter case).
+  void record(const std::string& callpath, double p, double value,
+              const std::string& metric = "time");
+  void record(ProfileSample sample);
+
+  [[nodiscard]] std::vector<ProfileSample> samples() const;
+
+ private:
+  Profiler() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<ProfileSample> samples_;
+};
+
+/// One JSONL line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const ProfileSample& sample);
+
+/// Appends samples to `path` (creating it if needed); throws
+/// support::Error on I/O failure.
+void append_jsonl(const std::string& path,
+                  const std::vector<ProfileSample>& samples);
+
+/// Loads every sample from a JSONL profile file; blank lines are skipped;
+/// malformed lines throw support::Error naming the line number.
+[[nodiscard]] std::vector<ProfileSample> load_jsonl(const std::string& path);
+
+/// Aggregates span durations (kComplete events, plus matched
+/// kSpanBegin/kSpanEnd pairs with virtual stamps) from a trace snapshot
+/// into per-callpath profile samples at scale parameter `p` — the bridge
+/// from a single traced run to the multi-run JSONL scaling workflow.
+[[nodiscard]] std::vector<ProfileSample> profile_from_trace(
+    const std::vector<Event>& events, double p);
+
+}  // namespace exa::trace

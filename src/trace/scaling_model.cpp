@@ -1,0 +1,190 @@
+#include "trace/scaling_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "support/assert.hpp"
+
+namespace exa::trace {
+
+namespace {
+
+/// Basis value x(p) = p^c * (log2 p)^d of the hypothesis' scaling term.
+double basis(double p, double c, int d) {
+  double x = std::pow(p, c);
+  if (d != 0) x *= std::pow(std::log2(p), d);
+  return x;
+}
+
+struct Candidate {
+  double a = 0.0, b = 0.0;
+  double ss_res = 0.0;
+  bool valid = false;
+};
+
+/// Exact least squares for t = a + b * x (linear in the parameters).
+Candidate solve(std::span<const double> xs, std::span<const double> ts,
+                bool nonnegative_constant) {
+  const std::size_t n = xs.size();
+  double sx = 0.0, st = 0.0, sxx = 0.0, sxt = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    st += ts[i];
+    sxx += xs[i] * xs[i];
+    sxt += xs[i] * ts[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double det = dn * sxx - sx * sx;
+  Candidate fit;
+  // Scale-aware singularity test: a constant basis (e.g. c=0, d=0) makes
+  // the system rank-1; fall back to the pure-constant model.
+  if (std::abs(det) <= 1e-12 * std::max(1.0, dn * sxx)) {
+    fit.a = st / dn;
+    fit.b = 0.0;
+  } else {
+    fit.b = (dn * sxt - sx * st) / det;
+    fit.a = (st - fit.b * sx) / dn;
+    if (nonnegative_constant && fit.a < 0.0) {
+      fit.a = 0.0;
+      fit.b = sxx > 0.0 ? sxt / sxx : 0.0;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ts[i] - (fit.a + fit.b * xs[i]);
+    fit.ss_res += r * r;
+  }
+  fit.valid = std::isfinite(fit.a) && std::isfinite(fit.b) &&
+              std::isfinite(fit.ss_res);
+  return fit;
+}
+
+}  // namespace
+
+double ScalingFit::eval(double p) const { return a + b * basis(p, c, d); }
+
+std::string ScalingFit::to_string() const {
+  char buf[128];
+  if (b == 0.0 || (c == 0.0 && d == 0)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", a + b);
+    return buf;
+  }
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%.3g + %.3g", a, b);
+  out = buf;
+  if (c != 0.0) {
+    std::snprintf(buf, sizeof(buf), " * p^%.3g", c);
+    out += buf;
+  }
+  if (d == 1) {
+    out += " * log2(p)";
+  } else if (d > 1) {
+    std::snprintf(buf, sizeof(buf), " * log2(p)^%d", d);
+    out += buf;
+  }
+  return out;
+}
+
+ScalingFit fit_scaling(std::span<const double> p, std::span<const double> t,
+                       const FitOptions& options) {
+  EXA_REQUIRE_MSG(p.size() == t.size(), "p/t series length mismatch");
+  EXA_REQUIRE_MSG(p.size() >= 2, "scaling fit needs at least two points");
+  std::set<double> distinct(p.begin(), p.end());
+  EXA_REQUIRE_MSG(distinct.size() >= 2,
+                  "scaling fit needs at least two distinct scales");
+  for (const double pi : p) {
+    EXA_REQUIRE_MSG(pi >= 1.0, "scale parameters must be >= 1");
+  }
+
+  const std::size_t n = p.size();
+  double t_mean = 0.0;
+  for (const double ti : t) t_mean += ti;
+  t_mean /= static_cast<double>(n);
+  double ss_tot = 0.0;
+  for (const double ti : t) ss_tot += (ti - t_mean) * (ti - t_mean);
+
+  ScalingFit best;
+  double best_res = std::numeric_limits<double>::infinity();
+  double best_complexity = std::numeric_limits<double>::infinity();
+  std::vector<double> xs(n);
+  for (const int d : options.log_powers) {
+    for (const double c : options.exponents) {
+      if (c == 0.0 && d == 0) continue;  // covered by the b=0 fallback
+      bool usable = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = basis(p[i], c, d);
+        if (!std::isfinite(xs[i])) usable = false;
+      }
+      if (!usable) continue;
+      const Candidate cand = solve(xs, t, options.nonnegative_constant);
+      if (!cand.valid) continue;
+      // Prefer the simpler hypothesis among near-equal residuals (within
+      // 1e-6 of total variance, or near-zero absolute for exact fits).
+      const double complexity = static_cast<double>(d) * 10.0 + c;
+      const double tol = std::max(1e-6 * ss_tot, 1e-24);
+      const bool better =
+          cand.ss_res < best_res - tol ||
+          (cand.ss_res < best_res + tol && complexity < best_complexity);
+      if (better) {
+        best_res = std::min(best_res, cand.ss_res);
+        best_complexity = complexity;
+        best.a = cand.a;
+        best.b = cand.b;
+        best.c = c;
+        best.d = d;
+      }
+    }
+  }
+
+  // The pure-constant hypothesis t(p) = a.
+  {
+    double ss_const = ss_tot;
+    const double tol = std::max(1e-6 * ss_tot, 1e-24);
+    if (ss_const < best_res + tol && 0.0 < best_complexity) {
+      best_res = std::min(best_res, ss_const);
+      best.a = t_mean;
+      best.b = 0.0;
+      best.c = 0.0;
+      best.d = 0;
+    }
+  }
+
+  best.points = n;
+  best.r2 = ss_tot > 0.0 ? 1.0 - best_res / ss_tot : 1.0;
+  if (best.r2 < 0.0) best.r2 = 0.0;
+  return best;
+}
+
+std::map<std::string, ScalingFit> fit_profiles(
+    const std::vector<ProfileSample>& samples, const std::string& param,
+    const std::string& metric, const FitOptions& options) {
+  // callpath -> scale -> (sum, count): average repetitions per scale, as
+  // Extra-P does before modeling.
+  std::map<std::string, std::map<double, std::pair<double, int>>> grouped;
+  for (const ProfileSample& sample : samples) {
+    if (sample.metric != metric) continue;
+    const auto it = sample.params.find(param);
+    if (it == sample.params.end()) continue;
+    auto& [sum, count] = grouped[sample.callpath][it->second];
+    sum += sample.value;
+    ++count;
+  }
+
+  std::map<std::string, ScalingFit> fits;
+  for (const auto& [callpath, by_scale] : grouped) {
+    if (by_scale.size() < 2) continue;
+    std::vector<double> ps, ts;
+    ps.reserve(by_scale.size());
+    ts.reserve(by_scale.size());
+    for (const auto& [scale, acc] : by_scale) {
+      ps.push_back(scale);
+      ts.push_back(acc.first / acc.second);
+    }
+    fits.emplace(callpath, fit_scaling(ps, ts, options));
+  }
+  return fits;
+}
+
+}  // namespace exa::trace

@@ -1,0 +1,70 @@
+#pragma once
+/// \file scaling_model.hpp
+/// Empirical scaling-model fitting — an in-repo mini Extra-P.
+///
+/// Given measurements t(p) of a region's time at several scales p (node
+/// counts), the fitter searches the performance-model normal form
+///
+///     t(p) = a + b * p^c * (log2 p)^d
+///
+/// over a grid of exponents c and log powers d. Each hypothesis is linear
+/// in (a, b), so it is solved exactly by least squares; the winning model
+/// is the one with the smallest residual, with ties broken toward the
+/// simpler hypothesis (smaller d, then smaller c) — mirroring how Extra-P
+/// selects among its candidate terms. This is the §6-style two-step from
+/// the related SC'23 monitoring work: append per-run JSONL profiles, then
+/// fit models per callpath.
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/profile.hpp"
+
+namespace exa::trace {
+
+/// A fitted t(p) = a + b * p^c * (log2 p)^d hypothesis.
+struct ScalingFit {
+  double a = 0.0;   ///< constant (serial/latency) term, seconds
+  double b = 0.0;   ///< scaling coefficient
+  double c = 0.0;   ///< polynomial exponent
+  int d = 0;        ///< power of log2(p)
+  double r2 = 0.0;  ///< coefficient of determination on the inputs
+  std::size_t points = 0;  ///< measurements the fit consumed
+
+  [[nodiscard]] double eval(double p) const;
+  /// Human-readable model, e.g. "2.1e-03 + 4.0e-05 * p^1.5 * log2(p)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FitOptions {
+  /// Candidate polynomial exponents (Extra-P's default search space uses
+  /// small rationals in [0, 3]).
+  std::vector<double> exponents = {0.0,       0.25, 1.0 / 3, 0.5,  2.0 / 3,
+                                   0.75,      1.0,  1.25,    4.0 / 3, 1.5,
+                                   5.0 / 3,   2.0,  7.0 / 3, 2.5,  3.0};
+  /// Candidate powers of log2(p).
+  std::vector<int> log_powers = {0, 1, 2};
+  /// Constrain the constant term to be non-negative (times cannot be
+  /// negative at p -> small); a negative fitted `a` is refit with a = 0.
+  bool nonnegative_constant = true;
+};
+
+/// Fits the best hypothesis to the series (p_i, t_i). Requires at least
+/// two distinct p values (three or more for a meaningful model — the
+/// caller should collect >= 3 scales, as the Extra-P workflow does).
+/// Throws support::Error on degenerate input.
+[[nodiscard]] ScalingFit fit_scaling(std::span<const double> p,
+                                     std::span<const double> t,
+                                     const FitOptions& options = {});
+
+/// Groups profile samples by callpath (keeping those matching `metric`
+/// and carrying parameter `param`), averages repetitions at equal scale,
+/// and fits each region. Regions with fewer than two distinct scales are
+/// skipped.
+[[nodiscard]] std::map<std::string, ScalingFit> fit_profiles(
+    const std::vector<ProfileSample>& samples, const std::string& param = "p",
+    const std::string& metric = "time", const FitOptions& options = {});
+
+}  // namespace exa::trace

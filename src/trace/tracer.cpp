@@ -1,0 +1,138 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace exa::trace {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+  head_ = 0;
+  total_ = 0;
+  cursors_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  cursors_.clear();
+}
+
+void Tracer::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  event.wall_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+void Tracer::span_begin(std::string label, std::string track,
+                        std::string category, SimTime sim_s) {
+  if (!enabled()) return;
+  push(Event{EventKind::kSpanBegin, std::move(label), std::move(category),
+             std::move(track), 0.0, sim_s, 0.0});
+}
+
+void Tracer::span_end(std::string label, std::string track, SimTime sim_s) {
+  if (!enabled()) return;
+  push(Event{EventKind::kSpanEnd, std::move(label), {}, std::move(track), 0.0,
+             sim_s, 0.0});
+}
+
+void Tracer::complete(std::string label, std::string track,
+                      SimTime sim_start_s, double duration_s,
+                      std::string category) {
+  if (!enabled()) return;
+  push(Event{EventKind::kComplete, std::move(label), std::move(category),
+             std::move(track), 0.0, sim_start_s, duration_s});
+}
+
+void Tracer::complete_at_cursor(std::string label, std::string track,
+                                double duration_s, std::string category) {
+  if (!enabled()) return;
+  double start = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    double& cursor = cursors_[track];
+    start = cursor;
+    cursor += duration_s;
+  }
+  push(Event{EventKind::kComplete, std::move(label), std::move(category),
+             std::move(track), 0.0, start, duration_s});
+}
+
+void Tracer::instant(std::string label, std::string track, SimTime sim_s,
+                     std::string category) {
+  if (!enabled()) return;
+  push(Event{EventKind::kInstant, std::move(label), std::move(category),
+             std::move(track), 0.0, sim_s, 0.0});
+}
+
+void Tracer::counter(std::string name, std::string track, double value,
+                     SimTime sim_s) {
+  if (!enabled()) return;
+  push(Event{EventKind::kCounter, std::move(name), {}, std::move(track), 0.0,
+             sim_s, value});
+}
+
+std::vector<Event> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (total_ <= ring_.size()) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    out.assign(ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+ScopedSpan::ScopedSpan(std::string label, std::string track,
+                       std::string category, SimTime sim_begin)
+    : label_(std::move(label)), track_(std::move(track)) {
+  auto& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  tracer.span_begin(label_, track_, std::move(category), sim_begin);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer::instance().span_end(std::move(label_), std::move(track_), sim_end_);
+}
+
+}  // namespace exa::trace

@@ -1,0 +1,32 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exa::support {
+namespace {
+
+TEST(Log, LevelFromNameParsesNamesAndDigits) {
+  EXPECT_EQ(log_level_from_name("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_name("Warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(log_level_from_name("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(log_level_from_name("0", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("3", LogLevel::kWarn), LogLevel::kError);
+}
+
+TEST(Log, LevelFromNameFallsBackOnUnknownInput) {
+  EXPECT_EQ(log_level_from_name("loud", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(log_level_from_name("99", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, SetAndGetThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace exa::support

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/device_sim.hpp"
+#include "support/assert.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/json.hpp"
+#include "trace/profile.hpp"
+#include "trace/tracer.hpp"
+
+namespace exa::trace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "exaready_" + name;
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Profiler::instance().disable();
+    Profiler::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Profiler::instance().disable();
+    Profiler::instance().clear();
+  }
+};
+
+TEST_F(ExportTest, JsonParseRoundTrip) {
+  const JsonValue value = json_parse(
+      R"({"s":"a\"b","n":-1.5e3,"t":true,"x":null,"arr":[1,2,{"k":3}]})");
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.find("s")->as_string(), "a\"b");
+  EXPECT_DOUBLE_EQ(value.find("n")->as_number(), -1500.0);
+  EXPECT_TRUE(value.find("t")->as_bool());
+  EXPECT_TRUE(value.find("x")->is_null());
+  ASSERT_EQ(value.find("arr")->as_array().size(), 3u);
+  // dump() -> parse() is stable.
+  const JsonValue again = json_parse(value.dump());
+  EXPECT_EQ(again.dump(), value.dump());
+  EXPECT_THROW(json_parse("{\"unterminated\":"), support::Error);
+  EXPECT_THROW(json_parse("{} trailing"), support::Error);
+}
+
+TEST_F(ExportTest, ChromeTraceValidatesAndCarriesStreamTracks) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(4096);
+
+  sim::DeviceSim dev(arch::mi250x_gcd());
+  sim::KernelProfile profile;
+  profile.name = "k0";
+  profile.add_flops(arch::DType::kF64,
+                    dev.gpu().peak_flops(arch::DType::kF64) * 1e-4);
+  profile.compute_efficiency = 1.0;
+  const sim::StreamId s1 = dev.create_stream();
+  const sim::StreamId s2 = dev.create_stream();
+  dev.launch(s1, profile, sim::LaunchConfig{1u << 16, 256});
+  dev.launch(s2, profile, sim::LaunchConfig{1u << 16, 256});
+  dev.transfer_async(s1, sim::TransferKind::kDeviceToHost, 1 << 20);
+  dev.synchronize_all();
+
+  const std::string path = temp_path("trace.json");
+  write_chrome_trace(path, tracer.snapshot());
+
+  // The file must parse as JSON and contain X spans on two stream tracks.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) text.append(buf, n);
+  std::fclose(file);
+
+  const JsonValue doc = json_parse(text);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete_spans = 0;
+  int thread_names = 0;
+  bool saw_transfer = false;
+  for (const JsonValue& event : events->as_array()) {
+    const std::string& phase = event.find("ph")->as_string();
+    if (phase == "X") {
+      ++complete_spans;
+      EXPECT_GT(event.find("dur")->as_number(), 0.0);
+      EXPECT_GE(event.find("ts")->as_number(), 0.0);
+      if (event.find("cat")->as_string() == "transfer") saw_transfer = true;
+    }
+    if (phase == "M" && event.find("name")->as_string() == "thread_name") {
+      ++thread_names;
+    }
+  }
+  EXPECT_GE(complete_spans, 3);
+  EXPECT_GE(thread_names, 2);  // one Chrome track per simulated stream
+  EXPECT_TRUE(saw_transfer);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, JsonlAppendAndLoadRoundTrip) {
+  auto& profiler = Profiler::instance();
+  profiler.enable();
+  profiler.record("pele/ghost_exchange", 8, 1.25e-3);
+  profiler.record("pele/ghost_exchange", 64, 2.5e-3);
+  profiler.record("gests/transpose", 64, 0.5, "time");
+
+  const std::string path = temp_path("profiles.jsonl");
+  std::remove(path.c_str());
+  append_jsonl(path, profiler.samples());
+  append_jsonl(path, {ProfileSample{{{"p", 512.0}, {"rep", 2.0}},
+                                    "pele/ghost_exchange", "time", 5e-3}});
+
+  const auto loaded = load_jsonl(path);
+  ASSERT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded[0].callpath, "pele/ghost_exchange");
+  EXPECT_DOUBLE_EQ(loaded[0].params.at("p"), 8.0);
+  EXPECT_DOUBLE_EQ(loaded[0].value, 1.25e-3);
+  EXPECT_EQ(loaded[3].params.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[3].params.at("rep"), 2.0);
+  EXPECT_EQ(loaded[3].metric, "time");
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, ProfilerDisabledRecordsNothing) {
+  auto& profiler = Profiler::instance();
+  profiler.record("region", 8, 1.0);
+  EXPECT_TRUE(profiler.samples().empty());
+}
+
+TEST_F(ExportTest, ProfileFromTraceAggregatesSpans) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(64);
+  tracer.complete("kernelA", "gpu0/s0", 0.0, 1.0e-3, "kernel");
+  tracer.complete("kernelA", "gpu0/s0", 2.0e-3, 1.0e-3, "kernel");
+  tracer.span_begin("regionB", "host", "test", 0.0);
+  tracer.span_end("regionB", "host", 4.0e-3);
+  const auto samples = profile_from_trace(tracer.snapshot(), 16.0);
+  ASSERT_EQ(samples.size(), 2u);
+  double a = 0.0, b = 0.0;
+  for (const auto& sample : samples) {
+    EXPECT_DOUBLE_EQ(sample.params.at("p"), 16.0);
+    if (sample.callpath == "kernelA") a = sample.value;
+    if (sample.callpath == "regionB") b = sample.value;
+  }
+  EXPECT_NEAR(a, 2.0e-3, 1e-12);
+  EXPECT_NEAR(b, 4.0e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace exa::trace

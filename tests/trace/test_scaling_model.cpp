@@ -1,0 +1,124 @@
+#include "trace/scaling_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace exa::trace {
+namespace {
+
+std::vector<double> scales() { return {1, 2, 4, 8, 16, 32, 64, 128}; }
+
+std::vector<double> series(const std::vector<double>& ps, double a, double b,
+                           double c, int d) {
+  std::vector<double> ts;
+  ts.reserve(ps.size());
+  for (const double p : ps) {
+    double x = std::pow(p, c);
+    if (d != 0) x *= std::pow(std::log2(p), d);
+    ts.push_back(a + b * x);
+  }
+  return ts;
+}
+
+TEST(ScalingModel, RecoversLinearLaw) {
+  const auto ps = scales();
+  const auto ts = series(ps, 2.0e-3, 5.0e-4, 1.0, 0);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_DOUBLE_EQ(fit.c, 1.0);
+  EXPECT_EQ(fit.d, 0);
+  EXPECT_NEAR(fit.a, 2.0e-3, 1e-9);
+  EXPECT_NEAR(fit.b, 5.0e-4, 1e-9);
+  EXPECT_GE(fit.r2, 0.999);
+}
+
+TEST(ScalingModel, RecoversPolyLogLaw) {
+  // The Rabenseifner-allreduce shape: t = a + b * p^0 is wrong, the
+  // latency term goes as log2(p); make it a + b * p * log2(p).
+  const auto ps = scales();
+  const auto ts = series(ps, 1.0e-4, 2.0e-6, 1.0, 1);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_DOUBLE_EQ(fit.c, 1.0);
+  EXPECT_EQ(fit.d, 1);
+  EXPECT_GE(fit.r2, 0.999);
+}
+
+TEST(ScalingModel, RecoversFractionalExponent) {
+  const auto ps = scales();
+  const auto ts = series(ps, 0.0, 3.0e-5, 1.5, 0);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_DOUBLE_EQ(fit.c, 1.5);
+  EXPECT_EQ(fit.d, 0);
+  EXPECT_NEAR(fit.b, 3.0e-5, 1e-10);
+  EXPECT_GE(fit.r2, 0.999);
+}
+
+TEST(ScalingModel, ConstantSeriesPicksConstantModel) {
+  const auto ps = scales();
+  const std::vector<double> ts(ps.size(), 7.5e-3);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_DOUBLE_EQ(fit.c, 0.0);
+  EXPECT_EQ(fit.d, 0);
+  EXPECT_NEAR(fit.eval(1024.0), 7.5e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(ScalingModel, ToleratesMeasurementNoise) {
+  // +-2% multiplicative noise, deterministic seed: the acceptance bar is
+  // R^2 >= 0.95 on synthetic a + b * p^c data.
+  const auto ps = scales();
+  auto ts = series(ps, 1.0e-3, 2.0e-5, 2.0, 0);
+  support::Rng rng(12345);
+  for (double& t : ts) t *= 1.0 + 0.04 * (rng.uniform() - 0.5);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_NEAR(fit.c, 2.0, 0.35);
+  EXPECT_GE(fit.r2, 0.95);
+}
+
+TEST(ScalingModel, EvalAndToStringDescribeTheModel) {
+  const auto ps = scales();
+  const auto ts = series(ps, 1.0, 0.5, 1.0, 1);
+  const ScalingFit fit = fit_scaling(ps, ts);
+  EXPECT_NEAR(fit.eval(256.0), 1.0 + 0.5 * 256.0 * 8.0, 1e-6);
+  const std::string text = fit.to_string();
+  EXPECT_NE(text.find("p^1"), std::string::npos);
+  EXPECT_NE(text.find("log2(p)"), std::string::npos);
+}
+
+TEST(ScalingModel, RejectsDegenerateInput) {
+  const std::vector<double> one_scale = {8, 8, 8};
+  const std::vector<double> ts = {1.0, 1.1, 0.9};
+  EXPECT_THROW((void)fit_scaling(one_scale, ts), support::Error);
+  const std::vector<double> mismatched = {1, 2};
+  EXPECT_THROW((void)fit_scaling(mismatched, ts), support::Error);
+}
+
+TEST(ScalingModel, FitProfilesGroupsByRegionAndAveragesReps) {
+  std::vector<ProfileSample> samples;
+  for (const double p : {1.0, 4.0, 16.0, 64.0}) {
+    // Two repetitions straddling the true linear value.
+    samples.push_back({{{"p", p}}, "halo", "time", 1e-3 * p * 1.01});
+    samples.push_back({{{"p", p}}, "halo", "time", 1e-3 * p * 0.99});
+    samples.push_back({{{"p", p}}, "chem", "time", 5e-3});
+    // A different metric must not leak into the fit.
+    samples.push_back({{{"p", p}}, "halo", "bytes", 1e6 * p});
+  }
+  // A region with a single scale is skipped, not fitted.
+  samples.push_back({{{"p", 8.0}}, "lonely", "time", 1.0});
+
+  const auto fits = fit_profiles(samples);
+  ASSERT_EQ(fits.size(), 2u);
+  const ScalingFit& halo = fits.at("halo");
+  EXPECT_DOUBLE_EQ(halo.c, 1.0);
+  EXPECT_EQ(halo.d, 0);
+  EXPECT_NEAR(halo.b, 1e-3, 1e-6);
+  EXPECT_GE(halo.r2, 0.95);
+  const ScalingFit& chem = fits.at("chem");
+  EXPECT_NEAR(chem.eval(256.0), 5e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace exa::trace

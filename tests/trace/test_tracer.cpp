@@ -1,0 +1,148 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/gpu_arch.hpp"
+#include "sim/device_sim.hpp"
+
+namespace exa::trace {
+namespace {
+
+/// The global tracer persists across tests; each test starts fresh.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().disable(); }
+  void TearDown() override { Tracer::instance().disable(); }
+};
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(16);
+  tracer.disable();
+  tracer.clear();
+  tracer.span_begin("work", "host");
+  tracer.complete("kernel", "dev/s0", 0.0, 1.0e-3);
+  tracer.instant("marker", "host");
+  tracer.counter("bytes", "host", 42.0);
+  tracer.span_end("work", "host");
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST_F(TracerTest, SpanNestingAndVirtualStamps) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(64);
+  {
+    ScopedSpan outer("outer", "host", "test", 1.0);
+    {
+      ScopedSpan inner("inner", "host", "test", 2.0);
+      inner.set_sim_end(3.0);
+    }
+    outer.set_sim_end(5.0);
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpanBegin);
+  EXPECT_EQ(events[0].label, "outer");
+  EXPECT_DOUBLE_EQ(events[0].sim_s, 1.0);
+  EXPECT_EQ(events[1].kind, EventKind::kSpanBegin);
+  EXPECT_EQ(events[1].label, "inner");
+  // Inner closes before outer (LIFO): B B E E.
+  EXPECT_EQ(events[2].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(events[2].label, "inner");
+  EXPECT_DOUBLE_EQ(events[2].sim_s, 3.0);
+  EXPECT_EQ(events[3].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(events[3].label, "outer");
+  EXPECT_DOUBLE_EQ(events[3].sim_s, 5.0);
+  // Wall stamps are monotone within the capture.
+  EXPECT_LE(events[0].wall_us, events[3].wall_us);
+}
+
+TEST_F(TracerTest, RingBufferKeepsNewestAndCountsDrops) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.instant("e" + std::to_string(i), "host");
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().label, "e2");  // oldest two dropped
+  EXPECT_EQ(events.back().label, "e5");
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST_F(TracerTest, CursorTrackBuildsTimeline) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(16);
+  tracer.complete_at_cursor("allreduce", "net", 2.0e-3, "net");
+  tracer.complete_at_cursor("bcast", "net", 1.0e-3, "net");
+  tracer.complete_at_cursor("other", "net2", 5.0e-3, "net");
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].sim_s, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_s, 2.0e-3);  // placed after the first span
+  EXPECT_DOUBLE_EQ(events[2].sim_s, 0.0);     // independent track cursor
+}
+
+TEST_F(TracerTest, DeviceSimLaunchEmitsKernelSpanInVirtualTime) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(1024);
+
+  sim::DeviceSim dev(arch::mi250x_gcd());
+  sim::KernelProfile profile;
+  profile.name = "flops_kernel";
+  profile.add_flops(arch::DType::kF64,
+                    dev.gpu().peak_flops(arch::DType::kF64) * 1e-3);
+  profile.compute_efficiency = 1.0;
+  const sim::StreamId stream = dev.create_stream();
+  dev.launch(stream, profile, sim::LaunchConfig{1u << 16, 256});
+  dev.synchronize(stream);
+
+  const auto events = tracer.snapshot();
+  const Event* kernel = nullptr;
+  for (const Event& event : events) {
+    if (event.category == "kernel" && event.label == "flops_kernel") {
+      kernel = &event;
+    }
+  }
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->kind, EventKind::kComplete);
+  // One track per simulated stream, grouped under the device's name.
+  EXPECT_EQ(kernel->track, dev.trace_name() + "/s" + std::to_string(stream));
+  EXPECT_FALSE(std::isnan(kernel->sim_s));
+  // The span ends when the stream becomes ready (virtual time).
+  EXPECT_NEAR(kernel->sim_s + kernel->value, dev.stream_ready(stream), 1e-12);
+  EXPECT_GT(kernel->value, 0.5e-3);
+}
+
+TEST_F(TracerTest, DeviceSimTransferAndAllocTracing) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(1024);
+
+  sim::DeviceSim dev(arch::mi250x_gcd());
+  dev.transfer_async(0, sim::TransferKind::kHostToDevice, 64.0 * 1024 * 1024);
+  void* ptr = dev.malloc_device(1024);
+  dev.free_device(ptr);
+
+  bool saw_transfer = false, saw_alloc = false, saw_counter = false;
+  for (const Event& event : tracer.snapshot()) {
+    if (event.category == "transfer" && event.kind == EventKind::kComplete) {
+      saw_transfer = true;
+      EXPECT_GT(event.value, 0.0);
+    }
+    if (event.category == "memory") saw_alloc = true;
+    if (event.kind == EventKind::kCounter &&
+        event.label == "bytes_allocated") {
+      saw_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_alloc);
+  EXPECT_TRUE(saw_counter);
+}
+
+}  // namespace
+}  // namespace exa::trace

@@ -1,0 +1,135 @@
+/// \file scaling_fit.cpp
+/// The model-generation half of the Extra-P two-step (SNIPPETS.md): load
+/// one or more JSONL profile files (appended across runs/node counts by
+/// `--profile-jsonl=`), fit t(p) = a + b * p^c * (log2 p)^d per region,
+/// and print the best model with its R².
+///
+///   scaling_fit [--param p] [--metric time] [--min-r2 X] [--predict P]
+///               profiles.jsonl [more.jsonl ...]
+///
+/// Exit status is nonzero when no region can be fitted or when --min-r2
+/// is given and some region's best model falls below it (the CI smoke
+/// gate for the capture -> fit pipeline).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "trace/profile.hpp"
+#include "trace/scaling_model.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--param <name>] [--metric <name>] [--min-r2 <x>] "
+               "[--predict <p>] <profiles.jsonl> [more.jsonl ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exa;
+
+  std::string param = "p";
+  std::string metric = "time";
+  double min_r2 = -1.0;
+  double predict_p = 0.0;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--param") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      param = v;
+    } else if (arg == "--metric") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      metric = v;
+    } else if (arg == "--min-r2") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      min_r2 = std::atof(v);
+    } else if (arg == "--predict") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      predict_p = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  std::vector<trace::ProfileSample> samples;
+  for (const std::string& file : files) {
+    try {
+      auto loaded = trace::load_jsonl(file);
+      std::printf("loaded %zu samples from %s\n", loaded.size(), file.c_str());
+      samples.insert(samples.end(), loaded.begin(), loaded.end());
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "error: %s\n", err.what());
+      return 1;
+    }
+  }
+
+  std::map<std::string, trace::ScalingFit> fits;
+  try {
+    fits = trace::fit_profiles(samples, param, metric);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
+  if (fits.empty()) {
+    std::fprintf(stderr,
+                 "error: no region has >= 2 distinct '%s' scales for metric "
+                 "'%s' (%zu samples loaded)\n",
+                 param.c_str(), metric.c_str(), samples.size());
+    return 1;
+  }
+
+  double p_max = 0.0;
+  for (const auto& sample : samples) {
+    const auto it = sample.params.find(param);
+    if (it != sample.params.end() && it->second > p_max) p_max = it->second;
+  }
+  const double p_pred = predict_p > 0.0 ? predict_p : 2.0 * p_max;
+
+  support::Table table("Fitted scaling models, t(" + param + ") = a + b * " +
+                       param + "^c * log2(" + param + ")^d");
+  table.set_header({"Region", "Scales", "Model", "R^2",
+                    "t(" + param + "=" + support::format_si(p_pred, 3) + ")"});
+  bool below_threshold = false;
+  for (const auto& [region, fit] : fits) {
+    if (min_r2 >= 0.0 && fit.r2 < min_r2) below_threshold = true;
+    char r2_buf[32];
+    std::snprintf(r2_buf, sizeof(r2_buf), "%.4f", fit.r2);
+    table.add_row({region, std::to_string(fit.points), fit.to_string(), r2_buf,
+                   support::format_time(fit.eval(p_pred), 3)});
+  }
+  table.add_note("models selected over the Extra-P-style exponent grid; "
+                 "repetitions at equal scale are averaged");
+  std::printf("%s\n", table.render().c_str());
+
+  if (below_threshold) {
+    std::fprintf(stderr, "error: a region's best model has R^2 < %g\n",
+                 min_r2);
+    return 1;
+  }
+  return 0;
+}
