@@ -65,25 +65,35 @@ double Dycore::flux_z(std::size_t i, std::size_t face_k) const {
 void Dycore::step_split() {
   const std::size_t nx = nx_, nz = nz_;
   pfw::WorkCost flux_cost{12.0, 32.0, 8.0, 40, 0.0};
-  pfw::parallel_for("dycore_flux_x", nx * nz,
-                    [this, nz](std::size_t idx) {
-                      fx_(idx / nz, idx % nz) = flux_x(idx / nz, idx % nz);
-                    },
-                    flux_cost);
-  pfw::parallel_for("dycore_flux_z", nx * (nz + 1),
-                    [this, nz](std::size_t idx) {
-                      fz_(idx / (nz + 1), idx % (nz + 1)) =
-                          flux_z(idx / (nz + 1), idx % (nz + 1));
-                    },
-                    flux_cost);
-  pfw::parallel_for(
+  // Chunked bodies: each cell writes only its own flux/tracer entry, so
+  // the per-chunk inner loops stay bitwise identical to per-index dispatch.
+  pfw::parallel_for_chunks(
+      "dycore_flux_x", nx * nz,
+      [this, nz](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          fx_(idx / nz, idx % nz) = flux_x(idx / nz, idx % nz);
+        }
+      },
+      flux_cost);
+  pfw::parallel_for_chunks(
+      "dycore_flux_z", nx * (nz + 1),
+      [this, nz](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          fz_(idx / (nz + 1), idx % (nz + 1)) =
+              flux_z(idx / (nz + 1), idx % (nz + 1));
+        }
+      },
+      flux_cost);
+  pfw::parallel_for_chunks(
       "dycore_update", nx * nz,
-      [this, nx, nz](std::size_t idx) {
-        const std::size_t i = idx / nz;
-        const std::size_t k = idx % nz;
-        const double div = (fx_((i + 1) % nx, k) - fx_(i, k)) +
-                           (fz_(i, k + 1) - fz_(i, k));
-        qnew_(i, k) = q_(i, k) - dt_ * div;
+      [this, nx, nz](std::size_t lo, std::size_t hi) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t i = idx / nz;
+          const std::size_t k = idx % nz;
+          const double div = (fx_((i + 1) % nx, k) - fx_(i, k)) +
+                             (fz_(i, k + 1) - fz_(i, k));
+          qnew_(i, k) = q_(i, k) - dt_ * div;
+        }
       },
       pfw::WorkCost{8.0, 48.0, 8.0, 32, 0.0});
   pfw::deep_copy(qnew_, q_);

@@ -8,6 +8,7 @@
 #include "net/comm_model.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::apps::exasky {
 
@@ -101,26 +102,34 @@ void short_range_cells(const std::vector<Particle>& parts, double cutoff,
 
 namespace {
 
-/// Position advance with periodic wrap.
+/// Position advance with periodic wrap. Per-particle writes are disjoint,
+/// so the parallel update is bitwise identical to the serial loop.
 void drift(std::vector<Particle>& parts, double dt) {
-  for (Particle& p : parts) {
-    auto wrap = [](double v) {
-      v -= std::floor(v);
-      return v;
-    };
-    p.x = wrap(p.x + dt * p.vx);
-    p.y = wrap(p.y + dt * p.vy);
-    p.z = wrap(p.z + dt * p.vz);
-  }
+  support::ThreadPool::global().for_each(
+      0, parts.size(),
+      [&](std::size_t i) {
+        Particle& p = parts[i];
+        auto wrap = [](double v) {
+          v -= std::floor(v);
+          return v;
+        };
+        p.x = wrap(p.x + dt * p.vx);
+        p.y = wrap(p.y + dt * p.vy);
+        p.z = wrap(p.z + dt * p.vz);
+      },
+      /*grain=*/1024);
 }
 
 void kick(std::vector<Particle>& parts,
           const std::vector<std::array<double, 3>>& force, double dt) {
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    parts[i].vx += dt * force[i][0] / parts[i].mass;
-    parts[i].vy += dt * force[i][1] / parts[i].mass;
-    parts[i].vz += dt * force[i][2] / parts[i].mass;
-  }
+  support::ThreadPool::global().for_each(
+      0, parts.size(),
+      [&](std::size_t i) {
+        parts[i].vx += dt * force[i][0] / parts[i].mass;
+        parts[i].vy += dt * force[i][1] / parts[i].mass;
+        parts[i].vz += dt * force[i][2] / parts[i].mass;
+      },
+      /*grain=*/1024);
 }
 
 }  // namespace
@@ -206,7 +215,8 @@ void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
     if (k >= half) k -= static_cast<long>(N);
     return two_pi * static_cast<double>(k);
   };
-  for (std::size_t x = 0; x < N; ++x) {
+  // Each x-plane scales independently (disjoint writes).
+  support::ThreadPool::global().for_each(0, N, [&](std::size_t x) {
     for (std::size_t y = 0; y < N; ++y) {
       for (std::size_t z = 0; z < N; ++z) {
         const double k2 = kof(x) * kof(x) + kof(y) * kof(y) + kof(z) * kof(z);
@@ -214,7 +224,7 @@ void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
         v = k2 > 0.0 ? v * (-1.0 / k2) : ml::zcomplex{};
       }
     }
-  }
+  });
   ml::fft3d(field, N, N, N, true);
 
   // Central-difference gradient of phi -> acceleration grid.
@@ -223,7 +233,7 @@ void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
   auto phi = [&](std::size_t x, std::size_t y, std::size_t z) {
     return field[((x % N) * N + (y % N)) * N + (z % N)].real();
   };
-  for (std::size_t x = 0; x < N; ++x) {
+  support::ThreadPool::global().for_each(0, N, [&](std::size_t x) {
     for (std::size_t y = 0; y < N; ++y) {
       for (std::size_t z = 0; z < N; ++z) {
         grad[(x * N + y) * N + z] = {
@@ -232,13 +242,17 @@ void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
             -(phi(x, y, z + 1) - phi(x, y, z + N - 1)) / (2.0 * h)};
       }
     }
-  }
+  });
 
   // CIC interpolation back to the particles (same kernel as deposit, so
   // the self-force cancels and momentum is conserved).
   force.assign(parts.size(), {0.0, 0.0, 0.0});
   const double g = static_cast<double>(N);
-  for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+  // Gather: each particle reads the shared gradient grid and writes only
+  // force[pi] (unlike the deposit scatter, which stays serial).
+  support::ThreadPool::global().for_each(
+      0, parts.size(),
+      [&](std::size_t pi) {
     const Particle& p = parts[pi];
     const double gx = p.x * g;
     const double gy = p.y * g;
@@ -262,7 +276,8 @@ void pm_long_range(const std::vector<Particle>& parts, std::size_t grid_n,
         }
       }
     }
-  }
+      },
+      /*grain=*/512);
 }
 
 // --- performance model ------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "net/comm_model.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::apps::gests {
 
@@ -19,25 +20,32 @@ void fft_axis_z(Brick& b, bool inverse) {
 }
 
 void fft_axis_y(Brick& b, bool inverse) {
-  std::vector<zcomplex> line(b.ny);
-  for (std::size_t x = 0; x < b.nx; ++x) {
-    for (std::size_t z = 0; z < b.nz; ++z) {
-      for (std::size_t y = 0; y < b.ny; ++y) line[y] = b.at(x, y, z);
-      ml::fft(line, inverse);
-      for (std::size_t y = 0; y < b.ny; ++y) b.at(x, y, z) = line[y];
-    }
-  }
+  // Each (x, z) pencil is independent; chunks carry their own line buffer.
+  support::ThreadPool::global().for_chunks(
+      0, b.nx * b.nz, [&](std::size_t lo, std::size_t hi) {
+        std::vector<zcomplex> line(b.ny);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t x = idx / b.nz;
+          const std::size_t z = idx % b.nz;
+          for (std::size_t y = 0; y < b.ny; ++y) line[y] = b.at(x, y, z);
+          ml::fft(line, inverse);
+          for (std::size_t y = 0; y < b.ny; ++y) b.at(x, y, z) = line[y];
+        }
+      });
 }
 
 void fft_axis_x(Brick& b, bool inverse) {
-  std::vector<zcomplex> line(b.nx);
-  for (std::size_t y = 0; y < b.ny; ++y) {
-    for (std::size_t z = 0; z < b.nz; ++z) {
-      for (std::size_t x = 0; x < b.nx; ++x) line[x] = b.at(x, y, z);
-      ml::fft(line, inverse);
-      for (std::size_t x = 0; x < b.nx; ++x) b.at(x, y, z) = line[x];
-    }
-  }
+  support::ThreadPool::global().for_chunks(
+      0, b.ny * b.nz, [&](std::size_t lo, std::size_t hi) {
+        std::vector<zcomplex> line(b.nx);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t y = idx / b.nz;
+          const std::size_t z = idx % b.nz;
+          for (std::size_t x = 0; x < b.nx; ++x) line[x] = b.at(x, y, z);
+          ml::fft(line, inverse);
+          for (std::size_t x = 0; x < b.nx; ++x) b.at(x, y, z) = line[x];
+        }
+      });
 }
 
 }  // namespace

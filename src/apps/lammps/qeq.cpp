@@ -5,6 +5,7 @@
 #include "mathlib/device_blas.hpp"
 #include "net/comm_model.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::apps::lammps {
 
@@ -63,13 +64,21 @@ QeqMatrix build_qeq_matrix(const System& sys, const NeighborList& neigh,
 
 void spmv(const QeqMatrix& a, std::span<const double> x, std::span<double> y) {
   EXA_REQUIRE(x.size() >= a.n && y.size() >= a.n);
-  for (std::size_t r = 0; r < a.n; ++r) {
-    double acc = 0.0;
-    for (std::size_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
-      acc += a.val[p] * x[a.col[p]];
-    }
-    y[r] = acc;
-  }
+  // Rows write disjoint y[r] with a row-local accumulator, so the parallel
+  // result is bitwise identical to the serial loop. The grain keeps the
+  // small CG systems of the unit tests on the inline path.
+  support::ThreadPool::global().for_chunks(
+      0, a.n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::size_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+            acc += a.val[p] * x[a.col[p]];
+          }
+          y[r] = acc;
+        }
+      },
+      /*grain=*/256);
 }
 
 namespace {

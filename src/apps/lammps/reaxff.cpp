@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::apps::lammps {
 
@@ -123,14 +125,34 @@ ForceResult torsion_dense(const System& sys,
   ForceResult r;
   r.force.assign(sys.size(), Vec3{});
   r.tuples_considered = tuples.size();
-  for (const TorsionTuple& t : tuples) {
+  // Two phases keep the result bitwise identical to the serial loop while
+  // the expensive trig runs in parallel: per-tuple terms land in a dense
+  // scratch array (disjoint writes), then a serial scatter accumulates
+  // forces and energy in tuple order.
+  struct TupleForce {
     Vec3 f1, f2, f3, f4;
-    r.energy += torsion_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k],
-                             sys.pos[t.l], params.k, f1, f2, f3, f4);
-    r.force[t.i] += f1;
-    r.force[t.j] += f2;
-    r.force[t.k] += f3;
-    r.force[t.l] += f4;
+    double energy = 0.0;
+  };
+  std::vector<TupleForce> terms(tuples.size());
+  support::ThreadPool::global().for_each(
+      0, tuples.size(),
+      [&](std::size_t ti) {
+        const TorsionTuple& t = tuples[ti];
+        TupleForce& out = terms[ti];
+        out.energy =
+            torsion_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k],
+                         sys.pos[t.l], params.k, out.f1, out.f2, out.f3,
+                         out.f4);
+      },
+      /*grain=*/64);
+  for (std::size_t ti = 0; ti < tuples.size(); ++ti) {
+    const TorsionTuple& t = tuples[ti];
+    const TupleForce& f = terms[ti];
+    r.energy += f.energy;
+    r.force[t.i] += f.f1;
+    r.force[t.j] += f.f2;
+    r.force[t.k] += f.f3;
+    r.force[t.l] += f.f4;
     ++r.tuples_evaluated;
   }
   return r;
@@ -216,13 +238,30 @@ ForceResult angle_dense(const System& sys,
   ForceResult r;
   r.force.assign(sys.size(), Vec3{});
   r.tuples_considered = tuples.size();
-  for (const AngleTuple& t : tuples) {
+  // Same two-phase shape as torsion_dense: parallel per-tuple terms,
+  // serial in-order scatter for bitwise-stable accumulation.
+  struct TupleForce {
     Vec3 fi, fj, fk;
-    r.energy += angle_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k], params.k,
-                           params.cos_theta0, fi, fj, fk);
-    r.force[t.i] += fi;
-    r.force[t.j] += fj;
-    r.force[t.k] += fk;
+    double energy = 0.0;
+  };
+  std::vector<TupleForce> terms(tuples.size());
+  support::ThreadPool::global().for_each(
+      0, tuples.size(),
+      [&](std::size_t ti) {
+        const AngleTuple& t = tuples[ti];
+        TupleForce& out = terms[ti];
+        out.energy = angle_term(sys.pos[t.i], sys.pos[t.j], sys.pos[t.k],
+                                params.k, params.cos_theta0, out.fi, out.fj,
+                                out.fk);
+      },
+      /*grain=*/64);
+  for (std::size_t ti = 0; ti < tuples.size(); ++ti) {
+    const AngleTuple& t = tuples[ti];
+    const TupleForce& f = terms[ti];
+    r.energy += f.energy;
+    r.force[t.i] += f.fi;
+    r.force[t.j] += f.fj;
+    r.force[t.k] += f.fk;
     ++r.tuples_evaluated;
   }
   return r;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::apps::shoc::kernels {
 
@@ -35,14 +36,21 @@ void exclusive_scan(std::span<const float> in, std::span<float> out) {
 void triad(std::span<const float> a, std::span<const float> b, float s,
            std::span<float> c) {
   EXA_REQUIRE(a.size() == b.size() && c.size() >= a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + s * b[i];
+  // Disjoint writes; chunked so the inner loop vectorizes.
+  support::ThreadPool::global().for_chunks(
+      0, a.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + s * b[i];
+      },
+      /*grain=*/4096);
 }
 
 void stencil2d(std::span<const float> in, std::span<float> out, std::size_t h,
                std::size_t w, float center, float cardinal, float diagonal) {
   EXA_REQUIRE(in.size() >= h * w && out.size() >= h * w);
   EXA_REQUIRE(h >= 1 && w >= 1);
-  for (std::size_t i = 0; i < h; ++i) {
+  // Rows are independent (out row i reads in rows i-1..i+1 only).
+  support::ThreadPool::global().for_each(0, h, [&](std::size_t i) {
     for (std::size_t j = 0; j < w; ++j) {
       if (i == 0 || j == 0 || i == h - 1 || j == w - 1) {
         out[i * w + j] = in[i * w + j];
@@ -57,7 +65,7 @@ void stencil2d(std::span<const float> in, std::span<float> out, std::size_t h,
           diagonal * (at(i - 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j - 1) +
                       at(i + 1, j + 1));
     }
-  }
+  });
 }
 
 void lj_forces(std::span<const Vec3> pos, std::span<Vec3> force, double cutoff,

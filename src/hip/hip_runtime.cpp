@@ -329,21 +329,59 @@ hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop) {
 
 // --- kernel launch ------------------------------------------------------------
 
-hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
-                              hipStream_t stream) {
+hipError_t hipLaunchTimedEXA(const sim::KernelProfile& profile,
+                             const sim::LaunchConfig& cfg,
+                             hipStream_t stream) {
   if (cfg.blocks == 0 || cfg.block_threads == 0) return hipErrorInvalidValue;
   ResolvedStream rs{};
   if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
   charge_api_call();
+  g_last_timing = rs.device->launch(rs.id, profile, cfg);
+  return hipSuccess;
+}
 
+hipError_t hipLaunchCachedEXA(const sim::KernelProfile& profile,
+                              const sim::LaunchConfig& cfg,
+                              sim::KernelTiming* timing, std::uint64_t* epoch,
+                              hipStream_t stream) {
+  if (timing == nullptr || epoch == nullptr) return hipErrorInvalidValue;
+  if (cfg.blocks == 0 || cfg.block_threads == 0) return hipErrorInvalidValue;
+  // Open-coded resolve(): the runtime singleton is looked up once, and the
+  // common default-stream case charges the veneer overhead to the device
+  // already in hand instead of re-resolving the current device.
+  Runtime& r = rt();
+  ResolvedStream rs{};
+  if (stream == nullptr) {
+    rs = {&r.current_device(), 0};
+    rs.device->host_advance(r.flavor_overhead());
+  } else {
+    if (stream->destroyed) return hipErrorInvalidResourceHandle;
+    rs = {&r.device(stream->device), stream->id};
+    // The veneer overhead is charged to the *current* device (the caller's
+    // thread), which may differ from the stream's device.
+    r.current_device().host_advance(r.flavor_overhead());
+  }
+  if (*epoch == rs.device->cost_epoch()) {
+    g_last_timing = rs.device->launch_prepared(rs.id, *timing, profile.name);
+  } else {
+    g_last_timing = rs.device->launch(rs.id, profile, cfg);
+    *timing = g_last_timing;
+    *epoch = rs.device->cost_epoch();
+  }
+  return hipSuccess;
+}
+
+hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
+                              hipStream_t stream) {
   // Virtual time.
-  g_last_timing = rs.device->launch(rs.id, kernel.profile, cfg);
+  const hipError_t err = hipLaunchTimedEXA(kernel.profile, cfg, stream);
+  if (err != hipSuccess) return err;
 
   // Functional execution (host threads).
   if (kernel.bulk_body) kernel.bulk_body();
   if (kernel.body) {
     const std::uint64_t total = cfg.total_threads();
-    support::ThreadPool::global().parallel_for_chunks(
+    support::ThreadPool::global().for_chunks(
         0, total, [&kernel, &cfg](std::size_t lo, std::size_t hi) {
           KernelContext ctx;
           ctx.block_dim = cfg.block_threads;

@@ -180,6 +180,24 @@ hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop);
 hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
                               hipStream_t stream = nullptr);
 
+/// Timing-only fast path: charges one simulated launch of `profile` with
+/// no functional work and no Kernel wrapper, so callers that keep a cached
+/// KernelProfile (pfw's per-label launch states) pay zero allocations per
+/// launch. hipLaunchKernelEXA layers on this.
+hipError_t hipLaunchTimedEXA(const sim::KernelProfile& profile,
+                             const sim::LaunchConfig& cfg,
+                             hipStream_t stream = nullptr);
+
+/// Timing-only launch with a caller-owned timing cache: when `*epoch`
+/// matches the device's cost_epoch() the cached `*timing` is replayed
+/// (bookkeeping only, no exec-model work); otherwise the cost is computed
+/// as in hipLaunchTimedEXA and written back to (*timing, *epoch). The
+/// caller must reset *epoch to 0 whenever it mutates `profile`.
+hipError_t hipLaunchCachedEXA(const sim::KernelProfile& profile,
+                              const sim::LaunchConfig& cfg,
+                              sim::KernelTiming* timing, std::uint64_t* epoch,
+                              hipStream_t stream = nullptr);
+
 /// Returns the timing of the most recent launch on the current device
 /// (diagnostic hook used by tests and benches).
 [[nodiscard]] const sim::KernelTiming& hipLastLaunchTiming();

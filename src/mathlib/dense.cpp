@@ -33,7 +33,7 @@ void gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
   // Parallelize over row blocks; each row block is owned by one task so
   // no two tasks write the same C element.
   const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
-  support::ThreadPool::global().parallel_for(
+  support::ThreadPool::global().for_each(
       0, row_blocks, [&](std::size_t rb) {
         const std::size_t i0 = rb * kBlock;
         const std::size_t i1 = std::min(m, i0 + kBlock);

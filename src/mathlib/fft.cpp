@@ -46,7 +46,7 @@ void fft(std::span<zcomplex> data, bool inverse) {
 void fft_batch(std::span<zcomplex> data, std::size_t n, std::size_t count,
                bool inverse) {
   EXA_REQUIRE(data.size() >= n * count);
-  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t line) {
+  support::ThreadPool::global().for_each(0, count, [&](std::size_t line) {
     fft(data.subspan(line * n, n), inverse);
   });
 }
@@ -59,33 +59,40 @@ void fft3d(std::span<zcomplex> data, std::size_t nx, std::size_t ny,
   // Along z (contiguous lines).
   fft_batch(data, nz, nx * ny, inverse);
 
-  // Along y (stride nz within each x-plane).
-  support::ThreadPool::global().parallel_for(0, nx * nz, [&](std::size_t idx) {
-    const std::size_t x = idx / nz;
-    const std::size_t z = idx % nz;
-    std::vector<zcomplex> line(ny);
-    for (std::size_t y = 0; y < ny; ++y) {
-      line[y] = data[(x * ny + y) * nz + z];
-    }
-    fft(line, inverse);
-    for (std::size_t y = 0; y < ny; ++y) {
-      data[(x * ny + y) * nz + z] = line[y];
-    }
-  });
+  // Along y (stride nz within each x-plane). Chunked so the gather/scatter
+  // line buffer is allocated once per chunk, not once per line.
+  support::ThreadPool::global().for_chunks(
+      0, nx * nz, [&](std::size_t lo, std::size_t hi) {
+        std::vector<zcomplex> line(ny);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t x = idx / nz;
+          const std::size_t z = idx % nz;
+          for (std::size_t y = 0; y < ny; ++y) {
+            line[y] = data[(x * ny + y) * nz + z];
+          }
+          fft(line, inverse);
+          for (std::size_t y = 0; y < ny; ++y) {
+            data[(x * ny + y) * nz + z] = line[y];
+          }
+        }
+      });
 
   // Along x (stride ny*nz).
-  support::ThreadPool::global().parallel_for(0, ny * nz, [&](std::size_t idx) {
-    const std::size_t y = idx / nz;
-    const std::size_t z = idx % nz;
-    std::vector<zcomplex> line(nx);
-    for (std::size_t x = 0; x < nx; ++x) {
-      line[x] = data[(x * ny + y) * nz + z];
-    }
-    fft(line, inverse);
-    for (std::size_t x = 0; x < nx; ++x) {
-      data[(x * ny + y) * nz + z] = line[x];
-    }
-  });
+  support::ThreadPool::global().for_chunks(
+      0, ny * nz, [&](std::size_t lo, std::size_t hi) {
+        std::vector<zcomplex> line(nx);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t y = idx / nz;
+          const std::size_t z = idx % nz;
+          for (std::size_t x = 0; x < nx; ++x) {
+            line[x] = data[(x * ny + y) * nz + z];
+          }
+          fft(line, inverse);
+          for (std::size_t x = 0; x < nx; ++x) {
+            data[(x * ny + y) * nz + z] = line[x];
+          }
+        }
+      });
 }
 
 double fft_flops(std::size_t n) {

@@ -245,7 +245,7 @@ int dgetrf_batched(std::span<double> a, std::size_t n, std::size_t count,
   EXA_REQUIRE(a.size() >= n * n * count);
   EXA_REQUIRE(pivots.size() >= n * count);
   std::atomic<int> info{0};
-  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t b) {
+  support::ThreadPool::global().for_each(0, count, [&](std::size_t b) {
     const int local = dgetrf(a.subspan(b * n * n, n * n), n,
                              pivots.subspan(b * n, n));
     if (local != 0) {
@@ -261,7 +261,7 @@ void dgetrs_batched(std::span<const double> lu, std::size_t n,
                     std::span<double> b, std::size_t nrhs) {
   EXA_REQUIRE(lu.size() >= n * n * count);
   EXA_REQUIRE(b.size() >= n * nrhs * count);
-  support::ThreadPool::global().parallel_for(0, count, [&](std::size_t i) {
+  support::ThreadPool::global().for_each(0, count, [&](std::size_t i) {
     dgetrs(lu.subspan(i * n * n, n * n), n, pivots.subspan(i * n, n),
            b.subspan(i * n * nrhs, n * nrhs), nrhs);
   });

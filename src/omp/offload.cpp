@@ -126,21 +126,20 @@ void target_teams_distribute(const std::string& name, std::size_t n,
                              const std::function<void(std::size_t)>& body,
                              const LoopCost& cost) {
   if (n == 0) return;
-  hip::Kernel k;
-  k.profile.name = name;
+  sim::KernelProfile profile;
+  profile.name = name;
   const double dn = static_cast<double>(n);
-  k.profile.add_flops(arch::DType::kF64, cost.flops * dn);
-  k.profile.bytes_read = 0.7 * cost.bytes * dn;
-  k.profile.bytes_written = 0.3 * cost.bytes * dn;
-  k.profile.registers_per_thread = cost.registers;
-  k.bulk_body = [n, &body] {
-    support::ThreadPool::global().parallel_for(0, n, body);
-  };
+  profile.add_flops(arch::DType::kF64, cost.flops * dn);
+  profile.bytes_read = 0.7 * cost.bytes * dn;
+  profile.bytes_written = 0.3 * cost.bytes * dn;
+  profile.registers_per_thread = cost.registers;
   sim::LaunchConfig cfg;
   cfg.block_threads = 256;
   cfg.blocks = std::max<std::uint64_t>(1, (n + 255) / 256);
-  const hip::hipError_t err = hip::hipLaunchKernelEXA(k, cfg);
+  const hip::hipError_t err = hip::hipLaunchTimedEXA(profile, cfg);
   EXA_REQUIRE(err == hip::hipSuccess);
+  support::ThreadPool::global().for_each(
+      0, n, [&body](std::size_t i) { body(i); });
 }
 
 }  // namespace exa::omp

@@ -8,13 +8,27 @@
 /// This is how the portability-framework mini-apps (E3SM §3.5, LAMMPS
 /// Kokkos backend §3.10) drive the performance model without writing raw
 /// hip::Kernel plumbing.
+///
+/// The dispatchers are header templates: the body inlines into the
+/// ThreadPool chunk loop (support::ThreadPool::for_each /for_chunks)
+/// instead of paying a std::function call per index, and each label keeps
+/// a cached, interned launch state (KernelProfile + LaunchConfig) that is
+/// only rebuilt when (n, cost) change — so a steady-state launch performs
+/// no heap allocation. The exec-model cost itself is memoized inside
+/// DeviceSim (see device_sim.hpp), completing the fast path.
+///
+/// parallel_reduce combines fixed-boundary chunk partials in chunk order:
+/// chunk boundaries depend only on n, never on the pool size, so sums are
+/// bitwise identical across runs and thread counts (no mutex, no atomics).
 
-#include <functional>
-#include <string>
+#include <cstddef>
+#include <string_view>
 
 #include "hip/hip_runtime.hpp"
 #include "pfw/view.hpp"
+#include "sim/exec_model.hpp"
 #include "sim/kernel_profile.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::pfw {
 
@@ -26,19 +40,162 @@ struct WorkCost {
   int registers = 48;
   /// Convergent-run length (0 = fully convergent); see KernelProfile.
   double coherent_run_length = 0.0;
+
+  friend bool operator==(const WorkCost&, const WorkCost&) = default;
 };
+
+namespace detail {
+
+/// Cached launch description for one dispatch label: a reusable
+/// KernelProfile (name interned once) plus the derived LaunchConfig,
+/// rebuilt only when the range length or cost estimate changes. Not
+/// thread-safe per state — pfw dispatch, like the device runtime it
+/// drives, is single-threaded per device.
+struct LaunchState {
+  sim::KernelProfile profile;
+  sim::LaunchConfig cfg;
+  std::size_t n = static_cast<std::size_t>(-1);
+  WorkCost cost;
+  bool reduce_shaped = false;
+  /// Timing computed by the last launch of this (unchanged) profile, valid
+  /// while cost_epoch matches the device's (0 = never computed; real
+  /// epochs start at 1). Steady-state launches replay it without touching
+  /// the exec model.
+  sim::KernelTiming timing;
+  std::uint64_t cost_epoch = 0;
+};
+
+/// Returns the process-wide launch state for `label` (creating it on first
+/// use). Reduce-shaped states add the per-block-partials traffic to the
+/// profile, so they are cached separately from plain for-states.
+[[nodiscard]] LaunchState& launch_state(std::string_view label,
+                                        bool reduce_shaped);
+
+/// Rebuilds the profile/config for (n, cost) when they differ from the
+/// cached values; no-op (and no allocation) on the steady state.
+void refresh(LaunchState& state, std::size_t n, const WorkCost& cost);
+
+/// Charges one simulated launch of the cached profile on the current
+/// device, replaying the cached timing when the device epoch still
+/// matches; aborts on launch failure.
+void launch(LaunchState& state);
+
+/// Marks the host-side dispatch window of a pfw launch on the "pfw" track
+/// (the kernel itself is traced by DeviceSim on its stream track). No-op
+/// unless tracing is enabled.
+class DispatchSpan {
+ public:
+  explicit DispatchSpan(const std::string& label);
+  ~DispatchSpan();
+
+  DispatchSpan(const DispatchSpan&) = delete;
+  DispatchSpan& operator=(const DispatchSpan&) = delete;
+
+ private:
+  const std::string* label_ = nullptr;
+  double sim_begin_ = 0.0;
+};
+
+/// Deterministic-reduction shape: at most kReduceSlots chunks with
+/// boundaries that are a function of n alone.
+inline constexpr std::size_t kReduceSlots = 256;
+
+[[nodiscard]] inline std::size_t reduce_grain(std::size_t n) {
+  return (n + kReduceSlots - 1) / kReduceSlots;
+}
+
+/// Sums chunk_body(lo, hi) partials over [0, n) split at fixed grain
+/// boundaries, combining them in ascending chunk order. Because both the
+/// boundaries and the combination order are independent of the pool size
+/// and of chunk execution order, the result is bitwise reproducible.
+template <typename ChunkBody>
+[[nodiscard]] double deterministic_reduce(support::ThreadPool& pool,
+                                          std::size_t n,
+                                          ChunkBody&& chunk_body) {
+  if (n == 0) return 0.0;
+  const std::size_t grain = reduce_grain(n);
+  double partial[kReduceSlots];
+  pool.for_chunks(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        // Chunks are grain-aligned, so lo/grain indexes this chunk's slot;
+        // every slot in [0, ceil(n/grain)) is written exactly once.
+        partial[lo / grain] = chunk_body(lo, hi);
+      },
+      grain);
+  const std::size_t slots = (n + grain - 1) / grain;
+  double total = 0.0;
+  for (std::size_t s = 0; s < slots; ++s) total += partial[s];
+  return total;
+}
+
+}  // namespace detail
 
 /// Executes body(i) for i in [0, n) on host threads and charges one
 /// simulated kernel launch named `label`.
-void parallel_for(const std::string& label, std::size_t n,
-                  const std::function<void(std::size_t)>& body,
-                  const WorkCost& cost = {});
+template <typename Body>
+void parallel_for(std::string_view label, std::size_t n, Body&& body,
+                  const WorkCost& cost = {}) {
+  if (n == 0) return;
+  detail::LaunchState& state = detail::launch_state(label, false);
+  detail::refresh(state, n, cost);
+  const detail::DispatchSpan span(state.profile.name);
+  detail::launch(state);
+  support::ThreadPool::global().for_each(0, n, body);
+}
+
+/// Chunked variant: body(chunk_begin, chunk_end) per pool slice, for
+/// bodies whose inner loop vectorizes or that carry per-chunk scratch.
+template <typename ChunkBody>
+void parallel_for_chunks(std::string_view label, std::size_t n,
+                         ChunkBody&& body, const WorkCost& cost = {}) {
+  if (n == 0) return;
+  detail::LaunchState& state = detail::launch_state(label, false);
+  detail::refresh(state, n, cost);
+  const detail::DispatchSpan span(state.profile.name);
+  detail::launch(state);
+  support::ThreadPool::global().for_chunks(0, n, body);
+}
 
 /// Sum-reduction: returns sum over i of body(i); charges a launch with a
-/// reduction-shaped profile.
-[[nodiscard]] double parallel_reduce(const std::string& label, std::size_t n,
-                                     const std::function<double(std::size_t)>& body,
-                                     const WorkCost& cost = {});
+/// reduction-shaped profile. Bitwise deterministic across runs and pool
+/// sizes (see detail::deterministic_reduce).
+template <typename Body>
+[[nodiscard]] double parallel_reduce(std::string_view label, std::size_t n,
+                                     Body&& body, const WorkCost& cost = {}) {
+  if (n == 0) return 0.0;
+  detail::LaunchState& state = detail::launch_state(label, true);
+  detail::refresh(state, n, cost);
+  const detail::DispatchSpan span(state.profile.name);
+  detail::launch(state);
+  return detail::deterministic_reduce(
+      support::ThreadPool::global(), n, [&body](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) partial += body(i);
+        return partial;
+      });
+}
+
+/// Reduction over chunks: chunk_body(chunk_begin, chunk_end) returns the
+/// chunk's partial sum, letting vectorizable inner loops run without a
+/// per-index call. Same deterministic combination as parallel_reduce.
+template <typename ChunkBody>
+[[nodiscard]] double parallel_reduce_chunks(std::string_view label,
+                                            std::size_t n, ChunkBody&& body,
+                                            const WorkCost& cost = {}) {
+  if (n == 0) return 0.0;
+  detail::LaunchState& state = detail::launch_state(label, true);
+  detail::refresh(state, n, cost);
+  const detail::DispatchSpan span(state.profile.name);
+  detail::launch(state);
+  return detail::deterministic_reduce(support::ThreadPool::global(), n, body);
+}
+
+/// Charges one simulated launch named `label` with no functional work —
+/// the pure launch fast path, used by benches measuring launch throughput
+/// and by timing-only call sites.
+void charge_launch(std::string_view label, std::size_t n,
+                   const WorkCost& cost = {});
 
 /// Device fence (hipDeviceSynchronize).
 void fence();
@@ -56,11 +213,11 @@ template <typename T>
                                          std::size_t n2 = 1,
                                          std::size_t n3 = 1) {
   auto& dev = hip::Runtime::instance().current_device();
-  // Charge the allocation through the device's memory manager and release
-  // it immediately: the view's own buffer is host-backed (shared_ptr),
-  // while capacity/latency accounting lives in the device model.
-  void* charge = dev.malloc_device(sizeof(T) * n0 * n1 * n2 * n3);
-  dev.free_device(charge);
+  // Charge the allocate+free pair through the device's memory manager in
+  // one accounting call: the view's own buffer is host-backed
+  // (shared_ptr), so only latency/capacity accounting lives in the device
+  // model — and pooled-mode usage tracking cannot transiently spike.
+  dev.charge_transient_alloc(sizeof(T) * n0 * n1 * n2 * n3);
   return View<T>(label, n0, n1, n2, n3, MemSpace::kDevice);
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <unordered_map>
 
 #include "support/assert.hpp"
 #include "support/units.hpp"
@@ -15,30 +17,173 @@ namespace {
 /// Distinct default trace names so concurrent DeviceSim instances (each
 /// starting its virtual clocks at 0) land on separate timeline groups.
 std::atomic<int> g_device_instances{0};
+/// Global cost-epoch counter: every draw is unique, so an epoch value
+/// pins both the device instance and its tuning version (no ABA when a
+/// device is destroyed and another is constructed at the same address).
+std::atomic<std::uint64_t> g_cost_epoch{0};
 }  // namespace
+
+/// Memoizes kernel_timing() on the cost-relevant *content* of a launch.
+/// The key copies every profile field the exec model reads (identity or
+/// version keys would be unsafe: callers mutate public KernelProfile fields
+/// between launches), so a hit is guaranteed to return the exact
+/// KernelTiming a fresh computation would produce.
+class ExecCostCache {
+ public:
+  [[nodiscard]] KernelTiming timing(const arch::GpuArch& gpu,
+                                    const KernelProfile& profile,
+                                    const LaunchConfig& cfg,
+                                    const ExecTuning& tuning) {
+    Key key;
+    if (!make_key(profile, cfg, tuning, &key)) {
+      // More flop components than the fixed-size key holds: compute
+      // directly (rare; app profiles mix at most a few dtypes).
+      return kernel_timing(gpu, profile, cfg, tuning);
+    }
+    // One-entry front cache: steady-state relaunches of the same kernel
+    // hit here with a flat field comparison, skipping the hash + find.
+    if (has_last_ && key == last_key_) {
+      ++hits_;
+      return last_timing_;
+    }
+    if (const auto it = map_.find(key); it != map_.end()) {
+      ++hits_;
+      last_key_ = key;
+      last_timing_ = it->second;
+      has_last_ = true;
+      return it->second;
+    }
+    ++misses_;
+    const KernelTiming computed = kernel_timing(gpu, profile, cfg, tuning);
+    if (map_.size() >= kMaxEntries) map_.clear();
+    map_.emplace(key, computed);
+    last_key_ = key;
+    last_timing_ = computed;
+    has_last_ = true;
+    return computed;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxWork = 4;
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  struct Key {
+    std::uint64_t blocks = 0;
+    std::uint32_t block_threads = 0;
+    std::uint32_t work_count = 0;
+    FlopWork work[kMaxWork];
+    double bytes_read = 0.0;
+    double bytes_written = 0.0;
+    int registers_per_thread = 0;
+    std::uint64_t lds_per_block_bytes = 0;
+    double coherent_run_length = 0.0;
+    double compute_efficiency = 0.0;
+    double memory_efficiency = 0.0;
+    double spill_traffic_multiplier = 0.0;
+    double spill_accesses = 0.0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // FNV-1a over the key fields (doubles by bit pattern).
+      std::uint64_t h = 14695981039346656037ull;
+      const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+      };
+      const auto mixd = [&mix](double d) {
+        mix(std::bit_cast<std::uint64_t>(d));
+      };
+      mix(k.blocks);
+      mix(k.block_threads);
+      mix(k.work_count);
+      for (std::uint32_t i = 0; i < k.work_count; ++i) {
+        mix(static_cast<std::uint64_t>(k.work[i].dtype));
+        mixd(k.work[i].flops);
+        mix((k.work[i].matrix_cores ? 2u : 0u) | (k.work[i].fma ? 1u : 0u));
+      }
+      mixd(k.bytes_read);
+      mixd(k.bytes_written);
+      mix(static_cast<std::uint64_t>(k.registers_per_thread));
+      mix(k.lds_per_block_bytes);
+      mixd(k.coherent_run_length);
+      mixd(k.compute_efficiency);
+      mixd(k.memory_efficiency);
+      mixd(k.spill_traffic_multiplier);
+      mixd(k.spill_accesses);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  static bool make_key(const KernelProfile& profile, const LaunchConfig& cfg,
+                       const ExecTuning& tuning, Key* out) {
+    if (profile.work.size() > kMaxWork) return false;
+    out->blocks = cfg.blocks;
+    out->block_threads = cfg.block_threads;
+    out->work_count = static_cast<std::uint32_t>(profile.work.size());
+    for (std::size_t i = 0; i < profile.work.size(); ++i) {
+      out->work[i] = profile.work[i];
+    }
+    out->bytes_read = profile.bytes_read;
+    out->bytes_written = profile.bytes_written;
+    out->registers_per_thread = profile.registers_per_thread;
+    out->lds_per_block_bytes = profile.lds_per_block_bytes;
+    out->coherent_run_length = profile.coherent_run_length;
+    out->compute_efficiency = profile.compute_efficiency;
+    out->memory_efficiency = profile.memory_efficiency;
+    out->spill_traffic_multiplier = tuning.spill_traffic_multiplier;
+    out->spill_accesses = tuning.spill_accesses;
+    return true;
+  }
+
+  std::unordered_map<Key, KernelTiming, KeyHash> map_;
+  Key last_key_;
+  KernelTiming last_timing_;
+  bool has_last_ = false;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 DeviceSim::DeviceSim(arch::GpuArch gpu)
     : trace_name_("dev" + std::to_string(g_device_instances++)),
-      gpu_(std::move(gpu)) {
+      gpu_(std::move(gpu)),
+      cost_cache_(std::make_unique<ExecCostCache>()) {
   streams_.emplace(0, 0.0);  // default stream
+  default_stream_ = &streams_.at(0);
+  cost_epoch_ = ++g_cost_epoch;
+}
+
+ExecTuning& DeviceSim::mutable_tuning() {
+  cost_epoch_ = ++g_cost_epoch;
+  return tuning_;
+}
+
+std::uint64_t DeviceSim::cost_memo_hits() const { return cost_cache_->hits(); }
+
+std::uint64_t DeviceSim::cost_memo_misses() const {
+  return cost_cache_->misses();
 }
 
 DeviceSim::~DeviceSim() {
   for (auto& [ptr, alloc] : allocations_) std::free(ptr);
 }
 
-void DeviceSim::host_advance(double seconds) {
-  EXA_REQUIRE(seconds >= 0.0);
-  host_clock_ += seconds;
-}
-
 SimTime& DeviceSim::stream_ref(StreamId stream) {
+  // Default-stream launches (the overwhelmingly common case) skip the
+  // hash lookup; the node pointer is stable across rehash and stream 0 is
+  // never erased.
+  if (stream == 0) return *default_stream_;
   const auto it = streams_.find(stream);
   EXA_REQUIRE_MSG(it != streams_.end(), "unknown stream id");
   return it->second;
 }
 
 const SimTime& DeviceSim::stream_ref(StreamId stream) const {
+  if (stream == 0) return *default_stream_;
   const auto it = streams_.find(stream);
   EXA_REQUIRE_MSG(it != streams_.end(), "unknown stream id");
   return it->second;
@@ -111,7 +256,16 @@ double DeviceSim::elapsed(EventId start, EventId stop) const {
 
 KernelTiming DeviceSim::launch(StreamId stream, const KernelProfile& profile,
                                const LaunchConfig& launch_cfg) {
-  const KernelTiming timing = kernel_timing(gpu_, profile, launch_cfg, tuning_);
+  const KernelTiming timing =
+      cost_memo_enabled_
+          ? cost_cache_->timing(gpu_, profile, launch_cfg, tuning_)
+          : kernel_timing(gpu_, profile, launch_cfg, tuning_);
+  return launch_prepared(stream, timing, profile.name);
+}
+
+const KernelTiming& DeviceSim::launch_prepared(StreamId stream,
+                                               const KernelTiming& timing,
+                                               const std::string& name) {
   host_clock_ += submit_overhead_s_;
   SimTime& ready = stream_ref(stream);
   // The kernel cannot start before the launch command reaches the device;
@@ -122,8 +276,8 @@ KernelTiming DeviceSim::launch(StreamId stream, const KernelProfile& profile,
   ++counters_.kernels_launched;
   counters_.kernel_busy_s += exec;
   if (auto& tracer = trace::Tracer::instance(); tracer.enabled()) {
-    tracer.complete(profile.name.empty() ? "<kernel>" : profile.name,
-                    stream_track(stream), start, exec, "kernel");
+    tracer.complete(name.empty() ? "<kernel>" : name, stream_track(stream),
+                    start, exec, "kernel");
   }
   return timing;
 }
@@ -261,6 +415,38 @@ void DeviceSim::trace_alloc(const char* what, std::uint64_t bytes) {
                  host_clock_, "memory");
   tracer.counter("bytes_allocated", track,
                  static_cast<double>(bytes_allocated_), host_clock_);
+}
+
+void DeviceSim::charge_transient_alloc(std::uint64_t bytes) {
+  EXA_REQUIRE(bytes > 0);
+  ++counters_.allocs;
+  ++counters_.frees;
+  if (alloc_mode_ == AllocMode::kPooled) {
+    EXA_ASSERT(pool_ != nullptr);
+    if (!pool_->can_allocate(bytes)) {
+      throw support::Error("device pool out of memory: requested " +
+                           support::format_bytes(bytes));
+    }
+    host_clock_ += 2.0 * pool_alloc_latency_s_;
+    trace_alloc("pool alloc", bytes);
+    trace_alloc("pool free", bytes);
+    return;
+  }
+
+  if (bytes_allocated_ + bytes > gpu_.hbm_capacity_bytes) {
+    throw support::Error("device out of memory: " +
+                         support::format_bytes(bytes_allocated_ + bytes) +
+                         " exceeds " +
+                         support::format_bytes(gpu_.hbm_capacity_bytes) +
+                         " on " + gpu_.name);
+  }
+  // Same virtual time as malloc_device + free_device in direct mode: one
+  // device synchronization (the second would be a no-op) plus both
+  // latencies.
+  synchronize_all();
+  host_clock_ += gpu_.alloc_latency_s + gpu_.free_latency_s;
+  trace_alloc("hipMalloc", bytes);
+  trace_alloc("hipFree", bytes);
 }
 
 void DeviceSim::free_device(void* ptr) {

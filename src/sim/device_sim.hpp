@@ -24,6 +24,7 @@
 #include "sim/exec_model.hpp"
 #include "sim/kernel_profile.hpp"
 #include "sim/pool_allocator.hpp"
+#include "support/assert.hpp"
 
 namespace exa::sim {
 
@@ -50,6 +51,8 @@ struct DeviceCounters {
   double kernel_busy_s = 0.0;  ///< summed kernel execution time
 };
 
+class ExecCostCache;
+
 class DeviceSim {
  public:
   explicit DeviceSim(arch::GpuArch gpu);
@@ -59,8 +62,18 @@ class DeviceSim {
   DeviceSim& operator=(const DeviceSim&) = delete;
 
   [[nodiscard]] const arch::GpuArch& gpu() const { return gpu_; }
-  [[nodiscard]] ExecTuning& tuning() { return tuning_; }
+  [[nodiscard]] const ExecTuning& tuning() const { return tuning_; }
+  /// Mutable tuning access bumps the cost epoch so externally cached
+  /// timings (pfw launch states) revalidate.
+  [[nodiscard]] ExecTuning& mutable_tuning();
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
+
+  /// Identifies (device instance, tuning version): drawn from a global
+  /// monotonic counter at construction and on every mutable_tuning() call,
+  /// so an equal epoch guarantees the same GpuArch and ExecTuning. A
+  /// caller that caches a KernelTiming for an unchanged profile may replay
+  /// it through launch_prepared() while its saved epoch matches.
+  [[nodiscard]] std::uint64_t cost_epoch() const { return cost_epoch_; }
 
   /// Name this device's trace tracks are grouped under (defaults to a
   /// unique "dev<N>"; hip::Runtime renames its devices "gpu<i>").
@@ -69,8 +82,12 @@ class DeviceSim {
 
   // --- virtual clocks --------------------------------------------------
   [[nodiscard]] SimTime host_now() const { return host_clock_; }
-  /// Charges host-side work (CPU compute between API calls).
-  void host_advance(double seconds);
+  /// Charges host-side work (CPU compute between API calls). Inline: this
+  /// is on the per-API-call fast path.
+  void host_advance(double seconds) {
+    EXA_REQUIRE(seconds >= 0.0);
+    host_clock_ += seconds;
+  }
   /// Host-side cost of submitting any async operation (default 1 us).
   void set_submit_overhead(double seconds) { submit_overhead_s_ = seconds; }
 
@@ -102,6 +119,25 @@ class DeviceSim {
   KernelTiming launch(StreamId stream, const KernelProfile& profile,
                       const LaunchConfig& launch_cfg);
 
+  /// Schedules a launch whose timing was already computed (by a prior
+  /// launch() under the same cost_epoch() and an unchanged profile):
+  /// clock/stream/counter/trace bookkeeping only, no exec-model work. This
+  /// is the steady-state half of the launch fast path.
+  const KernelTiming& launch_prepared(StreamId stream,
+                                      const KernelTiming& timing,
+                                      const std::string& name);
+
+  /// The exec-model cost of a launch is memoized on the cost-relevant
+  /// content of (profile, launch config, tuning) — the GpuArch is fixed per
+  /// DeviceSim — so the thousands of identical repeated launches in the
+  /// latency benches skip the analytic model entirely. Memoized timings are
+  /// bitwise identical to recomputed ones; the toggle exists for tests and
+  /// for the dispatch_overhead bench's pre-memoization baseline.
+  void set_cost_memo(bool enabled) { cost_memo_enabled_ = enabled; }
+  [[nodiscard]] bool cost_memo_enabled() const { return cost_memo_enabled_; }
+  [[nodiscard]] std::uint64_t cost_memo_hits() const;
+  [[nodiscard]] std::uint64_t cost_memo_misses() const;
+
   // --- transfers -----------------------------------------------------------
   /// Asynchronous copy on `stream`; returns completion time.
   SimTime transfer_async(StreamId stream, TransferKind kind, double bytes);
@@ -119,6 +155,13 @@ class DeviceSim {
   /// Direct mode synchronizes the device first, as cudaMalloc/hipMalloc do.
   [[nodiscard]] void* malloc_device(std::uint64_t bytes);
   void free_device(void* ptr);
+  /// Charges the latency and capacity checks of an allocate-then-free pair
+  /// in one call, without materializing the allocation: the virtual-time
+  /// cost is identical to malloc_device + free_device, but pooled-mode
+  /// capacity tracking (bytes_in_use / high_water) cannot transiently
+  /// spike. Used by views whose buffers are host-backed and only the
+  /// device-side *accounting* matters (pfw::create_device_view).
+  void charge_transient_alloc(std::uint64_t bytes);
   [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
   [[nodiscard]] const PoolAllocator* pool() const { return pool_.get(); }
 
@@ -144,10 +187,17 @@ class DeviceSim {
   ExecTuning tuning_;
   DeviceCounters counters_;
 
+  bool cost_memo_enabled_ = true;
+  std::unique_ptr<ExecCostCache> cost_cache_;
+  std::uint64_t cost_epoch_ = 0;
+
   SimTime host_clock_ = 0.0;
   double submit_overhead_s_ = 1.0e-6;
 
   std::unordered_map<StreamId, SimTime> streams_;
+  /// Node pointer for stream 0 (stable across rehash): the launch hot path
+  /// skips the hash lookup for default-stream work.
+  SimTime* default_stream_ = nullptr;
   StreamId next_stream_ = 1;
   std::vector<SimTime> events_;
 

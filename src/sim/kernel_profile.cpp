@@ -1,8 +1,25 @@
 #include "sim/kernel_profile.hpp"
 
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 namespace exa::sim {
+
+const std::string& interned_label(std::string_view label) {
+  // Keyed by string_view into the interned string itself (unique_ptr keeps
+  // the address stable across rehashes).
+  static std::mutex mutex;
+  static std::unordered_map<std::string_view, std::unique_ptr<std::string>>
+      table;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (const auto it = table.find(label); it != table.end()) return *it->second;
+  auto owned = std::make_unique<std::string>(label);
+  const std::string* stable = owned.get();
+  table.emplace(std::string_view(*stable), std::move(owned));
+  return *stable;
+}
 
 double KernelProfile::arithmetic_intensity() const {
   const double bytes = total_bytes();

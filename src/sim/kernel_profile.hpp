@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "arch/dtype.hpp"
@@ -26,6 +27,8 @@ struct FlopWork {
   /// False for op mixes that cannot use fused multiply-add (min-plus
   /// relaxations, compares); throughput drops to arch.non_fma_fraction.
   bool fma = true;
+
+  friend bool operator==(const FlopWork&, const FlopWork&) = default;
 };
 
 /// Grid/block shape of a launch (flattened to 1-D; the model only needs
@@ -37,7 +40,16 @@ struct LaunchConfig {
   [[nodiscard]] std::uint64_t total_threads() const {
     return blocks * block_threads;
   }
+
+  friend bool operator==(const LaunchConfig&, const LaunchConfig&) = default;
 };
+
+/// Process-wide kernel-label interning: returns a stable std::string equal
+/// to `label`; repeated calls with the same text return the same object, so
+/// hot launch paths can keep a long-lived reference (or key caches by
+/// address) instead of copying the name into every KernelProfile.
+/// Thread-safe; interned labels live until process exit.
+[[nodiscard]] const std::string& interned_label(std::string_view label);
 
 /// Cost descriptor for one kernel launch.
 struct KernelProfile {

@@ -27,6 +27,13 @@ class PoolAllocator {
   /// free neighbors.
   void deallocate(std::uint64_t offset);
 
+  /// True when an allocate(bytes) call would succeed right now (a
+  /// sufficiently large contiguous free block exists). Lets callers charge
+  /// a transient allocate+free without mutating the free list.
+  [[nodiscard]] bool can_allocate(std::uint64_t bytes) const {
+    return bytes > 0 && align_up(bytes) <= largest_free_block();
+  }
+
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t bytes_in_use() const { return in_use_; }
   [[nodiscard]] std::uint64_t high_water() const { return high_water_; }

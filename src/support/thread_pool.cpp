@@ -4,24 +4,54 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 
 #include "support/assert.hpp"
+#include "support/log.hpp"
 
 namespace exa::support {
 
+namespace {
+
+/// Dispatch nesting depth of the current thread (any pool). A body that
+/// dispatches again while its own dispatch is in flight would deadlock the
+/// submit path, so nested dispatches run inline instead.
+thread_local int t_dispatch_depth = 0;
+
+/// Global pool size from EXA_THREADS (positive integer), or 0 to use
+/// hardware concurrency. Malformed values are ignored with a warning.
+std::size_t global_threads_from_env() {
+  const char* env = std::getenv("EXA_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 1) {
+    log_warn("EXA_THREADS=", env, " is not a positive integer; ignoring");
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 /// Shared state between the submitting thread and the workers. Work is
-/// described as a half-open index range plus a chunk function; workers grab
-/// chunks with an atomic cursor. One "generation" per parallel_for call.
+/// described as a half-open index range plus a raw chunk trampoline;
+/// workers grab grain-aligned chunks with an atomic cursor. One
+/// "generation" per dispatch; concurrent submitters queue on submit_mutex.
 struct ThreadPool::Impl {
+  /// Serializes whole dispatches from different threads (the job slots
+  /// below hold exactly one job).
+  std::mutex submit_mutex;
+
   std::mutex mutex;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
 
   // Current job (guarded by mutex except the cursor).
-  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-  std::size_t begin = 0;
+  ChunkFn fn = nullptr;
+  void* ctx = nullptr;
   std::size_t end = 0;
   std::size_t chunk = 1;
   std::atomic<std::size_t> cursor{0};
@@ -33,18 +63,20 @@ struct ThreadPool::Impl {
   void worker_loop() {
     std::uint64_t seen_generation = 0;
     for (;;) {
-      const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+      ChunkFn job = nullptr;
+      void* job_ctx = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         cv_work.wait(lock, [&] {
-          return shutdown || (body != nullptr && generation != seen_generation);
+          return shutdown || (fn != nullptr && generation != seen_generation);
         });
         if (shutdown) return;
         seen_generation = generation;
-        job = body;
+        job = fn;
+        job_ctx = ctx;
         ++active;
       }
-      run_chunks(*job);
+      run_chunks(job, job_ctx);
       {
         const std::lock_guard<std::mutex> lock(mutex);
         --active;
@@ -53,18 +85,20 @@ struct ThreadPool::Impl {
     }
   }
 
-  void run_chunks(const std::function<void(std::size_t, std::size_t)>& job) {
+  void run_chunks(ChunkFn job, void* job_ctx) {
+    ++t_dispatch_depth;
     for (;;) {
       const std::size_t lo = cursor.fetch_add(chunk);
       if (lo >= end) break;
       const std::size_t hi = std::min(end, lo + chunk);
       try {
-        job(lo, hi);
+        job(job_ctx, lo, hi);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }
+    --t_dispatch_depth;
   }
 };
 
@@ -87,28 +121,36 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::parallel_for_chunks(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::run_chunked(ChunkFn fn, void* ctx, std::size_t begin,
+                             std::size_t end, std::size_t grain) {
   EXA_REQUIRE(begin <= end);
   if (begin == end) return;
   const std::size_t n = end - begin;
-  // Small ranges: run inline, the dispatch overhead dominates.
-  if (n <= 1 || workers_.empty()) {
-    body(begin, end);
+  if (grain == 0) {
+    // Aim for ~4 chunks per worker for load balance.
+    grain = std::max<std::size_t>(1, n / (workers_.size() * 4 + 1));
+  }
+  // Inline when the range is a single chunk (dispatch overhead dominates),
+  // the pool has at most one worker (cv wakeups and context switches buy
+  // nothing), or we are already inside a dispatch on this thread (nested
+  // dispatch would deadlock the submit path). Chunk boundaries stay
+  // grain-aligned so fixed-slot reductions see identical chunks on every
+  // path; a chunk that throws aborts the remaining inline chunks.
+  if (n <= grain || workers_.size() <= 1 || t_dispatch_depth > 0) {
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(ctx, lo, std::min(end, lo + grain));
+    }
     return;
   }
-  // Aim for ~4 chunks per worker for load balance.
-  const std::size_t target_chunks = workers_.size() * 4;
-  const std::size_t chunk = std::max<std::size_t>(1, n / target_chunks);
 
+  const std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->body = &body;
-    impl_->begin = begin;
+    impl_->fn = fn;
+    impl_->ctx = ctx;
     impl_->end = end;
-    impl_->chunk = chunk;
+    impl_->chunk = grain;
     impl_->cursor.store(begin);
     impl_->first_error = nullptr;
     ++impl_->generation;
@@ -116,10 +158,10 @@ void ThreadPool::parallel_for_chunks(
     // The submitting thread helps so small pools still make progress even
     // if workers are briefly busy waking up.
     lock.unlock();
-    impl_->run_chunks(body);
+    impl_->run_chunks(fn, ctx);
     lock.lock();
     impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
-    impl_->body = nullptr;
+    impl_->fn = nullptr;
     error = impl_->first_error;
   }
   if (error) std::rethrow_exception(error);
@@ -127,13 +169,18 @@ void ThreadPool::parallel_for_chunks(
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
-  parallel_for_chunks(begin, end, [&body](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  });
+  for_each(begin, end, [&body](std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  for_chunks(begin, end,
+             [&body](std::size_t lo, std::size_t hi) { body(lo, hi); });
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(0);
+  static ThreadPool pool(global_threads_from_env());
   return pool;
 }
 

@@ -1,22 +1,44 @@
 #pragma once
 /// \file thread_pool.hpp
-/// Fixed-size thread pool with a blocking parallel_for.
+/// Fixed-size thread pool with allocation-free chunked dispatch.
 ///
 /// The simulated-GPU runtime executes kernels *functionally* on the host:
 /// the grid of work-items is partitioned across this pool. Virtual device
 /// time is charged separately by the performance model (see sim/), so the
-/// pool only needs to be correct and reasonably fast, not clever.
+/// pool only needs to be correct and fast.
+///
+/// The hot path is the `for_chunks` / `for_each` templates: the functor is
+/// lowered to a raw `void(*)(void*, lo, hi)` trampoline plus a context
+/// pointer, so a dispatch performs no heap allocation and the body inlines
+/// into the chunk loop instead of paying a type-erased call per index. The
+/// legacy `std::function` overloads remain as thin wrappers.
+///
+/// Chunk boundaries are deterministic: chunk k covers
+/// [begin + k*grain, begin + (k+1)*grain) regardless of which worker runs
+/// it or how many workers exist. Reductions that combine per-chunk partials
+/// in chunk order are therefore bitwise reproducible across pool sizes
+/// (pfw::parallel_reduce relies on this).
+///
+/// Dispatching from inside a dispatch (a body that itself calls into the
+/// pool) runs the inner range inline on the calling thread instead of
+/// deadlocking; concurrent top-level dispatches from different threads are
+/// serialized on a submit mutex.
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace exa::support {
 
 class ThreadPool {
  public:
+  /// Signature of the lowered chunk trampoline: fn(ctx, chunk_begin,
+  /// chunk_end).
+  using ChunkFn = void (*)(void*, std::size_t, std::size_t);
+
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -26,22 +48,62 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
-  /// across the pool; blocks until every index has been processed.
-  /// Exceptions thrown by `body` are captured and the first one rethrown.
+  /// Runs body(chunk_begin, chunk_end) over [begin, end) split into
+  /// contiguous chunks of `grain` indices (the last chunk may be ragged);
+  /// grain 0 selects ~4 chunks per worker. Blocks until the whole range has
+  /// been processed; the first exception thrown by `body` is rethrown.
+  /// Single-chunk ranges, pools of at most one worker, and nested
+  /// dispatches run the chunks inline on the calling thread (same
+  /// grain-aligned boundaries; a throwing chunk aborts the chunks after
+  /// it on the inline path only).
+  template <typename F>
+  void for_chunks(std::size_t begin, std::size_t end, F&& body,
+                  std::size_t grain = 0) {
+    using Body = std::remove_reference_t<F>;
+    run_chunked(
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          (*static_cast<Body*>(ctx))(lo, hi);
+        },
+        const_cast<std::remove_const_t<Body>*>(std::addressof(body)), begin,
+        end, grain);
+  }
+
+  /// Runs body(i) for every i in [begin, end); the per-index call inlines
+  /// into the chunk loop (no std::function indirection).
+  template <typename F>
+  void for_each(std::size_t begin, std::size_t end, F&& body,
+                std::size_t grain = 0) {
+    using Body = std::remove_reference_t<F>;
+    run_chunked(
+        [](void* ctx, std::size_t lo, std::size_t hi) {
+          Body& b = *static_cast<Body*>(ctx);
+          for (std::size_t i = lo; i < hi; ++i) b(i);
+        },
+        const_cast<std::remove_const_t<Body>*>(std::addressof(body)), begin,
+        end, grain);
+  }
+
+  /// Legacy type-erased variant of for_each (thin wrapper; pays one
+  /// std::function call per index).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
-  /// Chunked variant: body(chunk_begin, chunk_end) per worker slice. Lower
-  /// call overhead for fine-grained work-items.
+  /// Legacy type-erased variant of for_chunks.
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  /// Process-wide shared pool, lazily constructed. Size comes from the
+  /// EXA_THREADS environment variable when set to a positive integer
+  /// (mirrors EXA_LOG_LEVEL), otherwise hardware concurrency.
   static ThreadPool& global();
 
  private:
+  /// Non-template dispatch core: partitions [begin, end) into grain-sized
+  /// chunks claimed by an atomic cursor and executed as fn(ctx, lo, hi).
+  void run_chunked(ChunkFn fn, void* ctx, std::size_t begin, std::size_t end,
+                   std::size_t grain);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
   std::vector<std::thread> workers_;

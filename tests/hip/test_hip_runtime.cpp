@@ -112,6 +112,43 @@ TEST_F(HipRuntimeTest, KernelContextCoordinates) {
   }
 }
 
+TEST_F(HipRuntimeTest, LaunchCachedReplaysAndRecomputes) {
+  sim::KernelProfile profile;
+  profile.name = "cached";
+  profile.add_flops(arch::DType::kF64, 1.0e9);
+  profile.bytes_read = 1.0e6;
+  sim::LaunchConfig cfg{1u << 10, 256};
+  sim::KernelTiming timing{};
+  std::uint64_t epoch = 0;
+  EXPECT_EQ(hipLaunchCachedEXA(profile, cfg, nullptr, &epoch),
+            hipErrorInvalidValue);
+  EXPECT_EQ(hipLaunchCachedEXA(profile, cfg, &timing, nullptr),
+            hipErrorInvalidValue);
+
+  ASSERT_EQ(hipLaunchCachedEXA(profile, cfg, &timing, &epoch), hipSuccess);
+  EXPECT_NE(epoch, 0u);  // epoch written back on the compute path
+  EXPECT_GT(timing.total_s, 0.0);
+  const double computed = timing.total_s;
+
+  // Unchanged profile + same device epoch: the cached timing replays.
+  ASSERT_EQ(hipLaunchCachedEXA(profile, cfg, &timing, &epoch), hipSuccess);
+  EXPECT_EQ(timing.total_s, computed);
+  EXPECT_EQ(hipLastLaunchTiming().total_s, computed);
+
+  // The caller mutated the profile and reset the epoch: recompute.
+  profile.add_flops(arch::DType::kF64, 9.0e9);
+  epoch = 0;
+  ASSERT_EQ(hipLaunchCachedEXA(profile, cfg, &timing, &epoch), hipSuccess);
+  EXPECT_GT(timing.total_s, computed);
+
+  // A tuning change bumps the device epoch, invalidating the cache even
+  // though the caller's epoch is nonzero.
+  const std::uint64_t stale = epoch;
+  Runtime::instance().current_device().mutable_tuning();
+  ASSERT_EQ(hipLaunchCachedEXA(profile, cfg, &timing, &epoch), hipSuccess);
+  EXPECT_NE(epoch, stale);
+}
+
 TEST_F(HipRuntimeTest, InvalidLaunchRejected) {
   Kernel k;
   EXPECT_EQ(hipLaunchKernelEXA(k, sim::LaunchConfig{0, 256}),

@@ -1,3 +1,5 @@
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "pfw/parallel.hpp"
@@ -107,6 +109,52 @@ TEST_F(PfwTest, ParallelReduceSum) {
   EXPECT_DOUBLE_EQ(sum, 499500.0);
   EXPECT_DOUBLE_EQ(parallel_reduce("empty", 0, [](std::size_t) { return 1.0; }),
                    0.0);
+}
+
+/// True when a and b have identical bit patterns (stricter than ==).
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// A summand whose partial sums are order-sensitive in floating point, so
+/// any change in combination order shows up as a bit difference.
+double wiggly(std::size_t i) {
+  return 1.0 / (1.0 + static_cast<double>(i) * 0.730563);
+}
+
+TEST_F(PfwTest, ReduceDeterministicAcrossPoolSizes) {
+  // Chunk boundaries and combination order depend only on n, so the sum is
+  // bitwise identical no matter how many workers execute the chunks.
+  const auto chunk_sum = [](std::size_t lo, std::size_t hi) {
+    double partial = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) partial += wiggly(i);
+    return partial;
+  };
+  constexpr std::size_t kN = 100003;  // ragged last chunk
+  support::ThreadPool one(1), four(4), sixteen(16);
+  const double r1 = detail::deterministic_reduce(one, kN, chunk_sum);
+  const double r4 = detail::deterministic_reduce(four, kN, chunk_sum);
+  const double r16 = detail::deterministic_reduce(sixteen, kN, chunk_sum);
+  EXPECT_TRUE(bitwise_equal(r1, r4));
+  EXPECT_TRUE(bitwise_equal(r1, r16));
+}
+
+TEST_F(PfwTest, ParallelReduceRepeatsBitwiseIdentical) {
+  const auto run = [] { return parallel_reduce("repeat", 54321, wiggly); };
+  const double first = run();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bitwise_equal(run(), first)) << i;
+}
+
+TEST_F(PfwTest, ReduceChunksMatchesPerIndexBitwise) {
+  constexpr std::size_t kN = 77777;
+  const double per_index = parallel_reduce("per_index", kN, wiggly);
+  const double chunked = parallel_reduce_chunks(
+      "chunked", kN, [](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) partial += wiggly(i);
+        return partial;
+      });
+  EXPECT_TRUE(bitwise_equal(per_index, chunked));
 }
 
 TEST_F(PfwTest, ReduceOverView) {

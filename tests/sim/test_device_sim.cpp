@@ -178,5 +178,62 @@ TEST(DeviceSim, CountersTrackKernels) {
   EXPECT_NEAR(dev.counters().kernel_busy_s, 2e-3, 0.4e-3);
 }
 
+TEST(DeviceSim, CostMemoMatchesDirectComputation) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.set_cost_memo(false);
+  const KernelTiming direct = dev.launch(0, ms_kernel(), grid());
+  dev.set_cost_memo(true);
+  const KernelTiming miss = dev.launch(0, ms_kernel(), grid());
+  const KernelTiming hit = dev.launch(0, ms_kernel(), grid());
+  for (const KernelTiming& t : {miss, hit}) {
+    EXPECT_EQ(t.launch_s, direct.launch_s);
+    EXPECT_EQ(t.compute_s, direct.compute_s);
+    EXPECT_EQ(t.memory_s, direct.memory_s);
+    EXPECT_EQ(t.total_s, direct.total_s);
+  }
+  EXPECT_EQ(dev.cost_memo_misses(), 1u);
+  EXPECT_EQ(dev.cost_memo_hits(), 1u);
+}
+
+TEST(DeviceSim, MutableTuningBumpsCostEpoch) {
+  DeviceSim dev(arch::mi250x_gcd());
+  const std::uint64_t before = dev.cost_epoch();
+  EXPECT_NE(before, 0u);  // real epochs start at 1; 0 means "never valid"
+  dev.mutable_tuning();
+  EXPECT_NE(dev.cost_epoch(), before);
+  // Epochs are unique per device instance, so a cached timing from one
+  // device can never replay on another.
+  const DeviceSim other(arch::mi250x_gcd());
+  EXPECT_NE(other.cost_epoch(), dev.cost_epoch());
+}
+
+TEST(DeviceSim, TransientAllocPooledCannotSpikeUsage) {
+  DeviceSim dev(arch::mi250x_gcd());
+  dev.set_alloc_mode(AllocMode::kPooled, 1ull << 20);  // 1 MiB pool
+  void* live = dev.malloc_device(600u << 10);          // 600 KiB held
+  const std::uint64_t high_water = dev.pool()->high_water();
+  const std::uint64_t in_use = dev.pool()->bytes_in_use();
+  const SimTime t0 = dev.host_now();
+  const auto allocs = dev.counters().allocs;
+  const auto frees = dev.counters().frees;
+  // 300 KiB transient view: materializing the allocation would spike pool
+  // usage to 900 KiB; the single accounting call must not.
+  dev.charge_transient_alloc(300u << 10);
+  EXPECT_EQ(dev.pool()->high_water(), high_water);
+  EXPECT_EQ(dev.pool()->bytes_in_use(), in_use);
+  EXPECT_GT(dev.host_now(), t0);  // alloc + free latency still charged
+  EXPECT_EQ(dev.counters().allocs, allocs + 1);
+  EXPECT_EQ(dev.counters().frees, frees + 1);
+  // More than the remaining contiguous space is still rejected.
+  EXPECT_THROW(dev.charge_transient_alloc(600u << 10), support::Error);
+  dev.free_device(live);
+}
+
+TEST(DeviceSim, TransientAllocDirectOutOfMemoryThrows) {
+  DeviceSim dev(arch::mi250x_gcd());
+  EXPECT_THROW(dev.charge_transient_alloc(dev.gpu().hbm_capacity_bytes + 1),
+               support::Error);
+}
+
 }  // namespace
 }  // namespace exa::sim

@@ -1,8 +1,12 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +85,123 @@ TEST(ThreadPool, SingleElementRunsInline) {
   int calls = 0;
   pool.parallel_for(0, 1, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ForEachTemplateCoversRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each(0, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunkBoundariesAreGrainAlignedAcrossPoolSizes) {
+  // Chunk k must cover [begin + k*grain, begin + (k+1)*grain) regardless
+  // of the pool size — deterministic reductions depend on it.
+  const auto boundaries_of = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.for_chunks(
+        10, 1007,
+        [&](std::size_t lo, std::size_t hi) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          chunks.emplace_back(lo, hi);
+        },
+        64);
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto one = boundaries_of(1);
+  const auto four = boundaries_of(4);
+  EXPECT_EQ(one, four);
+  ASSERT_EQ(one.size(), (1007u - 10u + 63u) / 64u);
+  for (std::size_t k = 0; k < one.size(); ++k) {
+    EXPECT_EQ(one[k].first, 10u + k * 64u);
+    EXPECT_EQ(one[k].second, std::min<std::size_t>(1007, 10 + (k + 1) * 64));
+  }
+}
+
+TEST(ThreadPool, ZeroLengthTemplateDispatchIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.for_each(7, 7, [&](std::size_t) { ++calls; });
+  pool.for_chunks(7, 7, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, GrainCoveringRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  std::thread::id ran_on;
+  pool.for_chunks(
+      0, 100,
+      [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        ran_on = std::this_thread::get_id();
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 100u);
+      },
+      100);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, NestedDispatchRunsInline) {
+  // A body that dispatches on the same pool must not deadlock: the inner
+  // range runs inline on whichever thread the outer chunk landed on.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.for_chunks(
+      0, 4,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t outer = lo; outer < hi; ++outer) {
+          const std::thread::id outer_thread = std::this_thread::get_id();
+          pool.for_each(0, 50, [&](std::size_t) {
+            ++inner_total;
+            EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+          });
+        }
+      },
+      1);
+  EXPECT_EQ(inner_total.load(), 4 * 50);
+}
+
+TEST(ThreadPool, ExceptionsFromMultipleChunksSurfaceOne) {
+  // Every chunk throws; exactly one exception must surface and the pool
+  // must stay usable.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_chunks(
+                   0, 1024,
+                   [](std::size_t lo, std::size_t) {
+                     throw std::runtime_error("chunk " + std::to_string(lo));
+                   },
+                   64),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.for_each(0, 256, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPool, ConcurrentGlobalDispatches) {
+  // Two threads driving the shared global pool at once: dispatches are
+  // serialized internally and each caller sees exactly its own work.
+  constexpr std::size_t kN = 4096;
+  const auto worker = [](std::vector<int>& out, int value) {
+    for (int round = 0; round < 10; ++round) {
+      ThreadPool::global().for_each(0, kN,
+                                    [&](std::size_t i) { out[i] += value; });
+    }
+  };
+  std::vector<int> a(kN, 0), b(kN, 0);
+  std::thread ta(worker, std::ref(a), 1);
+  std::thread tb(worker, std::ref(b), 3);
+  ta.join();
+  tb.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i], 10) << i;
+    ASSERT_EQ(b[i], 30) << i;
+  }
 }
 
 }  // namespace
