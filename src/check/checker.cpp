@@ -1,0 +1,694 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "support/log.hpp"
+#include "trace/tracer.hpp"
+
+namespace exa::check {
+
+namespace {
+
+/// Caps keep a misbehaving run bounded: diagnostics beyond the per-rule
+/// cap are counted but not retained; write/pin tables drop oldest.
+constexpr std::size_t kMaxDiagsPerRule = 64;
+constexpr std::size_t kMaxRangeEntries = 4096;
+
+[[nodiscard]] std::uintptr_t addr(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+[[nodiscard]] std::string stream_name(StreamKey s) {
+  return "gpu" + std::to_string(s.device) + "/s" + std::to_string(s.id);
+}
+
+[[nodiscard]] std::string hex(const void* p) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return buf;
+}
+
+/// Reads EXA_CHECK once at static-init time: "1"/"on"/"true" arms the
+/// checker, "strict" additionally arranges a non-zero exit when any
+/// diagnostic fired (via an atexit finalizer).
+const bool g_env_applied = [] {
+  const char* env = std::getenv("EXA_CHECK");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  if (v == "1" || v == "on" || v == "true") {
+    Checker::instance().set_mode(Mode::kOn);
+  } else if (v == "strict") {
+    Checker::instance().set_mode(Mode::kStrict);
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kUseAfterFree: return "uaf";
+    case Rule::kDoubleFree: return "double-free";
+    case Rule::kStreamMisuse: return "stream-misuse";
+    case Rule::kAsyncRace: return "async-race";
+    case Rule::kMissingSync: return "missing-sync";
+    case Rule::kEventMisuse: return "event-misuse";
+    case Rule::kLeak: return "leak";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::format() const {
+  std::string out = "exa-check[";
+  out += rule_id(rule);
+  out += "] ";
+  out += call;
+  out += ": ";
+  out += message;
+  if (!first.empty()) out += " (first: " + first + ")";
+  if (!second.empty()) out += " (second: " + second + ")";
+  return out;
+}
+
+Checker& Checker::instance() {
+  static Checker checker;
+  return checker;
+}
+
+void Checker::set_mode(Mode mode) {
+  static std::atomic<bool> exit_hook_registered{false};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mode_ = mode;
+  }
+  armed_.store(mode != Mode::kOff, std::memory_order_relaxed);
+  if (mode != Mode::kOff &&
+      !exit_hook_registered.exchange(true, std::memory_order_acq_rel)) {
+    std::atexit([] { Checker::instance().finalize(); });
+  }
+}
+
+Mode Checker::mode() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mode_;
+}
+
+void Checker::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  diags_.clear();
+  std::fill(std::begin(counts_), std::end(counts_), 0);
+  total_ = 0;
+  reset_tracking();
+}
+
+void Checker::reset_tracking() {
+  sites_.clear();
+  seq_.clear();
+  stream_vc_.clear();
+  host_vc_.clear();
+  allocs_.clear();
+  streams_.clear();
+  events_.clear();
+  dev_writes_.clear();
+  host_pins_.clear();
+}
+
+std::vector<Diagnostic> Checker::diagnostics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diags_;
+}
+
+std::uint64_t Checker::count(Rule rule) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_[static_cast<int>(rule)];
+}
+
+std::uint64_t Checker::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void Checker::report(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "exa-check report: " << total_ << " diagnostic"
+     << (total_ == 1 ? "" : "s") << "\n";
+  for (int r = 0; r < kRuleCount; ++r) {
+    if (counts_[r] == 0) continue;
+    os << "  " << rule_id(static_cast<Rule>(r)) << ": " << counts_[r] << "\n";
+  }
+  for (const Diagnostic& d : diags_) os << "  " << d.format() << "\n";
+}
+
+void Checker::finalize() {
+  Mode mode;
+  std::uint64_t total;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mode = mode_;
+    total = total_;
+  }
+  if (total == 0) return;
+  report(std::cerr);
+  std::cerr.flush();
+  if (mode == Mode::kStrict) {
+    // _Exit keeps the exit code deterministic under sanitizers and inside
+    // death-test children (no atexit / static-destructor re-entry).
+    std::fflush(nullptr);
+    std::_Exit(1);
+  }
+}
+
+void Checker::push_site(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sites_.push_back(site);
+}
+
+void Checker::pop_site() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!sites_.empty()) sites_.pop_back();
+}
+
+std::string Checker::site_label(const char* fallback) const {
+  if (!sites_.empty()) return sites_.back();
+  return fallback;
+}
+
+void Checker::emit(Rule rule, const char* call, std::string message,
+                   std::string first, std::string second) {
+  ++total_;
+  auto& count = counts_[static_cast<int>(rule)];
+  ++count;
+  Diagnostic d;
+  d.rule = rule;
+  d.call = call;
+  d.message = std::move(message);
+  d.first = std::move(first);
+  d.second = std::move(second);
+  const std::string line = d.format();
+  support::log_warn(line);
+  if (auto& tracer = trace::Tracer::instance(); tracer.enabled()) {
+    tracer.instant(line, "check", trace::kNoSim, "check");
+  }
+  if (count <= kMaxDiagsPerRule) diags_.push_back(std::move(d));
+}
+
+// --- happens-before plumbing -------------------------------------------
+
+std::uint64_t Checker::bump(StreamKey stream) {
+  const std::uint64_t key = stream.packed();
+  const std::uint64_t seq = ++seq_[key];
+  stream_vc_[key][key] = seq;
+  return seq;
+}
+
+void Checker::join_into(VectorClock& dst, const VectorClock& src) {
+  for (const auto& [k, v] : src) {
+    auto& slot = dst[k];
+    slot = std::max(slot, v);
+  }
+}
+
+bool Checker::covers(const VectorClock& vc, StreamKey stream,
+                     std::uint64_t seq) const {
+  const auto it = vc.find(stream.packed());
+  return it != vc.end() && it->second >= seq;
+}
+
+bool Checker::host_covers(StreamKey stream, std::uint64_t seq) const {
+  return covers(host_vc_, stream, seq);
+}
+
+Checker::AllocState* Checker::find_alloc(const void* p) {
+  if (allocs_.empty()) return nullptr;
+  const std::uintptr_t a = addr(p);
+  auto it = allocs_.upper_bound(a);
+  if (it == allocs_.begin()) return nullptr;
+  --it;
+  AllocState& alloc = it->second;
+  if (a >= alloc.base && a < alloc.base + alloc.bytes) return &alloc;
+  return nullptr;
+}
+
+void Checker::record_dev_write(const void* ptr, std::size_t bytes,
+                               StreamKey stream, std::uint64_t seq,
+                               double ready_sim, std::string what) {
+  if (ptr == nullptr || bytes == 0) return;
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  // The new write supersedes older overlapping writes on the same stream
+  // (program order); unordered cross-stream writes are kept — both are
+  // live race candidates.
+  dev_writes_.erase(
+      std::remove_if(dev_writes_.begin(), dev_writes_.end(),
+                     [&](const DevWrite& w) {
+                       return w.stream.packed() == stream.packed() &&
+                              w.lo < hi && lo < w.hi;
+                     }),
+      dev_writes_.end());
+  if (dev_writes_.size() >= kMaxRangeEntries) {
+    dev_writes_.erase(dev_writes_.begin());
+  }
+  dev_writes_.push_back(
+      DevWrite{lo, hi, stream, seq, ready_sim, std::move(what)});
+}
+
+// --- lifecycle hooks ----------------------------------------------------
+
+void Checker::on_configure(
+    const std::vector<std::pair<std::string, std::size_t>>& sim_live) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  leak_scan(sim_live);
+  reset_tracking();
+}
+
+void Checker::leak_scan(
+    const std::vector<std::pair<std::string, std::size_t>>& sim_live) {
+  std::size_t tracked_live = 0;
+  for (const auto& [base, alloc] : allocs_) {
+    if (!alloc.live) continue;
+    ++tracked_live;
+    emit(Rule::kLeak, "teardown",
+         std::to_string(alloc.bytes) + " bytes on device " +
+             std::to_string(alloc.device) + " never freed (" +
+             hex(reinterpret_cast<const void*>(base)) + ")",
+         "allocated at " + alloc.alloc_site, "");
+  }
+  for (const auto& [key, stream] : streams_) {
+    if (!stream.live) continue;
+    emit(Rule::kLeak, "teardown",
+         "stream " +
+             stream_name(StreamKey{static_cast<int>(key >> 32),
+                                   static_cast<int>(key & 0xffffffffu)}) +
+             " never destroyed",
+         "created at " + stream.create_site, "");
+  }
+  for (const auto& [handle, event] : events_) {
+    if (!event.live) continue;
+    emit(Rule::kLeak, "teardown",
+         "event " + hex(handle) + " never destroyed",
+         "created at " + event.create_site, "");
+  }
+  // Cross-check against the device simulator's own census: allocations
+  // made behind the shim's back (direct DeviceSim::malloc_device) leak
+  // invisibly to the pointer table above.
+  std::size_t sim_total = 0;
+  for (const auto& [name, live] : sim_live) sim_total += live;
+  if (sim_total > tracked_live) {
+    emit(Rule::kLeak, "teardown",
+         std::to_string(sim_total - tracked_live) +
+             " device allocation(s) live at teardown but unknown to the HIP "
+             "API (allocated outside the shim)",
+         "", "");
+  }
+}
+
+void Checker::on_alloc(const void* ptr, std::size_t bytes, int device,
+                       bool managed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  // The host allocator may hand back a previously freed range: drop any
+  // tombstones (and stale write records) the new allocation overlaps.
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    const AllocState& a = it->second;
+    if (!a.live && a.base < hi && lo < a.base + a.bytes) {
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dev_writes_.erase(std::remove_if(dev_writes_.begin(), dev_writes_.end(),
+                                   [&](const DevWrite& w) {
+                                     return w.lo < hi && lo < w.hi;
+                                   }),
+                    dev_writes_.end());
+  AllocState alloc;
+  alloc.base = lo;
+  alloc.bytes = bytes;
+  alloc.device = device;
+  alloc.managed = managed;
+  alloc.alloc_site = site_label("hipMalloc");
+  allocs_[lo] = std::move(alloc);
+}
+
+Checker::FreeCheck Checker::on_free(const void* ptr, int owner,
+                                    int current_device) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  AllocState* alloc = find_alloc(ptr);
+  if (alloc == nullptr) return FreeCheck::kUnknown;
+  if (!alloc->live) {
+    emit(Rule::kDoubleFree, "hipFree",
+         "pointer " + hex(ptr) + " freed twice",
+         "allocated at " + alloc->alloc_site + "; freed at " +
+             alloc->free_site,
+         site_label("hipFree"));
+    return FreeCheck::kDoubleFree;
+  }
+  if (owner >= 0 && owner != current_device) {
+    emit(Rule::kStreamMisuse, "hipFree",
+         "pointer " + hex(ptr) + " owned by device " + std::to_string(owner) +
+             " freed from device " + std::to_string(current_device),
+         "allocated at " + alloc->alloc_site, site_label("hipFree"));
+    return FreeCheck::kForeignDevice;
+  }
+  // Freeing memory an in-flight async op still touches is use-after-free
+  // on real hardware (the runtime may recycle the page mid-copy).
+  const std::uintptr_t lo = alloc->base;
+  const std::uintptr_t hi = lo + alloc->bytes;
+  for (const DevWrite& w : dev_writes_) {
+    if (w.lo < hi && lo < w.hi && !host_covers(w.stream, w.seq)) {
+      emit(Rule::kUseAfterFree, "hipFree",
+           "freeing " + hex(ptr) + " while " + w.what + " on " +
+               stream_name(w.stream) + " is not synchronized",
+           w.what + " enqueued on " + stream_name(w.stream) +
+               " (completes at t=" + std::to_string(w.ready_sim) + "s)",
+           site_label("hipFree"));
+      break;
+    }
+  }
+  alloc->live = false;
+  alloc->free_site = site_label("hipFree");
+  return FreeCheck::kOk;
+}
+
+// --- access validation --------------------------------------------------
+
+bool Checker::check_access(const void* ptr, std::size_t bytes, bool write,
+                           bool host_side, StreamKey stream, const char* api) {
+  if (ptr == nullptr || bytes == 0) return true;
+  if (AllocState* alloc = find_alloc(ptr); alloc != nullptr && !alloc->live) {
+    emit(Rule::kUseAfterFree, api,
+         std::string(write ? "write to" : "read of") + " " + hex(ptr) +
+             " (" + std::to_string(bytes) + " bytes) in freed device memory",
+         "allocated at " + alloc->alloc_site + "; freed at " +
+             alloc->free_site,
+         site_label(api));
+    return false;  // veto: the backing host storage is genuinely gone
+  }
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  for (const DevWrite& w : dev_writes_) {
+    if (!(w.lo < hi && lo < w.hi)) continue;
+    const bool ordered = host_side
+                             ? host_covers(w.stream, w.seq)
+                             : (w.stream.packed() == stream.packed() ||
+                                covers(stream_vc_[stream.packed()], w.stream,
+                                       w.seq));
+    if (ordered) continue;
+    emit(Rule::kMissingSync, api,
+         std::string(host_side ? "host" : stream_name(stream).c_str()) +
+             std::string(write ? " writes " : " reads ") + hex(ptr) +
+             " while " + w.what + " on " + stream_name(w.stream) +
+             " has no synchronization edge",
+         w.what + " enqueued on " + stream_name(w.stream) +
+             " (completes at t=" + std::to_string(w.ready_sim) + "s)",
+         site_label(api));
+    break;
+  }
+  if (host_side) {
+    for (const HostPin& pin : host_pins_) {
+      if (!(pin.lo < hi && lo < pin.hi)) continue;
+      if (host_covers(pin.stream, pin.seq)) continue;
+      // Reading a buffer the device is still filling, or writing a buffer
+      // the device is still reading/filling, races the in-flight copy.
+      if (!write && !pin.device_writes) continue;
+      emit(Rule::kAsyncRace, api,
+           std::string("host ") + (write ? "reuses" : "reads") + " " +
+               hex(ptr) + " before " + pin.what + " on " +
+               stream_name(pin.stream) + " is synchronized",
+           pin.what + " enqueued on " + stream_name(pin.stream) +
+               " (completes at t=" + std::to_string(pin.ready_sim) + "s)",
+           site_label(api));
+      break;
+    }
+  }
+  return true;
+}
+
+bool Checker::on_copy(const void* dst, const void* src, std::size_t bytes,
+                      CopyDir dir, StreamKey stream, bool async,
+                      double ready_sim, const char* api) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool dst_device =
+      dir == CopyDir::kHostToDevice || dir == CopyDir::kDeviceToDevice;
+  const bool src_device =
+      dir == CopyDir::kDeviceToHost || dir == CopyDir::kDeviceToDevice;
+
+  bool ok = true;
+  // Device-side validation (uaf veto, unsynchronized read-after-write).
+  if (!check_access(src, bytes, /*write=*/false, /*host_side=*/!src_device,
+                    stream, api)) {
+    ok = false;
+  }
+  if (!check_access(dst, bytes, /*write=*/true, /*host_side=*/!dst_device,
+                    stream, api)) {
+    ok = false;
+  }
+  if (!ok) return false;
+
+  // Foreign-device stream: a copy touching memory owned by one device but
+  // queued on another device's stream.
+  for (const void* p : {dst, src}) {
+    AllocState* alloc = find_alloc(p);
+    if (alloc != nullptr && alloc->live && alloc->device != stream.device) {
+      emit(Rule::kStreamMisuse, api,
+           "pointer " + hex(p) + " owned by device " +
+               std::to_string(alloc->device) + " used on stream " +
+               stream_name(stream),
+           "allocated at " + alloc->alloc_site, site_label(api));
+      break;
+    }
+  }
+
+  const std::uint64_t seq = bump(stream);
+  if (dst_device) {
+    record_dev_write(dst, bytes, stream, seq, ready_sim, api);
+  }
+  if (async) {
+    if (host_pins_.size() >= kMaxRangeEntries) {
+      host_pins_.erase(host_pins_.begin());
+    }
+    if (dir == CopyDir::kHostToDevice) {
+      host_pins_.push_back(HostPin{addr(src), addr(src) + bytes, stream, seq,
+                                   /*device_writes=*/false, ready_sim, api});
+    } else if (dir == CopyDir::kDeviceToHost) {
+      // The host destination is covered by the pin alone: registering it as
+      // a device write too would double-report one racy read.
+      host_pins_.push_back(HostPin{addr(dst), addr(dst) + bytes, stream, seq,
+                                   /*device_writes=*/true, ready_sim, api});
+    }
+  } else {
+    // A synchronous copy blocks the host until its stream drained it.
+    join_into(host_vc_, stream_vc_[stream.packed()]);
+  }
+  return true;
+}
+
+bool Checker::on_device_access(StreamKey stream, const void* ptr,
+                               std::size_t bytes, bool write,
+                               const char* api) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!check_access(ptr, bytes, write, /*host_side=*/false, stream, api)) {
+    return false;
+  }
+  if (AllocState* alloc = find_alloc(ptr);
+      alloc != nullptr && alloc->live && alloc->device != stream.device) {
+    emit(Rule::kStreamMisuse, api,
+         "pointer " + hex(ptr) + " owned by device " +
+             std::to_string(alloc->device) + " used on stream " +
+             stream_name(stream),
+         "allocated at " + alloc->alloc_site, site_label(api));
+  }
+  if (write) {
+    const std::uint64_t seq = bump(stream);
+    record_dev_write(ptr, bytes, stream, seq, 0.0, api);
+  }
+  return true;
+}
+
+void Checker::on_launch(StreamKey stream, const std::string& name,
+                        double ready_sim) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (void)name;
+  (void)ready_sim;
+  (void)bump(stream);
+}
+
+bool Checker::on_launch_buffers(StreamKey stream,
+                                const std::vector<BufferUse>& buffers,
+                                const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string what = "kernel " + (name.empty() ? "<kernel>" : name);
+  for (const BufferUse& b : buffers) {
+    if (!check_access(b.ptr, b.bytes, b.write, /*host_side=*/false, stream,
+                      what.c_str())) {
+      return false;
+    }
+    if (AllocState* alloc = find_alloc(b.ptr);
+        alloc != nullptr && alloc->live && alloc->device != stream.device) {
+      emit(Rule::kStreamMisuse, what.c_str(),
+           "pointer " + hex(b.ptr) + " owned by device " +
+               std::to_string(alloc->device) + " used on stream " +
+               stream_name(stream),
+           "allocated at " + alloc->alloc_site, site_label(what.c_str()));
+    }
+  }
+  // One sequence point for the launch; all written buffers share it.
+  const std::uint64_t seq = bump(stream);
+  for (const BufferUse& b : buffers) {
+    if (b.write) record_dev_write(b.ptr, b.bytes, stream, seq, 0.0, what);
+  }
+  return true;
+}
+
+// --- streams ------------------------------------------------------------
+
+void Checker::on_stream_create(StreamKey stream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StreamState s;
+  s.create_site = site_label("hipStreamCreate");
+  streams_[stream.packed()] = std::move(s);
+}
+
+void Checker::on_stream_destroy(StreamKey stream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // hipStreamDestroy drains the stream: a host synchronization edge.
+  join_into(host_vc_, stream_vc_[stream.packed()]);
+  const auto it = streams_.find(stream.packed());
+  if (it != streams_.end()) it->second.live = false;
+}
+
+void Checker::on_destroyed_stream_use(const char* api) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emit(Rule::kStreamMisuse, api, "operation on a destroyed stream", "",
+       site_label(api));
+}
+
+void Checker::on_stream_sync(StreamKey stream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  join_into(host_vc_, stream_vc_[stream.packed()]);
+}
+
+void Checker::on_device_sync(int device) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, vc] : stream_vc_) {
+    if (static_cast<int>(key >> 32) == device) join_into(host_vc_, vc);
+  }
+}
+
+// --- events -------------------------------------------------------------
+
+void Checker::on_event_create(const void* event, int device) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  EventState e;
+  e.device = device;
+  e.create_site = site_label("hipEventCreate");
+  events_[event] = std::move(e);
+}
+
+void Checker::on_event_destroy(const void* event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = events_.find(event);
+  if (it != events_.end()) it->second.live = false;
+}
+
+void Checker::on_event_record(const void* event, StreamKey stream) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& e = events_[event];
+  e.recorded = true;
+  e.record_stream = stream;
+  // The record is itself a marker enqueued on the stream: give it a fresh
+  // sequence number so two records on one stream are totally ordered (the
+  // elapsed-time inversion check depends on this).
+  e.record_seq = bump(stream);
+  e.vc = stream_vc_[stream.packed()];
+  e.record_site = site_label("hipEventRecord");
+}
+
+void Checker::on_event_sync(const void* event, bool recorded) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = events_.find(event);
+  if (!recorded || it == events_.end() || !it->second.recorded) {
+    emit(Rule::kEventMisuse, "hipEventSynchronize",
+         "wait on event " + hex(event) + " that was never recorded",
+         it != events_.end() ? "created at " + it->second.create_site : "",
+         site_label("hipEventSynchronize"));
+    return;
+  }
+  join_into(host_vc_, it->second.vc);
+}
+
+void Checker::on_stream_wait_event(StreamKey stream, const void* event,
+                                   bool recorded, const char* api) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = events_.find(event);
+  if (!recorded || it == events_.end() || !it->second.recorded) {
+    emit(Rule::kEventMisuse, api,
+         "stream " + stream_name(stream) + " waits on event " + hex(event) +
+             " that was never recorded (the wait is a no-op)",
+         it != events_.end() ? "created at " + it->second.create_site : "",
+         site_label(api));
+    return;
+  }
+  join_into(stream_vc_[stream.packed()], it->second.vc);
+}
+
+void Checker::on_event_elapsed(const void* start, const void* stop,
+                               bool start_recorded, bool stop_recorded) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!start_recorded || !stop_recorded) {
+    emit(Rule::kEventMisuse, "hipEventElapsedTime",
+         "elapsed time queried on a never-recorded event", "",
+         site_label("hipEventElapsedTime"));
+    return;
+  }
+  const auto sit = events_.find(start);
+  const auto pit = events_.find(stop);
+  if (sit == events_.end() || pit == events_.end()) return;
+  const EventState& s = sit->second;
+  const EventState& p = pit->second;
+  if (s.record_stream.packed() == p.record_stream.packed() &&
+      s.record_seq > p.record_seq) {
+    emit(Rule::kEventMisuse, "hipEventElapsedTime",
+         "stop event recorded before start event on " +
+             stream_name(s.record_stream),
+         "start recorded at " + s.record_site + "; stop recorded at " +
+             p.record_site,
+         site_label("hipEventElapsedTime"));
+  }
+}
+
+void Checker::on_destroyed_event_use(const char* api) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  emit(Rule::kEventMisuse, api, "operation on a destroyed event", "",
+       site_label(api));
+}
+
+// --- host annotations ---------------------------------------------------
+
+void Checker::on_host_access(const void* ptr, std::size_t bytes, bool write,
+                             const char* site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (site != nullptr) sites_.push_back(site);
+  (void)check_access(ptr, bytes, write, /*host_side=*/true, StreamKey{},
+                     write ? "host write" : "host read");
+  if (site != nullptr) sites_.pop_back();
+}
+
+void annotate_host_read(const void* ptr, std::size_t bytes,
+                        const char* site) {
+  if (!Checker::armed()) return;
+  Checker::instance().on_host_access(ptr, bytes, /*write=*/false, site);
+}
+
+void annotate_host_write(const void* ptr, std::size_t bytes,
+                         const char* site) {
+  if (!Checker::armed()) return;
+  Checker::instance().on_host_access(ptr, bytes, /*write=*/true, site);
+}
+
+}  // namespace exa::check

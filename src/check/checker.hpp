@@ -1,0 +1,323 @@
+#pragma once
+/// \file checker.hpp
+/// exa::check — runtime HIP API-misuse detection.
+///
+/// The paper's porting campaigns were dominated by *correctness* work:
+/// hipify remnants, stream/event misuse, unsynchronized async copies, and
+/// allocation-lifetime bugs discovered late on scarce hardware (§GAMESS,
+/// §Pele). This module catches those bug classes deterministically in CI
+/// by validating every call that crosses the hip shim against a
+/// happens-before graph built from virtual-time stream ordering and event
+/// waits.
+///
+/// The checker is opt-in (EXA_CHECK=1 / EXA_CHECK=strict, or
+/// hip::hipCheckEnableEXA()); disabled it costs one relaxed atomic load
+/// per shim call, so default builds keep the PR-3 dispatch fast path.
+///
+/// Rule catalogue (ids are stable; tests assert them verbatim):
+///   uaf           use-after-free of a device allocation
+///   double-free   hipFree of an already-freed pointer
+///   stream-misuse op on a destroyed stream, a foreign-device stream, or
+///                 hipFree from the wrong device
+///   async-race    host buffer of a hipMemcpyAsync reused before the copy
+///                 is synchronized
+///   missing-sync  device-written data read without a synchronization edge
+///   event-misuse  event wait/elapsed before record, or out of order
+///   leak          allocations/streams/events alive at device teardown
+///
+/// Happens-before model: every operation enqueued on a stream gets a
+/// per-stream sequence number; streams, events, and the host each carry a
+/// vector clock over streams. Synchronization calls (stream/device/event
+/// sync, successful stream queries, stream-wait-event) join clocks. An
+/// access is racy when the writer's (stream, seq) is not covered by the
+/// reader's clock — virtual time alone never establishes an edge, exactly
+/// as wall-clock luck never does on real hardware.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exa::check {
+
+enum class Mode { kOff, kOn, kStrict };
+
+enum class Rule {
+  kUseAfterFree = 0,
+  kDoubleFree,
+  kStreamMisuse,
+  kAsyncRace,
+  kMissingSync,
+  kEventMisuse,
+  kLeak,
+};
+inline constexpr int kRuleCount = 7;
+
+/// Stable short id ("uaf", "double-free", ...) used in diagnostics, tests,
+/// and docs.
+[[nodiscard]] const char* rule_id(Rule rule);
+
+/// One structured diagnostic: the rule, the API call that tripped it, and
+/// the provenance of both accesses involved.
+struct Diagnostic {
+  Rule rule = Rule::kUseAfterFree;
+  std::string call;     ///< shim entry point that detected the violation
+  std::string message;  ///< human-readable detail
+  std::string first;    ///< provenance of the first access (alloc/write/...)
+  std::string second;   ///< provenance of the second access (call site)
+
+  /// "exa-check[<rule>] <call>: <message> ..." — the line tests grep for.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Identifies one simulated stream: (device index, sim stream id). The
+/// default stream of device d is {d, 0}. Ids are never reused within a
+/// runtime generation, so a key pins one stream's lifetime.
+struct StreamKey {
+  int device = 0;
+  int id = 0;
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(device))
+            << 32) |
+           static_cast<std::uint32_t>(id);
+  }
+};
+
+/// A buffer a kernel touches, declared on hip::Kernel for provenance
+/// (kernels in the simulator carry cost profiles, not pointer arguments,
+/// so data-flow through launches is annotated rather than inferred).
+struct BufferUse {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+  bool write = true;
+};
+
+/// Direction tag for copies crossing the shim (mirrors hipMemcpyKind
+/// without depending on the hip headers — hip links *against* check).
+enum class CopyDir { kHostToHost, kHostToDevice, kDeviceToHost, kDeviceToDevice };
+
+class Checker {
+ public:
+  static Checker& instance();
+
+  /// Fast-path guard: a single relaxed load, inlined into every shim call.
+  [[nodiscard]] static bool armed() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  void set_mode(Mode mode);
+  [[nodiscard]] Mode mode() const;
+
+  /// Drops all diagnostics and tracking state (mode is unchanged).
+  void clear();
+
+  [[nodiscard]] std::vector<Diagnostic> diagnostics() const;
+  [[nodiscard]] std::uint64_t count(Rule rule) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// End-of-run report: per-rule counts plus every retained diagnostic.
+  void report(std::ostream& os) const;
+
+  /// Prints the report to stderr when diagnostics exist; under
+  /// Mode::kStrict additionally terminates the process with exit code 1.
+  /// Registered via atexit when strict mode is enabled from the
+  /// environment, and callable directly (hip::hipCheckFinalizeEXA).
+  void finalize();
+
+  // --- call-site provenance --------------------------------------------
+  /// Pushed by instrumented layers (pfw dispatch) and tests so diagnostics
+  /// name the application-level call site, not just the shim entry.
+  void push_site(const std::string& site);
+  void pop_site();
+
+  // --- hooks from the hip shim -----------------------------------------
+  // All hooks are internally locked; callers guard with armed().
+
+  /// Runtime re-configuration destroys every device: scan for leaked
+  /// allocations/streams/events, cross-check the sim's live-allocation
+  /// census, then reset tracking for the new generation. `sim_live` is one
+  /// (trace name, live allocation count) pair per outgoing device.
+  void on_configure(
+      const std::vector<std::pair<std::string, std::size_t>>& sim_live);
+
+  void on_alloc(const void* ptr, std::size_t bytes, int device, bool managed);
+
+  enum class FreeCheck { kOk, kUnknown, kDoubleFree, kForeignDevice };
+  /// Validates a hipFree; emits double-free / foreign-device diagnostics
+  /// and tombstones the allocation on success.
+  FreeCheck on_free(const void* ptr, int owner, int current_device);
+
+  /// Validates one memcpy. Returns false when the copy must be vetoed
+  /// (a pointer resolves into freed device memory — copying would touch
+  /// dead storage for real, since device memory is host-backed).
+  [[nodiscard]] bool on_copy(const void* dst, const void* src,
+                             std::size_t bytes, CopyDir dir, StreamKey stream,
+                             bool async, double ready_sim, const char* api);
+
+  /// Validates a device-side access (hipMemset, hipUvmFault, kernel buffer
+  /// reads). Returns false on veto (freed memory).
+  [[nodiscard]] bool on_device_access(StreamKey stream, const void* ptr,
+                                      std::size_t bytes, bool write,
+                                      const char* api);
+
+  /// Orders a kernel launch on the happens-before graph and records the
+  /// write sets of its declared buffers.
+  void on_launch(StreamKey stream, const std::string& name, double ready_sim);
+  /// Pre-validates a launch's declared buffers (uaf veto, foreign-device,
+  /// unsynchronized read-after-write). Returns false on veto.
+  [[nodiscard]] bool on_launch_buffers(StreamKey stream,
+                                       const std::vector<BufferUse>& buffers,
+                                       const std::string& name);
+
+  void on_stream_create(StreamKey stream);
+  void on_stream_destroy(StreamKey stream);
+  /// An API call resolved a destroyed stream handle.
+  void on_destroyed_stream_use(const char* api);
+  /// Host synchronized with `stream` (sync, successful query, destroy).
+  void on_stream_sync(StreamKey stream);
+  /// Host synchronized with every stream of `device`.
+  void on_device_sync(int device);
+
+  void on_event_create(const void* event, int device);
+  void on_event_destroy(const void* event);
+  void on_event_record(const void* event, StreamKey stream);
+  /// Host wait. `recorded` is the shim's view (id >= 0).
+  void on_event_sync(const void* event, bool recorded);
+  /// stream-wait-event edge; unrecorded waits are ordering violations.
+  void on_stream_wait_event(StreamKey stream, const void* event,
+                            bool recorded, const char* api);
+  void on_event_elapsed(const void* start, const void* stop,
+                        bool start_recorded, bool stop_recorded);
+  void on_destroyed_event_use(const char* api);
+
+  // --- host-access annotations -----------------------------------------
+  void on_host_access(const void* ptr, std::size_t bytes, bool write,
+                      const char* site);
+
+ private:
+  Checker() = default;
+
+  struct AllocState {
+    std::uintptr_t base = 0;
+    std::size_t bytes = 0;
+    int device = 0;
+    bool live = true;
+    bool managed = false;
+    std::string alloc_site;
+    std::string free_site;
+  };
+  struct StreamState {
+    bool live = true;
+    std::string create_site;
+  };
+  struct EventState {
+    int device = 0;
+    bool live = true;
+    bool recorded = false;
+    StreamKey record_stream;
+    std::uint64_t record_seq = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> vc;
+    std::string create_site;
+    std::string record_site;
+  };
+  /// A device-side write to a byte range, stamped with its enqueue point
+  /// on the happens-before graph and its virtual completion time.
+  struct DevWrite {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    StreamKey stream;
+    std::uint64_t seq = 0;
+    double ready_sim = 0.0;
+    std::string what;
+  };
+  /// A host byte range pinned by an in-flight async copy: the host must
+  /// not reuse it until it has synchronized with the owning stream.
+  struct HostPin {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    StreamKey stream;
+    std::uint64_t seq = 0;
+    bool device_writes = false;  ///< D2H destination (device writing host)
+    double ready_sim = 0.0;
+    std::string what;
+  };
+
+  using VectorClock = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+  // All private helpers assume mutex_ is held.
+  void emit(Rule rule, const char* call, std::string message,
+            std::string first, std::string second);
+  [[nodiscard]] std::string site_label(const char* fallback) const;
+  [[nodiscard]] std::uint64_t bump(StreamKey stream);
+  void join_into(VectorClock& dst, const VectorClock& src);
+  [[nodiscard]] bool covers(const VectorClock& vc, StreamKey stream,
+                            std::uint64_t seq) const;
+  [[nodiscard]] bool host_covers(StreamKey stream, std::uint64_t seq) const;
+  /// The allocation containing `p`, or nullptr (includes tombstones).
+  [[nodiscard]] AllocState* find_alloc(const void* p);
+  void record_dev_write(const void* ptr, std::size_t bytes, StreamKey stream,
+                        std::uint64_t seq, double ready_sim, std::string what);
+  /// uaf / missing-sync / async-race checks for one access; returns false
+  /// on veto (freed memory).
+  [[nodiscard]] bool check_access(const void* ptr, std::size_t bytes,
+                                  bool write, bool host_side, StreamKey stream,
+                                  const char* api);
+  void leak_scan(
+      const std::vector<std::pair<std::string, std::size_t>>& sim_live);
+  void reset_tracking();
+
+  static inline std::atomic<bool> armed_{false};
+
+  mutable std::mutex mutex_;
+  Mode mode_ = Mode::kOff;
+  std::vector<Diagnostic> diags_;
+  std::uint64_t counts_[kRuleCount] = {};
+  std::uint64_t total_ = 0;
+  std::vector<std::string> sites_;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_;
+  std::unordered_map<std::uint64_t, VectorClock> stream_vc_;
+  VectorClock host_vc_;
+
+  std::map<std::uintptr_t, AllocState> allocs_;  // keyed by base address
+  std::unordered_map<std::uint64_t, StreamState> streams_;
+  std::unordered_map<const void*, EventState> events_;
+  std::vector<DevWrite> dev_writes_;
+  std::vector<HostPin> host_pins_;
+};
+
+/// Declares that host code is about to read [ptr, ptr+bytes): trips
+/// missing-sync when the range was device-written without a sync edge,
+/// async-race when an in-flight async copy still owns it, uaf when it lies
+/// in freed device memory. No-op while the checker is off.
+void annotate_host_read(const void* ptr, std::size_t bytes,
+                        const char* site = nullptr);
+/// Host-write counterpart (reusing an async-copy source buffer, etc.).
+void annotate_host_write(const void* ptr, std::size_t bytes,
+                         const char* site = nullptr);
+
+/// RAII call-site label for diagnostics ("app::solve", pfw labels, ...).
+class ScopedSite {
+ public:
+  explicit ScopedSite(const std::string& site) {
+    if (Checker::armed()) {
+      Checker::instance().push_site(site);
+      active_ = true;
+    }
+  }
+  ~ScopedSite() {
+    if (active_) Checker::instance().pop_site();
+  }
+  ScopedSite(const ScopedSite&) = delete;
+  ScopedSite& operator=(const ScopedSite&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace exa::check

@@ -1,0 +1,365 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "hip/hipify.hpp"
+
+namespace exa::check::lint {
+
+namespace {
+
+constexpr std::string_view kUncheckedCall = "unchecked-hip-call";
+constexpr std::string_view kDeprecatedCuda = "deprecated-cuda";
+constexpr std::string_view kRawAlloc = "raw-device-alloc";
+constexpr std::string_view kBlockingInParallel = "blocking-in-parallel";
+
+/// hip* functions whose return value carries no error status (or none at
+/// all) — discarding it is fine.
+constexpr std::array<std::string_view, 6> kNoErrorReturn = {
+    "hipGetErrorString", "hipLastLaunchTiming", "hipHostTimeSec",
+    "hipHostBusy",       "hipCheckEnableEXA",   "hipCheckDisableEXA",
+};
+
+constexpr std::array<std::string_view, 3> kRawAllocCalls = {
+    "hipMalloc", "hipMallocManaged", "hipFree"};
+
+constexpr std::array<std::string_view, 2> kBlockingCalls = {
+    "hipMemcpy", "hipDeviceSynchronize"};
+
+constexpr std::array<std::string_view, 4> kParallelEntryPoints = {
+    "parallel_for", "parallel_for_chunks", "parallel_reduce",
+    "parallel_reduce_chunks"};
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Masked view of the source: comments, string literals, and char literals
+/// are replaced with spaces (newlines preserved, so offsets and line
+/// numbers survive), while `exa-lint: allow(...)` suppressions found in
+/// comments are collected per line.
+struct MaskedSource {
+  std::string code;
+  std::map<int, std::set<std::string>> suppressions;  // line -> rule ids
+};
+
+void collect_suppressions(std::string_view comment, int line,
+                          std::map<int, std::set<std::string>>& out) {
+  const std::string_view tag = "exa-lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string_view::npos) return;
+  pos = comment.find("allow", pos + tag.size());
+  if (pos == std::string_view::npos) return;
+  const std::size_t open = comment.find('(', pos);
+  if (open == std::string_view::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = i < close ? comment[i] : ',';
+    if (c == ',' ) {
+      if (!rule.empty()) out[line].insert(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule.push_back(c);
+    }
+  }
+}
+
+[[nodiscard]] MaskedSource mask(std::string_view src) {
+  MaskedSource m;
+  m.code.assign(src.begin(), src.end());
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      collect_suppressions(src.substr(start, i - start), line,
+                           m.suppressions);
+      std::fill(m.code.begin() + static_cast<std::ptrdiff_t>(start),
+                m.code.begin() + static_cast<std::ptrdiff_t>(i), ' ');
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int first_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      collect_suppressions(src.substr(start, i - start), first_line,
+                           m.suppressions);
+      for (std::size_t j = start; j < i; ++j) {
+        if (m.code[j] != '\n') m.code[j] = ' ';
+      }
+    } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
+      // Raw string literal: R"delim( ... )delim".
+      const std::size_t start = i - 1;
+      std::size_t d = i + 1;
+      while (d < n && src[d] != '(') ++d;
+      const std::string closer =
+          ")" + std::string(src.substr(i + 1, d - i - 1)) + "\"";
+      std::size_t close = src.find(closer, d);
+      close = close == std::string_view::npos ? n : close + closer.size();
+      for (std::size_t j = start; j < close; ++j) {
+        if (m.code[j] == '\n') {
+          ++line;
+        } else {
+          m.code[j] = ' ';
+        }
+      }
+      i = close;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i++;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated literal: stay sane
+        ++i;
+      }
+      i = std::min(n, i + 1);
+      for (std::size_t j = start; j < i; ++j) {
+        if (m.code[j] != '\n') m.code[j] = ' ';
+      }
+    } else {
+      ++i;
+    }
+  }
+  return m;
+}
+
+[[nodiscard]] int line_of(std::string_view code, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(code.begin(),
+                            code.begin() + static_cast<std::ptrdiff_t>(offset),
+                            '\n'));
+}
+
+/// Finds `ident` at a word boundary at/after `from`; npos when absent.
+[[nodiscard]] std::size_t find_ident(std::string_view code,
+                                     std::string_view ident,
+                                     std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = code.find(ident, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string_view::npos;
+}
+
+/// Offset one past the parenthesized group opening at `open` ('(' there),
+/// or npos when unbalanced.
+[[nodiscard]] std::size_t match_paren(std::string_view code,
+                                      std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+class Linter {
+ public:
+  Linter(std::string_view source, std::string filename,
+         const std::vector<std::string>& disabled)
+      : masked_(mask(source)),
+        code_(masked_.code),
+        file_(std::move(filename)),
+        disabled_(disabled.begin(), disabled.end()) {}
+
+  [[nodiscard]] Report run() {
+    check_unchecked_calls();
+    check_deprecated();
+    check_raw_alloc();
+    check_blocking_in_parallel();
+    std::sort(report_.findings.begin(), report_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line < b.line || (a.line == b.line && a.rule < b.rule);
+              });
+    return std::move(report_);
+  }
+
+ private:
+  void add(std::string_view rule, std::size_t offset, std::string message) {
+    if (disabled_.count(std::string(rule)) != 0) return;
+    const int line = line_of(code_, offset);
+    for (const int l : {line, line - 1}) {
+      const auto it = masked_.suppressions.find(l);
+      if (it != masked_.suppressions.end() &&
+          it->second.count(std::string(rule)) != 0) {
+        ++report_.suppressed;
+        return;
+      }
+    }
+    report_.findings.push_back(
+        Finding{std::string(rule), file_, line, std::move(message)});
+  }
+
+  /// An identifier is a *call in statement position* when the previous
+  /// significant character ends a statement/block. `(void)` casts, `=`
+  /// assignments, wrapping calls, and conditions all leave other
+  /// characters behind and count as "checked".
+  [[nodiscard]] bool statement_position(std::size_t ident_begin) const {
+    std::size_t i = ident_begin;
+    while (i > 0) {
+      const char c = code_[i - 1];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        --i;
+        continue;
+      }
+      if (c == ':' && i >= 2 && code_[i - 2] == ':') {
+        // Qualified name (hip::hipFoo): skip "::" and the qualifier, keep
+        // scanning — the statement context is whatever precedes it.
+        i -= 2;
+        while (i > 0 && ident_char(code_[i - 1])) --i;
+        continue;
+      }
+      return c == ';' || c == '{' || c == '}' || c == ':';
+    }
+    return true;  // start of file
+  }
+
+  void check_unchecked_calls() {
+    std::size_t i = 0;
+    while (i < code_.size()) {
+      if (!ident_char(code_[i]) ||
+          (i > 0 && ident_char(code_[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < code_.size() && ident_char(code_[end])) ++end;
+      const std::string_view ident = code_.substr(i, end - i);
+      const bool hip_like =
+          (ident.size() > 3 && ident.substr(0, 3) == "hip" &&
+           std::isupper(static_cast<unsigned char>(ident[3])) != 0) ||
+          (ident.size() > 4 && ident.substr(0, 4) == "cuda" &&
+           std::isupper(static_cast<unsigned char>(ident[4])) != 0);
+      if (hip_like &&
+          std::find(kNoErrorReturn.begin(), kNoErrorReturn.end(), ident) ==
+              kNoErrorReturn.end()) {
+        std::size_t open = end;
+        while (open < code_.size() &&
+               std::isspace(static_cast<unsigned char>(code_[open])) != 0) {
+          ++open;
+        }
+        if (open < code_.size() && code_[open] == '(' &&
+            statement_position(i)) {
+          add(kUncheckedCall, i,
+              "return value of " + std::string(ident) +
+                  " is discarded; check it or cast to (void)");
+        }
+      }
+      i = end;
+    }
+  }
+
+  void check_deprecated() {
+    for (const auto& m : hip::hipify::api_table()) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, m.cuda, pos)) !=
+             std::string_view::npos) {
+        add(kDeprecatedCuda, pos,
+            "CUDA-era spelling " + m.cuda + "; the HIP port uses " + m.hip +
+                (m.deprecated ? " (outdated CUDA syntax)" : ""));
+        pos += m.cuda.size();
+      }
+    }
+    std::size_t pos = 0;
+    while ((pos = code_.find("<<<", pos)) != std::string_view::npos) {
+      add(kDeprecatedCuda, pos,
+          "triple-chevron kernel launch; use hipLaunchKernelGGL / "
+          "hipLaunchKernelEXA");
+      pos += 3;
+    }
+  }
+
+  void check_raw_alloc() {
+    for (const std::string_view call : kRawAllocCalls) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, call, pos)) != std::string_view::npos) {
+        add(kRawAlloc, pos,
+            "raw " + std::string(call) +
+                "; prefer pfw::create_device_view (pooled, leak-safe)");
+        pos += call.size();
+      }
+    }
+  }
+
+  void check_blocking_in_parallel() {
+    for (const std::string_view entry : kParallelEntryPoints) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, entry, pos)) != std::string_view::npos) {
+        std::size_t open = pos + entry.size();
+        while (open < code_.size() &&
+               std::isspace(static_cast<unsigned char>(code_[open])) != 0) {
+          ++open;
+        }
+        if (open >= code_.size() || code_[open] != '(') {
+          pos += entry.size();
+          continue;
+        }
+        const std::size_t close = match_paren(code_, open);
+        if (close == std::string_view::npos) break;
+        const std::string_view body = code_.substr(open, close - open);
+        for (const std::string_view blocking : kBlockingCalls) {
+          std::size_t hit = 0;
+          while ((hit = find_ident(body, blocking, hit)) !=
+                 std::string_view::npos) {
+            // hipMemcpyAsync and the hipMemcpyKind enumerators share the
+            // hipMemcpy prefix but are not blocking calls; find_ident
+            // already rejects them via the word boundary.
+            add(kBlockingInParallel, open + hit,
+                "blocking " + std::string(blocking) + " inside " +
+                    std::string(entry) +
+                    " body serializes the device; hoist it out or use the "
+                    "async form");
+            hit += blocking.size();
+          }
+        }
+        pos = close;
+      }
+    }
+  }
+
+  MaskedSource masked_;
+  std::string_view code_;
+  std::string file_;
+  std::set<std::string> disabled_;
+  Report report_;
+};
+
+}  // namespace
+
+std::string Finding::format() const {
+  return file + ":" + std::to_string(line) + ": exa-lint[" + rule + "] " +
+         message;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      std::string(kUncheckedCall), std::string(kDeprecatedCuda),
+      std::string(kRawAlloc), std::string(kBlockingInParallel)};
+  return ids;
+}
+
+Report lint_source(std::string_view source, const std::string& filename,
+                   const std::vector<std::string>& disabled) {
+  return Linter(source, filename, disabled).run();
+}
+
+}  // namespace exa::check::lint

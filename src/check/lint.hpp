@@ -1,0 +1,55 @@
+#pragma once
+/// \file lint.hpp
+/// exa-lint — static HIP API-misuse pass over C++ sources.
+///
+/// The paper's ports accumulated exactly the textual bug classes this pass
+/// flags: hipify remnants (deprecated CUDA-era spellings), unchecked hip*
+/// return values, raw hipMalloc/hipFree pairs bypassing the pooled view
+/// layer, and blocking calls buried inside parallel_for bodies. The
+/// scanner is a lightweight tokenizer — comments and string literals are
+/// masked out, identifiers are matched at word boundaries — not a real
+/// parser; rules favour low-noise heuristics over completeness.
+///
+/// Rule catalogue (ids are stable):
+///   unchecked-hip-call   statement-position hip*/cuda* call whose
+///                        hipError_t result is discarded
+///   deprecated-cuda      CUDA-era spelling (hipify mapping table) or a
+///                        triple-chevron launch
+///   raw-device-alloc     direct hipMalloc/hipMallocManaged/hipFree —
+///                        prefer pfw::create_device_view / pool allocation
+///   blocking-in-parallel blocking hipMemcpy/hipDeviceSynchronize inside a
+///                        parallel_for/parallel_reduce body
+///
+/// Suppression: `// exa-lint: allow(<rule>[, <rule>...])` on the same line
+/// or the line directly above the finding.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exa::check::lint {
+
+struct Finding {
+  std::string rule;     ///< stable rule id (see catalogue above)
+  std::string file;
+  int line = 0;         ///< 1-based
+  std::string message;
+
+  /// "file:line: exa-lint[rule] message" — the line CI greps for.
+  [[nodiscard]] std::string format() const;
+};
+
+struct Report {
+  std::vector<Finding> findings;  ///< unsuppressed findings only
+  int suppressed = 0;             ///< findings silenced by allow() comments
+};
+
+/// All rule ids, in catalogue order.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Lints one translation unit. `disabled` rules are skipped entirely.
+[[nodiscard]] Report lint_source(std::string_view source,
+                                 const std::string& filename,
+                                 const std::vector<std::string>& disabled = {});
+
+}  // namespace exa::check::lint

@@ -33,6 +33,17 @@ sim::TransferKind to_transfer(hipMemcpyKind kind) {
   }
 }
 
+check::CopyDir to_copy_dir(hipMemcpyKind kind) {
+  switch (kind) {
+    case hipMemcpyHostToHost: return check::CopyDir::kHostToHost;
+    case hipMemcpyDeviceToHost: return check::CopyDir::kDeviceToHost;
+    case hipMemcpyDeviceToDevice: return check::CopyDir::kDeviceToDevice;
+    default: return check::CopyDir::kHostToDevice;
+  }
+}
+
+check::Checker& checker() { return check::Checker::instance(); }
+
 }  // namespace
 
 const char* hipGetErrorString(hipError_t err) {
@@ -61,6 +72,16 @@ Runtime& Runtime::instance() {
 
 void Runtime::configure(const arch::GpuArch& gpu, int count, ApiFlavor flavor) {
   EXA_REQUIRE(count >= 1);
+  if (check::Checker::armed()) {
+    // Reconfiguration destroys every device: leak-scan the outgoing
+    // generation, cross-checked against each simulator's own census.
+    std::vector<std::pair<std::string, std::size_t>> census;
+    census.reserve(devices_.size());
+    for (const auto& d : devices_) {
+      census.emplace_back(d->trace_name(), d->live_allocation_count());
+    }
+    check::Checker::instance().on_configure(census);
+  }
   devices_.clear();
   ptrs_.clear();
   streams_.clear();
@@ -145,6 +166,12 @@ hipError_t resolve(hipStream_t stream, ResolvedStream* out) {
   return hipSuccess;
 }
 
+/// The checker's identity for a stream handle (default stream = {dev, 0}).
+check::StreamKey key_of(hipStream_t stream) {
+  if (stream == nullptr) return check::StreamKey{rt().current(), 0};
+  return check::StreamKey{stream->device, static_cast<int>(stream->id)};
+}
+
 }  // namespace
 
 // --- device management -----------------------------------------------------
@@ -166,12 +193,15 @@ hipError_t hipGetDevice(int* device) {
 hipError_t hipDeviceSynchronize() {
   charge_api_call();
   dev().synchronize_all();
+  if (check::Checker::armed()) checker().on_device_sync(rt().current());
   return hipSuccess;
 }
 
 // --- memory ------------------------------------------------------------------
 
-hipError_t hipMalloc(void** ptr, std::size_t size) {
+namespace {
+
+hipError_t malloc_impl(void** ptr, std::size_t size, bool managed) {
   if (ptr == nullptr || size == 0) return hipErrorInvalidValue;
   charge_api_call();
   try {
@@ -181,19 +211,37 @@ hipError_t hipMalloc(void** ptr, std::size_t size) {
     return hipErrorOutOfMemory;
   }
   rt().register_ptr(*ptr, rt().current());
+  if (check::Checker::armed()) {
+    checker().on_alloc(*ptr, size, rt().current(), managed);
+  }
   return hipSuccess;
+}
+
+}  // namespace
+
+hipError_t hipMalloc(void** ptr, std::size_t size) {
+  return malloc_impl(ptr, size, /*managed=*/false);
 }
 
 hipError_t hipMallocManaged(void** ptr, std::size_t size) {
   // Managed memory allocates like device memory here; the difference is
   // that consumers charge page-fault migrations via hipUvmFault.
-  return hipMalloc(ptr, size);
+  return malloc_impl(ptr, size, /*managed=*/true);
 }
 
 hipError_t hipFree(void* ptr) {
   if (ptr == nullptr) return hipSuccess;  // matches HIP semantics
   const int owner = rt().owner_of(ptr);
+  if (check::Checker::armed()) {
+    // Diagnoses double-free / foreign-device / free-while-in-flight and
+    // tombstones the allocation; the shim's own error paths still decide
+    // the returned status below.
+    (void)checker().on_free(ptr, owner, rt().current());
+  }
   if (owner < 0) return hipErrorInvalidDevicePointer;
+  // Freeing another device's pointer is invalid (matches HIP: allocations
+  // are owned by the device they were created on).
+  if (owner != rt().current()) return hipErrorInvalidValue;
   charge_api_call();
   rt().device(owner).free_device(ptr);
   rt().unregister_ptr(ptr);
@@ -203,6 +251,13 @@ hipError_t hipFree(void* ptr) {
 hipError_t hipMemcpy(void* dst, const void* src, std::size_t size,
                      hipMemcpyKind kind) {
   if (dst == nullptr || src == nullptr) return hipErrorInvalidValue;
+  if (check::Checker::armed()) {
+    if (!checker().on_copy(dst, src, size, to_copy_dir(kind),
+                           key_of(nullptr), /*async=*/false,
+                           dev().stream_ready(0), "hipMemcpy")) {
+      return hipErrorInvalidValue;  // vetoed: would touch freed memory
+    }
+  }
   charge_api_call();
   if (size > 0) std::memcpy(dst, src, size);
   if (kind != hipMemcpyHostToHost) {
@@ -215,7 +270,19 @@ hipError_t hipMemcpyAsync(void* dst, const void* src, std::size_t size,
                           hipMemcpyKind kind, hipStream_t stream) {
   if (dst == nullptr || src == nullptr) return hipErrorInvalidValue;
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipMemcpyAsync");
+    }
+    return err;
+  }
+  if (check::Checker::armed()) {
+    if (!checker().on_copy(dst, src, size, to_copy_dir(kind), key_of(stream),
+                           /*async=*/true, rs.device->stream_ready(rs.id),
+                           "hipMemcpyAsync")) {
+      return hipErrorInvalidValue;  // vetoed: would touch freed memory
+    }
+  }
   charge_api_call();
   if (size > 0) std::memcpy(dst, src, size);
   if (kind != hipMemcpyHostToHost) {
@@ -227,6 +294,12 @@ hipError_t hipMemcpyAsync(void* dst, const void* src, std::size_t size,
 
 hipError_t hipMemset(void* dst, int value, std::size_t size) {
   if (dst == nullptr) return hipErrorInvalidValue;
+  if (check::Checker::armed()) {
+    if (!checker().on_device_access(key_of(nullptr), dst, size,
+                                    /*write=*/true, "hipMemset")) {
+      return hipErrorInvalidValue;  // vetoed: would touch freed memory
+    }
+  }
   charge_api_call();
   std::memset(dst, value, size);
   // Memset runs as a small device kernel writing `size` bytes.
@@ -242,7 +315,19 @@ hipError_t hipUvmFault(const void* ptr, std::size_t size, hipMemcpyKind kind,
   if (ptr == nullptr) return hipErrorInvalidValue;
   if (rt().owner_of(ptr) < 0) return hipErrorInvalidDevicePointer;
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipUvmFault");
+    }
+    return err;
+  }
+  if (check::Checker::armed()) {
+    const bool dev_writes = kind == hipMemcpyHostToDevice;
+    if (!checker().on_device_access(key_of(stream), ptr, size, dev_writes,
+                                    "hipUvmFault")) {
+      return hipErrorInvalidValue;  // vetoed: would touch freed memory
+    }
+  }
   rs.device->uvm_migrate(rs.id, to_transfer(kind), static_cast<double>(size));
   return hipSuccess;
 }
@@ -254,30 +339,51 @@ hipError_t hipStreamCreate(hipStream_t* stream) {
   charge_api_call();
   const sim::StreamId id = dev().create_stream();
   *stream = rt().make_stream(rt().current(), id);
+  if (check::Checker::armed()) checker().on_stream_create(key_of(*stream));
   return hipSuccess;
 }
 
 hipError_t hipStreamDestroy(hipStream_t stream) {
-  if (stream == nullptr || stream->destroyed)
+  if (stream == nullptr || stream->destroyed) {
+    if (check::Checker::armed() && stream != nullptr) {
+      checker().on_destroyed_stream_use("hipStreamDestroy");
+    }
     return hipErrorInvalidResourceHandle;
+  }
   charge_api_call();
   rt().device(stream->device).destroy_stream(stream->id);
+  if (check::Checker::armed()) checker().on_stream_destroy(key_of(stream));
   stream->destroyed = true;
   return hipSuccess;
 }
 
 hipError_t hipStreamSynchronize(hipStream_t stream) {
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipStreamSynchronize");
+    }
+    return err;
+  }
   charge_api_call();
   rs.device->synchronize(rs.id);
+  if (check::Checker::armed()) checker().on_stream_sync(key_of(stream));
   return hipSuccess;
 }
 
 hipError_t hipStreamQuery(hipStream_t stream) {
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
-  return rs.device->stream_query(rs.id) ? hipSuccess : hipErrorNotReady;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipStreamQuery");
+    }
+    return err;
+  }
+  const bool idle = rs.device->stream_query(rs.id);
+  // A query that observed "idle" is a synchronization edge: the host has
+  // proof the stream's prior work completed.
+  if (idle && check::Checker::armed()) checker().on_stream_sync(key_of(stream));
+  return idle ? hipSuccess : hipErrorNotReady;
 }
 
 // --- events ---------------------------------------------------------------------
@@ -286,32 +392,94 @@ hipError_t hipEventCreate(hipEvent_t* event) {
   if (event == nullptr) return hipErrorInvalidValue;
   charge_api_call();
   *event = rt().make_event(rt().current());
+  if (check::Checker::armed()) {
+    checker().on_event_create(*event, rt().current());
+  }
   return hipSuccess;
 }
 
 hipError_t hipEventDestroy(hipEvent_t event) {
-  if (event == nullptr || event->destroyed)
+  if (event == nullptr || event->destroyed) {
+    if (check::Checker::armed() && event != nullptr) {
+      checker().on_destroyed_event_use("hipEventDestroy");
+    }
     return hipErrorInvalidResourceHandle;
+  }
+  if (check::Checker::armed()) checker().on_event_destroy(event);
   event->destroyed = true;
   return hipSuccess;
 }
 
 hipError_t hipEventRecord(hipEvent_t event, hipStream_t stream) {
-  if (event == nullptr || event->destroyed)
+  if (event == nullptr || event->destroyed) {
+    if (check::Checker::armed() && event != nullptr) {
+      checker().on_destroyed_event_use("hipEventRecord");
+    }
     return hipErrorInvalidResourceHandle;
+  }
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipEventRecord");
+    }
+    return err;
+  }
   charge_api_call();
   event->device = stream == nullptr ? rt().current() : stream->device;
   event->id = rs.device->record_event(rs.id);
+  if (check::Checker::armed()) checker().on_event_record(event, key_of(stream));
   return hipSuccess;
 }
 
 hipError_t hipEventSynchronize(hipEvent_t event) {
-  if (event == nullptr || event->destroyed || event->id < 0)
+  if (event == nullptr || event->destroyed || event->id < 0) {
+    if (check::Checker::armed() && event != nullptr) {
+      if (event->destroyed) {
+        checker().on_destroyed_event_use("hipEventSynchronize");
+      } else {
+        checker().on_event_sync(event, /*recorded=*/false);
+      }
+    }
     return hipErrorInvalidResourceHandle;
+  }
   charge_api_call();
   rt().device(event->device).host_wait_event(event->id);
+  if (check::Checker::armed()) checker().on_event_sync(event, /*recorded=*/true);
+  return hipSuccess;
+}
+
+hipError_t hipStreamWaitEvent(hipStream_t stream, hipEvent_t event,
+                              unsigned int flags) {
+  if (flags != 0) return hipErrorInvalidValue;
+  if (event == nullptr || event->destroyed) {
+    if (check::Checker::armed() && event != nullptr) {
+      checker().on_destroyed_event_use("hipStreamWaitEvent");
+    }
+    return hipErrorInvalidResourceHandle;
+  }
+  ResolvedStream rs{};
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipStreamWaitEvent");
+    }
+    return err;
+  }
+  if (check::Checker::armed()) {
+    checker().on_stream_wait_event(key_of(stream), event, event->id >= 0,
+                                   "hipStreamWaitEvent");
+  }
+  // An unrecorded event is a completed no-op wait, matching HIP semantics
+  // (the checker flags it as an ordering bug above).
+  if (event->id < 0) return hipSuccess;
+  charge_api_call();
+  sim::DeviceSim& owner = rt().device(event->device);
+  if (rs.device == &owner) {
+    rs.device->stream_wait_event(rs.id, event->id);
+  } else {
+    // Cross-device edge: hold the waiting stream until the recorded point
+    // on the other device's timeline.
+    rs.device->stream_wait_until(rs.id, owner.event_time(event->id));
+  }
   return hipSuccess;
 }
 
@@ -319,9 +487,21 @@ hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop) {
   if (ms == nullptr) return hipErrorInvalidValue;
   if (start == nullptr || stop == nullptr || start->id < 0 || stop->id < 0 ||
       start->destroyed || stop->destroyed) {
+    if (check::Checker::armed() && start != nullptr && stop != nullptr) {
+      if (start->destroyed || stop->destroyed) {
+        checker().on_destroyed_event_use("hipEventElapsedTime");
+      } else {
+        checker().on_event_elapsed(start, stop, start->id >= 0,
+                                   stop->id >= 0);
+      }
+    }
     return hipErrorInvalidResourceHandle;
   }
   if (start->device != stop->device) return hipErrorInvalidValue;
+  if (check::Checker::armed()) {
+    checker().on_event_elapsed(start, stop, /*start_recorded=*/true,
+                               /*stop_recorded=*/true);
+  }
   const double sec = rt().device(start->device).elapsed(start->id, stop->id);
   *ms = static_cast<float>(sec * 1e3);
   return hipSuccess;
@@ -334,7 +514,16 @@ hipError_t hipLaunchTimedEXA(const sim::KernelProfile& profile,
                              hipStream_t stream) {
   if (cfg.blocks == 0 || cfg.block_threads == 0) return hipErrorInvalidValue;
   ResolvedStream rs{};
-  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) return err;
+  if (const hipError_t err = resolve(stream, &rs); err != hipSuccess) {
+    if (check::Checker::armed()) {
+      checker().on_destroyed_stream_use("hipLaunchTimedEXA");
+    }
+    return err;
+  }
+  if (check::Checker::armed()) {
+    checker().on_launch(key_of(stream), profile.name,
+                        rs.device->stream_ready(rs.id));
+  }
   charge_api_call();
   g_last_timing = rs.device->launch(rs.id, profile, cfg);
   return hipSuccess;
@@ -355,11 +544,20 @@ hipError_t hipLaunchCachedEXA(const sim::KernelProfile& profile,
     rs = {&r.current_device(), 0};
     rs.device->host_advance(r.flavor_overhead());
   } else {
-    if (stream->destroyed) return hipErrorInvalidResourceHandle;
+    if (stream->destroyed) {
+      if (check::Checker::armed()) {
+        checker().on_destroyed_stream_use("hipLaunchCachedEXA");
+      }
+      return hipErrorInvalidResourceHandle;
+    }
     rs = {&r.device(stream->device), stream->id};
     // The veneer overhead is charged to the *current* device (the caller's
     // thread), which may differ from the stream's device.
     r.current_device().host_advance(r.flavor_overhead());
+  }
+  if (check::Checker::armed()) {
+    checker().on_launch(key_of(stream), profile.name,
+                        rs.device->stream_ready(rs.id));
   }
   if (*epoch == rs.device->cost_epoch()) {
     g_last_timing = rs.device->launch_prepared(rs.id, *timing, profile.name);
@@ -373,6 +571,12 @@ hipError_t hipLaunchCachedEXA(const sim::KernelProfile& profile,
 
 hipError_t hipLaunchKernelEXA(const Kernel& kernel, sim::LaunchConfig cfg,
                               hipStream_t stream) {
+  if (check::Checker::armed() && !kernel.buffers.empty()) {
+    if (!checker().on_launch_buffers(key_of(stream), kernel.buffers,
+                                     kernel.profile.name)) {
+      return hipErrorInvalidValue;  // vetoed: a buffer lies in freed memory
+    }
+  }
   // Virtual time.
   const hipError_t err = hipLaunchTimedEXA(kernel.profile, cfg, stream);
   if (err != hipSuccess) return err;
@@ -401,5 +605,25 @@ const sim::KernelTiming& hipLastLaunchTiming() { return g_last_timing; }
 double hipHostTimeSec() { return dev().host_now(); }
 
 void hipHostBusy(double seconds) { dev().host_advance(seconds); }
+
+// --- exa::check integration --------------------------------------------
+
+void hipCheckEnableEXA(bool strict) {
+  checker().set_mode(strict ? check::Mode::kStrict : check::Mode::kOn);
+}
+
+void hipCheckDisableEXA() { checker().set_mode(check::Mode::kOff); }
+
+void hipCheckFinalizeEXA() {
+  if (!check::Checker::armed()) return;
+  Runtime& r = rt();
+  std::vector<std::pair<std::string, std::size_t>> census;
+  for (int i = 0; i < r.device_count(); ++i) {
+    census.emplace_back(r.device(i).trace_name(),
+                        r.device(i).live_allocation_count());
+  }
+  checker().on_configure(census);  // leak scan + tracking reset
+  checker().finalize();
+}
 
 }  // namespace exa::hip

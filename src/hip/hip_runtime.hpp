@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/gpu_arch.hpp"
+#include "check/checker.hpp"
 #include "sim/device_sim.hpp"
 #include "sim/kernel_profile.hpp"
 
@@ -73,6 +74,10 @@ struct Kernel {
   sim::KernelProfile profile;
   std::function<void(const KernelContext&)> body;
   std::function<void()> bulk_body;
+  /// Declared data flow for exa::check: simulated kernels carry cost
+  /// profiles rather than pointer arguments, so the buffers a launch reads
+  /// and writes are annotated here (empty = unchecked, still legal).
+  std::vector<check::BufferUse> buffers;
 };
 
 // --- which API flavor the "build" targets ---------------------------------
@@ -169,6 +174,11 @@ hipError_t hipEventCreate(hipEvent_t* event);
 hipError_t hipEventDestroy(hipEvent_t event);
 hipError_t hipEventRecord(hipEvent_t event, hipStream_t stream);
 hipError_t hipEventSynchronize(hipEvent_t event);
+/// Makes all future work on `stream` wait for `event`'s recorded position
+/// (cross-stream and cross-device edges both work; an unrecorded event is
+/// a no-op, matching HIP). `flags` must be 0.
+hipError_t hipStreamWaitEvent(hipStream_t stream, hipEvent_t event,
+                              unsigned int flags = 0);
 /// Milliseconds between two recorded events (virtual time).
 hipError_t hipEventElapsedTime(float* ms, hipEvent_t start, hipEvent_t stop);
 
@@ -214,5 +224,16 @@ void hipHostBusy(double seconds);
 /// path, §3.8). `ptr` must come from hipMallocManaged.
 hipError_t hipUvmFault(const void* ptr, std::size_t size, hipMemcpyKind kind,
                        hipStream_t stream = nullptr);
+
+// --- exa::check integration --------------------------------------------
+
+/// Programmatic opt-in to the exa::check runtime validator (equivalent to
+/// EXA_CHECK=1, or EXA_CHECK=strict when `strict`).
+void hipCheckEnableEXA(bool strict = false);
+void hipCheckDisableEXA();
+/// Explicit teardown: leak-scans live allocations/streams/events against
+/// the device simulators' own census, prints the diagnostic report, and —
+/// under strict mode, when any diagnostic fired — exits non-zero.
+void hipCheckFinalizeEXA();
 
 }  // namespace exa::hip

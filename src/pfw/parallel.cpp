@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "check/checker.hpp"
 #include "support/assert.hpp"
 #include "trace/tracer.hpp"
 
@@ -75,12 +76,17 @@ void launch(LaunchState& state) {
 }
 
 DispatchSpan::DispatchSpan(const std::string& label) {
+  if (check::Checker::armed()) {
+    check::Checker::instance().push_site(label);
+    site_pushed_ = true;
+  }
   if (!g_tracer.enabled()) return;
   label_ = &label;
   sim_begin_ = hip::Runtime::instance().current_device().host_now();
 }
 
 DispatchSpan::~DispatchSpan() {
+  if (site_pushed_) check::Checker::instance().pop_site();
   if (label_ == nullptr) return;
   auto& dev = hip::Runtime::instance().current_device();
   g_tracer.complete(*label_, "pfw", sim_begin_, dev.host_now() - sim_begin_,

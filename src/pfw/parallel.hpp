@@ -81,8 +81,9 @@ void refresh(LaunchState& state, std::size_t n, const WorkCost& cost);
 void launch(LaunchState& state);
 
 /// Marks the host-side dispatch window of a pfw launch on the "pfw" track
-/// (the kernel itself is traced by DeviceSim on its stream track). No-op
-/// unless tracing is enabled.
+/// (the kernel itself is traced by DeviceSim on its stream track), and
+/// labels exa::check diagnostics with the dispatch label while it lives.
+/// No-op unless tracing or the checker is enabled.
 class DispatchSpan {
  public:
   explicit DispatchSpan(const std::string& label);
@@ -94,6 +95,7 @@ class DispatchSpan {
  private:
   const std::string* label_ = nullptr;
   double sim_begin_ = 0.0;
+  bool site_pushed_ = false;
 };
 
 /// Deterministic-reduction shape: at most kReduceSlots chunks with

@@ -15,6 +15,7 @@
 #include <numeric>
 #include <string>
 
+#include "check/checker.hpp"
 #include "support/assert.hpp"
 
 namespace exa::pfw {
@@ -132,12 +133,23 @@ class Array {
 };
 
 /// Element-wise copy between any two same-shape views/arrays (host side;
-/// device transfer accounting is the runtime's job).
+/// device transfer accounting is the runtime's job). When the exa::check
+/// validator is armed, both sides are annotated as host accesses, so a
+/// deep_copy touching a buffer an in-flight async copy still owns is
+/// diagnosed.
 template <typename Src, typename Dst>
 void deep_copy(const Src& src, const Dst& dst) {
   EXA_REQUIRE_MSG(src.size() == dst.size(), "deep_copy shape mismatch");
   auto sir = src.to_ir();
   auto dir = dst.to_ir();
+  if (check::Checker::armed()) {
+    check::annotate_host_read(sir.data.get(),
+                              sir.size() * sizeof(*sir.data.get()),
+                              "pfw::deep_copy");
+    check::annotate_host_write(dir.data.get(),
+                               dir.size() * sizeof(*dir.data.get()),
+                               "pfw::deep_copy");
+  }
   std::copy(sir.data.get(), sir.data.get() + sir.size(), dir.data.get());
 }
 

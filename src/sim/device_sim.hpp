@@ -163,6 +163,12 @@ class DeviceSim {
   /// device-side *accounting* matters (pfw::create_device_view).
   void charge_transient_alloc(std::uint64_t bytes);
   [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  /// Number of device allocations currently live — the simulator's own
+  /// leak census, cross-checked by exa::check at teardown against the HIP
+  /// pointer table (catches allocations made behind the shim's back).
+  [[nodiscard]] std::size_t live_allocation_count() const {
+    return allocations_.size();
+  }
   [[nodiscard]] const PoolAllocator* pool() const { return pool_.get(); }
 
  private:

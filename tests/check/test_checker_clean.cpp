@@ -1,0 +1,63 @@
+/// The checker's false-positive budget is zero: a full SHOC sweep — the
+/// repo's most API-diverse workload (async copies, streams, events, UVM,
+/// multi-kernel pipelines) — must produce no diagnostics with EXA_CHECK on.
+
+#include <gtest/gtest.h>
+
+#include "apps/shoc/shoc.hpp"
+#include "arch/gpu_arch.hpp"
+#include "check/checker.hpp"
+#include "hip/hip_runtime.hpp"
+#include "support/rng.hpp"
+
+namespace exa {
+namespace {
+
+using check::Checker;
+
+class CheckCleanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+    Checker::instance().set_mode(check::Mode::kOn);
+    Checker::instance().clear();
+  }
+
+  void TearDown() override {
+    Checker::instance().set_mode(check::Mode::kOff);
+    Checker::instance().clear();
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  }
+};
+
+TEST_F(CheckCleanTest, ShocSuiteIsDiagnosticClean) {
+  support::Rng noise(20260807);
+  for (const auto id : apps::shoc::all_benchmarks()) {
+    const auto result =
+        apps::shoc::run_benchmark(id, apps::shoc::SizeClass::kSmall, noise);
+    EXPECT_GT(result.total_s, 0.0);
+    EXPECT_EQ(Checker::instance().total(), 0u)
+        << "diagnostics after benchmark " << static_cast<int>(id) << ": "
+        << (Checker::instance().diagnostics().empty()
+                ? ""
+                : Checker::instance().diagnostics().front().format());
+  }
+}
+
+TEST_F(CheckCleanTest, HipVsCudaComparisonIsDiagnosticClean) {
+  const auto rows =
+      apps::shoc::compare_hip_vs_cuda(apps::shoc::SizeClass::kSmall, 42);
+  EXPECT_FALSE(rows.empty());
+  EXPECT_EQ(Checker::instance().total(), 0u);
+}
+
+TEST_F(CheckCleanTest, TeardownAfterCleanSuiteReportsNoLeaks) {
+  support::Rng noise(7);
+  (void)apps::shoc::run_benchmark(apps::shoc::BenchmarkId::kTriad,
+                                  apps::shoc::SizeClass::kSmall, noise);
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  EXPECT_EQ(Checker::instance().total(), 0u);
+}
+
+}  // namespace
+}  // namespace exa

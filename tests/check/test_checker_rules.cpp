@@ -1,0 +1,476 @@
+/// Per-rule coverage for the exa::check runtime validator: each of the
+/// seven rules fires with its exact rule id, each has a happens-before-
+/// clean variant that stays silent, and each has a strict-mode death test
+/// asserting the non-zero exit + "exa-check[<rule>]" report line.
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/gpu_arch.hpp"
+#include "check/checker.hpp"
+#include "hip/hip_runtime.hpp"
+
+namespace exa {
+namespace {
+
+using check::Checker;
+using check::Rule;
+
+class CheckRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Configure first (checker off: no leak scan of prior test state),
+    // then arm and start from a clean slate.
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 2);
+    Checker::instance().set_mode(check::Mode::kOn);
+    Checker::instance().clear();
+  }
+
+  void TearDown() override {
+    Checker::instance().set_mode(check::Mode::kOff);
+    Checker::instance().clear();
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  }
+
+  static std::uint64_t count(Rule rule) {
+    return Checker::instance().count(rule);
+  }
+  static const char* first_id() {
+    const auto diags = Checker::instance().diagnostics();
+    return diags.empty() ? "" : check::rule_id(diags.front().rule);
+  }
+};
+
+TEST_F(CheckRulesTest, RuleIdsAreStable) {
+  EXPECT_STREQ(check::rule_id(Rule::kUseAfterFree), "uaf");
+  EXPECT_STREQ(check::rule_id(Rule::kDoubleFree), "double-free");
+  EXPECT_STREQ(check::rule_id(Rule::kStreamMisuse), "stream-misuse");
+  EXPECT_STREQ(check::rule_id(Rule::kAsyncRace), "async-race");
+  EXPECT_STREQ(check::rule_id(Rule::kMissingSync), "missing-sync");
+  EXPECT_STREQ(check::rule_id(Rule::kEventMisuse), "event-misuse");
+  EXPECT_STREQ(check::rule_id(Rule::kLeak), "leak");
+}
+
+// --- uaf ----------------------------------------------------------------
+
+TEST_F(CheckRulesTest, UseAfterFreeOnCopyFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 256), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+  char host[8] = {};
+  // The copy is vetoed: the backing storage is genuinely gone.
+  EXPECT_EQ(hip::hipMemcpy(host, d, sizeof(host), hip::hipMemcpyDeviceToHost),
+            hip::hipErrorInvalidValue);
+  EXPECT_EQ(count(Rule::kUseAfterFree), 1u);
+  EXPECT_STREQ(first_id(), "uaf");
+}
+
+TEST_F(CheckRulesTest, UseAfterFreeOnKernelBufferFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 256), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+  hip::Kernel k;
+  k.profile.name = "touch_freed";
+  k.buffers.push_back(check::BufferUse{d, 256, /*write=*/true});
+  EXPECT_EQ(hip::hipLaunchKernelEXA(k, sim::LaunchConfig{1, 64}),
+            hip::hipErrorInvalidValue);
+  EXPECT_EQ(count(Rule::kUseAfterFree), 1u);
+}
+
+TEST_F(CheckRulesTest, ReallocatedRangeIsNotUseAfterFree) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 256), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+  // The allocator may return the same range; a fresh allocation there must
+  // clear the tombstone.
+  void* d2 = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d2, 256), hip::hipSuccess);
+  char host[8] = {};
+  if (d2 == d) {
+    EXPECT_EQ(
+        hip::hipMemcpy(host, d2, sizeof(host), hip::hipMemcpyDeviceToHost),
+        hip::hipSuccess);
+  }
+  EXPECT_EQ(count(Rule::kUseAfterFree), 0u);
+  ASSERT_EQ(hip::hipFree(d2), hip::hipSuccess);
+}
+
+// --- double-free --------------------------------------------------------
+
+TEST_F(CheckRulesTest, DoubleFreeFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 128), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+  EXPECT_EQ(hip::hipFree(d), hip::hipErrorInvalidDevicePointer);
+  EXPECT_EQ(count(Rule::kDoubleFree), 1u);
+  EXPECT_STREQ(first_id(), "double-free");
+}
+
+// --- stream-misuse ------------------------------------------------------
+
+TEST_F(CheckRulesTest, ForeignDeviceFreeFires) {
+  ASSERT_EQ(hip::hipSetDevice(0), hip::hipSuccess);
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 128), hip::hipSuccess);
+  ASSERT_EQ(hip::hipSetDevice(1), hip::hipSuccess);
+  EXPECT_EQ(hip::hipFree(d), hip::hipErrorInvalidValue);
+  EXPECT_EQ(count(Rule::kStreamMisuse), 1u);
+  EXPECT_STREQ(first_id(), "stream-misuse");
+  ASSERT_EQ(hip::hipSetDevice(0), hip::hipSuccess);
+  EXPECT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, CopyOnDestroyedStreamFires) {
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamDestroy(s), hip::hipSuccess);
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 64), hip::hipSuccess);
+  char host[64] = {};
+  EXPECT_EQ(hip::hipMemcpyAsync(d, host, 64, hip::hipMemcpyHostToDevice, s),
+            hip::hipErrorInvalidResourceHandle);
+  EXPECT_EQ(count(Rule::kStreamMisuse), 1u);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, CopyOnForeignDeviceStreamFires) {
+  // Memory owned by device 0, stream living on device 1.
+  ASSERT_EQ(hip::hipSetDevice(0), hip::hipSuccess);
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 64), hip::hipSuccess);
+  ASSERT_EQ(hip::hipSetDevice(1), hip::hipSuccess);
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  char host[64] = {};
+  EXPECT_EQ(hip::hipMemcpyAsync(d, host, 64, hip::hipMemcpyHostToDevice, s),
+            hip::hipSuccess);
+  EXPECT_EQ(count(Rule::kStreamMisuse), 1u);
+  ASSERT_EQ(hip::hipStreamSynchronize(s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamDestroy(s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipSetDevice(0), hip::hipSuccess);
+  EXPECT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+// --- async-race ---------------------------------------------------------
+
+TEST_F(CheckRulesTest, AsyncHostBufferReuseFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 1024), hip::hipSuccess);
+  std::vector<char> host(1024, 1);
+  ASSERT_EQ(hip::hipMemcpyAsync(d, host.data(), host.size(),
+                                hip::hipMemcpyHostToDevice, nullptr),
+            hip::hipSuccess);
+  // Reusing the source buffer while the copy is in flight is the classic
+  // hipMemcpyAsync race.
+  check::annotate_host_write(host.data(), host.size(), "test::reuse");
+  EXPECT_EQ(count(Rule::kAsyncRace), 1u);
+  EXPECT_STREQ(first_id(), "async-race");
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, AsyncHostBufferReuseAfterSyncIsClean) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 1024), hip::hipSuccess);
+  std::vector<char> host(1024, 1);
+  ASSERT_EQ(hip::hipMemcpyAsync(d, host.data(), host.size(),
+                                hip::hipMemcpyHostToDevice, nullptr),
+            hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamSynchronize(nullptr), hip::hipSuccess);
+  check::annotate_host_write(host.data(), host.size(), "test::reuse");
+  EXPECT_EQ(Checker::instance().total(), 0u);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, ReadingAsyncDownloadBeforeSyncFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 1024), hip::hipSuccess);
+  std::vector<char> host(1024, 0);
+  ASSERT_EQ(hip::hipMemcpyAsync(host.data(), d, host.size(),
+                                hip::hipMemcpyDeviceToHost, nullptr),
+            hip::hipSuccess);
+  check::annotate_host_read(host.data(), host.size(), "test::consume");
+  EXPECT_EQ(count(Rule::kAsyncRace), 1u);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+// --- missing-sync -------------------------------------------------------
+
+TEST_F(CheckRulesTest, LaunchThenHostReadWithoutSyncFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 512), hip::hipSuccess);
+  hip::Kernel k;
+  k.profile.name = "writer";
+  k.buffers.push_back(check::BufferUse{d, 512, /*write=*/true});
+  ASSERT_EQ(hip::hipLaunchKernelEXA(k, sim::LaunchConfig{1, 64}),
+            hip::hipSuccess);
+  check::annotate_host_read(d, 512, "test::read_result");
+  EXPECT_EQ(count(Rule::kMissingSync), 1u);
+  EXPECT_STREQ(first_id(), "missing-sync");
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, LaunchThenHostReadAfterSyncIsClean) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 512), hip::hipSuccess);
+  hip::Kernel k;
+  k.profile.name = "writer";
+  k.buffers.push_back(check::BufferUse{d, 512, /*write=*/true});
+  ASSERT_EQ(hip::hipLaunchKernelEXA(k, sim::LaunchConfig{1, 64}),
+            hip::hipSuccess);
+  ASSERT_EQ(hip::hipDeviceSynchronize(), hip::hipSuccess);
+  check::annotate_host_read(d, 512, "test::read_result");
+  EXPECT_EQ(Checker::instance().total(), 0u);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, CrossStreamReadWithoutEdgeFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 256), hip::hipSuccess);
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  std::vector<char> host(256, 7);
+  // Write d on stream s, then read it on the default stream with no edge.
+  ASSERT_EQ(hip::hipMemcpyAsync(d, host.data(), host.size(),
+                                hip::hipMemcpyHostToDevice, s),
+            hip::hipSuccess);
+  std::vector<char> out(256, 0);
+  ASSERT_EQ(hip::hipMemcpyAsync(out.data(), d, out.size(),
+                                hip::hipMemcpyDeviceToHost, nullptr),
+            hip::hipSuccess);
+  EXPECT_EQ(count(Rule::kMissingSync), 1u);
+  ASSERT_EQ(hip::hipDeviceSynchronize(), hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamDestroy(s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, StreamWaitEventEstablishesCrossStreamEdge) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 256), hip::hipSuccess);
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  hip::hipEvent_t e = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&e), hip::hipSuccess);
+  std::vector<char> host(256, 7);
+  ASSERT_EQ(hip::hipMemcpyAsync(d, host.data(), host.size(),
+                                hip::hipMemcpyHostToDevice, s),
+            hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventRecord(e, s), hip::hipSuccess);
+  // The default stream now waits on the event: the read is ordered.
+  ASSERT_EQ(hip::hipStreamWaitEvent(nullptr, e), hip::hipSuccess);
+  std::vector<char> out(256, 0);
+  ASSERT_EQ(hip::hipMemcpyAsync(out.data(), d, out.size(),
+                                hip::hipMemcpyDeviceToHost, nullptr),
+            hip::hipSuccess);
+  EXPECT_EQ(Checker::instance().total(), 0u);
+  ASSERT_EQ(hip::hipDeviceSynchronize(), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventDestroy(e), hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamDestroy(s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+}
+
+// --- event-misuse -------------------------------------------------------
+
+TEST_F(CheckRulesTest, WaitBeforeRecordFires) {
+  hip::hipEvent_t e = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&e), hip::hipSuccess);
+  EXPECT_EQ(hip::hipEventSynchronize(e), hip::hipErrorInvalidResourceHandle);
+  EXPECT_EQ(count(Rule::kEventMisuse), 1u);
+  EXPECT_STREQ(first_id(), "event-misuse");
+  ASSERT_EQ(hip::hipEventDestroy(e), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, StreamWaitOnUnrecordedEventFires) {
+  hip::hipEvent_t e = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&e), hip::hipSuccess);
+  // HIP treats this as a completed no-op — which is exactly why it is a
+  // silent ordering bug worth flagging.
+  EXPECT_EQ(hip::hipStreamWaitEvent(nullptr, e), hip::hipSuccess);
+  EXPECT_EQ(count(Rule::kEventMisuse), 1u);
+  ASSERT_EQ(hip::hipEventDestroy(e), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, ElapsedTimeOrderViolationFires) {
+  hip::hipEvent_t a = nullptr;
+  hip::hipEvent_t b = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&a), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventCreate(&b), hip::hipSuccess);
+  // Record "stop" first, then "start": elapsed(start=b, stop=a) is
+  // backwards on the same stream.
+  ASSERT_EQ(hip::hipEventRecord(a, nullptr), hip::hipSuccess);
+  hip::hipHostBusy(1.0e-6);
+  ASSERT_EQ(hip::hipEventRecord(b, nullptr), hip::hipSuccess);
+  float ms = 0.0f;
+  EXPECT_EQ(hip::hipEventElapsedTime(&ms, b, a), hip::hipSuccess);
+  EXPECT_EQ(count(Rule::kEventMisuse), 1u);
+  ASSERT_EQ(hip::hipEventDestroy(a), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventDestroy(b), hip::hipSuccess);
+}
+
+TEST_F(CheckRulesTest, RecordedEventLifecycleIsClean) {
+  hip::hipEvent_t a = nullptr;
+  hip::hipEvent_t b = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&a), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventCreate(&b), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventRecord(a, nullptr), hip::hipSuccess);
+  hip::hipHostBusy(1.0e-6);
+  ASSERT_EQ(hip::hipEventRecord(b, nullptr), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventSynchronize(b), hip::hipSuccess);
+  float ms = 0.0f;
+  EXPECT_EQ(hip::hipEventElapsedTime(&ms, a, b), hip::hipSuccess);
+  EXPECT_EQ(Checker::instance().total(), 0u);
+  ASSERT_EQ(hip::hipEventDestroy(a), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventDestroy(b), hip::hipSuccess);
+}
+
+// --- leak ---------------------------------------------------------------
+
+TEST_F(CheckRulesTest, LeakAtTeardownFires) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 4096), hip::hipSuccess);
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  hip::hipEvent_t e = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&e), hip::hipSuccess);
+  // Reconfiguration is device teardown: everything still live leaks.
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 2);
+  EXPECT_EQ(count(Rule::kLeak), 3u);
+  EXPECT_STREQ(first_id(), "leak");
+}
+
+TEST_F(CheckRulesTest, BalancedLifecycleHasNoLeaks) {
+  void* d = nullptr;
+  ASSERT_EQ(hip::hipMalloc(&d, 4096), hip::hipSuccess);
+  hip::hipStream_t s = nullptr;
+  ASSERT_EQ(hip::hipStreamCreate(&s), hip::hipSuccess);
+  hip::hipEvent_t e = nullptr;
+  ASSERT_EQ(hip::hipEventCreate(&e), hip::hipSuccess);
+  ASSERT_EQ(hip::hipEventDestroy(e), hip::hipSuccess);
+  ASSERT_EQ(hip::hipStreamDestroy(s), hip::hipSuccess);
+  ASSERT_EQ(hip::hipFree(d), hip::hipSuccess);
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 2);
+  EXPECT_EQ(Checker::instance().total(), 0u);
+}
+
+TEST_F(CheckRulesTest, SimCensusCatchesUntrackedAllocations) {
+  // Allocate behind the shim's back: the sim census cross-check reports it
+  // even though the HIP pointer table never saw it.
+  void* raw = hip::Runtime::instance().device(0).malloc_device(2048);
+  ASSERT_NE(raw, nullptr);
+  hip::Runtime::instance().configure(arch::mi250x_gcd(), 2);
+  EXPECT_EQ(count(Rule::kLeak), 1u);
+}
+
+// --- strict mode: exact rule id + non-zero exit -------------------------
+
+class CheckStrictDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Forked death-test children re-run the scenario; the parent process
+    // keeps its checker off so only the child reports.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(CheckStrictDeathTest, UafExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 64);
+        (void)hip::hipFree(d);
+        char host[8] = {};
+        (void)hip::hipMemcpy(host, d, sizeof(host),
+                             hip::hipMemcpyDeviceToHost);
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[uaf\\]");
+}
+
+TEST_F(CheckStrictDeathTest, DoubleFreeExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 64);
+        (void)hip::hipFree(d);
+        (void)hip::hipFree(d);
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[double-free\\]");
+}
+
+TEST_F(CheckStrictDeathTest, StreamMisuseExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::Runtime::instance().configure(arch::mi250x_gcd(), 2);
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        (void)hip::hipSetDevice(0);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 64);
+        (void)hip::hipSetDevice(1);
+        (void)hip::hipFree(d);
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[stream-misuse\\]");
+}
+
+TEST_F(CheckStrictDeathTest, AsyncRaceExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 256);
+        char host[256] = {};
+        (void)hip::hipMemcpyAsync(d, host, sizeof(host),
+                                  hip::hipMemcpyHostToDevice, nullptr);
+        check::annotate_host_write(host, sizeof(host), "death::reuse");
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[async-race\\]");
+}
+
+TEST_F(CheckStrictDeathTest, MissingSyncExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 256);
+        hip::Kernel k;
+        k.profile.name = "writer";
+        k.buffers.push_back(check::BufferUse{d, 256, /*write=*/true});
+        (void)hip::hipLaunchKernelEXA(k, sim::LaunchConfig{1, 64});
+        check::annotate_host_read(d, 256, "death::read");
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[missing-sync\\]");
+}
+
+TEST_F(CheckStrictDeathTest, EventMisuseExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        hip::hipEvent_t e = nullptr;
+        (void)hip::hipEventCreate(&e);
+        (void)hip::hipEventSynchronize(e);
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[event-misuse\\]");
+}
+
+TEST_F(CheckStrictDeathTest, LeakExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        hip::hipCheckEnableEXA(/*strict=*/true);
+        void* d = nullptr;
+        (void)hip::hipMalloc(&d, 4096);
+        hip::hipCheckFinalizeEXA();  // explicit teardown: scans + exits
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(1), "exa-check\\[leak\\]");
+}
+
+}  // namespace
+}  // namespace exa

@@ -1,0 +1,257 @@
+/// Unit coverage for the exa-lint static pass: each rule fires on a
+/// minimal repro, stays quiet on the idiomatic fix, and the masking /
+/// suppression machinery handles the constructs that defeat naive greps
+/// (comments, strings, raw strings, qualified names, (void) casts).
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/lint.hpp"
+
+namespace exa::check::lint {
+namespace {
+
+bool has_rule(const Report& report, const std::string& rule) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+std::size_t rule_count(const Report& report, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintTest, RuleListIsStable) {
+  const auto& rules = rule_ids();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "unchecked-hip-call"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "deprecated-cuda"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-device-alloc"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "blocking-in-parallel"),
+            rules.end());
+}
+
+// --- unchecked-hip-call -------------------------------------------------
+
+TEST(LintTest, UncheckedCallFires) {
+  const auto r = lint_source("void f() {\n  hipDeviceSynchronize();\n}\n",
+                             "t.cpp");
+  EXPECT_TRUE(has_rule(r, "unchecked-hip-call"));
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings.front().line, 2);
+}
+
+TEST(LintTest, CheckedCallIsClean) {
+  const auto r = lint_source(
+      "void f() {\n"
+      "  hipError_t err = hipDeviceSynchronize();\n"
+      "  if (hipDeviceSynchronize() != hipSuccess) return;\n"
+      "  HIP_CHECK(hipDeviceSynchronize());\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "unchecked-hip-call"));
+}
+
+TEST(LintTest, VoidCastCountsAsChecked) {
+  const auto r =
+      lint_source("void f() {\n  (void)hipDeviceSynchronize();\n}\n",
+                  "t.cpp");
+  EXPECT_FALSE(has_rule(r, "unchecked-hip-call"));
+}
+
+TEST(LintTest, QualifiedCallStillRecognized) {
+  // `exa::hip::hipFoo(...)` at statement position: the `::` qualifier must
+  // not read as a statement boundary.
+  const auto fires = lint_source(
+      "void f() {\n  exa::hip::hipDeviceSynchronize();\n}\n", "t.cpp");
+  EXPECT_TRUE(has_rule(fires, "unchecked-hip-call"));
+  const auto clean = lint_source(
+      "void f() {\n  auto e = exa::hip::hipDeviceSynchronize();\n  (void)e;\n}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(clean, "unchecked-hip-call"));
+}
+
+TEST(LintTest, ExemptFunctionsNeedNoCheck) {
+  const auto r = lint_source(
+      "void f() {\n"
+      "  hipGetErrorString(hipSuccess);\n"
+      "  hipHostBusy(1.0e-6);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "unchecked-hip-call"));
+}
+
+TEST(LintTest, CallsInCommentsAndStringsIgnored) {
+  const auto r = lint_source(
+      "// hipDeviceSynchronize();\n"
+      "/* hipFree(p); */\n"
+      "const char* s = \"hipMalloc(&p, n);\";\n",
+      "t.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintTest, RawStringContentIgnored) {
+  // A raw string holding CUDA source (the port_a_cuda_app pattern) must
+  // not leak its content into the scanned code.
+  const auto r = lint_source(
+      "const char* src = R\"cu(\n"
+      "  cudaMalloc(&p, n);\n"
+      "  kernel<<<grid, block>>>(p);\n"
+      ")cu\";\n"
+      "void f() {}\n",
+      "t.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// --- deprecated-cuda ----------------------------------------------------
+
+TEST(LintTest, CudaSpellingFires) {
+  const auto r = lint_source(
+      "void f() {\n  (void)cudaDeviceSynchronize();\n}\n", "t.cpp");
+  EXPECT_TRUE(has_rule(r, "deprecated-cuda"));
+}
+
+TEST(LintTest, TripleChevronLaunchFires) {
+  const auto r = lint_source(
+      "void f() {\n  kernel<<<grid, block>>>(arg);\n}\n", "t.cpp");
+  EXPECT_TRUE(has_rule(r, "deprecated-cuda"));
+}
+
+TEST(LintTest, HipSpellingIsClean) {
+  const auto r = lint_source(
+      "void f() {\n  (void)hipDeviceSynchronize();\n}\n", "t.cpp");
+  EXPECT_FALSE(has_rule(r, "deprecated-cuda"));
+}
+
+TEST(LintTest, WordBoundaryRespected) {
+  // `my_cudaMalloc_wrapper` is not a CUDA API call.
+  const auto r = lint_source(
+      "void f() {\n  (void)my_cudaMalloc_wrapper();\n}\n", "t.cpp");
+  EXPECT_FALSE(has_rule(r, "deprecated-cuda"));
+}
+
+// --- raw-device-alloc ---------------------------------------------------
+
+TEST(LintTest, RawMallocAndFreeFire) {
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  (void)hipMalloc(p, 64);\n"
+      "  (void)hipFree(*p);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_EQ(rule_count(r, "raw-device-alloc"), 2u);
+}
+
+TEST(LintTest, PooledViewsAreClean) {
+  const auto r = lint_source(
+      "void f() {\n  auto v = pfw::make_view<float>(1024);\n}\n", "t.cpp");
+  EXPECT_FALSE(has_rule(r, "raw-device-alloc"));
+}
+
+// --- blocking-in-parallel -----------------------------------------------
+
+TEST(LintTest, BlockingCallInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(void* d, void* h) {\n"
+      "  pfw::parallel_for(\"k\", 128, [&](std::size_t i) {\n"
+      "    (void)hipMemcpy(d, h, 8, hipMemcpyHostToDevice);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "blocking-in-parallel"));
+}
+
+TEST(LintTest, BlockingCallOutsideParallelBodyIsClean) {
+  const auto r = lint_source(
+      "void f(void* d, void* h) {\n"
+      "  (void)hipMemcpy(d, h, 8, hipMemcpyHostToDevice);\n"
+      "  pfw::parallel_for(\"k\", 128, [&](std::size_t i) { work(i); });\n"
+      "  (void)hipDeviceSynchronize();\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "blocking-in-parallel"));
+}
+
+TEST(LintTest, ParallelReduceBodyAlsoScanned) {
+  const auto r = lint_source(
+      "double f() {\n"
+      "  return pfw::parallel_reduce(\"r\", 64, 0.0,\n"
+      "      [&](std::size_t i, double a) {\n"
+      "        (void)hipDeviceSynchronize();\n"
+      "        return a;\n"
+      "      });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "blocking-in-parallel"));
+}
+
+// --- suppressions -------------------------------------------------------
+
+TEST(LintTest, SameLineSuppressionCountsAsSuppressed) {
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  (void)hipMalloc(p, 64);  // exa-lint: allow(raw-device-alloc)\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "raw-device-alloc"));
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(LintTest, PrecedingLineSuppressionApplies) {
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  // exa-lint: allow(raw-device-alloc)\n"
+      "  (void)hipMalloc(p, 64);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "raw-device-alloc"));
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(LintTest, SuppressionIsRuleSpecific) {
+  // Allowing raw-device-alloc must not hide the unchecked-call finding on
+  // the same line.
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  hipMalloc(p, 64);  // exa-lint: allow(raw-device-alloc)\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "unchecked-hip-call"));
+  EXPECT_FALSE(has_rule(r, "raw-device-alloc"));
+}
+
+TEST(LintTest, MultiRuleSuppression) {
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  hipMalloc(p, 64);  // exa-lint: allow(raw-device-alloc,"
+      " unchecked-hip-call)\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(LintTest, DisabledRulesAreSkipped) {
+  const auto r = lint_source(
+      "void f(void** p) {\n  (void)hipMalloc(p, 64);\n}\n", "t.cpp",
+      {"raw-device-alloc"});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintTest, FindingFormatIsFileLineRuleMessage) {
+  const auto r =
+      lint_source("void f() {\n  hipDeviceSynchronize();\n}\n", "dir/x.cpp");
+  ASSERT_FALSE(r.findings.empty());
+  const std::string line = r.findings.front().format();
+  EXPECT_NE(line.find("dir/x.cpp:2:"), std::string::npos);
+  EXPECT_NE(line.find("exa-lint[unchecked-hip-call]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exa::check::lint

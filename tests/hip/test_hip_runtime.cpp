@@ -55,6 +55,19 @@ TEST_F(HipRuntimeTest, FreeSemantics) {
   EXPECT_EQ(hipFree(&not_device), hipErrorInvalidDevicePointer);
 }
 
+TEST_F(HipRuntimeTest, FreeOnForeignDeviceRejected) {
+  // hipFree must run with the allocating device current: freeing another
+  // device's pointer is hipErrorInvalidValue (real HIP's contract), and
+  // the allocation stays live for the rightful owner to release.
+  ASSERT_EQ(hipSetDevice(0), hipSuccess);
+  void* p = nullptr;
+  ASSERT_EQ(hipMalloc(&p, 256), hipSuccess);
+  ASSERT_EQ(hipSetDevice(1), hipSuccess);
+  EXPECT_EQ(hipFree(p), hipErrorInvalidValue);
+  ASSERT_EQ(hipSetDevice(0), hipSuccess);
+  EXPECT_EQ(hipFree(p), hipSuccess);
+}
+
 TEST_F(HipRuntimeTest, MallocZeroRejected) {
   void* p = nullptr;
   EXPECT_EQ(hipMalloc(&p, 0), hipErrorInvalidValue);

@@ -1,0 +1,113 @@
+/// \file exa_lint.cpp
+/// exa-lint — static HIP API-misuse pass over C++ sources.
+///
+/// Usage: exa-lint [--allow <rule>]... [--list-rules] [--quiet]
+///                 <file-or-directory>...
+///
+/// Directories are walked recursively for C/C++/CUDA sources. Exit code is
+/// 1 when any unsuppressed finding remains, 0 otherwise — so CI runs it as
+/// a test over src/apps/ and examples/.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using exa::check::lint::Report;
+
+bool is_source_file(const fs::path& p) {
+  static const std::vector<std::string> exts = {".cpp", ".cc",  ".cxx", ".c",
+                                                ".hpp", ".hh",  ".hxx", ".h",
+                                                ".cu",  ".cuh", ".hip"};
+  const std::string ext = p.extension().string();
+  return std::find(exts.begin(), exts.end(), ext) != exts.end();
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (!ec && it->is_regular_file(ec) && is_source_file(it->path())) {
+        out.push_back(it->path());
+      }
+    }
+  } else if (fs::is_regular_file(root, ec)) {
+    out.push_back(root);
+  } else {
+    std::cerr << "exa-lint: cannot read " << root << "\n";
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage: exa-lint [--allow <rule>]... [--list-rules] [--quiet]\n"
+         "                <file-or-directory>...\n"
+         "Suppress a single finding in source with: "
+         "// exa-lint: allow(<rule>)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> disabled;
+  std::vector<fs::path> roots;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow") {
+      if (++i >= argc) return usage();
+      disabled.emplace_back(argv[i]);
+    } else if (arg == "--list-rules") {
+      for (const auto& id : exa::check::lint::rule_ids()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) collect(root, files);
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  int suppressed = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "exa-lint: cannot open " << file << "\n";
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const Report report = exa::check::lint::lint_source(
+        buf.str(), file.generic_string(), disabled);
+    suppressed += report.suppressed;
+    findings += report.findings.size();
+    for (const auto& f : report.findings) std::cout << f.format() << "\n";
+  }
+  if (!quiet) {
+    std::cerr << "exa-lint: " << files.size() << " file(s), " << findings
+              << " finding(s), " << suppressed << " suppressed\n";
+  }
+  return findings == 0 ? 0 : 1;
+}
