@@ -9,18 +9,24 @@
 ///     --trace=<file>          capture a Chrome trace-event JSON timeline
 ///     --profile-jsonl=<file>  append Extra-P-style JSONL profile samples
 ///     --csv=<file>            machine-readable series next to the tables
+///     --seed=<u64>            override the bench's RNG seed (hex or dec)
+///     --emit-golden=<file>    write this run's metrics as a golden baseline
+///     --check-golden=<file>   gate this run against a checked-in baseline
 ///
 /// Construct a `Session` from argc/argv at the top of main; it enables the
-/// trace::Tracer / trace::Profiler for the run and writes the requested
-/// files at scope exit. With no flags passed, nothing is enabled and
-/// stdout is byte-identical to an uninstrumented run.
+/// trace::Tracer / trace::Profiler for the run, prints the effective seed
+/// on entry (stderr), and writes the requested files — or compares against
+/// the golden baseline, exiting non-zero on drift — at scope exit. With no
+/// flags passed, stdout is byte-identical to an uninstrumented run.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "qa/golden.hpp"
 #include "support/csv.hpp"
 #include "support/log.hpp"
 #include "trace/chrome_export.hpp"
@@ -101,13 +107,27 @@ inline void csv_row(const std::unique_ptr<CsvSink>& sink,
 /// ignored (benches keep their own flags, google-benchmark keeps its own).
 class Session {
  public:
-  Session(int argc, char** argv) {
+  /// `default_seed` is the bench's own deterministic seed; --seed=
+  /// overrides it. The effective seed is printed on entry (to stderr, so
+  /// a flagless run's stdout stays byte-identical) — every bench run is
+  /// reproducible from its log.
+  Session(int argc, char** argv, std::uint64_t default_seed = 0x5eed'0000)
+      : seed_(default_seed) {
+    std::string seed_text;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       take(arg, "--trace=", trace_path_) ||
           take(arg, "--profile-jsonl=", profile_path_) ||
-          take(arg, "--csv=", csv_path_);
+          take(arg, "--csv=", csv_path_) || take(arg, "--seed=", seed_text) ||
+          take(arg, "--emit-golden=", emit_golden_path_) ||
+          take(arg, "--check-golden=", check_golden_path_);
     }
+    if (!seed_text.empty()) {
+      seed_ = std::strtoull(seed_text.c_str(), nullptr, 0);  // dec or 0x...
+    }
+    std::fprintf(stderr, "session: seed 0x%llx (replay with --seed=0x%llx)\n",
+                 static_cast<unsigned long long>(seed_),
+                 static_cast<unsigned long long>(seed_));
     if (!trace_path_.empty()) {
       trace::Tracer::instance().enable();
       support::log_debug("session: tracing to ", trace_path_);
@@ -151,8 +171,19 @@ class Session {
       }
       profiler.disable();
     }
+    finish_golden();
   }
 
+  // --- golden-baseline gate ----------------------------------------------
+
+  /// Records one headline metric of this run. `rel_tol` is the drift this
+  /// metric tolerates when a future run is gated against a baseline
+  /// emitted from this one.
+  void metric(std::string name, double value, double rel_tol) {
+    metrics_.push_back(qa::GoldenMetric{std::move(name), value, rel_tol});
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
   [[nodiscard]] bool profiling() const { return !profile_path_.empty(); }
   [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
@@ -167,9 +198,43 @@ class Session {
     return true;
   }
 
+  void finish_golden() {
+    if (!emit_golden_path_.empty()) {
+      try {
+        qa::golden_write(emit_golden_path_, qa::GoldenFile{metrics_});
+        std::fprintf(stderr, "golden: wrote %s (%zu metrics)\n",
+                     emit_golden_path_.c_str(), metrics_.size());
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "golden: %s\n", err.what());
+        std::_Exit(1);
+      }
+    }
+    if (check_golden_path_.empty()) return;
+    try {
+      const qa::GoldenFile baseline = qa::golden_load(check_golden_path_);
+      const qa::GoldenCompareResult cmp = qa::golden_compare(baseline, metrics_);
+      std::fprintf(stderr, "%s [%s]\n", cmp.report().c_str(),
+                   check_golden_path_.c_str());
+      if (!cmp.ok) {
+        // _Exit keeps the gate's exit code deterministic from a destructor
+        // (same idiom as check::Checker::finalize).
+        std::fflush(nullptr);
+        std::_Exit(1);
+      }
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "golden: %s\n", err.what());
+      std::fflush(nullptr);
+      std::_Exit(1);
+    }
+  }
+
+  std::uint64_t seed_ = 0;
   std::string trace_path_;
   std::string profile_path_;
   std::string csv_path_;
+  std::string emit_golden_path_;
+  std::string check_golden_path_;
+  std::vector<qa::GoldenMetric> metrics_;
 };
 
 }  // namespace exa::bench

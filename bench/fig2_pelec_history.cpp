@@ -12,9 +12,10 @@
 #include "support/table.hpp"
 #include "support/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
   using apps::pele::figure2_series;
+  bench::Session session(argc, argv);
   bench::banner("Figure 2",
                 "PeleC time per cell per timestep, Sep 2018 - Mar 2023, "
                 "single node and 4096 nodes");
@@ -45,5 +46,14 @@ int main() {
                            0.80, weak_eff);
 
   std::printf("\nCSV:\n%s", csv.render().c_str());
+
+  // Golden gate. The per-point absolute times feed the mutation smoke test:
+  // a uniform cost perturbation cancels out of the ratio metrics but not of
+  // these, so the WILL_FAIL gates key on them.
+  session.metric("fig2.cumulative_speedup", total, 0.02);
+  session.metric("fig2.weak_scaling_efficiency_4096", weak_eff, 0.02);
+  session.metric("fig2.first_point_time_per_cell_s", start, 0.01);
+  session.metric("fig2.last_point_time_per_cell_s", series[5].time_per_cell_s,
+                 0.01);
   return 0;
 }

@@ -96,5 +96,13 @@ int main(int argc, char** argv) {
                            5.0, t_slabs.fom / t_summit.fom, "x");
   bench::paper_vs_measured("Slabs advantage over Pencils at 4096 nodes", 1.2,
                            t_pencils.total() / t_slabs.total(), "x");
+
+  // Golden gate: the CAAR FOM improvement is the in-text claim; the raw
+  // Frontier FOM is absolute, so it also catches uniform cost drift.
+  session.metric("gests.caar_fom_improvement", t_slabs.fom / t_summit.fom,
+                 0.02);
+  session.metric("gests.frontier_slabs_fom_32768", t_slabs.fom, 0.02);
+  session.metric("gests.slabs_vs_pencils_4096",
+                 t_pencils.total() / t_slabs.total(), 0.02);
   return 0;
 }

@@ -6,8 +6,9 @@
 #include "bench_util.hpp"
 #include "coe/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exa;
+  bench::Session session(argc, argv);
   bench::banner("Table 1", "Application porting motifs");
   const coe::Registry registry = coe::Registry::paper_applications();
   std::printf("%s\n", registry.table1_motifs().render().c_str());
@@ -20,5 +21,22 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Golden gate: the Table 1 shape is discrete, so any drift is a real
+  // registry change — gate the motif census exactly (rel_tol 0).
+  session.metric("table1.application_count",
+                 static_cast<double>(registry.size()), 0.0);
+  std::size_t assignments = 0;
+  for (const coe::Motif m : coe::all_motifs()) {
+    std::size_t count = 0;
+    for (const auto& app : registry.applications()) {
+      if (app.has_motif(m)) ++count;
+    }
+    assignments += count;
+    session.metric("table1.motif." + coe::to_string(m),
+                   static_cast<double>(count), 0.0);
+  }
+  session.metric("table1.motif_assignments",
+                 static_cast<double>(assignments), 0.0);
   return 0;
 }

@@ -1,0 +1,101 @@
+#pragma once
+/// \file generators.hpp
+/// Reusable generators over the domains the repo's numerics care about:
+/// matrix shapes, well-conditioned dense matrices, SPD matrices,
+/// permutations, and device data types. All draw through qa::Gen so every
+/// generated case shrinks and replays with the property core.
+
+#include <complex>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "arch/dtype.hpp"
+#include "qa/property.hpp"
+
+namespace exa::qa {
+
+/// A power of two in [2^lo, 2^hi] (FFT sizes; shrinks toward 2^lo).
+inline std::size_t gen_pow2(Gen& g, unsigned lo, unsigned hi) {
+  return std::size_t{1} << g.size(lo, hi);
+}
+
+/// Entries uniform in [-1, 1] — bounded, so norms stay O(n).
+inline std::vector<double> gen_vector(Gen& g, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = g.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Dense n x n row-major matrix with entries in [-1, 1].
+inline std::vector<double> gen_matrix(Gen& g, std::size_t n) {
+  return gen_vector(g, n * n);
+}
+
+/// Diagonally dominant n x n matrix: a random matrix with n added to the
+/// diagonal. Guaranteed nonsingular with condition number O(n), so LU
+/// residual bounds are tight and shrinking never walks into a singular
+/// corner case.
+inline std::vector<double> gen_diag_dominant(Gen& g, std::size_t n) {
+  std::vector<double> a = gen_matrix(g, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] += static_cast<double>(n);
+  }
+  return a;
+}
+
+/// Symmetric positive-definite n x n matrix: B^T B / n + I for random B.
+inline std::vector<double> gen_spd(Gen& g, std::size_t n) {
+  const std::vector<double> b = gen_matrix(g, n);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += b[k * n + i] * b[k * n + j];
+      const double v = s / static_cast<double>(n) + (i == j ? 1.0 : 0.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  return a;
+}
+
+/// Complex diagonally dominant matrix (zgetrf inputs).
+inline std::vector<std::complex<double>> gen_zmatrix_dominant(Gen& g,
+                                                              std::size_t n) {
+  std::vector<std::complex<double>> a(n * n);
+  for (auto& x : a) x = {g.uniform(-1.0, 1.0), g.uniform(-1.0, 1.0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] += static_cast<double>(n);
+  }
+  return a;
+}
+
+/// Random permutation of [0, n) via Fisher-Yates (draws shrink toward the
+/// identity permutation).
+inline std::vector<std::size_t> gen_permutation(Gen& g, std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[g.index(i)]);
+  }
+  return p;
+}
+
+/// The permutation matrix of `perm` (row i of P*A is row perm[i] of A).
+inline std::vector<double> permutation_matrix(const std::vector<std::size_t>& perm) {
+  const std::size_t n = perm.size();
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) p[i * n + perm[i]] = 1.0;
+  return p;
+}
+
+/// One of the numeric device data types (for generated kernel profiles).
+inline arch::DType gen_dtype(Gen& g) {
+  static const std::vector<arch::DType> kTypes = {
+      arch::DType::kF64, arch::DType::kF32, arch::DType::kF16,
+      arch::DType::kI32};
+  return g.pick(kTypes);
+}
+
+}  // namespace exa::qa

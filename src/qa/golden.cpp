@@ -1,0 +1,113 @@
+#include "qa/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/json.hpp"
+
+namespace exa::qa {
+
+GoldenFile golden_load(const std::string& path) {
+  std::ifstream in(path);
+  EXA_REQUIRE_MSG(in.good(), "golden baseline not readable: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const trace::JsonValue doc = trace::json_parse(text.str());
+
+  const trace::JsonValue* schema = doc.find("schema");
+  EXA_REQUIRE_MSG(schema != nullptr && schema->is_string() &&
+                  schema->as_string() == "exa-golden-v1",
+              "golden baseline missing schema marker: " + path);
+  const trace::JsonValue* metrics = doc.find("metrics");
+  EXA_REQUIRE_MSG(metrics != nullptr && metrics->is_object(),
+              "golden baseline missing metrics object: " + path);
+
+  GoldenFile golden;
+  for (const auto& [name, entry] : metrics->as_object()) {
+    const trace::JsonValue* value = entry.find("value");
+    const trace::JsonValue* rel_tol = entry.find("rel_tol");
+    EXA_REQUIRE_MSG(value != nullptr && value->is_number() && rel_tol != nullptr &&
+                    rel_tol->is_number(),
+                "golden metric '" + name + "' malformed in " + path);
+    golden.metrics.push_back(
+        GoldenMetric{name, value->as_number(), rel_tol->as_number()});
+  }
+  return golden;
+}
+
+void golden_write(const std::string& path, const GoldenFile& golden) {
+  trace::JsonValue::Object metrics;  // std::map: sorted, stable diffs
+  for (const GoldenMetric& m : golden.metrics) {
+    trace::JsonValue::Object entry;
+    entry["value"] = trace::JsonValue(m.value);
+    entry["rel_tol"] = trace::JsonValue(m.rel_tol);
+    metrics[m.name] = trace::JsonValue(std::move(entry));
+  }
+  trace::JsonValue::Object doc;
+  doc["schema"] = trace::JsonValue("exa-golden-v1");
+  doc["metrics"] = trace::JsonValue(std::move(metrics));
+
+  std::ofstream out(path);
+  EXA_REQUIRE_MSG(out.good(), "cannot write golden baseline: " + path);
+  out << trace::JsonValue(std::move(doc)).dump() << "\n";
+  EXA_REQUIRE_MSG(out.good(), "short write on golden baseline: " + path);
+}
+
+std::string GoldenCompareResult::report() const {
+  std::ostringstream os;
+  os << "golden: " << (ok ? "OK" : "FAIL") << " (" << compared
+     << " metrics compared, " << failures.size() << " violations)";
+  for (const std::string& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+GoldenCompareResult golden_compare(const GoldenFile& baseline,
+                                   const std::vector<GoldenMetric>& measured) {
+  GoldenCompareResult result;
+  const auto find_measured = [&](const std::string& name) -> const GoldenMetric* {
+    for (const GoldenMetric& m : measured) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+
+  for (const GoldenMetric& b : baseline.metrics) {
+    const GoldenMetric* m = find_measured(b.name);
+    if (m == nullptr) {
+      result.failures.push_back("metric '" + b.name +
+                                "' in baseline but not measured");
+      continue;
+    }
+    ++result.compared;
+    const double denom = std::abs(b.value);
+    const double drift = std::abs(m->value - b.value);
+    const bool within =
+        denom > 0.0 ? drift <= b.rel_tol * denom : drift == 0.0;
+    if (!within) {
+      std::ostringstream os;
+      os << "metric '" << b.name << "' drifted: baseline "
+         << trace::json_number(b.value) << ", measured "
+         << trace::json_number(m->value) << " (rel "
+         << trace::json_number(denom > 0.0 ? drift / denom : drift)
+         << " > tol " << trace::json_number(b.rel_tol) << ")";
+      result.failures.push_back(os.str());
+    }
+  }
+  for (const GoldenMetric& m : measured) {
+    const bool known = std::any_of(
+        baseline.metrics.begin(), baseline.metrics.end(),
+        [&](const GoldenMetric& b) { return b.name == m.name; });
+    if (!known) {
+      result.failures.push_back("metric '" + m.name +
+                                "' measured but not in baseline "
+                                "(re-emit the golden file)");
+    }
+  }
+  result.ok = result.failures.empty();
+  return result;
+}
+
+}  // namespace exa::qa

@@ -1,0 +1,61 @@
+#pragma once
+/// \file golden.hpp
+/// Golden-baseline gates for the paper-artifact benches.
+///
+/// Every figure/table regenerator can emit its headline metrics to a JSON
+/// baseline (`--emit-golden=<file>`) and later be gated against a
+/// checked-in baseline (`--check-golden=<file>`). Baselines store a
+/// per-metric relative tolerance, so deliberate model changes re-emit the
+/// file in one step while accidental drift — a cost-model constant nudged,
+/// a dispatch path regressed — fails the `golden`-labeled ctests.
+///
+/// Format (tests/golden/*.json):
+///   {
+///     "schema": "exa-golden-v1",
+///     "metrics": {
+///       "fig1.geomean_ratio": { "value": 0.998, "rel_tol": 0.02 }
+///     }
+///   }
+
+#include <string>
+#include <vector>
+
+namespace exa::qa {
+
+struct GoldenMetric {
+  std::string name;
+  double value = 0.0;
+  /// Allowed relative deviation from the baseline value (e.g. 0.02 = 2%).
+  double rel_tol = 0.0;
+};
+
+struct GoldenFile {
+  std::vector<GoldenMetric> metrics;
+};
+
+/// Parses a baseline file; throws support::Error on malformed input.
+[[nodiscard]] GoldenFile golden_load(const std::string& path);
+
+/// Writes `golden` as a baseline file (metrics sorted by name, so emitted
+/// baselines diff cleanly). Throws support::Error on I/O failure.
+void golden_write(const std::string& path, const GoldenFile& golden);
+
+struct GoldenCompareResult {
+  bool ok = true;
+  std::size_t compared = 0;
+  /// One line per violation: value drift, missing metric, or a measured
+  /// metric absent from the baseline (strict in both directions).
+  std::vector<std::string> failures;
+
+  [[nodiscard]] std::string report() const;
+};
+
+/// Compares measured metrics against a baseline. Strict both ways: every
+/// baseline metric must be measured, every measured metric must be in the
+/// baseline, and |measured - baseline| must stay within the baseline's
+/// rel_tol (relative to |baseline|; exact match required when the
+/// baseline value is 0).
+[[nodiscard]] GoldenCompareResult golden_compare(
+    const GoldenFile& baseline, const std::vector<GoldenMetric>& measured);
+
+}  // namespace exa::qa

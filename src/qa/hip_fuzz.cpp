@@ -1,0 +1,497 @@
+#include "qa/hip_fuzz.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_arch.hpp"
+#include "hip/hip_runtime.hpp"
+#include "qa/hip_model.hpp"
+
+namespace exa::qa {
+
+namespace {
+
+// The model deliberately avoids the hip headers; pin its error values to
+// the real enum here, where both are visible.
+static_assert(static_cast<int>(ModelError::kSuccess) == hip::hipSuccess);
+static_assert(static_cast<int>(ModelError::kInvalidValue) ==
+              hip::hipErrorInvalidValue);
+static_assert(static_cast<int>(ModelError::kOutOfMemory) ==
+              hip::hipErrorOutOfMemory);
+static_assert(static_cast<int>(ModelError::kInvalidDevice) ==
+              hip::hipErrorInvalidDevice);
+static_assert(static_cast<int>(ModelError::kInvalidDevicePointer) ==
+              hip::hipErrorInvalidDevicePointer);
+static_assert(static_cast<int>(ModelError::kInvalidResourceHandle) ==
+              hip::hipErrorInvalidResourceHandle);
+static_assert(static_cast<int>(ModelError::kNotReady) == hip::hipErrorNotReady);
+
+constexpr std::size_t kStagingBuffers = 4;
+constexpr std::size_t kStagingBytes = 4096;
+constexpr std::size_t kMaxAllocBytes = 4096;
+
+/// Arms the checker for one sequence and guarantees a clean global state
+/// on every exit path (including a thrown divergence mid-sequence).
+class ArmGuard {
+ public:
+  ArmGuard() {
+    auto& checker = check::Checker::instance();
+    checker.set_mode(check::Mode::kOff);
+    checker.clear();
+  }
+  ~ArmGuard() {
+    auto& checker = check::Checker::instance();
+    checker.set_mode(check::Mode::kOff);
+    checker.clear();
+    // Leave the runtime in its default shape for whatever runs next
+    // (reconfigured while disarmed: no leak scan).
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+  }
+  ArmGuard(const ArmGuard&) = delete;
+  ArmGuard& operator=(const ArmGuard&) = delete;
+};
+
+class FuzzExecutor {
+ public:
+  FuzzExecutor(Gen& g, const FuzzConfig& cfg, FuzzStats* stats)
+      : g_(g), cfg_(cfg), stats_(stats), model_(cfg.devices) {
+    for (auto& s : staging_) s.assign(kStagingBytes, 0);
+  }
+
+  void run() {
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), cfg_.devices);
+    check::Checker::instance().set_mode(check::Mode::kOn);
+    check::Checker::instance().clear();
+
+    const int n_ops = 4 + static_cast<int>(g_.range(
+                              static_cast<std::uint64_t>(cfg_.max_ops)));
+    for (int i = 0; i < n_ops; ++i) step();
+    teardown();
+
+    if (stats_ != nullptr) {
+      ++stats_->sequences;
+      stats_->diagnostics += check::Checker::instance().total();
+    }
+  }
+
+ private:
+  struct DevBuf {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;
+    bool live = true;
+  };
+  struct StreamRec {
+    hip::hipStream_t h = nullptr;
+    bool destroyed = false;
+  };
+  struct EventRec {
+    hip::hipEvent_t h = nullptr;
+    bool destroyed = false;
+  };
+
+  // --- bookkeeping -------------------------------------------------------
+
+  void log(std::string line) {
+    oplog_.push_back(std::move(line));
+    if (stats_ != nullptr) ++stats_->ops;
+  }
+
+  [[nodiscard]] std::string trace_tail() const {
+    std::ostringstream os;
+    const std::size_t from = oplog_.size() > 24 ? oplog_.size() - 24 : 0;
+    for (std::size_t i = from; i < oplog_.size(); ++i) {
+      os << "\n    [" << i << "] " << oplog_[i];
+    }
+    return os.str();
+  }
+
+  void compare(int got, ModelError predicted) {
+    require(got == static_cast<int>(predicted),
+            std::string("return-code divergence: shim returned ") +
+                hip::hipGetErrorString(static_cast<hip::hipError_t>(got)) +
+                ", model predicted " + to_string(predicted) + trace_tail());
+    const RuleCounts actual = checker_counts();
+    require(actual == model_.rules(),
+            "diagnostic-count divergence: checker " + actual.to_string() +
+                ", model " + model_.rules().to_string() + trace_tail());
+  }
+
+  /// True when [ptr, ptr+bytes) may really be read/written by the host
+  /// process right now: fully inside one live model allocation or one
+  /// staging buffer. Ops the shim would execute outside such ranges are
+  /// skipped (the checker's veto protects most cases; this guards the
+  /// stale-pointer-into-reused-range overflow it cannot see).
+  [[nodiscard]] bool range_safe(const void* ptr, std::size_t bytes) const {
+    if (bytes == 0) return true;
+    const auto lo = reinterpret_cast<std::uintptr_t>(ptr);
+    const auto hi = lo + bytes;
+    for (const auto& s : staging_) {
+      const auto base = reinterpret_cast<std::uintptr_t>(s.data());
+      if (lo >= base && hi <= base + s.size()) return true;
+    }
+    return model_.range_in_live_alloc(ptr, bytes);
+  }
+
+  [[nodiscard]] static bool overlaps(const void* a, const void* b,
+                                     std::size_t bytes) {
+    const auto la = reinterpret_cast<std::uintptr_t>(a);
+    const auto lb = reinterpret_cast<std::uintptr_t>(b);
+    return la < lb + bytes && lb < la + bytes;
+  }
+
+  /// Stream operand for one op: -1 = default stream (~1/3), otherwise any
+  /// created stream — including destroyed ones, which is the point.
+  [[nodiscard]] int pick_stream() {
+    if (streams_.empty() || g_.chance(0.34)) return -1;
+    return static_cast<int>(g_.index(streams_.size()));
+  }
+
+  [[nodiscard]] hip::hipStream_t stream_handle(int s) const {
+    return s < 0 ? nullptr : streams_[static_cast<std::size_t>(s)].h;
+  }
+
+  [[nodiscard]] static std::string sname(int s) {
+    return s < 0 ? "default" : "s" + std::to_string(s);
+  }
+
+  // --- ops ---------------------------------------------------------------
+
+  void step() {
+    const std::uint64_t w = g_.range(100);
+    if (w < 8) return op_set_device();
+    if (w < 22) return op_malloc();
+    if (w < 34) return op_free();
+    if (w < 48) return op_memcpy();
+    if (w < 55) return op_memset();
+    if (w < 68) return op_launch();
+    if (w < 74) return op_stream_create();
+    if (w < 79) return op_stream_destroy();
+    if (w < 86) return op_sync();
+    return op_event();
+  }
+
+  void op_set_device() {
+    const int d = static_cast<int>(g_.index(
+        static_cast<std::size_t>(cfg_.devices)));
+    log("hipSetDevice(" + std::to_string(d) + ")");
+    compare(hip::hipSetDevice(d), model_.set_device(d));
+  }
+
+  void op_malloc() {
+    const std::size_t bytes = 1 + g_.range(kMaxAllocBytes);
+    void* p = nullptr;
+    const int got = hip::hipMalloc(&p, bytes);
+    const ModelError predicted = model_.malloc(p, bytes);
+    bufs_.push_back(DevBuf{p, bytes, true});
+    log("hipMalloc(" + std::to_string(bytes) + ") -> buf" +
+        std::to_string(bufs_.size() - 1) + " dev" +
+        std::to_string(model_.current_device()));
+    compare(got, predicted);
+  }
+
+  void op_free() {
+    if (bufs_.empty()) return op_malloc();
+    // Any buffer, live or stale: stale picks exercise double-free and
+    // use-after-free; a live buffer owned by another device exercises the
+    // foreign-device free path.
+    const std::size_t i = g_.index(bufs_.size());
+    DevBuf& b = bufs_[i];
+    log("hipFree(buf" + std::to_string(i) + (b.live ? "" : " stale") +
+        ") from dev" + std::to_string(model_.current_device()));
+    const int got = hip::hipFree(b.ptr);
+    const ModelError predicted = model_.free(b.ptr);
+    if (predicted == ModelError::kSuccess) b.live = false;
+    compare(got, predicted);
+  }
+
+  void op_memcpy() {
+    if (bufs_.empty()) return op_malloc();
+    const bool async = g_.chance(0.5);
+    const std::uint64_t variant = g_.range(10);  // 0-3 H2D, 4-7 D2H, 8 D2D, 9 H2H
+    const std::size_t di = g_.index(bufs_.size());
+    const std::size_t si = g_.index(bufs_.size());
+    const std::size_t hi = g_.index(kStagingBuffers);
+    const std::size_t hj = g_.index(kStagingBuffers);
+    const int stream = async ? pick_stream() : -1;
+
+    const void* src = nullptr;
+    void* dst = nullptr;
+    int kind = 0;
+    std::size_t bytes = 0;
+    std::string what;
+    if (variant < 4) {
+      kind = hip::hipMemcpyHostToDevice;
+      dst = bufs_[di].ptr;
+      src = staging_[hi].data();
+      bytes = 1 + g_.range(bufs_[di].bytes);
+      what = "H2D host" + std::to_string(hi) + " -> buf" + std::to_string(di);
+    } else if (variant < 8) {
+      kind = hip::hipMemcpyDeviceToHost;
+      dst = staging_[hi].data();
+      src = bufs_[si].ptr;
+      bytes = 1 + g_.range(bufs_[si].bytes);
+      what = "D2H buf" + std::to_string(si) + " -> host" + std::to_string(hi);
+    } else if (variant == 8) {
+      kind = hip::hipMemcpyDeviceToDevice;
+      dst = bufs_[di].ptr;
+      src = bufs_[si].ptr;
+      bytes = 1 + g_.range(std::min(bufs_[di].bytes, bufs_[si].bytes));
+      what = "D2D buf" + std::to_string(si) + " -> buf" + std::to_string(di);
+    } else {
+      kind = hip::hipMemcpyHostToHost;
+      dst = staging_[hi].data();
+      src = staging_[hj].data();
+      bytes = 1 + g_.range(kStagingBytes);
+      what = "H2H host" + std::to_string(hj) + " -> host" + std::to_string(hi);
+    }
+
+    if (overlaps(dst, src, bytes)) {
+      if (stats_ != nullptr) ++stats_->skipped;
+      return;  // std::memcpy with overlapping ranges is UB in the shim
+    }
+    // Probe the model on a copy: if the shim would execute the copy (i.e.
+    // return success) into memory that is no longer fully live — a stale
+    // pointer whose range was partially reused — skip the op rather than
+    // corrupt the test process's heap.
+    {
+      HipModel probe = model_;
+      const ModelError would =
+          async ? probe.memcpy_async(dst, src, bytes, kind, stream)
+                : probe.memcpy_sync(dst, src, bytes, kind);
+      if (would == ModelError::kSuccess &&
+          !(range_safe(dst, bytes) && range_safe(src, bytes))) {
+        if (stats_ != nullptr) ++stats_->skipped;
+        return;
+      }
+    }
+
+    log(std::string(async ? "hipMemcpyAsync " : "hipMemcpy ") + what + " " +
+        std::to_string(bytes) + "B" +
+        (async ? " on " + sname(stream) : std::string()));
+    if (async) {
+      compare(hip::hipMemcpyAsync(dst, src, bytes,
+                                  static_cast<hip::hipMemcpyKind>(kind),
+                                  stream_handle(stream)),
+              model_.memcpy_async(dst, src, bytes, kind, stream));
+    } else {
+      compare(hip::hipMemcpy(dst, src, bytes,
+                             static_cast<hip::hipMemcpyKind>(kind)),
+              model_.memcpy_sync(dst, src, bytes, kind));
+    }
+  }
+
+  void op_memset() {
+    if (bufs_.empty()) return op_malloc();
+    const std::size_t i = g_.index(bufs_.size());
+    const std::size_t bytes = 1 + g_.range(bufs_[i].bytes);
+    void* dst = bufs_[i].ptr;
+    {
+      HipModel probe = model_;
+      if (probe.memset(dst, bytes) == ModelError::kSuccess &&
+          !range_safe(dst, bytes)) {
+        if (stats_ != nullptr) ++stats_->skipped;
+        return;
+      }
+    }
+    log("hipMemset(buf" + std::to_string(i) + ", " + std::to_string(bytes) +
+        "B)");
+    compare(hip::hipMemset(dst, 0, bytes), model_.memset(dst, bytes));
+  }
+
+  void op_launch() {
+    const int stream = pick_stream();
+    const std::uint64_t flavor = g_.range(3);
+    sim::KernelProfile profile;
+    profile.name = "qa_fuzz_kernel";
+    profile.bytes_written = 1024.0;
+    const sim::LaunchConfig cfg{1 + g_.range(8), 64};
+
+    if (flavor == 0) {
+      log("hipLaunchTimedEXA on " + sname(stream));
+      compare(hip::hipLaunchTimedEXA(profile, cfg, stream_handle(stream)),
+              model_.launch(stream));
+      return;
+    }
+    if (flavor == 1) {
+      sim::KernelTiming timing{};
+      std::uint64_t epoch = 0;
+      log("hipLaunchCachedEXA on " + sname(stream));
+      compare(hip::hipLaunchCachedEXA(profile, cfg, &timing, &epoch,
+                                      stream_handle(stream)),
+              model_.launch(stream));
+      return;
+    }
+
+    // Buffered kernel: annotate 0-2 buffers; attach a functional body
+    // (which exercises the thread pool under EXA_THREADS) only when every
+    // written range is genuinely live host memory.
+    hip::Kernel kernel;
+    kernel.profile = profile;
+    std::vector<HipModel::BufUse> model_bufs;
+    bool body_safe = true;
+    std::string desc;
+    const std::size_t n_bufs = bufs_.empty() ? 0 : g_.index(3);
+    for (std::size_t k = 0; k < n_bufs; ++k) {
+      const std::size_t i = g_.index(bufs_.size());
+      const std::size_t bytes = 1 + g_.range(bufs_[i].bytes);
+      const bool write = g_.chance(0.6);
+      kernel.buffers.push_back(
+          check::BufferUse{bufs_[i].ptr, bytes, write});
+      model_bufs.push_back(HipModel::BufUse{bufs_[i].ptr, bytes, write});
+      if (!range_safe(bufs_[i].ptr, bytes)) body_safe = false;
+      desc += (write ? " w:buf" : " r:buf") + std::to_string(i);
+    }
+    if (body_safe && !kernel.buffers.empty() &&
+        kernel.buffers.front().write) {
+      auto* out = static_cast<unsigned char*>(
+          const_cast<void*>(kernel.buffers.front().ptr));
+      const std::size_t n = kernel.buffers.front().bytes;
+      kernel.body = [out, n](const hip::KernelContext& ctx) {
+        if (ctx.global_id < n) {
+          out[ctx.global_id] = static_cast<unsigned char>(ctx.global_id);
+        }
+      };
+    }
+    log("hipLaunchKernelEXA on " + sname(stream) + desc);
+    compare(hip::hipLaunchKernelEXA(kernel, cfg, stream_handle(stream)),
+            model_.launch_kernel(stream, model_bufs));
+  }
+
+  void op_stream_create() {
+    hip::hipStream_t h = nullptr;
+    const int got = hip::hipStreamCreate(&h);
+    int handle = -1;
+    const ModelError predicted = model_.stream_create(&handle);
+    streams_.push_back(StreamRec{h, false});
+    log("hipStreamCreate -> s" + std::to_string(streams_.size() - 1) +
+        " dev" + std::to_string(model_.current_device()));
+    compare(got, predicted);
+  }
+
+  void op_stream_destroy() {
+    if (streams_.empty()) return op_stream_create();
+    const std::size_t i = g_.index(streams_.size());
+    StreamRec& s = streams_[i];
+    log("hipStreamDestroy(s" + std::to_string(i) +
+        (s.destroyed ? " destroyed)" : ")"));
+    const int got = hip::hipStreamDestroy(s.h);
+    const ModelError predicted = model_.stream_destroy(static_cast<int>(i));
+    if (predicted == ModelError::kSuccess) s.destroyed = true;
+    compare(got, predicted);
+  }
+
+  void op_sync() {
+    if (g_.chance(0.4)) {
+      log("hipDeviceSynchronize dev" +
+          std::to_string(model_.current_device()));
+      compare(hip::hipDeviceSynchronize(), model_.device_synchronize());
+      return;
+    }
+    const int s = pick_stream();
+    log("hipStreamSynchronize(" + sname(s) + ")");
+    compare(hip::hipStreamSynchronize(stream_handle(s)),
+            model_.stream_synchronize(s));
+  }
+
+  void op_event() {
+    const std::uint64_t which = g_.range(6);
+    if (events_.empty() || which == 0) {
+      hip::hipEvent_t h = nullptr;
+      const int got = hip::hipEventCreate(&h);
+      int handle = -1;
+      const ModelError predicted = model_.event_create(&handle);
+      events_.push_back(EventRec{h, false});
+      log("hipEventCreate -> e" + std::to_string(events_.size() - 1));
+      compare(got, predicted);
+      return;
+    }
+    const std::size_t i = g_.index(events_.size());
+    EventRec& e = events_[i];
+    switch (which) {
+      case 1: {
+        log("hipEventDestroy(e" + std::to_string(i) + ")");
+        const int got = hip::hipEventDestroy(e.h);
+        const ModelError predicted =
+            model_.event_destroy(static_cast<int>(i));
+        if (predicted == ModelError::kSuccess) e.destroyed = true;
+        compare(got, predicted);
+        return;
+      }
+      case 2: {
+        const int s = pick_stream();
+        log("hipEventRecord(e" + std::to_string(i) + ", " + sname(s) + ")");
+        compare(hip::hipEventRecord(e.h, stream_handle(s)),
+                model_.event_record(static_cast<int>(i), s));
+        return;
+      }
+      case 3: {
+        log("hipEventSynchronize(e" + std::to_string(i) + ")");
+        compare(hip::hipEventSynchronize(e.h),
+                model_.event_synchronize(static_cast<int>(i)));
+        return;
+      }
+      case 4: {
+        const int s = pick_stream();
+        log("hipStreamWaitEvent(" + sname(s) + ", e" + std::to_string(i) +
+            ")");
+        compare(hip::hipStreamWaitEvent(stream_handle(s), e.h),
+                model_.stream_wait_event(s, static_cast<int>(i)));
+        return;
+      }
+      default: {
+        const std::size_t j = g_.index(events_.size());
+        float ms = 0.0f;
+        log("hipEventElapsedTime(e" + std::to_string(i) + ", e" +
+            std::to_string(j) + ")");
+        compare(hip::hipEventElapsedTime(&ms, e.h, events_[j].h),
+                model_.event_elapsed(static_cast<int>(i),
+                                     static_cast<int>(j)));
+        return;
+      }
+    }
+  }
+
+  void teardown() {
+    // Reconfiguring while armed leak-scans the outgoing generation; the
+    // model predicts one leak diagnostic per live alloc/stream/event.
+    model_.teardown_leak_scan();
+    log("teardown (Runtime::configure while armed)");
+    hip::Runtime::instance().configure(arch::mi250x_gcd(), 1);
+    const RuleCounts actual = checker_counts();
+    require(actual == model_.rules(),
+            "teardown leak divergence: checker " + actual.to_string() +
+                ", model " + model_.rules().to_string() + trace_tail());
+  }
+
+  Gen& g_;
+  const FuzzConfig& cfg_;
+  FuzzStats* stats_;
+  HipModel model_;
+  std::vector<DevBuf> bufs_;
+  std::vector<StreamRec> streams_;
+  std::vector<EventRec> events_;
+  std::array<std::vector<unsigned char>, kStagingBuffers> staging_;
+  std::vector<std::string> oplog_;
+};
+
+}  // namespace
+
+void fuzz_one_sequence(Gen& g, const FuzzConfig& cfg, FuzzStats* stats) {
+  const ArmGuard guard;
+  FuzzExecutor(g, cfg, stats).run();
+}
+
+PropertyResult run_fuzz(std::uint64_t seed, int sequences,
+                        const FuzzConfig& cfg, FuzzStats* stats) {
+  PropertyOptions options;
+  options.seed = seed;
+  options.iterations = sequences;
+  return run_property(
+      "hip_fuzz",
+      [&cfg, stats](Gen& g) { fuzz_one_sequence(g, cfg, stats); }, options);
+}
+
+}  // namespace exa::qa

@@ -1,0 +1,54 @@
+#pragma once
+/// \file hip_fuzz.hpp
+/// Model-based fuzzing of the HIP shim against the qa::HipModel reference
+/// interpreter.
+///
+/// Each fuzz case generates one random sequence of valid *and* invalid
+/// shim calls — allocations, frees (double, foreign-device, stale),
+/// copies (sync/async, overlapping streams, shared host staging), memsets,
+/// launches (timed / cached / buffered kernels), stream and event
+/// lifecycle including destroyed-handle reuse, unrecorded waits, and
+/// cross-device hipStreamWaitEvent edges — executes it against the real
+/// runtime with exa::check armed, and requires that after every call the
+/// shim's return code and the checker's per-rule diagnostic counts match
+/// the model's prediction. The sequence ends with a teardown
+/// (Runtime::configure while armed) whose leak diagnostics are predicted
+/// too.
+///
+/// Divergences throw PropertyFailure carrying the executed op trace, so
+/// the property runner shrinks the tape to a minimal op sequence and
+/// prints a replayable seed.
+
+#include <cstdint>
+
+#include "qa/property.hpp"
+
+namespace exa::qa {
+
+struct FuzzConfig {
+  /// Simulated devices per sequence (>= 2 exercises cross-device edges).
+  int devices = 2;
+  /// Upper bound on generated ops per sequence (the actual count is drawn).
+  int max_ops = 40;
+};
+
+/// Aggregate statistics across fuzz cases (for reporting and CI logs).
+struct FuzzStats {
+  std::uint64_t sequences = 0;
+  std::uint64_t ops = 0;          ///< shim calls issued
+  std::uint64_t skipped = 0;      ///< ops skipped as host-memory-unsafe
+  std::uint64_t diagnostics = 0;  ///< checker diagnostics (all rules)
+};
+
+/// One fuzz case; usable directly as an EXA_PROPERTY body. Throws
+/// PropertyFailure (via qa::require) on any shim/model divergence.
+void fuzz_one_sequence(Gen& g, const FuzzConfig& cfg = {},
+                       FuzzStats* stats = nullptr);
+
+/// Runs `sequences` independent fuzz cases derived from `seed`, with
+/// shrinking and seed-replay reporting via the property runner.
+[[nodiscard]] PropertyResult run_fuzz(std::uint64_t seed, int sequences,
+                                      const FuzzConfig& cfg = {},
+                                      FuzzStats* stats = nullptr);
+
+}  // namespace exa::qa

@@ -1,0 +1,491 @@
+#include "qa/hip_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace exa::qa {
+
+namespace {
+
+/// Mirrors the checker's retention caps (checker.cpp): counts are
+/// unbounded, but the write/pin tables drop their oldest entry at the cap,
+/// which changes *which* overlap a later access reports first.
+constexpr std::size_t kMaxRangeEntries = 4096;
+
+[[nodiscard]] std::uintptr_t addr(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+}  // namespace
+
+std::string RuleCounts::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (int r = 0; r < check::kRuleCount; ++r) {
+    if (c[r] == 0) continue;
+    os << " " << check::rule_id(static_cast<check::Rule>(r)) << ":" << c[r];
+  }
+  os << " }";
+  return os.str();
+}
+
+RuleCounts checker_counts() {
+  RuleCounts counts;
+  auto& checker = check::Checker::instance();
+  for (int r = 0; r < check::kRuleCount; ++r) {
+    counts.c[r] = checker.count(static_cast<check::Rule>(r));
+  }
+  return counts;
+}
+
+const char* to_string(ModelError err) {
+  switch (err) {
+    case ModelError::kSuccess: return "hipSuccess";
+    case ModelError::kInvalidValue: return "hipErrorInvalidValue";
+    case ModelError::kOutOfMemory: return "hipErrorOutOfMemory";
+    case ModelError::kInvalidDevice: return "hipErrorInvalidDevice";
+    case ModelError::kInvalidDevicePointer: return "hipErrorInvalidDevicePointer";
+    case ModelError::kInvalidResourceHandle: return "hipErrorInvalidResourceHandle";
+    case ModelError::kNotReady: return "hipErrorNotReady";
+  }
+  return "hipErrorUnknown";
+}
+
+HipModel::HipModel(int device_count)
+    : device_count_(device_count),
+      next_stream_id_(static_cast<std::size_t>(device_count), 1) {
+  EXA_REQUIRE(device_count >= 1);
+}
+
+std::uint64_t HipModel::key_of(int stream) const {
+  if (stream < 0) return default_key();
+  const Stream& s = streams_[static_cast<std::size_t>(stream)];
+  return pack(s.device, s.id);
+}
+
+std::uint64_t HipModel::bump(std::uint64_t stream_key) {
+  const std::uint64_t seq = ++seq_[stream_key];
+  stream_vc_[stream_key][stream_key] = seq;
+  return seq;
+}
+
+void HipModel::join(VectorClock& dst, const VectorClock& src) {
+  for (const auto& [k, v] : src) {
+    auto& slot = dst[k];
+    slot = std::max(slot, v);
+  }
+}
+
+bool HipModel::covers(const VectorClock& vc, std::uint64_t stream_key,
+                      std::uint64_t seq) const {
+  const auto it = vc.find(stream_key);
+  return it != vc.end() && it->second >= seq;
+}
+
+HipModel::Alloc* HipModel::find_alloc(const void* p) {
+  if (allocs_.empty()) return nullptr;
+  const std::uintptr_t a = addr(p);
+  auto it = allocs_.upper_bound(a);
+  if (it == allocs_.begin()) return nullptr;
+  --it;
+  Alloc& alloc = it->second;
+  if (a >= alloc.base && a < alloc.base + alloc.bytes) return &alloc;
+  return nullptr;
+}
+
+void HipModel::record_dev_write(const void* ptr, std::size_t bytes,
+                                std::uint64_t stream_key, std::uint64_t seq) {
+  if (ptr == nullptr || bytes == 0) return;
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  dev_writes_.erase(std::remove_if(dev_writes_.begin(), dev_writes_.end(),
+                                   [&](const DevWrite& w) {
+                                     return w.stream == stream_key &&
+                                            w.lo < hi && lo < w.hi;
+                                   }),
+                    dev_writes_.end());
+  if (dev_writes_.size() >= kMaxRangeEntries) {
+    dev_writes_.erase(dev_writes_.begin());
+  }
+  dev_writes_.push_back(DevWrite{lo, hi, stream_key, seq});
+}
+
+bool HipModel::check_access(const void* ptr, std::size_t bytes, bool write,
+                            bool host_side, std::uint64_t stream_key) {
+  if (ptr == nullptr || bytes == 0) return true;
+  if (Alloc* alloc = find_alloc(ptr); alloc != nullptr && !alloc->live) {
+    fire(check::Rule::kUseAfterFree);
+    return false;  // the checker vetoes the call
+  }
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  for (const DevWrite& w : dev_writes_) {
+    if (!(w.lo < hi && lo < w.hi)) continue;
+    const bool ordered =
+        host_side ? covers(host_vc_, w.stream, w.seq)
+                  : (w.stream == stream_key ||
+                     covers(stream_vc_[stream_key], w.stream, w.seq));
+    if (ordered) continue;
+    fire(check::Rule::kMissingSync);
+    break;  // the checker reports only the first unordered overlap
+  }
+  if (host_side) {
+    for (const HostPin& pin : host_pins_) {
+      if (!(pin.lo < hi && lo < pin.hi)) continue;
+      if (covers(host_vc_, pin.stream, pin.seq)) continue;
+      if (!write && !pin.device_writes) continue;  // two reads never race
+      fire(check::Rule::kAsyncRace);
+      break;
+    }
+  }
+  return true;
+}
+
+void HipModel::foreign_device_check(const void* dst, const void* src,
+                                    int device) {
+  for (const void* p : {dst, src}) {
+    Alloc* alloc = find_alloc(p);
+    if (alloc != nullptr && alloc->live && alloc->device != device) {
+      fire(check::Rule::kStreamMisuse);
+      break;
+    }
+  }
+}
+
+bool HipModel::range_in_live_alloc(const void* ptr, std::size_t bytes) const {
+  if (allocs_.empty()) return false;
+  const std::uintptr_t lo = addr(ptr);
+  auto it = allocs_.upper_bound(lo);
+  if (it == allocs_.begin()) return false;
+  --it;
+  const Alloc& a = it->second;
+  return a.live && lo >= a.base && lo + bytes <= a.base + a.bytes;
+}
+
+// --- device management ---------------------------------------------------
+
+ModelError HipModel::set_device(int device) {
+  if (device < 0 || device >= device_count_) return ModelError::kInvalidDevice;
+  current_ = device;
+  return ModelError::kSuccess;
+}
+
+// --- memory --------------------------------------------------------------
+
+ModelError HipModel::malloc(const void* ptr, std::size_t bytes) {
+  if (bytes == 0) return ModelError::kInvalidValue;
+  EXA_REQUIRE(ptr != nullptr);  // the executor passes the real result
+  const std::uintptr_t lo = addr(ptr);
+  const std::uintptr_t hi = lo + bytes;
+  // The allocator may hand back a previously freed range: the checker
+  // drops overlapped tombstones and stale write records.
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    const Alloc& a = it->second;
+    if (!a.live && a.base < hi && lo < a.base + a.bytes) {
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dev_writes_.erase(std::remove_if(dev_writes_.begin(), dev_writes_.end(),
+                                   [&](const DevWrite& w) {
+                                     return w.lo < hi && lo < w.hi;
+                                   }),
+                    dev_writes_.end());
+  allocs_[lo] = Alloc{lo, bytes, current_, /*live=*/true};
+  ptr_owner_[ptr] = current_;
+  ++sim_live_;  // the sim's census, distinct from checker-style tracking
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::free(const void* ptr) {
+  if (ptr == nullptr) return ModelError::kSuccess;
+  const auto owner_it = ptr_owner_.find(ptr);
+  const int owner = owner_it == ptr_owner_.end() ? -1 : owner_it->second;
+  // Checker::on_free runs before the shim's own error paths, so its
+  // diagnostics fire even when the call then errors out.
+  if (Alloc* alloc = find_alloc(ptr); alloc != nullptr) {
+    if (!alloc->live) {
+      fire(check::Rule::kDoubleFree);
+    } else if (owner >= 0 && owner != current_) {
+      fire(check::Rule::kStreamMisuse);  // foreign-device free; stays live
+    } else {
+      // Freeing while an in-flight write still targets the range is a
+      // use-after-free on real hardware.
+      const std::uintptr_t lo = alloc->base;
+      const std::uintptr_t hi = lo + alloc->bytes;
+      for (const DevWrite& w : dev_writes_) {
+        if (w.lo < hi && lo < w.hi && !covers(host_vc_, w.stream, w.seq)) {
+          fire(check::Rule::kUseAfterFree);
+          break;
+        }
+      }
+      alloc->live = false;
+    }
+  }
+  if (owner < 0) return ModelError::kInvalidDevicePointer;
+  if (owner != current_) return ModelError::kInvalidValue;
+  ptr_owner_.erase(owner_it);
+  // Only a successful shim free releases the sim-side allocation; the
+  // error paths above leave the sim census untouched.
+  --sim_live_;
+  return ModelError::kSuccess;
+}
+
+namespace {
+struct CopySides {
+  bool dst_device = false;
+  bool src_device = false;
+};
+CopySides sides_of(int kind) {
+  // kind mirrors hipMemcpyKind: 1 = H2D, 2 = D2H, 3 = D2D.
+  return CopySides{kind == 1 || kind == 3, kind == 2 || kind == 3};
+}
+}  // namespace
+
+ModelError HipModel::memcpy_sync(const void* dst, const void* src,
+                                 std::size_t bytes, int kind) {
+  if (dst == nullptr || src == nullptr) return ModelError::kInvalidValue;
+  const CopySides s = sides_of(kind);
+  const std::uint64_t key = default_key();
+  bool ok = check_access(src, bytes, /*write=*/false, !s.src_device, key);
+  if (!check_access(dst, bytes, /*write=*/true, !s.dst_device, key)) ok = false;
+  if (!ok) return ModelError::kInvalidValue;  // vetoed
+  foreign_device_check(dst, src, current_);
+  const std::uint64_t seq = bump(key);
+  if (s.dst_device) record_dev_write(dst, bytes, key, seq);
+  join(host_vc_, stream_vc_[key]);  // a sync copy blocks the host
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::memcpy_async(const void* dst, const void* src,
+                                  std::size_t bytes, int kind, int stream) {
+  if (dst == nullptr || src == nullptr) return ModelError::kInvalidValue;
+  if (stream >= 0 && !streams_[static_cast<std::size_t>(stream)].live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  const CopySides s = sides_of(kind);
+  const std::uint64_t key = key_of(stream);
+  const int stream_device = static_cast<int>(key >> 32);
+  bool ok = check_access(src, bytes, /*write=*/false, !s.src_device, key);
+  if (!check_access(dst, bytes, /*write=*/true, !s.dst_device, key)) ok = false;
+  if (!ok) return ModelError::kInvalidValue;
+  foreign_device_check(dst, src, stream_device);
+  const std::uint64_t seq = bump(key);
+  if (s.dst_device) record_dev_write(dst, bytes, key, seq);
+  if (host_pins_.size() >= kMaxRangeEntries) {
+    host_pins_.erase(host_pins_.begin());
+  }
+  if (kind == 1) {  // H2D: the host source is pinned until synchronized
+    host_pins_.push_back(
+        HostPin{addr(src), addr(src) + bytes, key, seq, false});
+  } else if (kind == 2) {  // D2H: the device is writing the host range
+    host_pins_.push_back(HostPin{addr(dst), addr(dst) + bytes, key, seq, true});
+  }
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::memset(const void* dst, std::size_t bytes) {
+  if (dst == nullptr) return ModelError::kInvalidValue;
+  const std::uint64_t key = default_key();
+  if (!check_access(dst, bytes, /*write=*/true, /*host_side=*/false, key)) {
+    return ModelError::kInvalidValue;
+  }
+  if (Alloc* alloc = find_alloc(dst);
+      alloc != nullptr && alloc->live && alloc->device != current_) {
+    fire(check::Rule::kStreamMisuse);
+  }
+  const std::uint64_t seq = bump(key);
+  record_dev_write(dst, bytes, key, seq);
+  return ModelError::kSuccess;
+}
+
+// --- launches ------------------------------------------------------------
+
+ModelError HipModel::launch(int stream) {
+  if (stream >= 0 && !streams_[static_cast<std::size_t>(stream)].live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  (void)bump(key_of(stream));
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::launch_kernel(int stream,
+                                   const std::vector<BufUse>& buffers) {
+  if (!buffers.empty()) {
+    // on_launch_buffers runs before the destroyed-stream check in the
+    // timed launch underneath, and uses the handle's key even when the
+    // stream is destroyed.
+    const std::uint64_t key = key_of(stream);
+    const int key_device = static_cast<int>(key >> 32);
+    for (const BufUse& b : buffers) {
+      if (!check_access(b.ptr, b.bytes, b.write, /*host_side=*/false, key)) {
+        return ModelError::kInvalidValue;  // vetoed before any bump
+      }
+      // Per-buffer foreign-device check (no break: every buffer reports).
+      if (Alloc* alloc = find_alloc(b.ptr);
+          alloc != nullptr && alloc->live && alloc->device != key_device) {
+        fire(check::Rule::kStreamMisuse);
+      }
+    }
+    const std::uint64_t seq = bump(key);
+    for (const BufUse& b : buffers) {
+      if (b.write) record_dev_write(b.ptr, b.bytes, key, seq);
+    }
+  }
+  return launch(stream);
+}
+
+// --- streams -------------------------------------------------------------
+
+ModelError HipModel::stream_create(int* handle_out) {
+  Stream s;
+  s.device = current_;
+  s.id = next_stream_id_[static_cast<std::size_t>(current_)]++;
+  streams_.push_back(s);
+  *handle_out = static_cast<int>(streams_.size()) - 1;
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::stream_destroy(int stream) {
+  Stream& s = streams_[static_cast<std::size_t>(stream)];
+  if (!s.live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  join(host_vc_, stream_vc_[pack(s.device, s.id)]);  // destroy drains
+  s.live = false;
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::stream_synchronize(int stream) {
+  if (stream >= 0 && !streams_[static_cast<std::size_t>(stream)].live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  join(host_vc_, stream_vc_[key_of(stream)]);
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::device_synchronize() {
+  for (const auto& [key, vc] : stream_vc_) {
+    if (static_cast<int>(key >> 32) == current_) join(host_vc_, vc);
+  }
+  return ModelError::kSuccess;
+}
+
+// --- events --------------------------------------------------------------
+
+ModelError HipModel::event_create(int* handle_out) {
+  Event e;
+  e.device = current_;
+  events_.push_back(std::move(e));
+  *handle_out = static_cast<int>(events_.size()) - 1;
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::event_destroy(int event) {
+  Event& e = events_[static_cast<std::size_t>(event)];
+  if (!e.live) {
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  e.live = false;
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::event_record(int event, int stream) {
+  Event& e = events_[static_cast<std::size_t>(event)];
+  if (!e.live) {
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  if (stream >= 0 && !streams_[static_cast<std::size_t>(stream)].live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  const std::uint64_t key = key_of(stream);
+  e.device = static_cast<int>(key >> 32);  // records migrate the event
+  e.recorded = true;
+  e.record_stream = key;
+  e.record_seq = bump(key);
+  e.vc = stream_vc_[key];
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::event_synchronize(int event) {
+  Event& e = events_[static_cast<std::size_t>(event)];
+  if (!e.live || !e.recorded) {
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  join(host_vc_, e.vc);
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::stream_wait_event(int stream, int event) {
+  Event& e = events_[static_cast<std::size_t>(event)];
+  if (!e.live) {
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  if (stream >= 0 && !streams_[static_cast<std::size_t>(stream)].live) {
+    fire(check::Rule::kStreamMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  if (!e.recorded) {
+    // HIP semantics: the wait is a completed no-op; the checker flags the
+    // ordering bug but the call still succeeds.
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kSuccess;
+  }
+  join(stream_vc_[key_of(stream)], e.vc);
+  return ModelError::kSuccess;
+}
+
+ModelError HipModel::event_elapsed(int start, int stop) {
+  Event& s = events_[static_cast<std::size_t>(start)];
+  Event& p = events_[static_cast<std::size_t>(stop)];
+  if (!s.live || !p.live || !s.recorded || !p.recorded) {
+    // One diagnostic regardless of how many operands are bad: destroyed
+    // handles win over never-recorded in the shim's dispatch.
+    fire(check::Rule::kEventMisuse);
+    return ModelError::kInvalidResourceHandle;
+  }
+  if (s.device != p.device) return ModelError::kInvalidValue;  // no diag
+  if (s.record_stream == p.record_stream && s.record_seq > p.record_seq) {
+    fire(check::Rule::kEventMisuse);  // stop recorded before start
+  }
+  return ModelError::kSuccess;
+}
+
+// --- teardown ------------------------------------------------------------
+
+void HipModel::teardown_leak_scan() {
+  std::size_t tracked_live = 0;
+  for (const auto& [base, alloc] : allocs_) {
+    if (alloc.live) {
+      ++tracked_live;
+      fire(check::Rule::kLeak);
+    }
+  }
+  for (const Stream& s : streams_) {
+    if (s.live) fire(check::Rule::kLeak);
+  }
+  for (const Event& e : events_) {
+    if (e.live) fire(check::Rule::kLeak);
+  }
+  // Census cross-check against the simulator's own live count. The two
+  // can disagree: a hipFree of a stale pointer that lands *inside* a
+  // live reused range tombstones the checker's tracking entry, but the
+  // shim (owner lookup failed) never frees the sim allocation — so the
+  // sim census exceeds tracked_live and the checker emits one extra
+  // "allocated outside the shim" leak diagnostic.
+  if (sim_live_ > tracked_live) fire(check::Rule::kLeak);
+}
+
+}  // namespace exa::qa

@@ -1,0 +1,201 @@
+#pragma once
+/// \file hip_model.hpp
+/// Reference interpreter for the HIP shim + exa::check checker.
+///
+/// A deliberately small, obviously-correct model of what every shim call
+/// must do: the hipError_t it returns and the checker rules it fires.
+/// The model-based fuzzer (hip_fuzz.hpp) generates random valid *and*
+/// invalid call sequences, executes them against the real shim, and
+/// asserts per-call return codes and per-rule diagnostic counts agree
+/// with this interpreter — cross-validating the launch fast path (PR 3)
+/// and the happens-before checker (PR 4) against each other.
+///
+/// The model receives the same observable inputs the checker does (real
+/// pointer values from the executed hipMalloc, stream keys, event
+/// identities) and mirrors the checker's address-range logic, including
+/// allocator address reuse: a new allocation overlapping a tombstoned
+/// range erases the tombstone, exactly as the checker must.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/checker.hpp"
+
+namespace exa::qa {
+
+/// Per-rule diagnostic counts, indexed by check::Rule.
+struct RuleCounts {
+  std::uint64_t c[check::kRuleCount] = {};
+
+  std::uint64_t& operator[](check::Rule r) { return c[static_cast<int>(r)]; }
+  std::uint64_t operator[](check::Rule r) const {
+    return c[static_cast<int>(r)];
+  }
+  friend bool operator==(const RuleCounts&, const RuleCounts&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Reads the live checker's counters into a RuleCounts.
+[[nodiscard]] RuleCounts checker_counts();
+
+/// Error codes mirrored as plain ints so the model does not include the
+/// hip headers (values match hip::hipError_t; asserted in hip_fuzz.cpp).
+enum class ModelError {
+  kSuccess = 0,
+  kInvalidValue = 1,
+  kOutOfMemory = 2,
+  kInvalidDevice = 3,
+  kInvalidDevicePointer = 4,
+  kInvalidResourceHandle = 5,
+  kNotReady = 6,
+};
+
+[[nodiscard]] const char* to_string(ModelError err);
+
+/// The reference interpreter. One instance models one runtime generation
+/// (devices created by one Runtime::configure call).
+class HipModel {
+ public:
+  explicit HipModel(int device_count);
+
+  [[nodiscard]] const RuleCounts& rules() const { return rules_; }
+  [[nodiscard]] int current_device() const { return current_; }
+
+  // Each call mirrors one shim entry point: it returns the predicted
+  // hipError_t and advances the model's checker state. Handles are the
+  // caller's indices into its own stream/event tables; the model tracks
+  // their device/liveness itself.
+
+  ModelError set_device(int device);
+  /// `ptr` is the address the *real* hipMalloc returned (the model needs
+  /// it to mirror range overlap); pass nullptr for a failed/invalid call.
+  ModelError malloc(const void* ptr, std::size_t bytes);
+  ModelError free(const void* ptr);
+  /// kind: 1 = H2D, 2 = D2H, 3 = D2D (matches hipMemcpyKind).
+  ModelError memcpy_sync(const void* dst, const void* src, std::size_t bytes,
+                         int kind);
+  /// `stream` < 0 designates the default stream of the current device.
+  ModelError memcpy_async(const void* dst, const void* src, std::size_t bytes,
+                          int kind, int stream);
+  ModelError memset(const void* dst, std::size_t bytes);
+  /// Timing-only launch (hipLaunchTimedEXA / hipLaunchCachedEXA).
+  ModelError launch(int stream);
+  /// A buffer use declared on a hip::Kernel (mirrors check::BufferUse).
+  struct BufUse {
+    const void* ptr = nullptr;
+    std::size_t bytes = 0;
+    bool write = true;
+  };
+  /// Full hipLaunchKernelEXA: validates declared buffers (which bumps the
+  /// stream once on its own) and then performs the timed launch (a second
+  /// bump), matching the shim's two-hook sequence.
+  ModelError launch_kernel(int stream, const std::vector<BufUse>& buffers);
+
+  /// Returns the model's stream id for the new stream (mirrors
+  /// DeviceSim::create_stream numbering) — used only for diagnostics.
+  ModelError stream_create(int* handle_out);
+  ModelError stream_destroy(int stream);
+  ModelError stream_synchronize(int stream);
+  ModelError device_synchronize();
+
+  ModelError event_create(int* handle_out);
+  ModelError event_destroy(int event);
+  ModelError event_record(int event, int stream);
+  ModelError event_synchronize(int event);
+  ModelError stream_wait_event(int stream, int event);
+  ModelError event_elapsed(int start, int stop);
+
+  /// Predicts the leak diagnostics a teardown (Runtime::configure while
+  /// armed) adds, and accounts them into rules().
+  void teardown_leak_scan();
+
+  /// True when [ptr, ptr+bytes) lies fully inside one live allocation —
+  /// the fuzz executor's host-memory-safety gate for ops the shim would
+  /// really execute.
+  [[nodiscard]] bool range_in_live_alloc(const void* ptr,
+                                         std::size_t bytes) const;
+
+ private:
+  using VectorClock = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+  struct Alloc {
+    std::uintptr_t base = 0;
+    std::size_t bytes = 0;
+    int device = 0;
+    bool live = true;
+  };
+  struct Stream {
+    int device = 0;
+    int id = 0;  ///< 0 is a device's default stream
+    bool live = true;
+  };
+  struct Event {
+    int device = 0;
+    bool live = true;
+    bool recorded = false;
+    std::uint64_t record_stream = 0;  ///< packed key
+    std::uint64_t record_seq = 0;
+    VectorClock vc;
+  };
+  struct DevWrite {
+    std::uintptr_t lo = 0, hi = 0;
+    std::uint64_t stream = 0;  ///< packed key
+    std::uint64_t seq = 0;
+  };
+  struct HostPin {
+    std::uintptr_t lo = 0, hi = 0;
+    std::uint64_t stream = 0;
+    std::uint64_t seq = 0;
+    bool device_writes = false;
+  };
+
+  [[nodiscard]] static std::uint64_t pack(int device, int id) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(device))
+            << 32) |
+           static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] std::uint64_t default_key() const { return pack(current_, 0); }
+  /// Packed key of a caller stream handle; -1 = default stream.
+  [[nodiscard]] std::uint64_t key_of(int stream) const;
+
+  void fire(check::Rule rule) { ++rules_[rule]; }
+  std::uint64_t bump(std::uint64_t stream_key);
+  void join(VectorClock& dst, const VectorClock& src);
+  [[nodiscard]] bool covers(const VectorClock& vc, std::uint64_t stream_key,
+                            std::uint64_t seq) const;
+  [[nodiscard]] Alloc* find_alloc(const void* p);
+  void record_dev_write(const void* ptr, std::size_t bytes,
+                        std::uint64_t stream_key, std::uint64_t seq);
+  /// Mirror of Checker::check_access: fires at most one rule per access,
+  /// returns false on a use-after-free veto.
+  [[nodiscard]] bool check_access(const void* ptr, std::size_t bytes,
+                                  bool write, bool host_side,
+                                  std::uint64_t stream_key);
+  void foreign_device_check(const void* dst, const void* src, int device);
+
+  int device_count_ = 1;
+  int current_ = 0;
+  std::vector<int> next_stream_id_;  ///< per device, mirrors DeviceSim
+
+  RuleCounts rules_;
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_;
+  std::unordered_map<std::uint64_t, VectorClock> stream_vc_;
+  VectorClock host_vc_;
+  std::map<std::uintptr_t, Alloc> allocs_;
+  std::unordered_map<const void*, int> ptr_owner_;  ///< mirrors Runtime ptrs
+  /// The simulator's live-allocation census (successful mallocs minus
+  /// successful frees) — can exceed the checker-tracked live count when a
+  /// stale free tombstones a reused range without freeing it for real.
+  std::size_t sim_live_ = 0;
+  std::vector<Stream> streams_;  ///< indexed by caller handle
+  std::vector<Event> events_;    ///< indexed by caller handle
+  std::vector<DevWrite> dev_writes_;
+  std::vector<HostPin> host_pins_;
+};
+
+}  // namespace exa::qa

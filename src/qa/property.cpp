@@ -1,0 +1,180 @@
+#include "qa/property.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace exa::qa {
+
+namespace {
+
+/// Outcome of running a property body against one generator.
+struct RunOutcome {
+  bool failed = false;
+  std::string message;
+};
+
+RunOutcome run_once(const std::function<void(Gen&)>& body, Gen& g) {
+  try {
+    body(g);
+  } catch (const PropertyFailure& f) {
+    return {true, f.message()};
+  } catch (const std::exception& e) {
+    return {true, std::string("unhandled exception: ") + e.what()};
+  } catch (...) {
+    return {true, "unhandled non-standard exception"};
+  }
+  return {false, {}};
+}
+
+RunOutcome replay_tape(const std::function<void(Gen&)>& body,
+                       const std::vector<std::uint64_t>& tape) {
+  Gen g(tape);
+  return run_once(body, g);
+}
+
+/// Total-order "smaller" for counterexamples: fewer draws first, then
+/// smaller entry values. Truncation therefore always wins over mutation.
+bool tape_less(const std::vector<std::uint64_t>& a,
+               const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+/// Greedy tape shrinking: alternately try truncations, chunk deletions,
+/// and per-entry reductions until a fixed point or the attempt budget.
+std::vector<std::uint64_t> shrink_tape(const std::function<void(Gen&)>& body,
+                                       std::vector<std::uint64_t> best,
+                                       int budget, int* attempts_out) {
+  int attempts = 0;
+  const auto still_fails = [&](const std::vector<std::uint64_t>& cand) {
+    ++attempts;
+    return replay_tape(body, cand).failed;
+  };
+
+  bool progressed = true;
+  while (progressed && attempts < budget) {
+    progressed = false;
+
+    // Truncations: drop the back half, quarter, ..., one entry.
+    for (std::size_t cut = best.size(); cut >= 1 && attempts < budget;
+         cut /= 2) {
+      if (cut > best.size()) continue;
+      std::vector<std::uint64_t> cand(best.begin(),
+                                      best.end() - static_cast<long>(cut));
+      if (tape_less(cand, best) && still_fails(cand)) {
+        best = std::move(cand);
+        progressed = true;
+        break;
+      }
+      if (cut == 1) break;
+    }
+
+    // Chunk deletions from the middle (removes one op from a sequence).
+    for (std::size_t chunk = std::max<std::size_t>(1, best.size() / 8);
+         chunk >= 1 && attempts < budget; chunk /= 2) {
+      for (std::size_t at = 0; at + chunk <= best.size() && attempts < budget;
+           at += chunk) {
+        std::vector<std::uint64_t> cand = best;
+        cand.erase(cand.begin() + static_cast<long>(at),
+                   cand.begin() + static_cast<long>(at + chunk));
+        if (still_fails(cand)) {
+          best = std::move(cand);
+          progressed = true;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Entry shrinking: zero, then binary-search each entry downward.
+    for (std::size_t i = 0; i < best.size() && attempts < budget; ++i) {
+      if (best[i] == 0) continue;
+      std::vector<std::uint64_t> cand = best;
+      cand[i] = 0;
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        progressed = true;
+        continue;
+      }
+      cand = best;
+      cand[i] = best[i] / 2;
+      if (cand[i] != best[i] && still_fails(cand)) {
+        best = std::move(cand);
+        progressed = true;
+      }
+    }
+  }
+  *attempts_out = attempts;
+  return best;
+}
+
+bool env_u64(const char* name, std::uint64_t* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  *out = std::strtoull(v, nullptr, 0);  // base 0: accepts decimal and 0x...
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t iteration_seed(std::uint64_t seed, int iter) {
+  // SplitMix64 over (seed, iter) decorrelates consecutive iterations, so
+  // replaying a printed per-iteration seed as the base seed regenerates
+  // the same tape at iteration 0.
+  support::SplitMix64 sm(seed ^ (0x9e37'79b9'7f4a'7c15ull *
+                                 static_cast<std::uint64_t>(iter + 1)));
+  return iter == 0 ? seed : sm.next();
+}
+
+PropertyResult run_property(const std::string& name,
+                            const std::function<void(Gen&)>& body,
+                            const PropertyOptions& options) {
+  PropertyOptions opts = options;
+  if (opts.read_env) {
+    std::uint64_t v = 0;
+    if (env_u64("EXA_QA_SEED", &v)) opts.seed = v;
+    if (env_u64("EXA_QA_ITERS", &v) && v > 0) {
+      opts.iterations = static_cast<int>(std::min<std::uint64_t>(v, 1u << 24));
+    }
+  }
+
+  PropertyResult result;
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    const std::uint64_t seed = iteration_seed(opts.seed, iter);
+    Gen g(seed);
+    const RunOutcome outcome = run_once(body, g);
+    result.iterations_run = iter + 1;
+    if (!outcome.failed) continue;
+
+    result.ok = false;
+    result.failing_seed = seed;
+    const std::vector<std::uint64_t> minimal = shrink_tape(
+        body, g.tape(), opts.max_shrink_attempts, &result.shrink_attempts);
+    result.minimal_tape_size = minimal.size();
+    // Re-run the minimal counterexample so the recorded message (and any
+    // side-channel output the body produces) describes it, not the
+    // original unshrunk failure.
+    const RunOutcome min_outcome = replay_tape(body, minimal);
+    result.message = min_outcome.failed ? min_outcome.message : outcome.message;
+
+    std::ostringstream os;
+    os << "property '" << name << "' failed at iteration " << iter
+       << " (seed 0x" << std::hex << seed << std::dec << ")\n"
+       << "  minimal counterexample after " << result.shrink_attempts
+       << " shrink attempts (" << g.tape().size() << " -> " << minimal.size()
+       << " draws):\n  " << result.message << "\n"
+       << "  replay: EXA_QA_SEED=0x" << std::hex << seed << std::dec << " (fails at iteration 0)";
+    result.report = os.str();
+    support::log_warn(result.report);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace exa::qa

@@ -1,0 +1,172 @@
+#pragma once
+/// \file property.hpp
+/// exa::qa — seeded property-based testing with integrated shrinking.
+///
+/// The paper's porting campaigns repeatedly found that hand-written test
+/// cases missed the bug classes that mattered (§GAMESS hipify remnants,
+/// §Pele lifetime bugs discovered late on scarce hardware). This core
+/// generates randomized cases from an explicit seed, and when a property
+/// fails it *shrinks* the failure to a minimal counterexample and prints
+/// the seed, so every failure replays bit-exactly on any machine.
+///
+/// Design: generators draw raw 64-bit values from a `Gen`, which records
+/// every draw onto a "choice tape". Shrinking operates on the tape —
+/// truncating it and shrinking individual entries — and replays the
+/// property against candidate tapes (draws past the end of a replayed
+/// tape return 0, the minimal value). This gives integrated shrinking for
+/// arbitrary composed generators without per-type shrinkers: for an
+/// op-sequence fuzzer, a truncated tape *is* a shorter op sequence.
+///
+/// Environment overrides (printed in every failure report):
+///   EXA_QA_SEED   base seed (decimal or 0x hex) — replays a failure
+///   EXA_QA_ITERS  iteration count per property
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace exa::qa {
+
+/// Thrown (via `require`) when a property's body observes a violation.
+/// Deliberately not derived from support::Error: the runner distinguishes
+/// "property failed" from "generator/system contract broke" in reports.
+class PropertyFailure {
+ public:
+  explicit PropertyFailure(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+/// Fails the enclosing property when `cond` is false.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw PropertyFailure(message);
+}
+
+/// The choice source handed to a property body. Records draws in normal
+/// operation; replays a (possibly mutated) tape while shrinking.
+class Gen {
+ public:
+  /// Recording generator seeded from `seed`.
+  explicit Gen(std::uint64_t seed) : rng_(seed) {}
+
+  /// Replaying generator: returns `tape` entries in order, then zeros.
+  explicit Gen(std::vector<std::uint64_t> tape)
+      : rng_(0), replay_(true), tape_(std::move(tape)) {}
+
+  /// One raw draw — every other generator bottoms out here.
+  std::uint64_t u64() {
+    if (replay_) {
+      if (pos_ >= tape_.size()) return 0;
+      return tape_[pos_++];
+    }
+    const std::uint64_t v = rng_.next();
+    tape_.push_back(v);
+    return v;
+  }
+
+  /// Uniform in [0, n). Plain modulo keeps the tape→value map monotone
+  /// (smaller tape entry → smaller result), which is what makes entry
+  /// shrinking converge; the bias is irrelevant for test-case generation.
+  std::uint64_t range(std::uint64_t n) { return n == 0 ? 0 : u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range_int(std::int64_t lo, std::int64_t hi) {
+    if (lo >= hi) return lo;
+    return lo + static_cast<std::int64_t>(
+                    range(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1); a zeroed tape entry maps to 0.0.
+  double uniform() { return static_cast<double>(u64() >> 11) * 0x1.0p-53; }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// True with probability `p`. Shrinks toward false (a zeroed tape entry
+  /// maps to uniform() == 0, which is never >= 1 - p for p < 1).
+  bool chance(double p) { return uniform() >= 1.0 - p; }
+
+  /// Index into a container of `n` elements.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(range(n));
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// A size in [lo, hi] that shrinks toward `lo`.
+  std::size_t size(std::size_t lo, std::size_t hi) {
+    return static_cast<std::size_t>(
+        range_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& tape() const { return tape_; }
+  [[nodiscard]] std::size_t draws() const {
+    return replay_ ? pos_ : tape_.size();
+  }
+
+ private:
+  support::Rng rng_;
+  bool replay_ = false;
+  std::vector<std::uint64_t> tape_;
+  std::size_t pos_ = 0;
+};
+
+/// Runner configuration. Defaults are deterministic (fixed seed) so CI
+/// runs are reproducible; set EXA_QA_SEED to explore or replay.
+struct PropertyOptions {
+  std::uint64_t seed = 0x5eed'ba5e'0f00'dull;
+  int iterations = 100;
+  /// Upper bound on candidate tapes tried while shrinking a failure.
+  int max_shrink_attempts = 2000;
+  /// When true (default) EXA_QA_SEED / EXA_QA_ITERS override the above.
+  bool read_env = true;
+};
+
+struct PropertyResult {
+  bool ok = true;
+  int iterations_run = 0;
+  /// Set on failure: the seed whose iteration 0 reproduces the failure.
+  std::uint64_t failing_seed = 0;
+  int shrink_attempts = 0;
+  std::size_t minimal_tape_size = 0;
+  std::string message;  ///< failure message from the minimal counterexample
+  std::string report;   ///< full human-readable report (seed, replay hint)
+};
+
+/// Runs `body` against `iterations` fresh generators. On failure, shrinks
+/// the recorded tape to a minimal counterexample, re-runs the body once
+/// more on it (so side effects like log lines describe the minimal case),
+/// and formats a replay report. The per-iteration seed is printed; setting
+/// EXA_QA_SEED to it makes iteration 0 reproduce the failure.
+[[nodiscard]] PropertyResult run_property(
+    const std::string& name, const std::function<void(Gen&)>& body,
+    const PropertyOptions& options = {});
+
+/// Derives the seed for iteration `iter` of a run with base seed `seed`.
+[[nodiscard]] std::uint64_t iteration_seed(std::uint64_t seed, int iter);
+
+/// Defines a property as a gtest test: the block body receives
+/// `exa::qa::Gen& g` and fails via `exa::qa::require` (or by throwing).
+///
+///   EXA_PROPERTY(FftProps, RoundTripIsIdentity) {
+///     const std::size_t n = std::size_t{1} << g.size(0, 10);
+///     ...
+///     exa::qa::require(err < 1e-10, "round-trip error " + std::to_string(err));
+///   }
+#define EXA_PROPERTY(Suite, Name)                                           \
+  static void exa_qa_prop_##Suite##_##Name(::exa::qa::Gen& g);              \
+  TEST(Suite, Name) {                                                       \
+    const auto exa_qa_result = ::exa::qa::run_property(                     \
+        #Suite "." #Name, exa_qa_prop_##Suite##_##Name);                    \
+    EXPECT_TRUE(exa_qa_result.ok) << exa_qa_result.report;                  \
+  }                                                                         \
+  static void exa_qa_prop_##Suite##_##Name(::exa::qa::Gen& g)
+
+}  // namespace exa::qa

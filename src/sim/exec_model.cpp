@@ -60,7 +60,7 @@ KernelTiming kernel_timing(const arch::GpuArch& gpu,
   EXA_ASSERT(bw > 0.0);
   t.memory_s = (profile.total_bytes() + t.spill_bytes) / bw;
 
-  t.total_s = t.launch_s + std::max(t.compute_s, t.memory_s);
+  t.total_s = t.launch_s + kQaMutationCostScale * std::max(t.compute_s, t.memory_s);
   return t;
 }
 

@@ -38,6 +38,16 @@ struct KernelTiming {
   }
 };
 
+/// Mutation-testing hook: the EXA_QA_MUTATION build option injects a
+/// deliberate 1.5x error into the roofline execution term so the
+/// golden-baseline gates can prove they fail on a perturbed cost model
+/// (tests/CMakeLists.txt registers those gates with WILL_FAIL).
+#ifdef EXA_QA_MUTATION
+inline constexpr double kQaMutationCostScale = 1.5;
+#else
+inline constexpr double kQaMutationCostScale = 1.0;
+#endif
+
 /// Computes the timing breakdown for one launch.
 [[nodiscard]] KernelTiming kernel_timing(const arch::GpuArch& gpu,
                                          const KernelProfile& profile,

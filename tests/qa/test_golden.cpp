@@ -1,0 +1,126 @@
+/// qa::golden unit coverage: baseline write/load round-trips, the strict
+/// both-directions compare, per-metric tolerance edges, and load-time
+/// schema validation.
+
+#include "qa/golden.hpp"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+
+namespace exa::qa {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+GoldenFile sample_baseline() {
+  GoldenFile f;
+  f.metrics.push_back({"speedup", 5.0, 0.02});
+  f.metrics.push_back({"fom", 1.25e15, 0.05});
+  f.metrics.push_back({"mismatches", 0.0, 0.0});
+  return f;
+}
+
+TEST(Golden, WriteLoadRoundTrip) {
+  const std::string path = tmp_path("golden_roundtrip.json");
+  golden_write(path, sample_baseline());
+  const GoldenFile loaded = golden_load(path);
+  ASSERT_EQ(loaded.metrics.size(), 3u);
+  // golden_write sorts by name for stable diffs.
+  EXPECT_EQ(loaded.metrics[0].name, "fom");
+  EXPECT_EQ(loaded.metrics[1].name, "mismatches");
+  EXPECT_EQ(loaded.metrics[2].name, "speedup");
+  EXPECT_DOUBLE_EQ(loaded.metrics[0].value, 1.25e15);
+  EXPECT_DOUBLE_EQ(loaded.metrics[0].rel_tol, 0.05);
+  EXPECT_DOUBLE_EQ(loaded.metrics[2].value, 5.0);
+}
+
+TEST(Golden, IdenticalMetricsCompareOk) {
+  const GoldenFile base = sample_baseline();
+  const GoldenCompareResult cmp = golden_compare(base, base.metrics);
+  EXPECT_TRUE(cmp.ok);
+  EXPECT_EQ(cmp.compared, 3u);
+  EXPECT_TRUE(cmp.failures.empty());
+}
+
+TEST(Golden, DriftWithinToleranceOk) {
+  const GoldenFile base = sample_baseline();
+  std::vector<GoldenMetric> measured = base.metrics;
+  for (GoldenMetric& m : measured) {
+    if (m.name == "speedup") m.value = 5.0 * 1.019;  // inside the 2% band
+  }
+  EXPECT_TRUE(golden_compare(base, measured).ok);
+}
+
+TEST(Golden, DriftBeyondToleranceFails) {
+  const GoldenFile base = sample_baseline();
+  std::vector<GoldenMetric> measured = base.metrics;
+  for (GoldenMetric& m : measured) {
+    if (m.name == "speedup") m.value = 5.0 * 1.03;  // outside the 2% band
+  }
+  const GoldenCompareResult cmp = golden_compare(base, measured);
+  EXPECT_FALSE(cmp.ok);
+  ASSERT_EQ(cmp.failures.size(), 1u);
+  EXPECT_NE(cmp.failures[0].find("speedup"), std::string::npos);
+  EXPECT_NE(cmp.report().find("FAIL"), std::string::npos);
+}
+
+TEST(Golden, BaselineToleranceGovernsNotMeasured) {
+  // A run cannot widen its own gate: the measured rel_tol is ignored.
+  GoldenFile base;
+  base.metrics.push_back({"m", 100.0, 0.01});
+  std::vector<GoldenMetric> measured = {{"m", 105.0, 0.50}};
+  EXPECT_FALSE(golden_compare(base, measured).ok);
+}
+
+TEST(Golden, MissingMeasuredMetricFails) {
+  const GoldenFile base = sample_baseline();
+  std::vector<GoldenMetric> measured = base.metrics;
+  measured.pop_back();
+  const GoldenCompareResult cmp = golden_compare(base, measured);
+  EXPECT_FALSE(cmp.ok);
+  EXPECT_NE(cmp.failures.at(0).find("not measured"), std::string::npos);
+}
+
+TEST(Golden, ExtraMeasuredMetricFails) {
+  const GoldenFile base = sample_baseline();
+  std::vector<GoldenMetric> measured = base.metrics;
+  measured.push_back({"new_metric", 1.0, 0.1});
+  const GoldenCompareResult cmp = golden_compare(base, measured);
+  EXPECT_FALSE(cmp.ok);
+  EXPECT_NE(cmp.failures.at(0).find("not in baseline"), std::string::npos);
+}
+
+TEST(Golden, ZeroBaselineRequiresExactMatch) {
+  GoldenFile base;
+  base.metrics.push_back({"mismatches", 0.0, 0.5});
+  EXPECT_TRUE(golden_compare(base, {{"mismatches", 0.0, 0.5}}).ok);
+  EXPECT_FALSE(golden_compare(base, {{"mismatches", 1e-9, 0.5}}).ok);
+}
+
+TEST(Golden, LoadRejectsMissingSchemaMarker) {
+  const std::string path = tmp_path("golden_noschema.json");
+  std::ofstream(path) << "{\"metrics\":{}}\n";
+  EXPECT_THROW((void)golden_load(path), support::Error);
+}
+
+TEST(Golden, LoadRejectsMalformedMetricEntry) {
+  const std::string path = tmp_path("golden_malformed.json");
+  std::ofstream(path) << "{\"schema\":\"exa-golden-v1\","
+                         "\"metrics\":{\"m\":{\"value\":1.0}}}\n";
+  EXPECT_THROW((void)golden_load(path), support::Error);
+}
+
+TEST(Golden, LoadRejectsUnreadablePath) {
+  EXPECT_THROW((void)golden_load(tmp_path("does_not_exist_golden.json")),
+               support::Error);
+}
+
+}  // namespace
+}  // namespace exa::qa

@@ -1,0 +1,154 @@
+/// Property tests of the mathlib numerics using the qa generators: the LU
+/// factorization invariant P·A = L·U, FFT round trips, permutation-matrix
+/// algebra, and the symmetric eigensolver's defining identities. Each
+/// failure shrinks to a minimal matrix and prints a replayable seed.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mathlib/dense.hpp"
+#include "mathlib/eigen.hpp"
+#include "mathlib/fft.hpp"
+#include "mathlib/lu.hpp"
+#include "qa/generators.hpp"
+#include "qa/property.hpp"
+
+namespace exa::qa {
+namespace {
+
+EXA_PROPERTY(MathlibProps, DgetrfSatisfiesPaEqualsLu) {
+  const std::size_t n = g.size(1, 12);
+  const std::vector<double> a = gen_diag_dominant(g, n);
+  std::vector<double> lu = a;
+  std::vector<int> piv(n);
+  require(ml::dgetrf(lu, n, piv) == 0,
+          "diagonally dominant matrix reported singular");
+
+  // P*A: apply the recorded row swaps to A in factorization order.
+  std::vector<double> pa = a;
+  for (std::size_t col = 0; col < n; ++col) {
+    const auto p = static_cast<std::size_t>(piv[col]);
+    if (p != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(pa[col * n + j], pa[p * n + j]);
+      }
+    }
+  }
+  // L (unit lower) times U, both packed in `lu`.
+  std::vector<double> prod(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        s += (k == i ? 1.0 : lu[i * n + k]) * lu[k * n + j];
+      }
+      prod[i * n + j] = s;
+    }
+  }
+  const double err = ml::rel_error<double>(prod, pa);
+  require(err < 1e-10, "||L*U - P*A|| / ||P*A|| = " + std::to_string(err));
+}
+
+EXA_PROPERTY(MathlibProps, ZgetrfSolvesGeneratedSystems) {
+  const std::size_t n = g.size(1, 10);
+  const std::vector<ml::zcomplex> a = gen_zmatrix_dominant(g, n);
+  std::vector<ml::zcomplex> x_true(n);
+  for (auto& v : x_true) v = {g.uniform(-1.0, 1.0), g.uniform(-1.0, 1.0)};
+  std::vector<ml::zcomplex> b(n, ml::zcomplex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+  }
+  std::vector<ml::zcomplex> lu = a;
+  std::vector<int> piv(n);
+  require(ml::zgetrf(lu, n, piv) == 0, "dominant complex matrix singular");
+  ml::zgetrs(lu, n, piv, b, 1);
+  const double err = ml::rel_error<ml::zcomplex>(b, x_true);
+  require(err < 1e-9, "zgetrs solution error " + std::to_string(err));
+}
+
+EXA_PROPERTY(MathlibProps, GeneratedPermutationIsOrthogonal) {
+  const std::size_t n = g.size(1, 16);
+  const std::vector<std::size_t> perm = gen_permutation(g, n);
+
+  // Validity: each index appears exactly once.
+  std::vector<bool> seen(n, false);
+  for (const std::size_t i : perm) {
+    require(i < n, "permutation entry out of range");
+    require(!seen[i], "duplicate permutation entry");
+    seen[i] = true;
+  }
+
+  // P * P^T = I.
+  const std::vector<double> p = permutation_matrix(perm);
+  std::vector<double> pt(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) pt[j * n + i] = p[i * n + j];
+  }
+  std::vector<double> prod(n * n, 0.0);
+  ml::dgemm(p, pt, prod, n, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double want = i == j ? 1.0 : 0.0;
+      require(prod[i * n + j] == want, "P*P^T is not the identity");
+    }
+  }
+}
+
+EXA_PROPERTY(MathlibProps, FftRoundTripIsIdentity) {
+  const std::size_t n = gen_pow2(g, 0, 10);
+  std::vector<ml::zcomplex> data(n);
+  for (auto& v : data) v = {g.uniform(-1.0, 1.0), g.uniform(-1.0, 1.0)};
+  const std::vector<ml::zcomplex> original = data;
+  ml::fft(data);
+  ml::fft(data, /*inverse=*/true);
+  const double err = ml::rel_error<ml::zcomplex>(data, original);
+  require(err < 1e-9,
+          "ifft(fft(x)) error " + std::to_string(err) + " at n=" +
+              std::to_string(n));
+}
+
+EXA_PROPERTY(MathlibProps, SyevDecomposesSpdMatrices) {
+  const std::size_t n = g.size(1, 8);
+  const std::vector<double> a = gen_spd(g, n);
+  std::vector<double> w(n);
+  std::vector<double> v(n * n);
+  ml::syev(a, n, w, v);
+
+  // gen_spd builds B^T B / n + I, so every eigenvalue is >= 1; syev
+  // reports them ascending.
+  for (std::size_t i = 0; i < n; ++i) {
+    require(w[i] > 0.9, "SPD eigenvalue not positive");
+    if (i > 0) require(w[i] >= w[i - 1], "eigenvalues not ascending");
+  }
+
+  // A*V = V*diag(w) (vectors are stored as columns of v).
+  std::vector<double> av(n * n, 0.0);
+  ml::dgemm(a, v, av, n, n, n);
+  std::vector<double> vl(n * n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) vl[r * n + j] = v[r * n + j] * w[j];
+  }
+  const double resid = ml::rel_error<double>(av, vl);
+  require(resid < 1e-8, "||A*V - V*L|| residual " + std::to_string(resid));
+
+  // V^T V = I.
+  std::vector<double> vt(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) vt[j * n + i] = v[i * n + j];
+  }
+  std::vector<double> vtv(n * n, 0.0);
+  ml::dgemm(vt, v, vtv, n, n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double want = i == j ? 1.0 : 0.0;
+      require(std::abs(vtv[i * n + j] - want) < 1e-8,
+              "eigenvector basis not orthonormal");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exa::qa
