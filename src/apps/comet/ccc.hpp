@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "net/fabric.hpp"
 #include "support/rng.hpp"
 
 namespace exa::apps::comet {
@@ -99,9 +100,14 @@ struct CometScaleResult {
 /// `vectors_per_device` vectors of `samples` samples: a round-robin block
 /// schedule where each step pairs two vector blocks with one bit-GEMM on
 /// the matrix cores, overlapped with the ring exchange of the next block.
+/// The exchange is posted as a nonblocking schedule on the fabric (isend
+/// of the next block, GEMM, wait), so `fabric` knobs (congestion, faults)
+/// directly erode the "near-perfect" overlap; the default analytic fabric
+/// reproduces the calibrated CommModel costs exactly.
 [[nodiscard]] CometScaleResult scale_run(const arch::Machine& machine,
                                          int nodes,
                                          std::size_t vectors_per_device,
-                                         std::size_t samples);
+                                         std::size_t samples,
+                                         const net::FabricConfig& fabric = {});
 
 }  // namespace exa::apps::comet

@@ -5,7 +5,7 @@
 
 #include "mathlib/device_blas.hpp"
 #include "mathlib/fft.hpp"
-#include "net/comm_model.hpp"
+#include "net/fabric.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
@@ -334,7 +334,8 @@ const KernelSpec kHydroKernels[3] = {
 }  // namespace
 
 StepModel step_model(const arch::Machine& machine, int nodes,
-                     double particles_per_rank, SimKind kind) {
+                     double particles_per_rank, SimKind kind,
+                     const net::FabricConfig& fabric_config) {
   EXA_REQUIRE(machine.node.has_gpu());
   EXA_REQUIRE(nodes >= 1 && nodes <= machine.node_count);
   const arch::GpuArch& gpu = *machine.node.gpu;
@@ -351,9 +352,10 @@ StepModel step_model(const arch::Machine& machine, int nodes,
       m.total_s += m.kernels.back().seconds;
     }
   }
-  // Communication: the PM FFT transpose plus particle overload exchange.
+  // Communication: the PM FFT transpose plus particle overload exchange,
+  // issued through the topology-aware fabric (analytic by default).
   const int ranks = nodes * machine.node.gpus_per_node;
-  net::CommModel comm(machine, machine.node.gpus_per_node);
+  const net::Fabric comm(machine, machine.node.gpus_per_node, fabric_config);
   const double grid_bytes = particles_per_rank * 16.0;  // ~1 cell/particle
   m.comm_s = comm.alltoall(grid_bytes / std::max(1, ranks),
                            std::min(ranks, 1024)) +

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "net/fabric.hpp"
 #include "support/rng.hpp"
 
 namespace exa::apps::exasky {
@@ -78,10 +79,13 @@ struct StepModel {
 enum class SimKind { kGravityOnly, kHydro };
 
 /// One full timestep on `nodes` nodes of `machine` with `particles_per_rank`
-/// particles per device rank.
+/// particles per device rank. The PM-transpose alltoall and the particle
+/// overload halo go through the topology-aware fabric; the default
+/// `fabric` config reduces to the calibrated CommModel exactly.
 [[nodiscard]] StepModel step_model(const arch::Machine& machine, int nodes,
                                    double particles_per_rank,
-                                   SimKind kind = SimKind::kGravityOnly);
+                                   SimKind kind = SimKind::kGravityOnly,
+                                   const net::FabricConfig& fabric = {});
 
 /// Per-kernel V100-vs-MI250X comparison: returns the speed-up of each of
 /// the six kernels moving Summit -> Frontier (per device). The chunked

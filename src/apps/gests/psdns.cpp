@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "mathlib/device_blas.hpp"
-#include "net/comm_model.hpp"
+#include "net/fabric.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
@@ -404,7 +404,9 @@ StepTime step_time(const arch::Machine& machine, int nodes,
     EXA_REQUIRE_MSG(P <= N * N, "Pencils version is limited to N^2 ranks");
   }
 
-  net::CommModel comm(machine, rpn);
+  // The alltoall transposes go through the topology-aware fabric; with the
+  // default config it reduces to the calibrated CommModel bit-for-bit.
+  const net::Fabric comm(machine, rpn, config.fabric);
 
   // Local FFT work per rank per 3-D transform: three axis sweeps of
   // N^2/P lines each.

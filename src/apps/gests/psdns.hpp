@@ -20,6 +20,7 @@
 
 #include "arch/machine.hpp"
 #include "mathlib/fft.hpp"
+#include "net/fabric.hpp"
 
 namespace exa::apps::gests {
 
@@ -105,6 +106,10 @@ struct PsdnsConfig {
   int ranks_per_node = 0;      ///< 0: one per device
   Decomposition decomp = Decomposition::kSlabs;
   int transforms_per_step = 9; ///< 3-D FFTs per RK substep sweep
+  /// Network model knobs. The default (congestion and faults off) reduces
+  /// the fabric to the calibrated CommModel exactly, so baseline FOMs are
+  /// golden-stable; flip `congestion` on to study transpose hotspots.
+  net::FabricConfig fabric;
 };
 
 struct StepTime {

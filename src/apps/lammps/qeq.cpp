@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "mathlib/device_blas.hpp"
-#include "net/comm_model.hpp"
+#include "net/fabric.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
@@ -239,10 +239,11 @@ QeqResult equilibrate(const System& sys, const QeqMatrix& h, bool fused,
 
 double simulate_qeq_time(const arch::Machine& machine,
                          std::size_t atoms_per_rank, std::size_t nnz_per_rank,
-                         const CgStats& stats, int vectors, int ranks) {
+                         const CgStats& stats, int vectors, int ranks,
+                         const net::FabricConfig& fabric_config) {
   EXA_REQUIRE(machine.node.has_gpu());
   const arch::GpuArch& gpu = *machine.node.gpu;
-  net::CommModel comm(machine, machine.node.gpus_per_node);
+  const net::Fabric comm(machine, machine.node.gpus_per_node, fabric_config);
 
   sim::LaunchConfig launch;
   launch.block_threads = 256;

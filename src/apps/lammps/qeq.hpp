@@ -15,6 +15,7 @@
 
 #include "apps/lammps/system.hpp"
 #include "arch/machine.hpp"
+#include "net/fabric.hpp"
 
 namespace exa::apps::lammps {
 
@@ -71,11 +72,13 @@ struct QeqResult {
 
 /// Simulated per-equilibration wall time on `machine`: per loop trip, a
 /// device SpMV (single- or dual-vector) plus the CG dot-product allreduce
-/// across ranks.
+/// across ranks. Collectives are issued through the topology-aware fabric;
+/// the default `fabric` config reduces to the calibrated CommModel.
 [[nodiscard]] double simulate_qeq_time(const arch::Machine& machine,
                                        std::size_t atoms_per_rank,
                                        std::size_t nnz_per_rank,
                                        const CgStats& stats, int vectors,
-                                       int ranks);
+                                       int ranks,
+                                       const net::FabricConfig& fabric = {});
 
 }  // namespace exa::apps::lammps

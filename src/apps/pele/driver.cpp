@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "net/comm_model.hpp"
+#include "net/fabric.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
 
@@ -142,7 +142,7 @@ CellTime gpu_time_per_cell(const arch::Machine& machine, CodeState state,
   double ghost_s = 0.0;
   double imbalance = 1.0;
   if (nodes > 1) {
-    net::CommModel comm(machine, devices);
+    const net::Fabric comm(machine, devices, config.fabric);
     const double cells_edge = std::cbrt(cells_per_device);
     const double face_bytes = cells_edge * cells_edge * 8.0 * 8.0;
     double exchange_s = comm.halo_exchange(face_bytes, 6);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "net/fabric.hpp"
 
 namespace exa::apps::pele {
 
@@ -31,6 +32,9 @@ struct PeleConfig {
   std::size_t box_edge = 32;                         ///< AMR box size
   int chem_substeps_pointwise = 15;  ///< explicit substeps per cell
   int newton_iters_batched = 6;      ///< implicit iterations per cell
+  /// Network model knobs for the ghost exchange and regrid collective; the
+  /// default (analytic) fabric reproduces the CommModel costs exactly.
+  net::FabricConfig fabric;
 };
 
 /// Per-cell per-step cost breakdown (seconds).

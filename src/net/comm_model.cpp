@@ -78,7 +78,7 @@ double CommModel::log2_ceil(int n) {
 
 double CommModel::allreduce(double bytes, int ranks) const {
   EXA_REQUIRE(bytes >= 0.0);
-  EXA_REQUIRE(ranks >= 1);
+  EXA_REQUIRE_MSG(ranks >= 1, "allreduce needs a positive communicator size");
   if (ranks == 1) return 0.0;
   const auto& net = machine_.network;
   const double steps = 2.0 * log2_ceil(ranks);
@@ -93,7 +93,7 @@ double CommModel::allreduce(double bytes, int ranks) const {
 
 double CommModel::alltoall(double bytes_per_pair, int ranks) const {
   EXA_REQUIRE(bytes_per_pair >= 0.0);
-  EXA_REQUIRE(ranks >= 1);
+  EXA_REQUIRE_MSG(ranks >= 1, "alltoall needs a positive communicator size");
   if (ranks == 1) return 0.0;
   const auto& net = machine_.network;
   const double peers = static_cast<double>(ranks - 1);
@@ -108,7 +108,7 @@ double CommModel::alltoall(double bytes_per_pair, int ranks) const {
 
 double CommModel::bcast(double bytes, int ranks) const {
   EXA_REQUIRE(bytes >= 0.0);
-  EXA_REQUIRE(ranks >= 1);
+  EXA_REQUIRE_MSG(ranks >= 1, "bcast needs a positive communicator size");
   if (ranks == 1) return 0.0;
   const auto& net = machine_.network;
   const double steps = log2_ceil(ranks);
@@ -122,7 +122,7 @@ double CommModel::bcast(double bytes, int ranks) const {
 }
 
 double CommModel::barrier(int ranks) const {
-  EXA_REQUIRE(ranks >= 1);
+  EXA_REQUIRE_MSG(ranks >= 1, "barrier needs a positive communicator size");
   if (ranks == 1) return 0.0;
   const auto& net = machine_.network;
   const double cost =

@@ -19,18 +19,25 @@
 
 namespace exa::net {
 
+/// Closed-form LogGP collective costs for one machine (see file comment).
+/// All cost functions return virtual seconds; `bytes` arguments are bytes.
 class CommModel {
  public:
   /// `ranks_per_node` communicating concurrently (usually one per device).
   CommModel(const arch::Machine& machine, int ranks_per_node,
             bool gpu_aware = true);
 
+  /// The machine whose interconnect parameterizes the model.
   [[nodiscard]] const arch::Machine& machine() const { return machine_; }
+  /// Ranks sharing one node's injection bandwidth.
   [[nodiscard]] int ranks_per_node() const { return ranks_per_node_; }
+  /// Ranks across the whole machine (node_count × ranks_per_node).
   [[nodiscard]] int total_ranks() const {
     return machine_.node_count * ranks_per_node_;
   }
+  /// Whether sends go device-buffer-direct to the NIC.
   [[nodiscard]] bool gpu_aware() const { return gpu_aware_; }
+  /// Toggles GPU-aware MPI (off adds host staging to every message end).
   void set_gpu_aware(bool aware) { gpu_aware_ = aware; }
 
   /// Per-rank share of node injection bandwidth (bytes/s).
@@ -52,12 +59,16 @@ class CommModel {
   /// Broadcast of `bytes` to `ranks` (binomial tree, pipelined for large
   /// messages).
   [[nodiscard]] double bcast(double bytes, int ranks) const;
+  /// \brief Barrier over `ranks` ranks (seconds): latency-only tree.
   [[nodiscard]] double barrier(int ranks) const;
 
- private:
-  /// Cost of staging a device buffer through the host on one end when the
-  /// MPI is not GPU-aware (applies to both sender and receiver).
+  /// \brief Cost (seconds) of staging a `bytes`-sized device buffer through
+  /// the host on one end when the MPI is not GPU-aware (applies to both
+  /// sender and receiver; zero when GPU-aware or CPU-only). Public so the
+  /// event-driven `Fabric` charges bit-identical staging terms.
   [[nodiscard]] double staging_cost(double bytes) const;
+
+ private:
   [[nodiscard]] static double log2_ceil(int n);
 
   arch::Machine machine_;

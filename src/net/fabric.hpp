@@ -1,0 +1,286 @@
+#pragma once
+/// \file fabric.hpp
+/// Topology-aware event-driven network fabric.
+///
+/// `CommModel` prices every message against a closed-form `L + o + m/B_eff`
+/// cost — good enough for first-order scaling studies, but blind to the
+/// effects the Frontier CoE actually fought (PAPER.md §2.2, §3.3, §3.6):
+/// link congestion under adversarial traffic, compute/communication
+/// overlap, stragglers, and flaky links. `Fabric` adds those effects on
+/// top of the same calibrated inputs:
+///
+///  * a **link graph** derived from `arch::Machine` — a two-level tapered
+///    fat-tree or a dragonfly built from the interconnect's injection
+///    bandwidth and bisection factor;
+///  * a **phase engine** for collectives: each collective becomes a
+///    schedule of communication phases whose *uncongested* costs sum
+///    exactly to the `CommModel` closed form, and whose *congested* costs
+///    route every phase's messages over the link graph and charge the
+///    bottleneck link;
+///  * a **fault/perturbation layer**: deterministic degraded links,
+///    straggler ranks, and dropped-then-retried messages with exponential
+///    backoff.
+///
+/// **Equivalence guarantee (golden-gated):** with `config.congestion ==
+/// false` and no faults configured, every `Fabric` collective reproduces
+/// the corresponding `CommModel` cost to within 1e-9 relative error (the
+/// phase schedule re-derives the closed form as a sum over phases; only
+/// floating-point association differs). `tests/qa` property-tests this
+/// over random machines, group sizes, and message sizes.
+///
+/// Units: all times are seconds, all sizes bytes, all bandwidths bytes/s.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "net/comm_model.hpp"
+#include "support/rng.hpp"
+
+namespace exa::net {
+
+/// Inter-node wiring pattern the link graph is built on.
+enum class Topology {
+  kFatTree,    ///< two-level leaf/spine tree, uplinks tapered to bisection
+  kDragonfly,  ///< node groups with all-to-all global links between groups
+};
+
+/// Fault / perturbation knobs. All effects are deterministic functions of
+/// `seed` so runs replay bit-exactly.
+struct FaultConfig {
+  /// Fraction of fabric links (uplinks/global links) degraded at build
+  /// time (dimensionless, in [0, 1]).
+  double degraded_link_fraction = 0.0;
+  /// Bandwidth multiplier a degraded link keeps (dimensionless, in (0, 1]).
+  double degrade_factor = 0.25;
+  /// Fraction of ranks that straggle (dimensionless, in [0, 1]).
+  double straggler_fraction = 0.0;
+  /// Compute-time multiplier for straggler ranks (dimensionless, >= 1).
+  double straggler_slowdown = 1.0;
+  /// Per-message drop probability (dimensionless, in [0, 0.9]).
+  double drop_probability = 0.0;
+  /// Upper bound on resend attempts for one message before it is charged
+  /// as delivered anyway (count).
+  int max_retries = 8;
+  /// First-retry backoff (seconds); retry k waits `2^k` times this.
+  double backoff_base_s = 5.0e-6;
+  /// Seed for degraded-link selection, straggler membership, and message
+  /// drop sampling.
+  std::uint64_t seed = 0xFAB51Cull;
+
+  /// True when any perturbation is configured (forces the event-driven
+  /// engine on even if congestion modeling is off).
+  [[nodiscard]] bool any() const {
+    return degraded_link_fraction > 0.0 || straggler_fraction > 0.0 ||
+           drop_probability > 0.0;
+  }
+};
+
+/// Build-time fabric configuration.
+struct FabricConfig {
+  Topology topology = Topology::kFatTree;  ///< link-graph wiring pattern
+  /// Model per-link bandwidth sharing under contention. Off (with no
+  /// faults), the fabric reduces exactly to the analytic CommModel.
+  bool congestion = false;
+  FaultConfig faults;  ///< perturbation layer (defaults to none)
+  /// Number of simulated ranks that get their own trace lane
+  /// ("fabric/rank<i>") when the tracer is enabled (count).
+  int trace_rank_lanes = 8;
+  /// Phases sampled per collective when estimating congestion for large
+  /// groups (count; the latency/volume ledger stays exact — sampling only
+  /// extrapolates the congestion surcharge).
+  int max_sampled_phases = 48;
+};
+
+/// One directed link of the fabric graph.
+struct FabricLink {
+  enum class Kind : std::uint8_t {
+    kInjection,  ///< node NIC, node -> first switch
+    kEjection,   ///< last switch -> node NIC
+    kUplink,     ///< fat-tree: leaf -> spine (tapered)
+    kDownlink,   ///< fat-tree: spine -> leaf (tapered)
+    kLocal,      ///< dragonfly: intra-group fabric
+    kGlobal,     ///< dragonfly: group <-> group optical link
+  };
+  Kind kind = Kind::kInjection;  ///< where this link sits in the graph
+  /// Undegraded capacity (bytes/s).
+  double bandwidth_bytes_per_s = 0.0;
+  /// True when the fault layer degraded this link at build time.
+  bool degraded = false;
+
+  /// Capacity after degradation (bytes/s).
+  [[nodiscard]] double effective_bandwidth(double degrade_factor) const {
+    return degraded ? bandwidth_bytes_per_s * degrade_factor
+                    : bandwidth_bytes_per_s;
+  }
+};
+
+/// The link graph for one machine: builds the wiring and answers routing
+/// queries (`route`) as lists of link ids. Paths are minimal and
+/// deterministic (static routing — aligned traffic *does* hotspot, which
+/// is the behavior the congestion model exists to expose).
+class FabricTopology {
+ public:
+  /// Builds the graph for `machine` under wiring `kind`.
+  FabricTopology(const arch::Machine& machine, Topology kind);
+
+  /// Wiring pattern the graph was built with.
+  [[nodiscard]] Topology kind() const { return kind_; }
+  /// Number of endpoint nodes (count).
+  [[nodiscard]] int node_count() const { return node_count_; }
+  /// Nodes attached to one leaf switch / dragonfly group (count).
+  [[nodiscard]] int nodes_per_switch() const { return nodes_per_switch_; }
+  /// Leaf switches (fat-tree) or groups (dragonfly) (count).
+  [[nodiscard]] int switch_count() const { return switch_count_; }
+  /// Spine switches (fat-tree only; 0 for dragonfly) (count).
+  [[nodiscard]] int spine_count() const { return spine_count_; }
+  /// All links, indexable by the ids `route` emits.
+  [[nodiscard]] const std::vector<FabricLink>& links() const { return links_; }
+
+  /// Appends the link ids of the (minimal, static) path from `src_node`
+  /// to `dst_node` onto `out`. Same-node traffic appends nothing.
+  void route(int src_node, int dst_node, std::vector<int>& out) const;
+
+  /// Leaf switch / group of a node.
+  [[nodiscard]] int switch_of(int node) const {
+    return node / nodes_per_switch_;
+  }
+
+  /// Marks `fraction` of the core links (uplinks/downlinks/global) as
+  /// degraded, selected deterministically from `seed`.
+  void degrade_links(double fraction, std::uint64_t seed);
+
+ private:
+  [[nodiscard]] int injection_link(int node) const;
+  [[nodiscard]] int ejection_link(int node) const;
+
+  Topology kind_;
+  int node_count_ = 0;
+  int nodes_per_switch_ = 0;
+  int switch_count_ = 0;
+  int spine_count_ = 0;
+  std::vector<FabricLink> links_;
+  /// First id of each link block (see fabric.cpp for the layout).
+  int uplink_base_ = 0;
+  int local_base_ = 0;
+  int global_base_ = 0;
+};
+
+/// Event-driven multi-rank network fabric. Construction mirrors
+/// `CommModel` (same machine/ranks-per-node/GPU-awareness inputs); the
+/// collective methods are drop-in signature-compatible with it, so a
+/// driver migrates by swapping the type. All returned costs are seconds.
+///
+/// Thread safety: `const` collective methods are safe to call
+/// concurrently; `transfer()` mutates link cursors and the drop RNG and
+/// must be externally serialized (RankSim owns exactly that).
+class Fabric {
+ public:
+  /// `ranks_per_node` simulated ranks share each node's injection
+  /// bandwidth; `gpu_aware` mirrors CommModel's host-staging behavior.
+  explicit Fabric(const arch::Machine& machine, int ranks_per_node,
+                  FabricConfig config = {}, bool gpu_aware = true);
+
+  /// The calibrated analytic model the fabric reduces to (the fast path
+  /// for closed-form queries).
+  [[nodiscard]] const CommModel& analytic() const { return model_; }
+  /// Build-time configuration.
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+  /// The link graph.
+  [[nodiscard]] const FabricTopology& topology() const { return topo_; }
+  /// Machine the fabric models.
+  [[nodiscard]] const arch::Machine& machine() const { return model_.machine(); }
+  /// Simulated ranks per node (count).
+  [[nodiscard]] int ranks_per_node() const { return model_.ranks_per_node(); }
+  /// Total simulated ranks (count).
+  [[nodiscard]] int total_ranks() const { return model_.total_ranks(); }
+  /// True when the event-driven engine is active (congestion on or any
+  /// fault configured); false means exact CommModel reduction.
+  [[nodiscard]] bool event_driven() const {
+    return config_.congestion || config_.faults.any();
+  }
+
+  // --- CommModel-compatible cost queries (seconds) ----------------------
+
+  /// Point-to-point message of `bytes` between ranks on different nodes
+  /// (seconds).
+  [[nodiscard]] double p2p(double bytes) const;
+  /// Halo exchange of `bytes_per_face` with `faces` neighbors (seconds).
+  [[nodiscard]] double halo_exchange(double bytes_per_face, int faces) const;
+  /// Allreduce of `bytes` over `ranks` ranks (seconds).
+  [[nodiscard]] double allreduce(double bytes, int ranks) const;
+  /// Personalized all-to-all of `bytes_per_pair` within `ranks` ranks
+  /// (seconds).
+  [[nodiscard]] double alltoall(double bytes_per_pair, int ranks) const;
+  /// Broadcast of `bytes` to `ranks` ranks (seconds).
+  [[nodiscard]] double bcast(double bytes, int ranks) const;
+  /// Barrier over `ranks` ranks (seconds).
+  [[nodiscard]] double barrier(int ranks) const;
+
+  // --- message transport (RankSim substrate) ----------------------------
+
+  /// Outcome of one message pushed through the fabric.
+  struct Transfer {
+    /// Virtual time the payload is available at the receiver (seconds).
+    double delivered_s = 0.0;
+    /// Resend attempts the fault layer charged (count).
+    int retries = 0;
+  };
+
+  /// Injects `bytes` from `src_rank` to `dst_rank` at virtual time
+  /// `start_s` and returns the delivery outcome. Congestion serializes
+  /// messages on shared links via per-link cursors; the fault layer may
+  /// drop and re-send with exponential backoff. Delivery order per
+  /// (src, dst) pair is preserved (FIFO channel semantics).
+  [[nodiscard]] Transfer transfer(int src_rank, int dst_rank, double bytes,
+                                  double start_s);
+
+  /// Resets link cursors and channel state (fresh virtual time origin).
+  void reset_transport();
+
+  /// Node hosting `rank` (block placement: rank / ranks_per_node).
+  [[nodiscard]] int node_of_rank(int rank) const {
+    return rank / model_.ranks_per_node();
+  }
+  /// True when the fault layer marked `rank` a straggler.
+  [[nodiscard]] bool is_straggler(int rank) const;
+  /// Compute-time multiplier for `rank` (dimensionless; 1 for healthy
+  /// ranks, `straggler_slowdown` for stragglers).
+  [[nodiscard]] double straggler_scale(int rank) const {
+    return is_straggler(rank) ? config_.faults.straggler_slowdown : 1.0;
+  }
+
+ private:
+  /// Accumulates `bytes` onto every link of the rank-level path
+  /// src_rank -> dst_rank (no-op for same-node or empty messages).
+  void load_message(int src_rank, int dst_rank, double bytes) const;
+  /// Bottleneck seconds over the links touched since the last drain
+  /// (max of load / effective bandwidth), then clears the load ledger.
+  [[nodiscard]] double drain_loads() const;
+  /// Expected fault surcharge for one phase of `msgs` concurrent messages
+  /// whose resend costs `msg_cost_s` (seconds).
+  [[nodiscard]] double retry_surcharge(double msgs, double msg_cost_s) const;
+  /// Shared engine for ring-style phase schedules (alltoall).
+  [[nodiscard]] double ring_phases(double bytes_per_pair, int ranks) const;
+  /// Shared engine for XOR/binomial phase schedules (allreduce, bcast,
+  /// barrier). Returns the volume + congestion + fault portion only; the
+  /// caller owns latency and staging terms.
+  [[nodiscard]] double tree_phases(double total_volume, int ranks, int steps,
+                                   bool pairwise) const;
+  void trace(const char* op, double bytes, int ranks, double cost) const;
+
+  CommModel model_;
+  FabricConfig config_;
+  FabricTopology topo_;
+  support::Rng drop_rng_;
+  /// Per-link virtual-time cursor for transfer() serialization (seconds).
+  std::vector<double> link_cursor_;
+  /// Last delivery per (src_rank, dst_rank) channel for FIFO clamping.
+  std::unordered_map<std::uint64_t, double> channel_last_;
+  mutable std::vector<int> route_scratch_;
+  mutable std::vector<double> load_scratch_;  ///< per-link bytes this phase
+  mutable std::vector<int> touched_links_;
+};
+
+}  // namespace exa::net

@@ -1,0 +1,188 @@
+#include "net/rank_sim.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/assert.hpp"
+#include "support/units.hpp"
+#include "trace/tracer.hpp"
+
+namespace exa::net {
+
+RankSim::RankSim(Fabric& fabric, int ranks) : fabric_(fabric) {
+  EXA_REQUIRE_MSG(ranks >= 1, "RankSim needs at least one rank");
+  EXA_REQUIRE_MSG(ranks <= fabric.total_ranks(),
+                  "more simulated ranks than the fabric's machine hosts");
+  clocks_.assign(static_cast<std::size_t>(ranks), 0.0);
+  fabric_.reset_transport();
+}
+
+void RankSim::check_rank(int rank) const {
+  EXA_REQUIRE(rank >= 0 && rank < ranks());
+}
+
+double RankSim::now(int rank) const {
+  check_rank(rank);
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+double RankSim::makespan() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+bool RankSim::traced(int rank) const {
+  return rank < fabric_.config().trace_rank_lanes &&
+         trace::Tracer::instance().enabled();
+}
+
+std::string RankSim::lane(int rank) const {
+  return "fabric/rank" + std::to_string(rank);
+}
+
+Request RankSim::isend(int src, int dst, double bytes, int tag) {
+  check_rank(src);
+  check_rank(dst);
+  EXA_REQUIRE(bytes >= 0.0);
+  const double posted = clocks_[static_cast<std::size_t>(src)];
+  const Fabric::Transfer tr = fabric_.transfer(src, dst, bytes, posted);
+
+  MessageRecord record;
+  record.src = src;
+  record.dst = dst;
+  record.tag = tag;
+  record.bytes = bytes;
+  record.posted_s = posted;
+  record.delivered_s = tr.delivered_s;
+  record.retries = tr.retries;
+  const int message = static_cast<int>(messages_.size());
+  messages_.push_back(record);
+  unmatched_[{src, dst, tag}].push_back(message);
+
+  // The sender pays the software overhead; the wire time is in flight.
+  const double overhead =
+      fabric_.machine().network.per_message_overhead_s;
+  if (traced(src)) {
+    trace::Tracer::instance().complete(
+        "isend->r" + std::to_string(dst) + " " +
+            support::format_bytes(static_cast<std::uint64_t>(bytes)),
+        lane(src), posted, tr.delivered_s - posted, "net");
+  }
+  clocks_[static_cast<std::size_t>(src)] = posted + overhead;
+
+  Pending p;
+  p.kind = Pending::Kind::kSend;
+  p.rank = src;
+  p.peer = dst;
+  p.tag = tag;
+  p.local_done_s = posted + overhead;
+  p.message = message;
+  requests_.push_back(p);
+  return Request{static_cast<int>(requests_.size()) - 1};
+}
+
+Request RankSim::irecv(int dst, int src, int tag) {
+  check_rank(dst);
+  check_rank(src);
+  Pending p;
+  p.kind = Pending::Kind::kRecv;
+  p.rank = dst;
+  p.peer = src;
+  p.tag = tag;
+  requests_.push_back(p);
+  return Request{static_cast<int>(requests_.size()) - 1};
+}
+
+double RankSim::wait(int rank, Request request) {
+  check_rank(rank);
+  EXA_REQUIRE(request.valid() &&
+              request.id < static_cast<int>(requests_.size()));
+  Pending& p = requests_[static_cast<std::size_t>(request.id)];
+  EXA_REQUIRE_MSG(p.rank == rank, "waiting a request another rank owns");
+
+  double ready = 0.0;
+  if (p.kind == Pending::Kind::kSend) {
+    ready = p.local_done_s;
+  } else {
+    if (p.message < 0) {
+      auto it = unmatched_.find({p.peer, p.rank, p.tag});
+      EXA_REQUIRE_MSG(it != unmatched_.end() && !it->second.empty(),
+                      "wait(irecv) before the matching isend was posted");
+      p.message = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) unmatched_.erase(it);
+    }
+    ready = messages_[static_cast<std::size_t>(p.message)].delivered_s;
+  }
+
+  double& clock = clocks_[static_cast<std::size_t>(rank)];
+  if (ready > clock) {
+    if (traced(rank)) {
+      trace::Tracer::instance().complete("wait", lane(rank), clock,
+                                         ready - clock, "net");
+    }
+    clock = ready;
+  }
+  return clock;
+}
+
+void RankSim::compute(int rank, double seconds) {
+  check_rank(rank);
+  EXA_REQUIRE(seconds >= 0.0);
+  const double scaled = seconds * fabric_.straggler_scale(rank);
+  double& clock = clocks_[static_cast<std::size_t>(rank)];
+  if (traced(rank)) {
+    trace::Tracer::instance().complete("compute", lane(rank), clock, scaled,
+                                       "kernel");
+  }
+  clock += scaled;
+}
+
+double RankSim::launch(int rank, const sim::KernelProfile& profile,
+                       const sim::LaunchConfig& launch_cfg) {
+  check_rank(rank);
+  const arch::Machine& machine = fabric_.machine();
+  EXA_REQUIRE_MSG(machine.node.has_gpu(),
+                  "RankSim::launch on a CPU-only machine");
+  const sim::KernelTiming timing =
+      sim::kernel_timing(*machine.node.gpu, profile, launch_cfg);
+  const double scaled = timing.total_s * fabric_.straggler_scale(rank);
+  double& clock = clocks_[static_cast<std::size_t>(rank)];
+  if (traced(rank)) {
+    trace::Tracer::instance().complete(
+        profile.name.empty() ? "kernel" : profile.name, lane(rank), clock,
+        scaled, "kernel");
+  }
+  clock += scaled;
+  return scaled;
+}
+
+double RankSim::collective(const char* label, double cost) {
+  const double start = makespan();
+  auto& tracer = trace::Tracer::instance();
+  for (int r = 0; r < ranks(); ++r) {
+    if (traced(r)) {
+      tracer.complete(label, lane(r), start, cost, "net");
+    }
+    clocks_[static_cast<std::size_t>(r)] = start + cost;
+  }
+  return cost;
+}
+
+double RankSim::allreduce(double bytes) {
+  return collective("allreduce", fabric_.allreduce(bytes, ranks()));
+}
+
+double RankSim::alltoall(double bytes_per_pair) {
+  return collective("alltoall", fabric_.alltoall(bytes_per_pair, ranks()));
+}
+
+double RankSim::halo_exchange(double bytes_per_face, int faces) {
+  return collective("halo_exchange",
+                    fabric_.halo_exchange(bytes_per_face, faces));
+}
+
+double RankSim::barrier() {
+  return collective("barrier", fabric_.barrier(ranks()));
+}
+
+}  // namespace exa::net

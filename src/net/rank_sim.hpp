@@ -1,0 +1,137 @@
+#pragma once
+/// \file rank_sim.hpp
+/// Multi-rank progress engine on top of `Fabric`: N simulated ranks post
+/// nonblocking sends/receives and collectives against the topology-aware
+/// fabric, each advancing its own virtual clock.
+///
+/// The core capability `CommModel` could never express (and the paper's
+/// §2.2/§3.3/§3.8 campaigns lived on) is *overlap*: an `isend` injects its
+/// payload at the sender's current clock, the transfer progresses while
+/// the rank charges DeviceSim kernel time via `compute()`/`launch()`, and
+/// `wait()` only pays whatever transfer time the compute did not hide.
+/// The fault layer is live on this path: messages drop and re-send with
+/// exponential backoff, and delivery order per (src, dst) channel is
+/// preserved (a retried message delays the channel, it is never
+/// overtaken).
+///
+/// Schedules are issued by one driver thread (this is a simulator, not a
+/// runtime): post an `isend` before `wait()`ing its matching `irecv`.
+/// With the tracer enabled, the first `FabricConfig::trace_rank_lanes`
+/// ranks get Chrome trace lanes ("fabric/rank<i>") carrying compute
+/// spans, in-flight messages, and collective participation.
+///
+/// Units: all times seconds, all sizes bytes.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace exa::net {
+
+/// Handle for a posted nonblocking operation (index into the sim's
+/// request table).
+struct Request {
+  int id = -1;  ///< request-table index; -1 means empty
+  /// True when the handle refers to a posted operation.
+  [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+/// Delivery record of one message, for tests and post-run analysis.
+struct MessageRecord {
+  int src = 0;  ///< sending rank
+  int dst = 0;  ///< receiving rank
+  int tag = 0;  ///< match tag
+  double bytes = 0.0;       ///< payload size (bytes)
+  double posted_s = 0.0;    ///< sender clock at isend (seconds)
+  double delivered_s = 0.0; ///< payload available at receiver (seconds)
+  int retries = 0;          ///< resend attempts the fault layer charged
+};
+
+/// N simulated ranks with per-rank virtual clocks over one `Fabric`.
+class RankSim {
+ public:
+  /// Simulates `ranks` ranks (must not exceed `fabric.total_ranks()`).
+  /// The fabric's transport state is reset so virtual time starts at 0.
+  RankSim(Fabric& fabric, int ranks);
+
+  /// Number of simulated ranks (count).
+  [[nodiscard]] int ranks() const { return static_cast<int>(clocks_.size()); }
+  /// Current virtual clock of `rank` (seconds).
+  [[nodiscard]] double now(int rank) const;
+  /// Slowest rank's clock — the schedule's makespan so far (seconds).
+  [[nodiscard]] double makespan() const;
+  /// Every message delivered so far, in completion-of-transfer order.
+  [[nodiscard]] const std::vector<MessageRecord>& messages() const {
+    return messages_;
+  }
+
+  // --- nonblocking point-to-point ---------------------------------------
+
+  /// Posts a nonblocking send of `bytes` from `src` to `dst`; the payload
+  /// is injected at src's current clock and progresses while src computes.
+  /// Charges src the per-message software overhead.
+  Request isend(int src, int dst, double bytes, int tag = 0);
+  /// Posts a nonblocking receive on `dst` for a message from `src`.
+  /// Free at posting time; the cost lands at `wait()`.
+  Request irecv(int dst, int src, int tag = 0);
+  /// Blocks `rank` until `request` completes; returns the rank's clock
+  /// afterwards (seconds). For receives, the matching isend must already
+  /// be posted.
+  double wait(int rank, Request request);
+
+  // --- local work (the overlap substrate) -------------------------------
+
+  /// Advances `rank`'s clock by `seconds` of local work (straggler ranks
+  /// are slowed by the fabric's fault layer).
+  void compute(int rank, double seconds);
+  /// Charges `rank` the DeviceSim execution time of one kernel launch on
+  /// the machine's GPU (straggler-scaled); returns the seconds charged.
+  double launch(int rank, const sim::KernelProfile& profile,
+                const sim::LaunchConfig& launch_cfg);
+
+  // --- collectives (synchronize all ranks) ------------------------------
+
+  /// Allreduce of `bytes` across all simulated ranks; aligns every clock
+  /// to the collective's completion. Returns the collective cost (seconds).
+  double allreduce(double bytes);
+  /// Personalized all-to-all of `bytes_per_pair` across all ranks
+  /// (seconds).
+  double alltoall(double bytes_per_pair);
+  /// Halo exchange of `bytes_per_face` with `faces` neighbors on every
+  /// rank (seconds).
+  double halo_exchange(double bytes_per_face, int faces);
+  /// Barrier across all ranks (seconds).
+  double barrier();
+
+ private:
+  struct Pending {
+    enum class Kind : std::uint8_t { kSend, kRecv } kind = Kind::kSend;
+    int rank = 0;           ///< owning rank
+    int peer = 0;
+    int tag = 0;
+    double local_done_s = 0.0;  ///< send: local completion (seconds)
+    int message = -1;           ///< resolved MessageRecord index
+  };
+
+  /// Synchronizes every clock to the max, charges `cost`, traces one span
+  /// per traced lane.
+  double collective(const char* label, double cost);
+  void check_rank(int rank) const;
+  [[nodiscard]] bool traced(int rank) const;
+  [[nodiscard]] std::string lane(int rank) const;
+
+  Fabric& fabric_;
+  std::vector<double> clocks_;
+  std::vector<Pending> requests_;
+  std::vector<MessageRecord> messages_;
+  /// Unmatched sends per (src, dst, tag), FIFO.
+  std::map<std::tuple<int, int, int>, std::deque<int>> unmatched_;
+};
+
+}  // namespace exa::net

@@ -12,11 +12,16 @@
 
 namespace exa::net {
 
-enum class ScalingKind { kWeak, kStrong };
+/// Which scaling regime a study measures.
+enum class ScalingKind {
+  kWeak,    ///< problem size grows with nodes; ideal time is flat
+  kStrong,  ///< fixed problem; ideal time shrinks as 1/n
+};
 
+/// One measured (node count, step time) sample and its derived ratios.
 struct ScalingPoint {
-  int nodes = 0;
-  double seconds = 0.0;
+  int nodes = 0;         ///< node count of this sample
+  double seconds = 0.0;  ///< step time at this node count, in seconds
   /// Weak: t(1)/t(n). Strong: also t(1)/t(n), interpreted as speed-up.
   double ratio = 0.0;
   /// Strong-scaling parallel efficiency: speed-up / (n / n0); for weak
@@ -24,8 +29,10 @@ struct ScalingPoint {
   double efficiency = 0.0;
 };
 
+/// Collects a scaling series and derives per-point efficiency/speed-up.
 class ScalingStudy {
  public:
+  /// Names the study (table caption) and fixes its regime.
   ScalingStudy(std::string name, ScalingKind kind)
       : name_(std::move(name)), kind_(kind) {}
 
@@ -33,12 +40,15 @@ class ScalingStudy {
   void run(const std::vector<int>& node_counts,
            const std::function<double(int)>& step_time);
 
+  /// The recorded series in run order.
   [[nodiscard]] const std::vector<ScalingPoint>& points() const {
     return points_;
   }
+  /// The study's regime.
   [[nodiscard]] ScalingKind kind() const { return kind_; }
   /// Efficiency at the largest node count.
   [[nodiscard]] double final_efficiency() const;
+  /// Renders the series as a printable table.
   [[nodiscard]] support::Table to_table() const;
 
  private:

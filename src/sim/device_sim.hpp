@@ -30,9 +30,14 @@ namespace exa::sim {
 
 using SimTime = double;   ///< virtual seconds
 using StreamId = int;     ///< 0 is the default stream
-using EventId = int;
+using EventId = int;      ///< handle returned by record_event()
 
-enum class TransferKind { kHostToDevice, kDeviceToHost, kDeviceToDevice };
+/// Direction of a modeled memory copy.
+enum class TransferKind {
+  kHostToDevice,    ///< over the host link, host → HBM
+  kDeviceToHost,    ///< over the host link, HBM → host
+  kDeviceToDevice,  ///< within one device's HBM
+};
 
 /// Memory management behavior for device allocations.
 enum class AllocMode {
@@ -42,30 +47,36 @@ enum class AllocMode {
 
 /// Aggregate counters for reports and tests.
 struct DeviceCounters {
-  std::uint64_t kernels_launched = 0;
-  std::uint64_t transfers = 0;
-  std::uint64_t allocs = 0;
-  std::uint64_t frees = 0;
-  double bytes_h2d = 0.0;
-  double bytes_d2h = 0.0;
-  double kernel_busy_s = 0.0;  ///< summed kernel execution time
+  std::uint64_t kernels_launched = 0;  ///< launches since construction
+  std::uint64_t transfers = 0;         ///< explicit copies (all kinds)
+  std::uint64_t allocs = 0;            ///< malloc_device calls
+  std::uint64_t frees = 0;             ///< free_device calls
+  double bytes_h2d = 0.0;              ///< host→device traffic, in bytes
+  double bytes_d2h = 0.0;              ///< device→host traffic, in bytes
+  double kernel_busy_s = 0.0;  ///< summed kernel execution time, in seconds
 };
 
 class ExecCostCache;
 
+/// One simulated GPU: per-stream virtual timelines, events, host-backed
+/// device memory, and a host clock. See the file comment for the model.
 class DeviceSim {
  public:
+  /// Builds a device of architecture `gpu` with empty timelines at t = 0.
   explicit DeviceSim(arch::GpuArch gpu);
   ~DeviceSim();
 
   DeviceSim(const DeviceSim&) = delete;
   DeviceSim& operator=(const DeviceSim&) = delete;
 
+  /// The architecture this device charges time against.
   [[nodiscard]] const arch::GpuArch& gpu() const { return gpu_; }
+  /// Current toolchain-quality knobs (read-only).
   [[nodiscard]] const ExecTuning& tuning() const { return tuning_; }
   /// Mutable tuning access bumps the cost epoch so externally cached
   /// timings (pfw launch states) revalidate.
   [[nodiscard]] ExecTuning& mutable_tuning();
+  /// Lifetime aggregate counters (launches, transfers, bytes).
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
 
   /// Identifies (device instance, tuning version): drawn from a global
@@ -78,9 +89,11 @@ class DeviceSim {
   /// Name this device's trace tracks are grouped under (defaults to a
   /// unique "dev<N>"; hip::Runtime renames its devices "gpu<i>").
   void set_trace_name(std::string name) { trace_name_ = std::move(name); }
+  /// The current trace-track group name.
   [[nodiscard]] const std::string& trace_name() const { return trace_name_; }
 
   // --- virtual clocks --------------------------------------------------
+  /// The host's virtual clock, in seconds since construction.
   [[nodiscard]] SimTime host_now() const { return host_clock_; }
   /// Charges host-side work (CPU compute between API calls). Inline: this
   /// is on the per-API-call fast path.
@@ -92,22 +105,30 @@ class DeviceSim {
   void set_submit_overhead(double seconds) { submit_overhead_s_ = seconds; }
 
   // --- streams & events -------------------------------------------------
+  /// Creates a new stream whose timeline starts at the current host time.
   [[nodiscard]] StreamId create_stream();
+  /// Destroys `stream` (must not be the default stream 0).
   void destroy_stream(StreamId stream);
   /// Time at which all work queued on `stream` completes.
   [[nodiscard]] SimTime stream_ready(StreamId stream) const;
   /// True when the stream has no pending work at the current host time.
   [[nodiscard]] bool stream_query(StreamId stream) const;
+  /// Blocks the host until `stream` drains (host clock joins the stream's).
   void synchronize(StreamId stream);
+  /// Blocks the host until every stream drains.
   void synchronize_all();
 
   /// Holds `stream` busy until virtual time `t` (used by cross-device
   /// couplings like NodeSim peer transfers).
   void stream_wait_until(StreamId stream, SimTime t);
 
+  /// Records an event at `stream`'s current completion time.
   [[nodiscard]] EventId record_event(StreamId stream);
+  /// Makes `stream` wait until `event`'s recorded time (cross-stream dep).
   void stream_wait_event(StreamId stream, EventId event);
+  /// Blocks the host until `event`'s recorded time.
   void host_wait_event(EventId event);
+  /// The virtual time (seconds) at which `event` was recorded.
   [[nodiscard]] SimTime event_time(EventId event) const;
   /// Virtual elapsed seconds between two recorded events.
   [[nodiscard]] double elapsed(EventId start, EventId stop) const;
@@ -134,8 +155,11 @@ class DeviceSim {
   /// bitwise identical to recomputed ones; the toggle exists for tests and
   /// for the dispatch_overhead bench's pre-memoization baseline.
   void set_cost_memo(bool enabled) { cost_memo_enabled_ = enabled; }
+  /// Whether the content-keyed exec-model memo is active.
   [[nodiscard]] bool cost_memo_enabled() const { return cost_memo_enabled_; }
+  /// Launches served from the memo.
   [[nodiscard]] std::uint64_t cost_memo_hits() const;
+  /// Launches that ran the full exec model.
   [[nodiscard]] std::uint64_t cost_memo_misses() const;
 
   // --- transfers -----------------------------------------------------------
@@ -149,11 +173,15 @@ class DeviceSim {
   SimTime uvm_migrate(StreamId stream, TransferKind kind, double bytes);
 
   // --- memory ----------------------------------------------------------
+  /// Selects the allocation mode; kPooled builds a pool of
+  /// `pool_capacity_bytes` (bytes; 0 = the architecture's full HBM).
   void set_alloc_mode(AllocMode mode, std::uint64_t pool_capacity_bytes = 0);
+  /// The active allocation mode.
   [[nodiscard]] AllocMode alloc_mode() const { return alloc_mode_; }
   /// Allocates device memory (host-backed); charges the mode's latency.
   /// Direct mode synchronizes the device first, as cudaMalloc/hipMalloc do.
   [[nodiscard]] void* malloc_device(std::uint64_t bytes);
+  /// Frees a pointer returned by malloc_device; charges the mode's latency.
   void free_device(void* ptr);
   /// Charges the latency and capacity checks of an allocate-then-free pair
   /// in one call, without materializing the allocation: the virtual-time
@@ -162,6 +190,7 @@ class DeviceSim {
   /// spike. Used by views whose buffers are host-backed and only the
   /// device-side *accounting* matters (pfw::create_device_view).
   void charge_transient_alloc(std::uint64_t bytes);
+  /// Device bytes currently allocated (live allocations only).
   [[nodiscard]] std::uint64_t bytes_allocated() const { return bytes_allocated_; }
   /// Number of device allocations currently live — the simulator's own
   /// leak census, cross-checked by exa::check at teardown against the HIP
@@ -169,6 +198,7 @@ class DeviceSim {
   [[nodiscard]] std::size_t live_allocation_count() const {
     return allocations_.size();
   }
+  /// The active pool (nullptr unless alloc_mode() is kPooled).
   [[nodiscard]] const PoolAllocator* pool() const { return pool_.get(); }
 
  private:

@@ -21,8 +21,8 @@ namespace exa::sim {
 /// LSMS assembly kernels mix FP64 math with heavy INT32 index arithmetic,
 /// and CoMet mixes FP16 matrix products with FP32 accumulation).
 struct FlopWork {
-  arch::DType dtype = arch::DType::kF64;
-  double flops = 0.0;          ///< total operations for the launch
+  arch::DType dtype = arch::DType::kF64;  ///< data type of this component
+  double flops = 0.0;          ///< total operations for the launch (flop)
   bool matrix_cores = false;   ///< eligible for tensor/matrix units
   /// False for op mixes that cannot use fused multiply-add (min-plus
   /// relaxations, compares); throughput drops to arch.non_fma_fraction.
@@ -34,9 +34,10 @@ struct FlopWork {
 /// Grid/block shape of a launch (flattened to 1-D; the model only needs
 /// totals and the block size).
 struct LaunchConfig {
-  std::uint64_t blocks = 1;
-  std::uint32_t block_threads = 256;
+  std::uint64_t blocks = 1;           ///< grid size in blocks
+  std::uint32_t block_threads = 256;  ///< threads per block
 
+  /// Total work-items in the launch (blocks × block_threads).
   [[nodiscard]] std::uint64_t total_threads() const {
     return blocks * block_threads;
   }
@@ -53,17 +54,19 @@ struct LaunchConfig {
 
 /// Cost descriptor for one kernel launch.
 struct KernelProfile {
-  std::string name = "kernel";
+  std::string name = "kernel";  ///< label for traces, caches, and reports
 
-  std::vector<FlopWork> work;
+  std::vector<FlopWork> work;   ///< arithmetic components (may mix types)
 
-  /// HBM traffic for the launch (bytes actually reaching DRAM, i.e. after
-  /// cache filtering — profiles encode the *effective* traffic).
+  /// HBM read traffic for the launch, in bytes actually reaching DRAM
+  /// (after cache filtering — profiles encode the *effective* traffic).
   double bytes_read = 0.0;
+  /// HBM write traffic for the launch, in bytes (same convention).
   double bytes_written = 0.0;
 
-  /// Resource pressure per thread/block.
+  /// Architectural registers requested per thread (drives occupancy/spills).
   int registers_per_thread = 32;
+  /// LDS / shared-memory footprint per block, in bytes.
   std::uint64_t lds_per_block_bytes = 0;
 
   /// Branch-divergence structure: average run length (in work-items) of
@@ -87,40 +90,49 @@ struct KernelProfile {
     for (const auto& w : work) s += w.flops;
     return s;
   }
+  /// Total HBM traffic (read + written), in bytes.
   [[nodiscard]] double total_bytes() const { return bytes_read + bytes_written; }
   /// Arithmetic intensity in flop/byte (infinity if no memory traffic).
   [[nodiscard]] double arithmetic_intensity() const;
 
   // -- fluent builders ------------------------------------------------------
+  /// Sets the kernel label.
   KernelProfile& with_name(std::string n) {
     name = std::move(n);
     return *this;
   }
+  /// Appends an FMA-capable arithmetic component of `f` flops of type `t`.
   KernelProfile& add_flops(arch::DType t, double f, bool matrix = false) {
     work.push_back({t, f, matrix, true});
     return *this;
   }
+  /// Appends a non-FMA component (compares, min-plus) of `f` flops.
   KernelProfile& add_flops_nofma(arch::DType t, double f) {
     work.push_back({t, f, false, false});
     return *this;
   }
+  /// Sets effective HBM traffic, in bytes read / bytes written.
   KernelProfile& with_bytes(double read, double written) {
     bytes_read = read;
     bytes_written = written;
     return *this;
   }
+  /// Sets registers requested per thread.
   KernelProfile& with_registers(int regs) {
     registers_per_thread = regs;
     return *this;
   }
+  /// Sets the per-block LDS footprint, in bytes.
   KernelProfile& with_lds(std::uint64_t bytes) {
     lds_per_block_bytes = bytes;
     return *this;
   }
+  /// Sets the convergent-run length (work-items; 0 = fully convergent).
   KernelProfile& with_divergence(double run_length) {
     coherent_run_length = run_length;
     return *this;
   }
+  /// Sets the compute- and memory-bound fractions of peak, in (0, 1].
   KernelProfile& with_efficiency(double compute, double memory) {
     compute_efficiency = compute;
     memory_efficiency = memory;

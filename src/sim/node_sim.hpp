@@ -16,10 +16,12 @@ namespace exa::sim {
 
 /// Peer-link bandwidth classes within a node.
 struct PeerLink {
-  double bandwidth_bytes_per_s = 0.0;
-  double latency_s = 0.0;
+  double bandwidth_bytes_per_s = 0.0;  ///< link bandwidth, in bytes/second
+  double latency_s = 0.0;              ///< per-transfer latency, in seconds
 };
 
+/// A multi-device node: one DeviceSim per programming-model device joined
+/// by the peer topology of the machine (see the file comment).
 class NodeSim {
  public:
   /// Builds the node of `machine`: one DeviceSim per programming-model
@@ -27,9 +29,11 @@ class NodeSim {
   /// GCD pairs get the fast in-package link; everything else the fabric).
   explicit NodeSim(const arch::Machine& machine);
 
+  /// Number of programming-model devices on the node.
   [[nodiscard]] int device_count() const {
     return static_cast<int>(devices_.size());
   }
+  /// The device at `index` in [0, device_count()).
   [[nodiscard]] DeviceSim& device(int index);
 
   /// Peer link between two devices (direction-symmetric).

@@ -14,14 +14,23 @@
 namespace exa::sim {
 
 /// What bounded the achieved occupancy.
-enum class OccupancyLimit { kThreads, kBlocks, kRegisters, kLds };
+enum class OccupancyLimit {
+  kThreads,    ///< per-CU resident-thread ceiling
+  kBlocks,     ///< per-CU resident-block ceiling
+  kRegisters,  ///< register file exhausted
+  kLds,        ///< LDS / shared memory exhausted
+};
 
+/// Human-readable name of an occupancy limiter (for reports).
 [[nodiscard]] std::string to_string(OccupancyLimit limit);
 
+/// Result of the occupancy calculation for one kernel/launch pair.
 struct Occupancy {
   /// Resident threads per CU divided by the architecture maximum, in (0, 1].
   double fraction = 1.0;
+  /// Blocks simultaneously resident on one CU.
   int resident_blocks_per_cu = 0;
+  /// The resource that bounded `fraction`.
   OccupancyLimit limit = OccupancyLimit::kThreads;
   /// Registers the compiler must spill per thread (requested minus the
   /// architectural per-thread maximum); 0 when everything fits.

@@ -12,6 +12,8 @@
 
 namespace exa::sim {
 
+/// First-fit free-list sub-allocator over a fixed arena (offsets, not
+/// pointers — the caller owns the backing storage).
 class PoolAllocator {
  public:
   /// Creates a pool managing `capacity_bytes`, serving allocations aligned
@@ -34,10 +36,15 @@ class PoolAllocator {
     return bytes > 0 && align_up(bytes) <= largest_free_block();
   }
 
+  /// Total arena size, in bytes.
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  /// Bytes currently allocated (after alignment rounding).
   [[nodiscard]] std::uint64_t bytes_in_use() const { return in_use_; }
+  /// Peak of bytes_in_use() over the pool's lifetime, in bytes.
   [[nodiscard]] std::uint64_t high_water() const { return high_water_; }
+  /// Number of live allocations.
   [[nodiscard]] std::size_t live_allocations() const { return live_.size(); }
+  /// Number of blocks on the free list (fragmentation indicator).
   [[nodiscard]] std::size_t free_blocks() const { return free_.size(); }
   /// Largest single allocation currently satisfiable.
   [[nodiscard]] std::uint64_t largest_free_block() const;

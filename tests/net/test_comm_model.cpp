@@ -98,6 +98,29 @@ TEST(CommModel, InvalidArgsRejected) {
   EXPECT_THROW(CommModel(arch::machines::frontier(), 0), support::Error);
 }
 
+TEST(CommModel, CollectivesRejectNonPositiveRanks) {
+  // Regression: an app driver computing "ranks = nodes - spares" can go to
+  // zero or negative on tiny configs; that must throw, not model a free or
+  // negative-cost collective.
+  const CommModel c = frontier_comm();
+  for (const int bad : {0, -1, -4096}) {
+    EXPECT_THROW((void)c.alltoall(1e6, bad), support::Error);
+    EXPECT_THROW((void)c.bcast(1e6, bad), support::Error);
+    EXPECT_THROW((void)c.allreduce(1e6, bad), support::Error);
+    EXPECT_THROW((void)c.barrier(bad), support::Error);
+  }
+}
+
+TEST(CommModel, SingleRankCollectivesAreFree) {
+  // ranks == 1 is a degenerate-but-legal communicator: no wire traffic,
+  // exactly zero cost (not latency, not staging).
+  const CommModel c = frontier_comm(/*gpu_aware=*/false);
+  EXPECT_DOUBLE_EQ(c.alltoall(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.bcast(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.allreduce(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(c.barrier(1), 0.0);
+}
+
 TEST(ScalingStudy, WeakEfficiency) {
   ScalingStudy s("demo", ScalingKind::kWeak);
   s.run({1, 2, 4}, [](int nodes) { return 1.0 + 0.05 * nodes; });

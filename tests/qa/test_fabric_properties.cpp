@@ -1,0 +1,112 @@
+/// Property tests of exa::net::Fabric using the qa core. The load-bearing
+/// guarantee is the golden gate's foundation: with congestion and faults
+/// off, every Fabric collective must match the calibrated CommModel closed
+/// form to 1e-9 relative over *random* machine configurations and message
+/// sizes, not just the catalog machines the unit tests pin. A second
+/// property drives the live fault layer and asserts retried messages never
+/// overtake earlier ones on the same (src, dst) channel.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hpp"
+#include "net/fabric.hpp"
+#include "qa/property.hpp"
+
+namespace exa::qa {
+namespace {
+
+/// A plausible-but-random machine: node counts spanning one switch to
+/// beyond-Frontier scale, injection bandwidths from Ethernet-class to
+/// Slingshot-class, and the full sane range of LogGP inputs.
+arch::Machine gen_machine(Gen& g) {
+  arch::Machine m = arch::machines::frontier();
+  m.node_count = static_cast<int>(g.size(1, 16384));
+  m.network.nic_bandwidth_bytes_per_s = g.uniform(1.0e9, 60.0e9);
+  m.network.nics_per_node = static_cast<int>(g.size(1, 4));
+  m.network.latency_s = g.uniform(1.0e-7, 5.0e-6);
+  m.network.per_message_overhead_s = g.uniform(1.0e-7, 2.0e-6);
+  m.network.bisection_factor = g.uniform(0.25, 1.0);
+  return m;
+}
+
+double gen_bytes(Gen& g) {
+  // Log-uniform over 1 B .. 1 GiB, plus the zero-byte edge.
+  if (g.chance(0.05)) return 0.0;
+  return std::pow(2.0, g.uniform(0.0, 30.0));
+}
+
+EXA_PROPERTY(FabricProps, QuietFabricMatchesCommModel) {
+  const arch::Machine machine = gen_machine(g);
+  const int rpn = static_cast<int>(g.size(1, 8));
+  const bool gpu_aware = g.chance(0.5);
+  net::FabricConfig config;
+  config.topology =
+      g.chance(0.5) ? net::Topology::kFatTree : net::Topology::kDragonfly;
+  const net::Fabric fabric(machine, rpn, config, gpu_aware);
+  const net::CommModel model(machine, rpn, gpu_aware);
+
+  const double bytes = gen_bytes(g);
+  const int max_ranks = std::min(fabric.total_ranks(), 65536);
+  const int ranks = static_cast<int>(
+      g.size(1, static_cast<std::size_t>(max_ranks)));
+
+  const auto check = [&](const char* op, double want, double got) {
+    const double scale = std::max(std::abs(want), 1e-300);
+    require(std::abs(got - want) / scale <= 1e-9,
+            std::string(op) + " drifted: model=" + std::to_string(want) +
+                " fabric=" + std::to_string(got) + " at ranks=" +
+                std::to_string(ranks) + " bytes=" + std::to_string(bytes));
+  };
+  check("p2p", model.p2p(bytes), fabric.p2p(bytes));
+  check("allreduce", model.allreduce(bytes, ranks),
+        fabric.allreduce(bytes, ranks));
+  check("alltoall", model.alltoall(bytes, ranks),
+        fabric.alltoall(bytes, ranks));
+  check("bcast", model.bcast(bytes, ranks), fabric.bcast(bytes, ranks));
+  check("barrier", model.barrier(ranks), fabric.barrier(ranks));
+  const int faces = static_cast<int>(g.size(1, 6));
+  check("halo", model.halo_exchange(bytes, faces),
+        fabric.halo_exchange(bytes, faces));
+}
+
+EXA_PROPERTY(FabricProps, RetriedMessagesPreserveChannelOrder) {
+  arch::Machine machine = gen_machine(g);
+  machine.node_count = std::max(machine.node_count, 4);
+  net::FabricConfig config;
+  config.congestion = g.chance(0.5);
+  config.faults.drop_probability = g.uniform(0.05, 0.6);
+  config.faults.seed = g.u64() | 1;
+  if (g.chance(0.3)) {
+    config.faults.degraded_link_fraction = g.uniform(0.0, 0.5);
+    config.faults.degrade_factor = g.uniform(0.1, 1.0);
+  }
+  net::Fabric fabric(machine, 2, config);
+
+  const int src = static_cast<int>(g.size(0, 3));
+  int dst = static_cast<int>(g.size(0, 3));
+  if (dst == src) dst = (dst + 1) % 4;
+
+  double last_delivered = -1.0;
+  double post = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double bytes = gen_bytes(g);
+    const auto t = fabric.transfer(src, dst, bytes, post);
+    require(t.delivered_s >= post,
+            "delivery before posting at message " + std::to_string(i));
+    require(t.delivered_s >= last_delivered,
+            "message " + std::to_string(i) + " overtook its channel: " +
+                std::to_string(t.delivered_s) + " < " +
+                std::to_string(last_delivered));
+    last_delivered = t.delivered_s;
+    // Occasionally advance the posting clock, occasionally post back-to-back.
+    if (g.chance(0.5)) post += g.uniform(0.0, 1.0e-4);
+  }
+}
+
+}  // namespace
+}  // namespace exa::qa

@@ -1,0 +1,189 @@
+// doc-links: markdown reference checker for the repo's documentation.
+//
+// Usage: doc-links <repo-root> <markdown-file>...
+//
+// Verifies that documentation does not reference files that no longer
+// exist, in two passes per document:
+//
+//  1. Markdown links `[text](target)` — relative targets must resolve to
+//     an existing file or directory (anchors and external URLs are
+//     skipped).
+//  2. Repo-relative path tokens in prose and code spans — any token under
+//     src/ tests/ bench/ docs/ tools/ examples/ must exist, and a
+//     `build/bench/<name>` invocation must have a matching
+//     bench/<name>.cpp source (that is how a renamed or deleted bench
+//     binary goes stale in docs).
+//
+// Exit status: 0 when every reference resolves, 1 otherwise; each dead
+// reference prints one `doc-links: <file>:<line>: ...` diagnostic.
+// Wired into CTest as the `docs_links` test.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_path_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '/' ||
+         c == '.' || c == '_' || c == '-' || c == '{' || c == '}' || c == ',';
+}
+
+/// Expands one `{a,b,...}` group; returns the token unchanged when no
+/// well-formed group is present (nested groups are not needed by the docs).
+std::vector<std::string> expand_braces(const std::string& token) {
+  const auto open = token.find('{');
+  const auto close = token.find('}', open == std::string::npos ? 0 : open);
+  if (open == std::string::npos || close == std::string::npos) {
+    return {token};
+  }
+  std::vector<std::string> out;
+  const std::string head = token.substr(0, open);
+  const std::string tail = token.substr(close + 1);
+  std::stringstream alts(token.substr(open + 1, close - open - 1));
+  std::string alt;
+  while (std::getline(alts, alt, ',')) out.push_back(head + alt + tail);
+  return out;
+}
+
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+struct Checker {
+  fs::path repo_root;
+  int errors = 0;
+
+  void fail(const fs::path& doc, int line, const std::string& what) {
+    std::cerr << "doc-links: " << doc.string() << ":" << line << ": " << what
+              << "\n";
+    ++errors;
+  }
+
+  /// Pass 1: `[text](target)` markdown links, resolved against the
+  /// document's directory.
+  void check_markdown_links(const fs::path& doc, const std::string& text,
+                            int line) {
+    for (std::size_t pos = text.find("](");
+         pos != std::string::npos; pos = text.find("](", pos + 2)) {
+      const auto end = text.find(')', pos + 2);
+      if (end == std::string::npos) break;
+      std::string target = text.substr(pos + 2, end - pos - 2);
+      if (target.empty() || target[0] == '#' || has_prefix(target, "http://") ||
+          has_prefix(target, "https://") || has_prefix(target, "mailto:")) {
+        continue;
+      }
+      if (const auto anchor = target.find('#'); anchor != std::string::npos) {
+        target.resize(anchor);
+      }
+      const fs::path resolved = doc.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        fail(doc, line, "broken link target '" + target + "'");
+      }
+    }
+  }
+
+  /// Pass 2: repo-relative path tokens. Only tokens under the known
+  /// top-level directories are checked, which keeps prose like
+  /// "fabric/rank0" or "ui.perfetto.dev" out of scope.
+  void check_path_token(const fs::path& doc, std::string token, int line) {
+    while (!token.empty() &&
+           (token.back() == '.' || token.back() == ',' || token.back() == '/')) {
+      token.pop_back();
+    }
+    if (has_prefix(token, "./")) token.erase(0, 2);
+    if (token.find('/') == std::string::npos) return;
+
+    if (has_prefix(token, "build/")) {
+      // Only bench binaries map 1:1 onto sources; other build outputs
+      // (tools, examples) have configured names.
+      if (!has_prefix(token, "build/bench/")) return;
+      const std::string name = token.substr(std::string("build/bench/").size());
+      if (name.empty() || name.find('/') != std::string::npos) return;
+      if (!fs::exists(repo_root / "bench" / (name + ".cpp"))) {
+        fail(doc, line,
+             "bench binary '" + token + "' has no source bench/" + name +
+                 ".cpp");
+      }
+      return;
+    }
+
+    static const std::string_view kRoots[] = {"src/",  "tests/",    "bench/",
+                                              "docs/", "examples/", "tools/"};
+    bool rooted = false;
+    for (const auto root : kRoots) rooted = rooted || has_prefix(token, root);
+    if (!rooted) return;
+
+    for (const auto& candidate : expand_braces(token)) {
+      const fs::path p = repo_root / candidate;
+      // Extensionless tokens may name a source by stem ("bench/foo" for
+      // bench/foo.cpp, "src/net/fabric" for the .hpp/.cpp pair).
+      if (!fs::exists(p) && !fs::exists(p.string() + ".cpp") &&
+          !fs::exists(p.string() + ".hpp")) {
+        fail(doc, line, "stale file reference '" + candidate + "'");
+      }
+    }
+  }
+
+  void check_path_tokens(const fs::path& doc, const std::string& text,
+                         int line) {
+    std::size_t i = 0;
+    while (i < text.size()) {
+      if (!is_path_char(text[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < text.size() && is_path_char(text[j])) ++j;
+      check_path_token(doc, text.substr(i, j - i), line);
+      i = j;
+    }
+  }
+
+  void check_document(const fs::path& doc) {
+    std::ifstream in(doc);
+    if (!in) {
+      fail(doc, 0, "cannot open document");
+      return;
+    }
+    std::string text;
+    int line = 0;
+    bool fenced = false;
+    while (std::getline(in, text)) {
+      ++line;
+      if (has_prefix(text, "```")) {
+        fenced = !fenced;
+        continue;
+      }
+      // Code blocks hold shell/C++ where `[...](...)` is not a link, but
+      // path tokens (golden paths, bench invocations) are still real.
+      if (!fenced) check_markdown_links(doc, text, line);
+      check_path_tokens(doc, text, line);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: doc-links <repo-root> <markdown-file>...\n";
+    return 2;
+  }
+  Checker checker{fs::path(argv[1])};
+  for (int i = 2; i < argc; ++i) {
+    checker.check_document(fs::path(argv[i]));
+  }
+  if (checker.errors > 0) {
+    std::cerr << "doc-links: " << checker.errors << " dead reference(s)\n";
+    return 1;
+  }
+  return 0;
+}
