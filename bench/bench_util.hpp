@@ -12,6 +12,8 @@
 ///     --seed=<u64>            override the bench's RNG seed (hex or dec)
 ///     --emit-golden=<file>    write this run's metrics as a golden baseline
 ///     --check-golden=<file>   gate this run against a checked-in baseline
+///     --io=<quiet|lustre|bb>  storage-model preset for io-aware benches
+///     --io-trace=<file>       dump DXT-style per-access I/O records (JSONL)
 ///
 /// Construct a `Session` from argc/argv at the top of main; it enables the
 /// trace::Tracer / trace::Profiler for the run, prints the effective seed
@@ -26,7 +28,10 @@
 #include <utility>
 #include <vector>
 
+#include "io/dxt.hpp"
+#include "io/io_model.hpp"
 #include "qa/golden.hpp"
+#include "support/assert.hpp"
 #include "support/csv.hpp"
 #include "support/log.hpp"
 #include "trace/chrome_export.hpp"
@@ -120,7 +125,9 @@ class Session {
           take(arg, "--profile-jsonl=", profile_path_) ||
           take(arg, "--csv=", csv_path_) || take(arg, "--seed=", seed_text) ||
           take(arg, "--emit-golden=", emit_golden_path_) ||
-          take(arg, "--check-golden=", check_golden_path_);
+          take(arg, "--check-golden=", check_golden_path_) ||
+          take(arg, "--io=", io_mode_) ||
+          take(arg, "--io-trace=", io_trace_path_);
     }
     if (!seed_text.empty()) {
       seed_ = std::strtoull(seed_text.c_str(), nullptr, 0);  // dec or 0x...
@@ -135,6 +142,18 @@ class Session {
     if (!profile_path_.empty()) {
       trace::Profiler::instance().enable();
       support::log_debug("session: profiling to ", profile_path_);
+    }
+    if (!io_trace_path_.empty()) {
+      io::DxtLog::instance().enable();
+      support::log_debug("session: io tracing to ", io_trace_path_);
+    }
+    if (!io_mode_.empty()) {
+      try {
+        io_config_ = io::IoConfig::preset(io_mode_);
+      } catch (const support::Error& e) {
+        std::fprintf(stderr, "io: %s\n", e.what());
+        std::exit(1);  // bad flag value: fail like a bad --check-golden
+      }
     }
   }
 
@@ -171,6 +190,18 @@ class Session {
       }
       profiler.disable();
     }
+    if (!io_trace_path_.empty()) {
+      auto& dxt = io::DxtLog::instance();
+      try {
+        const auto records = dxt.snapshot();
+        io::write_dxt_jsonl(io_trace_path_, records);
+        std::fprintf(stderr, "io-trace: wrote %s (%zu records)\n",
+                     io_trace_path_.c_str(), records.size());
+      } catch (const std::exception& err) {
+        std::fprintf(stderr, "io-trace: %s\n", err.what());
+      }
+      dxt.disable();
+    }
     finish_golden();
   }
 
@@ -189,6 +220,13 @@ class Session {
   [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
   [[nodiscard]] const std::string& profile_path() const { return profile_path_; }
   [[nodiscard]] const std::string& csv_path() const { return csv_path_; }
+  /// Storage-model preset selected with --io= ("quiet" when absent — the
+  /// flagless default keeps io-aware benches' stdout byte-identical).
+  [[nodiscard]] const io::IoConfig& io_config() const { return io_config_; }
+  /// The --io= preset name ("quiet" when the flag was absent).
+  [[nodiscard]] std::string io_mode() const {
+    return io_mode_.empty() ? "quiet" : io_mode_;
+  }
 
  private:
   static bool take(const std::string& arg, const std::string& prefix,
@@ -234,6 +272,9 @@ class Session {
   std::string csv_path_;
   std::string emit_golden_path_;
   std::string check_golden_path_;
+  std::string io_mode_;
+  std::string io_trace_path_;
+  io::IoConfig io_config_;  ///< quiet unless --io= selects a preset
   std::vector<qa::GoldenMetric> metrics_;
 };
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "io/io_model.hpp"
 #include "mathlib/fft.hpp"
 #include "net/fabric.hpp"
 
@@ -110,13 +111,22 @@ struct PsdnsConfig {
   /// the fabric to the calibrated CommModel exactly, so baseline FOMs are
   /// golden-stable; flip `congestion` on to study transpose hotspots.
   net::FabricConfig fabric;
+  /// Storage model for the velocity-field dumps the DNS campaigns write
+  /// for spectra/statistics post-processing. The default quiet filesystem
+  /// adds exactly zero time, keeping baseline FOMs golden-stable.
+  io::IoConfig io;
+  /// Steps between field dumps (count; 0 disables dumps).
+  int field_dump_interval = 10;
 };
 
 struct StepTime {
   double fft_s = 0.0;
   double transpose_s = 0.0;
   double pointwise_s = 0.0;  ///< nonlinear term / dealiasing array ops
-  [[nodiscard]] double total() const { return fft_s + transpose_s + pointwise_s; }
+  double io_s = 0.0;         ///< amortized field-dump share
+  [[nodiscard]] double total() const {
+    return fft_s + transpose_s + pointwise_s + io_s;
+  }
   /// The CAAR figure of merit: N^3 / t_wall.
   double fom = 0.0;
 };

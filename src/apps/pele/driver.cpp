@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/checkpoint.hpp"
 #include "net/fabric.hpp"
 #include "sim/exec_model.hpp"
 #include "support/assert.hpp"
@@ -174,17 +175,41 @@ CellTime gpu_time_per_cell(const arch::Machine& machine, CodeState state,
 
 }  // namespace
 
+namespace {
+
+/// Amortized per-cell plotfile share: every `plotfile_interval` steps each
+/// rank streams its cells' plot state through the configured filesystem.
+/// Exactly 0.0 for the default quiet `config.io`.
+double plot_time_per_cell(const arch::Machine& machine, int nodes,
+                          const PeleConfig& config) {
+  if (config.plotfile_interval <= 0) return 0.0;
+  const int devices = machine.node.has_gpu() ? machine.node.gpus_per_node : 1;
+  const int ranks = nodes * devices;
+  const double cells =
+      static_cast<double>(config.cells_per_node) * nodes;
+  const double bytes_per_rank =
+      cells * config.plotfile_bytes_per_cell / ranks;
+  const double plot_s =
+      io::checkpoint_time(config.io, ranks, bytes_per_rank);
+  return plot_s / config.plotfile_interval /
+         static_cast<double>(config.cells_per_node);
+}
+
+}  // namespace
+
 CellTime time_per_cell_step(const arch::Machine& machine, CodeState state,
                             int nodes, const PeleConfig& config) {
   EXA_REQUIRE(nodes >= 1 && nodes <= machine.node_count);
+  CellTime t;
   if (is_gpu_state(state)) {
     EXA_REQUIRE_MSG(machine.node.has_gpu(),
                     "GPU code state on a CPU-only machine");
-    return gpu_time_per_cell(machine, state, nodes, config);
+    t = gpu_time_per_cell(machine, state, nodes, config);
+  } else {
+    t = cpu_time_per_cell(machine, state);
   }
-  EXA_REQUIRE_MSG(!machine.node.has_gpu() || true,
-                  "CPU states run anywhere (host-only)");
-  return cpu_time_per_cell(machine, state);
+  t.plot_s = plot_time_per_cell(machine, nodes, config);
+  return t;
 }
 
 std::vector<HistoryPoint> figure2_series(const PeleConfig& config) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "io/io_model.hpp"
 #include "net/fabric.hpp"
 
 namespace exa::apps::pele {
@@ -35,6 +36,14 @@ struct PeleConfig {
   /// Network model knobs for the ghost exchange and regrid collective; the
   /// default (analytic) fabric reproduces the CommModel costs exactly.
   net::FabricConfig fabric;
+  /// Storage model for plotfile output (§3.8 writes plotfiles on a
+  /// cadence for analysis); the default quiet filesystem adds exactly
+  /// zero time, keeping baseline artifacts bit-stable.
+  io::IoConfig io;
+  /// Steps between plotfile dumps (count; 0 disables plotfiles).
+  int plotfile_interval = 10;
+  /// Plotfile payload per cell: 8 fp64 components (bytes).
+  double plotfile_bytes_per_cell = 64.0;
 };
 
 /// Per-cell per-step cost breakdown (seconds).
@@ -44,8 +53,9 @@ struct CellTime {
   double launch_s = 0.0;  ///< kernel-launch overhead share
   double uvm_s = 0.0;     ///< page-fault migrations share
   double ghost_s = 0.0;   ///< unoverlapped ghost-exchange share
+  double plot_s = 0.0;    ///< amortized plotfile-write share
   [[nodiscard]] double total() const {
-    return chem_s + hydro_s + launch_s + uvm_s + ghost_s;
+    return chem_s + hydro_s + launch_s + uvm_s + ghost_s + plot_s;
   }
 };
 

@@ -1,0 +1,114 @@
+#include "io/dxt.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/json.hpp"
+
+namespace exa::io {
+
+AccessRecord::Op op_from_string(const std::string& name) {
+  if (name == "open") return AccessRecord::Op::kOpen;
+  if (name == "write") return AccessRecord::Op::kWrite;
+  if (name == "close") return AccessRecord::Op::kClose;
+  if (name == "absorb") return AccessRecord::Op::kAbsorb;
+  if (name == "drain") return AccessRecord::Op::kDrain;
+  EXA_REQUIRE_MSG(false, "unknown DXT op '" + name + "'");
+  return AccessRecord::Op::kWrite;
+}
+
+DxtLog& DxtLog::instance() {
+  static DxtLog log;
+  return log;
+}
+
+void DxtLog::enable() {
+  clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void DxtLog::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void DxtLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+void DxtLog::record(const AccessRecord& rec) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(rec);
+}
+
+std::vector<AccessRecord> DxtLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t DxtLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::string dxt_jsonl_line(const AccessRecord& rec) {
+  std::ostringstream line;
+  line << "{\"module\":\"exa-io\",\"op\":\"" << to_string(rec.op)
+       << "\",\"rank\":" << rec.rank << ",\"file\":\""
+       << trace::json_escape(rec.file) << "\",\"ost\":" << rec.ost
+       << ",\"offset\":" << trace::json_number(rec.offset)
+       << ",\"length\":" << trace::json_number(rec.bytes)
+       << ",\"start\":" << trace::json_number(rec.start_s)
+       << ",\"end\":" << trace::json_number(rec.end_s) << "}";
+  return line.str();
+}
+
+void write_dxt_jsonl(const std::string& path,
+                     const std::vector<AccessRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  EXA_REQUIRE_MSG(out.good(), "cannot open DXT log for writing: " + path);
+  for (const AccessRecord& rec : records) out << dxt_jsonl_line(rec) << '\n';
+  out.flush();
+  EXA_REQUIRE_MSG(out.good(), "failed writing DXT log: " + path);
+}
+
+std::vector<AccessRecord> load_dxt_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXA_REQUIRE_MSG(in.good(), "cannot open DXT log: " + path);
+  std::vector<AccessRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const trace::JsonValue value = trace::json_parse(line);
+      const auto number = [&](const char* key) {
+        const trace::JsonValue* v = value.find(key);
+        EXA_REQUIRE_MSG(v != nullptr && v->is_number(),
+                        std::string("missing number field '") + key + "'");
+        return v->as_number();
+      };
+      const trace::JsonValue* op = value.find("op");
+      const trace::JsonValue* file = value.find("file");
+      EXA_REQUIRE_MSG(op != nullptr && op->is_string(), "missing 'op'");
+      EXA_REQUIRE_MSG(file != nullptr && file->is_string(), "missing 'file'");
+      AccessRecord rec;
+      rec.op = op_from_string(op->as_string());
+      rec.rank = static_cast<int>(number("rank"));
+      rec.file = file->as_string();
+      rec.ost = static_cast<int>(number("ost"));
+      rec.offset = number("offset");
+      rec.bytes = number("length");
+      rec.start_s = number("start");
+      rec.end_s = number("end");
+      records.push_back(std::move(rec));
+    } catch (const support::Error& err) {
+      throw support::Error("DXT log " + path + ":" +
+                           std::to_string(line_no) + ": " + err.what());
+    }
+  }
+  return records;
+}
+
+}  // namespace exa::io

@@ -1,0 +1,72 @@
+#pragma once
+/// \file dxt.hpp
+/// Darshan-DXT-style I/O trace capture and JSONL round-trip.
+///
+/// Darshan's DXT module records one row per POSIX access — rank, file,
+/// offset, length, start/end timestamps — and the bbThemis-style
+/// conflict analyses consume exactly those rows. We mirror that shape:
+/// every `FileSystem` operation is an `AccessRecord`, the process-global
+/// `DxtLog` collects them across all filesystems of a run (the capture
+/// side of the shared bench `--io-trace=<path>` flag), and
+/// `write_dxt_jsonl` / `load_dxt_jsonl` round-trip them as JsonLines:
+///
+///     {"module":"exa-io","op":"write","rank":3,"file":"ckpt/r3",
+///      "ost":12,"offset":0,"length":1048576,"start":0.001,"end":0.0015}
+///
+/// Like the Tracer/Profiler singletons, recording is a single relaxed
+/// atomic load while disabled, so `FileSystem` forwards unconditionally.
+
+#include <string>
+#include <vector>
+#include <atomic>
+#include <mutex>
+
+#include "io/file_system.hpp"
+
+namespace exa::io {
+
+/// Parses an op name emitted by `to_string(AccessRecord::Op)`; throws
+/// support::Error on anything else.
+[[nodiscard]] AccessRecord::Op op_from_string(const std::string& name);
+
+/// Process-global DXT record sink (capture side of `--io-trace`).
+class DxtLog {
+ public:
+  static DxtLog& instance();
+
+  /// Starts capture (clears any previous records).
+  void enable();
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  /// Appends one record; no-op while disabled.
+  void record(const AccessRecord& rec);
+
+  /// All records captured since enable(), in issue order.
+  [[nodiscard]] std::vector<AccessRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  DxtLog() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<AccessRecord> records_;
+};
+
+/// One JSONL line for a record (no trailing newline).
+[[nodiscard]] std::string dxt_jsonl_line(const AccessRecord& rec);
+
+/// Writes records as a DXT JSONL file; throws support::Error on I/O
+/// failure.
+void write_dxt_jsonl(const std::string& path,
+                     const std::vector<AccessRecord>& records);
+
+/// Loads a DXT JSONL file back; blank lines are skipped; malformed lines
+/// throw support::Error naming the line number.
+[[nodiscard]] std::vector<AccessRecord> load_dxt_jsonl(
+    const std::string& path);
+
+}  // namespace exa::io

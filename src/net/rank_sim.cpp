@@ -137,6 +137,18 @@ void RankSim::compute(int rank, double seconds) {
   clock += scaled;
 }
 
+void RankSim::advance_to(int rank, double deadline_s) {
+  check_rank(rank);
+  EXA_REQUIRE(deadline_s >= 0.0);
+  double& clock = clocks_[static_cast<std::size_t>(rank)];
+  if (deadline_s <= clock) return;
+  if (traced(rank)) {
+    trace::Tracer::instance().complete("io_wait", lane(rank), clock,
+                                       deadline_s - clock, "io");
+  }
+  clock = deadline_s;
+}
+
 double RankSim::launch(int rank, const sim::KernelProfile& profile,
                        const sim::LaunchConfig& launch_cfg) {
   check_rank(rank);

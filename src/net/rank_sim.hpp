@@ -90,6 +90,10 @@ class RankSim {
   /// Advances `rank`'s clock by `seconds` of local work (straggler ranks
   /// are slowed by the fabric's fault layer).
   void compute(int rank, double seconds);
+  /// Advances `rank`'s clock to at least `deadline_s` (no straggler
+  /// scaling — completion times computed elsewhere, e.g. `exa::io` write
+  /// completions, land on the rank's timeline as-is). Never rewinds.
+  void advance_to(int rank, double deadline_s);
   /// Charges `rank` the DeviceSim execution time of one kernel launch on
   /// the machine's GPU (straggler-scaled); returns the seconds charged.
   double launch(int rank, const sim::KernelProfile& profile,

@@ -1,0 +1,193 @@
+/// Property tests of exa::io::FileSystem using the qa core. Three
+/// load-bearing guarantees: (1) the byte-conservation ledger closes at
+/// every point of any schedule (written == landed + resident); (2) the
+/// quiet path adds exactly zero virtual time in any issue order — the
+/// foundation the app drivers' golden-stable defaults rest on; (3) the
+/// model is bit-deterministic: replaying a schedule on a fresh filesystem
+/// reproduces every completion time exactly (the io_threads ctest
+/// variants re-run this under EXA_THREADS=1/4/16).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/checkpoint.hpp"
+#include "io/file_system.hpp"
+#include "io/io_model.hpp"
+#include "qa/property.hpp"
+
+namespace exa::qa {
+namespace {
+
+/// A plausible-but-random loud filesystem: small OST pools so contention
+/// actually happens, bandwidths from disk-class to NVMe-class, all three
+/// burst-buffer policies.
+io::IoConfig gen_io_config(Gen& g) {
+  io::IoConfig config;
+  config.pfs.ost_count = static_cast<int>(g.size(1, 16));
+  config.pfs.stripe_count = static_cast<int>(
+      g.size(1, static_cast<std::size_t>(config.pfs.ost_count)));
+  config.pfs.stripe_size_bytes = std::pow(2.0, g.uniform(12.0, 22.0));
+  config.pfs.ost_bandwidth_bytes_per_s = g.uniform(1.0e8, 2.0e10);
+  config.pfs.metadata_op_s = g.chance(0.3) ? 0.0 : g.uniform(0.0, 1.0e-3);
+  config.ranks_per_node = static_cast<int>(g.size(1, 8));
+  if (g.chance(0.6)) {
+    config.burst_buffer.policy = g.chance(0.5)
+                                     ? io::BurstBufferPolicy::kWriteThrough
+                                     : io::BurstBufferPolicy::kWriteBack;
+    // Small capacities force the overflow-spill path regularly.
+    config.burst_buffer.capacity_bytes = std::pow(2.0, g.uniform(16.0, 26.0));
+    config.burst_buffer.absorb_bandwidth_bytes_per_s =
+        g.uniform(1.0e8, 2.0e10);
+    config.burst_buffer.drain_bandwidth_bytes_per_s =
+        g.uniform(1.0e8, 2.0e10);
+  }
+  return config;
+}
+
+double gen_write_bytes(Gen& g) {
+  if (g.chance(0.05)) return 0.0;  // the zero-byte edge
+  return std::pow(2.0, g.uniform(0.0, 26.0));
+}
+
+/// One random schedule: opens, interleaved writes at drifting virtual
+/// times, occasional flushes, closes. Returns every completion time the
+/// filesystem handed back, in issue order.
+std::vector<double> run_schedule(io::FileSystem& fs, Gen& g,
+                                 const std::vector<double>& bytes,
+                                 const std::vector<double>& starts) {
+  std::vector<double> out;
+  const int ranks = static_cast<int>(bytes.size());
+  std::vector<io::OpenResult> open(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    open[static_cast<std::size_t>(r)] =
+        fs.open(r, "p/r" + std::to_string(r), starts[static_cast<std::size_t>(r)]);
+    out.push_back(open[static_cast<std::size_t>(r)].ready_s);
+  }
+  std::vector<double> written(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const auto& o = open[static_cast<std::size_t>(r)];
+    written[static_cast<std::size_t>(r)] = fs.write(
+        o.handle, 0.0, bytes[static_cast<std::size_t>(r)], o.ready_s);
+    out.push_back(written[static_cast<std::size_t>(r)]);
+  }
+  for (int r = 0; r < ranks; ++r) {
+    out.push_back(fs.close(open[static_cast<std::size_t>(r)].handle,
+                           written[static_cast<std::size_t>(r)]));
+  }
+  (void)g;
+  return out;
+}
+
+EXA_PROPERTY(IoProps, ConservationLedgerAlwaysCloses) {
+  const io::IoConfig config = gen_io_config(g);
+  io::FileSystem fs(config);
+  const int ranks = static_cast<int>(g.size(1, 24));
+  double issued = 0.0;
+  double horizon = 0.0;
+  std::vector<io::OpenResult> open(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    open[static_cast<std::size_t>(r)] =
+        fs.open(r, "r" + std::to_string(r), g.uniform(0.0, 1.0));
+  }
+  const auto check_ledger = [&](const char* when) {
+    const double lhs = fs.bytes_written();
+    const double rhs = fs.bytes_landed() + fs.bytes_resident();
+    const double scale = std::max(std::abs(lhs), 1.0);
+    require(std::abs(lhs - rhs) / scale <= 1e-9,
+            std::string(when) + ": ledger open: written=" +
+                std::to_string(lhs) + " landed+resident=" +
+                std::to_string(rhs));
+  };
+  for (int r = 0; r < ranks; ++r) {
+    const auto& o = open[static_cast<std::size_t>(r)];
+    const double bytes = gen_write_bytes(g);
+    issued += bytes;
+    horizon = std::max(horizon, fs.write(o.handle, 0.0, bytes, o.ready_s));
+    check_ledger("after write");
+    if (g.chance(0.2)) {
+      horizon = std::max(
+          horizon, fs.flush(static_cast<int>(g.size(0, 4)), horizon));
+      check_ledger("after flush");
+    }
+  }
+  require(std::abs(fs.bytes_written() - issued) <=
+              1e-9 * std::max(issued, 1.0),
+          "bytes_written drifted from the issued total");
+  const double done = fs.drain_all(horizon);
+  check_ledger("after drain_all");
+  require(fs.bytes_resident() == 0.0,
+          "resident bytes after drain_all: " +
+              std::to_string(fs.bytes_resident()));
+  require(done >= horizon, "drain_all completed before it started");
+}
+
+EXA_PROPERTY(IoProps, QuietPathAddsNoTimeInAnyOrder) {
+  io::IoConfig config;  // quiet: infinite bandwidths, zero metadata
+  if (g.chance(0.5)) {
+    // Quietness must survive an enabled-but-free burst buffer too.
+    config.burst_buffer.policy = g.chance(0.5)
+                                     ? io::BurstBufferPolicy::kWriteThrough
+                                     : io::BurstBufferPolicy::kWriteBack;
+  }
+  config.ranks_per_node = static_cast<int>(g.size(1, 8));
+  require(config.quiet(), "generated config is not quiet");
+  io::FileSystem fs(config);
+  const int ops = static_cast<int>(g.size(1, 40));
+  std::vector<io::OpenResult> handles;
+  double latest = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    // Deliberately non-monotone start times: a free filesystem must not
+    // let a late-issued early-time op queue behind anything.
+    const double start = g.uniform(0.0, 100.0);
+    latest = std::max(latest, start);
+    if (handles.empty() || g.chance(0.4)) {
+      const io::OpenResult o =
+          fs.open(static_cast<int>(g.size(0, 31)), "f" + std::to_string(i),
+                  start);
+      require(o.ready_s == start, "open added time on a quiet filesystem");
+      handles.push_back(o);
+    } else {
+      const io::OpenResult& o =
+          handles[g.size(0, handles.size() - 1)];
+      const double end =
+          fs.write(o.handle, 0.0, gen_write_bytes(g), start);
+      require(end == start, "write added time on a quiet filesystem: " +
+                                std::to_string(end - start) + "s");
+    }
+  }
+  // Pending zero-duration drains end at their (virtual) write times, so
+  // draining at the schedule horizon must add exactly nothing beyond it.
+  require(fs.drain_all(latest) == latest,
+          "drain_all added time on a quiet filesystem");
+}
+
+EXA_PROPERTY(IoProps, ReplayIsBitDeterministic) {
+  const io::IoConfig config = gen_io_config(g);
+  const int ranks = static_cast<int>(g.size(1, 16));
+  std::vector<double> bytes;
+  std::vector<double> starts;
+  for (int r = 0; r < ranks; ++r) {
+    bytes.push_back(gen_write_bytes(g));
+    starts.push_back(g.uniform(0.0, 1.0e-2));
+  }
+  io::FileSystem first(config);
+  io::FileSystem second(config);
+  const std::vector<double> a = run_schedule(first, g, bytes, starts);
+  const std::vector<double> b = run_schedule(second, g, bytes, starts);
+  require(a.size() == b.size(), "replay produced a different op count");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    require(a[i] == b[i],
+            "completion " + std::to_string(i) + " not bit-equal: " +
+                std::to_string(a[i]) + " vs " + std::to_string(b[i]));
+  }
+  require(first.bytes_landed() == second.bytes_landed() &&
+              first.bytes_resident() == second.bytes_resident(),
+          "replay ledgers diverged");
+}
+
+}  // namespace
+}  // namespace exa::qa
