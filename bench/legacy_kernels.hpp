@@ -1,0 +1,139 @@
+#pragma once
+/// \file legacy_kernels.hpp
+/// Verbatim copies of the pre-optimization mathlib kernels, kept so
+/// bench/mathlib_kernels can measure the vectorization work against the
+/// real before-code compiled at the tree's default flags (the mathlib
+/// library itself now opts into -O3/-fopenmp-simd/-ffp-contract=off).
+///
+/// Differences from the historical sources are mechanical only:
+///  * names carry a `legacy_` prefix;
+///  * the gemm row-block loop runs serially instead of through
+///    ThreadPool::global().for_each — the bench compares single-thread
+///    kernel throughput, and each row block's arithmetic is untouched.
+///
+/// Do not "fix" these: the skip branches and the w *= wlen twiddle
+/// recurrence are the point.
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <span>
+
+#include "mathlib/dense.hpp"
+#include "mathlib/fft.hpp"
+#include "support/assert.hpp"
+
+namespace exa::bench {
+
+inline constexpr std::size_t kLegacyBlock = 64;  // cache-blocking tile edge
+
+/// Pre-change gemm: cache-blocked scalar loops with the per-element
+/// `av == 0` skip branch in the innermost hot path.
+template <typename T>
+void legacy_gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
+                 std::size_t m, std::size_t n, std::size_t k, T alpha,
+                 T beta) {
+  EXA_REQUIRE(a.size() >= m * k);
+  EXA_REQUIRE(b.size() >= k * n);
+  EXA_REQUIRE(c.size() >= m * n);
+  if (beta == T{}) {
+    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), T{});
+  } else if (!(beta == T{1})) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == T{} || m == 0 || n == 0 || k == 0) return;
+  const std::size_t row_blocks = (m + kLegacyBlock - 1) / kLegacyBlock;
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t i0 = rb * kLegacyBlock;
+    const std::size_t i1 = std::min(m, i0 + kLegacyBlock);
+    for (std::size_t kk = 0; kk < k; kk += kLegacyBlock) {
+      const std::size_t k1 = std::min(k, kk + kLegacyBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t p = kk; p < k1; ++p) {
+          const T av = alpha * a[i * k + p];
+          if (av == T{}) continue;
+          const T* brow = &b[p * n];
+          T* crow = &c[i * n];
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Pre-change radix-2 FFT: twiddles regenerated every call through the
+/// w *= wlen recurrence (one complex multiply per butterfly just to step
+/// the angle, plus the rounding drift that recurrence accumulates).
+inline void legacy_fft(std::span<ml::zcomplex> data, bool inverse = false) {
+  using ml::zcomplex;
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  EXA_REQUIRE_MSG(ml::is_pow2(n), "FFT length must be a power of two");
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const zcomplex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      zcomplex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const zcomplex u = data[i + j];
+        const zcomplex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+/// Pre-change dgetrf: serial row-at-a-time panel update with the fused
+/// divide and the per-row `l == 0` skip branch.
+inline int legacy_dgetrf(std::span<double> a, std::size_t n,
+                         std::span<int> pivots) {
+  EXA_REQUIRE(a.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  int info = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    pivots[col] = static_cast<int>(piv);
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[piv * n + j]);
+      }
+    }
+    const double d = a[col * n + col];
+    if (d == 0.0) {
+      if (info == 0) info = static_cast<int>(col) + 1;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double l = a[r * n + col] / d;
+      a[r * n + col] = l;
+      if (l == 0.0) continue;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[r * n + j] -= l * a[col * n + j];
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace exa::bench

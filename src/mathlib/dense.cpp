@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -12,8 +13,107 @@
 namespace exa::ml {
 
 namespace {
-constexpr std::size_t kBlock = 64;  // cache-blocking tile edge
+
+constexpr std::size_t kBlock = 64;  // complex-path cache tile edge
+// Real-path microkernel shape: MR rows of C against an NR-wide packed B
+// panel, KC-deep depth blocks (NR spans two cache lines of doubles, so
+// the inner loop is a clean simd strip; KC keeps the panel in L2).
+constexpr std::size_t kMicroRows = 4;    // MR
+constexpr std::size_t kMicroCols = 32;   // NR
+constexpr std::size_t kDepthBlock = 256; // KC
+
+/// Full MR x NR register tile: one add per depth step per C element, depth
+/// ascending — the exact addition sequence of the historical
+/// `crow[j] += av * brow[j]` loop, so results are bitwise unchanged. The
+/// branchless body (no data-dependent `av == 0` skip) is what lets the
+/// strip vectorize and makes kernel cost input-independent.
+template <typename T>
+void microkernel(const T* arow, std::size_t lda, const T* panel,
+                 std::size_t kb, T alpha, T* acc) {
+  for (std::size_t p = 0; p < kb; ++p) {
+    const T* bp = &panel[p * kMicroCols];
+    T av[kMicroRows];
+    for (std::size_t r = 0; r < kMicroRows; ++r) {
+      av[r] = alpha * arow[r * lda + p];
+    }
+#pragma omp simd
+    for (std::size_t j = 0; j < kMicroCols; ++j) {
+      for (std::size_t r = 0; r < kMicroRows; ++r) {
+        acc[r * kMicroCols + j] += av[r] * bp[j];
+      }
+    }
+  }
 }
+
+/// Packed-panel path for float/double: B is repacked per depth block into
+/// zero-padded NR-wide panels (unit-stride, no edge branches in the hot
+/// loop); C row tiles are distributed across the pool. Rows of C are
+/// written by exactly one task and accumulate depth-ascending, so the
+/// result is bitwise identical at any EXA_THREADS.
+template <typename T>
+void gemm_panels(std::span<const T> a, std::span<const T> b, std::span<T> c,
+                 std::size_t m, std::size_t n, std::size_t k, T alpha) {
+  auto& pool = support::ThreadPool::global();
+  const std::size_t jt_count = (n + kMicroCols - 1) / kMicroCols;
+  const std::size_t row_tiles = (m + kMicroRows - 1) / kMicroRows;
+  std::vector<T> pack(jt_count * kDepthBlock * kMicroCols);
+  for (std::size_t kk = 0; kk < k; kk += kDepthBlock) {
+    const std::size_t kb = std::min(k - kk, kDepthBlock);
+    pool.for_each(0, jt_count, [&](std::size_t jt) {
+      const std::size_t j0 = jt * kMicroCols;
+      const std::size_t jw = std::min(kMicroCols, n - j0);
+      T* dst = &pack[jt * kb * kMicroCols];
+      for (std::size_t p = 0; p < kb; ++p) {
+        const T* src = &b[(kk + p) * n + j0];
+        for (std::size_t j = 0; j < jw; ++j) dst[p * kMicroCols + j] = src[j];
+        for (std::size_t j = jw; j < kMicroCols; ++j) {
+          dst[p * kMicroCols + j] = T{};
+        }
+      }
+    });
+    pool.for_each(0, row_tiles, [&](std::size_t it) {
+      const std::size_t i0 = it * kMicroRows;
+      const std::size_t ib = std::min(kMicroRows, m - i0);
+      for (std::size_t jt = 0; jt < jt_count; ++jt) {
+        const std::size_t j0 = jt * kMicroCols;
+        const std::size_t jw = std::min(kMicroCols, n - j0);
+        const T* panel = &pack[jt * kb * kMicroCols];
+        T acc[kMicroRows * kMicroCols];
+        for (std::size_t r = 0; r < ib; ++r) {
+          for (std::size_t j = 0; j < jw; ++j) {
+            acc[r * kMicroCols + j] = c[(i0 + r) * n + j0 + j];
+          }
+          for (std::size_t j = jw; j < kMicroCols; ++j) {
+            acc[r * kMicroCols + j] = T{};
+          }
+        }
+        if (ib == kMicroRows) {
+          microkernel(&a[i0 * k + kk], k, panel, kb, alpha, acc);
+        } else {
+          // Ragged bottom rows: same panel, same depth-ascending adds.
+          for (std::size_t p = 0; p < kb; ++p) {
+            const T* bp = &panel[p * kMicroCols];
+            for (std::size_t r = 0; r < ib; ++r) {
+              const T av = alpha * a[(i0 + r) * k + kk + p];
+              T* accr = &acc[r * kMicroCols];
+#pragma omp simd
+              for (std::size_t j = 0; j < kMicroCols; ++j) {
+                accr[j] += av * bp[j];
+              }
+            }
+          }
+        }
+        for (std::size_t r = 0; r < ib; ++r) {
+          for (std::size_t j = 0; j < jw; ++j) {
+            c[(i0 + r) * n + j0 + j] = acc[r * kMicroCols + j];
+          }
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
 
 template <typename T>
 void gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
@@ -30,26 +130,31 @@ void gemm(std::span<const T> a, std::span<const T> b, std::span<T> c,
   }
   if (alpha == T{} || m == 0 || n == 0 || k == 0) return;
 
-  // Parallelize over row blocks; each row block is owned by one task so
-  // no two tasks write the same C element.
-  const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
-  support::ThreadPool::global().for_each(
-      0, row_blocks, [&](std::size_t rb) {
-        const std::size_t i0 = rb * kBlock;
-        const std::size_t i1 = std::min(m, i0 + kBlock);
-        for (std::size_t kk = 0; kk < k; kk += kBlock) {
-          const std::size_t k1 = std::min(k, kk + kBlock);
-          for (std::size_t i = i0; i < i1; ++i) {
-            for (std::size_t p = kk; p < k1; ++p) {
-              const T av = alpha * a[i * k + p];
-              if (av == T{}) continue;
-              const T* brow = &b[p * n];
-              T* crow = &c[i * n];
-              for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if constexpr (std::is_floating_point_v<T>) {
+    gemm_panels(a, b, c, m, n, k, alpha);
+  } else {
+    // Complex path: cache-blocked, branchless (the data-dependent
+    // `av == 0` skip blocked vectorization and made cost input-dependent).
+    // Row blocks are owned by one task each, and every C element
+    // accumulates depth-ascending — bitwise stable across pool sizes.
+    const std::size_t row_blocks = (m + kBlock - 1) / kBlock;
+    support::ThreadPool::global().for_each(
+        0, row_blocks, [&](std::size_t rb) {
+          const std::size_t i0 = rb * kBlock;
+          const std::size_t i1 = std::min(m, i0 + kBlock);
+          for (std::size_t kk = 0; kk < k; kk += kBlock) {
+            const std::size_t k1 = std::min(k, kk + kBlock);
+            for (std::size_t i = i0; i < i1; ++i) {
+              for (std::size_t p = kk; p < k1; ++p) {
+                const T av = alpha * a[i * k + p];
+                const T* brow = &b[p * n];
+                T* crow = &c[i * n];
+                for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+              }
             }
           }
-        }
-      });
+        });
+  }
 }
 
 template void gemm<float>(std::span<const float>, std::span<const float>,

@@ -1,13 +1,61 @@
 #include "mathlib/fft.hpp"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
 namespace exa::ml {
+
+namespace {
+
+std::mutex twiddle_mutex;
+/// Process-wide per-size tables. Entries are shared_ptrs so a caller's
+/// reference stays valid while other threads extend the cache.
+std::vector<std::pair<std::size_t,
+                      std::shared_ptr<const std::vector<zcomplex>>>>
+    twiddle_cache;
+
+}  // namespace
+
+const std::vector<zcomplex>& fft_twiddles(std::size_t n) {
+  EXA_REQUIRE_MSG(is_pow2(n), "FFT length must be a power of two");
+  // fft() is called from pool workers (fft_batch/fft3d), so the lookup is
+  // mutex-guarded with a per-thread memo of the last table used — the
+  // steady state (batches of one size) never touches the lock.
+  thread_local std::size_t memo_n = 0;
+  thread_local std::shared_ptr<const std::vector<zcomplex>> memo;
+  if (memo_n == n && memo) return *memo;
+
+  std::shared_ptr<const std::vector<zcomplex>> entry;
+  {
+    const std::lock_guard<std::mutex> lock(twiddle_mutex);
+    for (const auto& e : twiddle_cache) {
+      if (e.first == n) {
+        entry = e.second;
+        break;
+      }
+    }
+    if (!entry) {
+      auto table = std::make_shared<std::vector<zcomplex>>(n / 2);
+      for (std::size_t j = 0; j < n / 2; ++j) {
+        const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(n);
+        (*table)[j] = zcomplex(std::cos(ang), std::sin(ang));
+      }
+      twiddle_cache.emplace_back(n, table);
+      entry = std::move(table);
+    }
+  }
+  memo = std::move(entry);
+  memo_n = n;
+  return *memo;
+}
 
 void fft(std::span<zcomplex> data, bool inverse) {
   const std::size_t n = data.size();
@@ -22,18 +70,38 @@ void fft(std::span<zcomplex> data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
-  const double sign = inverse ? 1.0 : -1.0;
+  // Butterflies on the raw (re, im) pairs: the cached table replaces the
+  // per-butterfly `w *= wlen` recurrence (two sin/cos per level total,
+  // amortized to zero), and splitting the complex ops into real lanes
+  // lets the inner loop vectorize. std::complex<double> is
+  // layout-compatible with double[2] by [complex.numbers.general].
+  const std::vector<zcomplex>& tw = fft_twiddles(n);
+  auto* d = reinterpret_cast<double*>(data.data());
+  const auto* t = reinterpret_cast<const double*>(tw.data());
+  const double tsign = inverse ? 1.0 : -1.0;  // table holds the forward sign
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const zcomplex wlen(std::cos(ang), std::sin(ang));
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      zcomplex w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const zcomplex u = data[i + j];
-        const zcomplex v = data[i + j + len / 2] * w;
-        data[i + j] = u + v;
-        data[i + j + len / 2] = u - v;
-        w *= wlen;
+      double* lo = d + 2 * i;
+      double* hi = d + 2 * (i + half);
+#pragma omp simd
+      for (std::size_t j = 0; j < half; ++j) {
+        const double wr = t[2 * j * stride];
+        const double wi = -tsign * t[2 * j * stride + 1];
+        const double xr = hi[2 * j];
+        const double xi = hi[2 * j + 1];
+        // Same formula as std::complex operator* (no FMA contraction in
+        // this translation unit), so the scalar reference path is bitwise
+        // identical.
+        const double vr = xr * wr - xi * wi;
+        const double vi = xr * wi + xi * wr;
+        const double ur = lo[2 * j];
+        const double ui = lo[2 * j + 1];
+        lo[2 * j] = ur + vr;
+        lo[2 * j + 1] = ui + vi;
+        hi[2 * j] = ur - vr;
+        hi[2 * j + 1] = ui - vi;
       }
     }
   }

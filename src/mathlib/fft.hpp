@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "mathlib/dense.hpp"
 
@@ -14,6 +15,14 @@ namespace exa::ml {
 /// In-place iterative radix-2 FFT; `data.size()` must be a power of two.
 /// The inverse transform is scaled by 1/N (so ifft(fft(x)) == x).
 void fft(std::span<zcomplex> data, bool inverse = false);
+
+/// The cached forward twiddle table for length-n transforms:
+/// `table[j] = exp(-2*pi*i*j/n)` for j < n/2 (level `len` strides it by
+/// n/len; the inverse transform conjugates). Tables are computed once per
+/// size, cached process-wide, and safe to request from pool workers — the
+/// reference scalar path shares them so kernel/reference comparisons are
+/// bitwise, not just tolerance-close.
+[[nodiscard]] const std::vector<zcomplex>& fft_twiddles(std::size_t n);
 
 /// Batched 1-D transforms: `count` contiguous lines of length `n`.
 void fft_batch(std::span<zcomplex> data, std::size_t n, std::size_t count,

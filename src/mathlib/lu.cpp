@@ -9,6 +9,12 @@
 
 namespace exa::ml {
 
+namespace {
+/// Trailing rows below which a getrf column update stays on the calling
+/// thread (a pool dispatch costs more than the update itself).
+constexpr std::size_t kParallelRows = 128;
+}  // namespace
+
 int zgetrf(std::span<zcomplex> a, std::size_t n, std::span<int> pivots) {
   EXA_REQUIRE(a.size() >= n * n);
   EXA_REQUIRE(pivots.size() >= n);
@@ -35,13 +41,25 @@ int zgetrf(std::span<zcomplex> a, std::size_t n, std::span<int> pivots) {
       if (info == 0) info = static_cast<int>(col) + 1;
       continue;
     }
+    // Scale the panel column, then rank-1-update the trailing rows.
+    // Rows are independent and each accumulates left-to-right, so the
+    // parallel path is bitwise identical to the serial one (and to any
+    // EXA_THREADS setting); the branchless inner loop vectorizes.
     for (std::size_t r = col + 1; r < n; ++r) {
-      const zcomplex l = a[r * n + col] / d;
-      a[r * n + col] = l;
-      if (l == zcomplex{}) continue;
+      a[r * n + col] /= d;
+    }
+    const auto update_row = [&](std::size_t r) {
+      const zcomplex l = a[r * n + col];
+      const zcomplex* urow = &a[col * n];
+      zcomplex* arow = &a[r * n];
       for (std::size_t j = col + 1; j < n; ++j) {
-        a[r * n + j] -= l * a[col * n + j];
+        arow[j] -= l * urow[j];
       }
+    };
+    if (n - col - 1 >= kParallelRows) {
+      support::ThreadPool::global().for_each(col + 1, n, update_row);
+    } else {
+      for (std::size_t r = col + 1; r < n; ++r) update_row(r);
     }
   }
   return info;
@@ -64,11 +82,11 @@ void zgetrs(std::span<const zcomplex> lu, std::size_t n,
       }
     }
   }
-  // Forward substitution with unit-diagonal L.
+  // Forward substitution with unit-diagonal L (branchless: the zero-skip
+  // made solve cost depend on the fill pattern and blocked vectorization).
   for (std::size_t r = 1; r < n; ++r) {
     for (std::size_t c = 0; c < r; ++c) {
       const zcomplex l = lu[r * n + c];
-      if (l == zcomplex{}) continue;
       for (std::size_t j = 0; j < nrhs; ++j) {
         b[r * nrhs + j] -= l * b[c * nrhs + j];
       }
@@ -81,7 +99,6 @@ void zgetrs(std::span<const zcomplex> lu, std::size_t n,
     EXA_REQUIRE_MSG(d != zcomplex{}, "singular U in zgetrs");
     for (std::size_t c = ri + 1; c < n; ++c) {
       const zcomplex u = lu[ri * n + c];
-      if (u == zcomplex{}) continue;
       for (std::size_t j = 0; j < nrhs; ++j) {
         b[ri * nrhs + j] -= u * b[c * nrhs + j];
       }
@@ -115,13 +132,25 @@ int dgetrf(std::span<double> a, std::size_t n, std::span<int> pivots) {
       if (info == 0) info = static_cast<int>(col) + 1;
       continue;
     }
+    // Same shape as zgetrf: scale the panel column, then run the
+    // independent (hence bitwise-deterministic) row updates in parallel
+    // with a branchless simd strip.
     for (std::size_t r = col + 1; r < n; ++r) {
-      const double l = a[r * n + col] / d;
-      a[r * n + col] = l;
-      if (l == 0.0) continue;
+      a[r * n + col] /= d;
+    }
+    const auto update_row = [&](std::size_t r) {
+      const double l = a[r * n + col];
+      const double* urow = &a[col * n];
+      double* arow = &a[r * n];
+#pragma omp simd
       for (std::size_t j = col + 1; j < n; ++j) {
-        a[r * n + j] -= l * a[col * n + j];
+        arow[j] -= l * urow[j];
       }
+    };
+    if (n - col - 1 >= kParallelRows) {
+      support::ThreadPool::global().for_each(col + 1, n, update_row);
+    } else {
+      for (std::size_t r = col + 1; r < n; ++r) update_row(r);
     }
   }
   return info;
@@ -145,7 +174,7 @@ void dgetrs(std::span<const double> lu, std::size_t n,
   for (std::size_t r = 1; r < n; ++r) {
     for (std::size_t c = 0; c < r; ++c) {
       const double l = lu[r * n + c];
-      if (l == 0.0) continue;
+#pragma omp simd
       for (std::size_t j = 0; j < nrhs; ++j) {
         b[r * nrhs + j] -= l * b[c * nrhs + j];
       }
@@ -156,7 +185,7 @@ void dgetrs(std::span<const double> lu, std::size_t n,
     EXA_REQUIRE_MSG(d != 0.0, "singular U in dgetrs");
     for (std::size_t c = ri + 1; c < n; ++c) {
       const double u = lu[ri * n + c];
-      if (u == 0.0) continue;
+#pragma omp simd
       for (std::size_t j = 0; j < nrhs; ++j) {
         b[ri * nrhs + j] -= u * b[c * nrhs + j];
       }
@@ -205,7 +234,6 @@ void zblock_lu_inverse_topleft(std::span<zcomplex> a, std::size_t n,
     for (std::size_t i = 0; i < block; ++i) {
       for (std::size_t p = 0; p < block; ++p) {
         const zcomplex v = dinv[i * block + p];
-        if (v == zcomplex{}) continue;
         for (std::size_t j = 0; j < k0; ++j) {
           w[i * k0 + j] += v * a[(k0 + p) * n + j];
         }
@@ -218,16 +246,17 @@ void zblock_lu_inverse_topleft(std::span<zcomplex> a, std::size_t n,
         colk[i * block + j] = a[i * n + (k0 + j)];
       }
     }
-    // A[0..k0, 0..k0] -= colk * W
-    for (std::size_t i = 0; i < k0; ++i) {
+    // A[0..k0, 0..k0] -= colk * W. Rows are independent and each
+    // accumulates p-ascending, so the parallel dispatch is bitwise
+    // deterministic at any pool size.
+    support::ThreadPool::global().for_each(0, k0, [&](std::size_t i) {
       for (std::size_t p = 0; p < block; ++p) {
         const zcomplex v = colk[i * block + p];
-        if (v == zcomplex{}) continue;
         for (std::size_t j = 0; j < k0; ++j) {
           a[i * n + j] -= v * w[p * k0 + j];
         }
       }
-    }
+    });
   }
 
   // Invert the remaining leading block.

@@ -1,0 +1,123 @@
+#include "mathlib/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "mathlib/fft.hpp"
+#include "support/assert.hpp"
+
+namespace exa::ml {
+
+template <typename T>
+void gemm_reference(std::span<const T> a, std::span<const T> b,
+                    std::span<T> c, std::size_t m, std::size_t n,
+                    std::size_t k, T alpha, T beta) {
+  EXA_REQUIRE(a.size() >= m * k);
+  EXA_REQUIRE(b.size() >= k * n);
+  EXA_REQUIRE(c.size() >= m * n);
+  if (beta == T{}) {
+    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), T{});
+  } else if (!(beta == T{1})) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (alpha == T{} || m == 0 || n == 0 || k == 0) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const T av = alpha * a[i * k + p];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[p * n + j];
+      }
+    }
+  }
+}
+
+template void gemm_reference<float>(std::span<const float>,
+                                    std::span<const float>, std::span<float>,
+                                    std::size_t, std::size_t, std::size_t,
+                                    float, float);
+template void gemm_reference<double>(std::span<const double>,
+                                     std::span<const double>,
+                                     std::span<double>, std::size_t,
+                                     std::size_t, std::size_t, double, double);
+template void gemm_reference<zcomplex>(std::span<const zcomplex>,
+                                       std::span<const zcomplex>,
+                                       std::span<zcomplex>, std::size_t,
+                                       std::size_t, std::size_t, zcomplex,
+                                       zcomplex);
+
+void fft_reference(std::span<zcomplex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  EXA_REQUIRE_MSG(is_pow2(n), "FFT length must be a power of two");
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const std::vector<zcomplex>& tw = fft_twiddles(n);
+  const double tsign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const double wr = tw[j * stride].real();
+        const double wi = -tsign * tw[j * stride].imag();
+        const zcomplex x = data[i + j + half];
+        const zcomplex v(x.real() * wr - x.imag() * wi,
+                         x.real() * wi + x.imag() * wr);
+        const zcomplex u = data[i + j];
+        data[i + j] = u + v;
+        data[i + j + half] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+int getrf_reference(std::span<double> a, std::size_t n,
+                    std::span<int> pivots) {
+  EXA_REQUIRE(a.size() >= n * n);
+  EXA_REQUIRE(pivots.size() >= n);
+  int info = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(a[r * n + col]);
+      if (mag > best) {
+        best = mag;
+        piv = r;
+      }
+    }
+    pivots[col] = static_cast<int>(piv);
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[piv * n + j]);
+      }
+    }
+    const double d = a[col * n + col];
+    if (d == 0.0) {
+      if (info == 0) info = static_cast<int>(col) + 1;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      a[r * n + col] /= d;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double l = a[r * n + col];
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[r * n + j] -= l * a[col * n + j];
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace exa::ml

@@ -1,0 +1,45 @@
+#pragma once
+/// \file reference.hpp
+/// Serial scalar reference kernels for the vectorized mathlib paths.
+///
+/// Ginkgo's porting testimonial (PAPERS.md, arxiv 2006.14290) argues for
+/// one kernel source validated by properties instead of per-target forks;
+/// these references are that validation surface. Each one is written as
+/// the plainest possible serial loop that performs the *same floating-
+/// point operations in the same order* as the optimized kernel, so the
+/// determinism tests can demand bitwise equality (memcmp, not tolerance)
+/// at every EXA_THREADS setting:
+///
+///  * `gemm_reference` accumulates each C element depth-ascending into C —
+///    the addition sequence both the packed-panel microkernel and the
+///    blocked complex path preserve;
+///  * `fft_reference` runs the textbook scalar butterfly over the *shared*
+///    cached twiddle table (`fft_twiddles`), with the multiply spelled the
+///    way std::complex and the simd kernel both evaluate it;
+///  * `getrf_reference` is the serial row-by-row panel factorization the
+///    parallel dgetrf must reproduce exactly.
+///
+/// These run on one thread with no blocking — slow on purpose; tests only.
+
+#include <cstddef>
+#include <span>
+
+#include "mathlib/dense.hpp"
+
+namespace exa::ml {
+
+/// C = alpha*A*B + beta*C, naive serial i/p/j with depth-ascending
+/// accumulation directly into C.
+template <typename T>
+void gemm_reference(std::span<const T> a, std::span<const T> b,
+                    std::span<T> c, std::size_t m, std::size_t n,
+                    std::size_t k, T alpha, T beta);
+
+/// In-place radix-2 FFT, scalar butterflies over the shared twiddle cache.
+void fft_reference(std::span<zcomplex> data, bool inverse = false);
+
+/// Serial unblocked LU with partial pivoting; same contract as `dgetrf`.
+int getrf_reference(std::span<double> a, std::size_t n,
+                    std::span<int> pivots);
+
+}  // namespace exa::ml

@@ -1,0 +1,336 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace exa::net {
+
+bool EngineResult::same_outcome(const EngineResult& other) const {
+  if (clocks != other.clocks || events != other.events ||
+      makespan_s != other.makespan_s ||
+      messages.size() != other.messages.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const MessageRecord& a = messages[i];
+    const MessageRecord& b = other.messages[i];
+    if (a.src != b.src || a.dst != b.dst || a.tag != b.tag ||
+        a.bytes != b.bytes || a.posted_s != b.posted_s ||
+        a.delivered_s != b.delivered_s || a.retries != b.retries) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double EngineResult::clock_sum() const {
+  double total = 0.0;
+  for (const double clock : clocks) total += clock;
+  return total;
+}
+
+std::int64_t EngineResult::total_retries() const {
+  std::int64_t total = 0;
+  for (const MessageRecord& m : messages) total += m.retries;
+  return total;
+}
+
+EventEngine::EventEngine(Fabric& fabric,
+                         std::vector<std::vector<RankOp>> programs)
+    : fabric_(fabric), programs_(std::move(programs)) {
+  EXA_REQUIRE_MSG(!programs_.empty(), "EventEngine needs at least one rank");
+  EXA_REQUIRE_MSG(
+      static_cast<int>(programs_.size()) <= fabric_.total_ranks(),
+      "more engine ranks than the fabric's machine hosts");
+  const int n = ranks();
+  for (const std::vector<RankOp>& program : programs_) {
+    for (const RankOp& op : program) {
+      if (op.kind == RankOp::Kind::kCompute) {
+        EXA_REQUIRE_MSG(op.value >= 0.0, "negative compute seconds");
+      } else {
+        EXA_REQUIRE_MSG(op.peer >= 0 && op.peer < n,
+                        "send/recv peer outside the engine's rank range");
+        EXA_REQUIRE_MSG(op.kind == RankOp::Kind::kRecv || op.value >= 0.0,
+                        "negative send bytes");
+      }
+    }
+  }
+}
+
+double EventEngine::lookahead_s() const {
+  const auto& net = fabric_.machine().network;
+  return net.latency_s + net.per_message_overhead_s;
+}
+
+std::uint64_t EventEngine::message_key(int src, int dst, int tag) {
+  // 21 bits each of src/dst plus the low tag bits: collisions would need
+  // > 2M ranks, which the EXA_REQUIRE in the constructor forbids anyway.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) &
+                                     0x1FFFFFu)
+          << 21) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) &
+          0x1FFFFFu);
+}
+
+void EventEngine::reset_run(EngineResult& result) {
+  states_.assign(programs_.size(), RankState{});
+  applied_.clear();
+  fabric_.reset_transport();
+  result = EngineResult{};
+}
+
+void EventEngine::finish_run(EngineResult& result) const {
+  result.clocks.resize(states_.size());
+  result.events = 0;
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    result.clocks[r] = states_[r].clock;
+    result.events += states_[r].events;
+  }
+  result.makespan_s =
+      result.clocks.empty()
+          ? 0.0
+          : *std::max_element(result.clocks.begin(), result.clocks.end());
+}
+
+int EventEngine::apply_send(const SendIntent& intent, EngineResult& result) {
+  const Fabric::Transfer tr =
+      fabric_.transfer(intent.src, intent.dst, intent.bytes, intent.post_s);
+  MessageRecord record;
+  record.src = intent.src;
+  record.dst = intent.dst;
+  record.tag = intent.tag;
+  record.bytes = intent.bytes;
+  record.posted_s = intent.post_s;
+  record.delivered_s = tr.delivered_s;
+  record.retries = tr.retries;
+  const int message = static_cast<int>(result.messages.size());
+  result.messages.push_back(record);
+  applied_[message_key(intent.src, intent.dst, intent.tag)].push_back(message);
+  return message;
+}
+
+int EventEngine::match_recv(const RankState& state, int rank, int src,
+                            int tag) const {
+  const auto it = applied_.find(message_key(src, rank, tag));
+  if (it == applied_.end()) return -1;
+  const std::size_t consumed_count = [&] {
+    const auto c = state.consumed.find(channel_key(src, tag));
+    return c == state.consumed.end() ? std::size_t{0} : c->second;
+  }();
+  if (consumed_count >= it->second.size()) return -1;
+  return it->second[consumed_count];
+}
+
+void EventEngine::consume_recv(RankState& state, int src, int tag) {
+  ++state.consumed[channel_key(src, tag)];
+}
+
+EngineResult EventEngine::run_serial() {
+  EngineResult result;
+  reset_run(result);
+  const double overhead = fabric_.machine().network.per_message_overhead_s;
+  const int n = ranks();
+
+  // Min-heap over (next event time, rank). Each rank owns at most one
+  // entry; blocked receivers are parked per channel and re-pushed when the
+  // matching send is applied, so entries are never stale.
+  using Key = std::pair<double, int>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap;
+  std::unordered_map<std::uint64_t, int> parked;
+
+  // Pushes `rank` keyed by its next op's event time, or parks it when the
+  // next op is a receive whose matching send has not been applied yet.
+  const auto schedule = [&](int rank) {
+    RankState& st = states_[static_cast<std::size_t>(rank)];
+    const std::vector<RankOp>& program =
+        programs_[static_cast<std::size_t>(rank)];
+    if (st.pc >= program.size()) return;
+    const RankOp& op = program[st.pc];
+    double key = st.clock;
+    if (op.kind == RankOp::Kind::kRecv) {
+      const int message = match_recv(st, rank, op.peer, op.tag);
+      if (message < 0) {
+        parked[message_key(op.peer, rank, op.tag)] = rank;
+        return;
+      }
+      key = std::max(
+          key, result.messages[static_cast<std::size_t>(message)].delivered_s);
+    }
+    heap.emplace(key, rank);
+  };
+
+  for (int r = 0; r < n; ++r) schedule(r);
+
+  while (!heap.empty()) {
+    const int rank = heap.top().second;
+    heap.pop();
+    RankState& st = states_[static_cast<std::size_t>(rank)];
+    const RankOp& op = programs_[static_cast<std::size_t>(rank)][st.pc];
+    switch (op.kind) {
+      case RankOp::Kind::kCompute:
+        st.clock += op.value * fabric_.straggler_scale(rank);
+        break;
+      case RankOp::Kind::kSend: {
+        SendIntent intent;
+        intent.post_s = st.clock;
+        intent.src = rank;
+        intent.seq = st.seq++;
+        intent.dst = op.peer;
+        intent.tag = op.tag;
+        intent.bytes = op.value;
+        apply_send(intent, result);
+        st.clock += overhead;
+        // The send may unblock its receiver (possibly this very rank on a
+        // self-channel once its program reaches the recv).
+        const auto waiter =
+            parked.find(message_key(rank, op.peer, op.tag));
+        if (waiter != parked.end()) {
+          const int blocked_rank = waiter->second;
+          parked.erase(waiter);
+          if (blocked_rank != rank) schedule(blocked_rank);
+        }
+        break;
+      }
+      case RankOp::Kind::kRecv: {
+        const int message = match_recv(st, rank, op.peer, op.tag);
+        EXA_REQUIRE(message >= 0);  // scheduled => matched
+        st.clock = std::max(
+            st.clock,
+            result.messages[static_cast<std::size_t>(message)].delivered_s);
+        consume_recv(st, op.peer, op.tag);
+        break;
+      }
+    }
+    ++st.pc;
+    ++st.events;
+    schedule(rank);
+  }
+
+  for (int r = 0; r < n; ++r) {
+    EXA_REQUIRE_MSG(
+        states_[static_cast<std::size_t>(r)].pc >=
+            programs_[static_cast<std::size_t>(r)].size(),
+        "engine deadlock: a rank is blocked on a receive whose matching "
+        "send is never posted");
+  }
+  finish_run(result);
+  return result;
+}
+
+EngineResult EventEngine::run_parallel(support::ThreadPool* pool) {
+  support::ThreadPool& workers =
+      pool != nullptr ? *pool : support::ThreadPool::global();
+  EngineResult result;
+  reset_run(result);
+  const double overhead = fabric_.machine().network.per_message_overhead_s;
+  const double delta = lookahead_s();
+  EXA_REQUIRE_MSG(delta > 0.0,
+                  "conservative lookahead needs positive link latency or "
+                  "per-message overhead");
+  const auto n = static_cast<std::size_t>(ranks());
+
+  // Deterministic shard boundaries: the same grain-aligned chunks as every
+  // bitwise-stable reduction in the tree (a function of the rank count
+  // alone, never of the pool size).
+  const std::size_t grain = support::reduce_grain(n);
+  const std::size_t slots = (n + grain - 1) / grain;
+  std::vector<std::vector<SendIntent>> chunk_intents(slots);
+  std::vector<SendIntent> window;
+
+  while (true) {
+    // --- window start: minimum next-event time over runnable ranks ------
+    double window_start = 0.0;
+    bool any_runnable = false;
+    bool all_done = true;
+    for (std::size_t r = 0; r < n; ++r) {
+      RankState& st = states_[r];
+      const std::vector<RankOp>& program = programs_[r];
+      if (st.pc >= program.size()) continue;
+      all_done = false;
+      const RankOp& op = program[st.pc];
+      double key = st.clock;
+      if (op.kind == RankOp::Kind::kRecv) {
+        const int message =
+            match_recv(st, static_cast<int>(r), op.peer, op.tag);
+        if (message < 0) continue;  // blocked: a barrier must free it
+        key = std::max(
+            key,
+            result.messages[static_cast<std::size_t>(message)].delivered_s);
+      }
+      window_start = any_runnable ? std::min(window_start, key) : key;
+      any_runnable = true;
+    }
+    if (all_done) break;
+    EXA_REQUIRE_MSG(any_runnable,
+                    "engine deadlock: a rank is blocked on a receive whose "
+                    "matching send is never posted");
+    const double horizon = window_start + delta;
+
+    // --- window: every rank runs up to the horizon ----------------------
+    workers.for_chunks(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<SendIntent>& intents = chunk_intents[lo / grain];
+          for (std::size_t r = lo; r < hi; ++r) {
+            RankState& st = states_[r];
+            const std::vector<RankOp>& program = programs_[r];
+            while (st.pc < program.size() && st.clock < horizon) {
+              const RankOp& op = program[st.pc];
+              if (op.kind == RankOp::Kind::kCompute) {
+                st.clock +=
+                    op.value * fabric_.straggler_scale(static_cast<int>(r));
+              } else if (op.kind == RankOp::Kind::kSend) {
+                SendIntent intent;
+                intent.post_s = st.clock;
+                intent.src = static_cast<int>(r);
+                intent.seq = st.seq++;
+                intent.dst = op.peer;
+                intent.tag = op.tag;
+                intent.bytes = op.value;
+                intents.push_back(intent);
+                st.clock += overhead;
+              } else {
+                // Receives only consume messages applied at a previous
+                // barrier (`applied_` is frozen during the window), so the
+                // match is identical at any pool size.
+                const int message =
+                    match_recv(st, static_cast<int>(r), op.peer, op.tag);
+                if (message < 0) break;  // blocked until the barrier
+                st.clock = std::max(
+                    st.clock, result
+                                  .messages[static_cast<std::size_t>(message)]
+                                  .delivered_s);
+                consume_recv(st, op.peer, op.tag);
+              }
+              ++st.pc;
+              ++st.events;
+            }
+          }
+        },
+        grain);
+
+    // --- barrier: apply the window's sends in serial order --------------
+    window.clear();
+    for (std::vector<SendIntent>& intents : chunk_intents) {
+      window.insert(window.end(), intents.begin(), intents.end());
+      intents.clear();
+    }
+    std::sort(window.begin(), window.end(),
+              [](const SendIntent& a, const SendIntent& b) {
+                if (a.post_s != b.post_s) return a.post_s < b.post_s;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    for (const SendIntent& intent : window) apply_send(intent, result);
+    ++result.windows;
+  }
+
+  finish_run(result);
+  return result;
+}
+
+}  // namespace exa::net

@@ -156,7 +156,16 @@ Fabric::Fabric(const arch::Machine& machine, int ranks_per_node,
   topo_.degrade_links(config_.faults.degraded_link_fraction,
                       config_.faults.seed);
   link_cursor_.assign(topo_.links().size(), 0.0);
-  load_scratch_.assign(topo_.links().size(), 0.0);
+}
+
+std::vector<Fabric::PhaseScratch>& Fabric::ensure_scratch(
+    std::size_t count) const {
+  if (phase_scratch_.size() < count) phase_scratch_.resize(count);
+  const std::size_t links = topo_.links().size();
+  for (auto& slot : phase_scratch_) {
+    if (slot.load.size() != links) slot.load.assign(links, 0.0);
+  }
+  return phase_scratch_;
 }
 
 bool Fabric::is_straggler(int rank) const {
@@ -177,33 +186,34 @@ void Fabric::trace(const char* op, double bytes, int ranks,
       "fabric", cost, "net");
 }
 
-void Fabric::load_message(int src_rank, int dst_rank, double bytes) const {
+void Fabric::load_message(PhaseScratch& scratch, int src_rank, int dst_rank,
+                          double bytes) const {
   if (bytes <= 0.0) return;
   const int sn = node_of_rank(src_rank);
   const int dn = node_of_rank(dst_rank);
   if (sn == dn) return;
-  route_scratch_.clear();
-  topo_.route(sn, dn, route_scratch_);
-  for (const int link : route_scratch_) {
-    if (load_scratch_[static_cast<std::size_t>(link)] == 0.0) {
-      touched_links_.push_back(link);
+  scratch.route.clear();
+  topo_.route(sn, dn, scratch.route);
+  for (const int link : scratch.route) {
+    if (scratch.load[static_cast<std::size_t>(link)] == 0.0) {
+      scratch.touched.push_back(link);
     }
-    load_scratch_[static_cast<std::size_t>(link)] += bytes;
+    scratch.load[static_cast<std::size_t>(link)] += bytes;
   }
 }
 
-double Fabric::drain_loads() const {
+double Fabric::drain_loads(PhaseScratch& scratch) const {
   double worst = 0.0;
   const double degrade = config_.faults.degrade_factor;
-  for (const int link : touched_links_) {
+  for (const int link : scratch.touched) {
     const double bw =
         topo_.links()[static_cast<std::size_t>(link)].effective_bandwidth(
             degrade);
     worst = std::max(worst,
-                     load_scratch_[static_cast<std::size_t>(link)] / bw);
-    load_scratch_[static_cast<std::size_t>(link)] = 0.0;
+                     scratch.load[static_cast<std::size_t>(link)] / bw);
+    scratch.load[static_cast<std::size_t>(link)] = 0.0;
   }
-  touched_links_.clear();
+  scratch.touched.clear();
   return worst;
 }
 
@@ -229,19 +239,23 @@ double Fabric::ring_phases(double bytes_per_pair, int ranks) const {
     return volume_s;
   }
   const int samples = std::min(phases, config_.max_sampled_phases);
-  double sampled = 0.0;
-  for (int i = 0; i < samples; ++i) {
-    const int k = 1 + static_cast<int>(
-                          (static_cast<std::int64_t>(i) * phases) / samples);
-    for (int r = 0; r < ranks; ++r) {
-      load_message(r, (r + k) % ranks, bytes_per_pair);
-    }
-    const double congested = drain_loads();
-    sampled += std::max(bytes_per_pair / bwg, congested) +
+  // Phases are independent given their own scratch: route loads, drain the
+  // bottleneck, add the fault surcharge. phase_sum runs them across the
+  // pool and combines in phase order (bitwise equal to the serial loop).
+  const double sampled =
+      phase_sum(samples, [&](int i, PhaseScratch& scratch) {
+        const int k =
+            1 + static_cast<int>((static_cast<std::int64_t>(i) * phases) /
+                                 samples);
+        for (int r = 0; r < ranks; ++r) {
+          load_message(scratch, r, (r + k) % ranks, bytes_per_pair);
+        }
+        const double congested = drain_loads(scratch);
+        return std::max(bytes_per_pair / bwg, congested) +
                retry_surcharge(static_cast<double>(ranks),
                                net.per_message_overhead_s +
                                    bytes_per_pair / bwg);
-  }
+      });
   volume_s = sampled / samples * phases;
   return volume_s;
 }
@@ -258,7 +272,7 @@ double Fabric::tree_phases(double total_volume, int ranks, int steps,
     return volume_s;
   }
   const int levels = std::max(1, static_cast<int>(log2_ceil(ranks)));
-  for (int j = 0; j < steps; ++j) {
+  volume_s = phase_sum(steps, [&](int j, PhaseScratch& scratch) {
     const int distance = 1 << (j % levels);
     double msgs = 0.0;
     if (per_phase > 0.0) {
@@ -267,25 +281,25 @@ double Fabric::tree_phases(double total_volume, int ranks, int steps,
         for (int r = 0; r < ranks; ++r) {
           const int partner = r ^ distance;
           if (partner < ranks) {
-            load_message(r, partner, per_phase);
+            load_message(scratch, r, partner, per_phase);
             msgs += 1.0;
           }
         }
       } else {
         // Binomial tree: r < distance sends to r + distance.
         for (int r = 0; r < distance && r + distance < ranks; ++r) {
-          load_message(r, r + distance, per_phase);
+          load_message(scratch, r, r + distance, per_phase);
           msgs += 1.0;
         }
       }
     } else {
       msgs = pairwise ? static_cast<double>(ranks) : 1.0;
     }
-    const double congested = drain_loads();
-    volume_s += std::max(per_phase / bwg, congested) +
-                retry_surcharge(msgs, net.per_message_overhead_s +
-                                          per_phase / bwg);
-  }
+    const double congested = drain_loads(scratch);
+    return std::max(per_phase / bwg, congested) +
+           retry_surcharge(msgs, net.per_message_overhead_s +
+                                     per_phase / bwg);
+  });
   return volume_s;
 }
 
@@ -296,8 +310,9 @@ double Fabric::p2p(double bytes) const {
   double volume_s = analytic;
   if (event_driven()) {
     // Canonical placement: rank 0 to the last rank, crossing the core.
-    load_message(0, total_ranks() - 1, bytes);
-    volume_s = std::max(analytic, drain_loads()) +
+    PhaseScratch& scratch = ensure_scratch(1)[0];
+    load_message(scratch, 0, total_ranks() - 1, bytes);
+    volume_s = std::max(analytic, drain_loads(scratch)) +
                retry_surcharge(1.0, net.per_message_overhead_s + analytic);
   }
   const double cost = net.latency_s + net.per_message_overhead_s + volume_s +
@@ -323,19 +338,19 @@ double Fabric::halo_exchange(double bytes_per_face, int faces) const {
     const int p = total_ranks();
     const int stride = std::max(
         1, static_cast<int>(std::round(std::cbrt(static_cast<double>(p)))));
-    for (int f = 0; f < faces; ++f) {
+    cost = phase_sum(faces, [&](int f, PhaseScratch& scratch) {
       const int axis = (f / 2) % 3;
       int offset = axis == 0 ? 1 : (axis == 1 ? stride : stride * stride);
       if (f % 2 == 1) offset = p - offset;  // negative direction mod p
       for (int r = 0; r < p; ++r) {
-        load_message(r, (r + offset) % p, bytes_per_face);
+        load_message(scratch, r, (r + offset) % p, bytes_per_face);
       }
-      const double congested = drain_loads();
-      cost += fixed + std::max(bytes_per_face / bw, congested) +
-              retry_surcharge(static_cast<double>(p),
-                              net.per_message_overhead_s +
-                                  bytes_per_face / bw);
-    }
+      const double congested = drain_loads(scratch);
+      return fixed + std::max(bytes_per_face / bw, congested) +
+             retry_surcharge(static_cast<double>(p),
+                             net.per_message_overhead_s +
+                                 bytes_per_face / bw);
+    });
   }
   trace("halo_exchange", bytes_per_face * faces, faces, cost);
   return cost;
@@ -414,14 +429,15 @@ Fabric::Transfer Fabric::transfer(int src_rank, int dst_rank, double bytes,
 
   const int sn = node_of_rank(src_rank);
   const int dn = node_of_rank(dst_rank);
-  route_scratch_.clear();
-  if (event_driven()) topo_.route(sn, dn, route_scratch_);
+  std::vector<int>& route = ensure_scratch(1)[0].route;
+  route.clear();
+  if (event_driven()) topo_.route(sn, dn, route);
 
   Transfer out;
   double t = start_s + net.per_message_overhead_s;
   for (int attempt = 0;; ++attempt) {
     double finish;
-    if (route_scratch_.empty()) {
+    if (route.empty()) {
       // Same-node traffic or analytic mode: closed-form serialization.
       finish = t + analytic_serial;
     } else {
@@ -429,7 +445,7 @@ Fabric::Transfer Fabric::transfer(int src_rank, int dst_rank, double bytes,
       // path from the latest cursor and serializes at the slowest link.
       double begin = t;
       double serial = 0.0;
-      for (const int link : route_scratch_) {
+      for (const int link : route) {
         begin = std::max(begin, link_cursor_[static_cast<std::size_t>(link)]);
         const double bw =
             topo_.links()[static_cast<std::size_t>(link)].effective_bandwidth(
@@ -437,7 +453,7 @@ Fabric::Transfer Fabric::transfer(int src_rank, int dst_rank, double bytes,
         serial = std::max(serial, bytes / bw);
       }
       finish = begin + serial;
-      for (const int link : route_scratch_) {
+      for (const int link : route) {
         link_cursor_[static_cast<std::size_t>(link)] = finish;
       }
     }

@@ -36,7 +36,9 @@
 
 #include "arch/machine.hpp"
 #include "net/comm_model.hpp"
+#include "support/reduce.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exa::net {
 
@@ -172,9 +174,12 @@ class FabricTopology {
 /// collective methods are drop-in signature-compatible with it, so a
 /// driver migrates by swapping the type. All returned costs are seconds.
 ///
-/// Thread safety: `const` collective methods are safe to call
-/// concurrently; `transfer()` mutates link cursors and the drop RNG and
-/// must be externally serialized (RankSim owns exactly that).
+/// Thread safety: quiet-mode (analytic-reduction) cost queries are safe
+/// to call concurrently. Event-driven collectives run their phases in
+/// parallel across the global ThreadPool *internally* and reuse a
+/// per-fabric scratch pool, so calls on the same Fabric must be
+/// externally serialized — as must `transfer()`, which additionally
+/// mutates link cursors and the drop RNG (RankSim owns exactly that).
 class Fabric {
  public:
   /// `ranks_per_node` simulated ranks share each node's injection
@@ -252,12 +257,51 @@ class Fabric {
   }
 
  private:
+  /// Routing/load scratch for one phase of a collective. The phase engine
+  /// runs phases in parallel across pool workers; each dispatch chunk owns
+  /// one scratch slot, so concurrent phases never share load ledgers.
+  struct PhaseScratch {
+    std::vector<int> route;    ///< link ids of the path being loaded
+    std::vector<double> load;  ///< per-link bytes this phase
+    std::vector<int> touched;  ///< links with nonzero load this phase
+  };
+
+  /// Grows the reusable scratch pool to `count` slots (each drained back
+  /// to all-zero between uses) and returns it.
+  std::vector<PhaseScratch>& ensure_scratch(std::size_t count) const;
+
+  /// Sums term(phase, scratch) over `phases` phases, dispatched across the
+  /// global ThreadPool with support::deterministic_reduce: chunk
+  /// boundaries depend only on the phase count and partials combine in
+  /// ascending phase order, so the sum is bitwise identical to the
+  /// historical serial `for (phase) total += term(phase)` loop at any
+  /// EXA_THREADS whenever phases <= support::kReduceSlots (always true for
+  /// the <= max_sampled_phases schedules the collectives emit).
+  template <typename PhaseTerm>
+  [[nodiscard]] double phase_sum(int phases, PhaseTerm&& term) const {
+    if (phases <= 0) return 0.0;
+    const auto n = static_cast<std::size_t>(phases);
+    const std::size_t grain = support::reduce_grain(n);
+    auto& scratch = ensure_scratch((n + grain - 1) / grain);
+    return support::deterministic_reduce(
+        support::ThreadPool::global(), n,
+        [&](std::size_t lo, std::size_t hi) {
+          PhaseScratch& slot = scratch[lo / grain];
+          double partial = 0.0;
+          for (std::size_t ph = lo; ph < hi; ++ph) {
+            partial += term(static_cast<int>(ph), slot);
+          }
+          return partial;
+        });
+  }
+
   /// Accumulates `bytes` onto every link of the rank-level path
   /// src_rank -> dst_rank (no-op for same-node or empty messages).
-  void load_message(int src_rank, int dst_rank, double bytes) const;
+  void load_message(PhaseScratch& scratch, int src_rank, int dst_rank,
+                    double bytes) const;
   /// Bottleneck seconds over the links touched since the last drain
   /// (max of load / effective bandwidth), then clears the load ledger.
-  [[nodiscard]] double drain_loads() const;
+  [[nodiscard]] double drain_loads(PhaseScratch& scratch) const;
   /// Expected fault surcharge for one phase of `msgs` concurrent messages
   /// whose resend costs `msg_cost_s` (seconds).
   [[nodiscard]] double retry_surcharge(double msgs, double msg_cost_s) const;
@@ -278,9 +322,9 @@ class Fabric {
   std::vector<double> link_cursor_;
   /// Last delivery per (src_rank, dst_rank) channel for FIFO clamping.
   std::unordered_map<std::uint64_t, double> channel_last_;
-  mutable std::vector<int> route_scratch_;
-  mutable std::vector<double> load_scratch_;  ///< per-link bytes this phase
-  mutable std::vector<int> touched_links_;
+  /// Reusable per-chunk scratch slots for the parallel phase engine (slot
+  /// 0 doubles as the serial scratch for p2p/transfer routing).
+  mutable std::vector<PhaseScratch> phase_scratch_;
 };
 
 }  // namespace exa::net

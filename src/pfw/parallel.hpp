@@ -28,6 +28,7 @@
 #include "pfw/view.hpp"
 #include "sim/exec_model.hpp"
 #include "sim/kernel_profile.hpp"
+#include "support/reduce.hpp"
 #include "support/thread_pool.hpp"
 
 namespace exa::pfw {
@@ -98,38 +99,12 @@ class DispatchSpan {
   bool site_pushed_ = false;
 };
 
-/// Deterministic-reduction shape: at most kReduceSlots chunks with
-/// boundaries that are a function of n alone.
-inline constexpr std::size_t kReduceSlots = 256;
-
-[[nodiscard]] inline std::size_t reduce_grain(std::size_t n) {
-  return (n + kReduceSlots - 1) / kReduceSlots;
-}
-
-/// Sums chunk_body(lo, hi) partials over [0, n) split at fixed grain
-/// boundaries, combining them in ascending chunk order. Because both the
-/// boundaries and the combination order are independent of the pool size
-/// and of chunk execution order, the result is bitwise reproducible.
-template <typename ChunkBody>
-[[nodiscard]] double deterministic_reduce(support::ThreadPool& pool,
-                                          std::size_t n,
-                                          ChunkBody&& chunk_body) {
-  if (n == 0) return 0.0;
-  const std::size_t grain = reduce_grain(n);
-  double partial[kReduceSlots];
-  pool.for_chunks(
-      0, n,
-      [&](std::size_t lo, std::size_t hi) {
-        // Chunks are grain-aligned, so lo/grain indexes this chunk's slot;
-        // every slot in [0, ceil(n/grain)) is written exactly once.
-        partial[lo / grain] = chunk_body(lo, hi);
-      },
-      grain);
-  const std::size_t slots = (n + grain - 1) / grain;
-  double total = 0.0;
-  for (std::size_t s = 0; s < slots; ++s) total += partial[s];
-  return total;
-}
+/// Deterministic chunk-ordered reduction, hoisted to the support layer
+/// (support/reduce.hpp) so net::Fabric's phase engine shares the exact
+/// combination order; re-exported here for existing pfw call sites.
+using support::deterministic_reduce;
+using support::kReduceSlots;
+using support::reduce_grain;
 
 }  // namespace detail
 

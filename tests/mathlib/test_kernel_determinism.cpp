@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mathlib/dense.hpp"
+#include "mathlib/fft.hpp"
+#include "mathlib/lu.hpp"
+#include "mathlib/reference.hpp"
+#include "support/rng.hpp"
+
+// The vectorized kernels (packed-panel GEMM, cached-twiddle simd FFT,
+// row-parallel LU) must be *bitwise* equal to the serial scalar reference
+// path — not tolerance-close. ctest re-runs this suite with EXA_THREADS
+// pinned to 1/4/16 (see tests/CMakeLists.txt), which is what turns the
+// memcmp checks below into cross-thread-count bit-identity regressions.
+
+namespace exa::ml {
+namespace {
+
+template <typename T>
+std::vector<T> random_matrix(std::size_t count, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<T> out(count);
+  for (auto& x : out) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+std::vector<zcomplex> random_zmatrix(std::size_t count, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<zcomplex> out(count);
+  for (auto& x : out) x = zcomplex(rng.uniform(-1.0, 1.0),
+                                   rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+template <typename T>
+void expect_bitwise(const std::vector<T>& kernel,
+                    const std::vector<T>& reference, const char* what) {
+  ASSERT_EQ(kernel.size(), reference.size());
+  EXPECT_EQ(std::memcmp(kernel.data(), reference.data(),
+                        kernel.size() * sizeof(T)),
+            0)
+      << what << " diverged bitwise from the scalar reference";
+}
+
+TEST(KernelDeterminism, DgemmMatchesReferenceBitwise) {
+  // Sizes straddle the MR=4/NR=32 tile edges (ragged rows and columns).
+  for (const auto [m, n, k] : {std::array<std::size_t, 3>{96, 96, 96},
+                               {130, 67, 75},
+                               {17, 200, 33}}) {
+    const auto a = random_matrix<double>(m * k, 0xD0 + m);
+    const auto b = random_matrix<double>(k * n, 0xD1 + n);
+    auto c1 = random_matrix<double>(m * n, 0xD2 + k);
+    auto c2 = c1;
+    gemm<double>(a, b, c1, m, n, k, 1.25, 0.5);
+    gemm_reference<double>(a, b, c2, m, n, k, 1.25, 0.5);
+    expect_bitwise(c1, c2, "dgemm");
+  }
+}
+
+TEST(KernelDeterminism, SgemmMatchesReferenceBitwise) {
+  const std::size_t m = 100, n = 90, k = 110;
+  const auto a = random_matrix<float>(m * k, 0x51);
+  const auto b = random_matrix<float>(k * n, 0x52);
+  auto c1 = random_matrix<float>(m * n, 0x53);
+  auto c2 = c1;
+  gemm<float>(a, b, c1, m, n, k, 0.75f, 1.0f);
+  gemm_reference<float>(a, b, c2, m, n, k, 0.75f, 1.0f);
+  expect_bitwise(c1, c2, "sgemm");
+}
+
+TEST(KernelDeterminism, ZgemmMatchesReferenceBitwise) {
+  const std::size_t m = 80, n = 70, k = 90;
+  const auto a = random_zmatrix(m * k, 0xC0);
+  const auto b = random_zmatrix(k * n, 0xC1);
+  auto c1 = random_zmatrix(m * n, 0xC2);
+  auto c2 = c1;
+  const zcomplex alpha(1.5, -0.25);
+  const zcomplex beta(0.5, 0.125);
+  gemm<zcomplex>(a, b, c1, m, n, k, alpha, beta);
+  gemm_reference<zcomplex>(a, b, c2, m, n, k, alpha, beta);
+  expect_bitwise(c1, c2, "zgemm");
+}
+
+TEST(KernelDeterminism, FftMatchesReferenceBitwise) {
+  for (const std::size_t n : {2u, 8u, 64u, 1024u, 4096u}) {
+    auto x1 = random_zmatrix(n, 0xF0 + n);
+    auto x2 = x1;
+    fft(x1, /*inverse=*/false);
+    fft_reference(x2, /*inverse=*/false);
+    expect_bitwise(x1, x2, "fft(forward)");
+    fft(x1, /*inverse=*/true);
+    fft_reference(x2, /*inverse=*/true);
+    expect_bitwise(x1, x2, "fft(inverse)");
+  }
+}
+
+TEST(KernelDeterminism, FftBatchMatchesReferencePerLine) {
+  const std::size_t n = 256, count = 40;
+  auto batch = random_zmatrix(n * count, 0xFB);
+  auto lines = batch;
+  fft_batch(batch, n, count);
+  for (std::size_t line = 0; line < count; ++line) {
+    fft_reference(std::span<zcomplex>(lines).subspan(line * n, n));
+  }
+  expect_bitwise(batch, lines, "fft_batch");
+}
+
+TEST(KernelDeterminism, DgetrfMatchesReferenceBitwise) {
+  // 200 crosses the kParallelRows=128 dispatch threshold, so early
+  // columns take the pool path and late columns the serial path.
+  for (const std::size_t n : {48u, 200u}) {
+    auto a1 = random_matrix<double>(n * n, 0x10 + n);
+    auto a2 = a1;
+    std::vector<int> p1(n);
+    std::vector<int> p2(n);
+    const int info1 = dgetrf(a1, n, p1);
+    const int info2 = getrf_reference(a2, n, p2);
+    EXPECT_EQ(info1, info2);
+    EXPECT_EQ(p1, p2);
+    expect_bitwise(a1, a2, "dgetrf");
+  }
+}
+
+}  // namespace
+}  // namespace exa::ml

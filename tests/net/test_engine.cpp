@@ -1,0 +1,179 @@
+#include "net/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exa::net {
+namespace {
+
+Fabric engine_fabric(bool congestion, bool faults) {
+  FabricConfig config;
+  config.congestion = congestion;
+  if (faults) {
+    config.faults.drop_probability = 0.05;
+    config.faults.straggler_fraction = 0.1;
+    config.faults.straggler_slowdown = 1.7;
+    config.faults.degraded_link_fraction = 0.1;
+  }
+  return Fabric(arch::machines::frontier(), 8, config);
+}
+
+/// A deterministic mixed workload: jittered compute, a shifting ring of
+/// sends/recvs (several distances, so channels criss-cross shards), and a
+/// few long-range hops to stress FIFO clamping under retries.
+std::vector<std::vector<RankOp>> ring_programs(int ranks, int rounds,
+                                               std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<std::vector<RankOp>> programs(
+      static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    auto& prog = programs[static_cast<std::size_t>(r)];
+    for (int round = 0; round < rounds; ++round) {
+      const int shift = 1 + (round % 5) * 3;
+      const int dst = (r + shift) % ranks;
+      const int src = (r - shift % ranks + ranks) % ranks;
+      prog.push_back(RankOp::compute(1.0e-6 * (1.0 + 0.2 * rng.uniform())));
+      prog.push_back(
+          RankOp::send(dst, 1024.0 * (1 + round % 7), /*tag=*/round));
+      prog.push_back(RankOp::recv(src, /*tag=*/round));
+    }
+  }
+  return programs;
+}
+
+void expect_same(const EngineResult& serial, const EngineResult& parallel) {
+  ASSERT_TRUE(serial.same_outcome(parallel))
+      << "parallel engine diverged: clock_sum serial=" << serial.clock_sum()
+      << " parallel=" << parallel.clock_sum()
+      << " events serial=" << serial.events
+      << " parallel=" << parallel.events;
+}
+
+TEST(EventEngine, ParallelMatchesSerialAnalytic) {
+  Fabric fabric = engine_fabric(false, false);
+  EventEngine engine(fabric, ring_programs(96, 6, 0xE1));
+  const EngineResult serial = engine.run_serial();
+  const EngineResult parallel = engine.run_parallel();
+  expect_same(serial, parallel);
+  EXPECT_EQ(serial.events, 96u * 6u * 3u);
+  EXPECT_GT(parallel.windows, 0);
+}
+
+TEST(EventEngine, ParallelMatchesSerialCongested) {
+  Fabric fabric = engine_fabric(true, false);
+  EventEngine engine(fabric, ring_programs(128, 5, 0xE2));
+  expect_same(engine.run_serial(), engine.run_parallel());
+}
+
+TEST(EventEngine, ParallelMatchesSerialWithFaults) {
+  Fabric fabric = engine_fabric(true, true);
+  EventEngine engine(fabric, ring_programs(128, 5, 0xE3));
+  const EngineResult serial = engine.run_serial();
+  const EngineResult parallel = engine.run_parallel();
+  expect_same(serial, parallel);
+  // The drop layer must actually be firing for this test to mean much.
+  EXPECT_GT(serial.total_retries(), 0);
+}
+
+TEST(EventEngine, ExplicitPoolSizesAgree) {
+  Fabric fabric = engine_fabric(true, true);
+  EventEngine engine(fabric, ring_programs(96, 4, 0xE4));
+  const EngineResult serial = engine.run_serial();
+  for (const std::size_t threads : {1u, 4u, 16u}) {
+    support::ThreadPool pool(threads);
+    const EngineResult parallel = engine.run_parallel(&pool);
+    expect_same(serial, parallel);
+  }
+}
+
+TEST(EventEngine, RunsAreRepeatable) {
+  Fabric fabric = engine_fabric(true, true);
+  EventEngine engine(fabric, ring_programs(64, 4, 0xE5));
+  const EngineResult first = engine.run_parallel();
+  const EngineResult second = engine.run_parallel();
+  expect_same(first, second);
+}
+
+TEST(EventEngine, FifoChannelOrderPreserved) {
+  Fabric fabric = engine_fabric(true, true);
+  // One sender hammers one receiver on a single tag: deliveries must be
+  // nondecreasing (a retried message delays the channel, it is never
+  // overtaken), and the k-th recv must match the k-th send.
+  std::vector<std::vector<RankOp>> programs(2);
+  for (int i = 0; i < 32; ++i) {
+    programs[0].push_back(RankOp::send(1, 4096.0, /*tag=*/7));
+  }
+  for (int i = 0; i < 32; ++i) {
+    programs[1].push_back(RankOp::recv(0, /*tag=*/7));
+  }
+  EventEngine engine(fabric, std::move(programs));
+  const EngineResult result = engine.run_parallel();
+  ASSERT_EQ(result.messages.size(), 32u);
+  for (std::size_t i = 1; i < result.messages.size(); ++i) {
+    EXPECT_GE(result.messages[i].delivered_s,
+              result.messages[i - 1].delivered_s);
+  }
+  EXPECT_EQ(result.clocks[1], result.messages.back().delivered_s);
+}
+
+TEST(EventEngine, BlockedChainCrossesShardBoundaries) {
+  Fabric fabric = engine_fabric(true, false);
+  // A strict dependency chain 0 -> 1 -> ... -> n-1: every rank past 0 must
+  // block, and windows must keep waking exactly one rank at a time.
+  const int n = 64;
+  std::vector<std::vector<RankOp>> programs(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& prog = programs[static_cast<std::size_t>(r)];
+    if (r > 0) prog.push_back(RankOp::recv(r - 1));
+    prog.push_back(RankOp::compute(2.0e-6));
+    if (r + 1 < n) prog.push_back(RankOp::send(r + 1, 8192.0));
+  }
+  EventEngine engine(fabric, std::move(programs));
+  const EngineResult serial = engine.run_serial();
+  const EngineResult parallel = engine.run_parallel();
+  expect_same(serial, parallel);
+  // Chain order: each rank finishes after its predecessor.
+  for (int r = 1; r < n; ++r) {
+    EXPECT_GT(parallel.clocks[static_cast<std::size_t>(r)],
+              parallel.clocks[static_cast<std::size_t>(r - 1)]);
+  }
+}
+
+TEST(EventEngine, DeadlockIsDiagnosed) {
+  Fabric fabric = engine_fabric(false, false);
+  // Rank 1 waits for a message rank 0 never sends.
+  std::vector<std::vector<RankOp>> programs(2);
+  programs[0].push_back(RankOp::compute(1.0e-6));
+  programs[1].push_back(RankOp::recv(0));
+  EventEngine engine(fabric, std::move(programs));
+  EXPECT_THROW((void)engine.run_parallel(), support::Error);
+  EXPECT_THROW((void)engine.run_serial(), support::Error);
+}
+
+TEST(EventEngine, SelfChannelWorks) {
+  Fabric fabric = engine_fabric(true, false);
+  std::vector<std::vector<RankOp>> programs(1);
+  programs[0].push_back(RankOp::send(0, 512.0));
+  programs[0].push_back(RankOp::recv(0));
+  EventEngine engine(fabric, std::move(programs));
+  const EngineResult serial = engine.run_serial();
+  const EngineResult parallel = engine.run_parallel();
+  expect_same(serial, parallel);
+  EXPECT_EQ(serial.messages.size(), 1u);
+}
+
+TEST(EventEngine, LookaheadIsPositiveOnRealMachines) {
+  Fabric fabric = engine_fabric(false, false);
+  EventEngine engine(fabric, ring_programs(4, 1, 0xE6));
+  EXPECT_GT(engine.lookahead_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace exa::net

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/machine.hpp"
+#include "net/engine.hpp"
 #include "net/fabric.hpp"
 #include "qa/property.hpp"
 
@@ -72,6 +73,48 @@ EXA_PROPERTY(FabricProps, QuietFabricMatchesCommModel) {
   const int faces = static_cast<int>(g.size(1, 6));
   check("halo", model.halo_exchange(bytes, faces),
         fabric.halo_exchange(bytes, faces));
+}
+
+/// The 1e-9 analytic-equivalence gate extended to the event engine: with
+/// congestion and faults off, every message the engine records must cost
+/// exactly the p2p closed form (delivered - posted == fabric.p2p(bytes),
+/// itself pinned to the CommModel by the property above), and the
+/// conservative-lookahead parallel engine must be bitwise identical to
+/// the serial event loop on the same random machine and program.
+EXA_PROPERTY(FabricProps, QuietEngineMatchesClosedFormAndSerial) {
+  const arch::Machine machine = gen_machine(g);
+  const int rpn = static_cast<int>(g.size(1, 4));
+  net::FabricConfig config;  // quiet: no congestion, no faults
+  net::Fabric fabric(machine, rpn, config);
+
+  const int max_ranks = std::min(fabric.total_ranks(), 32);
+  if (max_ranks < 2) return;
+  const int ranks =
+      static_cast<int>(g.size(2, static_cast<std::size_t>(max_ranks)));
+  std::vector<std::vector<net::RankOp>> programs(
+      static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    auto& prog = programs[static_cast<std::size_t>(r)];
+    prog.push_back(net::RankOp::compute(g.uniform(0.0, 1.0e-5)));
+    prog.push_back(net::RankOp::send((r + 1) % ranks, gen_bytes(g)));
+    prog.push_back(net::RankOp::recv((r - 1 + ranks) % ranks));
+  }
+  net::EventEngine engine(fabric, std::move(programs));
+  const net::EngineResult serial = engine.run_serial();
+  const net::EngineResult parallel = engine.run_parallel();
+  require(serial.same_outcome(parallel),
+          "parallel engine diverged from serial on a random quiet machine");
+
+  for (const net::MessageRecord& msg : serial.messages) {
+    const double want = fabric.p2p(msg.bytes);
+    const double got = msg.delivered_s - msg.posted_s;
+    const double scale = std::max(std::abs(want), 1e-300);
+    require(std::abs(got - want) / scale <= 1e-9,
+            "engine message cost drifted from the p2p closed form: want=" +
+                std::to_string(want) + " got=" + std::to_string(got) +
+                " bytes=" + std::to_string(msg.bytes));
+    require(msg.retries == 0, "quiet fabric charged a retry");
+  }
 }
 
 EXA_PROPERTY(FabricProps, RetriedMessagesPreserveChannelOrder) {
