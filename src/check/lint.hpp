@@ -1,27 +1,54 @@
 #pragma once
 /// \file lint.hpp
-/// exa-lint — static HIP API-misuse pass over C++ sources.
+/// exa-lint — multi-pass static analysis over the repo's C++ sources.
 ///
 /// The paper's ports accumulated exactly the textual bug classes this pass
 /// flags: hipify remnants (deprecated CUDA-era spellings), unchecked hip*
 /// return values, raw hipMalloc/hipFree pairs bypassing the pooled view
-/// layer, and blocking calls buried inside parallel_for bodies. The
-/// scanner is a lightweight tokenizer — comments and string literals are
-/// masked out, identifiers are matched at word boundaries — not a real
-/// parser; rules favour low-noise heuristics over completeness.
+/// layer, and — the classes that break bitwise reproducibility — blocking
+/// calls, locks, wall-clock reads, and shared-state writes buried inside
+/// parallel dispatch bodies. The scanner is a lightweight tokenizer
+/// (comments and string literals masked, identifiers matched at word
+/// boundaries, parallel regions delimited by paren/brace tracking) — not a
+/// real parser; rules favour low-noise heuristics over completeness.
 ///
 /// Rule catalogue (ids are stable):
-///   unchecked-hip-call   statement-position hip*/cuda* call whose
-///                        hipError_t result is discarded
-///   deprecated-cuda      CUDA-era spelling (hipify mapping table) or a
-///                        triple-chevron launch
-///   raw-device-alloc     direct hipMalloc/hipMallocManaged/hipFree —
-///                        prefer pfw::create_device_view / pool allocation
-///   blocking-in-parallel blocking hipMemcpy/hipDeviceSynchronize inside a
-///                        parallel_for/parallel_reduce body
+///   unchecked-hip-call        statement-position hip*/cuda* call whose
+///                             hipError_t result is discarded
+///   deprecated-cuda           CUDA-era spelling (hipify mapping table,
+///                             injected via set_cuda_mappings) or a
+///                             triple-chevron launch
+///   raw-device-alloc          direct hipMalloc/hipMallocManaged/hipFree —
+///                             prefer pfw::create_device_view / pooling
+///   blocking-in-parallel      blocking HIP call or blocking file I/O
+///                             inside a parallel_for/parallel_reduce/
+///                             for_chunks lambda body
+///   nondeterminism-in-parallel  rand/srand/time/clock/random_device
+///                             inside a parallel lambda body — breaks the
+///                             bitwise-reproducibility contract
+///   lock-in-parallel          mutex/lock acquisition inside a parallel
+///                             lambda body — serializes and reorders
+///   shared-write-in-parallel  plain write to a captured-by-reference
+///                             name inside a [&] parallel lambda body
+///                             (subscripted per-index writes are fine)
+///   unordered-in-reduction    unordered_{map,set} mentioned inside a
+///                             parallel_reduce body — iteration order
+///                             feeds the reduction
+///   fp-contract-in-mathlib    std::fma / FP_CONTRACT ON / fast-math
+///                             pragma in src/mathlib (bitwise-reference
+///                             contract: -ffp-contract=off, no FMA)
+///
+/// Layering rules (emitted by the include-graph pass, see
+/// check/lint2/layering.hpp):
+///   layer-upward-include      #include reaching a layer of equal or
+///                             higher rank in the manifest
+///   layer-cycle               cycle in the directory-level include graph
+///   layer-private-include     #include of a non-public header (manifest
+///                             `private` patterns) from another layer
 ///
 /// Suppression: `// exa-lint: allow(<rule>[, <rule>...])` on the same line
-/// or the line directly above the finding.
+/// or the line directly above the finding. Machine-wide suppressions live
+/// in the baseline file (check/lint2/report.hpp).
 
 #include <string>
 #include <string_view>
@@ -44,10 +71,27 @@ struct Report {
   int suppressed = 0;             ///< findings silenced by allow() comments
 };
 
-/// All rule ids, in catalogue order.
+/// All rule ids (content rules then layering rules), in catalogue order.
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
-/// Lints one translation unit. `disabled` rules are skipped entirely.
+/// One CUDA-era identifier spelling and its HIP replacement. The table is
+/// injected from above (tools/exa_lint.cpp reads hip::hipify::api_table())
+/// so that the lint library never includes upward into src/hip — the
+/// layering pass itself enforces this.
+struct CudaMapping {
+  std::string cuda;
+  std::string hip;
+  bool deprecated = false;
+};
+
+/// Replaces the deprecated-cuda mapping table (default: empty — only the
+/// triple-chevron launch heuristic fires).
+void set_cuda_mappings(std::vector<CudaMapping> mappings);
+[[nodiscard]] const std::vector<CudaMapping>& cuda_mappings();
+
+/// Lints one translation unit. `disabled` rules are skipped entirely. The
+/// fp-contract-in-mathlib rule arms itself only when `filename` contains a
+/// "mathlib" path component.
 [[nodiscard]] Report lint_source(std::string_view source,
                                  const std::string& filename,
                                  const std::vector<std::string>& disabled = {});

@@ -1,0 +1,242 @@
+#include "check/lint2/layering.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "check/lint2/tokenize.hpp"
+
+namespace exa::check::lint {
+
+namespace {
+
+constexpr std::string_view kUpward = "layer-upward-include";
+constexpr std::string_view kCycle = "layer-cycle";
+constexpr std::string_view kPrivate = "layer-private-include";
+
+[[nodiscard]] std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+[[nodiscard]] std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+/// First path component of `p` ("net/fabric.hpp" -> "net"); empty when the
+/// path has no directory part.
+[[nodiscard]] std::string first_component(std::string_view p) {
+  const std::size_t slash = p.find('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(p.substr(0, slash));
+}
+
+struct Include {
+  std::string path;  ///< quoted include target, as written
+  int line = 0;
+};
+
+/// Quoted includes of one file: located in the *masked* code (so
+/// commented-out includes are ignored) with the path read back from the
+/// raw source, which masking keeps offset-identical.
+[[nodiscard]] std::vector<Include> quoted_includes(std::string_view raw,
+                                                   std::string_view masked) {
+  std::vector<Include> out;
+  std::size_t pos = 0;
+  while ((pos = masked.find("#include", pos)) != std::string_view::npos) {
+    std::size_t i = pos + 8;
+    while (i < raw.size() &&
+           (raw[i] == ' ' || raw[i] == '\t')) {
+      ++i;
+    }
+    if (i < raw.size() && raw[i] == '"') {
+      const std::size_t close = raw.find('"', i + 1);
+      if (close != std::string_view::npos) {
+        out.push_back(Include{normalize(std::string(
+                                  raw.substr(i + 1, close - i - 1))),
+                              line_of(masked, pos)});
+      }
+    }
+    pos += 8;
+  }
+  return out;
+}
+
+}  // namespace
+
+LayerManifest parse_layer_manifest(std::string_view text) {
+  LayerManifest m;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "layer") {
+      int rank = -1;
+      std::string dir;
+      fields >> rank >> dir;
+      if (fields.fail() || dir.empty() || rank < 0) {
+        m.error = "line " + std::to_string(lineno) +
+                  ": expected 'layer <rank> <dir>'";
+        return m;
+      }
+      if (m.rank.count(dir) != 0) {
+        m.error = "line " + std::to_string(lineno) + ": duplicate layer '" +
+                  dir + "'";
+        return m;
+      }
+      m.rank[dir] = rank;
+    } else if (directive == "private") {
+      std::string pat;
+      fields >> pat;
+      if (pat.empty()) {
+        m.error = "line " + std::to_string(lineno) +
+                  ": expected 'private <substring>'";
+        return m;
+      }
+      m.private_patterns.push_back(pat);
+    } else {
+      m.error = "line " + std::to_string(lineno) + ": unknown directive '" +
+                directive + "'";
+      return m;
+    }
+  }
+  return m;
+}
+
+Report check_layering(const LayerManifest& manifest,
+                      const std::vector<SourceFile>& files,
+                      const std::string& layer_root) {
+  Report report;
+  const std::string root = normalize(layer_root);
+  // dir -> set of dirs it includes, for the cycle scan.
+  std::map<std::string, std::set<std::string>> graph;
+
+  for (const SourceFile& file : files) {
+    const std::string path = normalize(file.path);
+    std::string own;  // ranked layer of this file; empty = unranked
+    const std::string prefix = root.empty() ? root : root + "/";
+    if (!prefix.empty() && path.rfind(prefix, 0) == 0) {
+      own = first_component(path.substr(prefix.size()));
+    }
+    if (manifest.rank.count(own) == 0) own.clear();
+
+    const MaskedSource masked = mask(file.content);
+    const auto suppressed = [&](std::string_view rule, int line) {
+      for (const int l : {line, line - 1}) {
+        const auto it = masked.suppressions.find(l);
+        if (it != masked.suppressions.end() &&
+            it->second.count(std::string(rule)) != 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto add = [&](std::string_view rule, int line,
+                         std::string message) {
+      if (suppressed(rule, line)) {
+        ++report.suppressed;
+        return;
+      }
+      report.findings.push_back(
+          Finding{std::string(rule), file.path, line, std::move(message)});
+    };
+
+    for (const Include& inc : quoted_includes(file.content, masked.code)) {
+      const std::string target = first_component(inc.path);
+      const bool target_ranked =
+          !target.empty() && manifest.rank.count(target) != 0;
+      if (!own.empty() && target_ranked && target != own) {
+        graph[own].insert(target);
+        const int own_rank = manifest.rank.at(own);
+        const int target_rank = manifest.rank.at(target);
+        if (target_rank >= own_rank) {
+          add(kUpward, inc.line,
+              "layer '" + own + "' (rank " + std::to_string(own_rank) +
+                  ") includes \"" + inc.path + "\" from layer '" + target +
+                  "' (rank " + std::to_string(target_rank) +
+                  "); layers link only downward (docs/ARCHITECTURE.md)");
+        }
+      }
+      for (const std::string& pat : manifest.private_patterns) {
+        if (inc.path.find(pat) != std::string::npos &&
+            (own.empty() || target != own)) {
+          add(kPrivate, inc.line,
+              "\"" + inc.path + "\" is a non-public header (manifest "
+              "'private " + pat + "'); reach into the layer's public "
+              "interface instead");
+        }
+      }
+    }
+  }
+
+  // Directory-level cycle scan (iterative DFS with an explicit path so the
+  // reported chain reads a -> b -> a). Each cycle is reported once, keyed
+  // by its sorted member set.
+  std::set<std::set<std::string>> reported;
+  for (const auto& [start, _] : graph) {
+    std::vector<std::string> path{start};
+    std::set<std::string> on_path{start};
+    // Depth-first walk over out-edges with per-frame iterators.
+    struct Frame {
+      std::set<std::string>::const_iterator it, end;
+    };
+    std::vector<Frame> stack;
+    const auto& edges = graph.at(start);
+    stack.push_back({edges.begin(), edges.end()});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.it == top.end) {
+        on_path.erase(path.back());
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = *top.it++;
+      if (on_path.count(next) != 0) {
+        // Found a cycle: path from first occurrence of `next` to here.
+        const auto first =
+            std::find(path.begin(), path.end(), next);
+        std::set<std::string> members(first, path.end());
+        if (reported.insert(members).second) {
+          std::string chain;
+          for (auto it = first; it != path.end(); ++it) chain += *it + " -> ";
+          chain += next;
+          report.findings.push_back(Finding{
+              std::string(kCycle), "(layering)", 0,
+              "include cycle between layers: " + chain});
+        }
+        continue;
+      }
+      if (graph.count(next) == 0) continue;
+      path.push_back(next);
+      on_path.insert(next);
+      const auto& out = graph.at(next);
+      stack.push_back({out.begin(), out.end()});
+    }
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+}  // namespace exa::check::lint

@@ -1,0 +1,55 @@
+#pragma once
+/// \file layering.hpp
+/// Whole-tree layering conformance: the `#include` graph of src/ checked
+/// against the machine-readable layer manifest (docs/layers.manifest, the
+/// enforced form of the docs/ARCHITECTURE.md "layers link only downward"
+/// rule).
+///
+/// Manifest grammar (line oriented, `#` comments):
+///   layer <rank> <dir>      directory under the layer root, lower rank =
+///                           lower layer; a file may include only layers
+///                           of strictly lower rank (or its own dir)
+///   private <substring>     headers whose include path contains the
+///                           substring are non-public: including one from
+///                           a different directory is a reach-in
+///
+/// Findings use the layer-upward-include / layer-cycle /
+/// layer-private-include rule ids (see check/lint.hpp). Suppression via
+/// `// exa-lint: allow(...)` works as for content rules; machine-wide
+/// waivers belong in the baseline file.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/lint.hpp"
+
+namespace exa::check::lint {
+
+struct LayerManifest {
+  std::map<std::string, int> rank;            ///< dir -> rank
+  std::vector<std::string> private_patterns;  ///< non-public header marks
+  std::string error;  ///< parse diagnostic; empty on success
+};
+
+/// Parses the manifest text; on malformed input `error` is set and the
+/// partial tables must not be used.
+[[nodiscard]] LayerManifest parse_layer_manifest(std::string_view text);
+
+/// One source file handed to the layering pass.
+struct SourceFile {
+  std::string path;     ///< as reported in findings
+  std::string content;  ///< raw source text
+};
+
+/// Checks every `#include "..."` in `files` against the manifest. A file's
+/// own layer is the first path component after `layer_root` (files outside
+/// the root, e.g. bench/ or tools/, are unranked: they may include any
+/// layer but still may not reach into private headers). Also reports any
+/// cycle in the directory-level include graph.
+[[nodiscard]] Report check_layering(const LayerManifest& manifest,
+                                    const std::vector<SourceFile>& files,
+                                    const std::string& layer_root);
+
+}  // namespace exa::check::lint

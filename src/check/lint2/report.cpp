@@ -1,0 +1,429 @@
+#include "check/lint2/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace exa::check::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+Baseline parse_baseline(std::string_view text) {
+  Baseline b;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int lineno = 0;
+  std::string pending_comment;  // justification from the line(s) above
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty()) {
+      pending_comment.clear();
+      continue;
+    }
+    if (line[0] == '#') {
+      pending_comment = trim(line.substr(1));
+      continue;
+    }
+    const std::size_t hash = line.find('#');
+    const std::string entry_part =
+        trim(hash == std::string::npos ? line : line.substr(0, hash));
+    const std::string inline_comment =
+        hash == std::string::npos ? std::string()
+                                  : trim(line.substr(hash + 1));
+    std::istringstream fields(entry_part);
+    std::string rule;
+    std::string path;
+    fields >> rule >> path;
+    std::string extra;
+    if (rule.empty() || path.empty() || (fields >> extra)) {
+      b.error = "line " + std::to_string(lineno) +
+                ": expected '<rule> <path-suffix>  # justification'";
+      return b;
+    }
+    const std::string why =
+        !inline_comment.empty() ? inline_comment : pending_comment;
+    if (why.empty()) {
+      b.error = "line " + std::to_string(lineno) + ": baseline entry '" +
+                rule + " " + path +
+                "' has no justification comment (add '# why' inline or on "
+                "the line above)";
+      return b;
+    }
+    b.entries.push_back(BaselineEntry{rule, path, why});
+    pending_comment.clear();
+  }
+  return b;
+}
+
+int apply_baseline(Report& report, const Baseline& baseline,
+                   std::vector<bool>* used) {
+  if (used != nullptr) used->assign(baseline.entries.size(), false);
+  int matched = 0;
+  auto& findings = report.findings;
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       for (std::size_t i = 0;
+                            i < baseline.entries.size(); ++i) {
+                         const BaselineEntry& e = baseline.entries[i];
+                         if (e.rule == f.rule &&
+                             ends_with(f.file, e.path_suffix)) {
+                           if (used != nullptr) (*used)[i] = true;
+                           ++matched;
+                           return true;
+                         }
+                       }
+                       return false;
+                     }),
+      findings.end());
+  report.suppressed += matched;
+  return matched;
+}
+
+std::string to_text(const Report& report) {
+  std::string out;
+  for (const Finding& f : report.findings) out += f.format() + "\n";
+  return out;
+}
+
+std::string to_json(const Report& report) {
+  std::string out = "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": \"" + json_escape(f.rule) + "\", \"file\": \"" +
+           json_escape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"suppressed\": " + std::to_string(report.suppressed) + "\n}\n";
+  return out;
+}
+
+std::string to_sarif(const Report& report) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"exa-lint\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(id) + "\"}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const Finding& f : report.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"warning\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " +
+           std::to_string(std::max(1, f.line)) + "}}}]}";
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+// --- minimal JSON parser (for the SARIF shape validator) -----------------
+
+namespace {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  JsonArray array;
+  JsonObject object;
+};
+
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    auto v = std::make_shared<JsonValue>();
+    if (!ok || pos >= text.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = text[pos];
+    if (c == '{') {
+      v->kind = JsonValue::Kind::kObject;
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return v;
+      }
+      while (ok) {
+        skip_ws();
+        const std::string key = parse_string_body();
+        if (!ok || !consume(':')) break;
+        v->object[key] = parse_value();
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        consume('}');
+        break;
+      }
+    } else if (c == '[') {
+      v->kind = JsonValue::Kind::kArray;
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return v;
+      }
+      while (ok) {
+        v->array.push_back(parse_value());
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        consume(']');
+        break;
+      }
+    } else if (c == '"') {
+      v->kind = JsonValue::Kind::kString;
+      v->string = parse_string_body();
+    } else if (c == 't' || c == 'f') {
+      v->kind = JsonValue::Kind::kBool;
+      const std::string_view word = c == 't' ? "true" : "false";
+      if (text.substr(pos, word.size()) == word) {
+        v->boolean = c == 't';
+        pos += word.size();
+      } else {
+        ok = false;
+      }
+    } else if (c == 'n') {
+      if (text.substr(pos, 4) == "null") {
+        pos += 4;
+      } else {
+        ok = false;
+      }
+    } else {
+      v->kind = JsonValue::Kind::kNumber;
+      std::size_t end = pos;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+              text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+              text[end] == 'e' || text[end] == 'E')) {
+        ++end;
+      }
+      if (end == pos) {
+        ok = false;
+      } else {
+        v->number = std::stod(std::string(text.substr(pos, end - pos)));
+        pos = end;
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string_body() {
+    skip_ws();
+    std::string out;
+    if (pos >= text.size() || text[pos] != '"') {
+      ok = false;
+      return out;
+    }
+    ++pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        const char e = text[pos + 1];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': out += '?'; pos += 4; break;  // shape check only
+          default: out += e;
+        }
+        pos += 2;
+      } else {
+        out += text[pos++];
+      }
+    }
+    if (pos >= text.size()) {
+      ok = false;
+    } else {
+      ++pos;
+    }
+    return out;
+  }
+};
+
+[[nodiscard]] const JsonValue* get(const JsonValue& v, const std::string& k) {
+  if (v.kind != JsonValue::Kind::kObject) return nullptr;
+  const auto it = v.object.find(k);
+  return it == v.object.end() ? nullptr : it->second.get();
+}
+
+bool fail(std::string* why, const std::string& what) {
+  if (why != nullptr) *why = what;
+  return false;
+}
+
+}  // namespace
+
+bool sarif_has_minimal_shape(std::string_view sarif_text, std::string* why) {
+  JsonParser parser{sarif_text};
+  const auto root = parser.parse_value();
+  parser.skip_ws();
+  if (!parser.ok || parser.pos != parser.text.size()) {
+    return fail(why, "not well-formed JSON");
+  }
+  const JsonValue* version = get(*root, "version");
+  if (version == nullptr || version->string != "2.1.0") {
+    return fail(why, "missing \"version\": \"2.1.0\"");
+  }
+  const JsonValue* runs = get(*root, "runs");
+  if (runs == nullptr || runs->kind != JsonValue::Kind::kArray ||
+      runs->array.empty()) {
+    return fail(why, "missing non-empty \"runs\" array");
+  }
+  for (const auto& run : runs->array) {
+    const JsonValue* tool = get(*run, "tool");
+    const JsonValue* driver = tool != nullptr ? get(*tool, "driver") : nullptr;
+    const JsonValue* name = driver != nullptr ? get(*driver, "name") : nullptr;
+    if (name == nullptr || name->string.empty()) {
+      return fail(why, "run missing tool.driver.name");
+    }
+    const JsonValue* results = get(*run, "results");
+    if (results == nullptr || results->kind != JsonValue::Kind::kArray) {
+      return fail(why, "run missing \"results\" array");
+    }
+    for (const auto& result : results->array) {
+      const JsonValue* rule_id = get(*result, "ruleId");
+      if (rule_id == nullptr || rule_id->string.empty()) {
+        return fail(why, "result missing ruleId");
+      }
+      const JsonValue* message = get(*result, "message");
+      const JsonValue* msg_text =
+          message != nullptr ? get(*message, "text") : nullptr;
+      if (msg_text == nullptr) {
+        return fail(why, "result missing message.text");
+      }
+      const JsonValue* locations = get(*result, "locations");
+      if (locations == nullptr ||
+          locations->kind != JsonValue::Kind::kArray ||
+          locations->array.empty()) {
+        return fail(why, "result missing locations");
+      }
+      const JsonValue* phys =
+          get(*locations->array.front(), "physicalLocation");
+      const JsonValue* artifact =
+          phys != nullptr ? get(*phys, "artifactLocation") : nullptr;
+      const JsonValue* uri =
+          artifact != nullptr ? get(*artifact, "uri") : nullptr;
+      if (uri == nullptr || uri->string.empty()) {
+        return fail(why, "result missing physicalLocation.artifactLocation"
+                         ".uri");
+      }
+      const JsonValue* region = phys != nullptr ? get(*phys, "region")
+                                                : nullptr;
+      const JsonValue* start =
+          region != nullptr ? get(*region, "startLine") : nullptr;
+      if (start == nullptr || start->kind != JsonValue::Kind::kNumber ||
+          start->number < 1.0) {
+        return fail(why, "result missing region.startLine >= 1");
+      }
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace exa::check::lint

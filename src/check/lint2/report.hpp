@@ -1,0 +1,62 @@
+#pragma once
+/// \file report.hpp
+/// Reporting infrastructure for exa-lint: text/JSON/SARIF emitters, the
+/// checked-in baseline-suppression file, and a minimal-shape validator
+/// for the emitted SARIF (what the `lint_sarif_shape` ctest runs).
+///
+/// Baseline grammar (line oriented):
+///   # <free text>                        comment / justification
+///   <rule> <path-suffix>  # <why>        one machine-wide suppression
+///
+/// Every entry MUST carry a justification — either inline after `#` or on
+/// a comment line directly above; an unexplained entry is a parse error
+/// (exit 2 in the CLI), which is how "zero unexplained baseline
+/// suppressions" is enforced mechanically. An entry matches a finding
+/// when the rule is equal and the finding's path ends with the entry's
+/// path suffix.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/lint.hpp"
+
+namespace exa::check::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string justification;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::string error;  ///< parse diagnostic; empty on success
+};
+
+[[nodiscard]] Baseline parse_baseline(std::string_view text);
+
+/// Removes findings matched by the baseline from `report`; returns how
+/// many findings were suppressed (also added to report.suppressed). When
+/// `used` is non-null it receives one flag per baseline entry telling
+/// whether that entry matched anything in this run.
+int apply_baseline(Report& report, const Baseline& baseline,
+                   std::vector<bool>* used = nullptr);
+
+/// One "file:line: exa-lint[rule] message" line per finding.
+[[nodiscard]] std::string to_text(const Report& report);
+
+/// {"findings": [...], "suppressed": N} — stable key order.
+[[nodiscard]] std::string to_json(const Report& report);
+
+/// SARIF 2.1.0 with the minimal required shape: version, one run, a tool
+/// driver with the rule catalogue, and one result per finding carrying
+/// ruleId, message.text, and a physicalLocation (uri + startLine).
+[[nodiscard]] std::string to_sarif(const Report& report);
+
+/// Validates `sarif_text` against the minimal shape to_sarif() promises.
+/// On failure returns false and sets `why` (when non-null).
+[[nodiscard]] bool sarif_has_minimal_shape(std::string_view sarif_text,
+                                           std::string* why = nullptr);
+
+}  // namespace exa::check::lint

@@ -1,0 +1,513 @@
+/// \file rules.cpp
+/// Content rules of the exa-lint pass: the HIP porting-hygiene rules the
+/// original single-file lint shipped, plus the region-local determinism
+/// rules (DESIGN.md §14). Layering lives in layering.cpp; output formats
+/// and the baseline in report.cpp.
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+#include <utility>
+
+#include "check/lint.hpp"
+#include "check/lint2/tokenize.hpp"
+
+namespace exa::check::lint {
+
+namespace {
+
+constexpr std::string_view kUncheckedCall = "unchecked-hip-call";
+constexpr std::string_view kDeprecatedCuda = "deprecated-cuda";
+constexpr std::string_view kRawAlloc = "raw-device-alloc";
+constexpr std::string_view kBlockingInParallel = "blocking-in-parallel";
+constexpr std::string_view kNondetInParallel = "nondeterminism-in-parallel";
+constexpr std::string_view kLockInParallel = "lock-in-parallel";
+constexpr std::string_view kSharedWrite = "shared-write-in-parallel";
+constexpr std::string_view kUnorderedInReduction = "unordered-in-reduction";
+constexpr std::string_view kFpContract = "fp-contract-in-mathlib";
+
+/// hip* functions whose return value carries no error status (or none at
+/// all) — discarding it is fine.
+constexpr std::array<std::string_view, 6> kNoErrorReturn = {
+    "hipGetErrorString", "hipLastLaunchTiming", "hipHostTimeSec",
+    "hipHostBusy",       "hipCheckEnableEXA",   "hipCheckDisableEXA",
+};
+
+constexpr std::array<std::string_view, 3> kRawAllocCalls = {
+    "hipMalloc", "hipMallocManaged", "hipFree"};
+
+/// Blocking calls (device-synchronizing HIP entry points and buffered file
+/// I/O) that serialize a parallel body.
+constexpr std::array<std::string_view, 13> kBlockingCalls = {
+    "hipMemcpy", "hipDeviceSynchronize", "hipStreamSynchronize",
+    "hipEventSynchronize", "fopen", "fclose", "fread", "fwrite",
+    "fprintf", "fscanf", "fflush", "getline", "sleep_for"};
+
+/// Blocking stream types — flagged as bare identifiers (constructing one
+/// inside a parallel body opens a file).
+constexpr std::array<std::string_view, 3> kBlockingTypes = {
+    "ofstream", "ifstream", "fstream"};
+
+/// Wall-clock / PRNG entry points that make a parallel body's result
+/// depend on scheduling.
+constexpr std::array<std::string_view, 7> kNondetCalls = {
+    "rand", "srand", "rand_r", "drand48", "time", "clock", "gettimeofday"};
+
+constexpr std::array<std::string_view, 6> kLockIdents = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock", "mutex",
+    "try_lock"};
+
+constexpr std::array<std::string_view, 4> kUnorderedIdents = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::array<std::string_view, 6> kFmaCalls = {
+    "fma", "fmaf", "fmal", "__builtin_fma", "__builtin_fmaf",
+    "__builtin_fmal"};
+
+/// Type-ish tokens that start a local declaration inside a lambda body.
+constexpr std::array<std::string_view, 20> kTypeKeywords = {
+    "auto",     "double",   "float",    "int",      "unsigned", "signed",
+    "long",     "short",    "bool",     "char",     "size_t",   "ptrdiff_t",
+    "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+    "uint32_t", "uint64_t"};
+
+[[nodiscard]] std::size_t skip_space(std::string_view code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+/// Previous significant character before `i`, or '\0' at start of input.
+[[nodiscard]] char prev_sig(std::string_view code, std::size_t i) {
+  while (i > 0) {
+    const char c = code[i - 1];
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return c;
+    --i;
+  }
+  return '\0';
+}
+
+/// True when the identifier at `pos` is reached through `.` or `->` (a
+/// member access — a different function than the global we are matching).
+[[nodiscard]] bool member_access(std::string_view code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 &&
+         std::isspace(static_cast<unsigned char>(code[i - 1])) != 0) {
+    --i;
+  }
+  if (i == 0) return false;
+  if (code[i - 1] == '.') return true;
+  return i >= 2 && code[i - 1] == '>' && code[i - 2] == '-';
+}
+
+class Linter {
+ public:
+  Linter(std::string_view source, std::string filename,
+         const std::vector<std::string>& disabled)
+      : masked_(mask(source)),
+        code_(masked_.code),
+        file_(std::move(filename)),
+        disabled_(disabled.begin(), disabled.end()) {}
+
+  [[nodiscard]] Report run() {
+    check_unchecked_calls();
+    check_deprecated();
+    check_raw_alloc();
+    check_parallel_regions();
+    check_fp_contract();
+    std::sort(report_.findings.begin(), report_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line < b.line || (a.line == b.line && a.rule < b.rule);
+              });
+    return std::move(report_);
+  }
+
+ private:
+  void add(std::string_view rule, std::size_t offset, std::string message) {
+    if (disabled_.count(std::string(rule)) != 0) return;
+    const int line = line_of(code_, offset);
+    if (!seen_.insert({std::string(rule), line}).second) return;
+    for (const int l : {line, line - 1}) {
+      const auto it = masked_.suppressions.find(l);
+      if (it != masked_.suppressions.end() &&
+          it->second.count(std::string(rule)) != 0) {
+        ++report_.suppressed;
+        return;
+      }
+    }
+    report_.findings.push_back(
+        Finding{std::string(rule), file_, line, std::move(message)});
+  }
+
+  /// An identifier is a *call in statement position* when the previous
+  /// significant character ends a statement/block. `(void)` casts, `=`
+  /// assignments, wrapping calls, and conditions all leave other
+  /// characters behind and count as "checked".
+  [[nodiscard]] bool statement_position(std::size_t ident_begin) const {
+    std::size_t i = ident_begin;
+    while (i > 0) {
+      const char c = code_[i - 1];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        --i;
+        continue;
+      }
+      if (c == ':' && i >= 2 && code_[i - 2] == ':') {
+        // Qualified name (hip::hipFoo): skip "::" and the qualifier, keep
+        // scanning — the statement context is whatever precedes it.
+        i -= 2;
+        while (i > 0 && ident_char(code_[i - 1])) --i;
+        continue;
+      }
+      return c == ';' || c == '{' || c == '}' || c == ':';
+    }
+    return true;  // start of file
+  }
+
+  void check_unchecked_calls() {
+    std::size_t i = 0;
+    while (i < code_.size()) {
+      if (!ident_char(code_[i]) || (i > 0 && ident_char(code_[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < code_.size() && ident_char(code_[end])) ++end;
+      const std::string_view ident = code_.substr(i, end - i);
+      const bool hip_like =
+          (ident.size() > 3 && ident.substr(0, 3) == "hip" &&
+           std::isupper(static_cast<unsigned char>(ident[3])) != 0) ||
+          (ident.size() > 4 && ident.substr(0, 4) == "cuda" &&
+           std::isupper(static_cast<unsigned char>(ident[4])) != 0);
+      if (hip_like &&
+          std::find(kNoErrorReturn.begin(), kNoErrorReturn.end(), ident) ==
+              kNoErrorReturn.end()) {
+        const std::size_t open = skip_space(code_, end);
+        if (open < code_.size() && code_[open] == '(' &&
+            statement_position(i)) {
+          add(kUncheckedCall, i,
+              "return value of " + std::string(ident) +
+                  " is discarded; check it or cast to (void)");
+        }
+      }
+      i = end;
+    }
+  }
+
+  void check_deprecated() {
+    for (const auto& m : cuda_mappings()) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, m.cuda, pos)) !=
+             std::string_view::npos) {
+        add(kDeprecatedCuda, pos,
+            "CUDA-era spelling " + m.cuda + "; the HIP port uses " + m.hip +
+                (m.deprecated ? " (outdated CUDA syntax)" : ""));
+        pos += m.cuda.size();
+      }
+    }
+    std::size_t pos = 0;
+    while ((pos = code_.find("<<<", pos)) != std::string_view::npos) {
+      add(kDeprecatedCuda, pos,
+          "triple-chevron kernel launch; use hipLaunchKernelGGL / "
+          "hipLaunchKernelEXA");
+      pos += 3;
+    }
+  }
+
+  void check_raw_alloc() {
+    for (const std::string_view call : kRawAllocCalls) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, call, pos)) != std::string_view::npos) {
+        add(kRawAlloc, pos,
+            "raw " + std::string(call) +
+                "; prefer pfw::create_device_view (pooled, leak-safe)");
+        pos += call.size();
+      }
+    }
+  }
+
+  /// Finds `ident` inside [begin, end) of the masked code, in call
+  /// position when `call_only`, skipping member accesses.
+  void flag_in_region(const ParallelRegion& region, std::string_view ident,
+                      bool call_only, std::string_view rule,
+                      const std::string& what) {
+    std::size_t pos = region.begin;
+    while (pos < region.end) {
+      pos = find_ident(code_, ident, pos);
+      if (pos == std::string_view::npos || pos >= region.end) return;
+      const std::size_t after = skip_space(code_, pos + ident.size());
+      const bool is_call = after < code_.size() && code_[after] == '(';
+      if ((!call_only || is_call) && !member_access(code_, pos)) {
+        add(rule, pos,
+            what + " inside " + region.entry + " body" +
+                (rule == kBlockingInParallel
+                     ? "; hoist it out or use the async form"
+                     : "; hoist it out of the parallel region"));
+      }
+      pos += ident.size();
+    }
+  }
+
+  void check_parallel_regions() {
+    for (const ParallelRegion& region : find_parallel_regions(code_)) {
+      for (const std::string_view b : kBlockingCalls) {
+        flag_in_region(region, b, /*call_only=*/true, kBlockingInParallel,
+                       "blocking " + std::string(b));
+      }
+      for (const std::string_view t : kBlockingTypes) {
+        flag_in_region(region, t, /*call_only=*/false, kBlockingInParallel,
+                       "blocking file stream " + std::string(t));
+      }
+      for (const std::string_view c : kNondetCalls) {
+        flag_in_region(region, c, /*call_only=*/true, kNondetInParallel,
+                       "nondeterministic " + std::string(c) + "()");
+      }
+      flag_in_region(region, "random_device", /*call_only=*/false,
+                     kNondetInParallel, "nondeterministic random_device");
+      for (const std::string_view l : kLockIdents) {
+        flag_in_region(region, l, /*call_only=*/false, kLockInParallel,
+                       "lock acquisition (" + std::string(l) + ")");
+      }
+      check_lock_method(region);
+      if (region.is_reduce) {
+        for (const std::string_view u : kUnorderedIdents) {
+          flag_in_region(region, u, /*call_only=*/false,
+                         kUnorderedInReduction,
+                         "unordered container " + std::string(u) +
+                             " feeds a reduction (iteration order is "
+                             "unspecified)");
+        }
+      }
+      if (region.captures_by_ref) check_shared_writes(region);
+    }
+  }
+
+  /// `.lock()` / `->lock()` calls — the member spelling the bare-identifier
+  /// scan above deliberately skips.
+  void check_lock_method(const ParallelRegion& region) {
+    std::size_t pos = region.begin;
+    while (pos < region.end) {
+      pos = find_ident(code_, "lock", pos);
+      if (pos == std::string_view::npos || pos >= region.end) return;
+      const std::size_t after = skip_space(code_, pos + 4);
+      if (member_access(code_, pos) && after < code_.size() &&
+          code_[after] == '(') {
+        add(kLockInParallel, pos,
+            "lock acquisition (.lock()) inside " + region.entry +
+                " body; hoist it out of the parallel region");
+      }
+      pos += 4;
+    }
+  }
+
+  /// Names declared inside the region body (plus the lambda parameters):
+  /// an identifier directly following a type keyword, or inside an
+  /// `auto [a, b]` structured binding.
+  [[nodiscard]] std::set<std::string, std::less<>> declared_names(
+      const ParallelRegion& region) const {
+    std::set<std::string, std::less<>> declared(region.params.begin(),
+                                                region.params.end());
+    std::size_t i = region.begin;
+    std::string prev;
+    while (i < region.end) {
+      const char c = code_[i];
+      if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < region.end && ident_char(code_[end])) ++end;
+      const std::string tok(code_.substr(i, end - i));
+      const bool prev_is_type =
+          std::find(kTypeKeywords.begin(), kTypeKeywords.end(), prev) !=
+          kTypeKeywords.end();
+      if (prev_is_type) declared.insert(tok);
+      if (std::find(kTypeKeywords.begin(), kTypeKeywords.end(), tok) !=
+          kTypeKeywords.end()) {
+        const std::size_t after = skip_space(code_, end);
+        if (after < region.end && code_[after] == '[') {
+          // Structured binding: auto [a, b] = ...
+          std::size_t j = after + 1;
+          while (j < region.end && code_[j] != ']') {
+            if (ident_char(code_[j])) {
+              std::size_t e = j;
+              while (e < region.end && ident_char(code_[e])) ++e;
+              declared.insert(std::string(code_.substr(j, e - j)));
+              j = e;
+            } else {
+              ++j;
+            }
+          }
+        }
+      }
+      prev = tok;
+      i = end;
+    }
+    return declared;
+  }
+
+  /// Plain writes (`x = `, `x += `, `x++`, `++x`) to names that are not
+  /// declared inside the body of a [&] lambda: every worker mutates the
+  /// same captured object. Subscripted (`a[i] = `), member (`s.f = `) and
+  /// dereferencing (`*p = `) writes are deliberately skipped — those are
+  /// either the normal per-index output pattern or too ambiguous for a
+  /// tokenizer to judge.
+  void check_shared_writes(const ParallelRegion& region) {
+    const auto declared = declared_names(region);
+    std::size_t i = region.begin;
+    while (i < region.end) {
+      const char c = code_[i];
+      if (!ident_char(c) ||
+          std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (i > 0 && ident_char(code_[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < region.end && ident_char(code_[end])) ++end;
+      const std::string_view ident = code_.substr(i, end - i);
+      i = end;
+      if (declared.count(ident) != 0) continue;
+      // `T& x = ...`, `T* p = ...`, `SomeType x = ...`: a declaration —
+      // the preceding significant character is '&', '*', '>', or the tail
+      // of a type name. Only statement-position writes to *previously
+      // declared* names survive this filter.
+      const char before = prev_sig(code_, /*i=*/end - ident.size());
+      if (before == '.' || before == '>' || before == '*' || before == '&' ||
+          ident_char(before)) {
+        continue;
+      }
+      const std::size_t after = skip_space(code_, end);
+      if (after + 1 >= code_.size()) continue;
+      const char a0 = code_[after];
+      const char a1 = code_[after + 1];
+      // `++st.pc`, `++a[i]`, `++it->second`: the increment lands on the
+      // member/element, not on the captured name itself.
+      const bool member_or_subscript_after =
+          a0 == '.' || a0 == '[' || (a0 == '-' && a1 == '>') ||
+          (a0 == ':' && a1 == ':');
+      const bool plain_assign = a0 == '=' && a1 != '=';
+      const bool compound =
+          (a0 == '+' || a0 == '-' || a0 == '*' || a0 == '/' || a0 == '%' ||
+           a0 == '&' || a0 == '|' || a0 == '^') &&
+          a1 == '=';
+      const bool shift_assign =
+          (a0 == '<' || a0 == '>') && a1 == a0 &&
+          after + 2 < code_.size() && code_[after + 2] == '=';
+      const bool post_incr = (a0 == '+' && a1 == '+') ||
+                             (a0 == '-' && a1 == '-');
+      const std::size_t pre = end - ident.size();
+      const bool pre_incr =
+          !member_or_subscript_after && pre >= 2 &&
+          ((code_[pre - 1] == '+' && code_[pre - 2] == '+') ||
+           (code_[pre - 1] == '-' && code_[pre - 2] == '-'));
+      if (plain_assign || compound || shift_assign || post_incr || pre_incr) {
+        add(kSharedWrite, end - ident.size(),
+            "write to captured-by-reference '" + std::string(ident) +
+                "' inside " + region.entry +
+                " body races across workers; use the chunk-reduction "
+                "helpers or a per-index output slot");
+      }
+    }
+  }
+
+  /// FP-determinism contract for src/mathlib (DESIGN.md §13: bitwise-equal
+  /// scalar references, -ffp-contract=off): no fused multiply-add and no
+  /// contraction/fast-math pragmas.
+  void check_fp_contract() {
+    if (file_.find("mathlib") == std::string::npos) return;
+    for (const std::string_view f : kFmaCalls) {
+      std::size_t pos = 0;
+      while ((pos = find_ident(code_, f, pos)) != std::string_view::npos) {
+        const std::size_t after = skip_space(code_, pos + f.size());
+        if (after < code_.size() && code_[after] == '(' &&
+            !member_access(code_, pos)) {
+          add(kFpContract, pos,
+              std::string(f) +
+                  "() fuses the multiply-add; src/mathlib is built "
+                  "-ffp-contract=off against bitwise scalar references");
+        }
+        pos += f.size();
+      }
+    }
+    std::size_t pos = 0;
+    while ((pos = code_.find("#pragma", pos)) != std::string_view::npos) {
+      const std::size_t eol = code_.find('\n', pos);
+      const std::string_view line = code_.substr(
+          pos, (eol == std::string_view::npos ? code_.size() : eol) - pos);
+      const bool contract_on = line.find("FP_CONTRACT") !=
+                                   std::string_view::npos &&
+                               line.find("ON") != std::string_view::npos;
+      const bool fp_fast = line.find("contract(fast") !=
+                           std::string_view::npos;
+      const bool fast_math = line.find("fast-math") !=
+                                 std::string_view::npos ||
+                             line.find("Ofast") != std::string_view::npos;
+      const bool fc_off = line.find("float_control") !=
+                              std::string_view::npos &&
+                          line.find("off") != std::string_view::npos;
+      if (contract_on || fp_fast || fast_math || fc_off) {
+        add(kFpContract, pos,
+            "pragma re-enables FP contraction / fast-math; src/mathlib's "
+            "bitwise-reference contract forbids it");
+      }
+      pos = eol == std::string_view::npos ? code_.size() : eol;
+    }
+  }
+
+  MaskedSource masked_;
+  std::string_view code_;
+  std::string file_;
+  std::set<std::string> disabled_;
+  std::set<std::pair<std::string, int>> seen_;
+  Report report_;
+};
+
+}  // namespace
+
+std::string Finding::format() const {
+  return file + ":" + std::to_string(line) + ": exa-lint[" + rule + "] " +
+         message;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      std::string(kUncheckedCall),
+      std::string(kDeprecatedCuda),
+      std::string(kRawAlloc),
+      std::string(kBlockingInParallel),
+      std::string(kNondetInParallel),
+      std::string(kLockInParallel),
+      std::string(kSharedWrite),
+      std::string(kUnorderedInReduction),
+      std::string(kFpContract),
+      "layer-upward-include",
+      "layer-cycle",
+      "layer-private-include"};
+  return ids;
+}
+
+namespace {
+std::vector<CudaMapping>& mutable_cuda_mappings() {
+  static std::vector<CudaMapping> mappings;
+  return mappings;
+}
+}  // namespace
+
+void set_cuda_mappings(std::vector<CudaMapping> mappings) {
+  mutable_cuda_mappings() = std::move(mappings);
+}
+
+const std::vector<CudaMapping>& cuda_mappings() {
+  return mutable_cuda_mappings();
+}
+
+Report lint_source(std::string_view source, const std::string& filename,
+                   const std::vector<std::string>& disabled) {
+  return Linter(source, filename, disabled).run();
+}
+
+}  // namespace exa::check::lint

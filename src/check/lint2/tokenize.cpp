@@ -1,0 +1,308 @@
+#include "check/lint2/tokenize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace exa::check::lint {
+
+namespace {
+
+void collect_suppressions(std::string_view comment, int line,
+                          std::map<int, std::set<std::string>>& out) {
+  const std::string_view tag = "exa-lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string_view::npos) return;
+  pos = comment.find("allow", pos + tag.size());
+  if (pos == std::string_view::npos) return;
+  const std::size_t open = comment.find('(', pos);
+  if (open == std::string_view::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = i < close ? comment[i] : ',';
+    if (c == ',') {
+      if (!rule.empty()) out[line].insert(rule);
+      rule.clear();
+    } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      rule.push_back(c);
+    }
+  }
+}
+
+/// True when the line ending at `nl` ('\n' there) is spliced onto the next
+/// one by a backslash (optionally through a '\r').
+[[nodiscard]] bool spliced(std::string_view src, std::size_t nl) {
+  std::size_t i = nl;
+  if (i > 0 && src[i - 1] == '\r') --i;
+  return i > 0 && src[i - 1] == '\\';
+}
+
+/// Raw-string prefix check: `quote` indexes the '"'; returns the offset of
+/// the prefix start (R / uR / UR / LR / u8R) or npos when the '"' does not
+/// open a raw string. Guards against identifiers that merely end in R.
+[[nodiscard]] std::size_t raw_prefix_start(std::string_view src,
+                                           std::size_t quote) {
+  if (quote == 0 || src[quote - 1] != 'R') return std::string_view::npos;
+  const std::size_t r = quote - 1;
+  static constexpr std::array<std::string_view, 3> kOneBefore = {"u", "U",
+                                                                 "L"};
+  // Bare R"..."
+  if (r == 0 || !ident_char(src[r - 1])) return r;
+  // u8R"..."
+  if (r >= 2 && src.substr(r - 2, 2) == "u8" &&
+      (r == 2 || !ident_char(src[r - 3]))) {
+    return r - 2;
+  }
+  // uR / UR / LR
+  for (const std::string_view p : kOneBefore) {
+    if (src.substr(r - 1, 1) == p && (r == 1 || !ident_char(src[r - 2]))) {
+      return r - 1;
+    }
+  }
+  return std::string_view::npos;  // FOOR"..." — not a raw string
+}
+
+}  // namespace
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+MaskedSource mask(std::string_view src) {
+  MaskedSource m;
+  m.code.assign(src.begin(), src.end());
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      // A `//` comment extends across backslash-spliced lines (translation
+      // phase 2 happens before comment recognition).
+      const std::size_t start = i;
+      const int first_line = line;
+      while (i < n) {
+        if (src[i] == '\n') {
+          if (!spliced(src, i)) break;
+          ++line;
+        }
+        ++i;
+      }
+      collect_suppressions(src.substr(start, i - start), first_line,
+                           m.suppressions);
+      for (std::size_t j = start; j < i; ++j) {
+        if (m.code[j] != '\n') m.code[j] = ' ';
+      }
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int first_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      collect_suppressions(src.substr(start, i - start), first_line,
+                           m.suppressions);
+      for (std::size_t j = start; j < i; ++j) {
+        if (m.code[j] != '\n') m.code[j] = ' ';
+      }
+    } else if (c == '"' &&
+               raw_prefix_start(src, i) != std::string_view::npos) {
+      // Raw string literal: [prefix]R"delim( ... )delim". The delimiter is
+      // at most 16 chars; when no '(' follows within that bound, fall back
+      // to treating it as an ordinary string.
+      const std::size_t start = raw_prefix_start(src, i);
+      std::size_t d = i + 1;
+      while (d < n && d - i <= 17 && src[d] != '(') ++d;
+      if (d >= n || src[d] != '(') {
+        ++i;  // malformed; let the ordinary-string branch pick it up
+        continue;
+      }
+      const std::string closer =
+          ")" + std::string(src.substr(i + 1, d - i - 1)) + "\"";
+      std::size_t close = src.find(closer, d);
+      close = close == std::string_view::npos ? n : close + closer.size();
+      for (std::size_t j = start; j < close; ++j) {
+        if (m.code[j] == '\n') {
+          ++line;
+        } else {
+          m.code[j] = ' ';
+        }
+      }
+      i = close;
+    } else if (c == '\'' && i > 0 && i + 1 < n &&
+               std::isdigit(static_cast<unsigned char>(src[i - 1])) != 0 &&
+               std::isxdigit(static_cast<unsigned char>(src[i + 1])) != 0) {
+      ++i;  // digit separator (1'000'000), not a character literal
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i++;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated literal: stay sane
+        ++i;
+      }
+      i = std::min(n, i + 1);
+      for (std::size_t j = start; j < i; ++j) {
+        if (m.code[j] != '\n') m.code[j] = ' ';
+      }
+    } else {
+      ++i;
+    }
+  }
+  return m;
+}
+
+int line_of(std::string_view code, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(code.begin(),
+                            code.begin() + static_cast<std::ptrdiff_t>(offset),
+                            '\n'));
+}
+
+std::size_t find_ident(std::string_view code, std::string_view ident,
+                       std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = code.find(ident, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t match_group(std::string_view code, std::size_t open, char open_ch,
+                        char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_ch) ++depth;
+    if (code[i] == close_ch && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kParallelEntryPoints = {
+    "parallel_for", "parallel_for_chunks", "parallel_reduce",
+    "parallel_reduce_chunks", "for_chunks", "for_each"};
+
+[[nodiscard]] std::size_t skip_space(std::string_view code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+/// Parses lambda parameter names out of `(...)` at `open` — the last
+/// identifier of each comma-separated declarator at paren depth 1.
+void collect_params(std::string_view code, std::size_t open, std::size_t close,
+                    std::vector<std::string>& out) {
+  int depth = 0;
+  std::string last;
+  for (std::size_t i = open; i < close; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '<' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '>' || c == '}') --depth;
+    if (depth == 1 && ident_char(c) &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::size_t end = i;
+      while (end < close && ident_char(code[end])) ++end;
+      last.assign(code.substr(i, end - i));
+      i = end - 1;
+    } else if (depth <= 1 && (c == ',' || c == ')')) {
+      if (!last.empty()) out.push_back(last);
+      last.clear();
+    }
+  }
+}
+
+/// Locates the lambdas inside one call extent. A '[' opens a lambda-intro
+/// when the previous significant character cannot end a postfix expression
+/// (identifier, ')', ']') — otherwise it is a subscript.
+void collect_lambdas(std::string_view code, std::size_t begin,
+                     std::size_t end, const std::string& entry,
+                     std::vector<ParallelRegion>& out) {
+  const bool is_reduce = entry.find("reduce") != std::string::npos;
+  std::size_t i = begin;
+  while (i < end) {
+    if (code[i] != '[') {
+      ++i;
+      continue;
+    }
+    std::size_t prev = i;
+    while (prev > begin &&
+           std::isspace(static_cast<unsigned char>(code[prev - 1])) != 0) {
+      --prev;
+    }
+    const char p = prev > begin ? code[prev - 1] : '(';
+    if (ident_char(p) || p == ')' || p == ']') {
+      ++i;  // subscript
+      continue;
+    }
+    const std::size_t intro_end = match_group(code, i, '[', ']');
+    if (intro_end == std::string_view::npos) break;
+    ParallelRegion region;
+    region.entry = entry;
+    region.is_reduce = is_reduce;
+    region.captures_by_ref =
+        code.substr(i, intro_end - i).find('&') != std::string_view::npos;
+    std::size_t j = skip_space(code, intro_end);
+    if (j < end && code[j] == '(') {
+      const std::size_t params_end = match_group(code, j, '(', ')');
+      if (params_end == std::string_view::npos) break;
+      collect_params(code, j, params_end, region.params);
+      j = skip_space(code, params_end);
+    }
+    // Skip specifiers (mutable, noexcept, -> T) up to the body brace.
+    while (j < end && code[j] != '{' && code[j] != ';' && code[j] != ',') {
+      ++j;
+    }
+    if (j >= end || code[j] != '{') {
+      i = intro_end;
+      continue;
+    }
+    const std::size_t body_end = match_group(code, j, '{', '}');
+    if (body_end == std::string_view::npos) break;
+    region.begin = j + 1;
+    region.end = body_end - 1;
+    out.push_back(std::move(region));
+    i = body_end;
+  }
+}
+
+}  // namespace
+
+std::vector<ParallelRegion> find_parallel_regions(std::string_view code) {
+  std::vector<ParallelRegion> regions;
+  for (const std::string_view entry : kParallelEntryPoints) {
+    std::size_t pos = 0;
+    while ((pos = find_ident(code, entry, pos)) != std::string_view::npos) {
+      const std::size_t open = skip_space(code, pos + entry.size());
+      if (open >= code.size() || code[open] != '(') {
+        pos += entry.size();
+        continue;
+      }
+      const std::size_t close = match_group(code, open, '(', ')');
+      if (close == std::string_view::npos) break;
+      collect_lambdas(code, open + 1, close - 1, std::string(entry), regions);
+      pos = close;
+    }
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const ParallelRegion& a, const ParallelRegion& b) {
+              return a.begin < b.begin;
+            });
+  return regions;
+}
+
+}  // namespace exa::check::lint

@@ -1,0 +1,68 @@
+#pragma once
+/// \file tokenize.hpp
+/// Shared lexical layer for the exa-lint passes: comment/string masking,
+/// suppression harvesting, identifier search, and brace/paren region
+/// tracking (the upgrade that turned the line-local rules of the original
+/// single-file lint into region-local ones).
+///
+/// The masker replaces comments, string literals (including prefixed and
+/// raw strings with custom delimiters), and character literals with
+/// spaces, preserving newlines so byte offsets and line numbers survive.
+/// Known-tricky inputs covered by regression tests: backslash line
+/// continuations inside `//` comments, `R"xx(...)xx"` raw strings,
+/// `u8R"(...)"`-style prefixes, identifiers that merely *end* in R before
+/// a string, character literals holding `"` or `{`, and digit separators
+/// (`1'000'000`).
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exa::check::lint {
+
+[[nodiscard]] bool ident_char(char c);
+
+/// Masked view of one translation unit.
+struct MaskedSource {
+  std::string code;  ///< source with comments/strings/chars blanked
+  std::map<int, std::set<std::string>> suppressions;  ///< line -> rule ids
+};
+
+/// Masks `src`; collects `exa-lint: allow(rule, ...)` comments per line.
+[[nodiscard]] MaskedSource mask(std::string_view src);
+
+/// 1-based line number of byte `offset` in `code`.
+[[nodiscard]] int line_of(std::string_view code, std::size_t offset);
+
+/// Finds `ident` at a word boundary at/after `from`; npos when absent.
+[[nodiscard]] std::size_t find_ident(std::string_view code,
+                                     std::string_view ident,
+                                     std::size_t from = 0);
+
+/// Offset one past the group opening at `open` ('(' or '{' there), or
+/// npos when unbalanced.
+[[nodiscard]] std::size_t match_group(std::string_view code, std::size_t open,
+                                      char open_ch, char close_ch);
+
+/// One lambda body lexically inside a parallel-dispatch call. `begin`/`end`
+/// delimit the *body* (inside the braces); `captures_by_ref` is true when
+/// the capture list contains `&`; `params` are the lambda parameter names.
+struct ParallelRegion {
+  std::string entry;        ///< parallel_for / parallel_reduce / ...
+  bool is_reduce = false;   ///< entry is a reduction dispatch
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool captures_by_ref = false;
+  std::vector<std::string> params;
+};
+
+/// All lambda bodies inside `pfw::parallel_for`/`parallel_reduce`/
+/// `ThreadPool::for_chunks`-family call extents, found by paren + brace
+/// tracking over the masked code.
+[[nodiscard]] std::vector<ParallelRegion> find_parallel_regions(
+    std::string_view code);
+
+}  // namespace exa::check::lint

@@ -1,0 +1,7 @@
+// lint fixture (clean): blocking work hoisted out of the parallel body;
+// the lambda touches only its per-index element.
+void fixture(void* d, void* h, double* out) {
+  (void)hipMemcpy(d, h, 8, hipMemcpyHostToDevice);
+  pfw::parallel_for("k", 128, [&](std::size_t i) { out[i] = value(i); });
+  (void)hipDeviceSynchronize();
+}

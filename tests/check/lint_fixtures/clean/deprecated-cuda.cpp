@@ -1,0 +1,5 @@
+// lint fixture (clean): the hip spellings and the explicit launch API.
+void fixture(void** p, void* grid, void* block, void* arg) {
+  (void)hipMalloc(p, 64);  // exa-lint: allow(raw-device-alloc)
+  (void)hipLaunchKernelGGL(kernel, grid, block, 0, nullptr, arg);
+}

@@ -1,0 +1,6 @@
+// lint fixture (clean): no synchronization needed — each iteration owns
+// its output slot; the combine happens after the region.
+void fixture(double* out) {
+  pfw::parallel_for("k", 128, [&](std::size_t i) { out[i] = value(i); });
+  combine(out, 128);
+}

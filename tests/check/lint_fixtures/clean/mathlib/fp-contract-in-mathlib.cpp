@@ -1,0 +1,6 @@
+// lint fixture (clean): separate multiply and add — rounds twice, the
+// same way on every compiler and target.
+double fixture(double a, double b, double c) {
+  const double prod = a * b;
+  return prod + c;
+}

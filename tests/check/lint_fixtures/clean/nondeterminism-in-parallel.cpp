@@ -1,0 +1,8 @@
+// lint fixture (clean): a counter-based RNG keyed on the loop index —
+// deterministic for any schedule. Seeding happens outside the region.
+void fixture(double* out) {
+  const unsigned seed = 42u;
+  pfw::parallel_for("k", 128, [&](std::size_t i) {
+    out[i] = counter_rng(seed, i);
+  });
+}

@@ -1,0 +1,5 @@
+// lint fixture (clean): the pooled, leak-safe device view.
+void fixture() {
+  auto view = pfw::create_device_view<float>(1024);
+  use(view);
+}

@@ -1,0 +1,9 @@
+// lint fixture (clean): accumulation expressed as parallel_reduce (the
+// framework owns the deterministic combine); per-index writes subscripted.
+double fixture(std::vector<double>& out) {
+  pfw::parallel_for("k", 128, [&](std::size_t i) { out[i] = value(i); });
+  return pfw::parallel_reduce("sum", 128, 0.0,
+                              [&](std::size_t i, double a) {
+                                return a + out[i];
+                              });
+}

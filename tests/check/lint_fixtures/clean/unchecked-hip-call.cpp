@@ -1,0 +1,8 @@
+// lint fixture (clean): every hip* result is consumed, checked, or
+// explicitly discarded with (void).
+void fixture(void* p) {
+  const hipError_t err = hipDeviceSynchronize();
+  if (err != hipSuccess) return;
+  HIP_CHECK(hipDeviceSynchronize());
+  (void)hipFree(p);
+}

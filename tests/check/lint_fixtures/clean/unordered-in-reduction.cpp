@@ -1,0 +1,8 @@
+// lint fixture (clean): the hash map is flattened into an ordered vector
+// before the region; the reduction walks a deterministic sequence.
+double fixture(const std::vector<std::pair<int, double>>& weights) {
+  return pfw::parallel_reduce("r", 64, 0.0,
+                              [&](std::size_t i, double a) {
+                                return a + weights[i].second;
+                              });
+}

@@ -1,0 +1,9 @@
+// lint fixture (fires): a blocking device sync and blocking file I/O
+// inside a parallel dispatch body.
+void fixture(void* d, void* h) {
+  pfw::parallel_for("k", 128, [&](std::size_t i) {
+    (void)hipMemcpy(d, h, 8, hipMemcpyHostToDevice);
+    std::ofstream log("out.txt");
+    (void)i;
+  });
+}

@@ -1,0 +1,6 @@
+// lint fixture (fires): CUDA-era spellings and a triple-chevron launch —
+// hipify remnants the port must not reintroduce.
+void fixture(void** p, void* grid, void* block, void* arg) {
+  (void)cudaMalloc(p, 64);
+  kernel<<<grid, block>>>(arg);
+}

@@ -1,0 +1,8 @@
+// lint fixture (fires): a mutex acquired inside a parallel body —
+// serializes the loop and makes completion order scheduling-dependent.
+void fixture(std::mutex& m, double* out) {
+  pfw::parallel_for("k", 128, [&](std::size_t i) {
+    std::lock_guard<std::mutex> g(m);
+    out[i] = value(i);
+  });
+}

@@ -1,0 +1,7 @@
+// lint fixture (fires): explicit FMA and a contraction pragma in a
+// mathlib path — both violate the bitwise-reference contract
+// (-ffp-contract=off, no fused multiply-add).
+#pragma STDC FP_CONTRACT ON
+double fixture(double a, double b, double c) {
+  return std::fma(a, b, c);
+}

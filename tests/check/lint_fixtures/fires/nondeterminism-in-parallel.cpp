@@ -1,0 +1,7 @@
+// lint fixture (fires): wall-clock and libc RNG inside a parallel body —
+// results depend on scheduling and breaks bitwise reproducibility.
+void fixture(double* out) {
+  pfw::parallel_for("k", 128, [&](std::size_t i) {
+    out[i] = std::rand() + time(nullptr);
+  });
+}

@@ -1,0 +1,6 @@
+// lint fixture (fires): raw device allocation bypassing the pooled view
+// layer — leaks on early return and defeats the allocator reuse.
+void fixture(void** p) {
+  (void)hipMalloc(p, 1024);
+  (void)hipFree(*p);
+}

@@ -1,0 +1,7 @@
+// lint fixture (fires): a by-reference captured accumulator written from
+// every iteration — a data race, and the sum depends on interleaving.
+double fixture() {
+  double total = 0.0;
+  pfw::parallel_for("k", 128, [&](std::size_t i) { total += value(i); });
+  return total;
+}

@@ -1,0 +1,6 @@
+// lint fixture (fires): hip* call at statement position with the
+// hipError_t result silently discarded.
+void fixture(void* p) {
+  hipDeviceSynchronize();
+  hipFree(p);
+}

@@ -1,0 +1,11 @@
+// lint fixture (fires): hash-map iteration inside a reduction body — the
+// iteration order is unspecified and feeds the accumulated result.
+double fixture() {
+  return pfw::parallel_reduce("r", 64, 0.0,
+                              [&](std::size_t i, double a) {
+                                const std::unordered_map<int, double>& w =
+                                    weights(i);
+                                for (const auto& kv : w) a += kv.second;
+                                return a;
+                              });
+}

@@ -1,0 +1,3 @@
+// Fixture: an upward include — mid (rank 1) reaching into top (rank 2).
+// The lint_fixture_fires_layering ctest proves layer-upward-include trips.
+#include "top/api.hpp"

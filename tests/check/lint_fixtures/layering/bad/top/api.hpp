@@ -1,0 +1,2 @@
+// Fixture: top-layer header the bad mid layer reaches up into.
+#pragma once

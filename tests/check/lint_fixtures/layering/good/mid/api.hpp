@@ -1,0 +1,3 @@
+// Fixture: mid layer reaching strictly downward — conformant.
+#pragma once
+#include "support/log.hpp"

@@ -1,0 +1,2 @@
+// Fixture: bottom layer, includes nothing.
+#pragma once

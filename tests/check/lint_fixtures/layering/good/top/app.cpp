@@ -1,0 +1,3 @@
+// Fixture: top layer reaching strictly downward — conformant.
+#include "mid/api.hpp"
+#include "support/log.hpp"

@@ -13,6 +13,16 @@
 namespace exa::check::lint {
 namespace {
 
+// The deprecated-cuda mapping table is injected (the lint library never
+// includes upward into src/hip); register the handful of spellings these
+// tests exercise once, before any TEST runs.
+const bool g_mappings = [] {
+  set_cuda_mappings({{"cudaMalloc", "hipMalloc", false},
+                     {"cudaDeviceSynchronize", "hipDeviceSynchronize", false},
+                     {"cudaMemcpy", "hipMemcpy", false}});
+  return true;
+}();
+
 bool has_rule(const Report& report, const std::string& rule) {
   return std::any_of(report.findings.begin(), report.findings.end(),
                      [&](const Finding& f) { return f.rule == rule; });
@@ -26,15 +36,16 @@ std::size_t rule_count(const Report& report, const std::string& rule) {
 
 TEST(LintTest, RuleListIsStable) {
   const auto& rules = rule_ids();
-  ASSERT_EQ(rules.size(), 4u);
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "unchecked-hip-call"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "deprecated-cuda"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-device-alloc"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "blocking-in-parallel"),
-            rules.end());
+  ASSERT_EQ(rules.size(), 12u);
+  for (const char* id :
+       {"unchecked-hip-call", "deprecated-cuda", "raw-device-alloc",
+        "blocking-in-parallel", "nondeterminism-in-parallel",
+        "lock-in-parallel", "shared-write-in-parallel",
+        "unordered-in-reduction", "fp-contract-in-mathlib",
+        "layer-upward-include", "layer-cycle", "layer-private-include"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), id), rules.end())
+        << "missing rule id " << id;
+  }
 }
 
 // --- unchecked-hip-call -------------------------------------------------
@@ -107,6 +118,94 @@ TEST(LintTest, RawStringContentIgnored) {
       "void f() {}\n",
       "t.cpp");
   EXPECT_TRUE(r.findings.empty());
+}
+
+// --- tokenizer edge cases -----------------------------------------------
+
+TEST(LintTest, BackslashContinuedLineCommentMasksNextLine) {
+  // Phase-2 line splicing: a `//` comment ending in a backslash swallows
+  // the next physical line too.
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  // dead code: \\\n"
+      "  (void)hipMalloc(p, 64);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintTest, UncontinuedCommentDoesNotSwallowNextLine) {
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  // a plain comment\n"
+      "  (void)hipMalloc(p, 64);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "raw-device-alloc"));
+}
+
+TEST(LintTest, RawStringCustomDelimiter) {
+  // R"xx(...)xx" — a plain `)"` inside must NOT close the literal.
+  const auto r = lint_source(
+      "const char* s = R\"xx(contains )\" and cudaMalloc(&p, n);)xx\";\n"
+      "void f(void** p) {\n  (void)hipMalloc(p, 64);\n}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "deprecated-cuda"));
+  EXPECT_TRUE(has_rule(r, "raw-device-alloc"));  // tokenizer resynced
+}
+
+TEST(LintTest, EncodingPrefixedRawStrings) {
+  const auto r = lint_source(
+      "const char* a = u8R\"(cudaMalloc(&p, n);)\";\n"
+      "const wchar_t* b = LR\"(cudaMemcpy(d, s, n);)\";\n",
+      "t.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintTest, IdentifierEndingInRIsNotARawString) {
+  // FOOR"..." is macro FOOR followed by an ordinary string, not a raw
+  // string — treating it as raw would swallow the rest of the file.
+  const auto r = lint_source(
+      "const char* s = FOOR\"text\";\n"
+      "void f(void** p) {\n  (void)hipMalloc(p, 64);\n}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "raw-device-alloc"));
+}
+
+TEST(LintTest, CharLiteralWithQuoteDoesNotOpenString) {
+  // '"' must not start a string literal that masks the rest of the line.
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  char q = '\"'; (void)hipMalloc(p, 64);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "raw-device-alloc"));
+}
+
+TEST(LintTest, CharLiteralWithBraceDoesNotConfuseRegionTracking) {
+  // '{' in a char literal must not unbalance the parallel-region brace
+  // tracker: the hipMemcpy after the region is NOT inside it.
+  const auto r = lint_source(
+      "void f(void* d, void* h) {\n"
+      "  pfw::parallel_for(\"k\", 8, [&](std::size_t i) {\n"
+      "    char open = '{';\n"
+      "    use(open, i);\n"
+      "  });\n"
+      "  (void)hipMemcpy(d, h, 8, hipMemcpyHostToDevice);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "blocking-in-parallel"));
+}
+
+TEST(LintTest, DigitSeparatorsDoNotTerminateScanning) {
+  // 1'000'000: the ' between digits is a separator, not a char literal.
+  const auto r = lint_source(
+      "void f(void** p) {\n"
+      "  const int n = 1'000'000;\n"
+      "  (void)hipMalloc(p, n);\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "raw-device-alloc"));
 }
 
 // --- deprecated-cuda ----------------------------------------------------

@@ -1,0 +1,473 @@
+/// Unit coverage for the exa-lint v2 passes: the determinism rules
+/// (nondeterminism / lock / shared-write / unordered-in-reduction /
+/// fp-contract), the layering conformance pass against the layer
+/// manifest, the baseline-suppression file, and the JSON/SARIF emitters
+/// plus the minimal-shape SARIF validator.
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/lint.hpp"
+#include "check/lint2/layering.hpp"
+#include "check/lint2/report.hpp"
+
+namespace exa::check::lint {
+namespace {
+
+bool has_rule(const Report& report, const std::string& rule) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- nondeterminism-in-parallel -----------------------------------------
+
+TEST(Lint2Test, RandInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(double* out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = std::rand();\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "nondeterminism-in-parallel"));
+}
+
+TEST(Lint2Test, WallClockInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(double* out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = time(nullptr);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "nondeterminism-in-parallel"));
+}
+
+TEST(Lint2Test, RandomDeviceInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(double* out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    std::random_device rd;\n"
+      "    out[i] = rd();\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "nondeterminism-in-parallel"));
+}
+
+TEST(Lint2Test, RandOutsideParallelBodyIsClean) {
+  const auto r = lint_source(
+      "void f(double* out) {\n"
+      "  const int seed = std::rand();\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = counter_rng(seed, i);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "nondeterminism-in-parallel"));
+}
+
+TEST(Lint2Test, IdentifierContainingTimeIsClean) {
+  // `runtime` / `timestep` must not match the `time` call heuristic.
+  const auto r = lint_source(
+      "void f(double* out, double timestep) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = advance(timestep, i);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "nondeterminism-in-parallel"));
+}
+
+// --- lock-in-parallel ---------------------------------------------------
+
+TEST(Lint2Test, LockGuardInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(std::mutex& m, double* out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    std::lock_guard<std::mutex> g(m);\n"
+      "    out[i] = 1.0;\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "lock-in-parallel"));
+}
+
+TEST(Lint2Test, MemberLockCallInParallelBodyFires) {
+  const auto r = lint_source(
+      "void f(double* out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    gate.lock();\n"
+      "    out[i] = 1.0;\n"
+      "    gate.unlock();\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "lock-in-parallel"));
+}
+
+TEST(Lint2Test, LockOutsideParallelBodyIsClean) {
+  const auto r = lint_source(
+      "void f(std::mutex& m, double* out) {\n"
+      "  std::lock_guard<std::mutex> g(m);\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = 1.0;\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "lock-in-parallel"));
+}
+
+// --- shared-write-in-parallel -------------------------------------------
+
+TEST(Lint2Test, CapturedScalarWriteFires) {
+  const auto r = lint_source(
+      "double f() {\n"
+      "  double total = 0.0;\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    total += value(i);\n"
+      "  });\n"
+      "  return total;\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "shared-write-in-parallel"));
+}
+
+TEST(Lint2Test, SubscriptedPerIndexWriteIsClean) {
+  const auto r = lint_source(
+      "void f(std::vector<double>& out) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    out[i] = value(i);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "shared-write-in-parallel"));
+}
+
+TEST(Lint2Test, LocalDeclarationWriteIsClean) {
+  // A name declared inside the body (including reference bindings to
+  // per-index elements) is region-local, not shared state.
+  const auto r = lint_source(
+      "void f(std::vector<Particle>& parts) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    Particle& p = parts[i];\n"
+      "    p.x += 1.0;\n"
+      "    double acc = 0.0;\n"
+      "    acc += p.x;\n"
+      "    p.v = acc;\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "shared-write-in-parallel"));
+}
+
+TEST(Lint2Test, MemberIncrementOfLocalRefIsClean) {
+  const auto r = lint_source(
+      "void f(std::vector<State>& states) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    State& st = states[i];\n"
+      "    ++st.events;\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "shared-write-in-parallel"));
+}
+
+TEST(Lint2Test, ByValueCaptureIsClean) {
+  // [=] capture: writes touch thread-local copies, not shared state.
+  const auto r = lint_source(
+      "void f() {\n"
+      "  double total = 0.0;\n"
+      "  pfw::parallel_for(\"k\", 64, [=](std::size_t i) mutable {\n"
+      "    total += value(i);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "shared-write-in-parallel"));
+}
+
+// --- unordered-in-reduction ---------------------------------------------
+
+TEST(Lint2Test, UnorderedMapInReduceBodyFires) {
+  const auto r = lint_source(
+      "double f() {\n"
+      "  return pfw::parallel_reduce(\"r\", 64, 0.0,\n"
+      "      [&](std::size_t i, double a) {\n"
+      "        const std::unordered_map<int, double>& w = weights(i);\n"
+      "        for (const auto& kv : w) a += kv.second;\n"
+      "        return a;\n"
+      "      });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_TRUE(has_rule(r, "unordered-in-reduction"));
+}
+
+TEST(Lint2Test, UnorderedMapInParallelForIsClean) {
+  // Outside a reduction the iteration order doesn't feed an accumulated
+  // result; the rule is reduction-specific.
+  const auto r = lint_source(
+      "void f(std::unordered_map<int, double>& w) {\n"
+      "  pfw::parallel_for(\"k\", 64, [&](std::size_t i) {\n"
+      "    touch(w, i);\n"
+      "  });\n"
+      "}\n",
+      "t.cpp");
+  EXPECT_FALSE(has_rule(r, "unordered-in-reduction"));
+}
+
+// --- fp-contract-in-mathlib ---------------------------------------------
+
+TEST(Lint2Test, StdFmaInMathlibFires) {
+  const auto r = lint_source(
+      "double f(double a, double b, double c) {\n"
+      "  return std::fma(a, b, c);\n"
+      "}\n",
+      "src/mathlib/kernels.cpp");
+  EXPECT_TRUE(has_rule(r, "fp-contract-in-mathlib"));
+}
+
+TEST(Lint2Test, FpContractPragmaInMathlibFires) {
+  const auto r = lint_source(
+      "#pragma STDC FP_CONTRACT ON\n"
+      "double f(double a, double b, double c) { return a * b + c; }\n",
+      "src/mathlib/kernels.cpp");
+  EXPECT_TRUE(has_rule(r, "fp-contract-in-mathlib"));
+}
+
+TEST(Lint2Test, FmaOutsideMathlibIsClean) {
+  const auto r = lint_source(
+      "double f(double a, double b, double c) {\n"
+      "  return std::fma(a, b, c);\n"
+      "}\n",
+      "src/io/layout.cpp");
+  EXPECT_FALSE(has_rule(r, "fp-contract-in-mathlib"));
+}
+
+TEST(Lint2Test, PlainMulAddInMathlibIsClean) {
+  const auto r = lint_source(
+      "double f(double a, double b, double c) { return a * b + c; }\n",
+      "src/mathlib/kernels.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// --- layering: manifest parsing -----------------------------------------
+
+TEST(Lint2Test, ManifestParsesRanksAndPrivates) {
+  const auto m = parse_layer_manifest(
+      "# comment\n"
+      "layer 0 support\n"
+      "layer 1 mid\n"
+      "layer 2 top\n"
+      "private /detail/\n");
+  ASSERT_TRUE(m.error.empty()) << m.error;
+  EXPECT_EQ(m.rank.at("support"), 0);
+  EXPECT_EQ(m.rank.at("top"), 2);
+  ASSERT_EQ(m.private_patterns.size(), 1u);
+  EXPECT_EQ(m.private_patterns[0], "/detail/");
+}
+
+TEST(Lint2Test, ManifestRejectsBadRank) {
+  EXPECT_FALSE(parse_layer_manifest("layer x support\n").error.empty());
+}
+
+TEST(Lint2Test, ManifestRejectsDuplicateDir) {
+  EXPECT_FALSE(
+      parse_layer_manifest("layer 0 a\nlayer 1 a\n").error.empty());
+}
+
+TEST(Lint2Test, ManifestRejectsUnknownDirective) {
+  EXPECT_FALSE(parse_layer_manifest("strata 0 a\n").error.empty());
+}
+
+// --- layering: conformance ----------------------------------------------
+
+LayerManifest tiny_manifest() {
+  auto m = parse_layer_manifest(
+      "layer 0 support\n"
+      "layer 1 mid\n"
+      "layer 1 peer\n"
+      "layer 2 top\n"
+      "private /detail/\n");
+  EXPECT_TRUE(m.error.empty()) << m.error;
+  return m;
+}
+
+TEST(Lint2Test, UpwardIncludeFires) {
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/mid/a.cpp", "#include \"top/api.hpp\"\n"}}, "src");
+  EXPECT_TRUE(has_rule(r, "layer-upward-include"));
+}
+
+TEST(Lint2Test, SameRankCrossDirectoryIncludeFires) {
+  // Equal rank is not "strictly lower": sibling layers may not couple.
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/mid/a.cpp", "#include \"peer/api.hpp\"\n"}}, "src");
+  EXPECT_TRUE(has_rule(r, "layer-upward-include"));
+}
+
+TEST(Lint2Test, DownwardAndOwnDirIncludesAreClean) {
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/top/a.cpp",
+        "#include \"mid/api.hpp\"\n#include \"support/log.hpp\"\n"
+        "#include \"top/other.hpp\"\n"}},
+      "src");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lint2Test, DirectoryCycleFires) {
+  // mid -> peer and peer -> mid: reported once as a layer-cycle (plus the
+  // upward findings on the individual includes).
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/mid/a.cpp", "#include \"peer/api.hpp\"\n"},
+       {"src/peer/b.cpp", "#include \"mid/api.hpp\"\n"}},
+      "src");
+  EXPECT_TRUE(has_rule(r, "layer-cycle"));
+  EXPECT_EQ(static_cast<int>(std::count_if(
+                r.findings.begin(), r.findings.end(),
+                [](const Finding& f) { return f.rule == "layer-cycle"; })),
+            1);
+}
+
+TEST(Lint2Test, PrivateReachInFires) {
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/top/a.cpp", "#include \"mid/detail/impl.hpp\"\n"}}, "src");
+  EXPECT_TRUE(has_rule(r, "layer-private-include"));
+}
+
+TEST(Lint2Test, PrivateWithinOwnDirIsClean) {
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/mid/a.cpp", "#include \"mid/detail/impl.hpp\"\n"}}, "src");
+  EXPECT_FALSE(has_rule(r, "layer-private-include"));
+}
+
+TEST(Lint2Test, UnrankedFileMayIncludeAnyLayerButNotPrivates) {
+  const auto clean = check_layering(
+      tiny_manifest(), {{"bench/b.cpp", "#include \"top/api.hpp\"\n"}},
+      "src");
+  EXPECT_TRUE(clean.findings.empty());
+  const auto fires = check_layering(
+      tiny_manifest(),
+      {{"bench/b.cpp", "#include \"mid/detail/impl.hpp\"\n"}}, "src");
+  EXPECT_TRUE(has_rule(fires, "layer-private-include"));
+}
+
+TEST(Lint2Test, LayeringSuppressionApplies) {
+  const auto r = check_layering(
+      tiny_manifest(),
+      {{"src/mid/a.cpp",
+        "// exa-lint: allow(layer-upward-include)\n"
+        "#include \"top/api.hpp\"\n"}},
+      "src");
+  EXPECT_FALSE(has_rule(r, "layer-upward-include"));
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// --- baseline -----------------------------------------------------------
+
+TEST(Lint2Test, BaselineParsesInlineAndPrecedingJustifications) {
+  const auto b = parse_baseline(
+      "# this comment justifies the next entry\n"
+      "deprecated-cuda src/hip/cuda_compat.hpp\n"
+      "raw-device-alloc src/hip/hip_runtime.cpp  # shim defines the API\n");
+  ASSERT_TRUE(b.error.empty()) << b.error;
+  ASSERT_EQ(b.entries.size(), 2u);
+  EXPECT_EQ(b.entries[0].rule, "deprecated-cuda");
+  EXPECT_FALSE(b.entries[0].justification.empty());
+  EXPECT_EQ(b.entries[1].path_suffix, "src/hip/hip_runtime.cpp");
+  EXPECT_NE(b.entries[1].justification.find("shim"), std::string::npos);
+}
+
+TEST(Lint2Test, BaselineRejectsUnexplainedEntry) {
+  const auto b = parse_baseline("deprecated-cuda src/hip/cuda_compat.hpp\n");
+  EXPECT_FALSE(b.error.empty());
+}
+
+TEST(Lint2Test, BaselineSuffixMatchSuppressesFindings) {
+  Report r;
+  r.findings.push_back({"deprecated-cuda", "/abs/src/hip/cuda_compat.hpp",
+                        7, "msg"});
+  r.findings.push_back({"deprecated-cuda", "src/net/engine.cpp", 9, "msg"});
+  const auto b = parse_baseline(
+      "deprecated-cuda src/hip/cuda_compat.hpp  # compat table\n");
+  ASSERT_TRUE(b.error.empty());
+  std::vector<bool> used;
+  EXPECT_EQ(apply_baseline(r, b, &used), 1);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].file, "src/net/engine.cpp");
+  EXPECT_EQ(r.suppressed, 1);
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_TRUE(used[0]);
+}
+
+TEST(Lint2Test, BaselineUnusedEntryReported) {
+  Report r;
+  const auto b =
+      parse_baseline("raw-device-alloc src/nowhere.cpp  # stale entry\n");
+  ASSERT_TRUE(b.error.empty());
+  std::vector<bool> used;
+  EXPECT_EQ(apply_baseline(r, b, &used), 0);
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_FALSE(used[0]);
+}
+
+// --- reporting ----------------------------------------------------------
+
+Report one_finding_report() {
+  Report r;
+  r.findings.push_back(
+      {"raw-device-alloc", "src/x.cpp", 12, "raw hipMalloc"});
+  r.suppressed = 3;
+  return r;
+}
+
+TEST(Lint2Test, JsonCarriesFindingsAndSuppressedCount) {
+  const std::string j = to_json(one_finding_report());
+  EXPECT_NE(j.find("\"findings\""), std::string::npos);
+  EXPECT_NE(j.find("\"raw-device-alloc\""), std::string::npos);
+  EXPECT_NE(j.find("\"src/x.cpp\""), std::string::npos);
+  EXPECT_NE(j.find("\"suppressed\": 3"), std::string::npos);
+}
+
+TEST(Lint2Test, SarifOutputPassesShapeValidator) {
+  const std::string s = to_sarif(one_finding_report());
+  std::string why;
+  EXPECT_TRUE(sarif_has_minimal_shape(s, &why)) << why;
+  EXPECT_NE(s.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"exa-lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"raw-device-alloc\""), std::string::npos);
+}
+
+TEST(Lint2Test, EmptyReportSarifStillWellShaped) {
+  std::string why;
+  EXPECT_TRUE(sarif_has_minimal_shape(to_sarif(Report{}), &why)) << why;
+}
+
+TEST(Lint2Test, ShapeValidatorRejectsNonSarif) {
+  std::string why;
+  EXPECT_FALSE(sarif_has_minimal_shape("{}", &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(sarif_has_minimal_shape("not json at all", &why));
+  EXPECT_FALSE(sarif_has_minimal_shape(
+      "{\"version\": \"2.1.0\", \"runs\": []}", &why));
+}
+
+TEST(Lint2Test, ShapeValidatorRejectsResultMissingLocation) {
+  // A result with no physicalLocation must fail the minimal shape.
+  const std::string s =
+      "{\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+      "{\"name\": \"exa-lint\", \"rules\": []}}, \"results\": "
+      "[{\"ruleId\": \"r\", \"message\": {\"text\": \"m\"}}]}]}";
+  std::string why;
+  EXPECT_FALSE(sarif_has_minimal_shape(s, &why));
+}
+
+}  // namespace
+}  // namespace exa::check::lint

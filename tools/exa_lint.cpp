@@ -1,12 +1,24 @@
 /// \file exa_lint.cpp
-/// exa-lint — static HIP API-misuse pass over C++ sources.
+/// exa-lint — multi-pass static analysis over the repo's C++ sources.
 ///
-/// Usage: exa-lint [--allow <rule>]... [--list-rules] [--quiet]
-///                 <file-or-directory>...
+/// Usage:
+///   exa-lint [--allow <rule>]... [--only <rule>] [--list-rules] [--quiet]
+///            [--format=text|json|sarif] [--output <file>] [--exit-zero]
+///            [--baseline <file>] <file-or-directory>...
+///   exa-lint --layers <manifest> [common flags] <layer-root>
+///   exa-lint --check-sarif <file>
 ///
 /// Directories are walked recursively for C/C++/CUDA sources. Exit code is
-/// 1 when any unsuppressed finding remains, 0 otherwise — so CI runs it as
-/// a test over src/apps/ and examples/.
+/// 1 when any unsuppressed finding remains, 0 otherwise (2 on usage or
+/// parse errors) — so CI runs one lint_<dir> test per source directory.
+/// With --layers the pass analyzes the #include graph of the (single)
+/// root against the layer manifest instead of running the content rules.
+/// --check-sarif validates a previously emitted SARIF file against the
+/// minimal required shape and is what the lint_sarif_shape ctest runs.
+///
+/// The deprecated-cuda mapping table is injected here from
+/// hip::hipify::api_table() — the lint library itself never includes
+/// upward into src/hip (the layering pass enforces exactly that rule).
 
 #include <algorithm>
 #include <filesystem>
@@ -17,11 +29,15 @@
 #include <vector>
 
 #include "check/lint.hpp"
+#include "check/lint2/layering.hpp"
+#include "check/lint2/report.hpp"
+#include "hip/hipify.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-using exa::check::lint::Report;
+namespace lint = exa::check::lint;
+using lint::Report;
 
 bool is_source_file(const fs::path& p) {
   static const std::vector<std::string> exts = {".cpp", ".cc",  ".cxx", ".c",
@@ -47,31 +63,82 @@ void collect(const fs::path& root, std::vector<fs::path>& out) {
   }
 }
 
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
 int usage() {
   std::cerr
-      << "usage: exa-lint [--allow <rule>]... [--list-rules] [--quiet]\n"
-         "                <file-or-directory>...\n"
+      << "usage: exa-lint [--allow <rule>]... [--only <rule>] [--list-rules]"
+         "\n                [--quiet] [--format=text|json|sarif]"
+         " [--output <file>]\n                [--exit-zero]"
+         " [--baseline <file>] <file-or-directory>...\n"
+         "       exa-lint --layers <manifest> [flags] <layer-root>\n"
+         "       exa-lint --check-sarif <file>\n"
          "Suppress a single finding in source with: "
-         "// exa-lint: allow(<rule>)\n";
+         "// exa-lint: allow(<rule>)\n"
+         "Machine-wide suppressions (justification required) live in the "
+         "--baseline file.\n";
   return 2;
+}
+
+void register_cuda_mappings() {
+  std::vector<lint::CudaMapping> mappings;
+  for (const auto& m : exa::hip::hipify::api_table()) {
+    mappings.push_back(lint::CudaMapping{m.cuda, m.hip, m.deprecated});
+  }
+  lint::set_cuda_mappings(std::move(mappings));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> disabled;
+  std::string only_rule;
   std::vector<fs::path> roots;
+  std::string format = "text";
+  std::string output_path;
+  std::string baseline_path;
+  std::string layers_path;
+  std::string check_sarif_path;
   bool quiet = false;
+  bool exit_zero = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value = [&](std::string& into) {
+      if (++i >= argc) return false;
+      into = argv[i];
+      return true;
+    };
     if (arg == "--allow") {
-      if (++i >= argc) return usage();
-      disabled.emplace_back(argv[i]);
+      std::string rule;
+      if (!value(rule)) return usage();
+      disabled.push_back(rule);
+    } else if (arg == "--only") {
+      if (!value(only_rule)) return usage();
     } else if (arg == "--list-rules") {
-      for (const auto& id : exa::check::lint::rule_ids()) {
-        std::cout << id << "\n";
-      }
+      for (const auto& id : lint::rule_ids()) std::cout << id << "\n";
       return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        return usage();
+      }
+    } else if (arg == "--output") {
+      if (!value(output_path)) return usage();
+    } else if (arg == "--baseline") {
+      if (!value(baseline_path)) return usage();
+    } else if (arg == "--layers") {
+      if (!value(layers_path)) return usage();
+    } else if (arg == "--check-sarif") {
+      if (!value(check_sarif_path)) return usage();
+    } else if (arg == "--exit-zero") {
+      exit_zero = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -83,31 +150,150 @@ int main(int argc, char** argv) {
       roots.emplace_back(arg);
     }
   }
+
+  if (!check_sarif_path.empty()) {
+    std::string text;
+    if (!read_file(check_sarif_path, text)) {
+      std::cerr << "exa-lint: cannot open " << check_sarif_path << "\n";
+      return 2;
+    }
+    std::string why;
+    if (!lint::sarif_has_minimal_shape(text, &why)) {
+      std::cerr << "exa-lint: " << check_sarif_path
+                << ": SARIF shape check failed: " << why << "\n";
+      return 1;
+    }
+    if (!quiet) std::cerr << "exa-lint: SARIF shape OK\n";
+    return 0;
+  }
+
   if (roots.empty()) return usage();
+  register_cuda_mappings();
+
+  if (!only_rule.empty()) {
+    const auto& ids = lint::rule_ids();
+    if (std::find(ids.begin(), ids.end(), only_rule) == ids.end()) {
+      std::cerr << "exa-lint: unknown rule '" << only_rule << "'\n";
+      return 2;
+    }
+    for (const auto& id : ids) {
+      if (id != only_rule) disabled.push_back(id);
+    }
+  }
+
+  lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "exa-lint: cannot open baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline = lint::parse_baseline(text);
+    if (!baseline.error.empty()) {
+      std::cerr << "exa-lint: " << baseline_path << ": " << baseline.error
+                << "\n";
+      return 2;
+    }
+  }
 
   std::vector<fs::path> files;
   for (const fs::path& root : roots) collect(root, files);
   std::sort(files.begin(), files.end());
 
-  std::size_t findings = 0;
-  int suppressed = 0;
-  for (const fs::path& file : files) {
-    std::ifstream in(file);
-    if (!in) {
-      std::cerr << "exa-lint: cannot open " << file << "\n";
-      continue;
+  Report report;
+  std::size_t file_count = files.size();
+  if (!layers_path.empty()) {
+    if (roots.size() != 1) {
+      std::cerr << "exa-lint: --layers takes exactly one layer root\n";
+      return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const Report report = exa::check::lint::lint_source(
-        buf.str(), file.generic_string(), disabled);
-    suppressed += report.suppressed;
-    findings += report.findings.size();
-    for (const auto& f : report.findings) std::cout << f.format() << "\n";
+    std::string manifest_text;
+    if (!read_file(layers_path, manifest_text)) {
+      std::cerr << "exa-lint: cannot open manifest " << layers_path << "\n";
+      return 2;
+    }
+    const lint::LayerManifest manifest =
+        lint::parse_layer_manifest(manifest_text);
+    if (!manifest.error.empty()) {
+      std::cerr << "exa-lint: " << layers_path << ": " << manifest.error
+                << "\n";
+      return 2;
+    }
+    std::vector<lint::SourceFile> sources;
+    sources.reserve(files.size());
+    for (const fs::path& file : files) {
+      std::string content;
+      if (!read_file(file, content)) {
+        std::cerr << "exa-lint: cannot open " << file << "\n";
+        continue;
+      }
+      sources.push_back(
+          lint::SourceFile{file.generic_string(), std::move(content)});
+    }
+    report = lint::check_layering(manifest, sources,
+                                  roots.front().generic_string());
+    // --allow / --only apply uniformly to the layering rules too.
+    if (!disabled.empty()) {
+      report.findings.erase(
+          std::remove_if(report.findings.begin(), report.findings.end(),
+                         [&](const lint::Finding& f) {
+                           return std::find(disabled.begin(), disabled.end(),
+                                            f.rule) != disabled.end();
+                         }),
+          report.findings.end());
+    }
+  } else {
+    for (const fs::path& file : files) {
+      std::string content;
+      if (!read_file(file, content)) {
+        std::cerr << "exa-lint: cannot open " << file << "\n";
+        continue;
+      }
+      Report one =
+          lint::lint_source(content, file.generic_string(), disabled);
+      report.suppressed += one.suppressed;
+      std::move(one.findings.begin(), one.findings.end(),
+                std::back_inserter(report.findings));
+    }
   }
+
+  std::vector<bool> baseline_used;
+  lint::apply_baseline(report, baseline, &baseline_used);
   if (!quiet) {
-    std::cerr << "exa-lint: " << files.size() << " file(s), " << findings
-              << " finding(s), " << suppressed << " suppressed\n";
+    for (std::size_t i = 0; i < baseline_used.size(); ++i) {
+      if (!baseline_used[i]) {
+        std::cerr << "exa-lint: note: baseline entry '"
+                  << baseline.entries[i].rule << " "
+                  << baseline.entries[i].path_suffix
+                  << "' matched nothing in this run\n";
+      }
+    }
   }
-  return findings == 0 ? 0 : 1;
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = lint::to_json(report);
+  } else if (format == "sarif") {
+    rendered = lint::to_sarif(report);
+  } else {
+    rendered = lint::to_text(report);
+  }
+  if (!output_path.empty()) {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::cerr << "exa-lint: cannot write " << output_path << "\n";
+      return 2;
+    }
+    out << rendered;
+  } else {
+    std::cout << rendered;
+  }
+
+  if (!quiet) {
+    std::cerr << "exa-lint: " << file_count << " file(s), "
+              << report.findings.size() << " finding(s), "
+              << report.suppressed << " suppressed\n";
+  }
+  if (exit_zero) return 0;
+  return report.findings.empty() ? 0 : 1;
 }
