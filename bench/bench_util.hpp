@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -108,26 +109,40 @@ inline void csv_row(const std::unique_ptr<CsvSink>& sink,
 
 /// Parses the shared bench flags and owns the capture lifecycle: enables
 /// the global Tracer/Profiler on construction, exports the Chrome trace
-/// and appends the JSONL profile on destruction. Unknown arguments are
-/// ignored (benches keep their own flags, google-benchmark keeps its own).
+/// and appends the JSONL profile on destruction. Unknown arguments are a
+/// hard error (usage on stderr, exit 2): a typo like --check-goldn= must
+/// not silently run ungated. Benches with flags of their own declare them
+/// via `extra_flags` ("--jobs=", ...) and read the values back with
+/// `extra()` / `extra_num()`.
 class Session {
  public:
   /// `default_seed` is the bench's own deterministic seed; --seed=
   /// overrides it. The effective seed is printed on entry (to stderr, so
   /// a flagless run's stdout stays byte-identical) — every bench run is
-  /// reproducible from its log.
-  Session(int argc, char** argv, std::uint64_t default_seed = 0x5eed'0000)
-      : seed_(default_seed) {
+  /// reproducible from its log. `extra_flags` lists this bench's own
+  /// "--name=" prefixes; anything not shared or listed rejects the run.
+  Session(int argc, char** argv, std::uint64_t default_seed = 0x5eed'0000,
+          std::vector<std::string> extra_flags = {})
+      : seed_(default_seed), extra_flags_(std::move(extra_flags)) {
     std::string seed_text;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      take(arg, "--trace=", trace_path_) ||
-          take(arg, "--profile-jsonl=", profile_path_) ||
-          take(arg, "--csv=", csv_path_) || take(arg, "--seed=", seed_text) ||
-          take(arg, "--emit-golden=", emit_golden_path_) ||
-          take(arg, "--check-golden=", check_golden_path_) ||
-          take(arg, "--io=", io_mode_) ||
-          take(arg, "--io-trace=", io_trace_path_);
+      bool known = take(arg, "--trace=", trace_path_) ||
+                   take(arg, "--profile-jsonl=", profile_path_) ||
+                   take(arg, "--csv=", csv_path_) ||
+                   take(arg, "--seed=", seed_text) ||
+                   take(arg, "--emit-golden=", emit_golden_path_) ||
+                   take(arg, "--check-golden=", check_golden_path_) ||
+                   take(arg, "--io=", io_mode_) ||
+                   take(arg, "--io-trace=", io_trace_path_);
+      for (std::size_t f = 0; !known && f < extra_flags_.size(); ++f) {
+        known = take(arg, extra_flags_[f], extra_values_[extra_flags_[f]]);
+      }
+      if (!known) {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+        print_usage(argv[0]);
+        std::exit(2);
+      }
     }
     if (!seed_text.empty()) {
       seed_ = std::strtoull(seed_text.c_str(), nullptr, 0);  // dec or 0x...
@@ -228,12 +243,42 @@ class Session {
     return io_mode_.empty() ? "quiet" : io_mode_;
   }
 
+  /// Value of a declared extra flag (by its "--name=" prefix), or "" when
+  /// the flag was not passed.
+  [[nodiscard]] std::string extra(const std::string& prefix) const {
+    const auto it = extra_values_.find(prefix);
+    return it == extra_values_.end() ? std::string() : it->second;
+  }
+  /// Numeric form of extra(); `fallback` when the flag was not passed.
+  [[nodiscard]] double extra_num(const std::string& prefix,
+                                 double fallback) const {
+    const std::string text = extra(prefix);
+    return text.empty() ? fallback : std::strtod(text.c_str(), nullptr);
+  }
+
  private:
   static bool take(const std::string& arg, const std::string& prefix,
                    std::string& out) {
     if (arg.rfind(prefix, 0) != 0) return false;
     out = arg.substr(prefix.size());
     return true;
+  }
+
+  void print_usage(const char* argv0) const {
+    std::fprintf(stderr,
+                 "usage: %s [flags]\n"
+                 "  --trace=<file>          Chrome trace-event JSON timeline\n"
+                 "  --profile-jsonl=<file>  append Extra-P JSONL profile samples\n"
+                 "  --csv=<file>            machine-readable series\n"
+                 "  --seed=<u64>            override the RNG seed (hex or dec)\n"
+                 "  --emit-golden=<file>    write this run's golden baseline\n"
+                 "  --check-golden=<file>   gate against a golden baseline\n"
+                 "  --io=<quiet|lustre|bb>  storage-model preset\n"
+                 "  --io-trace=<file>       DXT-style per-access I/O records\n",
+                 argv0);
+    for (const std::string& flag : extra_flags_) {
+      std::fprintf(stderr, "  %s<value>\n", flag.c_str());
+    }
   }
 
   void finish_golden() {
@@ -276,6 +321,8 @@ class Session {
   std::string io_trace_path_;
   io::IoConfig io_config_;  ///< quiet unless --io= selects a preset
   std::vector<qa::GoldenMetric> metrics_;
+  std::vector<std::string> extra_flags_;  ///< this bench's own prefixes
+  std::map<std::string, std::string> extra_values_;
 };
 
 }  // namespace exa::bench

@@ -1,6 +1,10 @@
 /// §3.6: CoMet's mixed-precision similarity pipeline — "over 6.71 exaflops
 /// of performance using mixed FP16/FP32 arithmetic on 9,074 compute nodes"
 /// with "near-perfect weak scaling behavior up to full system scale".
+///
+/// Scale-model runs go through the service layer (svc::run), the same
+/// Scenario path the always-on server executes; the golden gate proves
+/// the refactor is bit-stable.
 
 #include <cstdio>
 
@@ -8,6 +12,20 @@
 #include "bench_util.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "svc/scenario.hpp"
+
+namespace {
+
+exa::svc::Report comet_run(const std::string& machine, int nodes) {
+  exa::svc::Scenario scenario;
+  scenario.app = exa::svc::App::kComet;
+  scenario.machine = machine;
+  scenario.nodes = nodes;
+  scenario.params = {{"vectors_per_device", 8192.0}, {"samples", 100000.0}};
+  return exa::svc::run(scenario);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exa;
@@ -42,36 +60,37 @@ int main(int argc, char** argv) {
   table.set_header({"Nodes", "Devices", "Step time", "Sustained",
                     "Weak-scaling eff."});
   for (const int nodes : {1, 16, 128, 1024, 4096, 9074}) {
-    const CometScaleResult r = scale_run(frontier, nodes, 8192, 100000);
-    table.add_row({std::to_string(nodes),
-                   std::to_string(nodes * frontier.node.gpus_per_node),
-                   support::format_time(r.seconds_per_step, 2),
-                   support::format_si(r.sustained_flops, 3) + "flop/s",
-                   support::Table::cell(r.weak_scaling_efficiency * 100.0, 1) +
-                       "%"});
+    const svc::Report r = comet_run("frontier", nodes);
+    table.add_row(
+        {std::to_string(nodes),
+         std::to_string(nodes * frontier.node.gpus_per_node),
+         support::format_time(r.metric("seconds_per_step"), 2),
+         support::format_si(r.metric("sustained_flops"), 3) + "flop/s",
+         support::Table::cell(r.metric("weak_scaling_efficiency") * 100.0, 1) +
+             "%"});
   }
   std::printf("%s\n", table.render().c_str());
 
-  const CometScaleResult full = scale_run(frontier, 9074, 8192, 100000);
+  const svc::Report full = comet_run("frontier", 9074);
   bench::paper_vs_measured("sustained mixed-precision rate at 9,074 nodes",
-                           6.71e18, full.sustained_flops, "flop/s");
+                           6.71e18, full.metric("sustained_flops"), "flop/s");
   bench::paper_vs_measured("weak-scaling efficiency at full system", 0.99,
-                           full.weak_scaling_efficiency);
+                           full.metric("weak_scaling_efficiency"));
 
-  const CometScaleResult summit =
-      scale_run(arch::machines::summit(), 4600, 8192, 100000);
-  bench::paper_vs_measured("Table 2 CoMet speed-up (Frontier/Summit)", 5.2,
-                           full.sustained_flops / summit.sustained_flops,
-                           "x");
+  const svc::Report summit = comet_run("summit", 4600);
+  bench::paper_vs_measured(
+      "Table 2 CoMet speed-up (Frontier/Summit)", 5.2,
+      full.metric("sustained_flops") / summit.metric("sustained_flops"), "x");
 
   // Golden gate: the in-text exaflops claim and the functional check.
   session.metric("comet.gemm_vs_popcount_mismatches",
                  static_cast<double>(mismatches), 0.0);
-  session.metric("comet.sustained_flops_9074_nodes", full.sustained_flops,
-                 0.02);
+  session.metric("comet.sustained_flops_9074_nodes",
+                 full.metric("sustained_flops"), 0.02);
   session.metric("comet.weak_scaling_efficiency",
-                 full.weak_scaling_efficiency, 0.02);
+                 full.metric("weak_scaling_efficiency"), 0.02);
   session.metric("comet.speedup_vs_summit",
-                 full.sustained_flops / summit.sustained_flops, 0.02);
+                 full.metric("sustained_flops") / summit.metric("sustained_flops"),
+                 0.02);
   return 0;
 }

@@ -2,6 +2,10 @@
 /// nodes (measured 4.2x over Summit; ~230x over the original Theta
 /// baseline) and the per-kernel observation that exactly one of the six
 /// gravity kernels was wavefront-width sensitive.
+///
+/// Model runs go through the service layer (svc::run) — the same Scenario
+/// path the always-on server executes — so this bench's golden doubles as
+/// a bit-stability proof of the bench-to-library refactor.
 
 #include <cstdio>
 
@@ -9,6 +13,20 @@
 #include "bench_util.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "svc/scenario.hpp"
+
+namespace {
+
+exa::svc::Report hacc_run(const std::string& machine, int nodes, bool hydro) {
+  exa::svc::Scenario scenario;
+  scenario.app = exa::svc::App::kExaSky;
+  scenario.machine = machine;
+  scenario.nodes = nodes;
+  scenario.params = {{"particles_per_rank", 4.0e7}, {"hydro", hydro ? 1.0 : 0.0}};
+  return exa::svc::run(scenario);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exa;
@@ -31,29 +49,22 @@ int main(int argc, char** argv) {
                    "AMD, traced to the wavefront width");
   std::printf("%s\n", kernels.render().c_str());
 
-  // Step model and FOM across machines.
-  const auto theta_like = [](const arch::Machine& m, int nodes,
-                             double parts) {
-    return step_model(m, nodes, parts);
-  };
-  const StepModel summit =
-      theta_like(arch::machines::summit(), 4096, 4.0e7);
-  const StepModel frontier =
-      theta_like(arch::machines::frontier(), 8192, 4.0e7);
+  // Step model and FOM across machines, via the service layer.
+  const svc::Report summit = hacc_run("summit", 4096, false);
+  const svc::Report frontier = hacc_run("frontier", 8192, false);
+  const svc::Report hydro = hacc_run("frontier", 8192, true);
 
   support::Table fom("Weak-scaled step model");
   fom.set_header({"Machine", "Nodes", "Kind", "Step time",
                   "FOM (particle-steps/s)"});
   fom.add_row({"Summit", "4096", "gravity-only",
-               support::format_time(summit.total_s, 2),
+               support::format_time(summit.time_s, 2),
                support::format_si(summit.fom, 3)});
   fom.add_row({"Frontier", "8192", "gravity-only",
-               support::format_time(frontier.total_s, 2),
+               support::format_time(frontier.time_s, 2),
                support::format_si(frontier.fom, 3)});
-  const StepModel hydro = step_model(arch::machines::frontier(), 8192, 4.0e7,
-                                     SimKind::kHydro);
   fom.add_row({"Frontier", "8192", "hydro",
-               support::format_time(hydro.total_s, 2),
+               support::format_time(hydro.time_s, 2),
                support::format_si(hydro.fom, 3)});
   fom.add_note("the campaign runs gravity-only and hydrodynamic variants "
                "(Section 3.4); hydro adds the SPH kernel set");

@@ -2,6 +2,10 @@
 /// rank limits (N vs N^2), communication cycles (1 vs 2 transposes per
 /// transform), and where each wins; plus the CAAR FOM result (>5x at
 /// 32768^3 on 4096 Frontier nodes vs the 18432^3 Summit baseline).
+///
+/// Solve-model runs go through the service layer (svc::run), the same
+/// Scenario path the always-on server executes; the golden gate proves
+/// the refactor is bit-stable.
 
 #include <cstdio>
 #include <vector>
@@ -10,12 +14,25 @@
 #include "bench_util.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "svc/scenario.hpp"
+
+namespace {
+
+exa::svc::Report psdns_run(const std::string& machine, int nodes,
+                           std::size_t n, bool pencils) {
+  exa::svc::Scenario scenario;
+  scenario.app = exa::svc::App::kGests;
+  scenario.machine = machine;
+  scenario.nodes = nodes;
+  scenario.params = {{"n", double(n)}, {"pencils", pencils ? 1.0 : 0.0}};
+  return exa::svc::run(scenario);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exa;
   using apps::gests::Decomposition;
-  using apps::gests::PsdnsConfig;
-  using apps::gests::step_time;
   bench::Session session(argc, argv);
   bench::banner("GESTS decomposition study (Section 3.3)",
                 "Slabs (1 transpose, P<=N) vs Pencils (2 transposes, P<=N^2)");
@@ -29,11 +46,7 @@ int main(int argc, char** argv) {
   table.set_header({"Nodes", "Ranks", "Slabs t/step", "Pencils t/step",
                     "Slabs FOM", "Pencils FOM"});
   for (const int nodes : {64, 128, 256, 512, 1024, 2048, 4096}) {
-    PsdnsConfig slabs;
-    slabs.n = 8192;
-    slabs.decomp = Decomposition::kSlabs;
-    PsdnsConfig pencils = slabs;
-    pencils.decomp = Decomposition::kPencils;
+    const std::size_t n = 8192;
     const int ranks = nodes * frontier.node.gpus_per_node;
 
     std::string slabs_t = "rank limit";
@@ -41,26 +54,26 @@ int main(int argc, char** argv) {
     std::string slabs_t_raw;  // CSV wants raw numbers, not table strings
     std::string slabs_fom_raw;
     auto& profiler = trace::Profiler::instance();
-    if (nodes <= apps::gests::max_nodes(frontier, slabs.n,
-                                        Decomposition::kSlabs)) {
-      const auto t = step_time(frontier, nodes, slabs);
-      slabs_t = support::format_time(t.total(), 2);
+    if (nodes <=
+        apps::gests::max_nodes(frontier, n, Decomposition::kSlabs)) {
+      const svc::Report t = psdns_run("frontier", nodes, n, false);
+      slabs_t = support::format_time(t.time_s, 2);
       slabs_fom = support::format_si(t.fom, 2);
-      slabs_t_raw = bench::csv_num(t.total());
+      slabs_t_raw = bench::csv_num(t.time_s);
       slabs_fom_raw = bench::csv_num(t.fom);
-      profiler.record("gests/slabs/transpose", nodes, t.transpose_s);
-      profiler.record("gests/slabs/step", nodes, t.total());
+      profiler.record("gests/slabs/transpose", nodes, t.metric("transpose_s"));
+      profiler.record("gests/slabs/step", nodes, t.time_s);
     }
-    const auto tp = step_time(frontier, nodes, pencils);
-    profiler.record("gests/pencils/transpose", nodes, tp.transpose_s);
-    profiler.record("gests/pencils/fft", nodes, tp.fft_s);
-    profiler.record("gests/pencils/step", nodes, tp.total());
+    const svc::Report tp = psdns_run("frontier", nodes, n, true);
+    profiler.record("gests/pencils/transpose", nodes, tp.metric("transpose_s"));
+    profiler.record("gests/pencils/fft", nodes, tp.metric("fft_s"));
+    profiler.record("gests/pencils/step", nodes, tp.time_s);
     table.add_row({std::to_string(nodes), std::to_string(ranks), slabs_t,
-                   support::format_time(tp.total(), 2), slabs_fom,
+                   support::format_time(tp.time_s, 2), slabs_fom,
                    support::format_si(tp.fom, 2)});
     bench::csv_row(csv,
                    {std::to_string(nodes), std::to_string(ranks), slabs_t_raw,
-                    bench::csv_num(tp.total()), slabs_fom_raw,
+                    bench::csv_num(tp.time_s), slabs_fom_raw,
                     bench::csv_num(tp.fom)});
   }
   table.add_note("Slabs cap: N ranks; beyond it only Pencils continues");
@@ -68,34 +81,30 @@ int main(int argc, char** argv) {
 
   // The CAAR FOM check.
   const arch::Machine summit = arch::machines::summit();
-  PsdnsConfig baseline;
-  baseline.n = 16384;  // power-of-two stand-in for 18432^3
-  baseline.decomp = Decomposition::kSlabs;
+  const std::size_t baseline_n = 16384;  // power-of-two stand-in for 18432^3
   const int summit_nodes =
-      apps::gests::max_nodes(summit, baseline.n, Decomposition::kSlabs);
-  const auto t_summit = step_time(summit, summit_nodes, baseline);
+      apps::gests::max_nodes(summit, baseline_n, Decomposition::kSlabs);
+  const svc::Report t_summit =
+      psdns_run("summit", summit_nodes, baseline_n, false);
 
-  PsdnsConfig target;
-  target.n = 32768;
-  target.decomp = Decomposition::kSlabs;
-  const auto t_slabs = step_time(frontier, 4096, target);
-  target.decomp = Decomposition::kPencils;
-  const auto t_pencils = step_time(frontier, 4096, target);
+  const std::size_t target_n = 32768;
+  const svc::Report t_slabs = psdns_run("frontier", 4096, target_n, false);
+  const svc::Report t_pencils = psdns_run("frontier", 4096, target_n, true);
 
   std::printf("CAAR figure of merit (N^3 / t_wall):\n");
   std::printf("  Summit baseline  N=%5zu, %4d nodes: FOM = %s\n",
-              baseline.n, summit_nodes,
+              baseline_n, summit_nodes,
               support::format_si(t_summit.fom, 3).c_str());
-  std::printf("  Frontier Slabs   N=%5zu, 4096 nodes: FOM = %s\n", target.n,
+  std::printf("  Frontier Slabs   N=%5zu, 4096 nodes: FOM = %s\n", target_n,
               support::format_si(t_slabs.fom, 3).c_str());
-  std::printf("  Frontier Pencils N=%5zu, 4096 nodes: FOM = %s\n\n", target.n,
+  std::printf("  Frontier Pencils N=%5zu, 4096 nodes: FOM = %s\n\n", target_n,
               support::format_si(t_pencils.fom, 3).c_str());
   bench::paper_vs_measured("FOM improvement target (CAAR)", 4.0,
                            t_slabs.fom / t_summit.fom, "x");
   bench::paper_vs_measured("FOM improvement reported (both versions > 5x)",
                            5.0, t_slabs.fom / t_summit.fom, "x");
   bench::paper_vs_measured("Slabs advantage over Pencils at 4096 nodes", 1.2,
-                           t_pencils.total() / t_slabs.total(), "x");
+                           t_pencils.time_s / t_slabs.time_s, "x");
 
   // Golden gate: the CAAR FOM improvement is the in-text claim; the raw
   // Frontier FOM is absolute, so it also catches uniform cost drift.
@@ -103,6 +112,6 @@ int main(int argc, char** argv) {
                  0.02);
   session.metric("gests.frontier_slabs_fom_32768", t_slabs.fom, 0.02);
   session.metric("gests.slabs_vs_pencils_4096",
-                 t_pencils.total() / t_slabs.total(), 0.02);
+                 t_pencils.time_s / t_slabs.time_s, 0.02);
   return 0;
 }

@@ -2,6 +2,10 @@
 /// chemistry vs pointwise, UVM vs explicit data management, asynchronous
 /// vs synchronous ghost exchange, fused small-box launches — plus the
 /// weak-scaling result (>80% to 4096 Frontier nodes).
+///
+/// Code-state model runs go through the service layer (svc::run), the
+/// same Scenario path the always-on server executes; the weak-scaling
+/// numbers prove the refactor is bit-stable against the prior output.
 
 #include <cstdio>
 
@@ -11,6 +15,21 @@
 #include "net/scaling.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "svc/scenario.hpp"
+
+namespace {
+
+exa::svc::Report pele_run(const std::string& machine,
+                          exa::apps::pele::CodeState state, int nodes) {
+  exa::svc::Scenario scenario;
+  scenario.app = exa::svc::App::kPele;
+  scenario.machine = machine;
+  scenario.nodes = nodes;
+  scenario.params = {{"code_state", double(int(state))}};
+  return exa::svc::run(scenario);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace exa;
@@ -41,8 +60,6 @@ int main(int argc, char** argv) {
 
   // Code-state ablation on Frontier: each §3.8 optimization toggled by the
   // project timeline states.
-  const arch::Machine frontier = arch::machines::frontier();
-  const arch::Machine summit = arch::machines::summit();
   support::Table states("Per-node time/cell/step by code state");
   states.set_header({"Code state", "Summit", "Frontier"});
   for (const CodeState s :
@@ -50,24 +67,24 @@ int main(int argc, char** argv) {
         CodeState::kGpuTuned2023}) {
     states.add_row(
         {to_string(s),
-         support::format_time(time_per_cell_step(summit, s).total(), 2),
-         support::format_time(time_per_cell_step(frontier, s).total(), 2)});
+         support::format_time(pele_run("summit", s, 1).time_s, 2),
+         support::format_time(pele_run("frontier", s, 1).time_s, 2)});
   }
   std::printf("%s\n", states.render().c_str());
 
   // Cost-component breakdown before/after on Frontier.
   support::Table parts("Frontier per-cell cost breakdown");
   parts.set_header({"Component", "2020 state", "2023 state"});
-  const CellTime before =
-      time_per_cell_step(frontier, CodeState::kGpuUvmPointwise2020);
-  const CellTime after = time_per_cell_step(frontier, CodeState::kGpuTuned2023);
+  const svc::Report before =
+      pele_run("frontier", CodeState::kGpuUvmPointwise2020, 1);
+  const svc::Report after = pele_run("frontier", CodeState::kGpuTuned2023, 1);
   auto row = [&parts](const char* name, double b, double a) {
     parts.add_row({name, support::format_time(b, 2), support::format_time(a, 2)});
   };
-  row("chemistry", before.chem_s, after.chem_s);
-  row("hydro", before.hydro_s, after.hydro_s);
-  row("kernel launches", before.launch_s, after.launch_s);
-  row("UVM migration", before.uvm_s, after.uvm_s);
+  row("chemistry", before.metric("chem_s"), after.metric("chem_s"));
+  row("hydro", before.metric("hydro_s"), after.metric("hydro_s"));
+  row("kernel launches", before.metric("launch_s"), after.metric("launch_s"));
+  row("UVM migration", before.metric("uvm_s"), after.metric("uvm_s"));
   std::printf("%s\n", parts.render().c_str());
 
   // Weak scaling, sync vs async ghost exchange. Each node count also
@@ -80,19 +97,20 @@ int main(int argc, char** argv) {
   net::ScalingStudy weak("PeleC on Frontier (tuned code)",
                          net::ScalingKind::kWeak);
   weak.run({1, 8, 64, 512, 4096}, [&](int nodes) {
-    const CellTime ct =
-        time_per_cell_step(frontier, CodeState::kGpuTuned2023, nodes);
+    const svc::Report ct = pele_run("frontier", CodeState::kGpuTuned2023, nodes);
     auto& profiler = trace::Profiler::instance();
-    profiler.record("pele/chemistry", nodes, ct.chem_s);
-    profiler.record("pele/hydro", nodes, ct.hydro_s);
-    profiler.record("pele/ghost_exchange", nodes, ct.ghost_s);
-    profiler.record("pele/step", nodes, ct.total());
-    bench::csv_row(csv, {std::to_string(nodes), bench::csv_num(ct.chem_s),
-                         bench::csv_num(ct.hydro_s),
-                         bench::csv_num(ct.launch_s), bench::csv_num(ct.uvm_s),
-                         bench::csv_num(ct.ghost_s),
-                         bench::csv_num(ct.total())});
-    return ct.total();
+    profiler.record("pele/chemistry", nodes, ct.metric("chem_s"));
+    profiler.record("pele/hydro", nodes, ct.metric("hydro_s"));
+    profiler.record("pele/ghost_exchange", nodes, ct.metric("ghost_s"));
+    profiler.record("pele/step", nodes, ct.time_s);
+    bench::csv_row(csv,
+                   {std::to_string(nodes), bench::csv_num(ct.metric("chem_s")),
+                    bench::csv_num(ct.metric("hydro_s")),
+                    bench::csv_num(ct.metric("launch_s")),
+                    bench::csv_num(ct.metric("uvm_s")),
+                    bench::csv_num(ct.metric("ghost_s")),
+                    bench::csv_num(ct.time_s)});
+    return ct.time_s;
   });
   std::printf("%s\n", weak.to_table().render().c_str());
 
@@ -100,6 +118,6 @@ int main(int argc, char** argv) {
                            weak.final_efficiency());
   bench::paper_vs_measured(
       "2020 -> 2023 Frontier per-node gain", 3.0,
-      before.total() / after.total(), "x");
+      before.time_s / after.time_s, "x");
   return 0;
 }

@@ -1,0 +1,225 @@
+/// Load/soak harness for the always-on simulation service (exa::svc):
+/// four producer threads flood a `svc::Server` with tens of thousands of
+/// queued scenarios drawn from a small distinct pool (so dedupe carries
+/// the load), a slice of logically-deadlined jobs exercises expiry, and
+/// the run reports p50/p95/p99 submit-to-terminal latency plus
+/// throughput.
+///
+/// The golden gate is structure-only plus one mutation tripwire: job
+/// counts, the dedupe-hit count, and the conservation identity
+/// `submitted == completed + cancelled` are exact for ANY worker count
+/// (see server.hpp — dedupe is decided at pop time, deadlines are
+/// logical), while `svc.total_sim_time_s` (the sum of every completed
+/// job's simulated time, in job-id order) pins the underlying app models
+/// so the EXA_QA_MUTATION smoke still trips. Wall-clock latencies and
+/// throughput are printed but never gated.
+///
+///     svc_loadtest --jobs=12000 --producers=4 --workers=0
+///
+/// (workers=0 resolves like the global pool: EXA_THREADS, else hardware.)
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "svc/metrics.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using exa::svc::App;
+using exa::svc::Scenario;
+
+/// The distinct-scenario pool. Small by design: a load test of the
+/// scheduler, not of the app models — dedupe collapses the ~12k
+/// submissions onto these few distinct executions.
+std::vector<Scenario> make_pool() {
+  std::vector<Scenario> pool;
+  for (const int nodes : {1, 2, 4, 8, 16, 32}) {
+    for (const bool hydro : {false, true}) {
+      Scenario s;
+      s.app = App::kExaSky;
+      s.nodes = nodes;
+      s.params = {{"particles_per_rank", 1.0e6}, {"hydro", hydro ? 1.0 : 0.0}};
+      pool.push_back(s);
+    }
+  }
+  for (const int nodes : {1, 2, 4, 8}) {
+    for (const bool pencils : {false, true}) {
+      Scenario s;
+      s.app = App::kGests;
+      s.nodes = nodes;
+      s.params = {{"n", 1024.0}, {"pencils", pencils ? 1.0 : 0.0}};
+      pool.push_back(s);
+    }
+  }
+  for (const int nodes : {1, 2, 4, 8, 16, 32}) {
+    Scenario s;
+    s.app = App::kComet;
+    s.nodes = nodes;
+    s.params = {{"vectors_per_device", 1024.0}, {"samples", 10000.0}};
+    pool.push_back(s);
+  }
+  for (const int state : {2, 3, 4}) {
+    for (const int nodes : {1, 4}) {
+      Scenario s;
+      s.app = App::kPele;
+      s.nodes = nodes;
+      s.params = {{"code_state", double(state)}};
+      pool.push_back(s);
+    }
+  }
+  for (const bool fused : {false, true}) {
+    Scenario s;
+    s.app = App::kLammps;
+    s.nodes = 2;
+    s.params = {{"cells", 2.0}, {"fused", fused ? 1.0 : 0.0}};
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+/// One planned submission.
+struct PlannedJob {
+  std::size_t pool_index = 0;  ///< ignored for deadline jobs
+  int priority = 0;
+  bool deadline = false;  ///< unique-key job with deadline_tick = 0
+  double unique_tag = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace exa;
+  bench::Session session(argc, argv, 0x5e87'1c3d,
+                         {"--jobs=", "--producers=", "--workers="});
+  const auto jobs = std::size_t(session.extra_num("--jobs=", 12000));
+  const auto producers = std::size_t(session.extra_num("--producers=", 4));
+  const auto workers = std::size_t(session.extra_num("--workers=", 0));
+  bench::banner("exa::svc load test (service layer)",
+                "producer flood -> bounded priority queue -> dedupe at pop "
+                "-> worker pool; structure-exact golden");
+
+  const std::vector<Scenario> pool = make_pool();
+
+  // Plan every submission up front (seeded, so counts below are exact and
+  // replayable): every 8th job is a unique-key deadline job that expires
+  // at pop; the rest draw from the pool with a mixed priority.
+  support::Rng rng(session.seed());
+  std::vector<PlannedJob> plan(jobs);
+  std::size_t planned_deadline = 0;
+  std::vector<bool> drawn(pool.size(), false);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    PlannedJob& job = plan[i];
+    if (i % 8 == 7) {
+      job.deadline = true;
+      job.unique_tag = double(i);
+      ++planned_deadline;
+    } else {
+      job.pool_index = std::size_t(rng.next() % pool.size());
+      job.priority = int(rng.next() % 3);
+      drawn[job.pool_index] = true;
+    }
+  }
+  std::size_t distinct_drawn = 0;
+  for (const bool d : drawn) distinct_drawn += d ? 1u : 0u;
+
+  svc::MetricProxy metrics;
+  svc::ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = jobs;  // flood without producer backpressure
+  config.metrics = &metrics;
+  svc::Server server(config);
+
+  std::printf("plan: %zu jobs (%zu deadline, %zu distinct of %zu pool), "
+              "%zu producers, %zu workers\n\n",
+              jobs, planned_deadline, distinct_drawn, pool.size(), producers,
+              server.workers());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> feeders;
+  feeders.reserve(producers);
+  for (std::size_t t = 0; t < producers; ++t) {
+    feeders.emplace_back([&, t] {
+      // Producer t submits the strided slice t, t+P, t+2P, ...
+      for (std::size_t i = t; i < plan.size(); i += producers) {
+        const PlannedJob& job = plan[i];
+        svc::SubmitOptions opts;
+        if (job.deadline) {
+          Scenario s;
+          s.app = App::kExaSky;
+          s.params = {{"particles_per_rank", 1.0e9 + job.unique_tag}};
+          opts.deadline_tick = 0;  // expires at pop, counts as cancelled
+          opts.dedupe = false;
+          (void)server.submit(s, opts);
+        } else {
+          opts.priority = job.priority;
+          (void)server.submit(pool[job.pool_index], opts);
+        }
+      }
+    });
+  }
+  for (std::thread& f : feeders) f.join();
+  server.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const svc::ServerStats stats = server.stats();
+  const std::vector<double> lat = server.latencies();
+
+  // Simulated-time integral over completed jobs in job-id order: the
+  // FP-order-deterministic scalar that pins the app models (and drifts
+  // under the EXA_QA_MUTATION cost perturbation).
+  double total_sim_time_s = 0.0;
+  for (std::uint64_t id = 1; id <= jobs; ++id) {
+    const svc::JobStatus status = server.status(svc::JobId(id));
+    if (status.state == svc::JobState::kCompleted) {
+      total_sim_time_s += status.report.time_s;
+    }
+  }
+
+  std::printf("results:\n");
+  std::printf("  submitted            %llu\n",
+              (unsigned long long)stats.submitted);
+  std::printf("  completed            %llu\n",
+              (unsigned long long)stats.completed);
+  std::printf("  cancelled (expired)  %llu (%llu)\n",
+              (unsigned long long)stats.cancelled,
+              (unsigned long long)stats.expired);
+  std::printf("  dedupe hits          %llu\n",
+              (unsigned long long)stats.dedupe_hits);
+  std::printf("  distinct executions  %llu\n",
+              (unsigned long long)stats.executed);
+  std::printf("  peak queue depth     %llu\n",
+              (unsigned long long)stats.peak_queue_depth);
+  std::printf("  total simulated time %.6g s\n\n", total_sim_time_s);
+
+  std::printf("latency/throughput (wall clock; informational, not gated):\n");
+  std::printf("  p50  %10.3g s\n", support::percentile(lat, 50.0));
+  std::printf("  p95  %10.3g s\n", support::percentile(lat, 95.0));
+  std::printf("  p99  %10.3g s\n", support::percentile(lat, 99.0));
+  std::printf("  throughput %10.3g jobs/s over %.3g s\n\n",
+              double(jobs) / wall_s, wall_s);
+
+  std::fputs(metrics.prometheus_text().c_str(), stderr);
+
+  // Structure-exact gates (rel_tol 0): these hold for any EXA_THREADS.
+  session.metric("svc.jobs_submitted", double(stats.submitted), 0.0);
+  session.metric("svc.jobs_completed", double(stats.completed), 0.0);
+  session.metric("svc.jobs_cancelled", double(stats.cancelled), 0.0);
+  session.metric("svc.dedupe_hits", double(stats.dedupe_hits), 0.0);
+  session.metric("svc.distinct_executions", double(stats.executed), 0.0);
+  session.metric(
+      "svc.conservation",
+      double(stats.submitted) - double(stats.completed) - double(stats.cancelled),
+      0.0);
+  // Mutation tripwire: simulated time shifts with the exec-model cost
+  // constant; 2% tolerance passes FP noise, fails the mutation smoke.
+  session.metric("svc.total_sim_time_s", total_sim_time_s, 0.02);
+  return 0;
+}

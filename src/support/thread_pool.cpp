@@ -20,20 +20,6 @@ namespace {
 /// submit path, so nested dispatches run inline instead.
 thread_local int t_dispatch_depth = 0;
 
-/// Global pool size from EXA_THREADS (positive integer), or 0 to use
-/// hardware concurrency. Malformed values are ignored with a warning.
-std::size_t global_threads_from_env() {
-  const char* env = std::getenv("EXA_THREADS");
-  if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value < 1) {
-    log_warn("EXA_THREADS=", env, " is not a positive integer; ignoring");
-    return 0;
-  }
-  return static_cast<std::size_t>(value);
-}
-
 }  // namespace
 
 /// Shared state between the submitting thread and the workers. Work is
@@ -180,8 +166,20 @@ void ThreadPool::parallel_for_chunks(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(global_threads_from_env());
+  static ThreadPool pool(threads_from_env());
   return pool;
+}
+
+std::size_t ThreadPool::threads_from_env() {
+  const char* env = std::getenv("EXA_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 1) {
+    log_warn("EXA_THREADS=", env, " is not a positive integer; ignoring");
+    return 0;
+  }
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace exa::support

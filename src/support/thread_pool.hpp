@@ -98,6 +98,13 @@ class ThreadPool {
   /// (mirrors EXA_LOG_LEVEL), otherwise hardware concurrency.
   static ThreadPool& global();
 
+  /// The EXA_THREADS worker count (positive integer), or 0 when unset or
+  /// malformed (malformed values warn). Exposed so other fixed-size worker
+  /// pools — the svc::Server's, notably — resolve their default size by
+  /// the same rule the global pool uses, and the EXA_THREADS=1/4/16 ctest
+  /// variants steer every pool in the process at once.
+  [[nodiscard]] static std::size_t threads_from_env();
+
  private:
   /// Non-template dispatch core: partitions [begin, end) into grain-sized
   /// chunks claimed by an atomic cursor and executed as fn(ctx, lo, hi).

@@ -1,0 +1,177 @@
+#include "svc/metrics.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace exa::svc {
+
+namespace {
+
+/// Prometheus metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; anything else
+/// becomes '_' and a leading digit gets a '_' prefix.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  if (std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_value(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+MetricProxy::MetricProxy() : start_(std::chrono::steady_clock::now()) {}
+
+MetricProxy::~MetricProxy() { (void)stop_sampler(); }
+
+Counter& MetricProxy::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) != 0) {
+    throw support::Error("metric " + name + " is already a gauge");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricProxy::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) != 0) {
+    throw support::Error("metric " + name + " is already a counter");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+MetricSnapshot MetricProxy::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricSnapshot snap;
+  snap.uptime_s = uptime_s();
+  for (const auto& [name, counter] : counters_) {
+    snap.values[name] = double(counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.values[name] = gauge->value();
+  }
+  return snap;
+}
+
+std::string MetricProxy::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string safe = sanitize_name(name);
+    out += "# TYPE " + safe + " counter\n";
+    out += safe + " " + render_value(double(counter->value())) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string safe = sanitize_name(name);
+    out += "# TYPE " + safe + " gauge\n";
+    out += safe + " " + render_value(gauge->value()) + "\n";
+  }
+  return out;
+}
+
+void MetricProxy::enable_profiles() {
+  profiles_enabled_.store(true, std::memory_order_relaxed);
+}
+
+void MetricProxy::disable_profiles() {
+  profiles_enabled_.store(false, std::memory_order_relaxed);
+}
+
+void MetricProxy::record_profile(const std::string& callpath, double p,
+                                 double value, const std::string& metric) {
+  if (!profiles_enabled()) return;
+  trace::ProfileSample sample{{{"p", p}}, callpath, metric, value};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (profile_stream_) profile_stream_->append(sample);
+  profile_buffer_.push_back(std::move(sample));
+}
+
+void MetricProxy::stream_profiles_to(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    profile_stream_ = std::make_unique<trace::ProfileJsonlStream>(path);
+  }
+  enable_profiles();
+}
+
+std::vector<trace::ProfileSample> MetricProxy::profile_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return profile_buffer_;
+}
+
+void MetricProxy::export_extrap_jsonl(const std::string& path) const {
+  trace::append_jsonl(path, profile_samples());
+}
+
+std::map<std::string, trace::ScalingFit> MetricProxy::fit_live(
+    const std::string& param, const std::string& metric) const {
+  return trace::fit_profiles(profile_samples(), param, metric);
+}
+
+void MetricProxy::start_sampler(std::chrono::milliseconds period) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sampler_.joinable()) {
+    throw support::Error("metric sampler already running");
+  }
+  sampler_stop_ = false;
+  sampler_series_.clear();
+  sampler_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> sampler_lock(mutex_);
+    for (;;) {
+      if (sampler_cv_.wait_for(sampler_lock, period,
+                               [this] { return sampler_stop_; })) {
+        return;
+      }
+      // Scrape while holding the lock (the maps are guarded by it; the
+      // atomics themselves need no lock).
+      MetricSnapshot snap;
+      snap.uptime_s = uptime_s();
+      for (const auto& [name, counter] : counters_) {
+        snap.values[name] = double(counter->value());
+      }
+      for (const auto& [name, gauge] : gauges_) {
+        snap.values[name] = gauge->value();
+      }
+      sampler_series_.push_back(std::move(snap));
+    }
+  });
+}
+
+std::vector<MetricSnapshot> MetricProxy::stop_sampler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!sampler_.joinable()) return {};
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(sampler_series_);
+}
+
+double MetricProxy::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace exa::svc

@@ -1,0 +1,162 @@
+#pragma once
+/// \file metrics.hpp
+/// In-process metric proxy for the simulation service.
+///
+/// The SC'23 always-on-monitoring stack (SNIPPETS.md) pairs a long-lived
+/// service with a metrics sidecar: counters scrape cheaply into
+/// Prometheus, per-job timings append into an Extra-P JSONL profile, and
+/// scaling models are refit live as samples accumulate. `MetricProxy` is
+/// the in-process version of that sidecar:
+///
+///  * **Counters/gauges** are relaxed atomics behind stable references —
+///    hot-path updates are one `fetch_add`/`store` with no lock, safe from
+///    any worker thread. Registration (cold path) takes a mutex.
+///  * **Profile recording** follows the zero-overhead-off discipline of
+///    `trace::Profiler`: while disabled, `record_profile` is one relaxed
+///    load and a branch. Enabled, samples buffer in memory and optionally
+///    stream to an open JSONL file (one flushed line per sample, so a
+///    killed server loses at most the in-flight one).
+///  * **Exporters**: `prometheus_text()` renders the Prometheus text
+///    exposition format; `export_extrap_jsonl()` appends the buffered
+///    samples to a profile file that `exaready-scaling-fit` (and the PR 1
+///    fitter) consume; `fit_live()` runs the in-repo Extra-P fitter over
+///    the buffered samples directly.
+///  * **Sampler**: `start_sampler(period)` runs a background thread that
+///    snapshots every counter/gauge on a cadence, for load tests that
+///    want a time series rather than a final scrape.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/profile.hpp"
+#include "trace/scaling_model.hpp"
+
+namespace exa::svc {
+
+/// Monotonic counter. Obtained from MetricProxy::counter(); the reference
+/// stays valid for the proxy's lifetime, so hot paths hold the reference
+/// and never re-look it up.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricProxy;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (doubles; stored as atomic<double> with relaxed
+/// ordering — readers want *a* recent value, not a synchronized one).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricProxy;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// One timestamped scrape of every registered metric.
+struct MetricSnapshot {
+  double uptime_s = 0.0;  ///< seconds since the proxy was constructed
+  std::map<std::string, double> values;
+};
+
+class MetricProxy {
+ public:
+  MetricProxy();
+  ~MetricProxy();
+
+  MetricProxy(const MetricProxy&) = delete;
+  MetricProxy& operator=(const MetricProxy&) = delete;
+
+  /// Registers (or finds) the counter/gauge named `name`. Names are free
+  /// form here; the Prometheus exporter sanitizes them ([a-zA-Z0-9_:],
+  /// leading digit prefixed) at render time. Registering the same name as
+  /// both a counter and a gauge throws support::Error.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+
+  /// Scrapes every metric into a snapshot (counters as doubles).
+  [[nodiscard]] MetricSnapshot snapshot() const;
+
+  /// Prometheus text exposition format: one `# TYPE` line and one sample
+  /// per metric, names sanitized, values rendered locale-free.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  // --- Extra-P profile side ------------------------------------------------
+
+  /// Profile recording is off by default (zero overhead beyond one relaxed
+  /// load per call).
+  void enable_profiles();
+  void disable_profiles();
+  [[nodiscard]] bool profiles_enabled() const {
+    return profiles_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Buffers one sample `{params:{p},callpath,metric,value}` (and streams
+  /// it when a stream is attached). No-op while disabled.
+  void record_profile(const std::string& callpath, double p, double value,
+                      const std::string& metric = "time");
+
+  /// Attaches a live JSONL stream: every subsequent recorded sample is
+  /// also appended (and flushed) to `path`. Implies enable_profiles().
+  void stream_profiles_to(const std::string& path);
+
+  [[nodiscard]] std::vector<trace::ProfileSample> profile_samples() const;
+
+  /// Appends every buffered sample to `path` (Extra-P JSONL, the format
+  /// tools/scaling_fit consumes).
+  void export_extrap_jsonl(const std::string& path) const;
+
+  /// Fits scaling models over the buffered samples — the "fit models live
+  /// from the running service" loop.
+  [[nodiscard]] std::map<std::string, trace::ScalingFit> fit_live(
+      const std::string& param = "p", const std::string& metric = "time") const;
+
+  // --- periodic sampler ----------------------------------------------------
+
+  /// Starts a background thread snapshotting every `period`. Throws if a
+  /// sampler is already running.
+  void start_sampler(std::chrono::milliseconds period);
+  /// Stops the sampler (if running) and returns the collected series.
+  std::vector<MetricSnapshot> stop_sampler();
+
+ private:
+  [[nodiscard]] double uptime_s() const;
+
+  mutable std::mutex mutex_;  // registration, profile buffer, sampler series
+  // node-based maps so Counter&/Gauge& stay valid across registrations
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+
+  std::atomic<bool> profiles_enabled_{false};
+  std::vector<trace::ProfileSample> profile_buffer_;
+  std::unique_ptr<trace::ProfileJsonlStream> profile_stream_;
+
+  std::chrono::steady_clock::time_point start_;
+  std::thread sampler_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::vector<MetricSnapshot> sampler_series_;
+};
+
+}  // namespace exa::svc

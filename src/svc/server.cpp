@@ -1,0 +1,328 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace exa::svc {
+
+/// One accepted job. Owned by jobs_ for the server's lifetime (status()
+/// stays answerable after completion).
+struct Server::Job {
+  JobId id = 0;
+  Scenario scenario;
+  std::string key;  ///< scenario.key(), computed once at submit
+  SubmitOptions opts;
+  JobState state = JobState::kQueued;
+  Report report;
+  std::string error;
+  std::pair<int, std::uint64_t> queue_key;  ///< position while kQueued
+  std::chrono::steady_clock::time_point submit_time;
+};
+
+/// A scenario key currently executing: followers are jobs that popped the
+/// same key mid-flight and will complete with the leader's report.
+struct Server::ExecutionSlot {
+  std::vector<JobId> followers;
+};
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  throw support::Error("unhandled JobState");
+}
+
+Server::Server(ServerConfig config) : config_(config) {
+  if (config_.queue_capacity == 0) {
+    throw support::Error("svc::Server queue_capacity must be >= 1");
+  }
+  paused_ = config_.start_paused;
+  std::size_t workers = config_.workers;
+  if (workers == 0) workers = support::ThreadPool::threads_from_env();
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_ = workers;
+  if (config_.metrics != nullptr) {
+    m_submitted_ = &config_.metrics->counter("svc_jobs_submitted_total");
+    m_completed_ = &config_.metrics->counter("svc_jobs_completed_total");
+    m_cancelled_ = &config_.metrics->counter("svc_jobs_cancelled_total");
+    m_dedupe_hits_ = &config_.metrics->counter("svc_dedupe_hits_total");
+    m_executed_ = &config_.metrics->counter("svc_jobs_executed_total");
+    m_queue_depth_ = &config_.metrics->gauge("svc_queue_depth");
+  }
+  // The worker pool: a dedicated ThreadPool whose one dispatch is the W
+  // until-shutdown worker loops (grain 1 → one loop per chunk). The
+  // control thread submits the dispatch and, per ThreadPool contract,
+  // helps run chunks — so all W loops run concurrently even while the
+  // pool's own threads wake up, and a 1-worker server runs its loop
+  // inline on the control thread.
+  pool_ = std::make_unique<support::ThreadPool>(workers_);
+  control_ = std::thread([this] {
+    try {
+      pool_->for_each(
+          0, workers_, [this](std::size_t) { worker_loop(); }, 1);
+    } catch (const std::exception& e) {
+      // worker_loop contains run() exceptions; anything surfacing here is
+      // a server bug, but must not std::terminate the process.
+      support::log_error("svc worker dispatch failed: ", e.what());
+    }
+  });
+}
+
+Server::~Server() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Jobs still queued never run: cancel them so submitted ==
+    // completed + cancelled holds at teardown too.
+    for (const auto& [key, id] : queue_) {
+      (void)key;
+      cancel_locked(*jobs_.at(id), /*expired=*/false);
+    }
+    queue_.clear();
+    stats_.queue_depth = 0;
+    if (m_queue_depth_ != nullptr) m_queue_depth_->set(0.0);
+  }
+  cv_pop_.notify_all();
+  cv_space_.notify_all();
+  control_.join();
+  pool_.reset();
+}
+
+JobId Server::submit(Scenario scenario, SubmitOptions options) {
+  if (config_.validate_on_submit) validate(scenario);
+  std::string key = scenario.key();
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_space_.wait(lock, [&] {
+    return stop_ || queue_.size() < config_.queue_capacity;
+  });
+  if (stop_) throw support::Error("svc::Server is shut down");
+
+  auto job = std::make_unique<Job>();
+  const JobId id = next_id_++;
+  job->id = id;
+  job->scenario = std::move(scenario);
+  job->key = std::move(key);
+  job->opts = options;
+  job->queue_key = {-options.priority, ++submit_seq_};
+  job->submit_time = std::chrono::steady_clock::now();
+  queue_.emplace(job->queue_key, id);
+  jobs_.emplace(id, std::move(job));
+
+  ++stats_.submitted;
+  stats_.queue_depth = queue_.size();
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth,
+                                     stats_.queue_depth);
+  if (m_submitted_ != nullptr) m_submitted_->add();
+  if (m_queue_depth_ != nullptr) m_queue_depth_->set(double(queue_.size()));
+  cv_pop_.notify_one();
+  return id;
+}
+
+std::optional<JobId> Server::try_submit(Scenario scenario,
+                                        SubmitOptions options) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw support::Error("svc::Server is shut down");
+    if (queue_.size() >= config_.queue_capacity) return std::nullopt;
+  }
+  // The queue can only have shrunk since the check (we are the submitter);
+  // a racing producer may still fill it, in which case submit blocks
+  // briefly — acceptable for the advisory try_ form.
+  return submit(std::move(scenario), options);
+}
+
+bool Server::cancel(JobId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw support::Error("unknown job id");
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued) return false;
+  queue_.erase(job.queue_key);
+  stats_.queue_depth = queue_.size();
+  if (m_queue_depth_ != nullptr) m_queue_depth_->set(double(queue_.size()));
+  cancel_locked(job, /*expired=*/false);
+  cv_space_.notify_one();
+  return true;
+}
+
+JobStatus Server::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw support::Error("unknown job id");
+  Job* job = it->second.get();
+  cv_done_.wait(lock, [&] {
+    return job->state == JobState::kCompleted ||
+           job->state == JobState::kCancelled;
+  });
+  return JobStatus{job->id, job->state, job->report, job->error};
+}
+
+JobStatus Server::status(JobId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw support::Error("unknown job id");
+  const Job& job = *it->second;
+  return JobStatus{job.id, job.state, job.report, job.error};
+}
+
+void Server::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void Server::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_pop_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats out = stats_;
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+std::vector<double> Server::latencies() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latencies_;
+}
+
+void Server::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_pop_.wait(lock, [&] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
+    if (stop_) return;  // the destructor already cancelled queued jobs
+
+    const auto head = queue_.begin();
+    const JobId id = head->second;
+    queue_.erase(head);
+    stats_.queue_depth = queue_.size();
+    if (m_queue_depth_ != nullptr) m_queue_depth_->set(double(queue_.size()));
+    cv_space_.notify_one();
+    Job& job = *jobs_.at(id);
+    const std::uint64_t ordinal = ++pop_ordinal_;
+
+    // Deadlines: the logical pop-ordinal one (deterministic), then the
+    // wall-clock one.
+    bool expired = job.opts.deadline_tick >= 0 &&
+                   std::int64_t(ordinal) > job.opts.deadline_tick;
+    if (!expired && job.opts.deadline_s >= 0.0) {
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        job.submit_time)
+              .count();
+      expired = waited > job.opts.deadline_s;
+    }
+    if (expired) {
+      cancel_locked(job, /*expired=*/true);
+      continue;
+    }
+
+    const bool dedupe = config_.dedupe && job.opts.dedupe;
+    if (dedupe) {
+      if (const auto cached = report_cache_.find(job.key);
+          cached != report_cache_.end()) {
+        ++stats_.dedupe_hits;
+        if (m_dedupe_hits_ != nullptr) m_dedupe_hits_->add();
+        const auto err = error_cache_.find(job.key);
+        complete_locked(job, cached->second,
+                        err == error_cache_.end() ? std::string() : err->second);
+        continue;
+      }
+      if (const auto slot = running_.find(job.key); slot != running_.end()) {
+        ++stats_.dedupe_hits;
+        if (m_dedupe_hits_ != nullptr) m_dedupe_hits_->add();
+        job.state = JobState::kRunning;
+        slot->second->followers.push_back(id);
+        continue;  // the leader completes this job
+      }
+    }
+
+    // Leader: execute outside the lock.
+    auto slot = std::make_shared<ExecutionSlot>();
+    if (dedupe) running_.emplace(job.key, slot);
+    job.state = JobState::kRunning;
+    ++inflight_;
+    const Scenario scenario = job.scenario;
+    const std::string key = job.key;
+    lock.unlock();
+
+    Report report;
+    std::string error;
+    try {
+      report = run(scenario);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    if (config_.metrics != nullptr && error.empty()) {
+      config_.metrics->record_profile("svc/" + to_string(scenario.app),
+                                      double(scenario.nodes), report.time_s);
+    }
+
+    lock.lock();
+    ++stats_.executed;
+    if (m_executed_ != nullptr) m_executed_->add();
+    complete_locked(*jobs_.at(id), report, error);
+    if (dedupe) {
+      for (const JobId follower_id : slot->followers) {
+        complete_locked(*jobs_.at(follower_id), report, error);
+      }
+      running_.erase(key);
+      report_cache_.emplace(key, report);
+      if (!error.empty()) error_cache_.emplace(key, error);
+    }
+    --inflight_;
+    cv_done_.notify_all();
+  }
+}
+
+void Server::complete_locked(Job& job, const Report& report,
+                             const std::string& error) {
+  job.state = JobState::kCompleted;
+  job.report = report;
+  job.error = error;
+  ++stats_.completed;
+  if (m_completed_ != nullptr) m_completed_->add();
+  latencies_.push_back(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job.submit_time)
+          .count());
+  cv_done_.notify_all();
+}
+
+void Server::cancel_locked(Job& job, bool expired) {
+  job.state = JobState::kCancelled;
+  ++stats_.cancelled;
+  if (expired) ++stats_.expired;
+  if (m_cancelled_ != nullptr) m_cancelled_->add();
+  latencies_.push_back(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job.submit_time)
+          .count());
+  cv_done_.notify_all();
+}
+
+}  // namespace exa::svc

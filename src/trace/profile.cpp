@@ -66,6 +66,23 @@ void append_jsonl(const std::string& path,
   }
 }
 
+ProfileJsonlStream::ProfileJsonlStream(std::string path)
+    : path_(std::move(path)),
+      file_(std::make_unique<std::ofstream>(path_,
+                                            std::ios::binary | std::ios::app)) {
+  if (!*file_) throw support::Error("cannot open profile file: " + path_);
+}
+
+ProfileJsonlStream::~ProfileJsonlStream() = default;
+
+void ProfileJsonlStream::append(const ProfileSample& sample) {
+  *file_ << to_jsonl(sample) << '\n' << std::flush;
+  if (!file_->good()) {
+    throw support::Error("failed writing profile file: " + path_);
+  }
+  ++appended_;
+}
+
 std::vector<ProfileSample> load_jsonl(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw support::Error("cannot open profile file: " + path);

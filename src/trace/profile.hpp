@@ -15,7 +15,9 @@
 /// (params, callpath) lines are repetitions. New runs append; the fitter
 /// (scaling_model.hpp) and `tools/scaling_fit` consume the merged file.
 
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,30 @@ void append_jsonl(const std::string& path,
 /// Loads every sample from a JSONL profile file; blank lines are skipped;
 /// malformed lines throw support::Error naming the line number.
 [[nodiscard]] std::vector<ProfileSample> load_jsonl(const std::string& path);
+
+/// An open JSONL profile appender for long-lived producers. append_jsonl
+/// reopens the file per call — right for a bench flushing once at exit,
+/// wrong for a service streaming one sample per completed job — so this
+/// holds the stream open, writes one line per append, and flushes each
+/// line (a crashed server loses at most the in-flight sample). Throws
+/// support::Error if the file cannot be opened or a write fails.
+class ProfileJsonlStream {
+ public:
+  explicit ProfileJsonlStream(std::string path);
+  ~ProfileJsonlStream();
+
+  ProfileJsonlStream(const ProfileJsonlStream&) = delete;
+  ProfileJsonlStream& operator=(const ProfileJsonlStream&) = delete;
+
+  void append(const ProfileSample& sample);
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t appended() const { return appended_; }
+
+ private:
+  std::string path_;
+  std::size_t appended_ = 0;
+  std::unique_ptr<std::ofstream> file_;
+};
 
 /// Aggregates span durations (kComplete events, plus matched
 /// kSpanBegin/kSpanEnd pairs with virtual stamps) from a trace snapshot

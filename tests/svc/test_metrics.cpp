@@ -1,0 +1,245 @@
+/// Unit tests of the in-process metric proxy (svc::MetricProxy):
+/// counter/gauge registration semantics, snapshotting, the Prometheus
+/// text exporter (round-tripped through a minimal parser written here),
+/// the zero-overhead-off profile buffer, and the Extra-P export/fit path
+/// — a planted a + b·p^c model must be recovered both in-process
+/// (fit_live) and from the exported JSONL (trace::load_jsonl +
+/// fit_profiles). The SvcMetricsExport fixture additionally writes the
+/// sweep to the path in EXA_SVC_PLANT_JSONL so ctest can chain the
+/// standalone `exaready-scaling-fit` CLI onto the same file.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "svc/metrics.hpp"
+#include "trace/profile.hpp"
+#include "trace/scaling_model.hpp"
+
+namespace exa::svc {
+namespace {
+
+/// Minimal Prometheus text-exposition parser: `# TYPE <name> <kind>`
+/// comment lines followed by `<name> <value>` sample lines. Returns
+/// name → (kind, value); throws on any malformed line, untyped sample,
+/// or type/sample name mismatch, so the round-trip test fails loudly.
+std::map<std::string, std::pair<std::string, double>> parse_prometheus(
+    const std::string& text) {
+  std::map<std::string, std::pair<std::string, double>> out;
+  std::map<std::string, std::string> types;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    if (line[0] == '#') {
+      std::string hash, keyword, name, kind;
+      fields >> hash >> keyword >> name >> kind;
+      if (keyword != "TYPE" || name.empty() ||
+          (kind != "counter" && kind != "gauge")) {
+        throw support::Error("bad TYPE line: " + line);
+      }
+      types[name] = kind;
+      continue;
+    }
+    std::string name;
+    double value = 0.0;
+    if (!(fields >> name >> value)) {
+      throw support::Error("bad sample line: " + line);
+    }
+    const auto type = types.find(name);
+    if (type == types.end()) {
+      throw support::Error("sample without TYPE: " + name);
+    }
+    out[name] = {type->second, value};
+  }
+  return out;
+}
+
+TEST(SvcMetrics, CounterAndGaugeSemantics) {
+  MetricProxy proxy;
+  Counter& jobs = proxy.counter("jobs_total");
+  jobs.add();
+  jobs.add(41);
+  EXPECT_EQ(jobs.value(), 42u);
+  // Same name → same instance (hot paths cache the reference).
+  EXPECT_EQ(&proxy.counter("jobs_total"), &jobs);
+
+  Gauge& depth = proxy.gauge("queue_depth");
+  depth.set(7.5);
+  EXPECT_EQ(depth.value(), 7.5);
+  EXPECT_EQ(&proxy.gauge("queue_depth"), &depth);
+
+  // One name cannot be both a counter and a gauge.
+  EXPECT_THROW((void)proxy.gauge("jobs_total"), support::Error);
+  EXPECT_THROW((void)proxy.counter("queue_depth"), support::Error);
+}
+
+TEST(SvcMetrics, SnapshotScrapesEverything) {
+  MetricProxy proxy;
+  proxy.counter("a_total").add(3);
+  proxy.gauge("b").set(-2.5);
+  const MetricSnapshot snap = proxy.snapshot();
+  EXPECT_GE(snap.uptime_s, 0.0);
+  ASSERT_EQ(snap.values.count("a_total"), 1u);
+  ASSERT_EQ(snap.values.count("b"), 1u);
+  EXPECT_EQ(snap.values.at("a_total"), 3.0);
+  EXPECT_EQ(snap.values.at("b"), -2.5);
+}
+
+TEST(SvcMetrics, PrometheusTextRoundTrips) {
+  MetricProxy proxy;
+  proxy.counter("svc_jobs_submitted_total").add(12000);
+  proxy.gauge("svc_queue_depth").set(17.0);
+  // Names needing sanitization: dots/dashes → '_', leading digit prefixed.
+  proxy.counter("svc.jobs-weird").add(5);
+  proxy.gauge("9lives").set(9.0);
+
+  const auto parsed = parse_prometheus(proxy.prometheus_text());
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed.at("svc_jobs_submitted_total"),
+            (std::pair<std::string, double>{"counter", 12000.0}));
+  EXPECT_EQ(parsed.at("svc_queue_depth"),
+            (std::pair<std::string, double>{"gauge", 17.0}));
+  EXPECT_EQ(parsed.at("svc_jobs_weird"),
+            (std::pair<std::string, double>{"counter", 5.0}));
+  EXPECT_EQ(parsed.at("_9lives"),
+            (std::pair<std::string, double>{"gauge", 9.0}));
+}
+
+TEST(SvcMetrics, ProfileRecordingIsOffByDefault) {
+  MetricProxy proxy;
+  EXPECT_FALSE(proxy.profiles_enabled());
+  proxy.record_profile("svc/ignored", 64.0, 1.0);
+  EXPECT_TRUE(proxy.profile_samples().empty());
+
+  proxy.enable_profiles();
+  proxy.record_profile("svc/pele", 64.0, 0.125);
+  const auto samples = proxy.profile_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].callpath, "svc/pele");
+  EXPECT_EQ(samples[0].metric, "time");
+  EXPECT_EQ(samples[0].value, 0.125);
+  ASSERT_EQ(samples[0].params.count("p"), 1u);
+  EXPECT_EQ(samples[0].params.at("p"), 64.0);
+
+  proxy.disable_profiles();
+  proxy.record_profile("svc/ignored", 128.0, 2.0);
+  EXPECT_EQ(proxy.profile_samples().size(), 1u);
+}
+
+TEST(SvcMetrics, SamplerCollectsASeries) {
+  MetricProxy proxy;
+  Counter& ticks = proxy.counter("ticks_total");
+  proxy.start_sampler(std::chrono::milliseconds(5));
+  EXPECT_THROW(proxy.start_sampler(std::chrono::milliseconds(5)),
+               support::Error);
+  for (int i = 0; i < 5; ++i) {
+    ticks.add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto series = proxy.stop_sampler();
+  ASSERT_GE(series.size(), 2u);
+  // Counters are monotone, so the series must be non-decreasing.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].values.at("ticks_total"),
+              series[i - 1].values.at("ticks_total"));
+    EXPECT_GE(series[i].uptime_s, series[i - 1].uptime_s);
+  }
+  // Stopped: safe to call again, returns the (empty) next series.
+  EXPECT_TRUE(proxy.stop_sampler().empty());
+}
+
+/// The planted model the export/fit pipeline must recover. c = 1.5 is in
+/// the fitter's default exponent grid, so the recovery is exact.
+constexpr double kPlantA = 0.5;
+constexpr double kPlantB = 0.02;
+constexpr double kPlantC = 1.5;
+
+double planted(double p) { return kPlantA + kPlantB * std::pow(p, kPlantC); }
+
+void record_planted_sweep(MetricProxy& proxy) {
+  proxy.enable_profiles();
+  for (const double p : {64.0, 256.0, 1024.0}) {  // the 3-size sweep
+    proxy.record_profile("svc/planted_step", p, planted(p));
+  }
+}
+
+void expect_recovers_plant(const trace::ScalingFit& fit) {
+  EXPECT_EQ(fit.points, 3u);
+  EXPECT_GT(fit.r2, 0.999);
+  EXPECT_EQ(fit.d, 0);
+  EXPECT_NEAR(fit.c, kPlantC, 1e-9);
+  EXPECT_NEAR(fit.a, kPlantA, 1e-6);
+  EXPECT_NEAR(fit.b, kPlantB, 1e-9);
+  EXPECT_NEAR(fit.eval(4096.0), planted(4096.0), 1e-6 * planted(4096.0));
+}
+
+TEST(SvcMetrics, FitLiveRecoversPlantedModel) {
+  MetricProxy proxy;
+  record_planted_sweep(proxy);
+  const auto fits = proxy.fit_live();
+  ASSERT_EQ(fits.count("svc/planted_step"), 1u);
+  expect_recovers_plant(fits.at("svc/planted_step"));
+}
+
+/// Fixture half of the ctest pipeline (svc_extrap_plant →
+/// svc_extrap_fit): exports the planted sweep as Extra-P JSONL — to
+/// $EXA_SVC_PLANT_JSONL when ctest provides it, else a temp file — and
+/// proves the file itself round-trips through the offline fitter. The
+/// follow-up ctest runs `exaready-scaling-fit --min-r2` over the same
+/// file.
+TEST(SvcMetricsExport, PlantedModelJsonlFeedsScalingFit) {
+  const char* env = std::getenv("EXA_SVC_PLANT_JSONL");
+  const std::string path =
+      env != nullptr ? env : testing::TempDir() + "svc_plant.jsonl";
+  std::remove(path.c_str());  // export appends; start from a clean file
+
+  {
+    MetricProxy proxy;
+    record_planted_sweep(proxy);
+    proxy.export_extrap_jsonl(path);
+  }
+
+  const std::vector<trace::ProfileSample> loaded = trace::load_jsonl(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  const auto fits = trace::fit_profiles(loaded);
+  ASSERT_EQ(fits.count("svc/planted_step"), 1u);
+  expect_recovers_plant(fits.at("svc/planted_step"));
+}
+
+TEST(SvcMetricsExport, StreamingMirrorsBufferedExport) {
+  const std::string streamed = testing::TempDir() + "svc_stream.jsonl";
+  const std::string buffered = testing::TempDir() + "svc_buffer.jsonl";
+  std::remove(streamed.c_str());
+  std::remove(buffered.c_str());
+
+  MetricProxy proxy;
+  proxy.stream_profiles_to(streamed);  // implies enable_profiles()
+  EXPECT_TRUE(proxy.profiles_enabled());
+  record_planted_sweep(proxy);
+  proxy.export_extrap_jsonl(buffered);
+
+  // Same samples whether streamed line-by-line or exported at the end.
+  const auto a = trace::load_jsonl(streamed);
+  const auto b = trace::load_jsonl(buffered);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].callpath, b[i].callpath);
+    EXPECT_EQ(a[i].metric, b[i].metric);
+    EXPECT_EQ(a[i].value, b[i].value);
+    EXPECT_EQ(a[i].params, b[i].params);
+  }
+}
+
+}  // namespace
+}  // namespace exa::svc

@@ -1,0 +1,216 @@
+/// Soak/stress test of the always-on service: four producer threads
+/// flood one Server with 10k mixed scenarios — pool draws under mixed
+/// priorities, unique-key deadline jobs that expire at pop, and racing
+/// cancellation attempts — then the suite audits the full ledger:
+///
+///   * no job lost or duplicated (the returned ids are exactly 1..N),
+///   * conservation: submitted == completed + cancelled,
+///   * the queue drains (depth 0, nothing left running),
+///   * the dedupe identity completed − executed == dedupe_hits,
+///   * every completed duplicate of a key saw the same bitwise report.
+///
+/// The ctest registrations re-run this suite with EXA_THREADS=1/4/16
+/// (label "sanitize"), and the -DEXA_SANITIZE=thread build must pass it:
+/// this is the race gate for the queue/dedupe/deadline machinery.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "svc/metrics.hpp"
+#include "svc/server.hpp"
+
+namespace exa::svc {
+namespace {
+
+/// Cheap distinct scenarios: tiny analytic model runs, so the 10k-job
+/// soak spends its time in the scheduler, not the app models.
+std::vector<Scenario> soak_pool() {
+  std::vector<Scenario> pool;
+  for (const int nodes : {1, 2, 4}) {
+    for (const bool hydro : {false, true}) {
+      Scenario s;
+      s.app = App::kExaSky;
+      s.nodes = nodes;
+      s.params = {{"particles_per_rank", 1.0e5}, {"hydro", hydro ? 1.0 : 0.0}};
+      pool.push_back(s);
+    }
+  }
+  for (const int nodes : {1, 2}) {
+    Scenario s;
+    s.app = App::kGests;
+    s.nodes = nodes;
+    s.params = {{"n", 512.0}, {"pencils", 1.0}};
+    pool.push_back(s);
+  }
+  for (const int nodes : {1, 2}) {
+    Scenario s;
+    s.app = App::kComet;
+    s.nodes = nodes;
+    s.params = {{"vectors_per_device", 512.0}, {"samples", 1000.0}};
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+TEST(SvcSoak, ProducerFloodLosesNoJob) {
+  constexpr std::size_t kJobs = 10000;
+  constexpr std::size_t kProducers = 4;
+  const std::vector<Scenario> pool = soak_pool();
+
+  MetricProxy metrics;
+  ServerConfig config;
+  config.workers = 0;  // EXA_THREADS when set — the ctest variants' knob
+  config.queue_capacity = 1024;  // small enough to exercise backpressure
+  config.metrics = &metrics;
+  Server server(config);
+
+  // Producer t submits jobs t, t+P, t+2P, ... — each from its own seeded
+  // rng, collecting the ids the server handed back. Every 9th job is a
+  // unique-key deadline job (expires at pop); every 11th draws a racing
+  // cancel right after submit, which may win (job still queued) or lose
+  // (already popped) — conservation must hold either way.
+  std::vector<std::vector<JobId>> ids(kProducers);
+  std::vector<std::vector<JobId>> deadline_ids(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      support::Rng rng(0x50ac'0000 + t);
+      for (std::size_t i = t; i < kJobs; i += kProducers) {
+        SubmitOptions opts;
+        JobId id = 0;
+        if (i % 9 == 8) {
+          Scenario unique;
+          unique.app = App::kExaSky;
+          unique.params = {{"particles_per_rank", 2.0e9 + double(i)}};
+          opts.deadline_tick = 0;  // always expires (ordinals start at 1)
+          opts.dedupe = false;
+          id = server.submit(unique, opts);
+          deadline_ids[t].push_back(id);
+        } else {
+          opts.priority = int(rng.next() % 3);
+          id = server.submit(pool[rng.next() % pool.size()], opts);
+        }
+        ids[t].push_back(id);
+        if (i % 11 == 10) (void)server.cancel(id);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  server.drain();
+
+  // No job lost or duplicated: the ids handed out are exactly 1..kJobs.
+  std::vector<JobId> all;
+  all.reserve(kJobs);
+  for (const auto& slice : ids) all.insert(all.end(), slice.begin(), slice.end());
+  ASSERT_EQ(all.size(), kJobs);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < kJobs; ++i) ASSERT_EQ(all[i], JobId(i + 1));
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kJobs);
+  // Conservation: every accepted job reached exactly one terminal state.
+  EXPECT_EQ(stats.completed + stats.cancelled, kJobs);
+  // The queue drained and nothing is left mid-flight.
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Dedupe identity: every completed job either ran distinctly or was
+  // served by another execution — independent of worker count or timing.
+  EXPECT_EQ(stats.completed - stats.executed, stats.dedupe_hits);
+  // Every deadline job terminated cancelled — tick 0 can never survive a
+  // pop, and the only other exit is winning a racing explicit cancel.
+  std::size_t deadline_jobs = 0;
+  for (const auto& slice : deadline_ids) {
+    deadline_jobs += slice.size();
+    for (const JobId id : slice) {
+      EXPECT_EQ(server.status(id).state, JobState::kCancelled) << id;
+    }
+  }
+  EXPECT_EQ(deadline_jobs, kJobs / 9);  // every 9th of 10k
+  EXPECT_GE(stats.cancelled, deadline_jobs);
+  EXPECT_GT(stats.expired, 0u);
+  EXPECT_EQ(server.latencies().size(), kJobs);
+
+  // Terminal-state audit + purity: duplicates of a scenario key must all
+  // hold the same bitwise report.
+  std::map<std::string, double> first_time;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (JobId id = 1; id <= kJobs; ++id) {
+    const JobStatus status = server.status(id);
+    if (status.state == JobState::kCancelled) {
+      ++cancelled;
+      continue;
+    }
+    ASSERT_EQ(status.state, JobState::kCompleted) << "job " << id;
+    EXPECT_TRUE(status.error.empty());
+    ++completed;
+    const std::string key = status.report.scenario.key();
+    const auto [it, inserted] = first_time.emplace(key, status.report.time_s);
+    if (!inserted) EXPECT_EQ(status.report.time_s, it->second) << key;
+  }
+  EXPECT_EQ(completed, stats.completed);
+  EXPECT_EQ(cancelled, stats.cancelled);
+
+  // The metric proxy saw the same ledger the stats did.
+  const MetricSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.values.at("svc_jobs_submitted_total"), double(kJobs));
+  EXPECT_EQ(snap.values.at("svc_jobs_completed_total"),
+            double(stats.completed));
+  EXPECT_EQ(snap.values.at("svc_jobs_cancelled_total"),
+            double(stats.cancelled));
+  EXPECT_EQ(snap.values.at("svc_dedupe_hits_total"),
+            double(stats.dedupe_hits));
+  EXPECT_EQ(snap.values.at("svc_queue_depth"), 0.0);
+}
+
+TEST(SvcSoak, PauseResumeUnderLoad) {
+  // A smaller soak that toggles pause/resume while producers are active:
+  // pausing must never strand a job (drain still terminates) and the
+  // ledger must still balance.
+  constexpr std::size_t kJobs = 2000;
+  const std::vector<Scenario> pool = soak_pool();
+
+  ServerConfig config;
+  config.workers = 0;
+  config.queue_capacity = 256;
+  Server server(config);
+
+  std::thread toggler([&] {
+    for (int i = 0; i < 50; ++i) {
+      server.pause();
+      std::this_thread::yield();
+      server.resume();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    producers.emplace_back([&, t] {
+      support::Rng rng(t + 1);
+      for (std::size_t i = t; i < kJobs; i += 2) {
+        (void)server.submit(pool[rng.next() % pool.size()]);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  toggler.join();
+  server.resume();  // the toggler may have exited paused
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kJobs);
+  EXPECT_EQ(stats.completed + stats.cancelled, kJobs);
+  EXPECT_EQ(stats.cancelled, 0u);  // nothing here expires or cancels
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.completed - stats.executed, stats.dedupe_hits);
+}
+
+}  // namespace
+}  // namespace exa::svc

@@ -1,0 +1,227 @@
+/// Property tests of the service scheduler (exa::qa core, EXA_QA_SEED
+/// replayable): random submission/cancellation/deadline interleavings
+/// checked against a single-threaded reference scheduler.
+///
+/// The load-bearing claim (server.hpp "Determinism for the property
+/// suite"): submissions and cancellations admitted while the server is
+/// paused, then resume() + drain(), execute in the fully-determined
+/// (priority desc, submit order asc) order — so per-job terminal states,
+/// the dedupe count, and the expiry set must match a 40-line sequential
+/// model of the scheduler EXACTLY, no matter how many workers EXA_THREADS
+/// grants the real server (the ctest variants pin 1/4/16). A second
+/// property drops the pause and checks the timing-independent invariants
+/// under live racing: conservation, the dedupe identity, and report
+/// purity per scenario key.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qa/property.hpp"
+#include "svc/server.hpp"
+
+namespace exa::qa {
+namespace {
+
+using svc::App;
+using svc::JobId;
+using svc::JobState;
+using svc::Scenario;
+using svc::Server;
+using svc::ServerConfig;
+using svc::ServerStats;
+using svc::SubmitOptions;
+
+/// Small pool of cheap distinct scenarios (collisions are the point:
+/// dedupe must fire often).
+std::vector<Scenario> prop_pool() {
+  std::vector<Scenario> pool;
+  for (const int nodes : {1, 2}) {
+    for (const bool hydro : {false, true}) {
+      Scenario s;
+      s.app = App::kExaSky;
+      s.nodes = nodes;
+      s.params = {{"particles_per_rank", 1.0e5}, {"hydro", hydro ? 1.0 : 0.0}};
+      pool.push_back(s);
+    }
+  }
+  return pool;
+}
+
+struct PlannedJob {
+  std::size_t pool_index = 0;
+  int priority = 0;
+  std::int64_t deadline_tick = -1;
+  bool dedupe = true;
+  bool cancel = false;  ///< cancelled while the server is still paused
+};
+
+std::vector<PlannedJob> gen_plan(Gen& g, std::size_t jobs,
+                                 std::size_t pool_size) {
+  std::vector<PlannedJob> plan(jobs);
+  for (PlannedJob& job : plan) {
+    job.pool_index = g.index(pool_size);
+    job.priority = int(g.range_int(0, 2));
+    if (g.chance(0.3)) {
+      job.deadline_tick = g.range_int(0, std::int64_t(jobs));
+    }
+    job.dedupe = !g.chance(0.15);
+    job.cancel = g.chance(0.2);
+  }
+  return plan;
+}
+
+/// The sequential model: replays the exact pop-time rules of
+/// Server::worker_loop over the fully-determined queue order.
+struct ReferenceOutcome {
+  std::vector<JobState> state;  ///< per submit index
+  std::uint64_t executed = 0;
+  std::uint64_t dedupe_hits = 0;
+  std::uint64_t expired = 0;
+};
+
+ReferenceOutcome reference_schedule(const std::vector<PlannedJob>& plan) {
+  ReferenceOutcome out;
+  out.state.assign(plan.size(), JobState::kQueued);
+
+  // Queue order: (priority desc, submission order asc); pre-resume
+  // cancellations never reach the queue walk.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (plan[i].cancel) {
+      out.state[i] = JobState::kCancelled;
+    } else {
+      order.push_back(i);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return plan[a].priority > plan[b].priority;
+                   });
+
+  // Pop walk. Only dedupe-enabled executions populate the report cache
+  // (a dedupe opt-out never creates a slot or a cache entry), and
+  // expired jobs never execute, so they add nothing either.
+  std::map<std::size_t, bool> cached;  // pool index → report cached
+  std::uint64_t ordinal = 0;
+  for (const std::size_t i : order) {
+    const PlannedJob& job = plan[i];
+    ++ordinal;
+    if (job.deadline_tick >= 0 &&
+        std::int64_t(ordinal) > job.deadline_tick) {
+      out.state[i] = JobState::kCancelled;
+      ++out.expired;
+      continue;
+    }
+    out.state[i] = JobState::kCompleted;
+    if (job.dedupe && cached[job.pool_index]) {
+      ++out.dedupe_hits;
+      continue;
+    }
+    ++out.executed;
+    if (job.dedupe) cached[job.pool_index] = true;
+  }
+  return out;
+}
+
+EXA_PROPERTY(SvcProps, PausedScheduleMatchesReference) {
+  const std::vector<Scenario> pool = prop_pool();
+  const std::size_t jobs = g.size(1, 80);
+  const std::vector<PlannedJob> plan = gen_plan(g, jobs, pool.size());
+
+  ServerConfig config;
+  config.workers = 0;  // EXA_THREADS — the whole point of the property
+  config.queue_capacity = jobs;
+  config.start_paused = true;
+  Server server(config);
+
+  std::vector<JobId> ids(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    SubmitOptions opts;
+    opts.priority = plan[i].priority;
+    opts.deadline_tick = plan[i].deadline_tick;
+    opts.dedupe = plan[i].dedupe;
+    ids[i] = server.submit(pool[plan[i].pool_index], opts);
+  }
+  for (std::size_t i = 0; i < jobs; ++i) {
+    if (plan[i].cancel) {
+      require(server.cancel(ids[i]), "paused cancel must win");
+    }
+  }
+  server.resume();
+  server.drain();
+
+  const ReferenceOutcome want = reference_schedule(plan);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const JobState got = server.status(ids[i]).state;
+    require(got == want.state[i],
+            "job " + std::to_string(i) + ": server says " +
+                svc::to_string(got) + ", reference says " +
+                svc::to_string(want.state[i]));
+  }
+  const ServerStats stats = server.stats();
+  require(stats.executed == want.executed,
+          "executed " + std::to_string(stats.executed) + " != " +
+              std::to_string(want.executed));
+  require(stats.dedupe_hits == want.dedupe_hits,
+          "dedupe_hits " + std::to_string(stats.dedupe_hits) + " != " +
+              std::to_string(want.dedupe_hits));
+  require(stats.expired == want.expired,
+          "expired " + std::to_string(stats.expired) + " != " +
+              std::to_string(want.expired));
+  require(stats.submitted == stats.completed + stats.cancelled,
+          "conservation violated");
+}
+
+EXA_PROPERTY(SvcProps, LiveInterleavingsKeepInvariants) {
+  // No pause: producers race the workers, so which cancels win and who
+  // leads each execution is timing-dependent — but the ledger identities
+  // and report purity are not.
+  const std::vector<Scenario> pool = prop_pool();
+  const std::size_t jobs = g.size(1, 60);
+
+  ServerConfig config;
+  config.workers = 0;
+  config.queue_capacity = jobs;
+  Server server(config);
+
+  std::vector<JobId> ids;
+  ids.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    SubmitOptions opts;
+    opts.priority = int(g.range_int(0, 2));
+    opts.dedupe = !g.chance(0.2);
+    if (g.chance(0.2)) opts.deadline_tick = g.range_int(0, std::int64_t(jobs));
+    ids.push_back(server.submit(pool[g.index(pool.size())], opts));
+    if (g.chance(0.25)) (void)server.cancel(ids[g.index(ids.size())]);
+  }
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  require(stats.submitted == jobs, "submitted != planned");
+  require(stats.submitted == stats.completed + stats.cancelled,
+          "conservation violated");
+  require(stats.completed - stats.executed == stats.dedupe_hits,
+          "dedupe identity violated");
+  require(stats.queue_depth == 0, "queue did not drain");
+
+  std::map<std::string, double> first_time;
+  for (const JobId id : ids) {
+    const svc::JobStatus status = server.status(id);
+    require(status.state == JobState::kCompleted ||
+                status.state == JobState::kCancelled,
+            "job left non-terminal");
+    if (status.state != JobState::kCompleted) continue;
+    const std::string key = status.report.scenario.key();
+    const auto [it, inserted] = first_time.emplace(key, status.report.time_s);
+    require(inserted || it->second == status.report.time_s,
+            "two completions of one key disagree: " + key);
+  }
+}
+
+}  // namespace
+}  // namespace exa::qa
