@@ -14,6 +14,7 @@
 ///     --check-golden=<file>   gate this run against a checked-in baseline
 ///     --io=<quiet|lustre|bb>  storage-model preset for io-aware benches
 ///     --io-trace=<file>       dump DXT-style per-access I/O records (JSONL)
+///     --help                  print the full flag list (stdout, exit 0)
 ///
 /// Construct a `Session` from argc/argv at the top of main; it enables the
 /// trace::Tracer / trace::Profiler for the run, prints the effective seed
@@ -127,6 +128,11 @@ class Session {
     std::string seed_text;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      if (arg == "--help") {
+        // Usage on stdout (it is the requested output), exit 0.
+        print_usage(argv[0], stdout);
+        std::exit(0);
+      }
       bool known = take(arg, "--trace=", trace_path_) ||
                    take(arg, "--profile-jsonl=", profile_path_) ||
                    take(arg, "--csv=", csv_path_) ||
@@ -264,8 +270,8 @@ class Session {
     return true;
   }
 
-  void print_usage(const char* argv0) const {
-    std::fprintf(stderr,
+  void print_usage(const char* argv0, std::FILE* out = stderr) const {
+    std::fprintf(out,
                  "usage: %s [flags]\n"
                  "  --trace=<file>          Chrome trace-event JSON timeline\n"
                  "  --profile-jsonl=<file>  append Extra-P JSONL profile samples\n"
@@ -274,10 +280,11 @@ class Session {
                  "  --emit-golden=<file>    write this run's golden baseline\n"
                  "  --check-golden=<file>   gate against a golden baseline\n"
                  "  --io=<quiet|lustre|bb>  storage-model preset\n"
-                 "  --io-trace=<file>       DXT-style per-access I/O records\n",
+                 "  --io-trace=<file>       DXT-style per-access I/O records\n"
+                 "  --help                  print this usage and exit\n",
                  argv0);
     for (const std::string& flag : extra_flags_) {
-      std::fprintf(stderr, "  %s<value>\n", flag.c_str());
+      std::fprintf(out, "  %s<value>\n", flag.c_str());
     }
   }
 

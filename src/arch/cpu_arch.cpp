@@ -86,4 +86,18 @@ CpuArch epyc_trento() {
   return c;
 }
 
+CpuArch ampere_altra() {
+  // Ampere Altra Q80-30 (Neoverse N1): 80 cores @ 3.0 GHz, two 128-bit
+  // NEON FMA pipes per core -> 8 FP64 flops/cycle/core. The Arm host of
+  // the GPU-accelerated Wombat testbed (arxiv 2209.09731).
+  CpuArch c;
+  c.name = "Ampere Altra Q80-30 (Neoverse N1, Wombat host)";
+  c.cores = 80;
+  c.clock_ghz = 3.0;
+  c.peak_fp64_flops = 1.92 * TERA;
+  c.mem_bandwidth_bytes_per_s = 200.0 * GIGA;  // 8-channel DDR4-3200
+  c.sustained_fraction = 0.10;
+  return c;
+}
+
 }  // namespace exa::arch

@@ -30,5 +30,6 @@ struct CpuArch {
 [[nodiscard]] CpuArch epyc_naples();   ///< EPYC 7601 (Poplar/Tulip host)
 [[nodiscard]] CpuArch epyc_rome();     ///< EPYC 7662 (Spock/Birch host)
 [[nodiscard]] CpuArch epyc_trento();   ///< optimized 3rd-gen EPYC (Frontier host)
+[[nodiscard]] CpuArch ampere_altra();  ///< Altra Q80-30, 80 Arm cores (Wombat host)
 
 }  // namespace exa::arch

@@ -68,6 +68,41 @@ GpuArch v100() {
   return g;
 }
 
+GpuArch a100() {
+  GpuArch g;
+  g.name = "NVIDIA A100 (PCIe 40GB)";
+  g.vendor = GpuVendor::kNvidia;
+  g.compute_units = 108;
+  g.wavefront_size = 32;
+  g.max_threads_per_cu = 2048;
+  g.max_blocks_per_cu = 32;
+  g.registers_per_cu = 65536;
+  g.max_registers_per_thread = 255;
+  g.lds_per_cu_bytes = 164 * KiB;  // Ampere: up to 164 KB carved from L1
+  g.peak_vector_flops = {{DType::kF64, 9.7 * TERA},
+                         {DType::kF32, 19.5 * TERA},
+                         {DType::kF16, 78.0 * TERA},
+                         {DType::kBF16, 39.0 * TERA},
+                         {DType::kI32, 19.5 * TERA},
+                         {DType::kI8, 78.0 * TERA}};
+  // Ampere's FP64 tensor cores double the vector rate — the first part
+  // where double precision runs through matrix units.
+  g.peak_matrix_flops = {{DType::kF64, 19.5 * TERA},
+                         {DType::kF32, 156.0 * TERA},  // TF32 path
+                         {DType::kF16, 312.0 * TERA},
+                         {DType::kBF16, 312.0 * TERA},
+                         {DType::kI8, 624.0 * TERA}};
+  g.hbm_bandwidth_bytes_per_s = 1555.0 * GIGA;
+  g.hbm_capacity_bytes = 40 * GiB;
+  g.l2_bytes = 40 * MiB;
+  g.kernel_launch_latency_s = 4.0 * USEC;
+  g.alloc_latency_s = 80.0 * USEC;
+  g.free_latency_s = 40.0 * USEC;
+  g.uvm_page_fault_latency_s = 30.0 * USEC;
+  g.host_link = {"PCIe 4.0 x16", 26.0 * GIGA, 3.0 * USEC};
+  return g;
+}
+
 GpuArch mi60() {
   GpuArch g;
   g.name = "AMD MI60 (Vega 20)";

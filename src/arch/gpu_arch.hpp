@@ -3,7 +3,9 @@
 /// Analytic GPU architecture descriptions. These are the calibrated inputs
 /// to the device performance model (sim/); values come from public vendor
 /// spec sheets for the parts the paper names: NVIDIA V100 (Summit), AMD
-/// MI60 (Poplar/Tulip), MI100 (Spock/Birch), and MI250X (Crusher/Frontier).
+/// MI60 (Poplar/Tulip), MI100 (Spock/Birch), and MI250X (Crusher/Frontier),
+/// plus the NVIDIA A100 of the GPU-accelerated Arm testbed (Wombat,
+/// arxiv 2209.09731) that campaigns compare Frontier against.
 ///
 /// A note on the MI250X: it is a two-die module. Software (and the paper)
 /// treats each Graphics Compute Die (GCD) as one GPU, so `mi250x_gcd()` is
@@ -77,6 +79,7 @@ struct GpuArch {
 
 /// Factory functions for the parts used across the paper's systems.
 [[nodiscard]] GpuArch v100();        ///< Summit (NVIDIA Volta, 2017)
+[[nodiscard]] GpuArch a100();        ///< Wombat Arm testbed (NVIDIA Ampere, PCIe 40GB)
 [[nodiscard]] GpuArch mi60();        ///< Poplar/Tulip EAS gen 1 (Vega 20)
 [[nodiscard]] GpuArch mi100();       ///< Spock/Birch EAS gen 2 (CDNA 1)
 [[nodiscard]] GpuArch mi250x_gcd();  ///< Crusher/Frontier (CDNA 2, per GCD)

@@ -65,6 +65,18 @@ Interconnect slingshot11() {
   return net;
 }
 
+Interconnect ib_hdr100() {
+  // Wombat: single-rail HDR-100 InfiniBand (ConnectX-6 at 100 Gb/s).
+  Interconnect net;
+  net.name = "InfiniBand HDR-100";
+  net.nic_bandwidth_bytes_per_s = 12.5 * GIGA;
+  net.nics_per_node = 1;
+  net.latency_s = 1.3 * USEC;
+  net.per_message_overhead_s = 0.7 * USEC;
+  net.bisection_factor = 0.9;  // small cluster, near-full bisection
+  return net;
+}
+
 Interconnect aries_like(const char* name) {
   Interconnect net;
   net.name = name;
@@ -185,9 +197,25 @@ Machine eagle() {
   return m;
 }
 
+Machine wombat() {
+  // The GPU-accelerated Arm testbed of arxiv 2209.09731: Ampere Altra
+  // hosts with two PCIe A100s per node — the cross-ISA comparison point
+  // campaigns sweep against Frontier.
+  Machine m;
+  m.name = "Wombat";
+  m.year = 2021;
+  m.node_count = 16;
+  m.node.cpu = ampere_altra();
+  m.node.gpu = a100();
+  m.node.gpus_per_node = 2;
+  m.network = ib_hdr100();
+  return m;
+}
+
 std::vector<Machine> all() {
-  std::vector<Machine> ms = {cori(),  theta(), eagle(), summit(), poplar(),
-                             tulip(), spock(), birch(), crusher(), frontier()};
+  std::vector<Machine> ms = {cori(),  theta(),  eagle(),   summit(),
+                             poplar(), tulip(), spock(),   birch(),
+                             wombat(), crusher(), frontier()};
   std::stable_sort(ms.begin(), ms.end(), [](const Machine& a, const Machine& b) {
     return a.year < b.year;
   });

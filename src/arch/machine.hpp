@@ -72,6 +72,7 @@ namespace machines {
 [[nodiscard]] Machine cori();      ///< NERSC Cori KNL partition
 [[nodiscard]] Machine theta();     ///< ANL Theta KNL
 [[nodiscard]] Machine eagle();     ///< NREL Eagle Skylake
+[[nodiscard]] Machine wombat();    ///< Arm testbed: Altra + 2x A100 (arxiv 2209.09731)
 
 /// All machines, ordered by year (the early-access progression).
 [[nodiscard]] std::vector<Machine> all();

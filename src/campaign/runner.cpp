@@ -1,0 +1,75 @@
+#include "campaign/runner.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+#include "svc/metrics.hpp"
+#include "svc/server.hpp"
+
+namespace exa::campaign {
+
+CampaignRunner::CampaignRunner(RunnerConfig config)
+    : config_(std::move(config)) {}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  const std::vector<svc::Scenario> grid = expand_grid(spec);
+  EXA_REQUIRE_MSG(!grid.empty(), "campaign " + spec.name + " has an empty grid");
+
+  svc::MetricProxy proxy;
+  proxy.enable_profiles();
+
+  svc::ServerConfig server_config;
+  server_config.workers = config_.workers;
+  server_config.queue_capacity = grid.size();
+  server_config.metrics = &proxy;
+  // Paused submission: the whole grid queues first, so dedupe and pop
+  // order are a pure function of the spec at any worker count.
+  server_config.start_paused = true;
+  svc::Server server(server_config);
+
+  svc::SubmitOptions options;
+  options.priority = spec.priority;
+  std::vector<svc::JobId> ids;
+  ids.reserve(grid.size());
+  for (const svc::Scenario& scenario : grid) {
+    ids.push_back(server.submit(scenario, options));
+  }
+  server.resume();
+  server.drain();
+
+  CampaignResult result;
+  result.grid_size = grid.size();
+  result.reports.reserve(grid.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const svc::JobStatus status = server.wait(ids[i]);
+    EXA_REQUIRE_MSG(status.error.empty(),
+                    "campaign job " + grid[i].key() + " failed: " + status.error);
+    result.total_sim_time_s += status.report.time_s;
+    proxy.record_profile(
+        "campaign/" + svc::to_string(grid[i].app) + "/" + grid[i].machine,
+        double(grid[i].nodes), status.report.time_s);
+    result.reports.push_back(status.report);
+  }
+
+  const svc::ServerStats stats = server.stats();
+  result.submitted = stats.submitted;
+  result.completed = stats.completed;
+  result.dedupe_hits = stats.dedupe_hits;
+  result.executed = stats.executed;
+
+  if (!config_.jsonl_path.empty()) {
+    proxy.export_extrap_jsonl(config_.jsonl_path);
+    result.jsonl_path = config_.jsonl_path;
+  }
+  // Fit only the campaign/ callpaths: the proxy also carries the server's
+  // own svc/<app> samples, which mix machines and belong to live ops, not
+  // to the campaign's scaling answer.
+  for (auto& [callpath, fit] : proxy.fit_live()) {
+    if (callpath.rfind("campaign/", 0) == 0) {
+      result.fits.emplace(callpath, fit);
+    }
+  }
+  return result;
+}
+
+}  // namespace exa::campaign

@@ -1,0 +1,71 @@
+#pragma once
+/// \file runner.hpp
+/// Campaign execution: grid → svc::Server → Extra-P fits.
+///
+/// `CampaignRunner` is the thin orchestration layer the tentpole of this
+/// subsystem promises: it expands a `CampaignSpec` into scenarios,
+/// submits every grid point through a private `svc::Server` (priority
+/// ordering, pop-time content-keyed dedupe, and the conservation ledger
+/// come from the server for free), records one profile sample per grid
+/// point into a `svc::MetricProxy` at callpath `campaign/<app>/<machine>`
+/// with parameter p = nodes, exports the campaign's Extra-P JSONL, and
+/// runs the in-repo fitter so every campaign ends with fitted scaling
+/// models t(p) = a + b·p^c·(log2 p)^d per (app, machine).
+///
+/// Everything observable — reports, ledger counts, fits — is a pure
+/// function of the spec at any worker count, because `svc::run` is pure
+/// and dedupe is decided deterministically at pop time.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "svc/scenario.hpp"
+#include "trace/scaling_model.hpp"
+
+namespace exa::campaign {
+
+/// Runner knobs.
+struct RunnerConfig {
+  /// Server worker threads; 0 resolves like the global pool (EXA_THREADS
+  /// when set, else hardware concurrency).
+  std::size_t workers = 0;
+  /// Extra-P JSONL output path; empty suppresses the file (fits are
+  /// still computed from the in-memory samples).
+  std::string jsonl_path;
+};
+
+/// What one campaign produced. Counts mirror svc::ServerStats; reports
+/// are in grid order (one per grid point, dedupe hits included — equal
+/// keys carry bitwise-equal reports).
+struct CampaignResult {
+  std::size_t grid_size = 0;      ///< scenarios expanded from the spec
+  std::uint64_t submitted = 0;    ///< jobs accepted by the server
+  std::uint64_t completed = 0;    ///< jobs that reached a report
+  std::uint64_t dedupe_hits = 0;  ///< jobs served by another execution
+  std::uint64_t executed = 0;     ///< distinct svc::run invocations
+  std::vector<svc::Report> reports;  ///< per grid point, grid order
+  /// Fitted scaling models keyed "campaign/<app>/<machine>" (node-count
+  /// sweeps with >= 2 distinct scales; others are skipped by the fitter).
+  std::map<std::string, trace::ScalingFit> fits;
+  double total_sim_time_s = 0.0;  ///< sum of report.time_s over the grid
+  std::string jsonl_path;         ///< where the Extra-P JSONL landed ("" = none)
+};
+
+/// Orchestrates one campaign end to end (see the file comment).
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerConfig config = {});
+
+  /// Expands, submits, drains, fits. Throws support::Error when any grid
+  /// point fails submit-time validation (an invalid campaign must fail
+  /// loudly, not silently shrink its grid).
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace exa::campaign

@@ -1,0 +1,313 @@
+#include "campaign/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/json.hpp"
+
+namespace exa::campaign {
+
+namespace {
+
+using trace::JsonValue;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw support::Error("campaign: " + message);
+}
+
+/// Renders a double the way the error messages quote it.
+std::string num_text(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+const JsonValue::Array& axis_array(const JsonValue& value,
+                                   const std::string& key,
+                                   const char* element_kind) {
+  if (!value.is_array()) {
+    fail("\"" + key + "\" must be an array of " + element_kind);
+  }
+  const JsonValue::Array& array = value.as_array();
+  if (array.empty()) {
+    fail("sweep axis \"" + key + "\" is empty — a campaign grid needs at "
+         "least one value per axis");
+  }
+  return array;
+}
+
+[[noreturn]] void fail_duplicate(const std::string& key,
+                                 const std::string& value) {
+  fail("sweep axis \"" + key + "\" repeats value " + value +
+       " — duplicate grid points would only dedupe away; list each value "
+       "once");
+}
+
+std::vector<std::string> string_axis(const JsonValue& value,
+                                     const std::string& key) {
+  const JsonValue::Array& array = axis_array(value, key, "strings");
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const JsonValue& element : array) {
+    if (!element.is_string()) {
+      fail("\"" + key + "\" must be an array of strings");
+    }
+    const std::string& text = element.as_string();
+    if (!seen.insert(text).second) fail_duplicate(key, "\"" + text + "\"");
+    out.push_back(text);
+  }
+  return out;
+}
+
+std::vector<double> number_axis(const JsonValue& value,
+                                const std::string& key) {
+  const JsonValue::Array& array = axis_array(value, key, "numbers");
+  std::vector<double> out;
+  std::set<double> seen;
+  for (const JsonValue& element : array) {
+    if (!element.is_number()) {
+      fail("\"" + key + "\" must be an array of numbers");
+    }
+    const double number = element.as_number();
+    if (!seen.insert(number).second) fail_duplicate(key, num_text(number));
+    out.push_back(number);
+  }
+  return out;
+}
+
+std::vector<int> int_axis(const JsonValue& value, const std::string& key) {
+  std::vector<int> out;
+  for (const double number : number_axis(value, key)) {
+    if (number < 1.0 || number != std::floor(number)) {
+      fail("\"" + key + "\" values must be positive integers, got " +
+           num_text(number));
+    }
+    out.push_back(static_cast<int>(number));
+  }
+  return out;
+}
+
+std::vector<bool> bool_axis(const JsonValue& value, const std::string& key) {
+  const JsonValue::Array& array = axis_array(value, key, "booleans");
+  std::vector<bool> out;
+  std::set<bool> seen;
+  for (const JsonValue& element : array) {
+    if (!element.is_bool()) {
+      fail("\"" + key + "\" must be an array of booleans");
+    }
+    const bool flag = element.as_bool();
+    if (!seen.insert(flag).second) {
+      fail_duplicate(key, flag ? "true" : "false");
+    }
+    out.push_back(flag);
+  }
+  return out;
+}
+
+void parse_fault(const JsonValue& value, CampaignSpec& spec) {
+  if (!value.is_object()) {
+    fail("\"fault\" must be an object with straggler_fraction / "
+         "straggler_slowdown arrays");
+  }
+  for (const auto& [key, member] : value.as_object()) {
+    if (key == "straggler_fraction") {
+      spec.straggler_fraction = number_axis(member, "fault.straggler_fraction");
+    } else if (key == "straggler_slowdown") {
+      spec.straggler_slowdown = number_axis(member, "fault.straggler_slowdown");
+    } else {
+      fail("unknown key \"fault." + key + "\" (expected straggler_fraction, "
+           "straggler_slowdown)");
+    }
+  }
+}
+
+void parse_params(const JsonValue& value, CampaignSpec& spec) {
+  if (!value.is_object()) {
+    fail("\"params\" must be an object mapping app name -> { param -> "
+         "array of numbers }");
+  }
+  std::set<std::string> swept_apps;
+  for (const svc::App app : spec.apps) swept_apps.insert(svc::to_string(app));
+  for (const auto& [app_name, per_app] : value.as_object()) {
+    if (swept_apps.count(app_name) == 0) {
+      fail("params given for app \"" + app_name + "\" which is not listed "
+           "in \"apps\"");
+    }
+    if (!per_app.is_object()) {
+      fail("params." + app_name + " must be an object mapping param -> "
+           "array of numbers");
+    }
+    for (const auto& [param_name, values] : per_app.as_object()) {
+      spec.params[app_name][param_name] =
+          number_axis(values, "params." + app_name + "." + param_name);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t CampaignSpec::grid_size() const {
+  const std::size_t shared = machines.size() * nodes.size() * io.size() *
+                             topology.size() * congestion.size() *
+                             straggler_fraction.size() *
+                             straggler_slowdown.size();
+  std::size_t total = 0;
+  for (const svc::App app : apps) {
+    std::size_t per_app = 1;
+    if (const auto it = params.find(svc::to_string(app)); it != params.end()) {
+      for (const auto& [param, values] : it->second) {
+        (void)param;
+        per_app *= values.size();
+      }
+    }
+    total += shared * per_app;
+  }
+  return total;
+}
+
+CampaignSpec parse_campaign(const std::string& json_text) {
+  const JsonValue doc = trace::json_parse(json_text);
+  if (!doc.is_object()) fail("top level must be a JSON object");
+
+  CampaignSpec spec;
+  bool have_name = false;
+  bool have_machines = false;
+  bool have_apps = false;
+  bool have_nodes = false;
+  const JsonValue* params_value = nullptr;
+
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") {
+      if (!value.is_string() || value.as_string().empty()) {
+        fail("\"name\" must be a non-empty string");
+      }
+      spec.name = value.as_string();
+      have_name = true;
+    } else if (key == "description") {
+      if (!value.is_string()) fail("\"description\" must be a string");
+      spec.description = value.as_string();
+    } else if (key == "machines") {
+      spec.machines = string_axis(value, "machines");
+      have_machines = true;
+    } else if (key == "apps") {
+      for (const std::string& name : string_axis(value, "apps")) {
+        try {
+          spec.apps.push_back(svc::app_from_string(name));
+        } catch (const support::Error&) {
+          fail("unknown app \"" + name + "\" in \"apps\"");
+        }
+      }
+      have_apps = true;
+    } else if (key == "nodes") {
+      spec.nodes = int_axis(value, "nodes");
+      have_nodes = true;
+    } else if (key == "io") {
+      spec.io = string_axis(value, "io");
+    } else if (key == "topology") {
+      spec.topology = string_axis(value, "topology");
+    } else if (key == "congestion") {
+      spec.congestion = bool_axis(value, "congestion");
+    } else if (key == "fault") {
+      parse_fault(value, spec);
+    } else if (key == "params") {
+      params_value = &value;  // parsed after "apps" is known (map order)
+    } else if (key == "priority") {
+      if (!value.is_number() ||
+          value.as_number() != std::floor(value.as_number())) {
+        fail("\"priority\" must be an integer");
+      }
+      spec.priority = static_cast<int>(value.as_number());
+    } else {
+      fail("unknown key \"" + key + "\" (expected name, description, "
+           "machines, apps, nodes, io, topology, congestion, fault, params, "
+           "priority)");
+    }
+  }
+
+  if (!have_name) fail("missing required key \"name\"");
+  if (!have_machines) fail("missing required key \"machines\"");
+  if (!have_apps) fail("missing required key \"apps\"");
+  if (!have_nodes) fail("missing required key \"nodes\"");
+  if (params_value != nullptr) parse_params(*params_value, spec);
+  return spec;
+}
+
+CampaignSpec load_campaign(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw support::Error("campaign: cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_campaign(text.str());
+  } catch (const support::Error& err) {
+    throw support::Error(std::string(err.what()) + " [" + path + "]");
+  }
+}
+
+std::vector<svc::Scenario> expand_grid(const CampaignSpec& spec) {
+  std::vector<svc::Scenario> grid;
+  grid.reserve(spec.grid_size());
+
+  for (const std::string& machine : spec.machines) {
+    for (const svc::App app : spec.apps) {
+      // The app's param axes in name order (std::map), each one more
+      // nested loop realized as an odometer over value indices.
+      std::vector<std::pair<std::string, const std::vector<double>*>> axes;
+      if (const auto it = spec.params.find(svc::to_string(app));
+          it != spec.params.end()) {
+        for (const auto& [param, values] : it->second) {
+          axes.emplace_back(param, &values);
+        }
+      }
+      std::vector<std::size_t> odometer(axes.size(), 0);
+      bool more = true;
+      while (more) {
+        for (const int nodes : spec.nodes) {
+          for (const std::string& io : spec.io) {
+            for (const std::string& topology : spec.topology) {
+              for (const bool congestion : spec.congestion) {
+                for (const double fraction : spec.straggler_fraction) {
+                  for (const double slowdown : spec.straggler_slowdown) {
+                    svc::Scenario s;
+                    s.app = app;
+                    s.machine = machine;
+                    s.nodes = nodes;
+                    s.io_preset = io;
+                    s.topology = topology;
+                    s.congestion = congestion;
+                    s.straggler_fraction = fraction;
+                    // Canonical form: no stragglers => the slowdown knob
+                    // is inert, so pin it. Fault sweeps crossing zero
+                    // then dedupe inside the server.
+                    s.straggler_slowdown = fraction == 0.0 ? 1.0 : slowdown;
+                    for (std::size_t i = 0; i < axes.size(); ++i) {
+                      s.params[axes[i].first] = (*axes[i].second)[odometer[i]];
+                    }
+                    grid.push_back(std::move(s));
+                  }
+                }
+              }
+            }
+          }
+        }
+        // Advance the param odometer (rightmost axis fastest); the sweep
+        // for this (machine, app) ends when every axis wraps.
+        more = false;
+        for (std::size_t axis = axes.size(); axis > 0;) {
+          --axis;
+          if (++odometer[axis] < axes[axis].second->size()) {
+            more = true;
+            break;
+          }
+          odometer[axis] = 0;
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace exa::campaign

@@ -1,0 +1,74 @@
+#pragma once
+/// \file spec.hpp
+/// Declarative campaign specifications — the JSON form of "sweep these
+/// apps across these machines at these scales".
+///
+/// The paper's readiness evidence is built from *campaigns*: the same
+/// application run across machines, node counts, fabric topologies, fault
+/// plans, and I/O presets. `CampaignSpec` is that sweep as data. Every
+/// list-valued field is one axis of a cross-product grid; `expand_grid`
+/// turns the spec into concrete `svc::Scenario`s in a deterministic
+/// order, ready for submission through `svc::Server`.
+///
+/// The parser is dependency-free: it reads the JSON subset the in-repo
+/// `trace::json_parse` understands and layers schema validation on top.
+/// Every rejection carries a distinct, actionable message (unknown key,
+/// type mismatch, empty sweep axis, duplicated axis value, ...) so a
+/// typo'd campaign file fails loudly at load time, never at run time.
+/// The full schema is documented in docs/CAMPAIGNS.md.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/scenario.hpp"
+
+namespace exa::campaign {
+
+/// One parsed and schema-validated campaign. Defaulted axes hold their
+/// single default value, so `grid_size()` is always the plain product.
+struct CampaignSpec {
+  std::string name;         ///< campaign identifier (required, non-empty)
+  std::string description;  ///< free-form note (optional)
+
+  // Sweep axes. Each vector is one axis of the cross-product grid.
+  std::vector<std::string> machines;  ///< arch::machines::by_name keys
+  std::vector<svc::App> apps;         ///< workloads to sweep
+  std::vector<int> nodes;             ///< node counts (all >= 1)
+  std::vector<std::string> io = {"quiet"};        ///< io presets
+  std::vector<std::string> topology = {"fattree"};  ///< fabric wirings
+  std::vector<bool> congestion = {false};           ///< fabric congestion
+  std::vector<double> straggler_fraction = {0.0};   ///< fault plan axis
+  std::vector<double> straggler_slowdown = {1.0};   ///< fault plan axis
+
+  /// Per-app parameter axes: app name → param name → values. Each listed
+  /// param is a further grid axis for that app's scenarios only.
+  std::map<std::string, std::map<std::string, std::vector<double>>> params;
+
+  int priority = 0;  ///< svc::SubmitOptions priority for every job
+
+  /// Number of grid points the spec expands to (before dedupe).
+  [[nodiscard]] std::size_t grid_size() const;
+};
+
+/// Parses and schema-validates one campaign JSON document. Throws
+/// support::Error with a distinct, actionable message for every failure
+/// mode: malformed JSON, a missing required key, an unknown key, a type
+/// mismatch, an empty sweep axis, or a duplicated axis value (duplicate
+/// grid points would only dedupe away — list each value once).
+[[nodiscard]] CampaignSpec parse_campaign(const std::string& json_text);
+
+/// `parse_campaign` over the contents of `path`; throws support::Error
+/// when the file cannot be read.
+[[nodiscard]] CampaignSpec load_campaign(const std::string& path);
+
+/// Expands the spec into scenarios, one per grid point, in deterministic
+/// nested-axis order (machines outermost, per-app params innermost).
+/// Scenarios are canonicalized before keying: a zero straggler fraction
+/// forces the slowdown to 1.0 (no straggler means the slowdown knob is
+/// inert), so fault-plan sweeps that cross the zero point collapse onto
+/// one canonical key and dedupe inside the server.
+[[nodiscard]] std::vector<svc::Scenario> expand_grid(const CampaignSpec& spec);
+
+}  // namespace exa::campaign

@@ -46,9 +46,11 @@ namespace exa::svc {
 /// and never re-look it up.
 class Counter {
  public:
+  /// Adds `delta` (relaxed; safe from any thread).
   void add(std::uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Current total (relaxed load).
   [[nodiscard]] std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -63,7 +65,9 @@ class Counter {
 /// ordering — readers want *a* recent value, not a synchronized one).
 class Gauge {
  public:
+  /// Overwrites the value (relaxed; safe from any thread).
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Most recent value (relaxed load).
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -80,9 +84,12 @@ struct MetricSnapshot {
   std::map<std::string, double> values;
 };
 
+/// The in-process metrics sidecar described in the file comment:
+/// lock-free counters/gauges, Prometheus + Extra-P exporters, live fits.
 class MetricProxy {
  public:
   MetricProxy();
+  /// Stops the sampler (if running) and closes any profile stream.
   ~MetricProxy();
 
   MetricProxy(const MetricProxy&) = delete;
@@ -107,7 +114,9 @@ class MetricProxy {
   /// Profile recording is off by default (zero overhead beyond one relaxed
   /// load per call).
   void enable_profiles();
+  /// Turns profile recording back off (buffered samples are kept).
   void disable_profiles();
+  /// Whether record_profile currently buffers (relaxed load).
   [[nodiscard]] bool profiles_enabled() const {
     return profiles_enabled_.load(std::memory_order_relaxed);
   }
@@ -121,6 +130,7 @@ class MetricProxy {
   /// also appended (and flushed) to `path`. Implies enable_profiles().
   void stream_profiles_to(const std::string& path);
 
+  /// Copy of every buffered sample, in recording order.
   [[nodiscard]] std::vector<trace::ProfileSample> profile_samples() const;
 
   /// Appends every buffered sample to `path` (Extra-P JSONL, the format

@@ -10,6 +10,7 @@
 #include "apps/lammps/qeq.hpp"
 #include "apps/lammps/system.hpp"
 #include "apps/pele/driver.hpp"
+#include "apps/sparse/cg.hpp"
 #include "arch/machine.hpp"
 #include "io/checkpoint.hpp"
 #include "io/io_model.hpp"
@@ -47,6 +48,8 @@ const std::set<std::string>& known_params(App app) {
                                               "checkpoint_bytes_per_rank"};
   static const std::set<std::string> exasky = {"particles_per_rank", "hydro",
                                                "checkpoint_bytes_per_rank"};
+  static const std::set<std::string> sparse_cg = {
+      "grid", "rows_per_rank", "tol", "checkpoint_bytes_per_rank"};
   switch (app) {
     case App::kPele:
       return pele;
@@ -58,6 +61,8 @@ const std::set<std::string>& known_params(App app) {
       return comet;
     case App::kExaSky:
       return exasky;
+    case App::kSparseCg:
+      return sparse_cg;
   }
   throw support::Error("unhandled App");
 }
@@ -183,6 +188,37 @@ Report run_exasky(const Scenario& s, const arch::Machine& machine) {
   return report;
 }
 
+Report run_sparse_cg(const Scenario& s, const arch::Machine& machine) {
+  const auto grid = static_cast<std::size_t>(param_or(s, "grid", 16.0));
+  const double tol = param_or(s, "tol", 1e-8);
+  const apps::sparse::StencilMatrix a =
+      apps::sparse::build_stencil_matrix(grid, grid, grid);
+  // A varying dyadic-valued RHS: the all-ones vector is an exact
+  // eigenvector of the stencil (every row sums to 1), which would let CG
+  // converge in a single trivial iteration.
+  std::vector<double> b(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    b[i] = 1.0 + 0.125 * static_cast<double>(i % 7);
+  }
+  const apps::sparse::CgResult cg =
+      apps::sparse::cg_solve(a, b, tol, /*max_iter=*/2000);
+  const auto rows =
+      static_cast<std::size_t>(param_or(s, "rows_per_rank", 1.0e6));
+  const apps::sparse::SolveModel model = apps::sparse::solve_model(
+      machine, s.nodes, rows, cg.stats, s.fabric_config());
+  Report report;
+  report.metrics = {{"cg_iterations", double(cg.stats.iterations)},
+                    {"matrix_reads", double(cg.stats.matrix_reads)},
+                    {"allreduces", double(cg.stats.allreduces)},
+                    {"converged", cg.stats.converged ? 1.0 : 0.0},
+                    {"spmv_s", model.spmv_s},
+                    {"reduce_s", model.reduce_s},
+                    {"halo_s", model.halo_s}};
+  report.time_s = model.total_s;
+  report.fom = model.fom;
+  return report;
+}
+
 }  // namespace
 
 std::string to_string(App app) {
@@ -197,6 +233,8 @@ std::string to_string(App app) {
       return "comet";
     case App::kExaSky:
       return "exasky";
+    case App::kSparseCg:
+      return "sparse_cg";
   }
   throw support::Error("unhandled App");
 }
@@ -207,6 +245,7 @@ App app_from_string(const std::string& name) {
   if (name == "lammps") return App::kLammps;
   if (name == "comet") return App::kComet;
   if (name == "exasky") return App::kExaSky;
+  if (name == "sparse_cg") return App::kSparseCg;
   throw support::Error("unknown app: " + name);
 }
 
@@ -218,6 +257,7 @@ std::string Scenario::key() const {
   out += ";machine=" + machine;
   out += ";nodes=" + std::to_string(nodes);
   out += ";io=" + io_preset;
+  out += ";topology=" + topology;
   out += ";congestion=" + std::string(congestion ? "1" : "0");
   out += ";straggler_fraction=" + encode(straggler_fraction);
   out += ";straggler_slowdown=" + encode(straggler_slowdown);
@@ -229,6 +269,8 @@ std::string Scenario::key() const {
 
 net::FabricConfig Scenario::fabric_config() const {
   net::FabricConfig config;
+  config.topology = topology == "dragonfly" ? net::Topology::kDragonfly
+                                            : net::Topology::kFatTree;
   config.congestion = congestion;
   config.faults.straggler_fraction = straggler_fraction;
   config.faults.straggler_slowdown = straggler_slowdown;
@@ -242,6 +284,10 @@ void validate(const Scenario& scenario) {
   }
   const arch::Machine machine = arch::machines::by_name(scenario.machine);
   (void)io::IoConfig::preset(scenario.io_preset);
+  if (scenario.topology != "fattree" && scenario.topology != "dragonfly") {
+    throw support::Error("scenario topology must be \"fattree\" or "
+                         "\"dragonfly\", got \"" + scenario.topology + "\"");
+  }
   if (scenario.straggler_fraction < 0.0 || scenario.straggler_fraction > 1.0) {
     throw support::Error("straggler_fraction must be in [0, 1]");
   }
@@ -284,6 +330,24 @@ void validate(const Scenario& scenario) {
       }
       break;
     }
+    case App::kSparseCg: {
+      const double grid = param_or(scenario, "grid", 16.0);
+      if (grid < 2.0 || grid > 64.0 || grid != double(int(grid))) {
+        throw support::Error("sparse_cg grid must be an integer in [2, 64]");
+      }
+      const double tol = param_or(scenario, "tol", 1e-8);
+      if (tol <= 0.0 || tol > 0.1) {
+        throw support::Error("sparse_cg tol must be in (0, 0.1]");
+      }
+      if (param_or(scenario, "rows_per_rank", 1.0e6) < 1.0) {
+        throw support::Error("sparse_cg rows_per_rank must be >= 1");
+      }
+      if (!machine.node.has_gpu()) {
+        throw support::Error("sparse_cg needs a GPU machine, " +
+                             machine.name + " has none");
+      }
+      break;
+    }
     case App::kComet:
     case App::kExaSky:
       break;
@@ -317,6 +381,9 @@ Report run(const Scenario& scenario) {
       break;
     case App::kExaSky:
       report = run_exasky(scenario, machine);
+      break;
+    case App::kSparseCg:
+      report = run_sparse_cg(scenario, machine);
       break;
   }
   // Pele and GESTS price the preset natively (plotfiles / field dumps);

@@ -26,16 +26,18 @@ namespace exa::svc {
 /// driver; the scenario's `params` carry the app-specific size knobs
 /// (defaults below keep every app runnable with an empty map).
 enum class App {
-  kPele,    ///< apps::pele::time_per_cell_step (code-state ablations)
-  kGests,   ///< apps::gests::step_time (PSDNS slabs/pencils)
-  kLammps,  ///< apps::lammps QEq equilibration (split vs fused CG)
-  kComet,   ///< apps::comet::scale_run (mixed-precision CCC)
-  kExaSky,  ///< apps::exasky::step_model (P^3M gravity / hydro)
+  kPele,      ///< apps::pele::time_per_cell_step (code-state ablations)
+  kGests,     ///< apps::gests::step_time (PSDNS slabs/pencils)
+  kLammps,    ///< apps::lammps QEq equilibration (split vs fused CG)
+  kComet,     ///< apps::comet::scale_run (mixed-precision CCC)
+  kExaSky,    ///< apps::exasky::step_model (P^3M gravity / hydro)
+  kSparseCg,  ///< apps::sparse CG on a 27-point stencil (CSR SpMV)
 };
 
+/// The lower-case wire name of `app` ("pele", "gests", ..., "sparse_cg").
 [[nodiscard]] std::string to_string(App app);
 /// Parses the lower-case app name ("pele" | "gests" | "lammps" | "comet"
-/// | "exasky"); throws support::Error on anything else.
+/// | "exasky" | "sparse_cg"); throws support::Error on anything else.
 [[nodiscard]] App app_from_string(const std::string& name);
 
 /// One complete job description. Everything that can influence the
@@ -49,6 +51,8 @@ enum class App {
 ///           atoms_per_rank (default 2e5), nnz_per_rank (default 5.2e6)
 ///   comet:  vectors_per_device (default 8192), samples (default 1e5)
 ///   exasky: particles_per_rank (default 4e7), hydro (0|1, default 0)
+///   sparse_cg: grid (stencil cube side, default 16), rows_per_rank
+///           (default 1e6), tol (relative residual, default 1e-8)
 ///   any:    checkpoint_bytes_per_rank (default 256 MiB; the per-rank
 ///           payload priced when io_preset is not "quiet")
 struct Scenario {
@@ -65,6 +69,8 @@ struct Scenario {
 
   /// Fabric knobs. Defaults reduce every app's network model to the
   /// analytic CommModel exactly (the golden-stable baseline).
+  /// `topology` is the link-graph wiring ("fattree" | "dragonfly").
+  std::string topology = "fattree";
   bool congestion = false;
   double straggler_fraction = 0.0;
   double straggler_slowdown = 1.0;

@@ -69,8 +69,10 @@
 
 namespace exa::svc {
 
+/// Server-assigned job handle (dense, starting at 1).
 using JobId = std::uint64_t;
 
+/// Lifecycle of one submitted job; kCompleted/kCancelled are terminal.
 enum class JobState {
   kQueued,     ///< accepted, waiting in the queue
   kRunning,    ///< popped by a worker (or attached to a running leader)
@@ -78,6 +80,7 @@ enum class JobState {
   kCancelled,  ///< cancelled, expired, or shut down while queued
 };
 
+/// Human-readable state name ("queued" | "running" | ...).
 [[nodiscard]] std::string to_string(JobState state);
 
 /// Per-submission options.
@@ -133,8 +136,11 @@ struct ServerStats {
   std::uint64_t peak_queue_depth = 0;
 };
 
+/// The always-on scheduler described in the file comment: bounded
+/// priority queue, fixed worker pool, logical deadlines, pop-time dedupe.
 class Server {
  public:
+  /// Starts the worker pool immediately unless config.start_paused.
   explicit Server(ServerConfig config = {});
   /// Cancels still-queued jobs, waits for running jobs, joins the pool.
   ~Server();
@@ -142,6 +148,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Resolved worker-pool width (after EXA_THREADS resolution).
   [[nodiscard]] std::size_t workers() const { return workers_; }
 
   /// Accepts a job; blocks while the queue is full; throws support::Error
@@ -168,6 +175,7 @@ class Server {
   /// first on a paused server (a paused queue never drains).
   void drain();
 
+  /// Aggregate counters since construction (see ServerStats).
   [[nodiscard]] ServerStats stats() const;
 
   /// Wall-clock submit→terminal latencies (seconds) of every terminal job

@@ -1,0 +1,226 @@
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/sparse/cg.hpp"
+#include "arch/machine.hpp"
+#include "support/assert.hpp"
+
+namespace exa::apps::sparse {
+namespace {
+
+// --- stencil matrix --------------------------------------------------------
+
+TEST(SparseCg, StencilMatrixShape) {
+  const StencilMatrix a = build_stencil_matrix(4, 4, 4);
+  ASSERT_EQ(a.n, 64u);
+  ASSERT_EQ(a.row_ptr.size(), a.n + 1);
+  EXPECT_EQ(a.row_ptr.front(), 0u);
+  EXPECT_EQ(a.row_ptr.back(), a.nnz());
+  // An interior point of a 4^3 grid has the full 27-point neighborhood;
+  // the corner keeps only its 2x2x2 octant.
+  const std::size_t interior = (1 * 4 + 1) * 4 + 1;
+  EXPECT_EQ(a.row_ptr[interior + 1] - a.row_ptr[interior], 27u);
+  EXPECT_EQ(a.row_ptr[1] - a.row_ptr[0], 8u);
+}
+
+TEST(SparseCg, StencilMatrixIsSymmetric) {
+  const StencilMatrix a = build_stencil_matrix(3, 4, 5);
+  std::map<std::pair<std::size_t, std::size_t>, double> entries;
+  for (std::size_t i = 0; i < a.n; ++i) {
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      entries[{i, a.col[k]}] = a.val[k];
+    }
+  }
+  for (const auto& [ij, v] : entries) {
+    const auto it = entries.find({ij.second, ij.first});
+    ASSERT_NE(it, entries.end());
+    EXPECT_DOUBLE_EQ(it->second, v);
+  }
+}
+
+TEST(SparseCg, StencilMatrixIsStrictlyDiagonallyDominant) {
+  const StencilMatrix a = build_stencil_matrix(4, 4, 4);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    double diag = 0.0, off = 0.0;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col[k] == i) {
+        diag = a.val[k];
+      } else {
+        off += std::fabs(a.val[k]);
+      }
+    }
+    // Unit dominance margin by construction => SPD.
+    EXPECT_NEAR(diag, off + 1.0, 1e-12) << "row " << i;
+  }
+}
+
+// --- SpMV ------------------------------------------------------------------
+
+TEST(SparseCg, SpmvMatchesSerialReference) {
+  const StencilMatrix a = build_stencil_matrix(5, 5, 5);
+  std::vector<double> x(a.n), y(a.n), ref(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    x[i] = std::sin(0.1 * static_cast<double>(i)) + 0.5;
+  }
+  spmv(a, x, y);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      acc += a.val[k] * x[a.col[k]];
+    }
+    ref[i] = acc;
+  }
+  // Row-local accumulation in fixed CSR order: bitwise, not approximate.
+  for (std::size_t i = 0; i < a.n; ++i) {
+    EXPECT_EQ(y[i], ref[i]) << "row " << i;
+  }
+}
+
+TEST(SparseCg, SpmvRepeatsBitwise) {
+  const StencilMatrix a = build_stencil_matrix(6, 6, 6);
+  std::vector<double> x(a.n), y1(a.n), y2(a.n);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    x[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  spmv(a, x, y1);
+  spmv(a, x, y2);
+  EXPECT_EQ(y1, y2);
+}
+
+// --- CG --------------------------------------------------------------------
+
+/// Varying dyadic-valued RHS: the all-ones vector is an exact eigenvector
+/// of the stencil (rows sum to 1), so a constant b would converge in one
+/// trivial iteration.
+std::vector<double> varying_rhs(std::size_t n) {
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = 1.0 + 0.125 * static_cast<double>(i % 7);
+  }
+  return b;
+}
+
+TEST(SparseCg, StencilRowsSumToOne) {
+  // Every row sums to exactly 1 (diag = |offdiag| sum + unit margin), so
+  // A·1 = 1: the ones vector is an exact eigenvalue-1 eigenvector.
+  const StencilMatrix a = build_stencil_matrix(4, 4, 4);
+  const std::vector<double> ones(a.n, 1.0);
+  std::vector<double> y(a.n);
+  spmv(a, ones, y);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    EXPECT_NEAR(y[i], 1.0, 1e-12) << "row " << i;
+  }
+}
+
+TEST(SparseCg, CgConvergesAndSolves) {
+  const StencilMatrix a = build_stencil_matrix(6, 6, 6);
+  const std::vector<double> b = varying_rhs(a.n);
+  const CgResult result = cg_solve(a, b, 1e-10, 500);
+  EXPECT_TRUE(result.stats.converged);
+  EXPECT_GT(result.stats.iterations, 1);  // non-trivial Krylov loop
+  EXPECT_LT(result.stats.iterations, 500);
+  // Residual check: ||b - A x|| <= tol-ish * ||b||.
+  std::vector<double> ax(a.n);
+  spmv(a, result.x, ax);
+  double rr = 0.0, bb = 0.0;
+  for (std::size_t i = 0; i < a.n; ++i) {
+    rr += (b[i] - ax[i]) * (b[i] - ax[i]);
+    bb += b[i] * b[i];
+  }
+  EXPECT_LE(std::sqrt(rr), 1e-9 * std::sqrt(bb));
+}
+
+TEST(SparseCg, CgLedgerCountsMatchIterations) {
+  const StencilMatrix a = build_stencil_matrix(5, 5, 5);
+  const std::vector<double> b = varying_rhs(a.n);
+  const CgResult result = cg_solve(a, b, 1e-8, 500);
+  ASSERT_TRUE(result.stats.converged);
+  // One SpMV per iteration; one init reduction plus two per iteration.
+  EXPECT_EQ(result.stats.matrix_reads,
+            static_cast<std::uint64_t>(result.stats.iterations));
+  EXPECT_EQ(result.stats.allreduces, 1 + 2 * result.stats.iterations);
+}
+
+TEST(SparseCg, CgIsDeterministic) {
+  const StencilMatrix a = build_stencil_matrix(6, 6, 6);
+  const std::vector<double> b = varying_rhs(a.n);
+  const CgResult r1 = cg_solve(a, b, 1e-10, 500);
+  const CgResult r2 = cg_solve(a, b, 1e-10, 500);
+  EXPECT_EQ(r1.stats.iterations, r2.stats.iterations);
+  EXPECT_EQ(r1.x, r2.x);  // bitwise
+}
+
+TEST(SparseCg, CgReportsNonConvergence) {
+  const StencilMatrix a = build_stencil_matrix(6, 6, 6);
+  const std::vector<double> b = varying_rhs(a.n);
+  const CgResult result = cg_solve(a, b, 1e-14, 2);
+  EXPECT_FALSE(result.stats.converged);
+  EXPECT_EQ(result.stats.iterations, 2);
+}
+
+// --- the perf model --------------------------------------------------------
+
+TEST(SparseCg, SolveModelPricesAllTerms) {
+  CgStats stats;
+  stats.iterations = 40;
+  stats.matrix_reads = 40;
+  stats.allreduces = 81;
+  stats.converged = true;
+  const SolveModel m =
+      solve_model(arch::machines::frontier(), 4, 1u << 20, stats);
+  EXPECT_GT(m.spmv_s, 0.0);
+  EXPECT_GT(m.reduce_s, 0.0);
+  EXPECT_GT(m.halo_s, 0.0);
+  EXPECT_NEAR(m.total_s,
+              40.0 * m.spmv_s + 81.0 * m.reduce_s + 40.0 * m.halo_s, 1e-15);
+  EXPECT_GT(m.fom, 0.0);
+}
+
+TEST(SparseCg, SolveModelRejectsCpuOnlyMachines) {
+  CgStats stats;
+  stats.iterations = 10;
+  stats.matrix_reads = 10;
+  stats.allreduces = 21;
+  EXPECT_THROW((void)solve_model(arch::machines::cori(), 4, 1u << 20, stats),
+               support::Error);
+}
+
+TEST(SparseCg, FrontierNodeBeatsWombatNodeByBandwidthRatio) {
+  // SpMV is bandwidth-bound, so the per-node FoM ratio tracks the node
+  // HBM-bandwidth ratio: 8 GCDs x 1.6 TB/s vs 2 A100s x 1.555 TB/s = 4.12.
+  CgStats stats;
+  stats.iterations = 40;
+  stats.matrix_reads = 40;
+  stats.allreduces = 81;
+  const SolveModel frontier =
+      solve_model(arch::machines::frontier(), 8, 1u << 20, stats);
+  const SolveModel wombat =
+      solve_model(arch::machines::wombat(), 8, 1u << 20, stats);
+  const double ratio = frontier.fom / wombat.fom;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(SparseCg, StragglerFaultSlowsTheSolve) {
+  CgStats stats;
+  stats.iterations = 40;
+  stats.matrix_reads = 40;
+  stats.allreduces = 81;
+  const arch::Machine frontier = arch::machines::frontier();
+  const SolveModel clean = solve_model(frontier, 8, 1u << 20, stats);
+  net::FabricConfig faulty;
+  faulty.faults.straggler_fraction = 0.0625;
+  faulty.faults.straggler_slowdown = 4.0;
+  const SolveModel hurt = solve_model(frontier, 8, 1u << 20, stats, faulty);
+  EXPECT_GT(hurt.total_s, clean.total_s);
+  EXPECT_LT(hurt.fom, clean.fom);
+  // Compute cost is untouched; only the fabric terms degrade.
+  EXPECT_EQ(hurt.spmv_s, clean.spmv_s);
+}
+
+}  // namespace
+}  // namespace exa::apps::sparse

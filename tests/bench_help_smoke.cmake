@@ -1,0 +1,28 @@
+# Runs `<BENCH> --help` and asserts the usage text names every flag
+# bench::Session accepts (plus any bench-specific EXTRA_FLAGS). A flag
+# added to the parser without a usage line fails here, not in a user's
+# shell. Invoked as:
+#   cmake -DBENCH=<binary> [-DEXTRA_FLAGS=--foo=;--bar=] -P bench_help_smoke.cmake
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "bench_help_smoke.cmake needs -DBENCH=<binary>")
+endif()
+
+execute_process(COMMAND ${BENCH} --help
+  OUTPUT_VARIABLE help_text
+  ERROR_VARIABLE help_err
+  RESULT_VARIABLE help_rc)
+if(NOT help_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --help exited ${help_rc}: ${help_err}")
+endif()
+
+set(expected_flags
+  --trace= --profile-jsonl= --csv= --seed= --emit-golden= --check-golden=
+  --io= --io-trace= --help)
+list(APPEND expected_flags ${EXTRA_FLAGS})
+foreach(flag ${expected_flags})
+  string(FIND "${help_text}" "${flag}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "${BENCH} --help does not document ${flag}; usage was:\n${help_text}")
+  endif()
+endforeach()

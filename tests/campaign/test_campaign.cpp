@@ -1,0 +1,405 @@
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "support/assert.hpp"
+#include "svc/scenario.hpp"
+
+namespace exa::campaign {
+namespace {
+
+/// Parses an intentionally bad campaign and returns the error text, so
+/// every rejection path can assert on its distinct, actionable message.
+std::string parse_error(const std::string& json_text) {
+  try {
+    (void)parse_campaign(json_text);
+  } catch (const support::Error& err) {
+    return err.what();
+  }
+  ADD_FAILURE() << "campaign parsed cleanly: " << json_text;
+  return {};
+}
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(CampaignSpecParse, FullDocumentRoundTrips) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "full",
+    "description": "every key",
+    "machines": ["frontier", "wombat"],
+    "apps": ["sparse_cg", "pele"],
+    "nodes": [1, 2, 4],
+    "io": ["quiet", "lustre"],
+    "topology": ["fattree", "dragonfly"],
+    "congestion": [false, true],
+    "fault": {
+      "straggler_fraction": [0.0, 0.125],
+      "straggler_slowdown": [1.0, 4.0]
+    },
+    "params": {"sparse_cg": {"grid": [8, 16]}},
+    "priority": 3
+  })");
+  EXPECT_EQ(spec.name, "full");
+  EXPECT_EQ(spec.description, "every key");
+  EXPECT_EQ(spec.machines, (std::vector<std::string>{"frontier", "wombat"}));
+  ASSERT_EQ(spec.apps.size(), 2u);
+  EXPECT_EQ(spec.apps[0], svc::App::kSparseCg);
+  EXPECT_EQ(spec.apps[1], svc::App::kPele);
+  EXPECT_EQ(spec.nodes, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(spec.io, (std::vector<std::string>{"quiet", "lustre"}));
+  EXPECT_EQ(spec.topology, (std::vector<std::string>{"fattree", "dragonfly"}));
+  EXPECT_EQ(spec.congestion, (std::vector<bool>{false, true}));
+  EXPECT_EQ(spec.straggler_fraction, (std::vector<double>{0.0, 0.125}));
+  EXPECT_EQ(spec.straggler_slowdown, (std::vector<double>{1.0, 4.0}));
+  EXPECT_EQ(spec.params.at("sparse_cg").at("grid"),
+            (std::vector<double>{8.0, 16.0}));
+  EXPECT_EQ(spec.priority, 3);
+  // machines(2) x apps(sparse_cg: 2 grid values, pele: 1) x nodes(3) x
+  // io(2) x topology(2) x congestion(2) x fraction(2) x slowdown(2).
+  EXPECT_EQ(spec.grid_size(), 2u * (2 + 1) * 3 * 2 * 2 * 2 * 2 * 2);
+}
+
+TEST(CampaignSpecParse, MinimalDocumentGetsDefaults) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "minimal",
+    "machines": ["frontier"],
+    "apps": ["pele"],
+    "nodes": [4]
+  })");
+  EXPECT_TRUE(spec.description.empty());
+  EXPECT_EQ(spec.io, std::vector<std::string>{"quiet"});
+  EXPECT_EQ(spec.topology, std::vector<std::string>{"fattree"});
+  EXPECT_EQ(spec.congestion, std::vector<bool>{false});
+  EXPECT_EQ(spec.straggler_fraction, std::vector<double>{0.0});
+  EXPECT_EQ(spec.straggler_slowdown, std::vector<double>{1.0});
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.priority, 0);
+  EXPECT_EQ(spec.grid_size(), 1u);
+}
+
+// --- rejection paths: each failure mode has its own actionable message -----
+
+TEST(CampaignSpecErrors, TopLevelMustBeObject) {
+  EXPECT_NE(parse_error(R"([1, 2])").find("top level must be a JSON object"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, MissingRequiredKeys) {
+  const char* base = R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"], "nodes": [1]
+  })";
+  (void)base;
+  EXPECT_NE(parse_error(R"({"machines": ["frontier"], "apps": ["pele"],
+                            "nodes": [1]})")
+                .find("missing required key \"name\""),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "apps": ["pele"], "nodes": [1]})")
+                .find("missing required key \"machines\""),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "nodes": [1]})")
+                .find("missing required key \"apps\""),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"]})")
+                .find("missing required key \"nodes\""),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, UnknownKeyNamesTheKeyAndTheSchema) {
+  const std::string msg = parse_error(R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"], "nodes": [1],
+    "machnies": ["frontier"]
+  })");
+  EXPECT_NE(msg.find("unknown key \"machnies\""), std::string::npos);
+  EXPECT_NE(msg.find("expected name, description, machines"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, TypeMismatchNamesTheKeyAndExpectedType) {
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": "frontier",
+                            "apps": ["pele"], "nodes": [1]})")
+                .find("\"machines\" must be an array of strings"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "congestion": [0]})")
+                .find("\"congestion\" must be an array of booleans"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": ["four"]})")
+                .find("\"nodes\" must be an array of numbers"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": 7, "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1]})")
+                .find("\"name\" must be a non-empty string"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "priority": 1.5})")
+                .find("\"priority\" must be an integer"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "fault": [1]})")
+                .find("\"fault\" must be an object"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, EmptySweepAxis) {
+  const std::string msg = parse_error(R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"], "nodes": []
+  })");
+  EXPECT_NE(msg.find("sweep axis \"nodes\" is empty"), std::string::npos);
+  EXPECT_NE(msg.find("at least one value per axis"), std::string::npos);
+}
+
+TEST(CampaignSpecErrors, DuplicateAxisValue) {
+  const std::string strings = parse_error(R"({
+    "name": "x", "machines": ["frontier", "frontier"], "apps": ["pele"],
+    "nodes": [1]
+  })");
+  EXPECT_NE(strings.find("sweep axis \"machines\" repeats value \"frontier\""),
+            std::string::npos);
+  EXPECT_NE(strings.find("list each value once"), std::string::npos);
+  const std::string numbers = parse_error(R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"],
+    "nodes": [1, 2, 2]
+  })");
+  EXPECT_NE(numbers.find("sweep axis \"nodes\" repeats value 2"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, NodesMustBePositiveIntegers) {
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1, 2.5]})")
+                .find("\"nodes\" values must be positive integers, got 2.5"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [0]})")
+                .find("\"nodes\" values must be positive integers"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, UnknownApp) {
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["peel"], "nodes": [1]})")
+                .find("unknown app \"peel\" in \"apps\""),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, FaultObjectRejectsUnknownKeys) {
+  const std::string msg = parse_error(R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"], "nodes": [1],
+    "fault": {"straggler_franction": [0.1]}
+  })");
+  EXPECT_NE(msg.find("unknown key \"fault.straggler_franction\""),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, ParamsForUnlistedApp) {
+  const std::string msg = parse_error(R"({
+    "name": "x", "machines": ["frontier"], "apps": ["pele"], "nodes": [1],
+    "params": {"gests": {"n": [4096]}}
+  })");
+  EXPECT_NE(msg.find("params given for app \"gests\""), std::string::npos);
+  EXPECT_NE(msg.find("not listed"), std::string::npos);
+}
+
+TEST(CampaignSpecErrors, ParamsMustBeNestedObjects) {
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "params": [1]})")
+                .find("\"params\" must be an object"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "params": {"pele": [1]}})")
+                .find("params.pele must be an object"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "x", "machines": ["frontier"],
+                            "apps": ["pele"], "nodes": [1],
+                            "params": {"pele": {"cells": ["big"]}}})")
+                .find("\"params.pele.cells\" must be an array of numbers"),
+            std::string::npos);
+}
+
+TEST(CampaignSpecErrors, MalformedJsonFailsLoudly) {
+  EXPECT_THROW((void)parse_campaign("{\"name\": "), support::Error);
+}
+
+TEST(CampaignSpecErrors, LoadNamesTheFile) {
+  try {
+    (void)load_campaign("/nonexistent/campaign.json");
+    FAIL() << "load_campaign succeeded on a missing file";
+  } catch (const support::Error& err) {
+    EXPECT_NE(std::string(err.what()).find("cannot read"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("/nonexistent/campaign.json"),
+              std::string::npos);
+  }
+}
+
+// --- grid expansion --------------------------------------------------------
+
+TEST(CampaignGrid, ExpandMatchesGridSizeAndOrder) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "order",
+    "machines": ["frontier", "wombat"],
+    "apps": ["sparse_cg", "pele"],
+    "nodes": [1, 2],
+    "params": {"sparse_cg": {"grid": [8, 16]}}
+  })");
+  const std::vector<svc::Scenario> grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), spec.grid_size());
+  ASSERT_EQ(grid.size(), 12u);  // 2 machines x (2 + 1 app points) x 2 nodes
+  // Machines outermost, then apps, then per-app params, then nodes.
+  EXPECT_EQ(grid[0].machine, "frontier");
+  EXPECT_EQ(grid[0].app, svc::App::kSparseCg);
+  EXPECT_EQ(grid[0].params.at("grid"), 8.0);
+  EXPECT_EQ(grid[0].nodes, 1);
+  EXPECT_EQ(grid[1].nodes, 2);
+  EXPECT_EQ(grid[2].params.at("grid"), 16.0);
+  EXPECT_EQ(grid[4].app, svc::App::kPele);
+  EXPECT_TRUE(grid[4].params.empty());
+  EXPECT_EQ(grid[6].machine, "wombat");
+  // Every grid point passes submit-time validation as-is.
+  for (const svc::Scenario& s : grid) EXPECT_NO_THROW(svc::validate(s));
+}
+
+TEST(CampaignGrid, ZeroStragglerFractionCanonicalizesSlowdown) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "faults",
+    "machines": ["frontier"],
+    "apps": ["pele"],
+    "nodes": [1],
+    "fault": {
+      "straggler_fraction": [0.0, 0.0625],
+      "straggler_slowdown": [1.0, 4.0]
+    }
+  })");
+  const std::vector<svc::Scenario> grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  std::set<std::string> keys;
+  for (const svc::Scenario& s : grid) {
+    if (s.straggler_fraction == 0.0) {
+      // No straggler => the slowdown knob is inert; pin it so the zero
+      // crossing collapses onto one canonical key.
+      EXPECT_EQ(s.straggler_slowdown, 1.0);
+    }
+    keys.insert(s.key());
+  }
+  EXPECT_EQ(keys.size(), 3u);  // (0, 1), (0.0625, 1), (0.0625, 4)
+}
+
+// --- the runner ------------------------------------------------------------
+
+TEST(CampaignRunner, TinyCampaignRunsDedupesAndFits) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "tiny",
+    "machines": ["frontier"],
+    "apps": ["pele"],
+    "nodes": [1, 2, 4],
+    "fault": {
+      "straggler_fraction": [0.0],
+      "straggler_slowdown": [1.0, 2.0]
+    }
+  })");
+  CampaignRunner runner;
+  const CampaignResult result = runner.run(spec);
+  EXPECT_EQ(result.grid_size, 6u);
+  EXPECT_EQ(result.submitted, 6u);
+  EXPECT_EQ(result.completed, 6u);
+  // The slowdown axis is inert at fraction 0: each node count collapses
+  // onto one canonical key inside the server.
+  EXPECT_EQ(result.dedupe_hits, 3u);
+  EXPECT_EQ(result.executed, 3u);
+  ASSERT_EQ(result.reports.size(), 6u);
+  EXPECT_GT(result.total_sim_time_s, 0.0);
+  // Deduped grid points carry bitwise-equal reports (svc::run is pure).
+  EXPECT_EQ(result.reports[0].time_s, result.reports[1].time_s);
+  // Three distinct node counts -> a fitted t(p) model for the pair.
+  const auto fit = result.fits.find("campaign/pele/frontier");
+  ASSERT_NE(fit, result.fits.end());
+  EXPECT_EQ(fit->second.points, 3u);
+  EXPECT_TRUE(result.jsonl_path.empty());
+}
+
+TEST(CampaignRunner, ResultIsPureAtAnyWorkerCount) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "pure",
+    "machines": ["frontier", "wombat"],
+    "apps": ["sparse_cg"],
+    "nodes": [1, 4],
+    "params": {"sparse_cg": {"grid": [8]}}
+  })");
+  RunnerConfig serial;
+  serial.workers = 1;
+  RunnerConfig wide;
+  wide.workers = 8;
+  const CampaignResult a = CampaignRunner(serial).run(spec);
+  const CampaignResult b = CampaignRunner(wide).run(spec);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].scenario.key(), b.reports[i].scenario.key());
+    EXPECT_EQ(a.reports[i].time_s, b.reports[i].time_s);  // bitwise
+    EXPECT_EQ(a.reports[i].fom, b.reports[i].fom);
+  }
+  EXPECT_EQ(a.total_sim_time_s, b.total_sim_time_s);
+  ASSERT_EQ(a.fits.size(), b.fits.size());
+  for (const auto& [callpath, fit] : a.fits) {
+    const auto it = b.fits.find(callpath);
+    ASSERT_NE(it, b.fits.end());
+    EXPECT_EQ(fit.a, it->second.a);
+    EXPECT_EQ(fit.b, it->second.b);
+    EXPECT_EQ(fit.c, it->second.c);
+    EXPECT_EQ(fit.d, it->second.d);
+  }
+}
+
+TEST(CampaignRunner, ExportsExtrapJsonl) {
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "jsonl",
+    "machines": ["frontier"],
+    "apps": ["pele"],
+    "nodes": [1, 2]
+  })");
+  const std::string path =
+      testing::TempDir() + "campaign_test_extrap.jsonl";
+  std::remove(path.c_str());
+  RunnerConfig config;
+  config.jsonl_path = path;
+  const CampaignResult result = CampaignRunner(config).run(spec);
+  EXPECT_EQ(result.jsonl_path, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t campaign_lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("campaign/pele/frontier") != std::string::npos) {
+      ++campaign_lines;
+    }
+  }
+  // One Extra-P sample per grid point at callpath campaign/<app>/<machine>.
+  EXPECT_EQ(campaign_lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignRunner, InvalidGridPointFailsLoudly) {
+  // sparse_cg needs a GPU machine; cori is CPU-only. The campaign must
+  // throw, not silently shrink its grid.
+  const CampaignSpec spec = parse_campaign(R"({
+    "name": "bad",
+    "machines": ["cori"],
+    "apps": ["sparse_cg"],
+    "nodes": [1]
+  })");
+  CampaignRunner runner;
+  EXPECT_THROW((void)runner.run(spec), support::Error);
+}
+
+}  // namespace
+}  // namespace exa::campaign

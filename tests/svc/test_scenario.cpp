@@ -25,7 +25,7 @@ Scenario tiny_exasky() {
 
 TEST(SvcScenario, AppNamesRoundTrip) {
   for (const App app : {App::kPele, App::kGests, App::kLammps, App::kComet,
-                        App::kExaSky}) {
+                        App::kExaSky, App::kSparseCg}) {
     EXPECT_EQ(app_from_string(to_string(app)), app);
   }
   EXPECT_THROW((void)app_from_string("nbody"), support::Error);
@@ -46,6 +46,9 @@ TEST(SvcScenario, KeyCoversEveryReportInfluencingField) {
   EXPECT_NE(s.key(), key);
   s = base;
   s.io_preset = "lustre";
+  EXPECT_NE(s.key(), key);
+  s = base;
+  s.topology = "dragonfly";
   EXPECT_NE(s.key(), key);
   s = base;
   s.congestion = true;
@@ -99,6 +102,13 @@ TEST(SvcScenario, ValidateRejectsBadScenarios) {
   s.straggler_slowdown = 0.5;
   EXPECT_THROW(validate(s), support::Error);
 
+  // Only the two wired fabric topologies are accepted.
+  s = tiny_exasky();
+  s.topology = "torus";
+  EXPECT_THROW(validate(s), support::Error);
+  s.topology = "dragonfly";
+  EXPECT_NO_THROW(validate(s));
+
   // A typo'd param key must be rejected, not silently run the default.
   s = tiny_exasky();
   s.params["partcles_per_rank"] = 1.0e5;
@@ -126,11 +136,22 @@ TEST(SvcScenario, ValidateEnforcesAppLimits) {
   s.app = App::kLammps;
   s.params = {{"cells", 0.0}};
   EXPECT_THROW(validate(s), support::Error);
+
+  // sparse_cg needs a GPU machine and a stencil grid in [2, 64].
+  s = Scenario{};
+  s.app = App::kSparseCg;
+  s.machine = "cori";
+  EXPECT_THROW(validate(s), support::Error);
+  s.machine = "frontier";
+  s.params = {{"grid", 1.0}};
+  EXPECT_THROW(validate(s), support::Error);
+  s.params = {{"grid", 16.0}};
+  EXPECT_NO_THROW(validate(s));
 }
 
 TEST(SvcScenario, DefaultParamsRunForEveryApp) {
   for (const App app : {App::kPele, App::kGests, App::kLammps, App::kComet,
-                        App::kExaSky}) {
+                        App::kExaSky, App::kSparseCg}) {
     Scenario s;
     s.app = app;
     s.nodes = 1;

@@ -1,0 +1,129 @@
+/// exaready-campaign — run declarative scenario campaigns end to end.
+///
+///     exaready-campaign [--validate] [--workers=N] [--jsonl=<path>]
+///                       <campaign.json> [more.json ...]
+///
+/// For each campaign file: parse + schema-validate the JSON, expand the
+/// sweep grid, and (unless --validate stops after expansion) submit every
+/// grid point through svc::Server, print the dedupe/conservation ledger,
+/// write the campaign's Extra-P JSONL (default <name>.extrap.jsonl), and
+/// print the fitted scaling model per (app, machine). Exit 0 on success,
+/// 1 on any parse/validation/run failure, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "support/assert.hpp"
+#include "svc/scenario.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--validate] [--workers=N] [--jsonl=<path>] "
+               "<campaign.json>...\n"
+               "  --validate     parse, expand, and validate only (no runs)\n"
+               "  --workers=N    server worker threads (default: EXA_THREADS)\n"
+               "  --jsonl=<path> Extra-P JSONL output (default: "
+               "<name>.extrap.jsonl)\n",
+               argv0);
+}
+
+int validate_campaign(const exa::campaign::CampaignSpec& spec) {
+  const auto grid = exa::campaign::expand_grid(spec);
+  for (const exa::svc::Scenario& scenario : grid) {
+    exa::svc::validate(scenario);
+  }
+  std::printf("campaign %s: OK (%zu grid points, %zu machines x %zu apps)\n",
+              spec.name.c_str(), grid.size(), spec.machines.size(),
+              spec.apps.size());
+  return 0;
+}
+
+int run_campaign(const exa::campaign::CampaignSpec& spec,
+                 exa::campaign::RunnerConfig config) {
+  if (config.jsonl_path.empty()) {
+    config.jsonl_path = spec.name + ".extrap.jsonl";
+  }
+  exa::campaign::CampaignRunner runner(config);
+  const exa::campaign::CampaignResult result = runner.run(spec);
+
+  std::printf("campaign %s\n", spec.name.c_str());
+  if (!spec.description.empty()) {
+    std::printf("  %s\n", spec.description.c_str());
+  }
+  std::printf("  grid points   %zu\n", result.grid_size);
+  std::printf("  submitted     %llu\n",
+              static_cast<unsigned long long>(result.submitted));
+  std::printf("  completed     %llu\n",
+              static_cast<unsigned long long>(result.completed));
+  std::printf("  dedupe hits   %llu\n",
+              static_cast<unsigned long long>(result.dedupe_hits));
+  std::printf("  executed      %llu distinct scenarios\n",
+              static_cast<unsigned long long>(result.executed));
+  std::printf("  sim time      %.6g s summed over the grid\n",
+              result.total_sim_time_s);
+  std::printf("  extrap jsonl  %s\n", result.jsonl_path.c_str());
+  std::printf("  fitted models (t(p), p = nodes):\n");
+  if (result.fits.empty()) {
+    std::printf("    (none — a fit needs >= 2 distinct node counts)\n");
+  }
+  for (const auto& [callpath, fit] : result.fits) {
+    std::printf("    %-32s %s  (R^2 %.4f, %zu points)\n", callpath.c_str(),
+                fit.to_string().c_str(), fit.r2, fit.points);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate_only = false;
+  exa::campaign::RunnerConfig config;
+  std::string jsonl_flag;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate_only = true;
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      config.workers = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      jsonl_flag = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  int status = 0;
+  for (const std::string& file : files) {
+    try {
+      const exa::campaign::CampaignSpec spec =
+          exa::campaign::load_campaign(file);
+      config.jsonl_path = jsonl_flag;
+      status |= validate_only ? validate_campaign(spec)
+                              : run_campaign(spec, config);
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), err.what());
+      status = 1;
+    }
+  }
+  return status;
+}
